@@ -1,0 +1,68 @@
+"""Ablation A-align — greedy vs optimal story matching (Section 2.3).
+
+Greedy alignment unions every above-threshold story pair (transitive,
+multi-way); the optimal strategy solves a 1-1 assignment per source pair
+with the Hungarian algorithm.  Measures time and alignment quality
+(story-link precision/recall against ground truth).
+
+    pytest benchmarks/bench_alignment.py --benchmark-only
+"""
+
+import pytest
+
+from benchmarks.conftest import corpus_for, report
+from repro.core.config import StoryPivotConfig
+from repro.core.alignment import StoryAligner
+from repro.core.identification import make_identifier
+from repro.evaluation.alignment_metrics import alignment_scores
+
+
+def _story_sets(corpus, config):
+    sets = {}
+    for source_id, snippets in corpus.source_partition().items():
+        identifier = make_identifier(source_id, config)
+        sets[source_id] = identifier.identify(snippets)
+    return sets
+
+
+@pytest.mark.parametrize("strategy", ("greedy", "optimal"))
+def test_alignment_strategy(benchmark, strategy):
+    corpus = corpus_for(800)
+    config = StoryPivotConfig.temporal(alignment_strategy=strategy)
+    sets = _story_sets(corpus, config)
+    aligner = StoryAligner(config)
+
+    alignment = benchmark.pedantic(
+        lambda: aligner.align(sets), rounds=1, iterations=1, warmup_rounds=0
+    )
+    scores = alignment_scores(alignment, corpus.truth.labels)
+    report(
+        benchmark,
+        strategy=strategy,
+        link_precision=round(scores["link_precision"], 4),
+        link_recall=round(scores["link_recall"], 4),
+        link_f1=round(scores["link_f1"], 4),
+        integrated=int(scores["num_integrated"]),
+        pairs_scored=alignment.stats.story_pairs_scored,
+    )
+
+
+@pytest.mark.parametrize("num_sources", (2, 5, 10))
+def test_alignment_scales_with_sources(benchmark, num_sources):
+    """Alignment cost as the number of sources grows (Section 2.1's 'sheer
+    number of available sources' challenge)."""
+    corpus = corpus_for(400, num_sources=num_sources)
+    config = StoryPivotConfig.temporal()
+    sets = _story_sets(corpus, config)
+    aligner = StoryAligner(config)
+
+    alignment = benchmark.pedantic(
+        lambda: aligner.align(sets), rounds=1, iterations=1, warmup_rounds=0
+    )
+    report(
+        benchmark,
+        sources=num_sources,
+        stories=sum(len(s) for s in sets.values()),
+        pairs_scored=alignment.stats.story_pairs_scored,
+        integrated=len(alignment),
+    )

@@ -1,0 +1,77 @@
+"""Figure 7 (right) — Quality: F-measure vs #events.
+
+The statistics module's quality panel: pairwise F-measure per (SI method,
+SA method) as the dataset grows.  The paper's qualitative claims, checked
+here as assertions on the measured values:
+
+* temporal identification sustains a higher F-measure than complete
+  matching once the dataset is dense enough for stories to drift past each
+  other (complete matching "overfits stories");
+* running story alignment (and refinement) lifts the global, cross-source
+  F-measure far above identification alone.
+
+    pytest benchmarks/bench_figure7_quality.py --benchmark-only
+"""
+
+import pytest
+
+from benchmarks.conftest import corpus_for, report
+from repro.evaluation.harness import MethodSpec, run_experiment
+
+SIZES = (250, 500, 1000, 2000)
+METHODS = (
+    MethodSpec("temporal", "temporal", "none"),
+    MethodSpec("complete", "complete", "none"),
+    MethodSpec("temporal+align", "temporal", "greedy"),
+    MethodSpec("complete+align", "complete", "greedy"),
+)
+
+
+@pytest.mark.parametrize("events", SIZES)
+@pytest.mark.parametrize("spec", METHODS, ids=lambda s: s.name)
+def test_figure7_quality(benchmark, spec, events):
+    corpus = corpus_for(events)
+
+    def run():
+        return run_experiment(corpus, spec)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    report(
+        benchmark,
+        method=spec.name,
+        events=events,
+        si_f1=round(result.si_f1, 4),
+        global_f1=round(result.global_f1, 4),
+        bcubed_f1=round(result.metrics.get("bcubed_f1", 0.0), 4),
+        nmi=round(result.metrics.get("nmi", 0.0), 4),
+    )
+
+
+def test_figure7_quality_shape(benchmark):
+    """The who-wins assertions of the quality panel, at the largest size."""
+    corpus = corpus_for(2000)
+
+    def run():
+        rows = {
+            spec.name: run_experiment(corpus, spec)
+            for spec in METHODS
+        }
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    temporal = rows["temporal"]
+    complete = rows["complete"]
+    aligned = rows["temporal+align"]
+    report(
+        benchmark,
+        temporal_si_f1=round(temporal.si_f1, 4),
+        complete_si_f1=round(complete.si_f1, 4),
+        aligned_global_f1=round(aligned.global_f1, 4),
+        unaligned_global_f1=round(temporal.global_f1, 4),
+    )
+    assert temporal.si_f1 > complete.si_f1, (
+        "temporal identification should beat complete matching at scale"
+    )
+    assert aligned.global_f1 > temporal.global_f1, (
+        "story alignment should lift the integrated F-measure"
+    )

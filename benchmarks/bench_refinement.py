@@ -1,0 +1,48 @@
+"""Ablation A-refine — story refinement on/off (Section 2.3, Figure 1d).
+
+Measures what propagating alignment decisions back into the per-source
+story sets costs and buys: refinement time vs the F-measure delta of the
+integrated clustering, plus the number of corrections applied.
+
+    pytest benchmarks/bench_refinement.py --benchmark-only
+"""
+
+import pytest
+
+from benchmarks.conftest import corpus_for, report
+from repro.core.pipeline import StoryPivot
+from repro.evaluation.harness import MethodSpec, run_experiment
+
+
+@pytest.mark.parametrize("refine", (False, True), ids=("off", "on"))
+def test_refinement_ablation(benchmark, refine):
+    corpus = corpus_for(800)
+    spec = MethodSpec("t+a", "temporal", "greedy", refine=refine)
+
+    def run():
+        return run_experiment(corpus, spec)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    report(
+        benchmark,
+        refinement="on" if refine else "off",
+        global_f1=round(result.global_f1, 4),
+        si_f1=round(result.si_f1, 4),
+        moves=int(result.metrics.get("refinement_moves", 0)),
+    )
+
+
+def test_refinement_phase_cost(benchmark):
+    """Time of the refinement phase alone (identification+alignment done)."""
+    corpus = corpus_for(800)
+    spec = MethodSpec("t+a", "temporal", "greedy", refine=True)
+    config = spec.make_config()
+
+    def run():
+        pivot = StoryPivot(config)
+        result = pivot.run(corpus)
+        return result.timings["refinement"]
+
+    refinement_seconds = benchmark.pedantic(run, rounds=1, iterations=1,
+                                            warmup_rounds=0)
+    report(benchmark, refinement_seconds=round(refinement_seconds, 4))

@@ -1,0 +1,85 @@
+"""Ablation A-newsrc — incremental source addition vs full recompute.
+
+Section 2.1: "As new sources become available, we first identify the
+stories associated with them and then align them with existing stories ...
+This enables an efficient integration of new data sources."  Measures the
+cost of integrating one additional source incrementally versus recomputing
+everything, and the quality gap between the two.
+
+    pytest benchmarks/bench_source_addition.py --benchmark-only
+"""
+
+import pytest
+
+from benchmarks.conftest import corpus_for, report
+from repro.core.config import StoryPivotConfig
+from repro.core.pipeline import StoryPivot
+from repro.evaluation.metrics import pairwise_scores
+
+
+def _split_corpus(corpus):
+    source_ids = sorted(corpus.sources)
+    held_out = source_ids[-1]
+    base_ids = [s.snippet_id for s in corpus.snippets()
+                if s.source_id != held_out]
+    new_snippets = [s for s in corpus.snippets_by_time()
+                    if s.source_id == held_out]
+    return corpus.subset(base_ids), new_snippets
+
+
+def test_full_recompute(benchmark):
+    corpus = corpus_for(600)
+    config = StoryPivotConfig.temporal()
+
+    result = benchmark.pedantic(
+        lambda: StoryPivot(config).run(corpus),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    f1 = pairwise_scores(result.global_clusters(), corpus.truth.labels).f1
+    report(benchmark, strategy="full-recompute", global_f1=round(f1, 4))
+
+
+def test_incremental_addition(benchmark):
+    """Timed region: ONLY the new source's identification + extension."""
+    corpus = corpus_for(600)
+    config = StoryPivotConfig.temporal()
+    base, new_snippets = _split_corpus(corpus)
+
+    # pre-existing state (not timed): the system before the source appears
+    pivot = StoryPivot(config)
+    base_result = pivot.run(base)
+
+    state = {}
+
+    def run():
+        alignment = pivot.add_source_snippets(new_snippets,
+                                              base_result.alignment)
+        state["alignment"] = alignment
+        return alignment
+
+    benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    f1 = pairwise_scores(state["alignment"].as_clusters(),
+                         corpus.truth.labels).f1
+    report(
+        benchmark,
+        strategy="incremental",
+        new_snippets=len(new_snippets),
+        global_f1=round(f1, 4),
+    )
+
+
+@pytest.mark.parametrize("events", (300, 600, 1200))
+def test_incremental_cost_scales_with_new_source_only(benchmark, events):
+    """Incremental addition cost should track the NEW source's size, not
+    the full corpus size — the crux of the two-level design."""
+    corpus = corpus_for(events)
+    config = StoryPivotConfig.temporal()
+    base, new_snippets = _split_corpus(corpus)
+    pivot = StoryPivot(config)
+    base_result = pivot.run(base)
+
+    benchmark.pedantic(
+        lambda: pivot.add_source_snippets(new_snippets, base_result.alignment),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    report(benchmark, events=events, new_snippets=len(new_snippets))

@@ -1,0 +1,120 @@
+"""Ablation A-stream — batch vs streaming vs out-of-order (Section 2.4).
+
+Compares (a) batch ingestion in event-time order, (b) streaming ingestion
+in publication order (out-of-order on the event axis) with periodic
+realignment, and (c) streaming with duplicate re-delivery.  Shape: all
+three end at comparable quality — out-of-order delivery must not wreck the
+stories — while streaming pays for its periodic realignments.
+
+    pytest benchmarks/bench_streaming.py --benchmark-only
+"""
+
+import pytest
+
+from benchmarks.conftest import corpus_for, report
+from repro.core.config import StoryPivotConfig
+from repro.core.pipeline import StoryPivot
+from repro.core.streaming import StreamProcessor
+from repro.evaluation.metrics import pairwise_scores
+
+
+def test_batch_event_order(benchmark):
+    corpus = corpus_for(600)
+    config = StoryPivotConfig.temporal()
+
+    result = benchmark.pedantic(
+        lambda: StoryPivot(config).run(corpus, order="time"),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    f1 = pairwise_scores(result.global_clusters(), corpus.truth.labels).f1
+    report(benchmark, delivery="batch/event-order", global_f1=round(f1, 4))
+
+
+def test_stream_publication_order(benchmark):
+    corpus = corpus_for(600)
+    config = StoryPivotConfig.temporal()
+
+    def run():
+        processor = StreamProcessor(config, realign_every=200)
+        processor.consume_corpus(corpus)
+        return processor, processor.flush()
+
+    processor, result = benchmark.pedantic(run, rounds=1, iterations=1,
+                                           warmup_rounds=0)
+    f1 = pairwise_scores(result.global_clusters(), corpus.truth.labels).f1
+    report(
+        benchmark,
+        delivery="stream/publication-order",
+        global_f1=round(f1, 4),
+        realignments=processor.stats.realignments,
+        max_disorder_days=round(processor.stats.max_disorder / 86400, 2),
+    )
+
+
+def test_stream_with_duplicates(benchmark):
+    corpus = corpus_for(600)
+    config = StoryPivotConfig.temporal()
+    snippets = corpus.snippets_by_publication()
+
+    def run():
+        processor = StreamProcessor(config, realign_every=200)
+        for i, snippet in enumerate(snippets):
+            processor.offer(snippet)
+            if i % 5 == 0:  # heavy crawl overlap: 20% re-delivery
+                processor.offer(snippet)
+        return processor, processor.flush()
+
+    processor, result = benchmark.pedantic(run, rounds=1, iterations=1,
+                                           warmup_rounds=0)
+    f1 = pairwise_scores(result.global_clusters(), corpus.truth.labels).f1
+    report(
+        benchmark,
+        delivery="stream/20%-duplicates",
+        global_f1=round(f1, 4),
+        duplicates_dropped=processor.stats.duplicates,
+    )
+
+
+@pytest.mark.parametrize("realign_every", (50, 200, 800))
+def test_realignment_cadence(benchmark, realign_every):
+    """Live-view freshness vs cost: more frequent realignment costs time."""
+    corpus = corpus_for(600)
+    config = StoryPivotConfig.temporal()
+
+    def run():
+        processor = StreamProcessor(config, realign_every=realign_every)
+        processor.consume_corpus(corpus)
+        return processor.flush()
+
+    benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    report(benchmark, realign_every=realign_every)
+
+
+@pytest.mark.parametrize("live", (False, True), ids=("periodic", "live"))
+def test_live_vs_periodic_alignment(benchmark, live):
+    """A-live: incremental alignment maintenance vs periodic recompute.
+
+    Live mode re-scores only the story a snippet just joined (plus a
+    periodic compaction); periodic mode recomputes every story pair each
+    refresh.  Quality is measured on the final view.
+    """
+    corpus = corpus_for(600)
+    config = StoryPivotConfig.temporal(enable_refinement=False)
+
+    def run():
+        processor = StreamProcessor(config, realign_every=100,
+                                    live_alignment=live)
+        processor.consume_corpus(corpus)
+        return processor, processor.flush()
+
+    processor, result = benchmark.pedantic(run, rounds=1, iterations=1,
+                                           warmup_rounds=0)
+    f1 = pairwise_scores(result.global_clusters(), corpus.truth.labels).f1
+    fields = dict(mode="live" if live else "periodic",
+                  global_f1=round(f1, 4))
+    if live:
+        stats = processor._live.stats
+        fields.update(scores_computed=stats.scores_computed,
+                      edges_added=stats.edges_added,
+                      compactions=stats.compactions)
+    report(benchmark, **fields)

@@ -1,0 +1,45 @@
+"""Ablation A-window — the sliding-window radius ω (Section 2.2).
+
+Sweeps ω from 2 days to complete-like 90 days.  Expected shape: small
+windows are fast but fragment stories (recall loss); very large windows
+approach complete matching's cost and its drift-induced precision loss;
+quality peaks at an intermediate ω.
+
+    pytest benchmarks/bench_window_sweep.py --benchmark-only
+"""
+
+import pytest
+
+from benchmarks.conftest import corpus_for, report
+from repro.core.config import StoryPivotConfig
+from repro.eventdata.models import DAY
+from repro.evaluation.harness import MethodSpec, run_experiment
+
+WINDOW_DAYS = (2, 7, 14, 28, 90)
+
+
+@pytest.mark.parametrize("window_days", WINDOW_DAYS)
+def test_window_sweep(benchmark, window_days):
+    # 2000 events: dense enough that over-wide windows pay the drift
+    # penalty (at low density wider is monotonically better)
+    corpus = corpus_for(2000)
+    spec = MethodSpec(
+        f"omega={window_days}d", "temporal", "none", refine=False,
+        config_overrides={
+            "window": window_days * DAY,
+            "decay_half_life": window_days * DAY,
+        },
+    )
+
+    def run():
+        return run_experiment(corpus, spec)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    report(
+        benchmark,
+        window_days=window_days,
+        si_f1=round(result.si_f1, 4),
+        si_precision=round(result.si_precision, 4),
+        si_recall=round(result.si_recall, 4),
+        stories=int(result.metrics["num_stories"]),
+    )

@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark suite.
+
+Corpora are generated once per session and cached by (events, sources,
+seed, overrides) so that workload generation never pollutes timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eventdata.sourcegen import synthetic_corpus
+
+_CACHE = {}
+
+
+def corpus_for(total_events: int, num_sources: int = 5, seed: int = 42,
+               **overrides):
+    key = (total_events, num_sources, seed, tuple(sorted(overrides.items())))
+    if key not in _CACHE:
+        _CACHE[key] = synthetic_corpus(
+            total_events=total_events, num_sources=num_sources, seed=seed,
+            **overrides,
+        )
+    return _CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def corpus_factory():
+    return corpus_for
+
+
+def report(benchmark, **fields) -> None:
+    """Attach measured quality/shape numbers to the benchmark record and
+    echo them so the console run shows the paper-facing values."""
+    benchmark.extra_info.update(fields)
+    rendered = "  ".join(f"{key}={value}" for key, value in fields.items())
+    print(f"\n    [{benchmark.name}] {rendered}")

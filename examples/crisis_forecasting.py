@@ -1,0 +1,56 @@
+"""Civil-unrest forecasting from story streams (Section 1's EMBERS use case).
+
+Generates a conflict-heavy synthetic world, extracts windowed indicators
+(activity per event-type family, entity breadth, source agreement, lags),
+and trains a from-scratch logistic regression to predict whether the next
+week brings elevated conflict activity — evaluated strictly on the future,
+against a majority-class baseline and exponential smoothing of the raw
+conflict count.
+
+    python examples/crisis_forecasting.py
+"""
+
+from repro import synthetic_corpus
+from repro.eventdata.models import DAY
+from repro.forecast import ExponentialSmoothing, FeatureConfig
+from repro.forecast.features import extract_features
+from repro.forecast.unrest import build_unrest_task, run_unrest_experiment
+from repro.viz.ascii import sparkline
+
+
+def main() -> None:
+    corpus = synthetic_corpus(
+        total_events=1000, num_sources=4, seed=31415,
+        domain_weights={"conflict": 3.0, "politics": 1.5, "economy": 1.0},
+        duration_days=365.0,
+    )
+    config = FeatureConfig(window=7 * DAY, lags=2)
+    rows = extract_features(corpus, config)
+    conflict_series = [r.by_group.get("conflict", 0) for r in rows]
+    print(f"{len(corpus)} snippets over {len(rows)} weekly windows")
+    print(f"weekly conflict activity: {sparkline(conflict_series)}\n")
+
+    task = build_unrest_task(corpus, config)
+    print(f"forecasting task: {len(task.labels)} windows, "
+          f"{task.positive_rate:.0%} labelled 'unrest ahead' "
+          f"(threshold {task.threshold:.0f} conflict events)\n")
+
+    results = run_unrest_experiment(corpus, config)
+    print(f"{'model':<12} {'acc':>6} {'prec':>6} {'rec':>6} {'F1':>6} {'brier':>6}")
+    for name in ("majority", "logistic"):
+        scores = results[name]
+        print(f"{name:<12} {scores.accuracy:>6.2f} {scores.precision:>6.2f} "
+              f"{scores.recall:>6.2f} {scores.f1:>6.2f} {scores.brier:>6.3f}")
+
+    # count-forecast comparison: smoothing the raw conflict series
+    smoother = ExponentialSmoothing(alpha=0.4)
+    forecasts = smoother.fit_series([float(c) for c in conflict_series])
+    errors = [abs(f - c) for f, c in zip(forecasts, conflict_series)]
+    naive = [abs(a - b) for a, b in zip(conflict_series, conflict_series[1:])]
+    print(f"\ncount forecasting (one week ahead): "
+          f"exp-smoothing MAE {sum(errors) / len(errors):.2f} vs "
+          f"naive MAE {sum(naive) / len(naive):.2f}")
+
+
+if __name__ == "__main__":
+    main()

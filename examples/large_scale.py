@@ -1,0 +1,68 @@
+"""Large-scale story detection: the statistics module (Figure 7).
+
+Runs the SI × SA method grid over GDELT-like synthetic datasets of growing
+size and renders the demo's statistics module — the dataset card plus the
+Performance (execution time vs #events) and Quality (F-measure vs #events)
+charts.  Expect a few minutes of compute.
+
+    python examples/large_scale.py [--sizes 250 500 1000]
+"""
+
+import argparse
+
+from repro.evaluation.harness import (
+    default_method_grid,
+    results_table,
+    sweep_events,
+)
+from repro.eventdata.sourcegen import synthetic_corpus
+from repro.viz.modules import statistics_view
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", type=int, nargs="+",
+                        default=[250, 500, 1000])
+    parser.add_argument("--sources", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    results = sweep_events(args.sizes, num_sources=args.sources,
+                           seed=args.seed)
+    print(results_table(results))
+    print()
+
+    performance = {}
+    quality = {}
+    for result in results:
+        performance.setdefault(result.method, []).append(
+            (result.num_events, result.per_event_ms)
+        )
+        quality.setdefault(result.method, []).append(
+            (result.num_events,
+             result.global_f1 if "align" in result.method else result.si_f1)
+        )
+
+    # dataset card for the largest dataset of the sweep
+    corpus = synthetic_corpus(total_events=max(args.sizes),
+                              num_sources=args.sources, seed=args.seed)
+    start, end = corpus.time_span()
+    stats = {
+        "num_sources": len(corpus.sources),
+        "num_snippets": len(corpus),
+        "num_entities": len(corpus.entities()),
+        "start": start,
+        "end": end,
+    }
+    print(statistics_view("GDELT-like synthetic", stats, performance, quality))
+
+    print()
+    print("Reading the curves (the paper's take-away): temporal "
+          "identification is cheaper per event than complete matching, and "
+          "its F-measure holds up as the dataset grows while complete "
+          "matching degrades by merging drifted stories; story alignment "
+          "costs time but lifts the integrated (cross-source) F-measure.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Quickstart: detect and align stories in the paper's demo corpus.
+
+Runs the full StoryPivot pipeline — per-source story identification,
+cross-source alignment, refinement — over the handcrafted two-source MH17
+corpus and prints the integrated stories.
+
+    python examples/quickstart.py
+"""
+
+from repro import StoryPivot, mh17_corpus
+from repro.eventdata.handcrafted import demo_config
+
+
+def main() -> None:
+    corpus = mh17_corpus()
+    print(f"Corpus: {corpus.name} — {len(corpus)} snippets from "
+          f"{len(corpus.sources)} sources\n")
+
+    pivot = StoryPivot(demo_config())
+    result = pivot.run(corpus)
+
+    print(f"Identified {result.num_stories} per-source stories, "
+          f"integrated into {result.num_integrated} stories:\n")
+    for aligned_id in sorted(result.alignment.aligned):
+        aligned = result.alignment.aligned[aligned_id]
+        start, end = aligned.date_range()
+        entities = ", ".join(name for name, _ in aligned.top_entities(4))
+        terms = ", ".join(term for term, _ in aligned.top_terms(4))
+        print(f"{aligned_id}  [{', '.join(aligned.source_ids)}]  "
+              f"{start} – {end}")
+        print(f"    entities: {entities}")
+        print(f"    about:    {terms}")
+        for snippet in aligned.snippets():
+            role = result.alignment.role(snippet.snippet_id)
+            print(f"      {snippet.snippet_id:8s} {snippet.date}  "
+                  f"({role})  {snippet.description}")
+        print()
+
+    hits = pivot.query(result.alignment, entity="UKR")
+    print(f"Query entity=UKR → {len(hits)} stories, "
+          f"top: {hits[0][0].aligned_id} (relevance {hits[0][1]:.1f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""Burst detection on event-time activity.
+
+A *burst* is a maximal run of time buckets whose event rate exceeds a
+multiple of the series' baseline rate — the moments a story "gains
+traction in the media" (Section 3).  The detector is a two-state
+(baseline/burst) rate model with hysteresis: entering a burst requires
+``enter_factor × baseline``, leaving it requires falling below
+``exit_factor × baseline``, which keeps one noisy bucket from splitting a
+burst.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.alignment import AlignedStory
+from repro.eventdata.models import DAY
+
+
+@dataclass(frozen=True)
+class Burst:
+    """One detected burst."""
+
+    start: float
+    end: float
+    events: int
+    intensity: float  # peak bucket rate over baseline rate
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def _bucketize(timestamps: Sequence[float], bucket: float) -> List[int]:
+    first = min(timestamps)
+    last = max(timestamps)
+    num_buckets = max(1, int(math.ceil((last - first) / bucket)) + 1)
+    counts = [0] * num_buckets
+    for t in timestamps:
+        counts[int((t - first) / bucket)] += 1
+    return counts
+
+
+def detect_bursts(
+    timestamps: Sequence[float],
+    bucket: float = DAY,
+    enter_factor: float = 3.0,
+    exit_factor: float = 1.5,
+    min_events: int = 2,
+) -> List[Burst]:
+    """Detect bursts in a raw timestamp sequence.
+
+    ``bucket`` is the bucket width in seconds; the baseline is the mean
+    non-zero bucket rate.  Bursts with fewer than ``min_events`` events are
+    dropped.
+    """
+    if bucket <= 0:
+        raise ValueError("bucket must be positive")
+    if enter_factor <= exit_factor:
+        raise ValueError("enter_factor must exceed exit_factor")
+    if not timestamps:
+        return []
+    first = min(timestamps)
+    counts = _bucketize(timestamps, bucket)
+    nonzero = [c for c in counts if c > 0]
+    baseline = sum(nonzero) / len(nonzero) if nonzero else 0.0
+    if baseline == 0.0:
+        return []
+
+    bursts: List[Burst] = []
+    in_burst = False
+    burst_start = 0
+    burst_events = 0
+    peak = 0
+    for index, count in enumerate(counts):
+        if not in_burst and count >= enter_factor * baseline:
+            in_burst = True
+            burst_start = index
+            burst_events = count
+            peak = count
+        elif in_burst:
+            if count < exit_factor * baseline:
+                in_burst = False
+                if burst_events >= min_events:
+                    bursts.append(Burst(
+                        start=first + burst_start * bucket,
+                        end=first + index * bucket,
+                        events=burst_events,
+                        intensity=peak / baseline,
+                    ))
+            else:
+                burst_events += count
+                peak = max(peak, count)
+    if in_burst and burst_events >= min_events:
+        bursts.append(Burst(
+            start=first + burst_start * bucket,
+            end=first + len(counts) * bucket,
+            events=burst_events,
+            intensity=peak / baseline,
+        ))
+    return bursts
+
+
+def story_bursts(
+    aligned: AlignedStory,
+    bucket: float = DAY,
+    enter_factor: float = 3.0,
+    exit_factor: float = 1.5,
+) -> List[Burst]:
+    """Bursts of one integrated story's reporting activity."""
+    timestamps = [s.timestamp for s in aligned.snippets()]
+    return detect_bursts(timestamps, bucket=bucket,
+                         enter_factor=enter_factor, exit_factor=exit_factor)

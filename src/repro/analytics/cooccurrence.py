@@ -1,0 +1,146 @@
+"""Entity relationship dynamics.
+
+The paper frames stories as "evolving relationships between different
+entities" — this module makes those relationships first-class: a weighted
+entity co-mention graph over any snippet collection, per-window
+relationship series, and detection of *emerging* and *fading* entity pairs
+(the Ukraine–Russia edge surging in July 2014).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.eventdata.models import DAY, Snippet
+
+
+def cooccurrence_graph(snippets: Iterable[Snippet]) -> nx.Graph:
+    """Weighted entity co-mention graph.
+
+    Nodes are entity codes with a ``mentions`` attribute; an edge's
+    ``weight`` counts the snippets mentioning both endpoints.
+    """
+    graph = nx.Graph()
+    for snippet in snippets:
+        entities = sorted(snippet.entities)
+        for entity in entities:
+            if graph.has_node(entity):
+                graph.nodes[entity]["mentions"] += 1
+            else:
+                graph.add_node(entity, mentions=1)
+        for i, a in enumerate(entities):
+            for b in entities[i + 1:]:
+                if graph.has_edge(a, b):
+                    graph[a][b]["weight"] += 1
+                else:
+                    graph.add_edge(a, b, weight=1)
+    return graph
+
+
+def top_relationships(
+    graph: nx.Graph, k: int = 10
+) -> List[Tuple[str, str, int]]:
+    """Strongest entity pairs by co-mention count."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    edges = sorted(
+        ((a, b, data["weight"]) for a, b, data in graph.edges(data=True)),
+        key=lambda e: (-e[2], e[0], e[1]),
+    )
+    return [(min(a, b), max(a, b), w) for a, b, w in edges[:k]]
+
+
+def entity_pagerank(graph: nx.Graph, k: int = 10) -> List[Tuple[str, float]]:
+    """Most central entities of the relationship graph (weighted PageRank)."""
+    if graph.number_of_nodes() == 0:
+        return []
+    scores = nx.pagerank(graph, weight="weight")
+    ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ranked[:k]
+
+
+@dataclass(frozen=True)
+class RelationshipTrend:
+    """How one entity pair's co-mention rate changed between two periods."""
+
+    entity_a: str
+    entity_b: str
+    before: int
+    after: int
+
+    @property
+    def change(self) -> int:
+        return self.after - self.before
+
+    @property
+    def is_emerging(self) -> bool:
+        return self.after >= 2 * max(1, self.before)
+
+    @property
+    def is_fading(self) -> bool:
+        return self.before >= 2 * max(1, self.after)
+
+
+def relationship_trends(
+    snippets: Sequence[Snippet],
+    split_time: Optional[float] = None,
+    min_total: int = 3,
+) -> List[RelationshipTrend]:
+    """Compare co-mention counts before vs after ``split_time``.
+
+    Defaults to the median snippet timestamp.  Pairs with fewer than
+    ``min_total`` total co-mentions are ignored; results are ordered by
+    absolute change, largest first.
+    """
+    ordered = sorted(snippets, key=lambda s: s.timestamp)
+    if not ordered:
+        return []
+    if split_time is None:
+        split_time = ordered[len(ordered) // 2].timestamp
+    before: Dict[Tuple[str, str], int] = defaultdict(int)
+    after: Dict[Tuple[str, str], int] = defaultdict(int)
+    for snippet in ordered:
+        bucket = before if snippet.timestamp < split_time else after
+        entities = sorted(snippet.entities)
+        for i, a in enumerate(entities):
+            for b in entities[i + 1:]:
+                bucket[(a, b)] += 1
+    trends = []
+    for pair in set(before) | set(after):
+        total = before[pair] + after[pair]
+        if total < min_total:
+            continue
+        trends.append(RelationshipTrend(pair[0], pair[1],
+                                        before[pair], after[pair]))
+    trends.sort(key=lambda t: (-abs(t.change), t.entity_a, t.entity_b))
+    return trends
+
+
+def relationship_series(
+    snippets: Sequence[Snippet],
+    entity_a: str,
+    entity_b: str,
+    window: float = 7 * DAY,
+) -> List[Tuple[float, int]]:
+    """(window start, co-mention count) series for one entity pair."""
+    if window <= 0:
+        raise ValueError("window must be positive")
+    relevant = [
+        s for s in snippets
+        if entity_a in s.entities and entity_b in s.entities
+    ]
+    all_times = [s.timestamp for s in snippets]
+    if not all_times:
+        return []
+    first, last = min(all_times), max(all_times)
+    num_windows = max(1, int(math.ceil((last - first) / window)))
+    counts = [0] * num_windows
+    for snippet in relevant:
+        index = min(num_windows - 1, int((snippet.timestamp - first) / window))
+        counts[index] += 1
+    return [(first + i * window, count) for i, count in enumerate(counts)]

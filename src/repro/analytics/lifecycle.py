@@ -1,0 +1,110 @@
+"""Story lifecycle statistics.
+
+Per-story temporal descriptors — duration, reporting cadence, growth
+phase, dormancy — that let an analyst separate flash events from
+long-running evolving stories and spot the "split then stabilize" dynamics
+the paper describes for the Ukraine crisis.
+"""
+
+from __future__ import annotations
+
+import statistics as _stats
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from repro.core.alignment import AlignedStory
+from repro.core.stories import Story
+from repro.eventdata.models import DAY, format_timestamp
+
+
+@dataclass(frozen=True)
+class StoryLifecycle:
+    """Temporal descriptors of one story."""
+
+    story_id: str
+    num_snippets: int
+    num_sources: int
+    start: float
+    end: float
+    duration_days: float
+    mean_gap_days: float  # mean inter-snippet gap
+    max_gap_days: float
+    peak_day_events: int  # busiest single day
+    front_loading: float  # fraction of events in the first half of the span
+
+    @property
+    def is_flash(self) -> bool:
+        """A flash event: everything within two days."""
+        return self.duration_days <= 2.0
+
+    @property
+    def is_dormant_prone(self) -> bool:
+        """Had a silence longer than half its lifetime."""
+        return self.duration_days > 0 and (
+            self.max_gap_days >= self.duration_days / 2
+        )
+
+
+def lifecycle(story: Union[Story, AlignedStory]) -> StoryLifecycle:
+    """Compute lifecycle descriptors for a story or integrated story."""
+    if isinstance(story, AlignedStory):
+        snippets = story.snippets()
+        story_id = story.aligned_id
+        num_sources = len(story.source_ids)
+    elif isinstance(story, Story):
+        snippets = story.snippets()
+        story_id = story.story_id
+        num_sources = 1
+    else:
+        raise TypeError(f"expected Story or AlignedStory, got {type(story)!r}")
+    if not snippets:
+        raise ValueError("cannot compute the lifecycle of an empty story")
+
+    timestamps = [s.timestamp for s in snippets]
+    start, end = min(timestamps), max(timestamps)
+    duration = end - start
+    gaps = [b - a for a, b in zip(timestamps, timestamps[1:])]
+    per_day: dict = {}
+    for t in timestamps:
+        per_day[int(t // DAY)] = per_day.get(int(t // DAY), 0) + 1
+    midpoint = start + duration / 2
+    first_half = sum(1 for t in timestamps if t <= midpoint)
+    return StoryLifecycle(
+        story_id=story_id,
+        num_snippets=len(snippets),
+        num_sources=num_sources,
+        start=start,
+        end=end,
+        duration_days=duration / DAY,
+        mean_gap_days=(_stats.fmean(gaps) / DAY) if gaps else 0.0,
+        max_gap_days=(max(gaps) / DAY) if gaps else 0.0,
+        peak_day_events=max(per_day.values()),
+        front_loading=first_half / len(timestamps),
+    )
+
+
+def lifecycle_table(
+    stories: Sequence[Union[Story, AlignedStory]],
+    limit: Optional[int] = None,
+) -> str:
+    """Fixed-width table of lifecycle stats, longest stories first."""
+    rows = sorted(
+        (lifecycle(story) for story in stories),
+        key=lambda lc: (-lc.num_snippets, lc.story_id),
+    )
+    if limit is not None:
+        rows = rows[:limit]
+    if not rows:
+        return "(no stories)"
+    header = (f"{'story':<14} {'n':>4} {'src':>3} {'days':>7} "
+              f"{'gap~':>6} {'gapmax':>7} {'peak':>4} {'front':>5}  span")
+    lines = [header, "-" * len(header)]
+    for lc in rows:
+        lines.append(
+            f"{lc.story_id:<14} {lc.num_snippets:>4} {lc.num_sources:>3} "
+            f"{lc.duration_days:>7.1f} {lc.mean_gap_days:>6.1f} "
+            f"{lc.max_gap_days:>7.1f} {lc.peak_day_events:>4} "
+            f"{lc.front_loading:>5.0%}  "
+            f"{format_timestamp(lc.start)} – {format_timestamp(lc.end)}"
+        )
+    return "\n".join(lines)

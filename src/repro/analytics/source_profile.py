@@ -1,0 +1,118 @@
+"""Empirical source characterization from aligned stories.
+
+Section 1: "leveraging these individual source characteristics can lead to
+a significant accuracy improvement for difficult prediction tasks".  This
+module recovers, purely from StoryPivot's *output*, the reporting profile
+of each data source:
+
+* **coverage** — fraction of cross-source integrated stories the source
+  participates in;
+* **timeliness** — how often the source is *first* to report an aligned
+  snippet pair, and its median publication delay when known;
+* **exclusivity** — fraction of its snippets that are enriching
+  (source-exclusive);
+* **breadth** — number of distinct entities it mentions.
+
+On the synthetic workload this estimates the simulator's hidden source
+parameters, which the tests exploit: a wire configured to be fast must
+come out more timely than a magazine configured to lag.
+"""
+
+from __future__ import annotations
+
+import statistics as _stats
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+from repro.core.alignment import Alignment
+from repro.eventdata.models import HOUR
+
+
+@dataclass(frozen=True)
+class SourceReport:
+    """Empirical profile of one source."""
+
+    source_id: str
+    num_snippets: int
+    coverage: float
+    first_reporter_rate: float
+    median_delay_hours: float
+    exclusivity: float
+    num_entities: int
+
+
+def profile_sources(alignment: Alignment) -> Dict[str, SourceReport]:
+    """Characterize every source appearing in the alignment."""
+    snippets_of: Dict[str, List] = defaultdict(list)
+    stories_of: Dict[str, set] = defaultdict(set)
+    cross_stories = []
+    for aligned in alignment.aligned.values():
+        sources = aligned.source_ids
+        if len(sources) > 1:
+            cross_stories.append(aligned)
+        for snippet in aligned.snippets():
+            snippets_of[snippet.source_id].append(snippet)
+        for source_id in sources:
+            stories_of[source_id].add(aligned.aligned_id)
+
+    cross_ids = {a.aligned_id for a in cross_stories}
+
+    # first-reporter: for each counterpart link, who published earlier
+    first_counts: Dict[str, int] = defaultdict(int)
+    race_counts: Dict[str, int] = defaultdict(int)
+    snippet_index = {
+        s.snippet_id: s
+        for snippets in snippets_of.values()
+        for s in snippets
+    }
+    for link in alignment.links:
+        a = snippet_index.get(link.snippet_a)
+        b = snippet_index.get(link.snippet_b)
+        if a is None or b is None:
+            continue
+        race_counts[a.source_id] += 1
+        race_counts[b.source_id] += 1
+        winner = a if (a.published or a.timestamp) <= (b.published or b.timestamp) else b
+        first_counts[winner.source_id] += 1
+
+    reports: Dict[str, SourceReport] = {}
+    for source_id, snippets in sorted(snippets_of.items()):
+        delays = [s.delay() / HOUR for s in snippets if s.delay() > 0]
+        entities = set()
+        enriching = 0
+        for snippet in snippets:
+            entities |= snippet.entities
+            if alignment.role(snippet.snippet_id) == "enriching":
+                enriching += 1
+        participates = len(stories_of[source_id] & cross_ids)
+        reports[source_id] = SourceReport(
+            source_id=source_id,
+            num_snippets=len(snippets),
+            coverage=(participates / len(cross_ids)) if cross_ids else 0.0,
+            first_reporter_rate=(
+                first_counts[source_id] / race_counts[source_id]
+                if race_counts[source_id] else 0.0
+            ),
+            median_delay_hours=_stats.median(delays) if delays else 0.0,
+            exclusivity=enriching / len(snippets) if snippets else 0.0,
+            num_entities=len(entities),
+        )
+    return reports
+
+
+def source_report_table(reports: Mapping[str, SourceReport]) -> str:
+    """Fixed-width table of source profiles."""
+    if not reports:
+        return "(no sources)"
+    header = (f"{'source':<10} {'snippets':>8} {'coverage':>8} "
+              f"{'first%':>7} {'delay(h)':>8} {'exclusive':>9} {'entities':>8}")
+    lines = [header, "-" * len(header)]
+    for source_id in sorted(reports):
+        r = reports[source_id]
+        lines.append(
+            f"{source_id:<10} {r.num_snippets:>8} {r.coverage:>8.0%} "
+            f"{r.first_reporter_rate:>7.0%} {r.median_delay_hours:>8.1f} "
+            f"{r.exclusivity:>9.0%} {r.num_entities:>8}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""Trending stories: decayed-activity ranking.
+
+"The majority of proposed approaches for story detection focus on
+identifying current and thus often mentioned stories in streaming news"
+(Section 1) — this module provides that complementary view on top of
+StoryPivot's output: each story's *heat* is its exponentially decayed
+report count, and the top-k heat ranking at any moment is the trending
+list.  A :class:`TrendingMonitor` tracks heat incrementally over a live
+stream.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.alignment import AlignedStory, Alignment
+from repro.eventdata.models import DAY, Snippet
+
+
+@dataclass(frozen=True)
+class TrendingEntry:
+    """One row of the trending list."""
+
+    story_id: str
+    heat: float
+    recent_events: int  # events within one half-life of `now`
+    total_events: int
+
+
+def story_heat(
+    aligned: AlignedStory, now: float, half_life: float = 3 * DAY
+) -> float:
+    """Decayed report count of one story at time ``now``.
+
+    Future-dated snippets (occurring after ``now``) contribute nothing.
+    """
+    if half_life <= 0:
+        raise ValueError("half_life must be positive")
+    heat = 0.0
+    for snippet in aligned.snippets():
+        age = now - snippet.timestamp
+        if age < 0:
+            continue
+        heat += math.pow(0.5, age / half_life)
+    return heat
+
+
+def trending_stories(
+    alignment: Alignment,
+    now: Optional[float] = None,
+    half_life: float = 3 * DAY,
+    k: int = 10,
+) -> List[TrendingEntry]:
+    """Top-``k`` stories by heat at time ``now`` (defaults to the corpus
+    front: the latest snippet timestamp in the alignment)."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if now is None:
+        timestamps = [
+            s.timestamp
+            for aligned in alignment.aligned.values()
+            for s in aligned.snippets()
+        ]
+        if not timestamps:
+            return []
+        now = max(timestamps)
+    entries: List[TrendingEntry] = []
+    for aligned in alignment.aligned.values():
+        heat = story_heat(aligned, now, half_life)
+        if heat <= 0:
+            continue
+        recent = sum(
+            1 for s in aligned.snippets()
+            if 0 <= now - s.timestamp <= half_life
+        )
+        entries.append(TrendingEntry(
+            story_id=aligned.aligned_id,
+            heat=heat,
+            recent_events=recent,
+            total_events=len(aligned),
+        ))
+    entries.sort(key=lambda e: (-e.heat, e.story_id))
+    return entries[:k]
+
+
+class TrendingMonitor:
+    """Incremental heat tracking over a live snippet stream.
+
+    Heat is stored per *key* (the caller decides the story key — e.g. the
+    integrated story id from the latest alignment, or the ground-truth
+    label in tests).  Decay is applied lazily: each key's heat carries its
+    last-update time and is renormalized on access.
+    """
+
+    def __init__(self, half_life: float = 3 * DAY) -> None:
+        if half_life <= 0:
+            raise ValueError("half_life must be positive")
+        self.half_life = half_life
+        self._heat: Dict[str, Tuple[float, float]] = {}  # key -> (heat, as_of)
+        self._clock: float = float("-inf")
+
+    def observe(self, key: str, timestamp: float) -> None:
+        """Record one event for ``key`` at ``timestamp``."""
+        self._clock = max(self._clock, timestamp)
+        heat, as_of = self._heat.get(key, (0.0, timestamp))
+        if timestamp >= as_of:
+            heat = heat * math.pow(0.5, (timestamp - as_of) / self.half_life)
+            heat += 1.0
+            self._heat[key] = (heat, timestamp)
+        else:
+            # late event: decay its unit contribution to the current as_of
+            heat += math.pow(0.5, (as_of - timestamp) / self.half_life)
+            self._heat[key] = (heat, as_of)
+
+    def observe_snippet(self, key: str, snippet: Snippet) -> None:
+        self.observe(key, snippet.timestamp)
+
+    def heat(self, key: str, now: Optional[float] = None) -> float:
+        """Current heat of ``key`` (0 for unknown keys)."""
+        record = self._heat.get(key)
+        if record is None:
+            return 0.0
+        heat, as_of = record
+        reference = self._clock if now is None else now
+        if reference <= as_of:
+            return heat
+        return heat * math.pow(0.5, (reference - as_of) / self.half_life)
+
+    def top(self, k: int = 10, now: Optional[float] = None) -> List[Tuple[str, float]]:
+        """Top-``k`` (key, heat) at ``now`` (defaults to the stream clock)."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        scored = [(key, self.heat(key, now)) for key in self._heat]
+        scored.sort(key=lambda kv: (-kv[1], kv[0]))
+        return scored[:k]
+
+    def __len__(self) -> int:
+        return len(self._heat)

@@ -1,0 +1,219 @@
+"""Command-line pipeline runner.
+
+``storypivot-run`` turns a corpus file into stories from the shell:
+
+* input — a JSON-lines corpus (``Corpus.to_jsonl``) or a GDELT-style TSV
+  (``repro.eventdata.gdelt.export_tsv``); ``--demo`` uses the built-in
+  MH17 corpus and ``--synthetic N`` generates a labelled synthetic corpus;
+* processing — SI mode, SA strategy, window and thresholds are flags;
+* output — the story overview as text (default), the integrated stories as
+  JSON (``--format json``), and/or a restartable checkpoint
+  (``--checkpoint FILE``);
+* evaluation — with ``--evaluate`` and a ground-truth-labelled corpus, the
+  pairwise F-measure of the result is printed.
+
+Examples::
+
+    storypivot-run --demo --evaluate
+    storypivot-run --synthetic 500 --si complete --format json
+    storypivot-run corpus.jsonl --window-days 7 --checkpoint state.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.core.config import StoryPivotConfig
+from repro.core.persistence import dump_state
+from repro.core.pipeline import PivotResult, StoryPivot
+from repro.errors import DataFormatError, StoryPivotError
+from repro.eventdata.corpus import Corpus
+from repro.eventdata.gdelt import GDELT_COLUMNS, import_tsv
+from repro.eventdata.models import DAY
+from repro.evaluation.metrics import bcubed, pairwise_scores
+from repro.viz.modules import story_overview_view
+
+
+def _load_corpus(args: argparse.Namespace) -> Corpus:
+    if args.demo:
+        from repro.eventdata.handcrafted import mh17_corpus
+
+        return mh17_corpus()
+    if args.synthetic is not None:
+        from repro.eventdata.sourcegen import synthetic_corpus
+
+        return synthetic_corpus(
+            total_events=args.synthetic, num_sources=args.sources,
+            seed=args.seed,
+        )
+    if args.corpus is None:
+        raise DataFormatError(
+            "no input: give a corpus file, --demo, or --synthetic N"
+        )
+    with open(args.corpus, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    first_line = text.splitlines()[0] if text.splitlines() else ""
+    if first_line.startswith(GDELT_COLUMNS[0]):
+        return import_tsv(text)
+    return Corpus.from_jsonl(text)
+
+
+def _make_config(args: argparse.Namespace) -> StoryPivotConfig:
+    factory = {
+        "temporal": StoryPivotConfig.temporal,
+        "complete": StoryPivotConfig.complete,
+        "single_pass": StoryPivotConfig.single_pass,
+    }[args.si]
+    overrides = {
+        "alignment_strategy": args.sa,
+        "enable_refinement": not args.no_refinement and args.sa != "none",
+    }
+    if args.window_days is not None:
+        overrides["window"] = args.window_days * DAY
+        overrides["decay_half_life"] = args.window_days * DAY
+    if args.match_threshold is not None:
+        overrides["match_threshold"] = args.match_threshold
+    if args.sketches:
+        overrides["use_sketches"] = True
+    return factory(**overrides)
+
+
+def _stories_as_json(result: PivotResult) -> str:
+    records = []
+    for aligned_id in sorted(result.alignment.aligned):
+        aligned = result.alignment.aligned[aligned_id]
+        records.append({
+            "story_id": aligned.aligned_id,
+            "sources": aligned.source_ids,
+            "start": aligned.start,
+            "end": aligned.end,
+            "entities": dict(aligned.top_entities(10)),
+            "terms": dict(aligned.top_terms(10)),
+            "snippets": [
+                {
+                    "snippet_id": s.snippet_id,
+                    "source_id": s.source_id,
+                    "timestamp": s.timestamp,
+                    "description": s.description,
+                    "role": result.alignment.role(s.snippet_id),
+                }
+                for s in aligned.snippets()
+            ],
+        })
+    return json.dumps({"stories": records}, indent=2)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="storypivot-run",
+        description="Detect and align stories in an event corpus.",
+    )
+    parser.add_argument("corpus", nargs="?", default=None,
+                        help="corpus file (JSONL or GDELT TSV)")
+    parser.add_argument("--demo", action="store_true",
+                        help="use the built-in MH17 demo corpus")
+    parser.add_argument("--synthetic", type=int, default=None, metavar="N",
+                        help="generate a synthetic corpus with N events")
+    parser.add_argument("--sources", type=int, default=5,
+                        help="sources for --synthetic (default 5)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--si", choices=["temporal", "complete", "single_pass"],
+                        default="temporal", help="identification mode")
+    parser.add_argument("--sa", choices=["greedy", "optimal", "none"],
+                        default="greedy", help="alignment strategy")
+    parser.add_argument("--window-days", type=float, default=None,
+                        help="sliding-window radius ω in days")
+    parser.add_argument("--match-threshold", type=float, default=None)
+    parser.add_argument("--no-refinement", action="store_true")
+    parser.add_argument("--sketches", action="store_true",
+                        help="use MinHash/LSH candidate retrieval")
+    parser.add_argument("--order", choices=["time", "publication"],
+                        default="time", help="ingestion order")
+    parser.add_argument("--format", choices=["text", "json"], default="text")
+    parser.add_argument("--evaluate", action="store_true",
+                        help="score against embedded ground truth")
+    parser.add_argument("--checkpoint", default=None, metavar="FILE",
+                        help="write a restartable state checkpoint")
+    parser.add_argument("--html", default=None, metavar="FILE",
+                        help="write a standalone HTML report")
+    parser.add_argument("--query", default=None, metavar="Q",
+                        help='run an enquiry, e.g. "entity:UKR keyword:crash"')
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        corpus = _load_corpus(args)
+    except (OSError, StoryPivotError) as exc:
+        parser.exit(2, f"error: {exc}\n")
+
+    config = _make_config(args)
+    pivot = StoryPivot(config)
+    result = pivot.run(corpus, order=args.order)
+
+    if args.format == "json":
+        print(_stories_as_json(result))
+    else:
+        print(story_overview_view(result.alignment))
+        print()
+        print(f"{len(corpus)} snippets → {result.num_stories} per-source "
+              f"stories → {result.num_integrated} integrated stories "
+              f"in {result.timings.get('total', 0.0):.2f}s")
+
+    if args.evaluate:
+        truth = corpus.truth.labels
+        if not truth:
+            print("evaluate: corpus carries no ground truth", file=sys.stderr)
+        else:
+            pair = pairwise_scores(result.global_clusters(), truth)
+            cubed = bcubed(result.global_clusters(), truth)
+            print(f"pairwise  P={pair.precision:.3f} R={pair.recall:.3f} "
+                  f"F1={pair.f1:.3f}")
+            print(f"b-cubed   P={cubed.precision:.3f} R={cubed.recall:.3f} "
+                  f"F1={cubed.f1:.3f}")
+
+    if args.checkpoint:
+        with open(args.checkpoint, "w", encoding="utf-8") as handle:
+            written = dump_state(pivot, handle)
+        print(f"checkpoint: {written} snippets → {args.checkpoint}")
+
+    if args.html:
+        from repro.viz.html_report import write_report
+
+        name = args.corpus or ("demo" if args.demo else "synthetic")
+        write_report(args.html, result, dataset_name=name)
+        print(f"report: {args.html}")
+
+    if args.query:
+        from repro.query.engine import QueryEngine
+        from repro.query.parser import QuerySyntaxError
+
+        try:
+            print(QueryEngine(result.alignment, corpus).explain(args.query))
+        except (QuerySyntaxError, ValueError) as exc:
+            parser.exit(2, f"query error: {exc}\n")
+    return 0
+
+
+def _console_entry() -> int:
+    """Console-script wrapper: exit quietly when the pipe closes (| head)."""
+    try:
+        return main()
+    except BrokenPipeError:
+        import os
+        import sys
+
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        os._exit(0)
+
+
+if __name__ == "__main__":
+    raise SystemExit(_console_entry())

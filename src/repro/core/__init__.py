@@ -1,0 +1,39 @@
+"""StoryPivot core: story identification, alignment and refinement.
+
+The two-phase mechanism of Section 2: per-source *story identification*
+(:mod:`repro.core.identification`, with the temporal and complete execution
+modes of Figure 2), cross-source *story alignment*
+(:mod:`repro.core.alignment`), *story refinement* feeding alignment
+decisions back (:mod:`repro.core.refinement`), and the
+:class:`~repro.core.pipeline.StoryPivot` facade tying them together for
+batch and streaming use.
+"""
+
+from repro.core.config import StoryPivotConfig
+from repro.core.stories import Story, StorySet
+from repro.core.identification import (
+    CompleteIdentifier,
+    SinglePassIdentifier,
+    TemporalIdentifier,
+    make_identifier,
+)
+from repro.core.alignment import AlignedStory, Alignment, StoryAligner
+from repro.core.refinement import RefinementResult, StoryRefiner
+from repro.core.pipeline import PivotResult, StoryPivot
+
+__all__ = [
+    "StoryPivotConfig",
+    "Story",
+    "StorySet",
+    "TemporalIdentifier",
+    "CompleteIdentifier",
+    "SinglePassIdentifier",
+    "make_identifier",
+    "StoryAligner",
+    "Alignment",
+    "AlignedStory",
+    "StoryRefiner",
+    "RefinementResult",
+    "StoryPivot",
+    "PivotResult",
+]

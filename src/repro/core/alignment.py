@@ -1,0 +1,386 @@
+"""Story alignment across sources (Section 2.3).
+
+Two stories from different sources align when "their evolution is similar
+and their content is similar as well": content similarity over entity and
+term profiles, temporal similarity over the stories' life spans ("it is
+highly unlikely that two stories are similar if c1 ends at time t_i and c2
+starts at t_j with t_i << t_j").
+
+Aligned stories from multiple sources form *integrated stories* (the
+``c'`` of Figure 1(c)).  Stories that align with nothing survive as
+singleton integrated stories — a story reported by a single source "may
+still hold interest for a variety of users".  Within an integrated story,
+each snippet is classified as *aligning* (it has a temporally close,
+similar counterpart in another source) or *enriching* (source-exclusive
+background, special reports etc.).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.core.config import StoryPivotConfig
+from repro.core.matchers import SnippetMatcher
+from repro.core.stories import Story, StorySet
+from repro.errors import AlignmentError
+from repro.eventdata.models import Snippet, format_timestamp
+from repro.text.similarity import temporal_proximity, weighted_jaccard
+
+_aligned_counter = itertools.count()
+
+
+@dataclass
+class AlignedStory:
+    """An integrated story ``c'``: member stories across sources."""
+
+    aligned_id: str
+    stories: List[Story] = field(default_factory=list)
+
+    @property
+    def source_ids(self) -> List[str]:
+        return sorted({story.source_id for story in self.stories})
+
+    @property
+    def story_ids(self) -> List[str]:
+        return sorted(story.story_id for story in self.stories)
+
+    def snippets(self) -> List[Snippet]:
+        """All member snippets across sources, in time order."""
+        pool = [s for story in self.stories for s in story.snippets()]
+        return sorted(pool, key=lambda s: (s.timestamp, s.snippet_id))
+
+    def __len__(self) -> int:
+        return sum(len(story) for story in self.stories)
+
+    @property
+    def start(self) -> float:
+        return min(story.start for story in self.stories)
+
+    @property
+    def end(self) -> float:
+        return max(story.end for story in self.stories)
+
+    def date_range(self) -> Tuple[str, str]:
+        return format_timestamp(self.start), format_timestamp(self.end)
+
+    def entity_profile(self) -> Dict[str, float]:
+        profile: Dict[str, float] = defaultdict(float)
+        for story in self.stories:
+            for entity, weight in story.sketch.entity_profile().items():
+                profile[entity] += weight
+        return dict(profile)
+
+    def term_profile(self) -> Dict[str, float]:
+        profile: Dict[str, float] = defaultdict(float)
+        for story in self.stories:
+            for term, weight in story.sketch.term_profile().items():
+                profile[term] += weight
+        return dict(profile)
+
+    def top_entities(self, k: int = 5) -> List[Tuple[str, int]]:
+        profile = self.entity_profile()
+        ranked = sorted(profile.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [(entity, int(round(weight))) for entity, weight in ranked[:k]]
+
+    def top_terms(self, k: int = 9) -> List[Tuple[str, int]]:
+        profile = self.term_profile()
+        ranked = sorted(profile.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [(term, int(round(weight))) for term, weight in ranked[:k]]
+
+
+@dataclass(frozen=True)
+class SnippetLink:
+    """A cross-source counterpart pair found during alignment."""
+
+    snippet_a: str
+    snippet_b: str
+    score: float
+
+
+@dataclass
+class AlignmentStats:
+    story_pairs_scored: int = 0
+    edges: int = 0
+    snippet_pairs_scored: int = 0
+
+
+class Alignment:
+    """The output of story alignment: integrated stories + snippet roles."""
+
+    def __init__(self) -> None:
+        self.aligned: Dict[str, AlignedStory] = {}
+        self.story_to_aligned: Dict[str, str] = {}
+        self.links: List[SnippetLink] = []
+        self.roles: Dict[str, str] = {}  # snippet id -> "aligning"|"enriching"
+        self.edge_scores: Dict[Tuple[str, str], float] = {}
+        self.stats = AlignmentStats()
+
+    def __len__(self) -> int:
+        return len(self.aligned)
+
+    def aligned_of(self, story_id: str) -> AlignedStory:
+        aligned_id = self.story_to_aligned.get(story_id)
+        if aligned_id is None:
+            raise AlignmentError(f"story {story_id!r} is not in this alignment")
+        return self.aligned[aligned_id]
+
+    def aligned_of_snippet(self, snippet_id: str) -> AlignedStory:
+        for aligned in self.aligned.values():
+            for story in aligned.stories:
+                if snippet_id in story:
+                    return aligned
+        raise AlignmentError(f"snippet {snippet_id!r} is not in this alignment")
+
+    def role(self, snippet_id: str) -> str:
+        """'aligning' or 'enriching' (Section 2.3's two snippet purposes)."""
+        return self.roles.get(snippet_id, "enriching")
+
+    def cross_source_stories(self) -> List[AlignedStory]:
+        """Integrated stories spanning more than one source."""
+        return [a for a in self.aligned.values() if len(a.source_ids) > 1]
+
+    def singleton_stories(self) -> List[AlignedStory]:
+        """Integrated stories seen in a single source only."""
+        return [a for a in self.aligned.values() if len(a.source_ids) == 1]
+
+    def as_clusters(self) -> Dict[str, Set[str]]:
+        """aligned id -> snippet ids (global clustering for evaluation)."""
+        return {
+            aligned_id: {s.snippet_id for s in aligned.snippets()}
+            for aligned_id, aligned in self.aligned.items()
+        }
+
+    def counterparts(self, snippet_id: str) -> List[Tuple[str, float]]:
+        """Cross-source counterpart snippets recorded for ``snippet_id``."""
+        found = []
+        for link in self.links:
+            if link.snippet_a == snippet_id:
+                found.append((link.snippet_b, link.score))
+            elif link.snippet_b == snippet_id:
+                found.append((link.snippet_a, link.score))
+        return sorted(found, key=lambda kv: -kv[1])
+
+
+class StoryAligner:
+    """Compute story alignment over per-source story sets."""
+
+    def __init__(self, config: Optional[StoryPivotConfig] = None) -> None:
+        self.config = config if config is not None else StoryPivotConfig()
+        self.matcher = SnippetMatcher(self.config)
+
+    # -- story-level similarity ----------------------------------------------
+
+    def story_pair_score(self, a: Story, b: Story) -> float:
+        """Cross-source story similarity: content + evolution."""
+        if len(a) == 0 or len(b) == 0:
+            return 0.0
+        entity_sim = weighted_jaccard(
+            a.sketch.entity_profile(), b.sketch.entity_profile()
+        )
+        term_sim = weighted_jaccard(a.sketch.term_profile(), b.sketch.term_profile())
+        temporal_sim = self._span_score(a, b)
+        weights = self.config.weights
+        total = sum(weights.values())
+        return (
+            weights.get("entity", 0.0) * entity_sim
+            + weights.get("term", 0.0) * term_sim
+            + weights.get("temporal", 0.0) * temporal_sim
+        ) / total
+
+    def _span_score(self, a: Story, b: Story) -> float:
+        """1.0 for overlapping spans, decaying with the gap beyond that."""
+        gap = max(0.0, max(a.start, b.start) - min(a.end, b.end))
+        tolerance = max(1.0, self.config.alignment_tolerance * self.config.window)
+        return math.exp(-gap / tolerance)
+
+    # -- alignment -------------------------------------------------------------
+
+    def align(self, story_sets: Mapping[str, StorySet]) -> Alignment:
+        """Align stories across all sources into integrated stories."""
+        alignment = Alignment()
+        stories: Dict[str, Story] = {}
+        for story_set in story_sets.values():
+            for story in story_set:
+                stories[story.story_id] = story
+        if not stories:
+            return alignment
+
+        if self.config.alignment_strategy == "none":
+            edges: List[Tuple[str, str, float]] = []
+        else:
+            pairs = self._candidate_pairs(stories)
+            edges = []
+            for id_a, id_b in pairs:
+                score = self.story_pair_score(stories[id_a], stories[id_b])
+                alignment.stats.story_pairs_scored += 1
+                if score >= self.config.align_threshold:
+                    edges.append((id_a, id_b, score))
+            if self.config.alignment_strategy == "optimal":
+                edges = self._one_to_one(edges, stories)
+        alignment.stats.edges = len(edges)
+
+        graph = nx.Graph()
+        graph.add_nodes_from(stories)
+        for id_a, id_b, score in edges:
+            graph.add_edge(id_a, id_b, weight=score)
+            alignment.edge_scores[(min(id_a, id_b), max(id_a, id_b))] = score
+
+        for component in nx.connected_components(graph):
+            aligned = AlignedStory(f"c'{next(_aligned_counter):06d}")
+            for story_id in sorted(component):
+                aligned.stories.append(stories[story_id])
+                alignment.story_to_aligned[story_id] = aligned.aligned_id
+            alignment.aligned[aligned.aligned_id] = aligned
+
+        self._classify_snippets(alignment)
+        return alignment
+
+    def extend(
+        self, alignment: Alignment, new_set: StorySet
+    ) -> Alignment:
+        """Integrate a *new source* into an existing alignment (Section 2.1).
+
+        "As new sources become available, we first identify the stories
+        associated with them and then align them with existing stories" —
+        each new story attaches to the best-matching existing integrated
+        story, or founds its own, without recomputing the old alignment.
+        """
+        for story in new_set:
+            best_id, best_score = None, 0.0
+            for aligned in alignment.aligned.values():
+                for member in aligned.stories:
+                    if member.source_id == new_set.source_id:
+                        continue
+                    score = self.story_pair_score(story, member)
+                    alignment.stats.story_pairs_scored += 1
+                    if score > best_score:
+                        best_id, best_score = aligned.aligned_id, score
+            if best_id is not None and best_score >= self.config.align_threshold:
+                target = alignment.aligned[best_id]
+                target.stories.append(story)
+                alignment.story_to_aligned[story.story_id] = best_id
+            else:
+                aligned = AlignedStory(f"c'{next(_aligned_counter):06d}")
+                aligned.stories.append(story)
+                alignment.aligned[aligned.aligned_id] = aligned
+                alignment.story_to_aligned[story.story_id] = aligned.aligned_id
+        self._classify_snippets(alignment)
+        return alignment
+
+    # -- candidates ---------------------------------------------------------
+
+    def _candidate_pairs(
+        self, stories: Dict[str, Story]
+    ) -> List[Tuple[str, str]]:
+        """Cross-source story pairs sharing at least one salient feature.
+
+        Uses an inverted index over each story's top entities/terms; pairs
+        whose spans are farther apart than 3× the alignment tolerance are
+        dropped outright.
+        """
+        feature_map: Dict[object, List[str]] = defaultdict(list)
+        for story_id, story in stories.items():
+            for entity, _ in story.sketch.top_entities(8):
+                feature_map[("e", entity)].append(story_id)
+            for term, _ in story.sketch.top_terms(10):
+                feature_map[("t", term)].append(story_id)
+        tolerance = max(1.0, self.config.alignment_tolerance * self.config.window)
+        pairs: Set[Tuple[str, str]] = set()
+        for ids in feature_map.values():
+            if len(ids) < 2:
+                continue
+            for id_a, id_b in itertools.combinations(sorted(ids), 2):
+                story_a, story_b = stories[id_a], stories[id_b]
+                if story_a.source_id == story_b.source_id:
+                    continue
+                gap = max(
+                    0.0,
+                    max(story_a.start, story_b.start)
+                    - min(story_a.end, story_b.end),
+                )
+                if gap > 3 * tolerance:
+                    continue
+                # sketch fast path (Section 2.4): when story signatures are
+                # maintained, a MinHash estimate prunes pairs before the
+                # exact profile comparison
+                signature_a = story_a.sketch.signature
+                signature_b = story_b.sketch.signature
+                if (signature_a is not None and signature_b is not None
+                        and signature_a.similarity(signature_b)
+                        < self.config.sketch_candidate_floor):
+                    continue
+                pairs.add((id_a, id_b))
+        return sorted(pairs)
+
+    def _one_to_one(
+        self,
+        edges: List[Tuple[str, str, float]],
+        stories: Dict[str, Story],
+    ) -> List[Tuple[str, str, float]]:
+        """Optimal 1–1 matching per source pair (Hungarian algorithm)."""
+        import numpy as np
+        from scipy.optimize import linear_sum_assignment
+
+        by_source_pair: Dict[Tuple[str, str], List[Tuple[str, str, float]]] = (
+            defaultdict(list)
+        )
+        for id_a, id_b, score in edges:
+            source_a = stories[id_a].source_id
+            source_b = stories[id_b].source_id
+            if source_a > source_b:
+                id_a, id_b = id_b, id_a
+                source_a, source_b = source_b, source_a
+            by_source_pair[(source_a, source_b)].append((id_a, id_b, score))
+
+        kept: List[Tuple[str, str, float]] = []
+        for pair_edges in by_source_pair.values():
+            left_ids = sorted({e[0] for e in pair_edges})
+            right_ids = sorted({e[1] for e in pair_edges})
+            left_pos = {sid: i for i, sid in enumerate(left_ids)}
+            right_pos = {sid: i for i, sid in enumerate(right_ids)}
+            matrix = np.zeros((len(left_ids), len(right_ids)))
+            for id_a, id_b, score in pair_edges:
+                matrix[left_pos[id_a], right_pos[id_b]] = score
+            rows, cols = linear_sum_assignment(-matrix)
+            for row, col in zip(rows, cols):
+                score = matrix[row, col]
+                if score >= self.config.align_threshold:
+                    kept.append((left_ids[row], right_ids[col], float(score)))
+        return kept
+
+    # -- snippet roles -----------------------------------------------------------
+
+    def _classify_snippets(self, alignment: Alignment) -> None:
+        """Label every snippet aligning/enriching and record counterpart links."""
+        alignment.links = []
+        alignment.roles = {}
+        threshold = self.config.snippet_align_threshold
+        tolerance = self.config.snippet_align_tolerance
+        for aligned in alignment.aligned.values():
+            snippets = aligned.snippets()  # time-ordered
+            for i, snippet_a in enumerate(snippets):
+                # two-pointer: later snippets are time-sorted, so stop at
+                # the first one beyond the tolerance window
+                for snippet_b in snippets[i + 1 :]:
+                    if snippet_b.timestamp - snippet_a.timestamp > tolerance:
+                        break
+                    if snippet_a.source_id == snippet_b.source_id:
+                        continue
+                    score = self.matcher.snippet_score(snippet_a, snippet_b)
+                    alignment.stats.snippet_pairs_scored += 1
+                    if score >= threshold:
+                        alignment.links.append(
+                            SnippetLink(
+                                snippet_a.snippet_id, snippet_b.snippet_id, score
+                            )
+                        )
+                        alignment.roles[snippet_a.snippet_id] = "aligning"
+                        alignment.roles[snippet_b.snippet_id] = "aligning"
+            for snippet in snippets:
+                alignment.roles.setdefault(snippet.snippet_id, "enriching")

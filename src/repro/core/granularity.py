@@ -1,0 +1,187 @@
+"""Story granularity levels (Section 4.3).
+
+"[The two-step mechanism] inherently guarantees that users can choose the
+granularity of stories presented to them" — a snippet belongs, at
+increasing granularity, to
+
+1. itself (an **event**),
+2. a **per-source story** (story identification's output),
+3. an **integrated story** (story alignment's output),
+4. a **theme**: a cluster of content-similar integrated stories (e.g. all
+   Ukraine-crisis threads), computed here by single-link agglomeration
+   over integrated-story profiles.
+
+:class:`StoryHierarchy` materializes all four levels from a
+:class:`~repro.core.pipeline.PivotResult` and supports navigation in both
+directions plus a tree rendering for the demo.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.core.alignment import AlignedStory, Alignment
+from repro.core.pipeline import PivotResult
+from repro.errors import UnknownSnippetError
+from repro.text.similarity import overlap_coefficient
+
+LEVELS = ("event", "story", "integrated", "theme")
+
+
+@dataclass
+class Theme:
+    """A cluster of content-similar integrated stories."""
+
+    theme_id: str
+    aligned_ids: List[str] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.aligned_ids)
+
+
+def _story_similarity(a: AlignedStory, b: AlignedStory) -> float:
+    """Content similarity of two integrated stories.
+
+    Overlap coefficients (not Jaccard): a one-snippet side story about the
+    same actors as a 60-snippet crisis thread *is* the same theme, and must
+    not be punished for the size mismatch.  No temporal term: a theme may
+    span threads that never overlap in time.
+    """
+    entity_sim = overlap_coefficient(
+        set(a.entity_profile()), set(b.entity_profile())
+    )
+    term_sim = overlap_coefficient(set(a.term_profile()), set(b.term_profile()))
+    return 0.5 * entity_sim + 0.5 * term_sim
+
+
+def cluster_themes(
+    alignment: Alignment, threshold: float = 0.2
+) -> List[Theme]:
+    """Single-link agglomeration of integrated stories into themes."""
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError("threshold must be in [0, 1]")
+    aligned_ids = sorted(alignment.aligned)
+    parent = {aid: aid for aid in aligned_ids}
+
+    def find(x: str) -> str:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for i, id_a in enumerate(aligned_ids):
+        for id_b in aligned_ids[i + 1:]:
+            if find(id_a) == find(id_b):
+                continue
+            similarity = _story_similarity(
+                alignment.aligned[id_a], alignment.aligned[id_b]
+            )
+            if similarity >= threshold:
+                parent[max(find(id_a), find(id_b))] = min(find(id_a),
+                                                          find(id_b))
+    groups: Dict[str, List[str]] = defaultdict(list)
+    for aid in aligned_ids:
+        groups[find(aid)].append(aid)
+    themes = []
+    for index, root in enumerate(sorted(groups)):
+        themes.append(Theme(f"theme_{index:03d}", sorted(groups[root])))
+    return themes
+
+
+class StoryHierarchy:
+    """Four-level navigation over one pipeline result."""
+
+    def __init__(self, result: PivotResult, theme_threshold: float = 0.2) -> None:
+        self.result = result
+        self.alignment = result.alignment
+        self.themes = cluster_themes(result.alignment, theme_threshold)
+        self._theme_of_aligned: Dict[str, str] = {}
+        for theme in self.themes:
+            for aligned_id in theme.aligned_ids:
+                self._theme_of_aligned[aligned_id] = theme.theme_id
+        self._theme_by_id = {theme.theme_id: theme for theme in self.themes}
+        self._story_of_snippet: Dict[str, str] = {}
+        self._aligned_of_story: Dict[str, str] = dict(
+            self.alignment.story_to_aligned
+        )
+        for source_id, story_set in result.story_sets.items():
+            for story in story_set:
+                for snippet in story.snippets():
+                    self._story_of_snippet[snippet.snippet_id] = story.story_id
+
+    # -- upward navigation ---------------------------------------------------
+
+    def path(self, snippet_id: str) -> Dict[str, str]:
+        """The snippet's containers at every level.
+
+        >>> # {'event': 's1:v1', 'story': 's1/c0001',
+        >>> #  'integrated': "c'0002", 'theme': 'theme_000'}
+        """
+        story_id = self._story_of_snippet.get(snippet_id)
+        if story_id is None:
+            raise UnknownSnippetError(snippet_id)
+        aligned_id = self._aligned_of_story[story_id]
+        return {
+            "event": snippet_id,
+            "story": story_id,
+            "integrated": aligned_id,
+            "theme": self._theme_of_aligned[aligned_id],
+        }
+
+    # -- downward navigation -----------------------------------------------------
+
+    def theme(self, theme_id: str) -> Theme:
+        return self._theme_by_id[theme_id]
+
+    def members(self, level: str, container_id: str) -> List[str]:
+        """Ids one level below ``container_id``.
+
+        ``members("theme", t)`` → integrated ids;
+        ``members("integrated", c')`` → per-source story ids;
+        ``members("story", c)`` → snippet ids.
+        """
+        if level == "theme":
+            return list(self._theme_by_id[container_id].aligned_ids)
+        if level == "integrated":
+            return sorted(
+                self.alignment.aligned[container_id].story_ids
+            )
+        if level == "story":
+            for story_set in self.result.story_sets.values():
+                if container_id in story_set:
+                    return sorted(
+                        story_set.story(container_id).snippet_ids()
+                    )
+            raise KeyError(container_id)
+        raise ValueError(f"level must be theme|integrated|story, got {level!r}")
+
+    # -- rendering -----------------------------------------------------------------
+
+    def render(self, max_themes: int = 10, max_children: int = 6) -> str:
+        """Indented tree of the hierarchy (largest themes first)."""
+        lines = [f"Story hierarchy: {len(self._story_of_snippet)} events · "
+                 f"{len(self._aligned_of_story)} stories · "
+                 f"{len(self.alignment)} integrated · "
+                 f"{len(self.themes)} themes"]
+        ranked = sorted(
+            self.themes,
+            key=lambda t: (-sum(len(self.alignment.aligned[a])
+                                for a in t.aligned_ids), t.theme_id),
+        )
+        for theme in ranked[:max_themes]:
+            total = sum(len(self.alignment.aligned[a])
+                        for a in theme.aligned_ids)
+            lines.append(f"{theme.theme_id}  ({len(theme)} stories, "
+                         f"{total} events)")
+            for aligned_id in theme.aligned_ids[:max_children]:
+                aligned = self.alignment.aligned[aligned_id]
+                terms = ", ".join(t for t, _ in aligned.top_terms(3))
+                lines.append(
+                    f"  {aligned_id} [{', '.join(aligned.source_ids)}] "
+                    f"{len(aligned)} events — {terms}"
+                )
+                for story in aligned.stories[:max_children]:
+                    lines.append(f"    {story.story_id} ({len(story)})")
+        return "\n".join(lines)

@@ -1,0 +1,329 @@
+"""Story identification (Section 2.2).
+
+Connects the snippets of one source into stories, incrementally: every
+arriving snippet is matched against *candidate stories*, joins the best one
+if its score clears the threshold, and founds a new story otherwise.  Three
+execution modes are provided:
+
+* :class:`TemporalIdentifier` — Figure 2(b): candidates are stories with a
+  member inside the window ``[t - ω, t + ω]``, scored against the story's
+  time-decayed profile.  This is the paper's proposal.
+* :class:`CompleteIdentifier` — Figure 2(a): candidates are all stories
+  sharing any feature, scored against the full undecayed profile.  The
+  paper's baseline; it "overfits stories ... independently of the evolution
+  of the story in between".
+* :class:`SinglePassIdentifier` — classic on-line new-event detection
+  (Allan et al. 1998): one pass, nearest centroid, no merges or splits.
+
+All modes construct stories *incrementally* (the paper follows Gruenheid et
+al.'s incremental record linkage rather than single-pass detection), so the
+identifiers also support merging stories when a snippet bridges two of
+them, splitting stories across long silences, and exact removal of
+snippets when documents are withdrawn in the demo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.config import StoryPivotConfig
+from repro.core.matchers import SnippetMatcher
+from repro.core.stories import Story, StorySet, snippet_shingles
+from repro.errors import DuplicateSnippetError, UnknownSnippetError
+from repro.eventdata.models import Snippet
+from repro.sketch.lsh import LshIndex
+from repro.sketch.minhash import MinHash
+from repro.storage.event_store import match_terms
+from repro.storage.inverted_index import InvertedIndex
+from repro.storage.temporal_index import TemporalIndex
+
+
+@dataclass
+class IdentificationStats:
+    """Work counters the statistics module and benchmarks report."""
+
+    snippets: int = 0
+    comparisons: int = 0  # snippet-vs-story scorings performed
+    candidates: int = 0  # candidate stories retrieved
+    new_stories: int = 0
+    merges: int = 0
+    splits: int = 0
+    removals: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "snippets": self.snippets,
+            "comparisons": self.comparisons,
+            "candidates": self.candidates,
+            "new_stories": self.new_stories,
+            "merges": self.merges,
+            "splits": self.splits,
+            "removals": self.removals,
+        }
+
+
+class BaseIdentifier:
+    """Shared machinery: indexes, assignment, merge/split, removal."""
+
+    #: subclasses set this; mirrors config.identification_mode
+    mode = "base"
+
+    def __init__(
+        self, source_id: str, config: Optional[StoryPivotConfig] = None
+    ) -> None:
+        self.source_id = source_id
+        self.config = config if config is not None else StoryPivotConfig()
+        self.matcher = SnippetMatcher(self.config)
+        self._minhash = (
+            MinHash(self.config.minhash_permutations)
+            if self.config.use_sketches
+            else None
+        )
+        self.stories = StorySet(
+            source_id,
+            minhash=self._minhash,
+            decay_half_life=self.config.decay_half_life,
+        )
+        self._snippets: Dict[str, Snippet] = {}
+        self._temporal = TemporalIndex()
+        self._entity_index = InvertedIndex()
+        self._term_index = InvertedIndex()
+        self._lsh = (
+            LshIndex(self.config.minhash_permutations, self.config.lsh_bands)
+            if self.config.use_sketches
+            else None
+        )
+        self.stats = IdentificationStats()
+
+    # -- public API ---------------------------------------------------------
+
+    def identify(self, snippets: Iterable[Snippet]) -> StorySet:
+        """Process a batch of snippets (in the order given) and return C_i."""
+        for snippet in snippets:
+            self.add(snippet)
+        return self.stories
+
+    def add(self, snippet: Snippet) -> Story:
+        """Incrementally integrate one snippet; returns its story."""
+        if snippet.source_id != self.source_id:
+            raise ValueError(
+                f"identifier for {self.source_id!r} got snippet of "
+                f"{snippet.source_id!r}"
+            )
+        if snippet.snippet_id in self._snippets:
+            raise DuplicateSnippetError(snippet.snippet_id)
+        ranked = self._score_candidates(snippet)
+        story = self._place(snippet, ranked)
+        self._index(snippet)
+        self._post_assign(snippet, story, ranked)
+        self.stats.snippets += 1
+        return self.stories.story_of(snippet.snippet_id)
+
+    def remove(self, snippet_id: str) -> Snippet:
+        """Withdraw a snippet (demo: removing a document from the system)."""
+        if snippet_id not in self._snippets:
+            raise UnknownSnippetError(snippet_id)
+        snippet = self.stories.unassign(snippet_id)
+        del self._snippets[snippet_id]
+        self._temporal.remove(snippet_id)
+        self._entity_index.remove(snippet_id)
+        self._term_index.remove(snippet_id)
+        if self._lsh is not None and snippet_id in self._lsh:
+            self._lsh.remove(snippet_id)
+        self.stats.removals += 1
+        return snippet
+
+    # -- candidate retrieval (mode-specific) ---------------------------------
+
+    def _candidate_story_ids(self, snippet: Snippet) -> Set[str]:
+        raise NotImplementedError
+
+    def _score_candidates(self, snippet: Snippet) -> List[Tuple[Story, float]]:
+        candidate_ids = self._candidate_story_ids(snippet)
+        self.stats.candidates += len(candidate_ids)
+        scored: List[Tuple[Story, float]] = []
+        for story_id in sorted(candidate_ids):
+            story = self.stories.story(story_id)
+            score = self._score(snippet, story)
+            self.stats.comparisons += 1
+            scored.append((story, score))
+        scored.sort(key=lambda pair: (-pair[1], pair[0].story_id))
+        return scored
+
+    def _score(self, snippet: Snippet, story: Story) -> float:
+        raise NotImplementedError
+
+    # -- placement -------------------------------------------------------------
+
+    def _place(self, snippet: Snippet, ranked: List[Tuple[Story, float]]) -> Story:
+        if ranked and ranked[0][1] >= self.config.match_threshold:
+            story = ranked[0][0]
+        else:
+            story = self.stories.new_story()
+            self.stats.new_stories += 1
+        self.stories.assign(snippet, story)
+        self._snippets[snippet.snippet_id] = snippet
+        return story
+
+    def _post_assign(
+        self,
+        snippet: Snippet,
+        story: Story,
+        ranked: List[Tuple[Story, float]],
+    ) -> None:
+        if self.config.enable_merge:
+            self._maybe_merge(snippet, story, ranked)
+        # story may have been merged away; follow the snippet
+        story = self.stories.story_of(snippet.snippet_id)
+        if self.config.enable_split:
+            self._maybe_split(story)
+
+    def _maybe_merge(
+        self,
+        snippet: Snippet,
+        story: Story,
+        ranked: List[Tuple[Story, float]],
+    ) -> None:
+        """Bridge merge: the new snippet matched two stories strongly.
+
+        If the runner-up story also clears the match threshold and the two
+        stories resemble each other above ``merge_threshold``, they are one
+        evolving story that had been tracked separately — merge them
+        (Section 2.1's story merging).
+        """
+        for other, score in ranked:
+            if other.story_id == story.story_id:
+                continue
+            if score < self.config.match_threshold:
+                break  # ranked is sorted; nothing below can qualify
+            pair = self.matcher.story_pair_score(story, other)
+            if pair >= self.config.merge_threshold:
+                keep, absorb = story, other
+                if len(absorb) > len(keep):
+                    keep, absorb = absorb, keep
+                self.stories.merge(keep.story_id, absorb.story_id)
+                self.stats.merges += 1
+                return
+
+    def _maybe_split(self, story: Story) -> None:
+        """Split a story across an internal silence longer than split_gap."""
+        if len(story) < 2:
+            return
+        gap, index = story.largest_gap()
+        if gap <= self.config.split_gap:
+            return
+        members = story.snippets()
+        tail = {s.snippet_id for s in members[index + 1 :]}
+        if not tail or len(tail) >= len(members):
+            return
+        self.stories.split(story.story_id, tail)
+        self.stats.splits += 1
+
+    # -- indexing ---------------------------------------------------------------
+
+    def _index(self, snippet: Snippet) -> None:
+        self._temporal.insert(snippet.snippet_id, snippet.timestamp)
+        self._entity_index.insert(snippet.snippet_id, snippet.entities)
+        self._term_index.insert(snippet.snippet_id, match_terms(snippet))
+        if self._lsh is not None:
+            self._lsh.insert(
+                snippet.snippet_id, self._snippet_signature(snippet)
+            )
+
+    def _snippet_signature(self, snippet: Snippet):
+        assert self._minhash is not None
+        return self._minhash.signature(snippet_shingles(snippet))
+
+    # -- feature candidates shared by modes ----------------------------------
+
+    def _feature_candidate_snippets(self, snippet: Snippet) -> Set[str]:
+        ids = self._entity_index.candidates(snippet.entities)
+        ids |= self._term_index.candidates(match_terms(snippet))
+        ids.discard(snippet.snippet_id)
+        return ids
+
+    def _stories_of_snippets(self, snippet_ids: Set[str]) -> Set[str]:
+        story_ids: Set[str] = set()
+        for snippet_id in snippet_ids:
+            story_ids.add(self.stories.story_of(snippet_id).story_id)
+        return story_ids
+
+    def _sketch_candidates(self, snippet: Snippet) -> Set[str]:
+        """Candidate *snippet* ids colliding with the query in the LSH.
+
+        The LSH indexes snippet signatures, not merged story signatures:
+        Jaccard between a snippet and a whole story shrinks as the story
+        grows, which would defeat the banding; snippet-to-snippet Jaccard
+        stays meaningful, and candidates map to their stories afterwards.
+        """
+        assert self._lsh is not None
+        signature = self._snippet_signature(snippet)
+        return {
+            snippet_id
+            for snippet_id, similarity in self._lsh.query(
+                signature, self.config.sketch_candidate_floor
+            )
+        }
+
+
+class TemporalIdentifier(BaseIdentifier):
+    """Sliding-window identification (Figure 2b) — the paper's method."""
+
+    mode = "temporal"
+
+    def _candidate_story_ids(self, snippet: Snippet) -> Set[str]:
+        window_ids = set(
+            self._temporal.around(snippet.timestamp, self.config.window)
+        )
+        window_ids.discard(snippet.snippet_id)
+        if self._lsh is not None:
+            candidate_ids = self._sketch_candidates(snippet) & window_ids
+        else:
+            candidate_ids = self._feature_candidate_snippets(snippet) & window_ids
+        return self._stories_of_snippets(candidate_ids)
+
+    def _score(self, snippet: Snippet, story: Story) -> float:
+        return self.matcher.story_score(snippet, story, decayed=True)
+
+
+class CompleteIdentifier(BaseIdentifier):
+    """Complete matching (Figure 2a): compare against all history."""
+
+    mode = "complete"
+
+    def _candidate_story_ids(self, snippet: Snippet) -> Set[str]:
+        if self._lsh is not None:
+            return self._stories_of_snippets(self._sketch_candidates(snippet))
+        return self._stories_of_snippets(self._feature_candidate_snippets(snippet))
+
+    def _score(self, snippet: Snippet, story: Story) -> float:
+        return self.matcher.story_score(snippet, story, decayed=False)
+
+
+class SinglePassIdentifier(BaseIdentifier):
+    """On-line new-event-detection baseline: nearest story, no repair."""
+
+    mode = "single_pass"
+
+    def _candidate_story_ids(self, snippet: Snippet) -> Set[str]:
+        return set(self.stories.story_ids())
+
+    def _score(self, snippet: Snippet, story: Story) -> float:
+        return self.matcher.story_score(snippet, story, decayed=False)
+
+
+_IDENTIFIER_CLASSES = {
+    "temporal": TemporalIdentifier,
+    "complete": CompleteIdentifier,
+    "single_pass": SinglePassIdentifier,
+}
+
+
+def make_identifier(
+    source_id: str, config: Optional[StoryPivotConfig] = None
+) -> BaseIdentifier:
+    """Instantiate the identifier class the config's mode selects."""
+    config = config if config is not None else StoryPivotConfig()
+    cls = _IDENTIFIER_CLASSES[config.identification_mode]
+    return cls(source_id, config)

@@ -1,0 +1,143 @@
+"""Similarity scoring between snippets, stories and sketches.
+
+Section 2.2: "If a snippet is sufficiently similar to any other candidate
+snippets they may be part of the same story."  Similarity combines three
+channels — entity overlap, term similarity and temporal proximity — with
+configurable weights.  The *temporal* execution mode scores a snippet
+against a story's time-decayed profile (what the story is about *around the
+snippet's time*); the *complete* mode scores against the undecayed
+whole-history profile (Figure 2a), which is exactly what makes it overfit
+evolving stories.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.config import StoryPivotConfig
+from repro.core.stories import Story
+from repro.eventdata.models import Snippet
+from repro.sketch.story_sketch import StorySketch
+from repro.storage.event_store import match_terms
+from repro.text.similarity import (
+    combine_weighted,
+    jaccard_similarity,
+    overlap_coefficient,
+    temporal_proximity,
+    weighted_jaccard,
+)
+
+
+def snippet_features(snippet: Snippet) -> Tuple[frozenset, frozenset]:
+    """(entities, stemmed terms) — the match features of one snippet.
+
+    Memoized on the (immutable) snippet instance: pairwise scoring calls
+    this for every comparison.
+    """
+    cached = snippet.__dict__.get("_features")
+    if cached is not None:
+        return cached
+    features = (snippet.entities, frozenset(match_terms(snippet)))
+    object.__setattr__(snippet, "_features", features)
+    return features
+
+
+class SnippetMatcher:
+    """Scores snippet–snippet and snippet–story similarity per the config."""
+
+    def __init__(self, config: Optional[StoryPivotConfig] = None) -> None:
+        self.config = config if config is not None else StoryPivotConfig()
+
+    # -- snippet vs snippet ------------------------------------------------
+
+    def snippet_score(self, a: Snippet, b: Snippet) -> float:
+        """Pairwise similarity of two snippets in [0, 1]."""
+        entities_a, terms_a = snippet_features(a)
+        entities_b, terms_b = snippet_features(b)
+        scores = {
+            "entity": overlap_coefficient(entities_a, entities_b),
+            "term": jaccard_similarity(terms_a, terms_b),
+            "temporal": temporal_proximity(
+                a.timestamp, b.timestamp, self.config.window
+            ),
+        }
+        return combine_weighted(scores, self.config.weights)
+
+    # -- snippet vs story ----------------------------------------------------
+
+    def story_score(
+        self,
+        snippet: Snippet,
+        story: Story,
+        at_time: Optional[float] = None,
+        decayed: Optional[bool] = None,
+    ) -> float:
+        """Similarity of ``snippet`` to ``story``.
+
+        ``decayed`` selects the profile view: ``True`` decays member
+        contributions toward ``at_time`` (defaults to the snippet's own
+        timestamp) — the temporal mode; ``False`` uses raw counts — the
+        complete mode.  When ``None`` it follows the configured mode.
+        """
+        if len(story) == 0:
+            return 0.0
+        if decayed is None:
+            decayed = self.config.identification_mode == "temporal"
+        reference = at_time if at_time is not None else snippet.timestamp
+        entity_profile = story.sketch.entity_profile(reference if decayed else None)
+        term_profile = story.sketch.term_profile(reference if decayed else None)
+        entities, terms = snippet_features(snippet)
+        scores = {
+            "entity": _profile_overlap(entities, entity_profile),
+            "term": _profile_overlap(terms, term_profile),
+            "temporal": self._story_temporal_score(snippet, story),
+        }
+        return combine_weighted(scores, self.config.weights)
+
+    def _story_temporal_score(self, snippet: Snippet, story: Story) -> float:
+        """Proximity of the snippet to the story's nearest member."""
+        nearest = min(
+            abs(snippet.timestamp - t) for t in story.sketch.timestamps()
+        )
+        return temporal_proximity(0.0, nearest, self.config.window)
+
+    # -- story vs story (identification-time merges) ----------------------------
+
+    def story_pair_score(self, a: Story, b: Story) -> float:
+        """Similarity of two same-source stories (merge check)."""
+        if len(a) == 0 or len(b) == 0:
+            return 0.0
+        scores = {
+            "entity": weighted_jaccard(
+                a.sketch.entity_profile(), b.sketch.entity_profile()
+            ),
+            "term": weighted_jaccard(
+                a.sketch.term_profile(), b.sketch.term_profile()
+            ),
+            "temporal": temporal_proximity(
+                _midpoint(a.sketch), _midpoint(b.sketch), 2 * self.config.window
+            ),
+        }
+        return combine_weighted(scores, self.config.weights)
+
+
+def _profile_overlap(features: frozenset, profile: Dict[str, float]) -> float:
+    """Overlap-coefficient analogue of a feature set vs a weighted profile.
+
+    The shared mass (sum of profile weights on shared features, capped by
+    each side's own mass) over the smaller side's mass.  Reduces to the set
+    overlap coefficient when all profile weights are 1.
+    """
+    if not features or not profile:
+        return 0.0
+    feature_mass = float(len(features))
+    profile_mass = sum(profile.values())
+    shared = sum(min(1.0, profile.get(f, 0.0)) for f in features)
+    denominator = min(feature_mass, profile_mass)
+    if denominator <= 0:
+        return 0.0
+    return min(1.0, shared / denominator)
+
+
+def _midpoint(sketch: StorySketch) -> float:
+    return (sketch.start + sketch.end) / 2.0

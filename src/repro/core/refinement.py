@@ -1,0 +1,300 @@
+"""Story refinement (Section 2.3, Figure 1(d)).
+
+Alignment can reveal identification mistakes: in Figure 1, ``v^1_4`` was
+assigned to story ``c^1_1`` by source s1's identification, yet its
+cross-source counterparts live with *different* snippets than its
+story-mates' counterparts do.  Refinement detects exactly this
+irregularity: a snippet whose counterpart stories (the other-source stories
+holding its counterparts) are disjoint from the counterpart stories of the
+rest of its own story is in conflict, and "the decisions made during story
+alignment [are] propagated back into the story sets of data sources" — the
+snippet moves to the same-source story whose cross-source evidence it
+shares, or founds a fresh story there.
+
+After each round of moves the alignment is recomputed over the corrected
+story sets, so transitive gluing caused by a mis-assignment (the crash and
+Gaza stories fused through ``v^1_4`` in Figure 1(c)) comes apart.  The
+process repeats until no snippet moves or ``max_refinement_rounds`` is
+reached; every move is recorded so the demo can explain the correction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.core.alignment import Alignment, StoryAligner
+from repro.core.config import StoryPivotConfig
+from repro.core.matchers import SnippetMatcher, snippet_features
+from repro.core.stories import Story, StorySet
+from repro.errors import UnknownSnippetError
+from repro.eventdata.models import Snippet
+from repro.storage.inverted_index import InvertedIndex
+from repro.storage.temporal_index import TemporalIndex
+
+
+@dataclass(frozen=True)
+class Move:
+    """One refinement correction."""
+
+    snippet_id: str
+    source_id: str
+    from_story: str
+    to_story: str
+    evidence: float  # counterpart vote mass supporting the move
+
+
+@dataclass
+class RefinementResult:
+    """All corrections applied, plus the re-aligned view."""
+
+    moves: List[Move] = field(default_factory=list)
+    rounds: int = 0
+    conflicts_checked: int = 0
+    alignment: Optional[Alignment] = None
+
+    @property
+    def num_moves(self) -> int:
+        return len(self.moves)
+
+
+class StoryRefiner:
+    """Resolve SI/SA conflicts by moving snippets between stories."""
+
+    def __init__(self, config: Optional[StoryPivotConfig] = None) -> None:
+        self.config = config if config is not None else StoryPivotConfig()
+        self.matcher = SnippetMatcher(self.config)
+        self._aligner = StoryAligner(self.config)
+
+    def refine(
+        self,
+        story_sets: Mapping[str, StorySet],
+        alignment: Alignment,
+    ) -> RefinementResult:
+        """Refine ``story_sets`` in place.
+
+        Returns the result carrying the final re-computed alignment (also
+        the passed ``alignment`` object stays valid only if no moves
+        happened; callers should use ``result.alignment``).
+        """
+        result = RefinementResult(alignment=alignment)
+        for _ in range(self.config.max_refinement_rounds):
+            moves = self._one_round(story_sets, result)
+            result.rounds += 1
+            if not moves:
+                break
+            result.alignment = self._aligner.align(story_sets)
+        return result
+
+    # -- counterpart computation ------------------------------------------
+
+    def _build_indexes(
+        self, story_sets: Mapping[str, StorySet]
+    ) -> Tuple[Dict[str, Snippet], Dict[str, TemporalIndex], Dict[str, InvertedIndex]]:
+        snippets: Dict[str, Snippet] = {}
+        temporal: Dict[str, TemporalIndex] = {}
+        features: Dict[str, InvertedIndex] = {}
+        for source_id, story_set in story_sets.items():
+            time_index = TemporalIndex()
+            feature_index = InvertedIndex()
+            for story in story_set:
+                for snippet in story.snippets():
+                    snippets[snippet.snippet_id] = snippet
+                    time_index.insert(snippet.snippet_id, snippet.timestamp)
+                    entities, terms = snippet_features(snippet)
+                    feature_index.insert(
+                        snippet.snippet_id,
+                        [("e", e) for e in entities] + [("t", t) for t in terms],
+                    )
+            temporal[source_id] = time_index
+            features[source_id] = feature_index
+        return snippets, temporal, features
+
+    def _counterpart_votes(
+        self,
+        snippet: Snippet,
+        snippets: Dict[str, Snippet],
+        temporal: Dict[str, TemporalIndex],
+        features: Dict[str, InvertedIndex],
+        story_sets: Mapping[str, StorySet],
+    ) -> Dict[str, Dict[str, float]]:
+        """Per other source: counterpart story id → vote mass.
+
+        A counterpart is a cross-source snippet within the align tolerance
+        whose similarity clears the snippet-align threshold; its vote mass
+        is that similarity, accumulated on the story that holds it.
+        """
+        tolerance = self.config.snippet_align_tolerance
+        threshold = self.config.snippet_align_threshold
+        entities, terms = snippet_features(snippet)
+        query = [("e", e) for e in entities] + [("t", t) for t in terms]
+        votes: Dict[str, Dict[str, float]] = {}
+        for source_id, index in temporal.items():
+            if source_id == snippet.source_id:
+                continue
+            sharing = features[source_id].candidates(query)
+            for other_id in index.around(snippet.timestamp, tolerance):
+                if other_id not in sharing:
+                    continue
+                score = self.matcher.snippet_score(snippet, snippets[other_id])
+                if score < threshold:
+                    continue
+                story_id = story_sets[source_id].story_of(other_id).story_id
+                per_source = votes.setdefault(source_id, {})
+                per_source[story_id] = per_source.get(story_id, 0.0) + score
+        return votes
+
+    # -- one refinement round ------------------------------------------------
+
+    def _one_round(
+        self,
+        story_sets: Mapping[str, StorySet],
+        result: RefinementResult,
+    ) -> List[Move]:
+        snippets, temporal, features = self._build_indexes(story_sets)
+
+        # counterpart votes — only members of multi-member stories can be in
+        # (or resolve) a conflict, so singleton stories are skipped entirely
+        votes_of: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for story_set in story_sets.values():
+            for story in story_set:
+                if len(story) < 2:
+                    continue
+                for snippet in story.snippets():
+                    votes_of[snippet.snippet_id] = self._counterpart_votes(
+                        snippet, snippets, temporal, features, story_sets
+                    )
+        # reverse index: evidence story -> snippets voting for it
+        voted_by: Dict[str, Set[str]] = {}
+        for snippet_id, per_source_votes in votes_of.items():
+            for per_source in per_source_votes.values():
+                for story_id in per_source:
+                    voted_by.setdefault(story_id, set()).add(snippet_id)
+
+        moves: List[Move] = []
+        # fresh stories created this round, keyed by (source, evidence
+        # stories): conflicting snippets sharing evidence group together
+        fresh_homes: Dict[Tuple[str, frozenset], Story] = {}
+
+        for source_id, story_set in sorted(story_sets.items()):
+            for story in list(story_set):
+                members = story.snippets()
+                if len(members) < 2:
+                    continue
+                for snippet in members:
+                    conflict = self._find_conflict(snippet, members, votes_of)
+                    result.conflicts_checked += 1
+                    if conflict is None:
+                        continue
+                    evidence_stories, evidence_mass = conflict
+                    move = self._apply_move(
+                        snippet, story, story_set, voted_by,
+                        evidence_stories, evidence_mass, fresh_homes,
+                    )
+                    if move is not None:
+                        moves.append(move)
+                        result.moves.append(move)
+        return moves
+
+    def _find_conflict(
+        self,
+        snippet: Snippet,
+        members: List[Snippet],
+        votes_of: Dict[str, Dict[str, Dict[str, float]]],
+    ) -> Optional[Tuple[Set[str], float]]:
+        """Does the snippet's evidence point elsewhere than its story-mates'?
+
+        For each other source, compare the snippet's top-voted counterpart
+        story with the story its mates collectively vote for.  A conflict
+        needs the snippet's own favourite to beat its vote for the mates'
+        favourite by ``refinement_margin``.  Returns the evidence stories
+        (per-source favourites) and their total mass, or ``None``.
+        """
+        margin = self.config.refinement_margin
+        my_votes = votes_of[snippet.snippet_id]
+        if not my_votes:
+            return None
+        evidence_stories: Set[str] = set()
+        evidence_mass = 0.0
+        agreements = 0
+        conflicts = 0
+        for source_id, per_source in my_votes.items():
+            my_top = max(per_source, key=lambda k: (per_source[k], k))
+            rest: Dict[str, float] = {}
+            for other in members:
+                if other.snippet_id == snippet.snippet_id:
+                    continue
+                for story_id, mass in votes_of[other.snippet_id].get(
+                    source_id, {}
+                ).items():
+                    rest[story_id] = rest.get(story_id, 0.0) + mass
+            if not rest:
+                continue
+            rest_top = max(rest, key=lambda k: (rest[k], k))
+            if rest_top == my_top:
+                agreements += 1
+                continue
+            if per_source[my_top] < per_source.get(rest_top, 0.0) + margin:
+                agreements += 1
+                continue
+            conflicts += 1
+            evidence_stories.add(my_top)
+            evidence_mass += per_source[my_top]
+        # a single disagreeing source must not outweigh sources confirming
+        # the current placement: conflicts need a strict majority of the
+        # sources that expressed a preference at all
+        if not evidence_stories or conflicts <= agreements:
+            return None
+        return evidence_stories, evidence_mass
+
+    def _apply_move(
+        self,
+        snippet: Snippet,
+        story: Story,
+        story_set: StorySet,
+        voted_by: Dict[str, Set[str]],
+        evidence_stories: Set[str],
+        evidence: float,
+        fresh_homes: Dict[Tuple[str, frozenset], Story],
+    ) -> Optional[Move]:
+        """Move the snippet to the same-source story sharing its evidence."""
+        # candidate destinations: same-source stories holding a snippet that
+        # also voted for one of the snippet's evidence stories (looked up at
+        # move time, so earlier moves this round are taken into account)
+        candidate_ids: Set[str] = set()
+        for evidence_story in evidence_stories:
+            for voter_id in voted_by.get(evidence_story, ()):
+                try:
+                    home = story_set.story_of(voter_id)
+                except UnknownSnippetError:
+                    continue  # voter lives in another source's set
+                if home.story_id != story.story_id:
+                    candidate_ids.add(home.story_id)
+        best_story: Optional[Story] = None
+        best_score = -1.0
+        for candidate_id in sorted(candidate_ids):
+            candidate = story_set.story(candidate_id)
+            score = self.matcher.story_score(snippet, candidate)
+            if score > best_score:
+                best_story, best_score = candidate, score
+
+        from_story_id = story.story_id
+        if best_story is None:
+            key = (snippet.source_id, frozenset(evidence_stories))
+            best_story = fresh_homes.get(key)
+            if best_story is None:
+                story_set.unassign(snippet.snippet_id)
+                best_story = story_set.new_story()
+                fresh_homes[key] = best_story
+            else:
+                story_set.unassign(snippet.snippet_id)
+        else:
+            story_set.unassign(snippet.snippet_id)
+        story_set.assign(snippet, best_story)
+        return Move(
+            snippet_id=snippet.snippet_id,
+            source_id=snippet.source_id,
+            from_story=from_story_id,
+            to_story=best_story.story_id,
+            evidence=evidence,
+        )

@@ -1,0 +1,150 @@
+"""Dynamic (streaming) integration of identification and alignment.
+
+Section 2.4: snippets "are generated dynamically every time a news document
+is published online", sources "do not necessarily publish their information
+in a temporally ordered manner", and the system must provide "live
+information on ongoing stories".  The :class:`StreamProcessor` consumes
+snippets in *publication* order (which is out-of-order along the event-time
+axis), deduplicates re-deliveries with a Bloom-filter fast path, keeps
+identification fully incremental, and refreshes alignment+refinement every
+``realign_every`` arrivals so a live view is always available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.core.config import StoryPivotConfig
+from repro.core.live_alignment import LiveAligner
+from repro.core.pipeline import PivotResult, StoryPivot
+from repro.eventdata.corpus import Corpus
+from repro.eventdata.models import Snippet
+from repro.sketch.bloom import BloomFilter
+
+
+@dataclass
+class StreamStats:
+    arrived: int = 0
+    accepted: int = 0
+    duplicates: int = 0
+    realignments: int = 0
+    max_disorder: float = 0.0  # largest event-time regression observed
+
+
+class StreamProcessor:
+    """Live wrapper around :class:`StoryPivot`."""
+
+    def __init__(
+        self,
+        config: Optional[StoryPivotConfig] = None,
+        realign_every: int = 100,
+        dedup_capacity: int = 100_000,
+        live_alignment: bool = False,
+    ) -> None:
+        if realign_every <= 0:
+            raise ValueError("realign_every must be positive")
+        self.pivot = StoryPivot(config)
+        self.realign_every = realign_every
+        self.stats = StreamStats()
+        self.live_alignment = live_alignment
+        self._live: Optional[LiveAligner] = (
+            LiveAligner(self.pivot.config) if live_alignment else None
+        )
+        self._bloom = BloomFilter(capacity=dedup_capacity)
+        self._seen: set = set()
+        self._since_alignment = 0
+        self._latest_event_time: Optional[float] = None
+        self._result: Optional[PivotResult] = None
+
+    # -- ingestion --------------------------------------------------------
+
+    def offer(self, snippet: Snippet) -> bool:
+        """Deliver one snippet; returns False for duplicates.
+
+        The Bloom filter answers "definitely new" without touching the
+        exact set; its (rare) positives are confirmed exactly, so
+        duplicate detection never has false positives overall.
+        """
+        self.stats.arrived += 1
+        if snippet.snippet_id in self._bloom and snippet.snippet_id in self._seen:
+            self.stats.duplicates += 1
+            return False
+        self._bloom.add(snippet.snippet_id)
+        self._seen.add(snippet.snippet_id)
+        if self._latest_event_time is not None:
+            regression = self._latest_event_time - snippet.timestamp
+            if regression > self.stats.max_disorder:
+                self.stats.max_disorder = regression
+        self._latest_event_time = max(
+            self._latest_event_time or snippet.timestamp, snippet.timestamp
+        )
+        story = self.pivot.add_snippet(snippet)
+        self.stats.accepted += 1
+        if self._live is not None:
+            if story.source_id not in self._live._story_sets:
+                self._live.attach_story_set(
+                    self.pivot.identifier(story.source_id).stories
+                )
+            else:
+                self._live.update_story(story)
+        self._since_alignment += 1
+        if self._since_alignment >= self.realign_every:
+            if self._live is not None:
+                self._live.compact()  # periodic corrective pass, no rescan
+                self._since_alignment = 0
+            else:
+                self.flush()
+        return True
+
+    def consume(self, snippets: Iterable[Snippet]) -> "StreamProcessor":
+        for snippet in snippets:
+            self.offer(snippet)
+        return self
+
+    def consume_corpus(self, corpus: Corpus) -> "StreamProcessor":
+        """Replay a corpus in publication order (the live delivery order)."""
+        return self.consume(corpus.snippets_by_publication())
+
+    # -- views -------------------------------------------------------------
+
+    def flush(self) -> PivotResult:
+        """Refresh the live view.
+
+        With ``live_alignment`` the view is the incremental aligner's
+        snapshot (no full pair rescan and no refinement — the trade the
+        live mode makes); otherwise alignment (+refinement) is recomputed.
+        """
+        if self._live is not None:
+            alignment = self._live.snapshot()
+            self._result = PivotResult(
+                story_sets=self.pivot.story_sets(),
+                alignment=alignment,
+                refinement=None,
+            )
+        else:
+            self._result = self.pivot.finish()
+        self._since_alignment = 0
+        self.stats.realignments += 1
+        return self._result
+
+    def result(self) -> PivotResult:
+        """The live view; recomputes only if arrivals happened since."""
+        if self._result is None or self._since_alignment > 0:
+            return self.flush()
+        return self._result
+
+    def pending(self) -> int:
+        """Arrivals since the last alignment refresh."""
+        return self._since_alignment
+
+
+def replay_out_of_order(
+    corpus: Corpus,
+    config: Optional[StoryPivotConfig] = None,
+    realign_every: int = 100,
+) -> PivotResult:
+    """Convenience: stream a corpus in publication order, return final view."""
+    processor = StreamProcessor(config, realign_every=realign_every)
+    processor.consume_corpus(corpus)
+    return processor.flush()

@@ -1,0 +1,11 @@
+"""The demonstration driver (Section 4).
+
+:class:`~repro.demo.app.DemoSession` scripts the walkthrough the paper
+demonstrates live: select documents, compute stories, explore the
+per-source and per-story modules, add/remove documents and watch stories
+change, and browse large-scale experiment statistics.
+"""
+
+from repro.demo.app import DemoSession, main
+
+__all__ = ["DemoSession", "main"]

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the StoryPivot reproduction.
+
+All library-raised errors derive from :class:`StoryPivotError` so that callers
+can catch a single base class at the API boundary.
+"""
+
+from __future__ import annotations
+
+
+class StoryPivotError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(StoryPivotError):
+    """An invalid configuration value was supplied."""
+
+
+class DataFormatError(StoryPivotError):
+    """Input data (documents, tuples, serialized corpora) is malformed."""
+
+
+class UnknownSourceError(StoryPivotError, KeyError):
+    """A data source was referenced that the system does not know about."""
+
+    def __init__(self, source_id: str) -> None:
+        super().__init__(f"unknown data source: {source_id!r}")
+        self.source_id = source_id
+
+
+class UnknownSnippetError(StoryPivotError, KeyError):
+    """A snippet id was referenced that the store does not contain."""
+
+    def __init__(self, snippet_id: str) -> None:
+        super().__init__(f"unknown snippet: {snippet_id!r}")
+        self.snippet_id = snippet_id
+
+
+class UnknownStoryError(StoryPivotError, KeyError):
+    """A story id was referenced that the system does not contain."""
+
+    def __init__(self, story_id: str) -> None:
+        super().__init__(f"unknown story: {story_id!r}")
+        self.story_id = story_id
+
+
+class DuplicateSnippetError(StoryPivotError, ValueError):
+    """The same snippet id was ingested twice."""
+
+    def __init__(self, snippet_id: str) -> None:
+        super().__init__(f"duplicate snippet: {snippet_id!r}")
+        self.snippet_id = snippet_id
+
+
+class EmptyCorpusError(StoryPivotError, ValueError):
+    """An operation that needs data was run on an empty corpus."""
+
+
+class AlignmentError(StoryPivotError):
+    """Story alignment was asked to do something inconsistent."""
+
+
+class ExtractionError(StoryPivotError):
+    """The extraction pipeline failed to turn a document into snippets."""

@@ -1,0 +1,41 @@
+"""Evaluation: clustering quality metrics and the experiment harness.
+
+Figure 7 reports an F-measure per (dataset, SI method, SA method) plus
+execution time vs #events; this package computes those numbers.  Story
+detection output is a clustering of snippets, so quality metrics are
+clustering-agreement measures against ground truth: pairwise
+precision/recall/F1 (the F-measure news-threading papers report), B-Cubed,
+purity, NMI and ARI.
+"""
+
+from repro.evaluation.metrics import (
+    ClusterScores,
+    adjusted_rand_index,
+    bcubed,
+    normalized_mutual_information,
+    pairwise_scores,
+    purity,
+)
+from repro.evaluation.alignment_metrics import alignment_scores
+from repro.evaluation.harness import (
+    ExperimentResult,
+    MethodSpec,
+    default_method_grid,
+    run_experiment,
+    sweep_events,
+)
+
+__all__ = [
+    "ClusterScores",
+    "pairwise_scores",
+    "bcubed",
+    "purity",
+    "normalized_mutual_information",
+    "adjusted_rand_index",
+    "alignment_scores",
+    "MethodSpec",
+    "ExperimentResult",
+    "run_experiment",
+    "sweep_events",
+    "default_method_grid",
+]

@@ -1,0 +1,104 @@
+"""Alignment-specific quality measures.
+
+Beyond clustering agreement, alignment has two dedicated questions:
+
+* **story-link quality** — of the cross-source story pairs the aligner
+  joined, how many truly describe the same story?  Two per-source stories
+  are "truly the same" when their majority ground-truth labels agree.
+* **integration completeness** — of the true stories reported by >= 2
+  sources, how many ended up in a single integrated story?
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Mapping, Set
+
+from repro.core.alignment import Alignment
+from repro.evaluation.metrics import ClusterScores
+
+
+def _majority_label(
+    snippet_ids: Set[str], truth: Mapping[str, str]
+) -> "str | None":
+    counts = Counter(truth[sid] for sid in snippet_ids if sid in truth)
+    if not counts:
+        return None
+    return counts.most_common(1)[0][0]
+
+
+def alignment_scores(
+    alignment: Alignment, truth: Mapping[str, str]
+) -> Dict[str, float]:
+    """Dictionary of alignment quality measures.
+
+    Keys: ``link_precision``, ``link_recall``, ``link_f1`` (cross-source
+    story links), ``integration_completeness`` (multi-source true stories
+    unified), ``num_integrated``, ``num_cross_source``.
+    """
+    # --- story-level links the aligner asserted -------------------------
+    asserted = 0
+    correct = 0
+    story_labels: Dict[str, "str | None"] = {}
+    for aligned in alignment.aligned.values():
+        for story in aligned.stories:
+            story_labels[story.story_id] = _majority_label(
+                story.snippet_ids(), truth
+            )
+    for aligned in alignment.aligned.values():
+        stories = aligned.stories
+        for i, story_a in enumerate(stories):
+            for story_b in stories[i + 1 :]:
+                if story_a.source_id == story_b.source_id:
+                    continue
+                asserted += 1
+                label_a = story_labels[story_a.story_id]
+                label_b = story_labels[story_b.story_id]
+                if label_a is not None and label_a == label_b:
+                    correct += 1
+
+    # --- links that *should* exist ------------------------------------------
+    # group per-source stories by their majority true label
+    stories_by_label: Dict[str, Set[str]] = defaultdict(set)
+    source_of_story: Dict[str, str] = {}
+    for aligned in alignment.aligned.values():
+        for story in aligned.stories:
+            label = story_labels[story.story_id]
+            if label is not None:
+                stories_by_label[label].add(story.story_id)
+                source_of_story[story.story_id] = story.source_id
+    expected = 0
+    for label, story_ids in stories_by_label.items():
+        ids = sorted(story_ids)
+        for i, id_a in enumerate(ids):
+            for id_b in ids[i + 1 :]:
+                if source_of_story[id_a] != source_of_story[id_b]:
+                    expected += 1
+
+    precision = correct / asserted if asserted else 0.0
+    recall = correct / expected if expected else 0.0
+    link = ClusterScores(precision, recall)
+
+    # --- integration completeness ----------------------------------------------
+    label_to_aligned: Dict[str, Set[str]] = defaultdict(set)
+    label_sources: Dict[str, Set[str]] = defaultdict(set)
+    for aligned_id, aligned in alignment.aligned.items():
+        for story in aligned.stories:
+            label = story_labels[story.story_id]
+            if label is not None:
+                label_to_aligned[label].add(aligned_id)
+                label_sources[label].add(story.source_id)
+    multi_source = [
+        label for label, sources in label_sources.items() if len(sources) > 1
+    ]
+    unified = sum(1 for label in multi_source if len(label_to_aligned[label]) == 1)
+    completeness = unified / len(multi_source) if multi_source else 1.0
+
+    return {
+        "link_precision": link.precision,
+        "link_recall": link.recall,
+        "link_f1": link.f1,
+        "integration_completeness": completeness,
+        "num_integrated": float(len(alignment)),
+        "num_cross_source": float(len(alignment.cross_source_stories())),
+    }

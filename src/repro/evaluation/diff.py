@@ -1,0 +1,166 @@
+"""Compare and contrast two story-detection results.
+
+The demo lets users "combine the implemented methods on the fly ... as
+well as compare result quality for these varying techniques" (Section
+4.1).  This module diffs two alignments over the same corpus: which
+integrated stories agree exactly, where one method splits what the other
+merges, and the pairwise agreement between the two clusterings — plus a
+text rendering for the comparison panel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from repro.core.alignment import Alignment
+from repro.evaluation.metrics import ClusterScores, pairwise_scores
+
+
+@dataclass
+class AlignmentDiff:
+    """Structured comparison of two clusterings of the same snippets."""
+
+    label_a: str
+    label_b: str
+    identical: List[FrozenSet[str]] = field(default_factory=list)
+    splits: List[Tuple[FrozenSet[str], List[FrozenSet[str]]]] = field(
+        default_factory=list
+    )  # a-cluster → the b-clusters it fragments into
+    merges: List[Tuple[List[FrozenSet[str]], FrozenSet[str]]] = field(
+        default_factory=list
+    )  # several a-clusters → one b-cluster
+    reshuffles: int = 0  # many-to-many disagreements
+    agreement: Optional[ClusterScores] = None
+    only_in_a: Set[str] = field(default_factory=set)
+    only_in_b: Set[str] = field(default_factory=set)
+
+    @property
+    def num_disagreements(self) -> int:
+        return len(self.splits) + len(self.merges) + self.reshuffles
+
+    def render(self) -> str:
+        """Human-readable comparison panel."""
+        lines = [
+            f"Comparing {self.label_a} (A) vs {self.label_b} (B)",
+            "─" * 60,
+            f"identical stories: {len(self.identical)}",
+            f"A-stories split by B: {len(self.splits)}",
+            f"A-stories merged by B: {len(self.merges)}",
+            f"many-to-many reshuffles: {self.reshuffles}",
+        ]
+        if self.agreement is not None:
+            lines.append(
+                f"pairwise agreement (B against A as reference): "
+                f"P={self.agreement.precision:.3f} "
+                f"R={self.agreement.recall:.3f} F1={self.agreement.f1:.3f}"
+            )
+        if self.only_in_a or self.only_in_b:
+            lines.append(
+                f"snippets only in A: {len(self.only_in_a)}, "
+                f"only in B: {len(self.only_in_b)}"
+            )
+        for cluster, fragments in self.splits[:5]:
+            sample = ", ".join(sorted(cluster)[:4])
+            lines.append(
+                f"  split: A story of {len(cluster)} ({sample}, …) → "
+                f"{len(fragments)} B stories "
+                f"({'/'.join(str(len(f)) for f in fragments)})"
+            )
+        for parts, merged in self.merges[:5]:
+            lines.append(
+                f"  merge: {len(parts)} A stories "
+                f"({'/'.join(str(len(p)) for p in parts)}) → "
+                f"one B story of {len(merged)}"
+            )
+        return "\n".join(lines)
+
+
+def _clusters_of(result) -> Dict[str, Set[str]]:
+    if isinstance(result, Alignment):
+        return result.as_clusters()
+    if isinstance(result, Mapping):
+        return {k: set(v) for k, v in result.items()}
+    # PivotResult-like
+    return result.global_clusters()
+
+
+def diff_alignments(
+    result_a,
+    result_b,
+    label_a: str = "A",
+    label_b: str = "B",
+) -> AlignmentDiff:
+    """Diff two alignments / cluster mappings over the same snippets."""
+    clusters_a = _clusters_of(result_a)
+    clusters_b = _clusters_of(result_b)
+    items_a = {item for members in clusters_a.values() for item in members}
+    items_b = {item for members in clusters_b.values() for item in members}
+    shared = items_a & items_b
+
+    diff = AlignmentDiff(label_a=label_a, label_b=label_b)
+    diff.only_in_a = items_a - shared
+    diff.only_in_b = items_b - shared
+
+    cluster_of_b: Dict[str, str] = {}
+    for cluster_id, members in clusters_b.items():
+        for item in members:
+            cluster_of_b[item] = cluster_id
+    cluster_of_a: Dict[str, str] = {}
+    for cluster_id, members in clusters_a.items():
+        for item in members:
+            cluster_of_a[item] = cluster_id
+
+    # group A clusters by the set of B clusters they touch, and vice versa
+    b_sets_per_a: Dict[str, Set[str]] = {}
+    for cluster_id, members in clusters_a.items():
+        restricted = members & shared
+        if restricted:
+            b_sets_per_a[cluster_id] = {cluster_of_b[i] for i in restricted}
+    a_sets_per_b: Dict[str, Set[str]] = {}
+    for cluster_id, members in clusters_b.items():
+        restricted = members & shared
+        if restricted:
+            a_sets_per_b[cluster_id] = {cluster_of_a[i] for i in restricted}
+
+    seen_a: Set[str] = set()
+    for a_id in sorted(b_sets_per_a):
+        if a_id in seen_a:
+            continue
+        b_ids = b_sets_per_a[a_id]
+        back = set()
+        for b_id in b_ids:
+            back |= a_sets_per_b[b_id]
+        a_members = frozenset(clusters_a[a_id] & shared)
+        if back == {a_id}:
+            if len(b_ids) == 1:
+                diff.identical.append(a_members)
+            else:
+                fragments = [
+                    frozenset(clusters_b[b_id] & shared)
+                    for b_id in sorted(b_ids)
+                ]
+                diff.splits.append((a_members, fragments))
+            seen_a.add(a_id)
+        elif len(b_ids) == 1 and back > {a_id}:
+            b_id = next(iter(b_ids))
+            if all(b_sets_per_a[other] == {b_id} for other in back):
+                parts = [
+                    frozenset(clusters_a[other] & shared)
+                    for other in sorted(back)
+                ]
+                diff.merges.append(
+                    (parts, frozenset(clusters_b[b_id] & shared))
+                )
+                seen_a |= back
+            else:
+                diff.reshuffles += 1
+                seen_a.add(a_id)
+        else:
+            diff.reshuffles += 1
+            seen_a.add(a_id)
+
+    # agreement: score B's clustering against A's as pseudo-truth
+    pseudo_truth = {item: cluster_of_a[item] for item in shared}
+    diff.agreement = pairwise_scores(clusters_b, pseudo_truth)
+    return diff

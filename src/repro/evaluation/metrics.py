@@ -1,0 +1,183 @@
+"""Clustering agreement metrics.
+
+All functions take two clusterings of the same items:
+
+* ``predicted`` — mapping cluster id → set of item ids (the system output,
+  e.g. ``StorySet.as_clusters()`` or ``Alignment.as_clusters()``);
+* ``truth`` — mapping item id → true label (``GroundTruth.labels``).
+
+Items missing from either side are ignored (evaluation happens over the
+intersection), so a per-source story set can be scored directly against the
+global ground truth.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Mapping, Set, Tuple
+
+
+@dataclass(frozen=True)
+class ClusterScores:
+    """Precision / recall / F1 triple."""
+
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def _prepare(
+    predicted: Mapping[str, Set[str]], truth: Mapping[str, str]
+) -> Tuple[Dict[str, str], Dict[str, str]]:
+    """(item → predicted cluster, item → true label) over shared items."""
+    predicted_of: Dict[str, str] = {}
+    for cluster_id, items in predicted.items():
+        for item in items:
+            if item in truth:
+                predicted_of[item] = cluster_id
+    true_of = {item: truth[item] for item in predicted_of}
+    return predicted_of, true_of
+
+
+def _comb2(n: int) -> int:
+    return n * (n - 1) // 2
+
+
+def pairwise_scores(
+    predicted: Mapping[str, Set[str]], truth: Mapping[str, str]
+) -> ClusterScores:
+    """Pairwise precision/recall: agreement on same-cluster item pairs.
+
+    Precision = fraction of predicted same-story pairs that are truly
+    same-story; recall = fraction of true same-story pairs recovered.  This
+    is the F-measure of Figure 7's quality panel.
+    """
+    predicted_of, true_of = _prepare(predicted, truth)
+    if not predicted_of:
+        return ClusterScores(0.0, 0.0)
+    # joint contingency counts
+    joint: Counter = Counter()
+    predicted_sizes: Counter = Counter()
+    true_sizes: Counter = Counter()
+    for item, cluster in predicted_of.items():
+        label = true_of[item]
+        joint[(cluster, label)] += 1
+        predicted_sizes[cluster] += 1
+        true_sizes[label] += 1
+    true_positive_pairs = sum(_comb2(n) for n in joint.values())
+    predicted_pairs = sum(_comb2(n) for n in predicted_sizes.values())
+    true_pairs = sum(_comb2(n) for n in true_sizes.values())
+    # vacuous sides score 1.0 (record-linkage convention): asserting no
+    # pairs is perfectly precise, and recovering all of zero pairs is
+    # perfect recall — so an all-singleton truth scores a perfect match.
+    precision = true_positive_pairs / predicted_pairs if predicted_pairs else 1.0
+    recall = true_positive_pairs / true_pairs if true_pairs else 1.0
+    return ClusterScores(precision, recall)
+
+
+def bcubed(
+    predicted: Mapping[str, Set[str]], truth: Mapping[str, str]
+) -> ClusterScores:
+    """B-Cubed precision/recall (Bagga & Baldwin 1998), item-averaged."""
+    predicted_of, true_of = _prepare(predicted, truth)
+    if not predicted_of:
+        return ClusterScores(0.0, 0.0)
+    cluster_members: Dict[str, list] = defaultdict(list)
+    label_members: Dict[str, list] = defaultdict(list)
+    for item, cluster in predicted_of.items():
+        cluster_members[cluster].append(item)
+        label_members[true_of[item]].append(item)
+    precision_total = 0.0
+    recall_total = 0.0
+    for item, cluster in predicted_of.items():
+        label = true_of[item]
+        same_cluster = cluster_members[cluster]
+        same_label_in_cluster = sum(
+            1 for other in same_cluster if true_of[other] == label
+        )
+        precision_total += same_label_in_cluster / len(same_cluster)
+        recall_total += same_label_in_cluster / len(label_members[label])
+    n = len(predicted_of)
+    return ClusterScores(precision_total / n, recall_total / n)
+
+
+def purity(predicted: Mapping[str, Set[str]], truth: Mapping[str, str]) -> float:
+    """Fraction of items in their cluster's majority true label."""
+    predicted_of, true_of = _prepare(predicted, truth)
+    if not predicted_of:
+        return 0.0
+    cluster_labels: Dict[str, Counter] = defaultdict(Counter)
+    for item, cluster in predicted_of.items():
+        cluster_labels[cluster][true_of[item]] += 1
+    majority = sum(counts.most_common(1)[0][1] for counts in cluster_labels.values())
+    return majority / len(predicted_of)
+
+
+def normalized_mutual_information(
+    predicted: Mapping[str, Set[str]], truth: Mapping[str, str]
+) -> float:
+    """NMI with arithmetic-mean normalization, in [0, 1]."""
+    predicted_of, true_of = _prepare(predicted, truth)
+    n = len(predicted_of)
+    if n == 0:
+        return 0.0
+    joint: Counter = Counter()
+    predicted_sizes: Counter = Counter()
+    true_sizes: Counter = Counter()
+    for item, cluster in predicted_of.items():
+        label = true_of[item]
+        joint[(cluster, label)] += 1
+        predicted_sizes[cluster] += 1
+        true_sizes[label] += 1
+    mutual_information = 0.0
+    for (cluster, label), count in joint.items():
+        p_joint = count / n
+        p_cluster = predicted_sizes[cluster] / n
+        p_label = true_sizes[label] / n
+        mutual_information += p_joint * math.log(p_joint / (p_cluster * p_label))
+    h_predicted = -sum(
+        (size / n) * math.log(size / n) for size in predicted_sizes.values()
+    )
+    h_true = -sum((size / n) * math.log(size / n) for size in true_sizes.values())
+    if h_predicted == 0.0 and h_true == 0.0:
+        return 1.0  # both clusterings are single-cluster: identical
+    denominator = (h_predicted + h_true) / 2
+    if denominator == 0.0:
+        return 0.0
+    return max(0.0, min(1.0, mutual_information / denominator))
+
+
+def adjusted_rand_index(
+    predicted: Mapping[str, Set[str]], truth: Mapping[str, str]
+) -> float:
+    """ARI (Hubert & Arabie 1985); 1 for identical clusterings, ~0 random."""
+    predicted_of, true_of = _prepare(predicted, truth)
+    n = len(predicted_of)
+    if n == 0:
+        return 0.0
+    joint: Counter = Counter()
+    predicted_sizes: Counter = Counter()
+    true_sizes: Counter = Counter()
+    for item, cluster in predicted_of.items():
+        label = true_of[item]
+        joint[(cluster, label)] += 1
+        predicted_sizes[cluster] += 1
+        true_sizes[label] += 1
+    index = sum(_comb2(count) for count in joint.values())
+    sum_predicted = sum(_comb2(size) for size in predicted_sizes.values())
+    sum_true = sum(_comb2(size) for size in true_sizes.values())
+    total_pairs = _comb2(n)
+    if total_pairs == 0:
+        return 1.0
+    expected = sum_predicted * sum_true / total_pairs
+    maximum = (sum_predicted + sum_true) / 2
+    if maximum == expected:
+        return 1.0
+    return (index - expected) / (maximum - expected)

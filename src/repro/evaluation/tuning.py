@@ -1,0 +1,102 @@
+"""Threshold calibration on labelled corpora.
+
+The paper leaves thresholds open; adopters need a principled way to set
+them for their own data.  :func:`tune` grid-searches configuration
+overrides against ground truth, scoring each candidate with the
+harness, and returns the ranked table.  The repo's defaults were chosen
+exactly this way (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.eventdata.corpus import Corpus
+from repro.evaluation.harness import MethodSpec, run_experiment
+
+
+@dataclass(frozen=True)
+class TuningPoint:
+    """One evaluated grid cell."""
+
+    overrides: Tuple[Tuple[str, object], ...]
+    si_f1: float
+    global_f1: float
+    elapsed: float
+
+    @property
+    def params(self) -> Dict[str, object]:
+        return dict(self.overrides)
+
+
+@dataclass
+class TuningResult:
+    """All evaluated points, best first (by the tuned objective)."""
+
+    points: List[TuningPoint]
+    objective: str
+
+    @property
+    def best(self) -> TuningPoint:
+        return self.points[0]
+
+    def table(self) -> str:
+        if not self.points:
+            return "(no points)"
+        param_names = sorted(self.points[0].params)
+        header = "  ".join(f"{name:>16}" for name in param_names)
+        header += f"  {'si_f1':>7} {'global_f1':>9} {'elapsed':>8}"
+        lines = [header, "-" * len(header)]
+        for point in self.points:
+            row = "  ".join(
+                f"{point.params[name]!s:>16}" for name in param_names
+            )
+            lines.append(
+                f"{row}  {point.si_f1:>7.3f} {point.global_f1:>9.3f} "
+                f"{point.elapsed:>7.2f}s"
+            )
+        return "\n".join(lines)
+
+
+def tune(
+    corpus: Corpus,
+    grid: Mapping[str, Sequence[object]],
+    si_method: str = "temporal",
+    sa_method: str = "greedy",
+    objective: str = "global_f1",
+    refine: bool = True,
+) -> TuningResult:
+    """Evaluate every combination of ``grid`` values on ``corpus``.
+
+    ``grid`` maps config field names to candidate values, e.g.
+    ``{"match_threshold": [0.4, 0.48, 0.55], "window": [7*DAY, 14*DAY]}``.
+    ``objective`` is ``"global_f1"`` or ``"si_f1"``.
+    """
+    if objective not in ("global_f1", "si_f1"):
+        raise ValueError("objective must be 'global_f1' or 'si_f1'")
+    if not grid:
+        raise ValueError("grid must be non-empty")
+    if not corpus.truth.labels:
+        raise ValueError("tuning needs a ground-truth-labelled corpus")
+    names = sorted(grid)
+    points: List[TuningPoint] = []
+    for values in itertools.product(*(grid[name] for name in names)):
+        overrides = dict(zip(names, values))
+        spec = MethodSpec(
+            name="tune:" + ",".join(f"{k}={v}" for k, v in overrides.items()),
+            si_method=si_method,
+            sa_method=sa_method,
+            refine=refine,
+            config_overrides=overrides,
+        )
+        result = run_experiment(corpus, spec)
+        points.append(TuningPoint(
+            overrides=tuple(sorted(overrides.items())),
+            si_f1=result.si_f1,
+            global_f1=result.global_f1,
+            elapsed=result.elapsed,
+        ))
+    points.sort(key=lambda p: (-getattr(p, objective), p.elapsed))
+    return TuningResult(points=points, objective=objective)

@@ -1,0 +1,40 @@
+"""Event data substrate.
+
+The paper's snippets come from repositories such as GDELT and EventRegistry.
+This package defines the data model (:mod:`repro.eventdata.models`), corpus
+containers with ground truth (:mod:`repro.eventdata.corpus`), a synthetic
+news-world simulator that replaces the proprietary feeds
+(:mod:`repro.eventdata.worldgen`, :mod:`repro.eventdata.sourcegen`), a
+GDELT-style tuple schema (:mod:`repro.eventdata.gdelt`), an
+EventRegistry-style document renderer (:mod:`repro.eventdata.eventregistry`)
+and the handcrafted MH17 mini-corpus used throughout the paper's figures
+(:mod:`repro.eventdata.handcrafted`).
+"""
+
+from repro.eventdata.models import (
+    Document,
+    Snippet,
+    Source,
+    format_timestamp,
+    parse_timestamp,
+)
+from repro.eventdata.corpus import Corpus, GroundTruth
+from repro.eventdata.worldgen import StoryArc, WorldConfig, WorldGenerator
+from repro.eventdata.sourcegen import SourceProfile, SourceSimulator
+from repro.eventdata.handcrafted import mh17_corpus
+
+__all__ = [
+    "Source",
+    "Document",
+    "Snippet",
+    "format_timestamp",
+    "parse_timestamp",
+    "Corpus",
+    "GroundTruth",
+    "WorldConfig",
+    "WorldGenerator",
+    "StoryArc",
+    "SourceProfile",
+    "SourceSimulator",
+    "mh17_corpus",
+]

@@ -1,0 +1,333 @@
+"""Corpus containers and ground truth.
+
+A :class:`Corpus` bundles sources, documents and snippets; a
+:class:`GroundTruth` maps every snippet to the real-world story it belongs
+to.  Ground truth is *global* (cross-source): the per-source restriction used
+to evaluate story identification is derived from it, while the global view
+evaluates story alignment.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set
+
+from repro.errors import DataFormatError, DuplicateSnippetError, UnknownSourceError
+from repro.eventdata.models import Document, Snippet, Source
+
+
+@dataclass
+class GroundTruth:
+    """Mapping from snippet id to the true (global) story label."""
+
+    labels: Dict[str, str] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def __contains__(self, snippet_id: str) -> bool:
+        return snippet_id in self.labels
+
+    def label(self, snippet_id: str) -> str:
+        """True story label of ``snippet_id`` (KeyError if unlabeled)."""
+        return self.labels[snippet_id]
+
+    def set(self, snippet_id: str, story_label: str) -> None:
+        self.labels[snippet_id] = story_label
+
+    def story_labels(self) -> Set[str]:
+        """The set of distinct true stories."""
+        return set(self.labels.values())
+
+    def clusters(self) -> Dict[str, Set[str]]:
+        """Invert the mapping: story label -> set of snippet ids."""
+        clusters: Dict[str, Set[str]] = defaultdict(set)
+        for snippet_id, story in self.labels.items():
+            clusters[story].add(snippet_id)
+        return dict(clusters)
+
+    def restrict(self, snippet_ids: Iterable[str]) -> "GroundTruth":
+        """Ground truth restricted to the given snippet ids.
+
+        Used to derive the per-source truth that story identification is
+        scored against.
+        """
+        wanted = set(snippet_ids)
+        return GroundTruth(
+            {sid: label for sid, label in self.labels.items() if sid in wanted}
+        )
+
+
+class Corpus:
+    """An in-memory event dataset: sources, documents and snippets.
+
+    Snippets are kept in insertion order; :meth:`snippets_by_time` and
+    :meth:`by_source` provide the orderings the algorithms need.  The corpus
+    enforces referential integrity: a snippet's source must be registered
+    before the snippet is added.
+    """
+
+    def __init__(self, name: str = "corpus") -> None:
+        self.name = name
+        self._sources: Dict[str, Source] = {}
+        self._documents: Dict[str, Document] = {}
+        self._snippets: Dict[str, Snippet] = {}
+        self._order: List[str] = []
+        self.truth = GroundTruth()
+
+    # -- construction ------------------------------------------------------
+
+    def add_source(self, source: Source) -> None:
+        """Register a data source (idempotent for identical re-adds)."""
+        existing = self._sources.get(source.source_id)
+        if existing is not None and existing != source:
+            raise DataFormatError(
+                f"source {source.source_id!r} already registered with "
+                f"different attributes"
+            )
+        self._sources[source.source_id] = source
+
+    def add_document(self, document: Document) -> None:
+        if document.source_id not in self._sources:
+            raise UnknownSourceError(document.source_id)
+        self._documents[document.document_id] = document
+
+    def add_snippet(self, snippet: Snippet, story_label: Optional[str] = None) -> None:
+        """Add a snippet, optionally recording its ground-truth story."""
+        if snippet.source_id not in self._sources:
+            raise UnknownSourceError(snippet.source_id)
+        if snippet.snippet_id in self._snippets:
+            raise DuplicateSnippetError(snippet.snippet_id)
+        self._snippets[snippet.snippet_id] = snippet
+        self._order.append(snippet.snippet_id)
+        if story_label is not None:
+            self.truth.set(snippet.snippet_id, story_label)
+
+    def remove_snippet(self, snippet_id: str) -> Snippet:
+        """Remove and return a snippet (KeyError if absent)."""
+        snippet = self._snippets.pop(snippet_id)
+        self._order.remove(snippet_id)
+        self.truth.labels.pop(snippet_id, None)
+        return snippet
+
+    # -- access -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._snippets)
+
+    def __contains__(self, snippet_id: str) -> bool:
+        return snippet_id in self._snippets
+
+    def __iter__(self) -> Iterator[Snippet]:
+        for snippet_id in self._order:
+            yield self._snippets[snippet_id]
+
+    @property
+    def sources(self) -> Mapping[str, Source]:
+        return dict(self._sources)
+
+    @property
+    def documents(self) -> Mapping[str, Document]:
+        return dict(self._documents)
+
+    def snippet(self, snippet_id: str) -> Snippet:
+        return self._snippets[snippet_id]
+
+    def snippets(self) -> List[Snippet]:
+        """All snippets in insertion order."""
+        return [self._snippets[sid] for sid in self._order]
+
+    def snippets_by_time(self) -> List[Snippet]:
+        """All snippets ordered by occurrence timestamp (stable)."""
+        return sorted(self.snippets(), key=lambda s: (s.timestamp, s.snippet_id))
+
+    def snippets_by_publication(self) -> List[Snippet]:
+        """All snippets in the order sources published them (Section 2.4)."""
+        return sorted(self.snippets(), key=lambda s: (s.published, s.snippet_id))
+
+    def by_source(self, source_id: str) -> List[Snippet]:
+        """Snippets of one source, ordered by occurrence time."""
+        if source_id not in self._sources:
+            raise UnknownSourceError(source_id)
+        return sorted(
+            (s for s in self.snippets() if s.source_id == source_id),
+            key=lambda s: (s.timestamp, s.snippet_id),
+        )
+
+    def source_partition(self) -> Dict[str, List[Snippet]]:
+        """Partition ``V`` into the per-source subsets ``V_i`` (Section 2.1)."""
+        partition: Dict[str, List[Snippet]] = {sid: [] for sid in self._sources}
+        for snippet in self.snippets_by_time():
+            partition[snippet.source_id].append(snippet)
+        return partition
+
+    def entities(self) -> Set[str]:
+        """All distinct entities mentioned across the corpus."""
+        found: Set[str] = set()
+        for snippet in self._snippets.values():
+            found |= snippet.entities
+        return found
+
+    def time_span(self) -> "tuple[float, float]":
+        """(min, max) occurrence timestamp; raises on an empty corpus."""
+        if not self._snippets:
+            raise DataFormatError("corpus has no snippets")
+        timestamps = [s.timestamp for s in self._snippets.values()]
+        return min(timestamps), max(timestamps)
+
+    def filter(
+        self,
+        entity: Optional[str] = None,
+        source_id: Optional[str] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        keyword: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> "Corpus":
+        """A sub-corpus of snippets matching every given criterion.
+
+        ``keyword`` matches stemmed description/keyword terms (so
+        "investigations" finds "investigation").  Timestamps are inclusive.
+        """
+        from repro.storage.event_store import match_terms
+        from repro.text.stem import PorterStemmer
+
+        stem = PorterStemmer().stem(keyword.lower()) if keyword else None
+        selected = []
+        for snippet in self.snippets():
+            if entity is not None and entity not in snippet.entities:
+                continue
+            if source_id is not None and snippet.source_id != source_id:
+                continue
+            if start is not None and snippet.timestamp < start:
+                continue
+            if end is not None and snippet.timestamp > end:
+                continue
+            if stem is not None and stem not in match_terms(snippet):
+                continue
+            selected.append(snippet.snippet_id)
+        return self.subset(selected, name or f"{self.name}:filtered")
+
+    def subset(self, snippet_ids: Iterable[str], name: Optional[str] = None) -> "Corpus":
+        """A new corpus containing only the given snippets (plus all sources)."""
+        wanted = set(snippet_ids)
+        sub = Corpus(name or f"{self.name}:subset")
+        for source in self._sources.values():
+            sub.add_source(source)
+        for document in self._documents.values():
+            sub.add_document(document)
+        for snippet_id in self._order:
+            if snippet_id in wanted:
+                sub.add_snippet(
+                    self._snippets[snippet_id],
+                    self.truth.labels.get(snippet_id),
+                )
+        return sub
+
+    # -- serialization -------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """Serialize the full corpus to JSON-lines text."""
+        lines = [json.dumps({"kind": "corpus", "name": self.name})]
+        for source in self._sources.values():
+            lines.append(
+                json.dumps(
+                    {
+                        "kind": "source",
+                        "source_id": source.source_id,
+                        "name": source.name,
+                        "type": source.kind,
+                    }
+                )
+            )
+        for document in self._documents.values():
+            lines.append(
+                json.dumps(
+                    {
+                        "kind": "document",
+                        "document_id": document.document_id,
+                        "source_id": document.source_id,
+                        "title": document.title,
+                        "body": document.body,
+                        "published": document.published,
+                        "url": document.url,
+                    }
+                )
+            )
+        for snippet in self.snippets():
+            record = {
+                "kind": "snippet",
+                "snippet_id": snippet.snippet_id,
+                "source_id": snippet.source_id,
+                "timestamp": snippet.timestamp,
+                "published": snippet.published,
+                "description": snippet.description,
+                "entities": sorted(snippet.entities),
+                "keywords": list(snippet.keywords),
+                "text": snippet.text,
+                "event_type": snippet.event_type,
+                "document_id": snippet.document_id,
+                "url": snippet.url,
+            }
+            label = self.truth.labels.get(snippet.snippet_id)
+            if label is not None:
+                record["story"] = label
+            lines.append(json.dumps(record))
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "Corpus":
+        """Deserialize a corpus written by :meth:`to_jsonl`."""
+        corpus = cls()
+        for line_no, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise DataFormatError(f"line {line_no}: invalid JSON") from exc
+            kind = record.get("kind")
+            if kind == "corpus":
+                corpus.name = record.get("name", corpus.name)
+            elif kind == "source":
+                corpus.add_source(
+                    Source(
+                        source_id=record["source_id"],
+                        name=record["name"],
+                        kind=record.get("type", "newspaper"),
+                    )
+                )
+            elif kind == "document":
+                corpus.add_document(
+                    Document(
+                        document_id=record["document_id"],
+                        source_id=record["source_id"],
+                        title=record["title"],
+                        body=record["body"],
+                        published=record["published"],
+                        url=record.get("url", ""),
+                    )
+                )
+            elif kind == "snippet":
+                corpus.add_snippet(
+                    Snippet(
+                        snippet_id=record["snippet_id"],
+                        source_id=record["source_id"],
+                        timestamp=record["timestamp"],
+                        published=record.get("published"),
+                        description=record["description"],
+                        entities=frozenset(record.get("entities", [])),
+                        keywords=tuple(record.get("keywords", [])),
+                        text=record.get("text", ""),
+                        event_type=record.get("event_type", "unknown"),
+                        document_id=record.get("document_id", ""),
+                        url=record.get("url", ""),
+                    ),
+                    record.get("story"),
+                )
+            else:
+                raise DataFormatError(f"line {line_no}: unknown record kind {kind!r}")
+        return corpus

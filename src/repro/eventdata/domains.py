@@ -1,0 +1,100 @@
+"""Topical domains and their vocabularies.
+
+Ground-truth stories live in a *domain* (conflict, economy, ...).  Stories
+within one domain share the domain's base vocabulary — this is precisely
+what makes long-range complete matching confusable (Section 2.2's argument
+for temporal identification): two different conflict stories look alike when
+compared across months, while locally their drifting keyword mixtures
+differ.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: domain -> keyword vocabulary (order matters: deterministic sampling).
+DOMAIN_VOCABULARIES: Dict[str, Tuple[str, ...]] = {
+    "conflict": (
+        "protest", "clash", "ceasefire", "shelling", "troops", "border",
+        "militia", "separatist", "airstrike", "casualties", "refugees",
+        "sanctions", "negotiation", "offensive", "rebels", "artillery",
+        "checkpoint", "convoy", "mobilization", "annexation", "insurgency",
+        "peacekeepers", "escalation", "withdrawal", "armistice", "siege",
+        "bombardment", "occupation", "resistance", "crossfire", "truce",
+        "hostilities", "incursion", "blockade", "uprising", "crackdown",
+    ),
+    "economy": (
+        "markets", "inflation", "currency", "exports", "tariffs", "stocks",
+        "recession", "growth", "unemployment", "bonds", "deficit", "trade",
+        "investment", "bailout", "interest", "banking", "earnings", "merger",
+        "bankruptcy", "stimulus", "debt", "commodities", "manufacturing",
+        "devaluation", "forecast", "budget", "austerity", "subsidies",
+        "regulation", "antitrust", "monopoly", "lawsuit", "acquisition",
+        "dividend", "shareholders", "valuation",
+    ),
+    "politics": (
+        "election", "parliament", "coalition", "referendum", "minister",
+        "campaign", "ballot", "opposition", "corruption", "impeachment",
+        "legislation", "senate", "cabinet", "diplomacy", "summit", "treaty",
+        "resignation", "scandal", "veto", "amendment", "lobbying", "polls",
+        "inauguration", "succession", "coup", "reform", "decree", "mandate",
+        "constituency", "delegation", "ratification", "censure", "caucus",
+        "primaries", "manifesto", "electorate",
+    ),
+    "disaster": (
+        "earthquake", "flood", "hurricane", "wildfire", "crash", "explosion",
+        "rescue", "evacuation", "victims", "debris", "collapse", "tsunami",
+        "landslide", "drought", "aftershock", "emergency", "survivors",
+        "wreckage", "derailment", "sinking", "blackout", "contamination",
+        "epidemic", "quarantine", "relief", "aid", "shelter", "damages",
+        "fatalities", "missing", "recovery", "investigation", "salvage",
+        "alert", "warning", "devastation",
+    ),
+    "sports": (
+        "tournament", "championship", "final", "transfer", "goal", "medal",
+        "record", "doping", "qualifier", "league", "stadium", "coach",
+        "injury", "victory", "defeat", "penalty", "referee", "season",
+        "playoffs", "title", "relegation", "contract", "debut", "retirement",
+        "olympics", "sprint", "marathon", "match", "squad", "captain",
+        "fixture", "standings", "comeback", "upset", "streak", "trophy",
+    ),
+    "health": (
+        "outbreak", "vaccine", "virus", "hospital", "patients", "treatment",
+        "infection", "pandemic", "symptoms", "clinical", "trial", "drug",
+        "approval", "mortality", "screening", "diagnosis", "immunity",
+        "transmission", "lockdown", "testing", "antibodies", "dosage",
+        "epidemiology", "pathogen", "containment", "surveillance",
+        "prevention", "therapy", "remission", "relapse", "wards", "triage",
+        "staffing", "shortage", "funding", "research",
+    ),
+    "technology": (
+        "software", "breach", "encryption", "startup", "platform", "privacy",
+        "algorithm", "satellite", "launch", "prototype", "patent", "chip",
+        "network", "outage", "hack", "malware", "cloud", "robotics",
+        "automation", "battery", "spectrum", "broadband", "surveillance",
+        "antitrust", "data", "leak", "firmware", "upgrade", "release",
+        "vulnerability", "exploit", "patch", "authentication", "quantum",
+        "semiconductor", "telecom",
+    ),
+}
+
+#: CAMEO-flavoured event types per domain, sampled per ground event.
+DOMAIN_EVENT_TYPES: Dict[str, Tuple[str, ...]] = {
+    "conflict": ("Fight", "Threaten", "Demand", "Coerce", "Assault", "Yield"),
+    "economy": ("Trade", "Invest", "Sanction", "Default", "Merge", "Regulate"),
+    "politics": ("Consult", "Appeal", "Reject", "Endorse", "Vote", "Negotiate"),
+    "disaster": ("Accident", "Rescue", "Evacuate", "Investigate", "Aid", "Rebuild"),
+    "sports": ("Compete", "Win", "Lose", "Transfer", "Suspend", "Qualify"),
+    "health": ("Outbreak", "Treat", "Vaccinate", "Quarantine", "Approve", "Research"),
+    "technology": ("Launch", "Breach", "Patch", "Acquire", "Release", "Litigate"),
+}
+
+DOMAINS: Tuple[str, ...] = tuple(DOMAIN_VOCABULARIES)
+
+#: Generic newsroom verbs/fillers shared by every domain (adds realistic
+#: cross-domain confusability without dominating the signal).
+GENERIC_TERMS: Tuple[str, ...] = (
+    "officials", "report", "statement", "response", "crisis", "talks",
+    "announcement", "sources", "authorities", "meeting", "agreement",
+    "decision", "pressure", "concerns", "situation", "developments",
+)

@@ -1,0 +1,111 @@
+"""Deterministic entity universe for the synthetic news world.
+
+Real extractions (GDELT, OpenCalais) annotate snippets with actors: country
+codes, organizations, and people.  The simulator draws from this in-repo
+universe so runs are reproducible without network access.  Country codes
+follow the paper's style (``UKR``, ``RUS``, ``MAL`` ...).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+#: (code, display name) — a CAMEO/ISO-flavoured actor list.
+COUNTRIES: Tuple[Tuple[str, str], ...] = (
+    ("UKR", "Ukraine"), ("RUS", "Russia"), ("MAL", "Malaysia"),
+    ("NTH", "Netherlands"), ("USA", "United States"), ("GBR", "United Kingdom"),
+    ("FRA", "France"), ("GER", "Germany"), ("CHN", "China"), ("JPN", "Japan"),
+    ("IND", "India"), ("BRA", "Brazil"), ("CAN", "Canada"), ("AUS", "Australia"),
+    ("ITA", "Italy"), ("ESP", "Spain"), ("POL", "Poland"), ("TUR", "Turkey"),
+    ("IRN", "Iran"), ("IRQ", "Iraq"), ("SYR", "Syria"), ("ISR", "Israel"),
+    ("PAL", "Palestine"), ("EGY", "Egypt"), ("SAU", "Saudi Arabia"),
+    ("NGA", "Nigeria"), ("ZAF", "South Africa"), ("KEN", "Kenya"),
+    ("ETH", "Ethiopia"), ("MEX", "Mexico"), ("ARG", "Argentina"),
+    ("COL", "Colombia"), ("VEN", "Venezuela"), ("KOR", "South Korea"),
+    ("PRK", "North Korea"), ("VNM", "Vietnam"), ("THA", "Thailand"),
+    ("IDN", "Indonesia"), ("PHL", "Philippines"), ("PAK", "Pakistan"),
+    ("AFG", "Afghanistan"), ("GRC", "Greece"), ("SWE", "Sweden"),
+    ("NOR", "Norway"), ("FIN", "Finland"), ("CHE", "Switzerland"),
+    ("AUT", "Austria"), ("BEL", "Belgium"), ("PRT", "Portugal"),
+    ("CZE", "Czech Republic"), ("HUN", "Hungary"), ("ROU", "Romania"),
+    ("BGR", "Bulgaria"), ("SRB", "Serbia"), ("HRV", "Croatia"),
+    ("GEO", "Georgia"), ("ARM", "Armenia"), ("AZE", "Azerbaijan"),
+    ("KAZ", "Kazakhstan"), ("BLR", "Belarus"), ("MDA", "Moldova"),
+    ("LTU", "Lithuania"), ("LVA", "Latvia"), ("EST", "Estonia"),
+    ("CUB", "Cuba"), ("CHL", "Chile"), ("PER", "Peru"), ("MAR", "Morocco"),
+    ("DZA", "Algeria"), ("TUN", "Tunisia"), ("LBY", "Libya"),
+    ("SDN", "Sudan"), ("SOM", "Somalia"), ("YEM", "Yemen"), ("JOR", "Jordan"),
+    ("LBN", "Lebanon"), ("QAT", "Qatar"), ("ARE", "United Arab Emirates"),
+    ("SGP", "Singapore"), ("MMR", "Myanmar"), ("BGD", "Bangladesh"),
+    ("LKA", "Sri Lanka"), ("NPL", "Nepal"), ("NZL", "New Zealand"),
+)
+
+ORGANIZATIONS: Tuple[Tuple[str, str], ...] = (
+    ("UN", "United Nations"), ("NATO", "NATO"), ("EU", "European Union"),
+    ("IMF", "International Monetary Fund"), ("WBK", "World Bank"),
+    ("WHO", "World Health Organization"), ("WTO", "World Trade Organization"),
+    ("ICRC", "Red Cross"), ("OPEC", "OPEC"), ("ASEAN", "ASEAN"),
+    ("AU", "African Union"), ("OSCE", "OSCE"), ("ICC", "International Criminal Court"),
+    ("FIFA", "FIFA"), ("IOC", "International Olympic Committee"),
+    ("ECB", "European Central Bank"), ("FED", "Federal Reserve"),
+    ("SEC", "Securities and Exchange Commission"), ("CVL", "Civil Aviation Authority"),
+    ("INTERPOL", "Interpol"), ("UNESCO", "UNESCO"), ("UNHCR", "UNHCR"),
+    ("OECD", "OECD"), ("G20", "G20"), ("G7", "G7"),
+)
+
+COMPANIES: Tuple[Tuple[str, str], ...] = (
+    ("MAS", "Malaysia Airlines"), ("BOE", "Boeing"), ("ABUS", "Airbus"),
+    ("GAZ", "Gazprom"), ("SHEL", "Shell"), ("EXX", "ExxonMobil"),
+    ("GOOG", "Google"), ("YELP", "Yelp"), ("APPL", "Apple"),
+    ("MSFT", "Microsoft"), ("AMZN", "Amazon"), ("TSLA", "Tesla"),
+    ("SIEM", "Siemens"), ("TOYT", "Toyota"), ("VOLK", "Volkswagen"),
+    ("SAMS", "Samsung"), ("HUAW", "Huawei"), ("ALIB", "Alibaba"),
+    ("NEST", "Nestle"), ("PFE", "Pfizer"), ("BAYR", "Bayer"),
+    ("GSK", "GlaxoSmithKline"), ("BP", "BP"), ("TOT", "TotalEnergies"),
+    ("LUFT", "Lufthansa"), ("RYAN", "Ryanair"), ("MAER", "Maersk"),
+    ("HSBC", "HSBC"), ("JPM", "JPMorgan"), ("GS", "Goldman Sachs"),
+    ("DB", "Deutsche Bank"), ("UBS", "UBS"), ("BARC", "Barclays"),
+)
+
+_FIRST_NAMES = (
+    "Alexei", "Maria", "John", "Wei", "Fatima", "Carlos", "Anna", "David",
+    "Yuki", "Amara", "Pieter", "Ingrid", "Omar", "Elena", "Viktor", "Sofia",
+    "James", "Linh", "Kofi", "Priya", "Mateo", "Zara", "Henrik", "Leila",
+    "Dmitri", "Chiara", "Ahmed", "Greta", "Pablo", "Nadia",
+)
+
+_LAST_NAMES = (
+    "Petrov", "Silva", "Smith", "Chen", "Hassan", "Garcia", "Novak",
+    "Johnson", "Tanaka", "Okafor", "Janssen", "Larsen", "Farouk", "Popov",
+    "Kovac", "Rossi", "Brown", "Nguyen", "Mensah", "Sharma", "Diaz",
+    "Khan", "Berg", "Haddad", "Volkov", "Ricci", "Mahmoud", "Lindqvist",
+    "Morales", "Karimov",
+)
+
+
+def person_universe(count: int, seed: int = 7) -> List[Tuple[str, str]]:
+    """Generate ``count`` deterministic (code, "First Last") person entities."""
+    rng = random.Random(seed)
+    people: List[Tuple[str, str]] = []
+    seen = set()
+    while len(people) < count:
+        first = rng.choice(_FIRST_NAMES)
+        last = rng.choice(_LAST_NAMES)
+        name = f"{first} {last}"
+        if name in seen:
+            continue
+        seen.add(name)
+        code = f"P_{last.upper()}_{len(people):03d}"
+        people.append((code, name))
+    return people
+
+
+def full_universe(num_people: int = 120, seed: int = 7) -> Dict[str, str]:
+    """code -> display-name for the whole entity universe."""
+    universe = {}
+    for code, name in COUNTRIES + ORGANIZATIONS + COMPANIES:
+        universe[code] = name
+    for code, name in person_universe(num_people, seed):
+        universe[code] = name
+    return universe

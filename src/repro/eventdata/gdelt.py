@@ -1,0 +1,143 @@
+"""GDELT-style tuple schema and TSV round-trip.
+
+GDELT distributes events as tab-separated records with actor codes, a CAMEO
+event code, and date fields.  This module maps our :class:`Snippet` model
+onto a GDELT-flavoured flat schema so that (a) the repo can *export* its
+synthetic worlds in the format analysts expect, and (b) real GDELT-like
+exports can be *imported* as corpora.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import DataFormatError
+from repro.eventdata.corpus import Corpus
+from repro.eventdata.models import Snippet, Source
+
+#: Column order of the flat export (a pragmatic subset of GDELT 1.0).
+GDELT_COLUMNS = (
+    "GLOBALEVENTID",
+    "SQLDATE",
+    "Actor1Code",
+    "Actor2Code",
+    "EventCode",
+    "SOURCEURL",
+    "SourceId",
+    "Actors",
+    "Keywords",
+    "Description",
+    "TimestampUnix",
+    "PublishedUnix",
+    "StoryLabel",
+)
+
+#: CAMEO root codes by coarse event-type name used in the simulator.
+CAMEO_CODES: Dict[str, str] = {
+    "Consult": "040", "Appeal": "020", "Reject": "120", "Endorse": "051",
+    "Vote": "043", "Negotiate": "046", "Fight": "190", "Threaten": "130",
+    "Demand": "100", "Coerce": "170", "Assault": "180", "Yield": "080",
+    "Trade": "061", "Invest": "062", "Sanction": "163", "Default": "166",
+    "Merge": "057", "Regulate": "115", "Accident": "200", "Rescue": "075",
+    "Evacuate": "084", "Investigate": "090", "Aid": "070", "Rebuild": "086",
+    "Compete": "010", "Win": "011", "Lose": "012", "Transfer": "013",
+    "Suspend": "014", "Qualify": "015", "Outbreak": "201", "Treat": "076",
+    "Vaccinate": "077", "Quarantine": "085", "Approve": "052",
+    "Research": "042", "Launch": "016", "Breach": "202", "Patch": "017",
+    "Acquire": "058", "Release": "066", "Litigate": "116",
+    "unknown": "000",
+}
+
+_REVERSE_CAMEO = {code: name for name, code in CAMEO_CODES.items()}
+
+
+def _sqldate(timestamp: float) -> str:
+    moment = _dt.datetime.fromtimestamp(timestamp, tz=_dt.timezone.utc)
+    return moment.strftime("%Y%m%d")
+
+
+def snippet_to_row(snippet: Snippet, story_label: Optional[str] = None) -> List[str]:
+    """Flatten a snippet into a GDELT-style row (list of column strings)."""
+    actors = sorted(snippet.entities)
+    return [
+        snippet.snippet_id,
+        _sqldate(snippet.timestamp),
+        actors[0] if actors else "",
+        actors[1] if len(actors) > 1 else "",
+        CAMEO_CODES.get(snippet.event_type, "000"),
+        snippet.url,
+        snippet.source_id,
+        ";".join(actors),
+        ";".join(snippet.keywords),
+        snippet.description,
+        repr(snippet.timestamp),
+        repr(snippet.published),
+        story_label or "",
+    ]
+
+
+def export_tsv(corpus: Corpus) -> str:
+    """Serialize a corpus to GDELT-flavoured TSV (with header row)."""
+    lines = ["\t".join(GDELT_COLUMNS)]
+    for snippet in corpus.snippets():
+        label = corpus.truth.labels.get(snippet.snippet_id)
+        row = snippet_to_row(snippet, label)
+        for cell in row:
+            if "\t" in cell or "\n" in cell:
+                raise DataFormatError(
+                    f"snippet {snippet.snippet_id!r} contains tab/newline; "
+                    f"cannot export as TSV"
+                )
+        lines.append("\t".join(row))
+    return "\n".join(lines) + "\n"
+
+
+def import_tsv(text: str, name: str = "gdelt-import") -> Corpus:
+    """Parse TSV produced by :func:`export_tsv` back into a corpus.
+
+    Sources are synthesized from the distinct ``SourceId`` values.
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise DataFormatError("empty TSV input")
+    header = lines[0].split("\t")
+    if tuple(header) != GDELT_COLUMNS:
+        raise DataFormatError(
+            f"unexpected TSV header; wanted {GDELT_COLUMNS}, got {tuple(header)}"
+        )
+    corpus = Corpus(name)
+    seen_sources: Dict[str, Source] = {}
+    for line_no, line in enumerate(lines[1:], start=2):
+        cells = line.split("\t")
+        if len(cells) != len(GDELT_COLUMNS):
+            raise DataFormatError(
+                f"line {line_no}: expected {len(GDELT_COLUMNS)} columns, "
+                f"got {len(cells)}"
+            )
+        record = dict(zip(GDELT_COLUMNS, cells))
+        source_id = record["SourceId"]
+        if source_id not in seen_sources:
+            source = Source(source_id, source_id)
+            seen_sources[source_id] = source
+            corpus.add_source(source)
+        try:
+            timestamp = float(record["TimestampUnix"])
+            published = float(record["PublishedUnix"])
+        except ValueError as exc:
+            raise DataFormatError(f"line {line_no}: bad timestamp") from exc
+        entities = frozenset(a for a in record["Actors"].split(";") if a)
+        keywords = tuple(k for k in record["Keywords"].split(";") if k)
+        snippet = Snippet(
+            snippet_id=record["GLOBALEVENTID"],
+            source_id=source_id,
+            timestamp=timestamp,
+            published=published,
+            description=record["Description"],
+            entities=entities,
+            keywords=keywords,
+            event_type=_REVERSE_CAMEO.get(record["EventCode"], "unknown"),
+            url=record["SOURCEURL"],
+        )
+        corpus.add_snippet(snippet, record["StoryLabel"] or None)
+    return corpus

@@ -1,0 +1,251 @@
+"""The handcrafted MH17 mini-corpus used throughout the paper's figures.
+
+The paper's running example (Figures 1, 3-6) involves two sources — the
+New York Times (``s1``) and the Wall Street Journal (``sn``) — reporting on
+three concurrent mid-2014 stories:
+
+* the downing of Malaysia Airlines flight MH17 over Ukraine (July 17 through
+  the Dutch Safety Board report of September 12),
+* a United Nations call for a war-crimes investigation in the Israel/Gaza
+  conflict (which shares the entities ``UN`` and the keyword "investigation"
+  with MH17 — exactly the confusable pair behind Figure 1's mis-assigned
+  ``v4``), and
+* a doctors/medicine-shortage story covered by the NYT only (Figure 4's
+  ``c3`` — a story that exists in a single source and must survive
+  alignment unaligned).
+
+Snippet ids follow the paper's notation: ``s1:v1`` is :math:`v^1_1`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.eventdata.corpus import Corpus
+from repro.eventdata.models import Document, Snippet, Source, parse_timestamp
+
+NYT = "s1"
+WSJ = "sn"
+
+#: ground-truth story labels
+MH17 = "story_mh17"
+SANCTIONS = "story_sanctions"  # the economic thread; separate story per Fig. 1
+GAZA = "story_gaza"
+DOCTORS = "story_doctors"
+
+
+def _snippet(
+    snippet_id: str,
+    source_id: str,
+    date: str,
+    description: str,
+    entities: Tuple[str, ...],
+    keywords: Tuple[str, ...],
+    text: str,
+    event_type: str,
+    document_id: str = "",
+    url: str = "",
+) -> Snippet:
+    return Snippet(
+        snippet_id=snippet_id,
+        source_id=source_id,
+        timestamp=parse_timestamp(date),
+        description=description,
+        entities=frozenset(entities),
+        keywords=keywords,
+        text=text,
+        event_type=event_type,
+        document_id=document_id,
+        url=url,
+    )
+
+
+def mh17_corpus(with_documents: bool = True) -> Corpus:
+    """Build the two-source demo corpus with ground truth labels."""
+    corpus = Corpus("mh17-demo")
+    corpus.add_source(Source(NYT, "New York Times", "newspaper"))
+    corpus.add_source(Source(WSJ, "Wall Street Journal", "newspaper"))
+
+    rows = [
+        # --- s1 (New York Times) -----------------------------------------
+        (
+            "s1:v1", NYT, "2014-07-17",
+            "plane crash shot",
+            ("UKR", "MAS", "RUS"),
+            ("crash", "plane", "shot", "missile"),
+            "Jetliner explodes over Ukraine. A Malaysian airplane with 298 "
+            "people aboard crashed in territory controlled by pro-Russia "
+            "separatists, blown out of the sky by a missile.",
+            "Accident", MH17, "http://nytimes.com/doc1.html",
+        ),
+        (
+            "s1:v2", NYT, "2014-07-18",
+            "crash investigation",
+            ("UN", "UKR"),
+            ("crash", "investigation", "aviation"),
+            "Officials leading the criminal investigation into the crash "
+            "asked the United Nations civil aviation authority for help as "
+            "Ukraine pressed for access to the site.",
+            "Investigate", MH17, "http://nytimes.com/doc2.html",
+        ),
+        (
+            "s1:v3", NYT, "2014-07-29",
+            "sanctions conflict",
+            ("USA", "EU", "RUS"),
+            ("sanctions", "conflict", "escalation"),
+            "The day after the European Union and the United States "
+            "announced expanded sanctions against Russia over the conflict, "
+            "markets braced for escalation.",
+            "Sanction", SANCTIONS, "http://nytimes.com/doc0.html",
+        ),
+        (
+            "s1:v4", NYT, "2014-07-23",
+            "investigation war crimes",
+            ("ISR", "PAL", "UN"),
+            ("investigation", "war", "crimes", "human", "rights"),
+            "The United Nations human rights council voted to open an "
+            "investigation into possible war crimes in the Gaza conflict, "
+            "a call Israel rejected.",
+            "Investigate", GAZA, "http://nytimes.com/doc4.html",
+        ),
+        (
+            "s1:v5", NYT, "2014-09-12",
+            "report plane shot down",
+            ("UKR", "NTH"),
+            ("report", "plane", "shot", "investigation", "Amsterdam"),
+            "Investigators presented their preliminary report: the plane "
+            "that left Amsterdam broke up in the air after being hit by "
+            "numerous high-energy objects, evidence of Russian links to the "
+            "jet's downing.",
+            "Investigate", MH17, "http://nytimes.com/doc5.html",
+        ),
+        (
+            "s1:v6", NYT, "2014-08-05",
+            "doctors medical shortage",
+            ("UKR", "WHO"),
+            ("doctors", "medical", "shortage", "hospital"),
+            "Doctors in eastern Ukraine warn of an acute medical shortage "
+            "as hospitals run low on supplies amid the fighting.",
+            "Aid", DOCTORS, "http://nytimes.com/doc6.html",
+        ),
+        # --- sn (Wall Street Journal) -------------------------------------
+        (
+            "sn:v1", WSJ, "2014-07-17",
+            "plane crash exploded",
+            ("UKR", "MAS", "BOE"),
+            ("crash", "plane", "exploded", "missile"),
+            "A Malaysia Airlines Boeing 777 with 298 people aboard "
+            "exploded, crashed and burned in eastern Ukraine; officials "
+            "said a missile strike was the likely cause.",
+            "Accident", MH17, "http://online.wsj.com/doc3.html",
+        ),
+        (
+            "sn:v2", WSJ, "2014-07-19",
+            "crash investigation site",
+            ("UKR", "RUS", "UN"),
+            ("crash", "investigation", "site", "access"),
+            "Officials leading the criminal investigation into the crash of "
+            "Malaysia Airlines Flight 17 said Friday that the plane's "
+            "wreckage site remained contested.",
+            "Investigate", MH17, "http://online.wsj.com/doc4.html",
+        ),
+        (
+            "sn:v3", WSJ, "2014-07-24",
+            "war crimes investigation",
+            ("ISR", "PAL", "UN"),
+            ("war", "crimes", "investigation", "council"),
+            "The U.N. rights council approved an inquiry into alleged war "
+            "crimes in Gaza as fighting continued; Israel called the vote "
+            "one-sided.",
+            "Investigate", GAZA, "http://online.wsj.com/doc5.html",
+        ),
+        (
+            "sn:v4", WSJ, "2014-07-30",
+            "sanctions markets conflict",
+            ("USA", "EU", "RUS", "GAZ"),
+            ("sanctions", "markets", "conflict", "energy"),
+            "Expanded U.S. and EU sanctions against Russia over the "
+            "Ukraine conflict hit energy and banking shares; Gazprom "
+            "warned of supply risks.",
+            "Sanction", SANCTIONS, "http://online.wsj.com/doc6.html",
+        ),
+        (
+            "sn:v5", WSJ, "2014-09-12",
+            "report plane shot down",
+            ("UKR", "NTH", "MAS"),
+            ("report", "plane", "shot", "Amsterdam", "investigation"),
+            "Dutch investigators' preliminary report found the Amsterdam "
+            "flight was pierced by high-energy objects, consistent with "
+            "evidence of the jet being shot down over Ukraine.",
+            "Investigate", MH17, "http://online.wsj.com/doc1.html",
+        ),
+        (
+            "sn:v6", WSJ, "2014-09-02",
+            "search competition lawsuit",
+            ("GOOG", "YELP"),
+            ("search", "competition", "antitrust", "content"),
+            "Google Inc. rival Yelp Inc. says the search giant is promoting "
+            "its own content at the expense of users, as Google battles "
+            "antitrust scrutiny.",
+            "Litigate", "story_google", "http://online.wsj.com/doc2.html",
+        ),
+    ]
+
+    for (snippet_id, source_id, date, description, entities, keywords, text,
+         event_type, label, url) in rows:
+        document_id = ""
+        if with_documents:
+            document_id = f"doc:{snippet_id}"
+            corpus.add_document(
+                Document(
+                    document_id=document_id,
+                    source_id=source_id,
+                    title=description.title(),
+                    body=text,
+                    published=parse_timestamp(date),
+                    url=url,
+                )
+            )
+        corpus.add_snippet(
+            _snippet(
+                snippet_id, source_id, date, description, entities, keywords,
+                text, event_type, document_id, url,
+            ),
+            label,
+        )
+    return corpus
+
+
+def figure1_identification() -> Dict[str, Dict[str, Tuple[str, ...]]]:
+    """The *mistaken* per-source identification state of Figure 1(b).
+
+    In the figure, source ``s1`` wrongly groups :math:`v^1_4` (the Gaza
+    investigation snippet) with the MH17 story ``c^1_1``, while source
+    ``sn`` keeps the corresponding snippets separate.  Refinement tests use
+    this as their starting state and must move ``s1:v4`` out (Figure 1(d)).
+    """
+    return {
+        NYT: {
+            "c1_1": ("s1:v1", "s1:v2", "s1:v4", "s1:v5"),
+            "c1_2": ("s1:v3",),
+        },
+        WSJ: {
+            "cn_1": ("sn:v1", "sn:v2", "sn:v5"),
+            "cn_2": ("sn:v4",),
+            "cn_3": ("sn:v3",),
+        },
+    }
+
+
+def demo_config():
+    """The configuration the demo session uses for this mini-corpus.
+
+    The handcrafted corpus is tiny and hand-labelled; a slightly lower
+    match threshold than the synthetic-scale default groups the
+    consecutive crash snippets within each source the way Figure 5 draws
+    them, while alignment still produces exactly the integrated stories of
+    Figure 4.
+    """
+    from repro.core.config import StoryPivotConfig
+
+    return StoryPivotConfig.temporal(match_threshold=0.34, merge_threshold=0.62)

@@ -1,0 +1,277 @@
+"""Per-source reporting simulator.
+
+Takes ground events from :mod:`repro.eventdata.worldgen` and produces the
+snippets each data source actually reports.  This models the source
+characteristics the paper stresses (Section 1): sources report "the same
+story with varying content and with varying levels of timeliness" —
+coverage bias per domain, publication delay (so snippets arrive
+out-of-order, Section 2.4), lossy/noisy annotation, and source-exclusive
+*enrichment* snippets (special reports that exist in one source only,
+Section 2.3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.eventdata.corpus import Corpus
+from repro.eventdata.domains import DOMAIN_VOCABULARIES, GENERIC_TERMS
+from repro.eventdata.models import DAY, HOUR, Document, Snippet, Source
+from repro.eventdata.worldgen import GroundEvent, WorldGenerator
+
+
+@dataclass
+class SourceProfile:
+    """Reporting behaviour of one simulated data source.
+
+    ``coverage`` is the base probability of reporting any ground event;
+    ``domain_bias`` multiplies it per domain (a sports outlet has
+    ``{"sports": 3.0, "economy": 0.2}``).  ``mean_delay`` /``delay_jitter``
+    drive a log-ish delay between occurrence and publication.  Noise knobs
+    control how faithfully the source's annotations reflect the event.
+    """
+
+    source_id: str
+    name: str
+    kind: str = "newspaper"
+    coverage: float = 0.6
+    domain_bias: Dict[str, float] = field(default_factory=dict)
+    mean_delay: float = 6 * HOUR
+    delay_jitter: float = 0.5
+    keyword_dropout: float = 0.2
+    extra_keyword_rate: float = 0.25
+    entity_dropout: float = 0.15
+    extra_entity_rate: float = 0.10
+    enrichment_rate: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.coverage <= 1.0:
+            raise ConfigurationError(
+                f"coverage must be in [0, 1], got {self.coverage}"
+            )
+        if self.mean_delay < 0:
+            raise ConfigurationError("mean_delay must be non-negative")
+
+    def report_probability(self, domain: str) -> float:
+        """Probability this source reports an event of ``domain``."""
+        return min(1.0, self.coverage * self.domain_bias.get(domain, 1.0))
+
+    def to_source(self) -> Source:
+        return Source(self.source_id, self.name, self.kind)
+
+
+def default_profiles(num_sources: int, seed: int = 13) -> List[SourceProfile]:
+    """A deterministic roster of heterogeneous sources.
+
+    Mimics the paper's mix: big national newspapers (high coverage, low
+    delay), wire services (very fast), local/niche outlets (biased, slower),
+    blogs (noisy, sparse).
+    """
+    if num_sources <= 0:
+        raise ConfigurationError("num_sources must be positive")
+    rng = random.Random(seed)
+    archetypes = (
+        ("newspaper", 0.65, 6 * HOUR, 0.15),
+        ("wire", 0.80, 1 * HOUR, 0.10),
+        ("blog", 0.25, 18 * HOUR, 0.35),
+        ("magazine", 0.35, 2 * DAY, 0.20),
+        ("broadcaster", 0.55, 3 * HOUR, 0.15),
+    )
+    domains = sorted(DOMAIN_VOCABULARIES)
+    profiles: List[SourceProfile] = []
+    for i in range(num_sources):
+        kind, coverage, delay, noise = archetypes[i % len(archetypes)]
+        bias: Dict[str, float] = {}
+        # Every source leans toward a couple of domains and away from others.
+        favored = rng.sample(domains, 2)
+        disfavored = rng.sample([d for d in domains if d not in favored], 2)
+        for d in favored:
+            bias[d] = rng.uniform(1.4, 2.5)
+        for d in disfavored:
+            bias[d] = rng.uniform(0.2, 0.7)
+        profiles.append(
+            SourceProfile(
+                source_id=f"s{i:03d}",
+                name=f"{kind.title()} {i:03d}",
+                kind=kind,
+                coverage=coverage * rng.uniform(0.85, 1.15),
+                domain_bias=bias,
+                mean_delay=delay * rng.uniform(0.6, 1.6),
+                delay_jitter=rng.uniform(0.3, 0.8),
+                keyword_dropout=noise,
+                extra_keyword_rate=noise,
+                entity_dropout=noise * 0.6,
+                extra_entity_rate=noise * 0.4,
+            )
+        )
+    return profiles
+
+
+class SourceSimulator:
+    """Turn ground events into a labelled multi-source :class:`Corpus`."""
+
+    def __init__(
+        self,
+        profiles: Sequence[SourceProfile],
+        seed: int = 99,
+        entity_universe: Optional[Dict[str, str]] = None,
+    ) -> None:
+        if not profiles:
+            raise ConfigurationError("at least one source profile is required")
+        self.profiles = list(profiles)
+        self._rng = random.Random(seed)
+        self._universe = entity_universe or {}
+        self._snippet_counter = 0
+
+    # -- corpus construction ----------------------------------------------
+
+    def make_corpus(
+        self,
+        events: Sequence[GroundEvent],
+        name: str = "synthetic",
+        render_documents: bool = False,
+        min_reports_per_event: int = 1,
+    ) -> Corpus:
+        """Simulate every source's reporting of ``events``.
+
+        With ``min_reports_per_event`` >= 1 each event is guaranteed to be
+        reported by at least that many sources (events nobody reports leave
+        no digital trace, which matches reality but starves tiny corpora).
+        """
+        corpus = Corpus(name)
+        for profile in self.profiles:
+            corpus.add_source(profile.to_source())
+        for event in sorted(events, key=lambda e: (e.timestamp, e.event_id)):
+            reporters = [
+                profile
+                for profile in self.profiles
+                if self._rng.random() < profile.report_probability(event.domain)
+            ]
+            deficit = min_reports_per_event - len(reporters)
+            if deficit > 0:
+                remaining = [p for p in self.profiles if p not in reporters]
+                self._rng.shuffle(remaining)
+                reporters.extend(remaining[:deficit])
+            for profile in reporters:
+                snippet = self._report(profile, event)
+                if render_documents:
+                    document = self._render_document(profile, event, snippet)
+                    corpus.add_document(document)
+                    snippet = Snippet(
+                        snippet_id=snippet.snippet_id,
+                        source_id=snippet.source_id,
+                        timestamp=snippet.timestamp,
+                        published=snippet.published,
+                        description=snippet.description,
+                        entities=snippet.entities,
+                        keywords=snippet.keywords,
+                        text=snippet.text,
+                        event_type=snippet.event_type,
+                        document_id=document.document_id,
+                        url=document.url,
+                    )
+                corpus.add_snippet(snippet, event.story_label)
+        return corpus
+
+    # -- single report -------------------------------------------------------
+
+    def _next_snippet_id(self, source_id: str) -> str:
+        snippet_id = f"{source_id}:v{self._snippet_counter:06d}"
+        self._snippet_counter += 1
+        return snippet_id
+
+    def _noisy_keywords(self, profile: SourceProfile, event: GroundEvent) -> List[str]:
+        rng = self._rng
+        keywords = [
+            kw for kw in event.keywords if rng.random() >= profile.keyword_dropout
+        ]
+        if not keywords:
+            keywords = [event.keywords[0]]
+        if rng.random() < profile.extra_keyword_rate:
+            vocabulary = DOMAIN_VOCABULARIES[event.domain]
+            extra = rng.choice(vocabulary)
+            if extra not in keywords:
+                keywords.append(extra)
+        if rng.random() < profile.extra_keyword_rate:
+            keywords.append(rng.choice(GENERIC_TERMS))
+        return keywords
+
+    def _noisy_entities(self, profile: SourceProfile, event: GroundEvent) -> List[str]:
+        rng = self._rng
+        entities = [
+            code for code in event.entities if rng.random() >= profile.entity_dropout
+        ]
+        if not entities:
+            entities = [event.entities[0]]
+        if self._universe and rng.random() < profile.extra_entity_rate:
+            extra = rng.choice(sorted(self._universe))
+            if extra not in entities:
+                entities.append(extra)
+        return entities
+
+    def _report(self, profile: SourceProfile, event: GroundEvent) -> Snippet:
+        rng = self._rng
+        keywords = self._noisy_keywords(profile, event)
+        entities = self._noisy_entities(profile, event)
+        delay = rng.expovariate(1.0 / profile.mean_delay) if profile.mean_delay else 0.0
+        delay *= 1.0 + rng.uniform(-profile.delay_jitter, profile.delay_jitter)
+        names = [self._universe.get(code, code) for code in entities]
+        description = " ".join(keywords[:3])
+        text = (
+            f"{', '.join(names)}: {', '.join(keywords)}. "
+            f"{event.body if rng.random() < 0.5 else event.headline}."
+        )
+        return Snippet(
+            snippet_id=self._next_snippet_id(profile.source_id),
+            source_id=profile.source_id,
+            timestamp=event.timestamp,
+            published=event.timestamp + max(0.0, delay),
+            description=description,
+            entities=frozenset(entities),
+            keywords=tuple(keywords),
+            text=text,
+            event_type=event.event_type,
+        )
+
+    def _render_document(
+        self, profile: SourceProfile, event: GroundEvent, snippet: Snippet
+    ) -> Document:
+        document_id = f"doc:{snippet.snippet_id}"
+        slug = event.headline.lower().replace(" ", "-")[:40]
+        return Document(
+            document_id=document_id,
+            source_id=profile.source_id,
+            title=event.headline,
+            body=snippet.text,
+            published=snippet.published if snippet.published else snippet.timestamp,
+            url=f"http://{profile.source_id}.example.com/{slug}.html",
+        )
+
+
+def synthetic_corpus(
+    total_events: int = 500,
+    num_sources: int = 5,
+    seed: int = 42,
+    name: str = "synthetic",
+    render_documents: bool = False,
+    **world_overrides,
+) -> Corpus:
+    """One-call generator: world + sources → labelled corpus.
+
+    This is the workload generator the Figure 7 benchmarks call with
+    varying ``total_events``.
+    """
+    from repro.eventdata.worldgen import WorldConfig
+
+    config = WorldConfig.for_total_events(total_events, seed=seed, **world_overrides)
+    generator = WorldGenerator(config)
+    arcs = generator.generate()
+    events = generator.events(arcs)
+    profiles = default_profiles(num_sources, seed=seed + 1)
+    simulator = SourceSimulator(
+        profiles, seed=seed + 2, entity_universe=generator.entity_universe
+    )
+    return simulator.make_corpus(events, name=name, render_documents=render_documents)

@@ -1,0 +1,380 @@
+"""Synthetic news-world generator.
+
+This module replaces GDELT / EventRegistry (see DESIGN.md, substitutions):
+it generates *ground-truth stories* — arcs of real-world events with
+evolving entities and keywords — from which the source simulator then
+produces per-source snippets.  Because the truth labels are known, the
+quality axis of the paper's Figure 7 (F-measure vs. #events) becomes
+computable.
+
+The generator models the story dynamics Section 2 motivates:
+
+* **drift** — a story's active keyword set changes gradually over its
+  lifetime (protests → military conflict in the Ukraine example), so
+  comparing temporally distant snippets of the same story is unreliable;
+* **domain confusability** — stories in one domain share a base vocabulary,
+  so *complete* matching that compares against all history tends to merge
+  distinct stories;
+* **split / merge** — a story can split into substories or merge with
+  another story of the same domain ("political and economic events were
+  interwoven during the height of the Ukraine crisis").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.eventdata.domains import (
+    DOMAIN_EVENT_TYPES,
+    DOMAIN_VOCABULARIES,
+    DOMAINS,
+    GENERIC_TERMS,
+)
+from repro.eventdata.entities import full_universe
+from repro.eventdata.models import DAY, parse_timestamp
+
+
+@dataclass(frozen=True)
+class GroundEvent:
+    """One real-world event inside a ground-truth story arc."""
+
+    event_id: str
+    story_label: str
+    domain: str
+    timestamp: float
+    entities: Tuple[str, ...]
+    keywords: Tuple[str, ...]
+    event_type: str
+    headline: str
+    body: str
+
+
+@dataclass
+class StoryArc:
+    """A ground-truth story: its label, domain, lifetime and events."""
+
+    label: str
+    domain: str
+    start: float
+    end: float
+    core_entities: Tuple[str, ...]
+    events: List[GroundEvent] = field(default_factory=list)
+    parent: Optional[str] = None
+    merged_from: Tuple[str, ...] = ()
+
+    @property
+    def size(self) -> int:
+        return len(self.events)
+
+
+@dataclass
+class WorldConfig:
+    """Parameters of the synthetic world.
+
+    Defaults mirror the dataset card the paper's statistics module shows
+    (Figure 7): a multi-month window, tens of sources in the source layer,
+    and stories whose event counts follow a long-tailed distribution.
+    """
+
+    seed: int = 42
+    num_stories: int = 40
+    start_date: str = "2014-06-01"
+    duration_days: float = 183.0  # June 1 – Dec 1, as in Figure 7
+    mean_events_per_story: float = 12.0
+    min_events_per_story: int = 3
+    entities_per_story: int = 4
+    keywords_per_story: int = 8
+    keywords_per_event: int = 5
+    entities_per_event: int = 3
+    drift_rate: float = 0.25
+    entity_drift_rate: float = 0.10
+    split_probability: float = 0.15
+    merge_probability: float = 0.10
+    num_people: int = 120
+    domain_weights: Optional[Dict[str, float]] = None
+    generic_term_probability: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.num_stories <= 0:
+            raise ConfigurationError("num_stories must be positive")
+        if self.mean_events_per_story < self.min_events_per_story:
+            raise ConfigurationError(
+                "mean_events_per_story must be >= min_events_per_story"
+            )
+        if not 0.0 <= self.drift_rate <= 1.0:
+            raise ConfigurationError("drift_rate must be in [0, 1]")
+
+    @classmethod
+    def for_total_events(cls, total_events: int, **overrides) -> "WorldConfig":
+        """Size the world so roughly ``total_events`` ground events exist.
+
+        Benchmarks sweep the #events axis of Figure 7 with this helper.
+        """
+        if total_events <= 0:
+            raise ConfigurationError("total_events must be positive")
+        mean = overrides.pop("mean_events_per_story", 12.0)
+        num_stories = max(1, round(total_events / mean))
+        return cls(num_stories=num_stories, mean_events_per_story=mean, **overrides)
+
+
+class WorldGenerator:
+    """Generate ground-truth story arcs and their events deterministically."""
+
+    def __init__(self, config: Optional[WorldConfig] = None) -> None:
+        self.config = config if config is not None else WorldConfig()
+        self._rng = random.Random(self.config.seed)
+        self._universe = full_universe(self.config.num_people, seed=self.config.seed)
+        self._entity_codes = sorted(self._universe)
+        self._event_counter = 0
+        self._story_counter = 0
+
+    @property
+    def entity_universe(self) -> Dict[str, str]:
+        """code -> display name of every entity the world can mention."""
+        return dict(self._universe)
+
+    # -- public API ----------------------------------------------------------
+
+    def generate(self) -> List[StoryArc]:
+        """Generate all story arcs (including splits and merges).
+
+        Returns arcs whose events are globally consistent: event ids unique,
+        timestamps inside the world window, every event labelled with its
+        arc.
+        """
+        cfg = self.config
+        t0 = parse_timestamp(cfg.start_date)
+        t1 = t0 + cfg.duration_days * DAY
+        arcs: List[StoryArc] = []
+        for _ in range(cfg.num_stories):
+            arcs.append(self._generate_arc(t0, t1))
+        arcs.extend(self._apply_splits(arcs, t1))
+        self._apply_merges(arcs)
+        return arcs
+
+    def events(self, arcs: Optional[Sequence[StoryArc]] = None) -> List[GroundEvent]:
+        """All ground events across ``arcs`` ordered by occurrence time."""
+        if arcs is None:
+            arcs = self.generate()
+        all_events = [event for arc in arcs for event in arc.events]
+        return sorted(all_events, key=lambda e: (e.timestamp, e.event_id))
+
+    # -- arc construction ------------------------------------------------------
+
+    def _next_story_label(self) -> str:
+        label = f"story_{self._story_counter:04d}"
+        self._story_counter += 1
+        return label
+
+    def _next_event_id(self) -> str:
+        event_id = f"ev_{self._event_counter:06d}"
+        self._event_counter += 1
+        return event_id
+
+    def _pick_domain(self) -> str:
+        weights = self.config.domain_weights
+        if weights:
+            domains = [d for d in DOMAINS if weights.get(d, 0.0) > 0.0]
+            if not domains:
+                raise ConfigurationError("domain_weights excludes every domain")
+            return self._rng.choices(
+                domains, weights=[weights[d] for d in domains], k=1
+            )[0]
+        return self._rng.choice(DOMAINS)
+
+    def _pick_entities(self, count: int) -> List[str]:
+        return self._rng.sample(self._entity_codes, count)
+
+    def _generate_arc(self, world_start: float, world_end: float) -> StoryArc:
+        cfg = self.config
+        rng = self._rng
+        domain = self._pick_domain()
+        num_events = max(
+            cfg.min_events_per_story,
+            round(rng.expovariate(1.0 / cfg.mean_events_per_story)),
+        )
+        # Lifetime: longer stories get longer lifetimes; clamp to world.
+        duration = min(
+            (world_end - world_start),
+            num_events * rng.uniform(1.0, 5.0) * DAY,
+        )
+        start = rng.uniform(world_start, max(world_start, world_end - duration))
+        arc = StoryArc(
+            label=self._next_story_label(),
+            domain=domain,
+            start=start,
+            end=start + duration,
+            core_entities=tuple(self._pick_entities(cfg.entities_per_story)),
+        )
+        times = sorted(rng.uniform(start, start + duration) for _ in range(num_events))
+        self._emit_events(arc, times)
+        return arc
+
+    def _emit_events(
+        self,
+        arc: StoryArc,
+        times: Sequence[float],
+        initial_keywords: Optional[List[str]] = None,
+        initial_entities: Optional[List[str]] = None,
+    ) -> None:
+        """Walk the arc's timeline emitting events while drifting state."""
+        cfg = self.config
+        rng = self._rng
+        vocabulary = DOMAIN_VOCABULARIES[arc.domain]
+        active_keywords = (
+            list(initial_keywords)
+            if initial_keywords is not None
+            else rng.sample(vocabulary, min(cfg.keywords_per_story, len(vocabulary)))
+        )
+        active_entities = (
+            list(initial_entities)
+            if initial_entities is not None
+            else list(arc.core_entities)
+        )
+        for timestamp in times:
+            # Drift: replace one active keyword / entity with small probability.
+            if rng.random() < cfg.drift_rate:
+                replace_at = rng.randrange(len(active_keywords))
+                candidates = [w for w in vocabulary if w not in active_keywords]
+                if candidates:
+                    active_keywords[replace_at] = rng.choice(candidates)
+            if rng.random() < cfg.entity_drift_rate:
+                replace_at = rng.randrange(len(active_entities))
+                candidate = rng.choice(self._entity_codes)
+                if candidate not in active_entities:
+                    active_entities[replace_at] = candidate
+            arc.events.append(
+                self._render_event(arc, timestamp, active_keywords, active_entities)
+            )
+
+    def _render_event(
+        self,
+        arc: StoryArc,
+        timestamp: float,
+        active_keywords: Sequence[str],
+        active_entities: Sequence[str],
+    ) -> GroundEvent:
+        cfg = self.config
+        rng = self._rng
+        k = min(cfg.keywords_per_event, len(active_keywords))
+        keywords = rng.sample(list(active_keywords), k)
+        if rng.random() < cfg.generic_term_probability:
+            keywords.append(rng.choice(GENERIC_TERMS))
+        n_entities = min(cfg.entities_per_event, len(active_entities))
+        entities = rng.sample(list(active_entities), n_entities)
+        event_type = rng.choice(DOMAIN_EVENT_TYPES[arc.domain])
+        names = [self._universe[code] for code in entities]
+        headline = f"{names[0]} {keywords[0]} {keywords[1 % len(keywords)]}".strip()
+        joined_names = ", ".join(names)
+        body = (
+            f"{event_type} reported: {', '.join(keywords)} involving "
+            f"{joined_names}. Officials in {names[-1]} issued a statement on "
+            f"the {keywords[0]} as the situation developed."
+        )
+        return GroundEvent(
+            event_id=self._next_event_id(),
+            story_label=arc.label,
+            domain=arc.domain,
+            timestamp=timestamp,
+            entities=tuple(entities),
+            keywords=tuple(keywords),
+            event_type=event_type,
+            headline=headline,
+            body=body,
+        )
+
+    # -- split / merge dynamics -----------------------------------------------
+
+    def _apply_splits(
+        self, arcs: List[StoryArc], world_end: float
+    ) -> List[StoryArc]:
+        """With probability ``split_probability`` an arc spawns a substory.
+
+        The child inherits the parent's *current* keyword/entity state at the
+        split point and then drifts independently — exactly the "stories
+        split into multiple substories" dynamic of Section 2.1.
+        """
+        cfg = self.config
+        rng = self._rng
+        children: List[StoryArc] = []
+        for arc in arcs:
+            if arc.size < 2 * cfg.min_events_per_story:
+                continue
+            if rng.random() >= cfg.split_probability:
+                continue
+            split_at = rng.randrange(
+                cfg.min_events_per_story, arc.size - cfg.min_events_per_story + 1
+            )
+            split_time = arc.events[split_at].timestamp
+            seed_event = arc.events[split_at - 1]
+            child = StoryArc(
+                label=self._next_story_label(),
+                domain=arc.domain,
+                start=split_time,
+                end=min(world_end, split_time + (arc.end - split_time)),
+                core_entities=seed_event.entities,
+                parent=arc.label,
+            )
+            num_child_events = max(
+                cfg.min_events_per_story, round(arc.size - split_at)
+            )
+            times = sorted(
+                rng.uniform(child.start, child.end) for _ in range(num_child_events)
+            )
+            self._emit_events(
+                child,
+                times,
+                initial_keywords=list(seed_event.keywords),
+                initial_entities=list(seed_event.entities),
+            )
+            children.append(child)
+        return children
+
+    def _apply_merges(self, arcs: List[StoryArc]) -> None:
+        """With probability ``merge_probability`` relabel a same-domain pair.
+
+        A merge joins two temporally overlapping stories of one domain into
+        a single ground-truth story: the later events of both arcs take a
+        fresh shared label (the pre-merge prefixes stay distinct stories).
+        """
+        cfg = self.config
+        rng = self._rng
+        by_domain: Dict[str, List[StoryArc]] = {}
+        for arc in arcs:
+            by_domain.setdefault(arc.domain, []).append(arc)
+        for domain_arcs in by_domain.values():
+            if len(domain_arcs) < 2:
+                continue
+            if rng.random() >= cfg.merge_probability:
+                continue
+            a, b = rng.sample(domain_arcs, 2)
+            overlap_start = max(a.start, b.start)
+            overlap_end = min(a.end, b.end)
+            if overlap_start >= overlap_end:
+                continue
+            merge_time = rng.uniform(overlap_start, overlap_end)
+            merged_label = self._next_story_label()
+            for arc in (a, b):
+                relabeled = []
+                for event in arc.events:
+                    if event.timestamp >= merge_time:
+                        relabeled.append(
+                            GroundEvent(
+                                event_id=event.event_id,
+                                story_label=merged_label,
+                                domain=event.domain,
+                                timestamp=event.timestamp,
+                                entities=event.entities,
+                                keywords=event.keywords,
+                                event_type=event.event_type,
+                                headline=event.headline,
+                                body=event.body,
+                            )
+                        )
+                    else:
+                        relabeled.append(event)
+                arc.events = relabeled
+                arc.merged_from = tuple(sorted({a.label, b.label}))

@@ -1,0 +1,21 @@
+"""Extraction pipeline: documents → excerpts → annotations → snippets.
+
+The paper treats extraction as a black box: EventRegistry provides
+documents, the text is "broken down based on paragraphs, title, etc.", and
+Open Calais annotates each excerpt with entities and keywords; the excerpt
+text plus its annotations form the snippet content (Section 2.1,
+Figure 1(a)).  This package implements that black box.
+"""
+
+from repro.extraction.excerpts import Excerpt, split_document
+from repro.extraction.annotate import Annotation, Annotator, Gazetteer
+from repro.extraction.pipeline import ExtractionPipeline
+
+__all__ = [
+    "Excerpt",
+    "split_document",
+    "Annotation",
+    "Annotator",
+    "Gazetteer",
+    "ExtractionPipeline",
+]

@@ -1,0 +1,150 @@
+"""Annotation: the OpenCalais stand-in.
+
+Given an excerpt, the annotator produces the same outputs the paper gets
+from Open Calais — the entities mentioned and salient keywords.  Entity
+recognition is gazetteer-based (longest-match over the known entity
+universe, including multi-word names like "Malaysia Airlines"); keyword
+extraction ranks stemmed content words by corpus-relative TF-IDF salience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.text.stem import PorterStemmer
+from repro.text.stopwords import STOPWORDS
+from repro.text.tokenize import Token, tokenize
+from repro.text.vectorize import TfIdfVectorizer
+
+
+@dataclass(frozen=True)
+class EntityMention:
+    """One gazetteer hit inside a text."""
+
+    code: str
+    surface: str
+    start: int
+    end: int
+
+
+@dataclass
+class Annotation:
+    """The annotator's output for one excerpt."""
+
+    entities: Tuple[str, ...]
+    keywords: Tuple[str, ...]
+    mentions: List[EntityMention] = field(default_factory=list)
+
+
+class Gazetteer:
+    """Longest-match multi-word entity recognizer over a code -> name map.
+
+    Matching is case-insensitive on full-token boundaries.  Both the
+    display name ("Ukraine") and the code itself ("UKR") are recognized, as
+    GDELT-style exports mention actors by code.
+    """
+
+    def __init__(self, universe: Dict[str, str]) -> None:
+        self._phrase_to_code: Dict[Tuple[str, ...], str] = {}
+        self._max_len = 1
+        for code, name in universe.items():
+            name_tokens = tuple(t.lower for t in tokenize(name))
+            if name_tokens:
+                self._phrase_to_code[name_tokens] = code
+                self._max_len = max(self._max_len, len(name_tokens))
+            self._phrase_to_code[(code.lower(),)] = code
+
+    def find(self, text: str) -> List[EntityMention]:
+        """All non-overlapping entity mentions, longest match first."""
+        tokens = tokenize(text)
+        mentions: List[EntityMention] = []
+        i = 0
+        while i < len(tokens):
+            matched = False
+            for length in range(min(self._max_len, len(tokens) - i), 0, -1):
+                phrase = tuple(t.lower for t in tokens[i : i + length])
+                code = self._phrase_to_code.get(phrase)
+                if code is not None:
+                    start = tokens[i].start
+                    end = tokens[i + length - 1].end
+                    mentions.append(
+                        EntityMention(code, text[start:end], start, end)
+                    )
+                    i += length
+                    matched = True
+                    break
+            if not matched:
+                i += 1
+        return mentions
+
+
+class Annotator:
+    """OpenCalais-like annotator: entities + keywords for an excerpt.
+
+    Keyword salience adapts as excerpts stream through (the TF-IDF corpus
+    statistics are incremental), so early annotations are coarser than late
+    ones — just like a service whose language model was trained on prior
+    traffic.
+    """
+
+    def __init__(
+        self,
+        gazetteer: Gazetteer,
+        max_keywords: int = 6,
+        vectorizer: Optional[TfIdfVectorizer] = None,
+        keyword_method: str = "tfidf",
+    ) -> None:
+        if max_keywords <= 0:
+            raise ValueError("max_keywords must be positive")
+        if keyword_method not in ("tfidf", "textrank"):
+            raise ValueError(
+                f"keyword_method must be 'tfidf' or 'textrank', "
+                f"got {keyword_method!r}"
+            )
+        self.gazetteer = gazetteer
+        self.max_keywords = max_keywords
+        self.keyword_method = keyword_method
+        self._vectorizer = vectorizer if vectorizer is not None else TfIdfVectorizer()
+        self._stemmer = PorterStemmer()
+
+    def annotate(self, text: str) -> Annotation:
+        """Annotate one excerpt with entities and ranked keywords."""
+        mentions = self.gazetteer.find(text)
+        entities = tuple(sorted({m.code for m in mentions}))
+
+        # Mask entity surfaces so names don't dominate the keyword list.
+        masked = list(text)
+        for mention in mentions:
+            for i in range(mention.start, mention.end):
+                masked[i] = " "
+        masked_text = "".join(masked)
+
+        if self.keyword_method == "textrank":
+            from repro.text.textrank import textrank_keywords
+
+            keywords = tuple(
+                word for word, _ in textrank_keywords(
+                    masked_text, max_keywords=self.max_keywords
+                )
+            )
+        else:
+            self._vectorizer.observe(masked_text)
+            vector = self._vectorizer.vector(masked_text, normalize=False)
+            vocabulary = self._vectorizer.bag.vocabulary
+            ranked = sorted(
+                vector.items(), key=lambda kv: (-kv[1], vocabulary.term(kv[0]))
+            )
+            keywords = tuple(
+                vocabulary.term(term_id)
+                for term_id, _ in ranked[: self.max_keywords]
+            )
+        return Annotation(entities=entities, keywords=keywords, mentions=mentions)
+
+    def keyword_stems(self, words: Sequence[str]) -> Set[str]:
+        """Stem ``words`` minus stopwords (helper for matching/evaluation)."""
+        return {
+            self._stemmer.stem(w.lower())
+            for w in words
+            if w.lower() not in STOPWORDS
+        }

@@ -1,0 +1,73 @@
+"""Split documents into excerpts.
+
+"It first collects textual excerpts from documents ... and breaks their
+text down based on paragraphs, title, etc." (Section 2.1).  The title is
+always its own excerpt; the body splits on blank-line paragraph boundaries,
+and over-long paragraphs split further on sentence boundaries so no excerpt
+exceeds ``max_chars``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.eventdata.models import Document
+from repro.text.tokenize import sentences
+
+
+@dataclass(frozen=True)
+class Excerpt:
+    """A contiguous piece of one document."""
+
+    document_id: str
+    index: int
+    kind: str  # "title" | "paragraph"
+    text: str
+
+
+def _split_long_paragraph(paragraph: str, max_chars: int) -> List[str]:
+    """Greedily pack sentences into chunks of at most ``max_chars``."""
+    chunks: List[str] = []
+    current = ""
+    for sentence in sentences(paragraph):
+        if not current:
+            current = sentence
+        elif len(current) + 1 + len(sentence) <= max_chars:
+            current = f"{current} {sentence}"
+        else:
+            chunks.append(current)
+            current = sentence
+    if current:
+        chunks.append(current)
+    return chunks or [paragraph]
+
+
+def split_document(document: Document, max_chars: int = 600) -> List[Excerpt]:
+    """Break ``document`` into title + paragraph excerpts.
+
+    >>> from repro.eventdata.models import Document
+    >>> doc = Document("d1", "s1", "A title", "Para one.\\n\\nPara two.", 0.0)
+    >>> [e.kind for e in split_document(doc)]
+    ['title', 'paragraph', 'paragraph']
+    """
+    if max_chars <= 0:
+        raise ValueError("max_chars must be positive")
+    excerpts: List[Excerpt] = []
+    index = 0
+    title = document.title.strip()
+    if title:
+        excerpts.append(Excerpt(document.document_id, index, "title", title))
+        index += 1
+    for raw_paragraph in document.body.split("\n\n"):
+        paragraph = " ".join(raw_paragraph.split())
+        if not paragraph:
+            continue
+        if len(paragraph) <= max_chars:
+            pieces = [paragraph]
+        else:
+            pieces = _split_long_paragraph(paragraph, max_chars)
+        for piece in pieces:
+            excerpts.append(Excerpt(document.document_id, index, "paragraph", piece))
+            index += 1
+    return excerpts

@@ -1,0 +1,39 @@
+"""Forecasting on story streams (Section 1's prediction use cases).
+
+The paper motivates story tracking with forecasting: "political scientists
+... rely on historical data to forecast political crises" and EMBERS-style
+civil-unrest prediction from open-source indicators.  This package closes
+that loop over StoryPivot's output:
+
+* :mod:`repro.forecast.features` — windowed feature extraction from event
+  streams (activity by event type, entity breadth, burstiness, lags);
+* :mod:`repro.forecast.models` — from-scratch predictors: logistic
+  regression (numpy gradient descent), a majority baseline and
+  exponential smoothing for count series, plus forecast metrics;
+* :mod:`repro.forecast.unrest` — the end-to-end civil-unrest task: label
+  windows by upcoming conflict activity, train on the past, predict the
+  future, compare against baselines.
+"""
+
+from repro.forecast.features import FeatureConfig, WindowFeatures, extract_features
+from repro.forecast.models import (
+    ExponentialSmoothing,
+    ForecastScores,
+    LogisticRegression,
+    MajorityClass,
+    classification_scores,
+)
+from repro.forecast.unrest import UnrestTask, run_unrest_experiment
+
+__all__ = [
+    "FeatureConfig",
+    "WindowFeatures",
+    "extract_features",
+    "LogisticRegression",
+    "MajorityClass",
+    "ExponentialSmoothing",
+    "ForecastScores",
+    "classification_scores",
+    "UnrestTask",
+    "run_unrest_experiment",
+]

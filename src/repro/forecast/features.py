@@ -1,0 +1,150 @@
+"""Windowed features over event streams.
+
+Buckets a corpus into fixed-width time windows and computes, per window,
+the indicator family EMBERS-style systems feed their models: activity
+volume (overall and per event-type group), actor breadth, source
+agreement, and short-horizon dynamics (deltas against the previous
+window).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.eventdata.corpus import Corpus
+from repro.eventdata.models import DAY, Snippet
+
+#: CAMEO-flavoured event types grouped into coarse indicator families.
+EVENT_TYPE_GROUPS: Dict[str, Tuple[str, ...]] = {
+    "conflict": ("Fight", "Threaten", "Demand", "Coerce", "Assault"),
+    "cooperation": ("Consult", "Appeal", "Endorse", "Negotiate", "Aid",
+                    "Yield"),
+    "economy": ("Trade", "Invest", "Sanction", "Default", "Merge",
+                "Regulate"),
+    "distress": ("Accident", "Rescue", "Evacuate", "Investigate",
+                 "Outbreak", "Quarantine"),
+}
+
+
+@dataclass
+class FeatureConfig:
+    """Feature extraction knobs."""
+
+    window: float = 7 * DAY
+    lags: int = 2  # how many previous windows feed each feature vector
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+        if self.lags < 0:
+            raise ValueError("lags must be >= 0")
+
+
+@dataclass
+class WindowFeatures:
+    """Raw per-window indicators (before lag stacking)."""
+
+    start: float
+    end: float
+    total: int
+    by_group: Dict[str, int]
+    entities: int
+    sources: int
+    max_entity_share: float  # concentration: top entity's mention share
+
+    def vector(self) -> List[float]:
+        """Dense numeric vector (stable order) for model input."""
+        values = [float(self.total), float(self.entities), float(self.sources),
+                  self.max_entity_share]
+        for group in sorted(EVENT_TYPE_GROUPS):
+            values.append(float(self.by_group.get(group, 0)))
+        return values
+
+    @staticmethod
+    def names() -> List[str]:
+        return (["total", "entities", "sources", "concentration"]
+                + sorted(EVENT_TYPE_GROUPS))
+
+
+def _group_of(event_type: str) -> Optional[str]:
+    for group, members in EVENT_TYPE_GROUPS.items():
+        if event_type in members:
+            return group
+    return None
+
+
+def window_features(
+    snippets: Sequence[Snippet], start: float, end: float
+) -> WindowFeatures:
+    """Indicators for the snippets inside ``[start, end)``."""
+    inside = [s for s in snippets if start <= s.timestamp < end]
+    by_group: Dict[str, int] = {}
+    entity_counts: Dict[str, int] = {}
+    sources = set()
+    for snippet in inside:
+        group = _group_of(snippet.event_type)
+        if group is not None:
+            by_group[group] = by_group.get(group, 0) + 1
+        sources.add(snippet.source_id)
+        for entity in snippet.entities:
+            entity_counts[entity] = entity_counts.get(entity, 0) + 1
+    total_mentions = sum(entity_counts.values())
+    concentration = (
+        max(entity_counts.values()) / total_mentions if total_mentions else 0.0
+    )
+    return WindowFeatures(
+        start=start,
+        end=end,
+        total=len(inside),
+        by_group=by_group,
+        entities=len(entity_counts),
+        sources=len(sources),
+        max_entity_share=concentration,
+    )
+
+
+def extract_features(
+    corpus: Corpus, config: Optional[FeatureConfig] = None
+) -> List[WindowFeatures]:
+    """All window feature rows over the corpus' time span, oldest first."""
+    config = config or FeatureConfig()
+    snippets = corpus.snippets_by_time()
+    if not snippets:
+        return []
+    first = snippets[0].timestamp
+    last = snippets[-1].timestamp
+    num_windows = max(1, int(math.ceil((last - first) / config.window)))
+    rows = []
+    for index in range(num_windows):
+        start = first + index * config.window
+        end = start + config.window
+        rows.append(window_features(snippets, start, end))
+    return rows
+
+
+def stack_lags(
+    rows: Sequence[WindowFeatures], lags: int
+) -> List[Tuple[List[float], WindowFeatures]]:
+    """Feature vectors with ``lags`` previous windows concatenated.
+
+    Returns (vector, current-window) pairs for every window that has
+    enough history; deltas between the current and previous window are
+    appended to capture short-horizon dynamics.
+    """
+    if lags < 0:
+        raise ValueError("lags must be >= 0")
+    stacked = []
+    for index in range(lags, len(rows)):
+        vector: List[float] = []
+        for lag in range(lags, -1, -1):
+            vector.extend(rows[index - lag].vector())
+        if index >= 1:
+            current = rows[index].vector()
+            previous = rows[index - 1].vector()
+            vector.extend(c - p for c, p in zip(current, previous))
+        else:
+            vector.extend(0.0 for _ in rows[index].vector())
+        stacked.append((vector, rows[index]))
+    return stacked

@@ -1,0 +1,186 @@
+"""From-scratch forecasting models and metrics.
+
+Kept deliberately dependency-light: logistic regression is batch gradient
+descent on numpy arrays with L2 regularization and feature
+standardization; baselines are a majority-class classifier and simple
+exponential smoothing for count series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ForecastScores:
+    """Binary-classification quality summary."""
+
+    accuracy: float
+    precision: float
+    recall: float
+    brier: float
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def classification_scores(
+    truth: Sequence[int], predicted: Sequence[int],
+    probabilities: Optional[Sequence[float]] = None,
+) -> ForecastScores:
+    """Accuracy / precision / recall / Brier for binary labels."""
+    if len(truth) != len(predicted):
+        raise ValueError("truth and predicted lengths differ")
+    if not truth:
+        return ForecastScores(0.0, 0.0, 0.0, 1.0)
+    truth_arr = np.asarray(truth, dtype=float)
+    pred_arr = np.asarray(predicted, dtype=float)
+    accuracy = float((truth_arr == pred_arr).mean())
+    true_positive = float(((pred_arr == 1) & (truth_arr == 1)).sum())
+    predicted_positive = float((pred_arr == 1).sum())
+    actual_positive = float((truth_arr == 1).sum())
+    precision = true_positive / predicted_positive if predicted_positive else 0.0
+    recall = true_positive / actual_positive if actual_positive else 0.0
+    if probabilities is not None:
+        prob_arr = np.asarray(probabilities, dtype=float)
+        brier = float(((prob_arr - truth_arr) ** 2).mean())
+    else:
+        brier = float(((pred_arr - truth_arr) ** 2).mean())
+    return ForecastScores(accuracy, precision, recall, brier)
+
+
+class LogisticRegression:
+    """L2-regularized logistic regression via batch gradient descent."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        iterations: int = 500,
+        l2: float = 0.01,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        if l2 < 0:
+            raise ValueError("l2 must be >= 0")
+        self.learning_rate = learning_rate
+        self.iterations = iterations
+        self.l2 = l2
+        self._weights: Optional[np.ndarray] = None
+        self._bias = 0.0
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    @property
+    def fitted(self) -> bool:
+        return self._weights is not None
+
+    def _standardize(self, features: np.ndarray) -> np.ndarray:
+        assert self._mean is not None and self._std is not None
+        return (features - self._mean) / self._std
+
+    def fit(self, features: Sequence[Sequence[float]],
+            labels: Sequence[int]) -> "LogisticRegression":
+        matrix = np.asarray(features, dtype=float)
+        target = np.asarray(labels, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != target.shape[0]:
+            raise ValueError("features/labels shape mismatch")
+        self._mean = matrix.mean(axis=0)
+        self._std = matrix.std(axis=0)
+        self._std[self._std == 0] = 1.0
+        standardized = self._standardize(matrix)
+        n, d = standardized.shape
+        weights = np.zeros(d)
+        bias = 0.0
+        for _ in range(self.iterations):
+            logits = standardized @ weights + bias
+            probabilities = 1.0 / (1.0 + np.exp(-logits))
+            error = probabilities - target
+            gradient_w = standardized.T @ error / n + self.l2 * weights
+            gradient_b = float(error.mean())
+            weights -= self.learning_rate * gradient_w
+            bias -= self.learning_rate * gradient_b
+        self._weights = weights
+        self._bias = bias
+        return self
+
+    def predict_proba(self, features: Sequence[Sequence[float]]) -> np.ndarray:
+        if not self.fitted:
+            raise RuntimeError("model is not fitted")
+        matrix = self._standardize(np.asarray(features, dtype=float))
+        logits = matrix @ self._weights + self._bias
+        return 1.0 / (1.0 + np.exp(-logits))
+
+    def predict(self, features: Sequence[Sequence[float]],
+                threshold: float = 0.5) -> List[int]:
+        return [int(p >= threshold) for p in self.predict_proba(features)]
+
+
+class MajorityClass:
+    """Predicts the most common training label (the floor any model must beat)."""
+
+    def __init__(self) -> None:
+        self._label = 0
+        self._rate = 0.0
+
+    def fit(self, features: Sequence[Sequence[float]],
+            labels: Sequence[int]) -> "MajorityClass":
+        if not labels:
+            raise ValueError("labels must be non-empty")
+        positives = sum(labels)
+        self._label = int(positives * 2 >= len(labels))
+        self._rate = positives / len(labels)
+        return self
+
+    def predict(self, features: Sequence[Sequence[float]]) -> List[int]:
+        return [self._label] * len(features)
+
+    def predict_proba(self, features: Sequence[Sequence[float]]) -> List[float]:
+        return [self._rate] * len(features)
+
+
+class ExponentialSmoothing:
+    """Simple exponential smoothing for one-step-ahead count forecasts."""
+
+    def __init__(self, alpha: float = 0.4) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._level: Optional[float] = None
+
+    def update(self, observation: float) -> float:
+        """Feed one observation; returns the *new* smoothed level."""
+        if self._level is None:
+            self._level = float(observation)
+        else:
+            self._level = (self.alpha * observation
+                           + (1.0 - self.alpha) * self._level)
+        return self._level
+
+    def forecast(self) -> float:
+        """One-step-ahead forecast (the current level)."""
+        if self._level is None:
+            raise RuntimeError("no observations yet")
+        return self._level
+
+    def fit_series(self, series: Sequence[float]) -> List[float]:
+        """One-step-ahead forecasts for each point of ``series``.
+
+        The forecast for index i uses observations 0..i-1; the first
+        forecast repeats the first observation.
+        """
+        forecasts: List[float] = []
+        for observation in series:
+            if self._level is None:
+                forecasts.append(float(observation))
+            else:
+                forecasts.append(self.forecast())
+            self.update(observation)
+        return forecasts

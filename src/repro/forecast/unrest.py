@@ -1,0 +1,113 @@
+"""The civil-unrest forecasting task (EMBERS-style, Section 1).
+
+Given an event corpus, label each time window by whether the *next* window
+contains elevated conflict activity, train a logistic regression on the
+chronologically first part and evaluate on the held-out future —
+forecasting, not interpolation.  The threshold for "elevated" defaults to
+the training windows' 75th-percentile conflict count, so the task is
+balanced enough to be learnable yet non-trivial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.eventdata.corpus import Corpus
+from repro.eventdata.models import DAY
+from repro.forecast.features import (
+    FeatureConfig,
+    WindowFeatures,
+    extract_features,
+    stack_lags,
+)
+from repro.forecast.models import (
+    ForecastScores,
+    LogisticRegression,
+    MajorityClass,
+    classification_scores,
+)
+
+
+@dataclass
+class UnrestTask:
+    """A prepared forecasting dataset."""
+
+    vectors: List[List[float]]
+    labels: List[int]
+    windows: List[WindowFeatures]
+    threshold: float  # conflict count that defines an "unrest" window
+
+    def time_split(self, train_fraction: float = 0.7):
+        """Chronological train/test split (no leakage from the future)."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError("train_fraction must be in (0, 1)")
+        cut = max(1, int(len(self.vectors) * train_fraction))
+        cut = min(cut, len(self.vectors) - 1)
+        return (
+            (self.vectors[:cut], self.labels[:cut]),
+            (self.vectors[cut:], self.labels[cut:]),
+        )
+
+    @property
+    def positive_rate(self) -> float:
+        return sum(self.labels) / len(self.labels) if self.labels else 0.0
+
+
+def build_unrest_task(
+    corpus: Corpus,
+    config: Optional[FeatureConfig] = None,
+    threshold: Optional[float] = None,
+) -> UnrestTask:
+    """Window the corpus and label each window by next-window conflict."""
+    config = config or FeatureConfig()
+    rows = extract_features(corpus, config)
+    stacked = stack_lags(rows, config.lags)
+    if len(stacked) < 4:
+        raise ValueError(
+            "corpus too short for the configured window/lags: "
+            f"{len(stacked)} usable windows"
+        )
+    conflict = [features.by_group.get("conflict", 0)
+                for _, features in stacked]
+    if threshold is None:
+        threshold = float(np.percentile(conflict, 75))
+    vectors: List[List[float]] = []
+    labels: List[int] = []
+    windows: List[WindowFeatures] = []
+    for index in range(len(stacked) - 1):
+        vector, features = stacked[index]
+        next_conflict = conflict[index + 1]
+        vectors.append(vector)
+        labels.append(int(next_conflict > threshold))
+        windows.append(features)
+    return UnrestTask(vectors=vectors, labels=labels, windows=windows,
+                      threshold=threshold)
+
+
+def run_unrest_experiment(
+    corpus: Corpus,
+    config: Optional[FeatureConfig] = None,
+    train_fraction: float = 0.7,
+    seed_iterations: int = 800,
+) -> Dict[str, ForecastScores]:
+    """Train on the past, forecast the future; returns per-model scores."""
+    task = build_unrest_task(corpus, config)
+    (train_x, train_y), (test_x, test_y) = task.time_split(train_fraction)
+
+    results: Dict[str, ForecastScores] = {}
+
+    majority = MajorityClass().fit(train_x, train_y)
+    results["majority"] = classification_scores(
+        test_y, majority.predict(test_x), majority.predict_proba(test_x)
+    )
+
+    model = LogisticRegression(iterations=seed_iterations)
+    model.fit(train_x, train_y)
+    probabilities = model.predict_proba(test_x)
+    results["logistic"] = classification_scores(
+        test_y, [int(p >= 0.5) for p in probabilities], probabilities
+    )
+    return results

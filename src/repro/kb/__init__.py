@@ -1,0 +1,26 @@
+"""Knowledge-base extension (Section 3).
+
+"We can further extend [StoryPivot] with interfaces to existing knowledge
+bases such as DBpedia.  Connecting StoryPivot to knowledge bases explicitly
+helps experts and casual users to obtain more information on the context of
+stories."  This package implements that extension against an in-repo,
+DBpedia-flavoured knowledge base: typed entities with aliases and facts,
+relations between entities, alias-based entity linking for the annotator,
+and story-context enrichment (entity cards, related entities, shared-fact
+explanations) for the exploration modules.
+"""
+
+from repro.kb.base import Entity, KnowledgeBase, Relation
+from repro.kb.dbpedia import build_default_kb
+from repro.kb.linker import EntityLinker
+from repro.kb.context import StoryContext, story_context
+
+__all__ = [
+    "Entity",
+    "Relation",
+    "KnowledgeBase",
+    "build_default_kb",
+    "EntityLinker",
+    "StoryContext",
+    "story_context",
+]

@@ -1,0 +1,164 @@
+"""In-memory knowledge base: typed entities, aliases, facts and relations.
+
+The shape mirrors what StoryPivot would pull from DBpedia: every entity has
+a canonical id (our actor codes), a type, human-readable aliases, a short
+abstract and key/value facts; relations are typed, directed edges between
+entities (``UKR --borders--> RUS``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import StoryPivotError
+
+
+class UnknownEntityError(StoryPivotError, KeyError):
+    """An entity id was referenced that the knowledge base does not hold."""
+
+    def __init__(self, entity_id: str) -> None:
+        super().__init__(f"unknown entity: {entity_id!r}")
+        self.entity_id = entity_id
+
+
+@dataclass(frozen=True)
+class Entity:
+    """One knowledge-base entity."""
+
+    entity_id: str
+    name: str
+    entity_type: str  # "country" | "organization" | "company" | "person"
+    aliases: Tuple[str, ...] = ()
+    abstract: str = ""
+    facts: Tuple[Tuple[str, str], ...] = ()
+
+    def fact(self, key: str) -> Optional[str]:
+        """The value of fact ``key`` or ``None``."""
+        for fact_key, value in self.facts:
+            if fact_key == key:
+                return value
+        return None
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A typed directed edge between two entities."""
+
+    subject: str
+    predicate: str
+    obj: str
+
+
+class KnowledgeBase:
+    """Entity store with alias lookup and relation queries."""
+
+    def __init__(self) -> None:
+        self._entities: Dict[str, Entity] = {}
+        self._alias_to_id: Dict[str, str] = {}
+        self._relations: List[Relation] = []
+        self._out_edges: Dict[str, List[Relation]] = {}
+        self._in_edges: Dict[str, List[Relation]] = {}
+
+    # -- entities ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entities)
+
+    def __contains__(self, entity_id: str) -> bool:
+        return entity_id in self._entities
+
+    def __iter__(self) -> Iterator[Entity]:
+        return iter(sorted(self._entities.values(), key=lambda e: e.entity_id))
+
+    def add_entity(self, entity: Entity) -> None:
+        """Register an entity; its name and aliases become resolvable."""
+        if entity.entity_id in self._entities:
+            raise ValueError(f"entity {entity.entity_id!r} already present")
+        self._entities[entity.entity_id] = entity
+        for alias in (entity.name, entity.entity_id) + entity.aliases:
+            self._alias_to_id.setdefault(alias.lower(), entity.entity_id)
+
+    def entity(self, entity_id: str) -> Entity:
+        found = self._entities.get(entity_id)
+        if found is None:
+            raise UnknownEntityError(entity_id)
+        return found
+
+    def resolve(self, mention: str) -> Optional[Entity]:
+        """Resolve a surface mention (name, alias, code) to an entity."""
+        entity_id = self._alias_to_id.get(mention.lower())
+        if entity_id is None:
+            return None
+        return self._entities[entity_id]
+
+    def of_type(self, entity_type: str) -> List[Entity]:
+        return sorted(
+            (e for e in self._entities.values() if e.entity_type == entity_type),
+            key=lambda e: e.entity_id,
+        )
+
+    # -- relations -----------------------------------------------------------
+
+    def add_relation(self, subject: str, predicate: str, obj: str) -> None:
+        """Add a typed edge; both endpoints must exist."""
+        for endpoint in (subject, obj):
+            if endpoint not in self._entities:
+                raise UnknownEntityError(endpoint)
+        relation = Relation(subject, predicate, obj)
+        self._relations.append(relation)
+        self._out_edges.setdefault(subject, []).append(relation)
+        self._in_edges.setdefault(obj, []).append(relation)
+
+    @property
+    def num_relations(self) -> int:
+        return len(self._relations)
+
+    def relations_of(self, entity_id: str) -> List[Relation]:
+        """All edges touching ``entity_id`` (outgoing first)."""
+        if entity_id not in self._entities:
+            raise UnknownEntityError(entity_id)
+        return list(self._out_edges.get(entity_id, [])) + list(
+            self._in_edges.get(entity_id, [])
+        )
+
+    def neighbors(self, entity_id: str) -> Set[str]:
+        """Entity ids one hop away from ``entity_id``."""
+        found: Set[str] = set()
+        for relation in self.relations_of(entity_id):
+            found.add(relation.subject)
+            found.add(relation.obj)
+        found.discard(entity_id)
+        return found
+
+    def related(
+        self, entity_ids: Iterable[str], exclude_input: bool = True
+    ) -> Dict[str, int]:
+        """Entities related to any of ``entity_ids``, with link counts.
+
+        The count is the number of input entities an answer connects to —
+        the UI ranks context suggestions by it.
+        """
+        inputs = {eid for eid in entity_ids if eid in self._entities}
+        counts: Dict[str, int] = {}
+        for entity_id in inputs:
+            for neighbor in self.neighbors(entity_id):
+                counts[neighbor] = counts.get(neighbor, 0) + 1
+        if exclude_input:
+            for entity_id in inputs:
+                counts.pop(entity_id, None)
+        return counts
+
+    def connection(self, a: str, b: str) -> List[Relation]:
+        """Direct edges between ``a`` and ``b`` in either direction."""
+        if a not in self._entities or b not in self._entities:
+            return []
+        return [
+            relation
+            for relation in self._out_edges.get(a, [])
+            if relation.obj == b
+        ] + [
+            relation
+            for relation in self._out_edges.get(b, [])
+            if relation.obj == a
+        ]

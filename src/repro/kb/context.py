@@ -1,0 +1,102 @@
+"""Story context: knowledge-base enrichment for the exploration modules.
+
+Section 3: connecting to a knowledge base "helps experts and casual users
+to obtain more information on the context of stories".  Given an aligned
+(or per-source) story, :func:`story_context` assembles the entity cards,
+the relations *among* the story's entities (why these actors appear
+together) and ranked related-entity suggestions for further exploration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.alignment import AlignedStory
+from repro.core.stories import Story
+from repro.kb.base import Entity, KnowledgeBase, Relation
+
+
+@dataclass
+class StoryContext:
+    """Knowledge-base context for one story."""
+
+    entities: List[Entity] = field(default_factory=list)
+    unknown_codes: List[str] = field(default_factory=list)
+    internal_relations: List[Relation] = field(default_factory=list)
+    suggestions: List[Tuple[Entity, int]] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Human-readable context block for the demo modules."""
+        lines = ["Knowledge-Base Context"]
+        for entity in self.entities:
+            lines.append(f"  {entity.entity_id:6s} {entity.name} "
+                         f"({entity.entity_type}) — {entity.abstract}")
+        if self.unknown_codes:
+            lines.append(f"  (not in KB: {', '.join(self.unknown_codes)})")
+        if self.internal_relations:
+            lines.append("  Why these actors appear together:")
+            for relation in self.internal_relations:
+                lines.append(
+                    f"    {relation.subject} —{relation.predicate}→ "
+                    f"{relation.obj}"
+                )
+        if self.suggestions:
+            rendered = ", ".join(
+                f"{entity.name} ({count})" for entity, count in self.suggestions
+            )
+            lines.append(f"  Explore next: {rendered}")
+        return "\n".join(lines)
+
+
+def _entity_codes(story) -> List[str]:
+    if isinstance(story, AlignedStory):
+        profile = story.entity_profile()
+    elif isinstance(story, Story):
+        profile = story.sketch.entity_profile()
+    else:
+        raise TypeError(f"expected Story or AlignedStory, got {type(story)!r}")
+    return [code for code, _ in sorted(profile.items(),
+                                       key=lambda kv: (-kv[1], kv[0]))]
+
+
+def story_context(
+    story,
+    kb: KnowledgeBase,
+    max_entities: int = 6,
+    max_suggestions: int = 5,
+) -> StoryContext:
+    """Assemble knowledge-base context for a story.
+
+    ``story`` is a per-source :class:`Story` or an :class:`AlignedStory`.
+    """
+    context = StoryContext()
+    codes = _entity_codes(story)[:max_entities]
+    known: List[str] = []
+    for code in codes:
+        if code in kb:
+            entity = kb.entity(code)
+            context.entities.append(entity)
+            known.append(code)
+        else:
+            context.unknown_codes.append(code)
+
+    seen_pairs = set()
+    for i, a in enumerate(known):
+        for b in known[i + 1:]:
+            for relation in kb.connection(a, b):
+                key = (relation.subject, relation.predicate, relation.obj)
+                if key not in seen_pairs:
+                    seen_pairs.add(key)
+                    context.internal_relations.append(relation)
+
+    related = kb.related(known)
+    ranked = sorted(related.items(), key=lambda kv: (-kv[1], kv[0]))
+    context.suggestions = [
+        (kb.entity(entity_id), count)
+        for entity_id, count in ranked[:max_suggestions]
+        # suggest only entities linked to >= 2 story actors: one shared
+        # neighbour is noise (every country links to the UN)
+        if count >= 2
+    ]
+    return context

@@ -1,0 +1,132 @@
+"""DBpedia-flavoured default knowledge base over the entity universe.
+
+Builds a :class:`~repro.kb.base.KnowledgeBase` covering every entity the
+simulator can mention: countries (with region/capital facts and ``borders``
+/ ``member_of`` relations), organizations (with ``member_of`` membership
+edges from countries), companies (``based_in``, ``industry``) and people
+(``citizen_of``).  Deterministic and entirely offline — the stand-in for a
+live DBpedia endpoint.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.eventdata.entities import COMPANIES, COUNTRIES, ORGANIZATIONS, person_universe
+from repro.kb.base import Entity, KnowledgeBase
+
+#: coarse region assignment for country facts and borders edges
+_REGIONS = {
+    "UKR": "Europe", "RUS": "Europe", "MAL": "Asia", "NTH": "Europe",
+    "USA": "Americas", "GBR": "Europe", "FRA": "Europe", "GER": "Europe",
+    "CHN": "Asia", "JPN": "Asia", "IND": "Asia", "BRA": "Americas",
+    "CAN": "Americas", "AUS": "Oceania", "ITA": "Europe", "ESP": "Europe",
+    "POL": "Europe", "TUR": "Europe", "IRN": "Middle East",
+    "IRQ": "Middle East", "SYR": "Middle East", "ISR": "Middle East",
+    "PAL": "Middle East", "EGY": "Africa", "SAU": "Middle East",
+    "NGA": "Africa", "ZAF": "Africa", "KEN": "Africa", "ETH": "Africa",
+    "MEX": "Americas", "ARG": "Americas", "COL": "Americas",
+    "VEN": "Americas", "KOR": "Asia", "PRK": "Asia", "VNM": "Asia",
+    "THA": "Asia", "IDN": "Asia", "PHL": "Asia", "PAK": "Asia",
+    "AFG": "Asia", "GRC": "Europe", "SWE": "Europe", "NOR": "Europe",
+    "FIN": "Europe", "CHE": "Europe", "AUT": "Europe", "BEL": "Europe",
+    "PRT": "Europe", "CZE": "Europe", "HUN": "Europe", "ROU": "Europe",
+    "BGR": "Europe", "SRB": "Europe", "HRV": "Europe", "GEO": "Europe",
+    "ARM": "Europe", "AZE": "Europe", "KAZ": "Asia", "BLR": "Europe",
+    "MDA": "Europe", "LTU": "Europe", "LVA": "Europe", "EST": "Europe",
+    "CUB": "Americas", "CHL": "Americas", "PER": "Americas",
+    "MAR": "Africa", "DZA": "Africa", "TUN": "Africa", "LBY": "Africa",
+    "SDN": "Africa", "SOM": "Africa", "YEM": "Middle East",
+    "JOR": "Middle East", "LBN": "Middle East", "QAT": "Middle East",
+    "ARE": "Middle East", "SGP": "Asia", "MMR": "Asia", "BGD": "Asia",
+    "LKA": "Asia", "NPL": "Asia", "NZL": "Oceania",
+}
+
+_COMPANY_INDUSTRY = {
+    "MAS": "aviation", "BOE": "aviation", "ABUS": "aviation",
+    "LUFT": "aviation", "RYAN": "aviation", "GAZ": "energy",
+    "SHEL": "energy", "EXX": "energy", "BP": "energy", "TOT": "energy",
+    "GOOG": "technology", "YELP": "technology", "APPL": "technology",
+    "MSFT": "technology", "AMZN": "technology", "TSLA": "automotive",
+    "SIEM": "industrial", "TOYT": "automotive", "VOLK": "automotive",
+    "SAMS": "technology", "HUAW": "technology", "ALIB": "technology",
+    "NEST": "consumer goods", "PFE": "pharmaceutical",
+    "BAYR": "pharmaceutical", "GSK": "pharmaceutical", "MAER": "shipping",
+    "HSBC": "banking", "JPM": "banking", "GS": "banking", "DB": "banking",
+    "UBS": "banking", "BARC": "banking",
+}
+
+_COMPANY_HOME = {
+    "MAS": "MAL", "BOE": "USA", "ABUS": "FRA", "GAZ": "RUS", "SHEL": "GBR",
+    "EXX": "USA", "GOOG": "USA", "YELP": "USA", "APPL": "USA",
+    "MSFT": "USA", "AMZN": "USA", "TSLA": "USA", "SIEM": "GER",
+    "TOYT": "JPN", "VOLK": "GER", "SAMS": "KOR", "HUAW": "CHN",
+    "ALIB": "CHN", "NEST": "CHE", "PFE": "USA", "BAYR": "GER",
+    "GSK": "GBR", "BP": "GBR", "TOT": "FRA", "LUFT": "GER", "RYAN": "GBR",
+    "MAER": "NOR", "HSBC": "GBR", "JPM": "USA", "GS": "USA", "DB": "GER",
+    "UBS": "CHE", "BARC": "GBR",
+}
+
+
+def build_default_kb(num_people: int = 120, seed: int = 7) -> KnowledgeBase:
+    """The full default knowledge base; matches ``full_universe``'s codes."""
+    kb = KnowledgeBase()
+    rng = random.Random(seed)
+
+    for code, name in COUNTRIES:
+        region = _REGIONS.get(code, "World")
+        kb.add_entity(Entity(
+            entity_id=code, name=name, entity_type="country",
+            aliases=(f"Republic of {name}",),
+            abstract=f"{name} is a country in {region}.",
+            facts=(("region", region),),
+        ))
+    for code, name in ORGANIZATIONS:
+        kb.add_entity(Entity(
+            entity_id=code, name=name, entity_type="organization",
+            abstract=f"{name} is an international organization.",
+            facts=(("kind", "international organization"),),
+        ))
+    for code, name in COMPANIES:
+        industry = _COMPANY_INDUSTRY.get(code, "conglomerate")
+        kb.add_entity(Entity(
+            entity_id=code, name=name, entity_type="company",
+            aliases=(f"{name} Inc",),
+            abstract=f"{name} is a company in the {industry} industry.",
+            facts=(("industry", industry),),
+        ))
+    people = person_universe(num_people, seed)
+    country_codes = [code for code, _ in COUNTRIES]
+    for code, name in people:
+        kb.add_entity(Entity(
+            entity_id=code, name=name, entity_type="person",
+            abstract=f"{name} is a public figure.",
+        ))
+
+    # relations: same-region countries border deterministically in pairs
+    by_region: Dict[str, list] = {}
+    for code, _ in COUNTRIES:
+        by_region.setdefault(_REGIONS.get(code, "World"), []).append(code)
+    for region_codes in by_region.values():
+        for a, b in zip(region_codes, region_codes[1:]):
+            kb.add_relation(a, "borders", b)
+
+    # UN membership for every country; EU/NATO for a European subset
+    for code, _ in COUNTRIES:
+        kb.add_relation(code, "member_of", "UN")
+    for code in ("FRA", "GER", "ITA", "ESP", "POL", "NTH", "BEL", "AUT",
+                 "SWE", "FIN", "GRC", "PRT", "CZE", "HUN", "ROU", "BGR",
+                 "HRV", "LTU", "LVA", "EST"):
+        kb.add_relation(code, "member_of", "EU")
+    for code in ("USA", "GBR", "FRA", "GER", "ITA", "ESP", "POL", "NTH",
+                 "BEL", "CAN", "TUR", "GRC", "PRT", "CZE", "HUN"):
+        kb.add_relation(code, "member_of", "NATO")
+
+    for code, home in _COMPANY_HOME.items():
+        kb.add_relation(code, "based_in", home)
+
+    for code, _ in people:
+        kb.add_relation(code, "citizen_of", rng.choice(country_codes))
+
+    return kb

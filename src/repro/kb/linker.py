@@ -1,0 +1,68 @@
+"""Entity linking: resolve annotator mentions against the knowledge base.
+
+The extraction pipeline's gazetteer finds surface mentions; the linker maps
+them onto knowledge-base entities — including alias forms the gazetteer
+does not know ("Republic of Ukraine" → ``UKR``) — and normalizes a
+snippet's entity set so that stories and entity cards agree on ids.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.eventdata.models import Snippet
+from repro.kb.base import Entity, KnowledgeBase
+
+
+class EntityLinker:
+    """Resolve mentions and normalize snippet entity sets."""
+
+    def __init__(self, kb: KnowledgeBase) -> None:
+        self.kb = kb
+
+    def link(self, mention: str) -> Optional[Entity]:
+        """Resolve one mention (name, alias or code); None if unknown."""
+        return self.kb.resolve(mention)
+
+    def link_all(self, mentions: Iterable[str]) -> List[Entity]:
+        """Resolve many mentions, dropping unknowns and duplicates."""
+        seen = set()
+        entities: List[Entity] = []
+        for mention in mentions:
+            entity = self.kb.resolve(mention)
+            if entity is not None and entity.entity_id not in seen:
+                seen.add(entity.entity_id)
+                entities.append(entity)
+        return entities
+
+    def normalize_snippet(self, snippet: Snippet) -> Tuple[Snippet, List[str]]:
+        """Return a snippet whose entity codes are all KB-canonical.
+
+        Unknown codes are kept as-is (the KB is not assumed complete);
+        the second return value lists the codes that failed to resolve.
+        """
+        resolved = set()
+        unresolved: List[str] = []
+        for code in snippet.entities:
+            entity = self.kb.resolve(code)
+            if entity is not None:
+                resolved.add(entity.entity_id)
+            else:
+                resolved.add(code)
+                unresolved.append(code)
+        if resolved == set(snippet.entities):
+            return snippet, sorted(unresolved)
+        normalized = Snippet(
+            snippet_id=snippet.snippet_id,
+            source_id=snippet.source_id,
+            timestamp=snippet.timestamp,
+            published=snippet.published,
+            description=snippet.description,
+            entities=frozenset(resolved),
+            keywords=snippet.keywords,
+            text=snippet.text,
+            event_type=snippet.event_type,
+            document_id=snippet.document_id,
+            url=snippet.url,
+        )
+        return normalized, sorted(unresolved)

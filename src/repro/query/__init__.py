@@ -1,0 +1,24 @@
+"""Query language over detected stories.
+
+Section 4.2: "queries will consist of enquiries about specified real-world
+events or entities."  This package turns that into a small, composable
+query language::
+
+    entity:UKR keyword:crash after:2014-07-01 before:2014-09-30 source:s1
+
+parsed by :mod:`repro.query.parser` into a :class:`~repro.query.parser.
+StoryQuery` and executed by :mod:`repro.query.engine` against an
+:class:`~repro.core.alignment.Alignment` (story-level hits, relevance
+ranked) or a :class:`~repro.eventdata.corpus.Corpus` (snippet-level hits).
+"""
+
+from repro.query.parser import QuerySyntaxError, StoryQuery, parse_query
+from repro.query.engine import QueryEngine, StoryHit
+
+__all__ = [
+    "StoryQuery",
+    "parse_query",
+    "QuerySyntaxError",
+    "QueryEngine",
+    "StoryHit",
+]

@@ -1,0 +1,145 @@
+"""Query execution over alignments and corpora.
+
+Story-level execution scores each integrated story against the query's
+entity/keyword terms (profile mass), applies the hard filters (sources,
+time range) and returns relevance-ranked :class:`StoryHit` rows with
+per-term match explanations — the demo's query box with explanations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.alignment import AlignedStory, Alignment
+from repro.eventdata.corpus import Corpus
+from repro.eventdata.models import Snippet
+from repro.query.parser import StoryQuery, parse_query
+from repro.text.stem import PorterStemmer
+
+_STEMMER = PorterStemmer()
+
+
+@dataclass(frozen=True)
+class StoryHit:
+    """One ranked story result."""
+
+    story: AlignedStory
+    relevance: float
+    matched: Tuple[str, ...]  # human-readable per-term explanations
+
+
+class QueryEngine:
+    """Execute parsed (or raw) queries."""
+
+    def __init__(self, alignment: Alignment,
+                 corpus: Optional[Corpus] = None) -> None:
+        self.alignment = alignment
+        self.corpus = corpus
+        self._known_entities = set()
+        for aligned in alignment.aligned.values():
+            self._known_entities |= set(aligned.entity_profile())
+
+    # -- story-level ------------------------------------------------------
+
+    def search(self, query, limit: int = 10) -> List[StoryHit]:
+        """Ranked stories matching ``query`` (a string or StoryQuery)."""
+        if isinstance(query, str):
+            query = parse_query(query, known_entities=self._known_entities)
+        if query.is_empty:
+            raise ValueError("empty query")
+        if limit <= 0:
+            raise ValueError("limit must be positive")
+        hits: List[StoryHit] = []
+        for aligned in self.alignment.aligned.values():
+            hit = self._match_story(aligned, query)
+            if hit is not None:
+                hits.append(hit)
+        hits.sort(key=lambda h: (-h.relevance, h.story.aligned_id))
+        return hits[:limit]
+
+    def _match_story(
+        self, aligned: AlignedStory, query: StoryQuery
+    ) -> Optional[StoryHit]:
+        # hard filters first
+        if query.sources and not set(query.sources) <= set(aligned.source_ids):
+            return None
+        if query.after is not None and aligned.end < query.after:
+            return None
+        if query.before is not None and aligned.start > query.before:
+            return None
+
+        relevance = 0.0
+        matched: List[str] = []
+        entity_profile = aligned.entity_profile()
+        term_profile = aligned.term_profile()
+        for entity in query.entities:
+            weight = entity_profile.get(entity, 0.0)
+            if weight <= 0:
+                return None  # conjunctive: every entity term must match
+            relevance += weight
+            matched.append(f"entity {entity} ×{weight:g}")
+        for keyword in query.keywords:
+            stem = _STEMMER.stem(keyword)
+            weight = term_profile.get(stem, 0.0)
+            if weight <= 0:
+                return None
+            relevance += weight
+            matched.append(f"keyword {keyword} ({stem}) ×{weight:g}")
+        if not query.entities and not query.keywords:
+            relevance = float(len(aligned))  # filter-only query: rank by size
+            matched.append("matched filters")
+        return StoryHit(story=aligned, relevance=relevance,
+                        matched=tuple(matched))
+
+    # -- snippet-level -----------------------------------------------------
+
+    def search_snippets(self, query, limit: int = 20) -> List[Snippet]:
+        """Snippets matching the query's criteria, most recent first."""
+        if isinstance(query, str):
+            query = parse_query(query, known_entities=self._known_entities)
+        if query.is_empty:
+            raise ValueError("empty query")
+        if limit <= 0:
+            raise ValueError("limit must be positive")
+        stems = {_STEMMER.stem(k) for k in query.keywords}
+        results: List[Snippet] = []
+        for aligned in self.alignment.aligned.values():
+            for snippet in aligned.snippets():
+                if query.sources and snippet.source_id not in query.sources:
+                    continue
+                if query.after is not None and snippet.timestamp < query.after:
+                    continue
+                if query.before is not None and snippet.timestamp > query.before:
+                    continue
+                if query.entities and not (
+                    set(query.entities) <= snippet.entities
+                ):
+                    continue
+                if stems:
+                    from repro.storage.event_store import match_terms
+                    if not stems <= set(match_terms(snippet)):
+                        continue
+                if query.role is not None and (
+                    self.alignment.role(snippet.snippet_id) != query.role
+                ):
+                    continue
+                results.append(snippet)
+        results.sort(key=lambda s: (-s.timestamp, s.snippet_id))
+        return results[:limit]
+
+    def explain(self, query, limit: int = 5) -> str:
+        """Human-readable result block (the demo's query answer panel)."""
+        hits = self.search(query, limit=limit)
+        if not hits:
+            return "(no stories match)"
+        lines = []
+        for hit in hits:
+            start, end = hit.story.date_range()
+            lines.append(
+                f"{hit.story.aligned_id}  relevance {hit.relevance:g}  "
+                f"[{', '.join(hit.story.source_ids)}]  {start} – {end}"
+            )
+            for explanation in hit.matched:
+                lines.append(f"    {explanation}")
+        return "\n".join(lines)

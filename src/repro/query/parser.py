@@ -1,0 +1,110 @@
+"""Parser for the story query language.
+
+Grammar (whitespace-separated terms, all of them optional):
+
+* ``entity:CODE`` — story must mention the entity (repeatable: AND);
+* ``keyword:WORD`` — story must contain the stemmed term (repeatable: AND);
+* ``source:ID`` — story must include reporting from the source;
+* ``after:DATE`` / ``before:DATE`` — story span must intersect the range
+  (dates in ``YYYY-MM-DD`` or ``MM/DD/YYYY``);
+* ``role:aligning|enriching`` — restrict snippet-level results by role;
+* a bare word — shorthand for ``keyword:<word>``, unless it matches a
+  known entity code exactly (``UKR``), in which case it is an entity term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import StoryPivotError
+from repro.eventdata.models import parse_timestamp
+
+
+class QuerySyntaxError(StoryPivotError, ValueError):
+    """The query string could not be parsed."""
+
+
+@dataclass
+class StoryQuery:
+    """A parsed query: conjunctive criteria."""
+
+    entities: Tuple[str, ...] = ()
+    keywords: Tuple[str, ...] = ()
+    sources: Tuple[str, ...] = ()
+    after: Optional[float] = None
+    before: Optional[float] = None
+    role: Optional[str] = None
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.entities or self.keywords or self.sources
+                    or self.after is not None or self.before is not None
+                    or self.role is not None)
+
+
+_FIELDS = ("entity", "keyword", "source", "after", "before", "role")
+
+
+def parse_query(text: str, known_entities: Optional[set] = None) -> StoryQuery:
+    """Parse a query string into a :class:`StoryQuery`.
+
+    ``known_entities`` lets bare ALL-CAPS tokens resolve as entity terms
+    ("UKR crash" == "entity:UKR keyword:crash").
+    """
+    entities: List[str] = []
+    keywords: List[str] = []
+    sources: List[str] = []
+    after: Optional[float] = None
+    before: Optional[float] = None
+    role: Optional[str] = None
+
+    for token in text.split():
+        if ":" in token:
+            fieldname, _, value = token.partition(":")
+            fieldname = fieldname.lower()
+            if fieldname not in _FIELDS:
+                raise QuerySyntaxError(f"unknown query field {fieldname!r}")
+            if not value:
+                raise QuerySyntaxError(f"empty value for field {fieldname!r}")
+            if fieldname == "entity":
+                entities.append(value)
+            elif fieldname == "keyword":
+                keywords.append(value.lower())
+            elif fieldname == "source":
+                sources.append(value)
+            elif fieldname in ("after", "before"):
+                try:
+                    timestamp = parse_timestamp(value)
+                except ValueError as exc:
+                    raise QuerySyntaxError(
+                        f"bad date {value!r} for {fieldname}:"
+                    ) from exc
+                if fieldname == "after":
+                    after = timestamp
+                else:
+                    before = timestamp
+            elif fieldname == "role":
+                if value not in ("aligning", "enriching"):
+                    raise QuerySyntaxError(
+                        f"role must be aligning|enriching, got {value!r}"
+                    )
+                role = value
+        else:
+            if known_entities is not None and token in known_entities:
+                entities.append(token)
+            elif token.isupper() and known_entities is None and len(token) <= 6:
+                entities.append(token)
+            else:
+                keywords.append(token.lower())
+
+    if after is not None and before is not None and after > before:
+        raise QuerySyntaxError("after: date is later than before: date")
+    return StoryQuery(
+        entities=tuple(entities),
+        keywords=tuple(keywords),
+        sources=tuple(sources),
+        after=after,
+        before=before,
+        role=role,
+    )

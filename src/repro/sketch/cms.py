@@ -1,0 +1,59 @@
+"""Count-Min sketch for approximate frequency counting.
+
+The statistics module (Figure 7's dataset card) reports entity and keyword
+frequencies over datasets with millions of snippets; the Count-Min sketch
+bounds that counting in sub-linear space with a one-sided (overcount-only)
+error of at most ``εN`` with probability ``1 - δ``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Hashable, Iterable
+
+
+class CountMinSketch:
+    """A (ε, δ) Count-Min sketch."""
+
+    def __init__(self, epsilon: float = 0.001, delta: float = 0.01) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError("epsilon must be in (0, 1)")
+        if not 0.0 < delta < 1.0:
+            raise ValueError("delta must be in (0, 1)")
+        self.width = max(1, math.ceil(math.e / epsilon))
+        self.depth = max(1, math.ceil(math.log(1.0 / delta)))
+        self._table = [[0] * self.width for _ in range(self.depth)]
+        self._total = 0
+
+    @property
+    def total(self) -> int:
+        """Total mass added (N)."""
+        return self._total
+
+    def _positions(self, item: Hashable):
+        data = repr(item).encode("utf-8")
+        digest = hashlib.blake2b(data, digest_size=16).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:], "big") | 1
+        for row in range(self.depth):
+            yield row, (h1 + row * h2) % self.width
+
+    def add(self, item: Hashable, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        for row, column in self._positions(item):
+            self._table[row][column] += count
+        self._total += count
+
+    def update(self, items: Iterable[Hashable]) -> None:
+        for item in items:
+            self.add(item)
+
+    def estimate(self, item: Hashable) -> int:
+        """Point estimate: never undercounts the true frequency."""
+        return min(self._table[row][column] for row, column in self._positions(item))
+
+    def error_bound(self) -> float:
+        """εN — the additive overcount bound at confidence ``1 - δ``."""
+        return math.e / self.width * self._total

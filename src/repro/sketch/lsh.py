@@ -1,0 +1,91 @@
+"""LSH index over MinHash signatures (banding technique).
+
+Candidate retrieval for "which stories could this snippet belong to" must
+be sub-linear in the number of stories; banding the MinHash signature into
+``bands`` bands of ``rows`` rows gives the classic S-curve collision
+probability ``1 - (1 - s^rows)^bands`` for Jaccard similarity ``s``.
+Entries can be re-inserted under the same key (stories grow), which
+replaces their signature.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.sketch.minhash import MinHashSignature
+
+
+class LshIndex:
+    """Banded LSH over MinHash signatures with updatable keys."""
+
+    def __init__(self, num_perm: int = 64, bands: int = 16) -> None:
+        if bands <= 0:
+            raise ValueError("bands must be positive")
+        if num_perm % bands != 0:
+            raise ValueError(
+                f"num_perm ({num_perm}) must be divisible by bands ({bands})"
+            )
+        self.num_perm = num_perm
+        self.bands = bands
+        self.rows = num_perm // bands
+        self._buckets: List[Dict[Tuple[int, ...], Set[Hashable]]] = [
+            defaultdict(set) for _ in range(bands)
+        ]
+        self._signatures: Dict[Hashable, MinHashSignature] = {}
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._signatures
+
+    def _band_keys(self, signature: MinHashSignature):
+        for band in range(self.bands):
+            start = band * self.rows
+            yield band, signature.values[start : start + self.rows]
+
+    def insert(self, key: Hashable, signature: MinHashSignature) -> None:
+        """Insert or update ``key``'s signature."""
+        if len(signature) != self.num_perm:
+            raise ValueError(
+                f"signature length {len(signature)} != num_perm {self.num_perm}"
+            )
+        if key in self._signatures:
+            self.remove(key)
+        self._signatures[key] = signature
+        for band, band_key in self._band_keys(signature):
+            self._buckets[band][band_key].add(key)
+
+    def remove(self, key: Hashable) -> None:
+        """Remove ``key`` (KeyError if absent)."""
+        signature = self._signatures.pop(key)
+        for band, band_key in self._band_keys(signature):
+            bucket = self._buckets[band].get(band_key)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._buckets[band][band_key]
+
+    def signature_of(self, key: Hashable) -> Optional[MinHashSignature]:
+        return self._signatures.get(key)
+
+    def candidates(self, signature: MinHashSignature) -> Set[Hashable]:
+        """Keys colliding with ``signature`` in at least one band."""
+        found: Set[Hashable] = set()
+        for band, band_key in self._band_keys(signature):
+            found |= self._buckets[band].get(band_key, set())
+        return found
+
+    def query(
+        self, signature: MinHashSignature, min_similarity: float = 0.0
+    ) -> List[Tuple[Hashable, float]]:
+        """Candidates with their estimated similarity, best first."""
+        scored = [
+            (key, signature.similarity(self._signatures[key]))
+            for key in self.candidates(signature)
+        ]
+        return sorted(
+            ((key, sim) for key, sim in scored if sim >= min_similarity),
+            key=lambda kv: (-kv[1], str(kv[0])),
+        )

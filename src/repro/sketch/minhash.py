@@ -1,0 +1,96 @@
+"""MinHash signatures for Jaccard estimation.
+
+A MinHash signature of a set is the per-permutation minimum of hashed
+elements; the fraction of agreeing coordinates between two signatures is an
+unbiased estimator of the sets' Jaccard similarity (Broder 1997).  We use
+the standard universal-hash family ``h_i(x) = (a_i * x + b_i) mod p`` over a
+Mersenne prime.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Hashable, Iterable, List, Tuple
+
+_MERSENNE_PRIME = (1 << 61) - 1
+_MAX_HASH = (1 << 61) - 2
+
+
+def _element_hash(element: Hashable) -> int:
+    """Stable 61-bit hash of an arbitrary hashable element.
+
+    Python's builtin ``hash`` is salted per-process for strings, so we go
+    through blake2b to keep signatures reproducible across runs.
+    """
+    data = repr(element).encode("utf-8")
+    digest = hashlib.blake2b(data, digest_size=8).digest()
+    return int.from_bytes(digest, "big") % _MERSENNE_PRIME
+
+
+@dataclass(frozen=True)
+class MinHashSignature:
+    """An immutable signature; compare with :meth:`similarity`."""
+
+    values: Tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def similarity(self, other: "MinHashSignature") -> float:
+        """Estimated Jaccard similarity (fraction of equal coordinates)."""
+        if len(self.values) != len(other.values):
+            raise ValueError(
+                f"signature lengths differ: {len(self.values)} vs "
+                f"{len(other.values)}"
+            )
+        if not self.values:
+            return 0.0
+        equal = sum(1 for a, b in zip(self.values, other.values) if a == b)
+        return equal / len(self.values)
+
+
+class MinHash:
+    """A MinHash hasher with ``num_perm`` fixed random permutations."""
+
+    def __init__(self, num_perm: int = 64, seed: int = 1) -> None:
+        if num_perm <= 0:
+            raise ValueError("num_perm must be positive")
+        self.num_perm = num_perm
+        self.seed = seed
+        rng = random.Random(seed)
+        self._params: List[Tuple[int, int]] = [
+            (rng.randrange(1, _MERSENNE_PRIME), rng.randrange(0, _MERSENNE_PRIME))
+            for _ in range(num_perm)
+        ]
+
+    def signature(self, elements: Iterable[Hashable]) -> MinHashSignature:
+        """Signature of the given element set.
+
+        The empty set maps to the all-sentinel signature, which has
+        similarity ~1 with itself by construction; callers treat empty
+        inputs specially (see :mod:`repro.text.similarity` conventions).
+        """
+        minima = [_MAX_HASH + 1] * self.num_perm
+        for element in elements:
+            x = _element_hash(element)
+            for i, (a, b) in enumerate(self._params):
+                h = (a * x + b) % _MERSENNE_PRIME
+                if h < minima[i]:
+                    minima[i] = h
+        return MinHashSignature(tuple(minima))
+
+    def merge(
+        self, first: MinHashSignature, second: MinHashSignature
+    ) -> MinHashSignature:
+        """Signature of the *union* of the two underlying sets.
+
+        This is what makes MinHash composable for stories: a story's
+        signature is the coordinate-wise minimum over its snippets'.
+        """
+        if len(first) != len(second):
+            raise ValueError("cannot merge signatures of different lengths")
+        return MinHashSignature(
+            tuple(min(a, b) for a, b in zip(first.values, second.values))
+        )

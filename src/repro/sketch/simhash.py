@@ -1,0 +1,54 @@
+"""SimHash: a fixed-width fingerprint whose Hamming distance tracks cosine.
+
+Charikar's SimHash maps a weighted feature set to a 64-bit fingerprint; the
+probability two fingerprints agree on a bit equals ``1 - θ/π`` where ``θ``
+is the angle between the feature vectors.  Used as a cheap pre-filter in
+story alignment before exact similarity is computed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Hashable, Mapping
+
+
+def _feature_hash(feature: Hashable, bits: int) -> int:
+    data = repr(feature).encode("utf-8")
+    digest = hashlib.blake2b(data, digest_size=(bits + 7) // 8).digest()
+    return int.from_bytes(digest, "big") & ((1 << bits) - 1)
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Number of differing bits between two fingerprints."""
+    return bin(a ^ b).count("1")
+
+
+class SimHash:
+    """Weighted SimHash over ``bits``-wide fingerprints."""
+
+    def __init__(self, bits: int = 64) -> None:
+        if bits <= 0 or bits > 256:
+            raise ValueError("bits must be in (0, 256]")
+        self.bits = bits
+
+    def fingerprint(self, features: Mapping[Hashable, float]) -> int:
+        """Fingerprint of a weighted feature mapping (e.g. term counts)."""
+        if not features:
+            return 0
+        accumulator = [0.0] * self.bits
+        for feature, weight in features.items():
+            h = _feature_hash(feature, self.bits)
+            for bit in range(self.bits):
+                if (h >> bit) & 1:
+                    accumulator[bit] += weight
+                else:
+                    accumulator[bit] -= weight
+        fingerprint = 0
+        for bit in range(self.bits):
+            if accumulator[bit] > 0:
+                fingerprint |= 1 << bit
+        return fingerprint
+
+    def similarity(self, a: int, b: int) -> float:
+        """Fraction of agreeing bits, in ``[0, 1]``."""
+        return 1.0 - hamming_distance(a, b) / self.bits

@@ -1,0 +1,174 @@
+"""StorySketch: the unified snippet/story summary of Section 2.4.
+
+A sketch summarizes a story (or a single snippet — a story of size one) by
+
+* its time span and per-snippet timestamps,
+* entity and term frequency profiles, optionally *time-decayed* toward a
+  reference time so that an evolving story is represented by what it is
+  about *now* rather than what it started as,
+* a composable MinHash signature over content shingles for fast Jaccard
+  estimation and LSH candidate retrieval.
+
+Sketches support exact removal (refinement moves snippets between stories),
+which is why the per-snippet contributions are retained: counters subtract
+exactly and the merged MinHash signature is rebuilt from the survivors.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.eventdata.models import DAY
+from repro.sketch.minhash import MinHash, MinHashSignature
+
+
+class StorySketch:
+    """Incremental, removable summary of a set of snippets."""
+
+    def __init__(
+        self,
+        minhash: Optional[MinHash] = None,
+        decay_half_life: float = 14 * DAY,
+    ) -> None:
+        if decay_half_life <= 0:
+            raise ValueError("decay_half_life must be positive")
+        self._minhash = minhash
+        self.decay_half_life = decay_half_life
+        self.entity_counts: Counter = Counter()
+        self.term_counts: Counter = Counter()
+        self._timestamps: Dict[str, float] = {}
+        self._entities: Dict[str, Tuple[str, ...]] = {}
+        self._terms: Dict[str, Tuple[str, ...]] = {}
+        self._signatures: Dict[str, MinHashSignature] = {}
+        self._merged_signature: Optional[MinHashSignature] = None
+
+    # -- membership -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._timestamps)
+
+    def __contains__(self, snippet_id: str) -> bool:
+        return snippet_id in self._timestamps
+
+    @property
+    def snippet_ids(self) -> List[str]:
+        """Member ids ordered by (timestamp, id)."""
+        return sorted(self._timestamps, key=lambda sid: (self._timestamps[sid], sid))
+
+    def add(
+        self,
+        snippet_id: str,
+        timestamp: float,
+        entities: Iterable[str],
+        terms: Iterable[str],
+        shingles: Optional[Set] = None,
+    ) -> None:
+        """Add one snippet's contribution (ValueError on duplicates)."""
+        if snippet_id in self._timestamps:
+            raise ValueError(f"snippet {snippet_id!r} already in sketch")
+        entity_tuple = tuple(entities)
+        term_tuple = tuple(terms)
+        self._timestamps[snippet_id] = timestamp
+        self._entities[snippet_id] = entity_tuple
+        self._terms[snippet_id] = term_tuple
+        self.entity_counts.update(entity_tuple)
+        self.term_counts.update(term_tuple)
+        if self._minhash is not None:
+            elements = shingles if shingles is not None else set(term_tuple)
+            signature = self._minhash.signature(elements)
+            self._signatures[snippet_id] = signature
+            if self._merged_signature is None:
+                self._merged_signature = signature
+            else:
+                self._merged_signature = self._minhash.merge(
+                    self._merged_signature, signature
+                )
+
+    def remove(self, snippet_id: str) -> None:
+        """Exactly undo one snippet's contribution (KeyError if absent)."""
+        del self._timestamps[snippet_id]
+        entity_tuple = self._entities.pop(snippet_id)
+        term_tuple = self._terms.pop(snippet_id)
+        self.entity_counts.subtract(entity_tuple)
+        self.term_counts.subtract(term_tuple)
+        for counter in (self.entity_counts, self.term_counts):
+            for key in [k for k, v in counter.items() if v <= 0]:
+                del counter[key]
+        if self._minhash is not None:
+            self._signatures.pop(snippet_id, None)
+            self._merged_signature = None
+            for signature in self._signatures.values():
+                if self._merged_signature is None:
+                    self._merged_signature = signature
+                else:
+                    self._merged_signature = self._minhash.merge(
+                        self._merged_signature, signature
+                    )
+
+    # -- temporal view ----------------------------------------------------------
+
+    @property
+    def start(self) -> float:
+        if not self._timestamps:
+            raise ValueError("empty sketch has no start")
+        return min(self._timestamps.values())
+
+    @property
+    def end(self) -> float:
+        if not self._timestamps:
+            raise ValueError("empty sketch has no end")
+        return max(self._timestamps.values())
+
+    def timestamp_of(self, snippet_id: str) -> float:
+        return self._timestamps[snippet_id]
+
+    def timestamps(self) -> List[float]:
+        return sorted(self._timestamps.values())
+
+    # -- profiles -----------------------------------------------------------------
+
+    def _decay_weight(self, timestamp: float, at_time: float) -> float:
+        age = abs(at_time - timestamp)
+        return math.pow(0.5, age / self.decay_half_life)
+
+    def entity_profile(self, at_time: Optional[float] = None) -> Dict[str, float]:
+        """Entity weights; decayed toward ``at_time`` when given."""
+        if at_time is None:
+            return dict(self.entity_counts)
+        profile: Dict[str, float] = {}
+        for snippet_id, entity_tuple in self._entities.items():
+            weight = self._decay_weight(self._timestamps[snippet_id], at_time)
+            for entity in entity_tuple:
+                profile[entity] = profile.get(entity, 0.0) + weight
+        return profile
+
+    def term_profile(self, at_time: Optional[float] = None) -> Dict[str, float]:
+        """Term weights; decayed toward ``at_time`` when given."""
+        if at_time is None:
+            return dict(self.term_counts)
+        profile: Dict[str, float] = {}
+        for snippet_id, term_tuple in self._terms.items():
+            weight = self._decay_weight(self._timestamps[snippet_id], at_time)
+            for term in term_tuple:
+                profile[term] = profile.get(term, 0.0) + weight
+        return profile
+
+    def entity_set(self) -> Set[str]:
+        return set(self.entity_counts)
+
+    def term_set(self) -> Set[str]:
+        return set(self.term_counts)
+
+    @property
+    def signature(self) -> Optional[MinHashSignature]:
+        """Merged MinHash signature of all member contents (or ``None``)."""
+        return self._merged_signature
+
+    def top_entities(self, k: int = 5) -> List[Tuple[str, int]]:
+        """Most frequent entities, as the story-overview module lists them."""
+        return sorted(self.entity_counts.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+
+    def top_terms(self, k: int = 9) -> List[Tuple[str, int]]:
+        return sorted(self.term_counts.items(), key=lambda kv: (-kv[1], kv[0]))[:k]

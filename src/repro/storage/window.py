@@ -1,0 +1,56 @@
+"""Sliding window over a time-ordered stream.
+
+The temporal identification mode (Figure 2b) compares an incoming snippet
+``v`` only against snippets with ``t_v - ω <= t <= t_v + ω``.  For a stream
+processed in time order the backward half is served by this window, which
+evicts lazily as time advances; the forward half is naturally satisfied by
+later arrivals being compared against ``v`` when *they* arrive.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, List, Tuple
+
+
+class SlidingWindow:
+    """Keep the trailing ``width`` seconds of a time-ordered stream."""
+
+    def __init__(self, width: float) -> None:
+        if width <= 0:
+            raise ValueError("window width must be positive")
+        self.width = width
+        self._entries: Deque[Tuple[float, str]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Tuple[float, str]]:
+        return iter(self._entries)
+
+    def push(self, item_id: str, timestamp: float) -> List[str]:
+        """Append an item; returns the ids evicted by the advance.
+
+        Items may arrive slightly out of order (bounded disorder); the
+        window keys eviction off the *maximum* timestamp seen so far, so a
+        late arrival never un-evicts — an item already older than the
+        horizon is evicted immediately.
+        """
+        horizon = timestamp - self.width
+        if self._entries:
+            horizon = max(horizon, max(t for t, _ in self._entries) - self.width)
+        evicted: List[str] = []
+        if timestamp < horizon:
+            return [item_id]
+        self._entries.append((timestamp, item_id))
+        while self._entries and self._entries[0][0] < horizon:
+            _, old_id = self._entries.popleft()
+            evicted.append(old_id)
+        return evicted
+
+    def ids(self) -> List[str]:
+        """Current member ids, oldest first."""
+        return [item_id for _, item_id in self._entries]
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,41 @@
+"""Text-processing substrate.
+
+StoryPivot consumes *information snippets* whose content is produced by a
+black-box extraction pipeline (EventRegistry documents annotated by
+OpenCalais in the paper).  This package provides every text primitive that
+pipeline and the matchers need: tokenization, stopword filtering, stemming,
+vocabulary management, TF-IDF weighting and similarity measures.
+"""
+
+from repro.text.tokenize import Token, sentences, tokenize, word_tokens
+from repro.text.stopwords import STOPWORDS, is_stopword, remove_stopwords
+from repro.text.stem import PorterStemmer, stem
+from repro.text.vocab import Vocabulary
+from repro.text.vectorize import BagOfWords, TfIdfVectorizer
+from repro.text.similarity import (
+    cosine_similarity,
+    dice_similarity,
+    jaccard_similarity,
+    overlap_coefficient,
+    weighted_jaccard,
+)
+
+__all__ = [
+    "Token",
+    "tokenize",
+    "word_tokens",
+    "sentences",
+    "STOPWORDS",
+    "is_stopword",
+    "remove_stopwords",
+    "PorterStemmer",
+    "stem",
+    "Vocabulary",
+    "BagOfWords",
+    "TfIdfVectorizer",
+    "cosine_similarity",
+    "jaccard_similarity",
+    "weighted_jaccard",
+    "dice_similarity",
+    "overlap_coefficient",
+]

@@ -1,0 +1,115 @@
+"""Similarity measures on sparse vectors and sets.
+
+These are the primitives from which snippet-snippet, snippet-story and
+story-story similarity (Sections 2.2 and 2.3 of the paper) are composed.
+All functions return a value in ``[0, 1]`` and define the similarity of two
+empty inputs as ``0.0`` — an empty snippet should never look like a match.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import AbstractSet, Dict, Mapping
+
+SparseVector = Mapping[int, float]
+
+
+def cosine_similarity(a: SparseVector, b: SparseVector) -> float:
+    """Cosine of the angle between sparse vectors ``a`` and ``b``.
+
+    >>> cosine_similarity({1: 1.0}, {1: 2.0})
+    1.0
+    >>> cosine_similarity({1: 1.0}, {2: 1.0})
+    0.0
+    """
+    if not a or not b:
+        return 0.0
+    if len(b) < len(a):
+        a, b = b, a
+    dot = sum(weight * b.get(term_id, 0.0) for term_id, weight in a.items())
+    if dot == 0.0:
+        return 0.0
+    norm_a = math.sqrt(sum(w * w for w in a.values()))
+    norm_b = math.sqrt(sum(w * w for w in b.values()))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return min(1.0, dot / (norm_a * norm_b))
+
+
+def jaccard_similarity(a: AbstractSet, b: AbstractSet) -> float:
+    """|a ∩ b| / |a ∪ b|; 0.0 when both sets are empty.
+
+    >>> round(jaccard_similarity({1, 2}, {2, 3}), 3)
+    0.333
+    """
+    if not a or not b:
+        return 0.0
+    intersection = len(a & b)
+    if intersection == 0:
+        return 0.0
+    return intersection / (len(a) + len(b) - intersection)
+
+
+def weighted_jaccard(a: SparseVector, b: SparseVector) -> float:
+    """Weighted (min/max) Jaccard similarity of non-negative sparse vectors.
+
+    Used by story sketches, whose decayed term weights are frequencies
+    rather than TF-IDF scores.
+    """
+    if not a or not b:
+        return 0.0
+    keys = set(a) | set(b)
+    numerator = 0.0
+    denominator = 0.0
+    for key in keys:
+        wa = a.get(key, 0.0)
+        wb = b.get(key, 0.0)
+        numerator += min(wa, wb)
+        denominator += max(wa, wb)
+    if denominator == 0.0:
+        return 0.0
+    return numerator / denominator
+
+
+def dice_similarity(a: AbstractSet, b: AbstractSet) -> float:
+    """Sørensen–Dice coefficient: 2|a ∩ b| / (|a| + |b|)."""
+    if not a or not b:
+        return 0.0
+    return 2.0 * len(a & b) / (len(a) + len(b))
+
+
+def overlap_coefficient(a: AbstractSet, b: AbstractSet) -> float:
+    """|a ∩ b| / min(|a|, |b|) — forgiving when one side is much smaller.
+
+    Entity overlap between a 2-entity snippet and a 40-entity story should
+    not be punished for the story's breadth, so entity matching uses this
+    instead of Jaccard.
+    """
+    if not a or not b:
+        return 0.0
+    return len(a & b) / min(len(a), len(b))
+
+
+def temporal_proximity(t1: float, t2: float, scale: float) -> float:
+    """Exponential-decay closeness of two timestamps, in ``[0, 1]``.
+
+    ``scale`` is the characteristic decay (in the same unit as the
+    timestamps): at ``|t1 - t2| == scale`` the proximity is ``1/e``.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    return math.exp(-abs(t1 - t2) / scale)
+
+
+def combine_weighted(scores: Dict[str, float], weights: Dict[str, float]) -> float:
+    """Convex combination of named component ``scores`` by ``weights``.
+
+    Components missing from ``scores`` contribute 0; weights are normalized
+    so callers can pass any non-negative relative weighting.
+    """
+    total_weight = sum(weights.values())
+    if total_weight <= 0:
+        raise ValueError("weights must sum to a positive value")
+    return sum(
+        weight * scores.get(name, 0.0) for name, weight in weights.items()
+    ) / total_weight

@@ -1,0 +1,124 @@
+"""TextRank keyword extraction (Mihalcea & Tarau 2004).
+
+An alternative to TF-IDF ranking for the annotator's keyword channel:
+content words become graph nodes, co-occurrence within a sliding window
+adds edges, and PageRank scores rank the words.  Unlike TF-IDF it needs no
+corpus statistics, so it behaves identically on the first document and the
+millionth — useful when the extraction service must be stateless.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.text.stem import PorterStemmer
+from repro.text.stopwords import STOPWORDS
+from repro.text.tokenize import word_tokens
+
+_STEMMER = PorterStemmer()
+
+
+def _content_words(text: str, stem: bool) -> List[str]:
+    words = [w for w in word_tokens(text) if w not in STOPWORDS and len(w) > 2]
+    if stem:
+        words = [_STEMMER.stem(w) for w in words]
+    return words
+
+
+def cooccurrence_graph(
+    words: Sequence[str], window: int = 3
+) -> Dict[str, Dict[str, float]]:
+    """Undirected weighted co-occurrence graph over ``words``.
+
+    Two words are linked when they appear within ``window`` positions of
+    each other; repeated co-occurrence increases the edge weight.
+    """
+    if window < 2:
+        raise ValueError("window must be >= 2")
+    graph: Dict[str, Dict[str, float]] = defaultdict(lambda: defaultdict(float))
+    for i, word in enumerate(words):
+        for j in range(i + 1, min(i + window, len(words))):
+            other = words[j]
+            if other == word:
+                continue
+            graph[word][other] += 1.0
+            graph[other][word] += 1.0
+    return {node: dict(edges) for node, edges in graph.items()}
+
+
+def pagerank(
+    graph: Dict[str, Dict[str, float]],
+    damping: float = 0.85,
+    iterations: int = 50,
+    tolerance: float = 1e-6,
+) -> Dict[str, float]:
+    """Weighted PageRank with uniform teleport; converges or stops at cap."""
+    if not 0.0 < damping < 1.0:
+        raise ValueError("damping must be in (0, 1)")
+    nodes = sorted(graph)
+    if not nodes:
+        return {}
+    score = {node: 1.0 / len(nodes) for node in nodes}
+    out_weight = {
+        node: sum(graph[node].values()) or 1.0 for node in nodes
+    }
+    teleport = (1.0 - damping) / len(nodes)
+    for _ in range(iterations):
+        next_score = {}
+        for node in nodes:
+            incoming = 0.0
+            for neighbor, weight in graph[node].items():
+                incoming += score[neighbor] * weight / out_weight[neighbor]
+            next_score[node] = teleport + damping * incoming
+        delta = max(abs(next_score[n] - score[n]) for n in nodes)
+        score = next_score
+        if delta < tolerance:
+            break
+    return score
+
+
+def textrank_keywords(
+    text: str,
+    max_keywords: int = 6,
+    window: int = 3,
+    stem: bool = True,
+) -> List[Tuple[str, float]]:
+    """Top keywords of ``text`` with their TextRank scores.
+
+    >>> words = [w for w, _ in textrank_keywords(
+    ...     "the crash investigation continued as crash investigators "
+    ...     "searched the crash site", max_keywords=2)]
+    >>> "crash" in words
+    True
+    """
+    if max_keywords <= 0:
+        raise ValueError("max_keywords must be positive")
+    words = _content_words(text, stem)
+    if not words:
+        return []
+    if len(set(words)) == 1:
+        return [(words[0], 1.0)]
+    graph = cooccurrence_graph(words, window=window)
+    scores = pagerank(graph)
+    ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ranked[:max_keywords]
+
+
+class TextRankAnnotator:
+    """Drop-in keyword backend for the extraction annotator.
+
+    Mirrors the keyword half of :class:`repro.extraction.annotate.Annotator`
+    but is stateless: no corpus statistics, no warm-up drift.
+    """
+
+    def __init__(self, max_keywords: int = 6, window: int = 3) -> None:
+        self.max_keywords = max_keywords
+        self.window = window
+
+    def keywords(self, text: str) -> Tuple[str, ...]:
+        return tuple(
+            word for word, _ in textrank_keywords(
+                text, max_keywords=self.max_keywords, window=self.window
+            )
+        )

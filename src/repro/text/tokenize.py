@@ -1,0 +1,100 @@
+"""Tokenization primitives.
+
+The extraction pipeline breaks documents into excerpts and excerpts into
+tokens.  We keep tokenization deliberately simple and deterministic: words
+are maximal runs of letters/digits (with internal apostrophes and hyphens),
+lower-cased on request, with span information preserved so annotators can
+map entities back into the original text.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+_WORD_RE = re.compile(r"[A-Za-z0-9]+(?:[-'][A-Za-z0-9]+)*")
+_SENTENCE_RE = re.compile(r"[^.!?]+[.!?]?")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single token with its position in the source text.
+
+    ``text`` is the raw surface form; ``start``/``end`` are character offsets
+    into the string that was tokenized (``end`` exclusive).
+    """
+
+    text: str
+    start: int
+    end: int
+
+    @property
+    def lower(self) -> str:
+        """Lower-cased surface form."""
+        return self.text.lower()
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split ``text`` into :class:`Token` objects with character spans.
+
+    >>> [t.text for t in tokenize("Plane crash over Ukraine!")]
+    ['Plane', 'crash', 'over', 'Ukraine']
+    """
+    return [
+        Token(match.group(0), match.start(), match.end())
+        for match in _WORD_RE.finditer(text)
+    ]
+
+
+def word_tokens(text: str, lowercase: bool = True) -> List[str]:
+    """Return plain word strings, lower-cased by default.
+
+    This is the convenience entry point used by the vectorizer and matchers
+    that do not need span information.
+    """
+    if lowercase:
+        return [match.group(0).lower() for match in _WORD_RE.finditer(text)]
+    return [match.group(0) for match in _WORD_RE.finditer(text)]
+
+
+def sentences(text: str) -> Iterator[str]:
+    """Yield sentence-like segments of ``text``.
+
+    Sentence splitting only needs to be good enough for excerpt generation;
+    we split on ``.!?`` and strip whitespace, skipping empty segments.
+    """
+    for match in _SENTENCE_RE.finditer(text):
+        segment = match.group(0).strip()
+        if segment:
+            yield segment
+
+
+def ngrams(tokens: List[str], n: int) -> Iterator[tuple]:
+    """Yield successive ``n``-grams (as tuples) from ``tokens``.
+
+    >>> list(ngrams(["a", "b", "c"], 2))
+    [('a', 'b'), ('b', 'c')]
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    for i in range(len(tokens) - n + 1):
+        yield tuple(tokens[i : i + n])
+
+
+def shingles(text: str, k: int = 3) -> set:
+    """Return the set of ``k``-word shingles of ``text``.
+
+    Shingles are the unit hashed by MinHash sketches.  For texts shorter
+    than ``k`` words the full token tuple is returned as a single shingle so
+    that no text maps to the empty set unless it has no tokens at all.
+    """
+    tokens = word_tokens(text)
+    if not tokens:
+        return set()
+    if len(tokens) < k:
+        return {tuple(tokens)}
+    return set(ngrams(tokens, k))

@@ -1,0 +1,115 @@
+"""Bag-of-words and TF-IDF vectorization.
+
+Snippet contents are short (a title plus a paragraph), so vectors are kept
+as sparse ``{term_id: weight}`` dictionaries rather than numpy arrays; the
+matchers compute cosine similarity directly on these dictionaries.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.text.stem import PorterStemmer
+from repro.text.stopwords import STOPWORDS
+from repro.text.tokenize import word_tokens
+from repro.text.vocab import Vocabulary
+
+SparseVector = Dict[int, float]
+
+
+class BagOfWords:
+    """Turn raw text into stemmed, stopword-free term-count dictionaries."""
+
+    def __init__(
+        self,
+        vocabulary: Optional[Vocabulary] = None,
+        use_stemming: bool = True,
+        remove_stops: bool = True,
+    ) -> None:
+        self.vocabulary = vocabulary if vocabulary is not None else Vocabulary()
+        self._stemmer = PorterStemmer() if use_stemming else None
+        self._remove_stops = remove_stops
+
+    def terms(self, text: str) -> List[str]:
+        """Normalized terms of ``text`` (tokenized, filtered, stemmed)."""
+        tokens = word_tokens(text)
+        if self._remove_stops:
+            tokens = [t for t in tokens if t not in STOPWORDS]
+        if self._stemmer is not None:
+            tokens = [self._stemmer.stem(t) for t in tokens]
+        return tokens
+
+    def counts(self, text: str) -> Dict[int, int]:
+        """Sparse term-id -> count mapping for ``text``."""
+        if self.vocabulary.frozen:
+            ids = self.vocabulary.encode(self.terms(text), skip_unknown=True)
+        else:
+            ids = self.vocabulary.encode(self.terms(text))
+        return dict(Counter(ids))
+
+
+class TfIdfVectorizer:
+    """Incremental TF-IDF weighting over a growing corpus.
+
+    Unlike scikit-learn's batch vectorizer, document frequencies update as
+    snippets stream in, matching StoryPivot's incremental processing model.
+    IDF uses the smoothed form ``log((1 + N) / (1 + df)) + 1`` so weights are
+    defined even for terms seen in every document.
+    """
+
+    def __init__(self, bag: Optional[BagOfWords] = None) -> None:
+        self.bag = bag if bag is not None else BagOfWords()
+        self._document_frequency: Counter = Counter()
+        self._num_documents = 0
+
+    @property
+    def num_documents(self) -> int:
+        """Number of texts observed via :meth:`observe`."""
+        return self._num_documents
+
+    def observe(self, text: str) -> None:
+        """Update document frequencies with one more text."""
+        counts = self.bag.counts(text)
+        self._document_frequency.update(counts.keys())
+        self._num_documents += 1
+
+    def idf(self, term_id: int) -> float:
+        """Smoothed inverse document frequency of ``term_id``."""
+        df = self._document_frequency.get(term_id, 0)
+        return math.log((1.0 + self._num_documents) / (1.0 + df)) + 1.0
+
+    def vector(self, text: str, normalize: bool = True) -> SparseVector:
+        """TF-IDF vector of ``text`` under current corpus statistics.
+
+        Term frequency is sub-linear (``1 + log tf``), the standard choice
+        for short news text.  With ``normalize`` the vector has unit L2 norm.
+        """
+        counts = self.bag.counts(text)
+        vector: SparseVector = {}
+        for term_id, count in counts.items():
+            tf = 1.0 + math.log(count)
+            vector[term_id] = tf * self.idf(term_id)
+        if normalize and vector:
+            norm = math.sqrt(sum(w * w for w in vector.values()))
+            if norm > 0:
+                vector = {term_id: w / norm for term_id, w in vector.items()}
+        return vector
+
+    def fit_transform(
+        self, texts: Sequence[str], normalize: bool = True
+    ) -> List[SparseVector]:
+        """Observe all ``texts`` first, then vectorize each of them."""
+        for text in texts:
+            self.observe(text)
+        return [self.vector(text, normalize=normalize) for text in texts]
+
+
+def merge_counts(vectors: Iterable[Dict[int, float]]) -> Dict[int, float]:
+    """Sum sparse vectors term-wise (used to build story centroids)."""
+    merged: Dict[int, float] = {}
+    for vector in vectors:
+        for term_id, weight in vector.items():
+            merged[term_id] = merged.get(term_id, 0.0) + weight
+    return merged

@@ -1,0 +1,90 @@
+"""Vocabulary: a bidirectional token <-> integer-id mapping.
+
+Every vectorized component (TF-IDF, sketches, the inverted index) shares a
+vocabulary so that term ids are stable across snippets and across sources.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+
+class Vocabulary:
+    """Grow-only mapping from terms to dense integer ids.
+
+    A vocabulary can be *frozen*, after which unknown terms either raise
+    ``KeyError`` (``add``) or map to ``None`` (``get``).  Freezing is used by
+    evaluation harnesses that must guarantee train/apply feature parity.
+    """
+
+    def __init__(self, terms: Optional[Iterable[str]] = None) -> None:
+        self._term_to_id: Dict[str, int] = {}
+        self._id_to_term: List[str] = []
+        self._frozen = False
+        if terms is not None:
+            for term in terms:
+                self.add(term)
+
+    def __len__(self) -> int:
+        return len(self._id_to_term)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._term_to_id
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_term)
+
+    @property
+    def frozen(self) -> bool:
+        """Whether the vocabulary rejects new terms."""
+        return self._frozen
+
+    def freeze(self) -> None:
+        """Disallow any further growth."""
+        self._frozen = True
+
+    def add(self, term: str) -> int:
+        """Return the id of ``term``, assigning a fresh id if it is new.
+
+        Raises ``KeyError`` for unseen terms on a frozen vocabulary.
+        """
+        existing = self._term_to_id.get(term)
+        if existing is not None:
+            return existing
+        if self._frozen:
+            raise KeyError(f"vocabulary is frozen; unknown term {term!r}")
+        term_id = len(self._id_to_term)
+        self._term_to_id[term] = term_id
+        self._id_to_term.append(term)
+        return term_id
+
+    def get(self, term: str) -> Optional[int]:
+        """Return the id of ``term`` or ``None`` if unknown."""
+        return self._term_to_id.get(term)
+
+    def term(self, term_id: int) -> str:
+        """Return the term for ``term_id``; raises ``IndexError`` if absent."""
+        return self._id_to_term[term_id]
+
+    def encode(self, terms: Iterable[str], skip_unknown: bool = False) -> List[int]:
+        """Map ``terms`` to ids, adding new terms unless frozen.
+
+        With ``skip_unknown`` (only meaningful when frozen), unseen terms are
+        dropped instead of raising.
+        """
+        ids: List[int] = []
+        for term in terms:
+            if self._frozen:
+                term_id = self._term_to_id.get(term)
+                if term_id is None:
+                    if skip_unknown:
+                        continue
+                    raise KeyError(f"vocabulary is frozen; unknown term {term!r}")
+                ids.append(term_id)
+            else:
+                ids.append(self.add(term))
+        return ids
+
+    def decode(self, ids: Iterable[int]) -> List[str]:
+        """Map ids back to terms."""
+        return [self._id_to_term[i] for i in ids]

@@ -1,0 +1,34 @@
+"""Visualization: text renderings of the demo's exploration modules.
+
+The paper's Figures 3-7 are the demo UI: document selection, story
+overview, stories-per-source, snippets-per-story and the statistics module.
+Each is reproduced here as a deterministic text view over the pipeline's
+data structures (:mod:`repro.viz.modules`), with lightweight ASCII charts
+(:mod:`repro.viz.ascii`) standing in for the plots of Figure 7.
+"""
+
+from repro.viz.ascii import bar_chart, histogram, line_chart, sparkline, timeline
+from repro.viz.modules import (
+    document_selection_view,
+    snippet_information_view,
+    snippets_per_story_view,
+    statistics_view,
+    stories_per_source_view,
+    story_overview_view,
+    story_timeline_view,
+)
+
+__all__ = [
+    "bar_chart",
+    "line_chart",
+    "sparkline",
+    "histogram",
+    "timeline",
+    "document_selection_view",
+    "story_overview_view",
+    "stories_per_source_view",
+    "snippets_per_story_view",
+    "snippet_information_view",
+    "statistics_view",
+    "story_timeline_view",
+]

@@ -1,0 +1,168 @@
+"""ASCII charts for terminal output.
+
+The statistics module of the demo (Figure 7) plots execution time and
+F-measure against the number of events; these helpers render equivalent
+bar/line charts as plain text so benchmarks and examples can show the same
+curves without a display.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    title: Optional[str] = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart; one row per labelled value.
+
+    >>> print(bar_chart({"a": 2.0, "b": 1.0}, width=4))
+    a  ████ 2
+    b  ██   1
+    """
+    if not values:
+        return "(no data)"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(len(label) for label in values)
+    peak = max(values.values()) or 1.0
+    for label, value in values.items():
+        filled = int(round(width * value / peak)) if value > 0 else 0
+        bar = "█" * filled + " " * (width - filled)
+        rendered = f"{value:g}{unit}"
+        lines.append(f"{label.ljust(label_width)}  {bar} {rendered}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line block-character series.
+
+    >>> sparkline([0, 1, 2, 3])
+    ' ▃▅█'
+    """
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    span = high - low or 1.0
+    out = []
+    for value in values:
+        index = int((value - low) / span * (len(_BLOCKS) - 1))
+        out.append(_BLOCKS[index])
+    return "".join(out)
+
+
+def line_chart(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 12,
+    title: Optional[str] = None,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Multi-series scatter/line chart on a character grid.
+
+    Each series is a list of (x, y) points; series are drawn with distinct
+    markers and listed in a legend.
+    """
+    markers = "ox+*#@%&"
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in pts:
+            column = int((x - x_low) / x_span * (width - 1))
+            row = height - 1 - int((y - y_low) / y_span * (height - 1))
+            grid[row][column] = marker
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_high:g}"
+    bottom_label = f"{y_low:g}"
+    gutter = max(len(top_label), len(bottom_label), len(y_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(gutter)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(gutter)
+        elif row_index == height // 2 and y_label:
+            prefix = y_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * gutter + " +" + "-" * width)
+    x_axis = f"{x_low:g}".ljust(width - len(f"{x_high:g}")) + f"{x_high:g}"
+    lines.append(" " * gutter + "  " + x_axis)
+    if x_label:
+        lines.append(" " * gutter + "  " + x_label.center(width))
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float], bins: int = 10, width: int = 30
+) -> str:
+    """Text histogram of a numeric sample."""
+    if not values:
+        return "(no data)"
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    counts = [0] * bins
+    for value in values:
+        index = min(bins - 1, int((value - low) / span * bins))
+        counts[index] += 1
+    peak = max(counts) or 1
+    lines = []
+    for i, count in enumerate(counts):
+        left = low + span * i / bins
+        bar = "█" * int(round(width * count / peak))
+        lines.append(f"{left:>10.2f}  {bar} {count}")
+    return "\n".join(lines)
+
+
+def timeline(
+    events: Sequence[Tuple[float, str]],
+    width: int = 70,
+) -> str:
+    """Lay labelled timestamps on a horizontal axis.
+
+    Used by the snippets-per-story module to render each source's snippet
+    row (Figure 6's per-source timelines).
+    """
+    if not events:
+        return "(no events)"
+    times = [t for t, _ in events]
+    low, high = min(times), max(times)
+    span = (high - low) or 1.0
+    axis = ["-"] * width
+    labels: Dict[int, str] = {}
+    for t, label in events:
+        column = int((t - low) / span * (width - 1))
+        axis[column] = "●"
+        labels.setdefault(column, label)
+    label_line = [" "] * width
+    for column in sorted(labels):
+        text = labels[column]
+        start = min(column, width - len(text))  # don't clip labels at the edge
+        for offset, char in enumerate(text):
+            position = start + offset
+            if 0 <= position < width and label_line[position] == " ":
+                label_line[position] = char
+    return "".join(axis) + "\n" + "".join(label_line).rstrip()

@@ -1,0 +1,270 @@
+"""Self-contained HTML report of a StoryPivot run.
+
+The paper demonstrates StoryPivot as an interactive web UI; this module
+renders the same exploration surfaces — dataset card, story overview,
+per-story timelines with per-source lanes, snippet tables with
+aligning/enriching roles, and the statistics charts — as one static HTML
+file with inline SVG and CSS (no external assets, safe to open offline or
+attach to a report).  All user-originated text is HTML-escaped.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.alignment import AlignedStory, Alignment
+from repro.core.pipeline import PivotResult
+from repro.eventdata.models import format_timestamp
+
+_CSS = """
+body { font-family: Georgia, serif; margin: 2em auto; max-width: 60em;
+       color: #222; }
+h1 { border-bottom: 3px solid #8b0000; padding-bottom: .2em; }
+h2 { color: #8b0000; margin-top: 2em; }
+table { border-collapse: collapse; width: 100%; margin: 1em 0; }
+th, td { border-bottom: 1px solid #ddd; padding: .35em .6em;
+         text-align: left; font-size: .92em; }
+th { background: #f4f1ea; }
+.card { background: #f4f1ea; padding: 1em 1.4em; border-left: 4px solid
+        #8b0000; margin: 1em 0; }
+.chip { display: inline-block; background: #e8e2d4; border-radius: 1em;
+        padding: .1em .7em; margin: .12em; font-size: .85em; }
+.role-aligning { color: #1a6b1a; font-weight: bold; }
+.role-enriching { color: #8a6d00; font-weight: bold; }
+.lane-label { font-size: .8em; fill: #555; }
+svg { background: #fcfbf7; border: 1px solid #eee; }
+footer { margin-top: 3em; color: #888; font-size: .85em; }
+"""
+
+
+def _esc(text: object) -> str:
+    return html.escape(str(text))
+
+
+def _anchor(story_id: str) -> str:
+    """HTML-id-safe anchor for a story id (c'000001 → c-000001)."""
+    return "".join(ch if ch.isalnum() else "-" for ch in story_id)
+
+
+def _entity_chips(profile: Sequence[Tuple[str, int]]) -> str:
+    return "".join(
+        f'<span class="chip">{_esc(name)} ×{count}</span>'
+        for name, count in profile
+    )
+
+
+def _svg_story_timeline(aligned: AlignedStory, width: int = 640) -> str:
+    """Per-source lanes with one dot per snippet (the Figure 6 picture)."""
+    snippets = aligned.snippets()
+    if not snippets:
+        return ""
+    sources = sorted({s.source_id for s in snippets})
+    lane_height = 26
+    height = lane_height * len(sources) + 30
+    t0 = min(s.timestamp for s in snippets)
+    t1 = max(s.timestamp for s in snippets)
+    span = (t1 - t0) or 1.0
+    margin = 70
+    plot_width = width - margin - 15
+
+    parts = [f'<svg width="{width}" height="{height}" '
+             f'xmlns="http://www.w3.org/2000/svg">']
+    for lane, source_id in enumerate(sources):
+        y = 18 + lane * lane_height
+        parts.append(
+            f'<text x="4" y="{y + 4}" class="lane-label">'
+            f"{_esc(source_id)}</text>"
+        )
+        parts.append(
+            f'<line x1="{margin}" y1="{y}" x2="{width - 10}" y2="{y}" '
+            f'stroke="#ccc" stroke-width="1"/>'
+        )
+        for snippet in snippets:
+            if snippet.source_id != source_id:
+                continue
+            x = margin + (snippet.timestamp - t0) / span * plot_width
+            title = _esc(f"{snippet.snippet_id}: {snippet.description}")
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y}" r="5" fill="#8b0000" '
+                f'opacity="0.8"><title>{title}</title></circle>'
+            )
+    axis_y = 18 + len(sources) * lane_height
+    parts.append(
+        f'<text x="{margin}" y="{axis_y}" class="lane-label">'
+        f"{_esc(format_timestamp(t0))}</text>"
+    )
+    parts.append(
+        f'<text x="{width - 110}" y="{axis_y}" class="lane-label">'
+        f"{_esc(format_timestamp(t1))}</text>"
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _svg_line_chart(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    title: str,
+    width: int = 640,
+    height: int = 240,
+) -> str:
+    """Multi-series line chart (the Figure 7 panels)."""
+    palette = ("#8b0000", "#1a4b8b", "#1a6b1a", "#8a6d00", "#6a1a8b")
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        return ""
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    x_span = (x1 - x0) or 1.0
+    y_span = (y1 - y0) or 1.0
+    margin = 50
+    plot_w = width - margin - 15
+    plot_h = height - 2 * margin
+
+    def sx(x: float) -> float:
+        return margin + (x - x0) / x_span * plot_w
+
+    def sy(y: float) -> float:
+        return height - margin - (y - y0) / y_span * plot_h
+
+    parts = [f'<svg width="{width}" height="{height}" '
+             f'xmlns="http://www.w3.org/2000/svg">']
+    parts.append(f'<text x="{margin}" y="20" font-weight="bold">'
+                 f"{_esc(title)}</text>")
+    parts.append(f'<line x1="{margin}" y1="{height - margin}" '
+                 f'x2="{width - 10}" y2="{height - margin}" stroke="#888"/>')
+    parts.append(f'<line x1="{margin}" y1="{height - margin}" '
+                 f'x2="{margin}" y2="{margin - 10}" stroke="#888"/>')
+    parts.append(f'<text x="{margin - 45}" y="{sy(y1) + 4}" '
+                 f'class="lane-label">{y1:g}</text>')
+    parts.append(f'<text x="{margin - 45}" y="{sy(y0) + 4}" '
+                 f'class="lane-label">{y0:g}</text>')
+    for index, (name, pts) in enumerate(sorted(series.items())):
+        color = palette[index % len(palette)]
+        ordered = sorted(pts)
+        path = " ".join(
+            f"{'M' if i == 0 else 'L'}{sx(x):.1f},{sy(y):.1f}"
+            for i, (x, y) in enumerate(ordered)
+        )
+        parts.append(f'<path d="{path}" fill="none" stroke="{color}" '
+                     f'stroke-width="2"/>')
+        for x, y in ordered:
+            parts.append(f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="3.5" '
+                         f'fill="{color}"/>')
+        legend_y = margin + index * 16
+        parts.append(f'<rect x="{width - 160}" y="{legend_y - 9}" width="10" '
+                     f'height="10" fill="{color}"/>')
+        parts.append(f'<text x="{width - 144}" y="{legend_y}" '
+                     f'class="lane-label">{_esc(name)}</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _story_section(aligned: AlignedStory, alignment: Alignment) -> str:
+    start, end = aligned.date_range()
+    rows = []
+    for snippet in aligned.snippets():
+        role = alignment.role(snippet.snippet_id)
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(snippet.snippet_id)}</td>"
+            f"<td>{_esc(format_timestamp(snippet.timestamp))}</td>"
+            f"<td>{_esc(snippet.source_id)}</td>"
+            f'<td class="role-{role}">{role}</td>'
+            f"<td>{_esc(snippet.description)}</td>"
+            "</tr>"
+        )
+    return f"""
+<h2 id="{_anchor(aligned.aligned_id)}">{_esc(aligned.aligned_id)}
+ <small>[{_esc(', '.join(aligned.source_ids))}] · {_esc(start)} – {_esc(end)}</small></h2>
+<p>{_entity_chips(aligned.top_entities(6))}</p>
+<p>{_entity_chips(aligned.top_terms(8))}</p>
+{_svg_story_timeline(aligned)}
+<table>
+<tr><th>snippet</th><th>date</th><th>source</th><th>role</th><th>description</th></tr>
+{''.join(rows)}
+</table>
+"""
+
+
+def html_report(
+    result: PivotResult,
+    dataset_name: str = "corpus",
+    performance_series: Optional[Mapping[str, Sequence[Tuple[float, float]]]] = None,
+    quality_series: Optional[Mapping[str, Sequence[Tuple[float, float]]]] = None,
+    max_stories: int = 25,
+) -> str:
+    """Render a full pipeline result as one standalone HTML page."""
+    alignment = result.alignment
+    ranked = sorted(alignment.aligned.values(),
+                    key=lambda a: (-len(a), a.aligned_id))
+    shown = ranked[:max_stories]
+
+    overview_rows = []
+    for aligned in shown:
+        start, end = aligned.date_range()
+        entities = ", ".join(name for name, _ in aligned.top_entities(3))
+        terms = ", ".join(term for term, _ in aligned.top_terms(3))
+        overview_rows.append(
+            "<tr>"
+            f'<td><a href="#{_anchor(aligned.aligned_id)}">'
+            f"{_esc(aligned.aligned_id)}</a></td>"
+            f"<td>{_esc(', '.join(aligned.source_ids))}</td>"
+            f"<td>{len(aligned)}</td>"
+            f"<td>{_esc(entities)}</td>"
+            f"<td>{_esc(terms)}</td>"
+            f"<td>{_esc(start)} – {_esc(end)}</td>"
+            "</tr>"
+        )
+
+    num_snippets = sum(len(a) for a in alignment.aligned.values())
+    charts = []
+    if performance_series:
+        charts.append(_svg_line_chart(performance_series,
+                                      "Performance (ms / event)"))
+    if quality_series:
+        charts.append(_svg_line_chart(quality_series, "Quality (F-measure)"))
+
+    sections = "".join(_story_section(a, alignment) for a in shown)
+    omitted = len(ranked) - len(shown)
+    omitted_note = (
+        f"<p><em>{omitted} smaller stories omitted.</em></p>" if omitted > 0
+        else ""
+    )
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>StoryPivot — {_esc(dataset_name)}</title>
+<style>{_CSS}</style>
+</head>
+<body>
+<h1>StoryPivot · {_esc(dataset_name)}</h1>
+<div class="card">
+<b>{num_snippets}</b> snippets ·
+<b>{result.num_stories}</b> per-source stories ·
+<b>{result.num_integrated}</b> integrated stories ·
+<b>{len(alignment.cross_source_stories())}</b> cross-source
+</div>
+{''.join(charts)}
+<h2>Story overview</h2>
+<table>
+<tr><th>story</th><th>sources</th><th>snippets</th><th>entities</th>
+<th>about</th><th>span</th></tr>
+{''.join(overview_rows)}
+</table>
+{omitted_note}
+{sections}
+<footer>Generated by the StoryPivot reproduction
+(SIGMOD 2015 demonstration).</footer>
+</body>
+</html>
+"""
+
+
+def write_report(path: str, result: PivotResult, **kwargs) -> None:
+    """Write :func:`html_report` output to ``path`` (UTF-8)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(html_report(result, **kwargs))

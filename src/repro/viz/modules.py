@@ -1,0 +1,286 @@
+"""Text renderings of the five demo modules (Figures 3-7).
+
+Each function renders one UI module of the demonstration as a deterministic
+string over the pipeline's data structures, displaying the same fields the
+paper's figures show:
+
+* Figure 3 — document selection (source, preview, URL);
+* Figure 4 — story overview (story, sources, entities, description) plus a
+  story-information card with frequency-annotated entities/terms;
+* Figure 5 — stories per source, with snippet information and cross-story
+  connections;
+* Figure 6 — snippets per story: per-source timelines of an aligned story;
+* Figure 7 — statistics: dataset card plus performance/quality charts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.alignment import AlignedStory, Alignment
+from repro.core.matchers import SnippetMatcher
+from repro.core.stories import Story, StorySet
+from repro.eventdata.corpus import Corpus
+from repro.eventdata.models import Document, Snippet, format_timestamp
+from repro.viz.ascii import line_chart, timeline
+
+_RULE = "─" * 72
+
+
+def _header(title: str) -> List[str]:
+    return [f"┌─ StoryPivot · {title}", _RULE]
+
+
+def _profile_line(profile: Sequence[Tuple[str, int]]) -> str:
+    """Render '{UKR,5}; {NTH,2}; ...' exactly as Figure 4 does."""
+    return "; ".join(f"{{{name},{count}}}" for name, count in profile)
+
+
+def document_selection_view(
+    documents: Sequence[Document],
+    selected_ids: Optional[Sequence[str]] = None,
+    source_names: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Figure 3: available vs selected documents."""
+    source_names = source_names or {}
+    selected = set(selected_ids or ())
+    lines = _header("Document Selection")
+    sections = (
+        ("Selected Documents", [d for d in documents if d.document_id in selected]),
+        ("Available Documents", [d for d in documents if d.document_id not in selected]),
+    )
+    for title, docs in sections:
+        lines.append(f"{title} ({len(docs)})")
+        for document in docs:
+            name = source_names.get(document.source_id, document.source_id)
+            lines.append(f"  [{document.source_id}] {name}")
+            lines.append(f"      {document.preview}")
+            lines.append(f"      {document.url}")
+        lines.append(_RULE)
+    return "\n".join(lines)
+
+
+def story_overview_view(
+    alignment: Alignment,
+    focus: Optional[str] = None,
+    max_stories: int = 20,
+) -> str:
+    """Figure 4: the aligned-story table plus one story's information card."""
+    lines = _header("Story Overview")
+    lines.append(f"{'Story':<12} {'Sources':<18} {'Entities':<28} Description")
+    ranked = sorted(
+        alignment.aligned.values(), key=lambda a: (-len(a), a.aligned_id)
+    )
+    for aligned in ranked[:max_stories]:
+        entities = ", ".join(name for name, _ in aligned.top_entities(3))
+        terms = ", ".join(term for term, _ in aligned.top_terms(3))
+        sources = ", ".join(aligned.source_ids)
+        lines.append(
+            f"{aligned.aligned_id:<12} {sources:<18} {entities:<28} {terms}"
+        )
+    lines.append(_RULE)
+    if focus is None and ranked:
+        focus = ranked[0].aligned_id
+    if focus is not None and focus in alignment.aligned:
+        aligned = alignment.aligned[focus]
+        start, end = aligned.date_range()
+        lines.append("Story Information")
+        lines.append(f"  Story       {aligned.aligned_id}")
+        lines.append(f"  Sources     {', '.join(aligned.source_ids)}")
+        lines.append(f"  Entities    {_profile_line(aligned.top_entities(5))}")
+        lines.append(f"  Description {_profile_line(aligned.top_terms(9))}")
+        lines.append(f"  Start Date  {start}")
+        lines.append(f"  End Date    {end}")
+    return "\n".join(lines)
+
+
+def snippet_information_view(snippet: Snippet) -> str:
+    """The snippet-information card shown inside Figures 5 and 6."""
+    lines = [
+        "Snippet Information",
+        f"  Event       {snippet.snippet_id}",
+        f"  Source      {snippet.source_id}",
+        f"  Timestamp   {format_timestamp(snippet.timestamp)}",
+        f"  Entities    {', '.join(sorted(snippet.entities))}",
+        f"  Description {snippet.description}",
+    ]
+    if snippet.url or snippet.document_id:
+        lines.append(f"  Document    {snippet.url or snippet.document_id}")
+    return "\n".join(lines)
+
+
+def stories_per_source_view(
+    story_set: StorySet,
+    focus_snippet: Optional[str] = None,
+    matcher: Optional[SnippetMatcher] = None,
+    max_stories: int = 8,
+    connection_threshold: float = 0.25,
+) -> str:
+    """Figure 5: a source's stories on a timeline, plus snippet detail.
+
+    Also surfaces the cross-story snippet connections the figure draws
+    (``v^1_2`` relating to ``v^1_4`` of a different story): for the focused
+    snippet, similar snippets in *other* stories of the same source are
+    listed with their scores.
+    """
+    matcher = matcher or SnippetMatcher()
+    lines = _header(f"Stories per Source · {story_set.source_id}")
+    stories = story_set.stories_by_size()[:max_stories]
+    for story in stories:
+        members = story.snippets()
+        events = [(s.timestamp, s.snippet_id.split(":")[-1]) for s in members]
+        lines.append(f"{story.story_id}  ({len(members)} snippets)")
+        lines.append("  " + timeline(events, width=60).replace("\n", "\n  "))
+    lines.append(_RULE)
+    if focus_snippet is not None:
+        story = story_set.story_of(focus_snippet)
+        snippet = story.get(focus_snippet)
+        lines.append(snippet_information_view(snippet))
+        lines.append("")
+        lines.append("Connections across stories (same source):")
+        connections: List[Tuple[float, str, str]] = []
+        for other_story in story_set:
+            if other_story.story_id == story.story_id:
+                continue
+            for other in other_story.snippets():
+                score = matcher.snippet_score(snippet, other)
+                if score >= connection_threshold:
+                    connections.append((score, other.snippet_id, other_story.story_id))
+        for score, other_id, other_story_id in sorted(connections, reverse=True)[:5]:
+            lines.append(f"  {other_id} (in {other_story_id})  score={score:.2f}")
+        if not connections:
+            lines.append("  (none above threshold)")
+        lines.append("")
+        lines.append("Story Information")
+        start, end = story.date_range()
+        lines.append(f"  Story       {story.story_id}")
+        lines.append(f"  Sources     {story.source_id}")
+        lines.append(f"  Entities    {_profile_line(story.sketch.top_entities(5))}")
+        lines.append(f"  Description {_profile_line(story.sketch.top_terms(6))}")
+        lines.append(f"  Start Date  {start}")
+        lines.append(f"  End Date    {end}")
+    return "\n".join(lines)
+
+
+def snippets_per_story_view(
+    aligned: AlignedStory,
+    alignment: Alignment,
+    focus_snippet: Optional[str] = None,
+) -> str:
+    """Figure 6: one integrated story as per-source snippet timelines."""
+    lines = _header(f"Snippets per Story · {aligned.aligned_id}")
+    by_source: Dict[str, List[Snippet]] = {}
+    for snippet in aligned.snippets():
+        by_source.setdefault(snippet.source_id, []).append(snippet)
+    for source_id in sorted(by_source):
+        row = by_source[source_id]
+        events = [(s.timestamp, s.snippet_id.split(":")[-1]) for s in row]
+        lines.append(f"{source_id}:")
+        lines.append("  " + timeline(events, width=60).replace("\n", "\n  "))
+    lines.append(_RULE)
+    if focus_snippet is not None:
+        snippet = next(
+            s for s in aligned.snippets() if s.snippet_id == focus_snippet
+        )
+        lines.append(snippet_information_view(snippet))
+        lines.append(f"  Role        {alignment.role(focus_snippet)}")
+        counterparts = alignment.counterparts(focus_snippet)
+        if counterparts:
+            rendered = ", ".join(f"{cid} ({score:.2f})" for cid, score in counterparts)
+            lines.append(f"  Counterparts {rendered}")
+        lines.append("")
+    start, end = aligned.date_range()
+    lines.append("Story Information")
+    lines.append(f"  Sources     {', '.join(aligned.source_ids)}")
+    lines.append(f"  Entities    {_profile_line(aligned.top_entities(5))}")
+    lines.append(f"  Description {_profile_line(aligned.top_terms(9))}")
+    lines.append(f"  Start Date  {start}")
+    lines.append(f"  End Date    {end}")
+    return "\n".join(lines)
+
+
+def statistics_view(
+    dataset_name: str,
+    statistics: Mapping[str, object],
+    performance_series: Optional[Mapping[str, Sequence[Tuple[float, float]]]] = None,
+    quality_series: Optional[Mapping[str, Sequence[Tuple[float, float]]]] = None,
+) -> str:
+    """Figure 7: the dataset card plus performance and quality charts.
+
+    ``performance_series``/``quality_series`` map method names to
+    (#events, value) points, as produced by the evaluation harness.
+    """
+    lines = _header(f"Statistics · {dataset_name}")
+    lines.append("Dataset Information")
+    lines.append(f"  Dataset     {dataset_name}")
+    lines.append(f"  # Sources   {statistics.get('num_sources', '?')}")
+    lines.append(f"  # Snippets  {statistics.get('num_snippets', '?')}")
+    lines.append(f"  # Entities  {statistics.get('num_entities', '?')}")
+    start = statistics.get("start")
+    end = statistics.get("end")
+    if isinstance(start, (int, float)) and isinstance(end, (int, float)):
+        lines.append(f"  Start Date  {format_timestamp(start)}")
+        lines.append(f"  End Date    {format_timestamp(end)}")
+    lines.append(_RULE)
+    if performance_series:
+        lines.append(
+            line_chart(
+                performance_series,
+                title="Performance",
+                x_label="# events",
+                y_label="ms",
+            )
+        )
+        lines.append(_RULE)
+    if quality_series:
+        lines.append(
+            line_chart(
+                quality_series,
+                title="Quality",
+                x_label="# events",
+                y_label="F",
+            )
+        )
+    return "\n".join(lines)
+
+
+def story_timeline_view(
+    aligned: AlignedStory,
+    alignment: Alignment,
+    max_terms: int = 3,
+) -> str:
+    """Casual-reader timeline (Section 3): how events built the story.
+
+    Lists the story's snippets chronologically, tagging each with its
+    source, its aligning/enriching role and a *novelty* score — the
+    fraction of the snippet's terms and entities unseen in the story so
+    far — so a reader can spot the events that turned the story
+    ("civilian protests" → "military conflict").
+    """
+    from repro.core.matchers import snippet_features
+
+    lines = _header(f"Story Timeline · {aligned.aligned_id}")
+    start, end = aligned.date_range()
+    lines.append(f"{len(aligned)} events from {', '.join(aligned.source_ids)}"
+                 f" · {start} – {end}")
+    lines.append(_RULE)
+    seen_features: set = set()
+    for snippet in aligned.snippets():
+        entities, terms = snippet_features(snippet)
+        features = set(entities) | set(terms)
+        fresh = features - seen_features
+        novelty = len(fresh) / len(features) if features else 0.0
+        seen_features |= features
+        role = alignment.role(snippet.snippet_id)
+        marker = "◆" if novelty >= 0.5 else "·"
+        fresh_terms = ", ".join(sorted(f for f in fresh if isinstance(f, str)))
+        lines.append(
+            f"{marker} {format_timestamp(snippet.timestamp)}  "
+            f"[{snippet.source_id}] ({role}, novelty {novelty:.0%})  "
+            f"{snippet.description}"
+        )
+        if fresh_terms and novelty >= 0.5:
+            lines.append(f"    new: {fresh_terms}")
+    lines.append(_RULE)
+    lines.append("◆ = turning point (half or more of its content is new)")
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Shared fixtures for the StoryPivot test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import StoryPivotConfig
+from repro.eventdata.corpus import Corpus
+from repro.eventdata.handcrafted import demo_config, mh17_corpus
+from repro.eventdata.models import Snippet, Source, parse_timestamp
+from repro.eventdata.sourcegen import synthetic_corpus
+
+
+@pytest.fixture
+def mh17():
+    """The handcrafted two-source demo corpus."""
+    return mh17_corpus()
+
+
+@pytest.fixture
+def demo_cfg():
+    return demo_config()
+
+
+@pytest.fixture(scope="session")
+def small_synthetic():
+    """A small labelled synthetic corpus (session-scoped: generation cost)."""
+    return synthetic_corpus(total_events=120, num_sources=4, seed=7)
+
+
+@pytest.fixture(scope="session")
+def medium_synthetic():
+    """A mid-size labelled synthetic corpus for integration tests."""
+    return synthetic_corpus(total_events=400, num_sources=5, seed=11)
+
+
+@pytest.fixture
+def default_config():
+    return StoryPivotConfig()
+
+
+def make_snippet(
+    snippet_id: str,
+    source_id: str = "s1",
+    date: str = "2014-07-17",
+    description: str = "plane crash",
+    entities=("UKR", "MAS"),
+    keywords=("crash", "plane"),
+    **kwargs,
+) -> Snippet:
+    """Terse snippet builder used across test modules."""
+    return Snippet(
+        snippet_id=snippet_id,
+        source_id=source_id,
+        timestamp=parse_timestamp(date),
+        description=description,
+        entities=frozenset(entities),
+        keywords=tuple(keywords),
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def snippet_factory():
+    return make_snippet
+
+
+@pytest.fixture
+def two_source_corpus():
+    """A minimal fully-controlled corpus with two sources and two stories."""
+    corpus = Corpus("mini")
+    corpus.add_source(Source("a", "Alpha Times"))
+    corpus.add_source(Source("b", "Beta Journal"))
+    rows = [
+        ("a:1", "a", "2014-07-01", "flood rescue", ("IND",), ("flood", "rescue"), "w1"),
+        ("a:2", "a", "2014-07-03", "flood aid", ("IND", "UN"), ("flood", "aid"), "w1"),
+        ("a:3", "a", "2014-07-20", "election vote", ("FRA",), ("election", "vote"), "w2"),
+        ("b:1", "b", "2014-07-02", "flood rescue teams", ("IND",), ("flood", "rescue"), "w1"),
+        ("b:2", "b", "2014-07-21", "election ballot", ("FRA",), ("election", "ballot"), "w2"),
+    ]
+    for sid, src, date, desc, ents, kws, label in rows:
+        corpus.add_snippet(
+            make_snippet(sid, src, date, desc, ents, kws), label
+        )
+    return corpus

@@ -1,0 +1,178 @@
+"""Tests for the analytics package (bursts, lifecycle, source profiles)."""
+
+import pytest
+
+from repro.analytics.bursts import Burst, detect_bursts, story_bursts
+from repro.analytics.lifecycle import lifecycle, lifecycle_table
+from repro.analytics.source_profile import profile_sources, source_report_table
+from repro.core.config import StoryPivotConfig
+from repro.core.pipeline import StoryPivot
+from repro.core.stories import Story
+from repro.eventdata.handcrafted import demo_config, mh17_corpus
+from repro.eventdata.models import DAY, HOUR
+from repro.eventdata.sourcegen import SourceProfile, SourceSimulator
+from repro.eventdata.worldgen import WorldConfig, WorldGenerator
+from tests.conftest import make_snippet
+
+
+class TestDetectBursts:
+    def test_flat_series_has_no_bursts(self):
+        timestamps = [i * DAY for i in range(30)]  # one event per day
+        assert detect_bursts(timestamps) == []
+
+    def test_single_spike_detected(self):
+        timestamps = [i * DAY for i in range(30)]
+        timestamps += [10 * DAY + j * HOUR for j in range(12)]  # spike day 10
+        bursts = detect_bursts(timestamps)
+        assert len(bursts) == 1
+        burst = bursts[0]
+        assert burst.start <= 10 * DAY <= burst.end
+        assert burst.intensity > 3.0
+        assert burst.events >= 12
+
+    def test_two_separated_spikes(self):
+        timestamps = [i * DAY for i in range(40)]
+        timestamps += [5 * DAY + j * HOUR for j in range(10)]
+        timestamps += [30 * DAY + j * HOUR for j in range(10)]
+        bursts = detect_bursts(timestamps)
+        assert len(bursts) == 2
+        assert bursts[0].end < bursts[1].start
+
+    def test_trailing_burst_closed_at_series_end(self):
+        timestamps = [i * DAY for i in range(20)]
+        timestamps += [19 * DAY + j * HOUR for j in range(10)]
+        bursts = detect_bursts(timestamps)
+        assert bursts and bursts[-1].end >= 19 * DAY
+
+    def test_empty_input(self):
+        assert detect_bursts([]) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            detect_bursts([1.0], bucket=0)
+        with pytest.raises(ValueError):
+            detect_bursts([1.0], enter_factor=1.0, exit_factor=2.0)
+
+    def test_story_bursts_over_aligned_story(self):
+        result = StoryPivot(demo_config()).run(mh17_corpus())
+        crash = result.alignment.aligned_of_snippet("s1:v1")
+        # 4 snippets in 3 days then 2 in September: the July cluster bursts
+        bursts = story_bursts(crash, bucket=7 * DAY,
+                              enter_factor=1.5, exit_factor=1.2)
+        assert isinstance(bursts, list)
+        for burst in bursts:
+            assert isinstance(burst, Burst)
+            assert burst.duration >= 0
+
+
+class TestLifecycle:
+    def build_story(self, dates):
+        story = Story("c1", "s1")
+        for i, date in enumerate(dates):
+            story.add(make_snippet(f"v{i}", date=date))
+        return story
+
+    def test_basic_descriptors(self):
+        story = self.build_story(["2014-07-01", "2014-07-03", "2014-07-11"])
+        lc = lifecycle(story)
+        assert lc.num_snippets == 3
+        assert lc.duration_days == pytest.approx(10.0)
+        assert lc.mean_gap_days == pytest.approx(5.0)
+        assert lc.max_gap_days == pytest.approx(8.0)
+        assert lc.num_sources == 1
+
+    def test_flash_event(self):
+        lc = lifecycle(self.build_story(["2014-07-01", "2014-07-02"]))
+        assert lc.is_flash
+
+    def test_dormancy(self):
+        lc = lifecycle(self.build_story(
+            ["2014-06-01", "2014-06-02", "2014-09-01"]
+        ))
+        assert lc.is_dormant_prone
+
+    def test_front_loading(self):
+        lc = lifecycle(self.build_story(
+            ["2014-07-01", "2014-07-02", "2014-07-03", "2014-07-30"]
+        ))
+        assert lc.front_loading == pytest.approx(0.75)
+
+    def test_single_snippet(self):
+        lc = lifecycle(self.build_story(["2014-07-01"]))
+        assert lc.duration_days == 0.0
+        assert lc.mean_gap_days == 0.0
+        assert lc.is_flash
+
+    def test_empty_story_raises(self):
+        with pytest.raises(ValueError):
+            lifecycle(Story("c1", "s1"))
+
+    def test_wrong_type(self):
+        with pytest.raises(TypeError):
+            lifecycle(42)
+
+    def test_aligned_story_lifecycle(self):
+        result = StoryPivot(demo_config()).run(mh17_corpus())
+        crash = result.alignment.aligned_of_snippet("s1:v1")
+        lc = lifecycle(crash)
+        assert lc.num_sources == 2
+        assert lc.duration_days == pytest.approx(57.0)
+
+    def test_table_renders(self):
+        result = StoryPivot(demo_config()).run(mh17_corpus())
+        table = lifecycle_table(list(result.alignment.aligned.values()),
+                                limit=3)
+        assert "story" in table
+        assert len(table.splitlines()) == 5  # header + rule + 3 rows
+
+    def test_table_empty(self):
+        assert lifecycle_table([]) == "(no stories)"
+
+
+class TestSourceProfiles:
+    @pytest.fixture(scope="class")
+    def profiled(self):
+        """A two-source world with a clearly fast and a clearly slow source."""
+        generator = WorldGenerator(WorldConfig(seed=33, num_stories=15))
+        events = generator.events()
+        fast = SourceProfile("fast", "Fast Wire", coverage=0.9,
+                             mean_delay=0.5 * HOUR, delay_jitter=0.1)
+        slow = SourceProfile("slow", "Slow Weekly", coverage=0.9,
+                             mean_delay=48 * HOUR, delay_jitter=0.1)
+        simulator = SourceSimulator([fast, slow], seed=4,
+                                    entity_universe=generator.entity_universe)
+        corpus = simulator.make_corpus(events, min_reports_per_event=1)
+        result = StoryPivot(StoryPivotConfig.temporal()).run(corpus)
+        return profile_sources(result.alignment)
+
+    def test_reports_for_both_sources(self, profiled):
+        assert set(profiled) == {"fast", "slow"}
+
+    def test_fast_source_wins_races(self, profiled):
+        assert (profiled["fast"].first_reporter_rate
+                > profiled["slow"].first_reporter_rate)
+
+    def test_fast_source_has_lower_delay(self, profiled):
+        assert (profiled["fast"].median_delay_hours
+                < profiled["slow"].median_delay_hours)
+
+    def test_coverage_in_unit_interval(self, profiled):
+        for report in profiled.values():
+            assert 0.0 <= report.coverage <= 1.0
+            assert 0.0 <= report.exclusivity <= 1.0
+
+    def test_table_renders(self, profiled):
+        table = source_report_table(profiled)
+        assert "fast" in table and "slow" in table
+        assert "first%" in table
+
+    def test_table_empty(self):
+        assert source_report_table({}) == "(no sources)"
+
+    def test_mh17_profiles(self):
+        result = StoryPivot(demo_config()).run(mh17_corpus())
+        reports = profile_sources(result.alignment)
+        assert set(reports) == {"s1", "sn"}
+        # both sources carry one exclusive story each (doctors / google)
+        assert reports["s1"].exclusivity > 0
+        assert reports["sn"].exclusivity > 0

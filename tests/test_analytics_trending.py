@@ -1,0 +1,118 @@
+"""Tests for trending-story detection."""
+
+import pytest
+
+from repro.analytics.trending import (
+    TrendingMonitor,
+    story_heat,
+    trending_stories,
+)
+from repro.core.pipeline import StoryPivot
+from repro.eventdata.handcrafted import demo_config, mh17_corpus
+from repro.eventdata.models import DAY
+
+
+@pytest.fixture(scope="module")
+def mh17_alignment():
+    result = StoryPivot(demo_config()).run(mh17_corpus())
+    return result.alignment
+
+
+class TestStoryHeat:
+    def test_recent_story_hotter_than_old(self, mh17_alignment):
+        crash = mh17_alignment.aligned_of_snippet("s1:v1")  # ends Sep 12
+        gaza = mh17_alignment.aligned_of_snippet("s1:v4")  # ends Jul 24
+        from repro.eventdata.models import parse_timestamp
+        now = parse_timestamp("2014-09-13")
+        assert story_heat(crash, now) > story_heat(gaza, now)
+
+    def test_future_snippets_do_not_contribute(self, mh17_alignment):
+        crash = mh17_alignment.aligned_of_snippet("s1:v1")
+        from repro.eventdata.models import parse_timestamp
+        early = parse_timestamp("2014-07-20")
+        # only the July snippets count; the September report is the future
+        heat = story_heat(crash, early, half_life=365 * DAY)
+        assert heat < len(crash)
+
+    def test_invalid_half_life(self, mh17_alignment):
+        crash = mh17_alignment.aligned_of_snippet("s1:v1")
+        with pytest.raises(ValueError):
+            story_heat(crash, 0.0, half_life=0)
+
+
+class TestTrendingStories:
+    def test_default_now_is_corpus_front(self, mh17_alignment):
+        entries = trending_stories(mh17_alignment, k=5)
+        assert entries
+        # at Sep 12 the crash story (with two Sep 12 reports) leads
+        crash_id = mh17_alignment.aligned_of_snippet("s1:v5").aligned_id
+        assert entries[0].story_id == crash_id
+
+    def test_k_limits_results(self, mh17_alignment):
+        assert len(trending_stories(mh17_alignment, k=2)) == 2
+
+    def test_entries_sorted_by_heat(self, mh17_alignment):
+        entries = trending_stories(mh17_alignment, k=10)
+        heats = [e.heat for e in entries]
+        assert heats == sorted(heats, reverse=True)
+
+    def test_recent_events_counted(self, mh17_alignment):
+        from repro.eventdata.models import parse_timestamp
+        now = parse_timestamp("2014-09-12")
+        entries = trending_stories(mh17_alignment, now=now, k=1)
+        assert entries[0].recent_events >= 2  # both Sep 12 reports
+
+    def test_invalid_k(self, mh17_alignment):
+        with pytest.raises(ValueError):
+            trending_stories(mh17_alignment, k=0)
+
+
+class TestTrendingMonitor:
+    def test_observe_and_rank(self):
+        monitor = TrendingMonitor(half_life=3 * DAY)
+        for i in range(5):
+            monitor.observe("hot", i * DAY)
+        monitor.observe("cold", 0.0)
+        top = monitor.top(k=2)
+        assert top[0][0] == "hot"
+        assert top[0][1] > top[1][1]
+
+    def test_heat_decays_over_time(self):
+        monitor = TrendingMonitor(half_life=1 * DAY)
+        monitor.observe("story", 0.0)
+        assert monitor.heat("story", now=0.0) == pytest.approx(1.0)
+        assert monitor.heat("story", now=1 * DAY) == pytest.approx(0.5)
+        assert monitor.heat("story", now=2 * DAY) == pytest.approx(0.25)
+
+    def test_late_events_never_unevict_clock(self):
+        monitor = TrendingMonitor(half_life=1 * DAY)
+        monitor.observe("story", 10 * DAY)
+        monitor.observe("story", 9 * DAY)  # late arrival
+        # heat at the clock: 1 (on time) + 0.5 (late, one half-life old)
+        assert monitor.heat("story") == pytest.approx(1.5)
+
+    def test_unknown_key_is_cold(self):
+        assert TrendingMonitor().heat("nope") == 0.0
+
+    def test_len_counts_keys(self):
+        monitor = TrendingMonitor()
+        monitor.observe("a", 0.0)
+        monitor.observe("b", 0.0)
+        assert len(monitor) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrendingMonitor(half_life=0)
+        with pytest.raises(ValueError):
+            TrendingMonitor().top(k=0)
+
+    def test_equivalence_with_batch_heat(self, mh17_alignment):
+        """Incremental monitor heat == batch story_heat at the same now."""
+        crash = mh17_alignment.aligned_of_snippet("s1:v1")
+        monitor = TrendingMonitor(half_life=3 * DAY)
+        for snippet in crash.snippets():
+            monitor.observe("crash", snippet.timestamp)
+        now = max(s.timestamp for s in crash.snippets())
+        assert monitor.heat("crash", now) == pytest.approx(
+            story_heat(crash, now, half_life=3 * DAY)
+        )

@@ -1,0 +1,118 @@
+"""Tests for the storypivot-run CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.persistence import load_state
+from repro.eventdata.gdelt import export_tsv
+from repro.eventdata.handcrafted import mh17_corpus
+
+
+class TestInputs:
+    def test_demo_text_output(self, capsys):
+        assert main(["--demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Story Overview" in out
+        assert "integrated stories" in out
+
+    def test_no_input_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+
+    def test_missing_file_exits_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["/nonexistent/corpus.jsonl"])
+        assert excinfo.value.code == 2
+
+    def test_jsonl_file_input(self, tmp_path, capsys):
+        path = tmp_path / "corpus.jsonl"
+        path.write_text(mh17_corpus().to_jsonl(), encoding="utf-8")
+        assert main([str(path), "--evaluate"]) == 0
+        out = capsys.readouterr().out
+        assert "pairwise" in out
+
+    def test_tsv_file_input(self, tmp_path, capsys):
+        path = tmp_path / "corpus.tsv"
+        path.write_text(export_tsv(mh17_corpus()), encoding="utf-8")
+        assert main([str(path)]) == 0
+        assert "Story Overview" in capsys.readouterr().out
+
+    def test_synthetic_input(self, capsys):
+        assert main(["--synthetic", "40", "--sources", "2",
+                     "--evaluate"]) == 0
+        out = capsys.readouterr().out
+        assert "F1=" in out
+
+
+class TestOutputs:
+    def test_json_format(self, capsys):
+        assert main(["--demo", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        stories = payload["stories"]
+        assert len(stories) == 5
+        crash = max(stories, key=lambda s: len(s["snippets"]))
+        assert set(crash["sources"]) == {"s1", "sn"}
+        roles = {s["role"] for s in crash["snippets"]}
+        assert roles <= {"aligning", "enriching"}
+
+    def test_checkpoint_written_and_loadable(self, tmp_path, capsys):
+        path = tmp_path / "state.jsonl"
+        assert main(["--demo", "--checkpoint", str(path)]) == 0
+        assert "checkpoint: 12 snippets" in capsys.readouterr().out
+        restored = load_state(path.read_text(encoding="utf-8"))
+        assert restored.num_snippets == 12
+
+    def test_evaluate_without_truth_warns(self, tmp_path, capsys):
+        corpus = mh17_corpus()
+        corpus.truth.labels.clear()
+        path = tmp_path / "corpus.jsonl"
+        path.write_text(corpus.to_jsonl(), encoding="utf-8")
+        assert main([str(path), "--evaluate"]) == 0
+        assert "no ground truth" in capsys.readouterr().err
+
+
+class TestConfigFlags:
+    def test_si_and_sa_flags(self, capsys):
+        assert main(["--demo", "--si", "complete", "--sa", "none"]) == 0
+        assert "Story Overview" in capsys.readouterr().out
+
+    def test_window_flag(self, capsys):
+        assert main(["--demo", "--window-days", "7"]) == 0
+
+    def test_match_threshold_flag(self, capsys):
+        assert main(["--demo", "--match-threshold", "0.34"]) == 0
+
+    def test_sketches_flag(self, capsys):
+        assert main(["--demo", "--sketches"]) == 0
+
+    def test_publication_order(self, capsys):
+        assert main(["--demo", "--order", "publication"]) == 0
+
+    def test_single_pass_mode(self, capsys):
+        assert main(["--demo", "--si", "single_pass",
+                     "--no-refinement"]) == 0
+
+
+class TestHtmlReport:
+    def test_html_written(self, tmp_path, capsys):
+        path = tmp_path / "report.html"
+        assert main(["--demo", "--html", str(path)]) == 0
+        content = path.read_text(encoding="utf-8")
+        assert content.startswith("<!DOCTYPE html>")
+        assert "integrated stories" in content
+
+
+class TestQueryFlag:
+    def test_query_answers(self, capsys):
+        assert main(["--demo", "--query", "entity:UKR keyword:crash"]) == 0
+        out = capsys.readouterr().out
+        assert "relevance" in out
+        assert "entity UKR" in out
+
+    def test_bad_query_exits_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--demo", "--query", "magic:beans"])
+        assert excinfo.value.code == 2

@@ -1,0 +1,104 @@
+"""Tests for the story granularity hierarchy (Section 4.3)."""
+
+import pytest
+
+from repro.core.config import StoryPivotConfig
+from repro.core.granularity import StoryHierarchy, cluster_themes
+from repro.core.pipeline import StoryPivot
+from repro.errors import UnknownSnippetError
+from repro.eventdata.handcrafted import demo_config, mh17_corpus
+
+
+@pytest.fixture(scope="module")
+def hierarchy():
+    result = StoryPivot(demo_config()).run(mh17_corpus())
+    return StoryHierarchy(result), result
+
+
+class TestThemes:
+    def test_every_integrated_story_in_exactly_one_theme(self, hierarchy):
+        h, result = hierarchy
+        seen = [aid for theme in h.themes for aid in theme.aligned_ids]
+        assert sorted(seen) == sorted(result.alignment.aligned)
+
+    def test_related_ukraine_stories_share_a_theme(self, hierarchy):
+        """Crash and doctors stories both centre on UKR: one theme."""
+        h, result = hierarchy
+        crash = h.path("s1:v1")["theme"]
+        doctors = h.path("s1:v6")["theme"]
+        assert crash == doctors
+
+    def test_unrelated_story_gets_own_theme(self, hierarchy):
+        h, _ = hierarchy
+        google = h.path("sn:v6")["theme"]
+        crash = h.path("s1:v1")["theme"]
+        assert google != crash
+
+    def test_threshold_one_keeps_everything_apart(self):
+        result = StoryPivot(demo_config()).run(mh17_corpus())
+        themes = cluster_themes(result.alignment, threshold=1.0)
+        assert len(themes) == len(result.alignment)
+
+    def test_threshold_zero_merges_everything(self):
+        result = StoryPivot(demo_config()).run(mh17_corpus())
+        themes = cluster_themes(result.alignment, threshold=0.0)
+        assert len(themes) == 1
+
+    def test_invalid_threshold(self):
+        result = StoryPivot(demo_config()).run(mh17_corpus())
+        with pytest.raises(ValueError):
+            cluster_themes(result.alignment, threshold=2.0)
+
+
+class TestNavigation:
+    def test_path_levels(self, hierarchy):
+        h, _ = hierarchy
+        path = h.path("s1:v1")
+        assert set(path) == {"event", "story", "integrated", "theme"}
+        assert path["event"] == "s1:v1"
+        assert path["story"].startswith("s1/")
+        assert path["integrated"].startswith("c'")
+        assert path["theme"].startswith("theme_")
+
+    def test_unknown_snippet(self, hierarchy):
+        h, _ = hierarchy
+        with pytest.raises(UnknownSnippetError):
+            h.path("nope")
+
+    def test_members_round_trip(self, hierarchy):
+        h, _ = hierarchy
+        path = h.path("s1:v1")
+        assert path["integrated"] in h.members("theme", path["theme"])
+        assert path["story"] in h.members("integrated", path["integrated"])
+        assert "s1:v1" in h.members("story", path["story"])
+
+    def test_members_unknown_story(self, hierarchy):
+        h, _ = hierarchy
+        with pytest.raises(KeyError):
+            h.members("story", "nope")
+
+    def test_members_bad_level(self, hierarchy):
+        h, _ = hierarchy
+        with pytest.raises(ValueError):
+            h.members("galaxy", "x")
+
+    def test_theme_lookup(self, hierarchy):
+        h, _ = hierarchy
+        theme_id = h.themes[0].theme_id
+        assert h.theme(theme_id).theme_id == theme_id
+
+
+class TestRender:
+    def test_tree_renders_all_levels(self, hierarchy):
+        h, _ = hierarchy
+        text = h.render()
+        assert "Story hierarchy" in text
+        assert "theme_" in text
+        assert "c'" in text
+        assert "s1/" in text or "sn/" in text
+
+    def test_counts_line(self, hierarchy):
+        h, result = hierarchy
+        text = h.render()
+        assert f"{len(result.alignment)} integrated" in text
+        assert "12 events" in text

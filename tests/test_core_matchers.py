@@ -1,0 +1,148 @@
+"""Tests for snippet/story similarity scoring."""
+
+import pytest
+
+from repro.core.config import StoryPivotConfig
+from repro.core.matchers import SnippetMatcher, snippet_features
+from repro.core.stories import Story
+from repro.eventdata.models import DAY
+from tests.conftest import make_snippet
+
+
+@pytest.fixture
+def matcher():
+    return SnippetMatcher(StoryPivotConfig())
+
+
+def crash_snippet(snippet_id, date="2014-07-17", **kwargs):
+    defaults = dict(description="plane crash", entities=("UKR", "MAS"),
+                    keywords=("crash", "plane", "missile"))
+    defaults.update(kwargs)
+    return make_snippet(snippet_id, date=date, **defaults)
+
+
+def vote_snippet(snippet_id, date="2014-07-17"):
+    return make_snippet(snippet_id, date=date, description="election vote",
+                        entities=("FRA",), keywords=("election", "ballot"))
+
+
+class TestSnippetFeatures:
+    def test_features_split_entities_terms(self):
+        entities, terms = snippet_features(crash_snippet("v"))
+        assert entities == frozenset({"UKR", "MAS"})
+        assert "crash" in terms
+
+    def test_memoized(self):
+        snippet = crash_snippet("v")
+        assert snippet_features(snippet) is snippet_features(snippet)
+
+
+class TestSnippetScore:
+    def test_identical_content_same_time_scores_high(self, matcher):
+        a = crash_snippet("a")
+        b = crash_snippet("b")
+        assert matcher.snippet_score(a, b) > 0.9
+
+    def test_unrelated_scores_low(self, matcher):
+        assert matcher.snippet_score(crash_snippet("a"), vote_snippet("b")) < 0.2
+
+    def test_symmetric(self, matcher):
+        a = crash_snippet("a")
+        b = crash_snippet("b", date="2014-07-20", entities=("UKR",))
+        assert matcher.snippet_score(a, b) == pytest.approx(
+            matcher.snippet_score(b, a)
+        )
+
+    def test_temporal_distance_lowers_score(self, matcher):
+        a = crash_snippet("a", date="2014-07-17")
+        near = crash_snippet("b", date="2014-07-18")
+        far = crash_snippet("c", date="2014-12-01")
+        assert matcher.snippet_score(a, near) > matcher.snippet_score(a, far)
+
+    def test_score_in_unit_interval(self, matcher):
+        a = crash_snippet("a")
+        for other in (crash_snippet("b"), vote_snippet("c")):
+            assert 0.0 <= matcher.snippet_score(a, other) <= 1.0
+
+
+class TestStoryScore:
+    def build_story(self, *snippets):
+        story = Story("c1", "s1")
+        for snippet in snippets:
+            story.add(snippet)
+        return story
+
+    def test_empty_story_scores_zero(self, matcher):
+        assert matcher.story_score(crash_snippet("q"), Story("c", "s1")) == 0.0
+
+    def test_matching_story_scores_above_threshold(self, matcher):
+        story = self.build_story(crash_snippet("a"), crash_snippet("b", "2014-07-18"))
+        query = crash_snippet("q", "2014-07-19")
+        assert matcher.story_score(query, story) > matcher.config.match_threshold
+
+    def test_unrelated_story_scores_low(self, matcher):
+        story = self.build_story(vote_snippet("a"))
+        assert matcher.story_score(crash_snippet("q"), story) < 0.2
+
+    def test_decay_discounts_stale_story_content(self, matcher):
+        """The temporal mode's key property (Figure 2).
+
+        Decay is *relative*: it reweights a mixed-age story toward what it
+        is about now (uniform scaling cancels in the overlap normalization,
+        and absolute staleness is carried by the temporal channel instead).
+        A story whose crash content is old but whose recent content moved on
+        must score lower for a crash query than the undecayed view says.
+        """
+        story = self.build_story(
+            crash_snippet("a", "2014-06-01"),
+            vote_snippet("b", "2014-08-30"),
+            vote_snippet("c", "2014-08-31"),
+        )
+        query = crash_snippet("q", "2014-09-01")
+        decayed = matcher.story_score(query, story, decayed=True)
+        undecayed = matcher.story_score(query, story, decayed=False)
+        assert decayed < undecayed
+
+    def test_mode_selects_decay_default(self):
+        temporal = SnippetMatcher(StoryPivotConfig.temporal())
+        complete = SnippetMatcher(StoryPivotConfig.complete())
+        story = self.build_story(crash_snippet("a", "2014-06-01"))
+        query = crash_snippet("q", "2014-09-01")
+        assert temporal.story_score(query, story) <= complete.story_score(query, story)
+
+    def test_story_evolution_beats_stale_profile(self, matcher):
+        """A story whose recent content matches scores higher at query time
+        than one whose matching content is months old."""
+        fresh = self.build_story(
+            vote_snippet("a", "2014-05-01"),
+            crash_snippet("b", "2014-07-16"),
+        )
+        stale = self.build_story(
+            crash_snippet("c", "2014-05-01"),
+            vote_snippet("d", "2014-07-16"),
+        )
+        query = crash_snippet("q", "2014-07-17")
+        assert matcher.story_score(query, fresh, decayed=True) > matcher.story_score(
+            query, stale, decayed=True
+        )
+
+
+class TestStoryPairScore:
+    def test_same_content_stories_similar(self, matcher):
+        a = Story("a", "s1")
+        a.add(crash_snippet("a1"))
+        b = Story("b", "s1")
+        b.add(crash_snippet("b1", "2014-07-18"))
+        assert matcher.story_pair_score(a, b) > 0.7
+
+    def test_different_stories_dissimilar(self, matcher):
+        a = Story("a", "s1")
+        a.add(crash_snippet("a1"))
+        b = Story("b", "s1")
+        b.add(vote_snippet("b1"))
+        assert matcher.story_pair_score(a, b) < 0.2
+
+    def test_empty_story_scores_zero(self, matcher):
+        a = Story("a", "s1")
+        a.add(crash_snippet("a1"))
+        assert matcher.story_pair_score(a, Story("b", "s1")) == 0.0

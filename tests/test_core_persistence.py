@@ -1,0 +1,119 @@
+"""Tests for checkpoint/restore of pipeline state."""
+
+import io
+
+import pytest
+
+from repro.core.config import StoryPivotConfig
+from repro.core.persistence import dump_state, dumps_state, load_state
+from repro.core.pipeline import StoryPivot
+from repro.errors import DataFormatError
+from repro.eventdata.handcrafted import demo_config, mh17_corpus
+from tests.conftest import make_snippet
+
+
+@pytest.fixture
+def populated_pivot():
+    pivot = StoryPivot(demo_config())
+    pivot.run(mh17_corpus())
+    return pivot
+
+
+class TestDump:
+    def test_dump_counts_snippets(self, populated_pivot):
+        buffer = io.StringIO()
+        assert dump_state(populated_pivot, buffer) == 12
+
+    def test_dumps_roundtrips_through_stream_api(self, populated_pivot):
+        buffer = io.StringIO()
+        dump_state(populated_pivot, buffer)
+        assert buffer.getvalue() == dumps_state(populated_pivot)
+
+    def test_empty_pivot_dumps_header_only(self):
+        text = dumps_state(StoryPivot(demo_config()))
+        assert len(text.splitlines()) == 1
+
+
+class TestLoad:
+    def test_roundtrip_preserves_clusters(self, populated_pivot):
+        restored = load_state(dumps_state(populated_pivot))
+        original = {
+            source_id: {frozenset(v) for v in ss.as_clusters().values()}
+            for source_id, ss in populated_pivot.story_sets().items()
+        }
+        recovered = {
+            source_id: {frozenset(v) for v in ss.as_clusters().values()}
+            for source_id, ss in restored.story_sets().items()
+        }
+        assert recovered == original
+
+    def test_roundtrip_preserves_story_ids(self, populated_pivot):
+        restored = load_state(dumps_state(populated_pivot))
+        for source_id, story_set in populated_pivot.story_sets().items():
+            assert restored.story_sets()[source_id].story_ids() == (
+                story_set.story_ids()
+            )
+
+    def test_roundtrip_preserves_config(self, populated_pivot):
+        restored = load_state(dumps_state(populated_pivot))
+        assert restored.config == populated_pivot.config
+
+    def test_restored_pivot_accepts_new_snippets(self, populated_pivot):
+        restored = load_state(dumps_state(populated_pivot))
+        assert restored.num_snippets == 12
+        new = make_snippet(
+            "s1:new", source_id="s1", date="2014-09-13",
+            description="report plane investigation",
+            entities=("UKR", "NTH"),
+            keywords=("report", "plane", "investigation"),
+        )
+        restored.add_snippet(new)
+        assert restored.num_snippets == 13
+        result = restored.finish()
+        aligned = result.alignment.aligned_of_snippet("s1:new")
+        # joins the crash story alongside the Sep 12 report snippets
+        assert "sn:v5" in {s.snippet_id for s in aligned.snippets()}
+
+    def test_restored_pivot_supports_removal(self, populated_pivot):
+        restored = load_state(dumps_state(populated_pivot))
+        restored.remove_snippet("s1:v1")
+        assert restored.num_snippets == 11
+
+    def test_alignment_equal_after_restore(self, populated_pivot):
+        restored = load_state(dumps_state(populated_pivot))
+        original_clusters = {
+            frozenset(v)
+            for v in populated_pivot.finish().alignment.as_clusters().values()
+        }
+        restored_clusters = {
+            frozenset(v)
+            for v in restored.finish().alignment.as_clusters().values()
+        }
+        assert restored_clusters == original_clusters
+
+    def test_load_from_stream(self, populated_pivot):
+        buffer = io.StringIO(dumps_state(populated_pivot))
+        restored = load_state(buffer)
+        assert restored.num_snippets == 12
+
+
+class TestLoadErrors:
+    def test_empty(self):
+        with pytest.raises(DataFormatError):
+            load_state("")
+
+    def test_wrong_kind(self):
+        with pytest.raises(DataFormatError):
+            load_state('{"kind": "other"}')
+
+    def test_wrong_version(self):
+        with pytest.raises(DataFormatError):
+            load_state('{"kind": "storypivot-checkpoint", "version": 99, '
+                       '"config": {}}')
+
+    def test_unexpected_record(self, populated_pivot):
+        text = dumps_state(populated_pivot)
+        lines = text.splitlines()
+        lines.insert(1, '{"kind": "mystery"}')
+        with pytest.raises(DataFormatError):
+            load_state("\n".join(lines))

@@ -1,0 +1,176 @@
+"""Tests for the StoryPivot facade."""
+
+import pytest
+
+from repro.core.config import StoryPivotConfig
+from repro.core.pipeline import StoryPivot
+from repro.errors import UnknownSnippetError, UnknownSourceError
+from repro.eventdata.handcrafted import demo_config, mh17_corpus
+from repro.evaluation.metrics import pairwise_scores
+from tests.conftest import make_snippet
+
+
+class TestBatchRun:
+    def test_mh17_end_to_end(self, demo_cfg):
+        pivot = StoryPivot(demo_cfg)
+        result = pivot.run(mh17_corpus())
+        clusters = {frozenset(v) for v in result.global_clusters().values()}
+        assert frozenset({"s1:v1", "s1:v2", "s1:v5",
+                          "sn:v1", "sn:v2", "sn:v5"}) in clusters
+        assert frozenset({"s1:v4", "sn:v3"}) in clusters
+        assert frozenset({"s1:v3", "sn:v4"}) in clusters
+        assert frozenset({"s1:v6"}) in clusters
+        assert frozenset({"sn:v6"}) in clusters
+
+    def test_timings_recorded(self, demo_cfg):
+        result = StoryPivot(demo_cfg).run(mh17_corpus())
+        for key in ("identification", "alignment", "refinement", "total"):
+            assert key in result.timings
+            assert result.timings[key] >= 0.0
+
+    def test_publication_order(self, demo_cfg):
+        result = StoryPivot(demo_cfg).run(mh17_corpus(), order="publication")
+        assert result.num_integrated >= 1
+
+    def test_invalid_order(self, demo_cfg):
+        with pytest.raises(ValueError):
+            StoryPivot(demo_cfg).run(mh17_corpus(), order="random")
+
+    def test_counts(self, demo_cfg):
+        pivot = StoryPivot(demo_cfg)
+        result = pivot.run(mh17_corpus())
+        assert pivot.num_snippets == 12
+        assert result.num_stories >= result.num_integrated
+        assert set(pivot.source_ids) == {"s1", "sn"}
+
+    def test_refinement_disabled(self):
+        config = demo_config().with_(enable_refinement=False)
+        result = StoryPivot(config).run(mh17_corpus())
+        assert result.refinement is None
+
+    def test_quality_on_synthetic(self, medium_synthetic):
+        result = StoryPivot(StoryPivotConfig.temporal()).run(medium_synthetic)
+        scores = pairwise_scores(
+            result.global_clusters(), medium_synthetic.truth.labels
+        )
+        assert scores.f1 > 0.5  # sanity floor well below observed ~0.8
+
+
+class TestIncrementalOps:
+    def test_add_and_remove_snippet(self, demo_cfg):
+        pivot = StoryPivot(demo_cfg)
+        corpus = mh17_corpus()
+        for snippet in corpus.snippets_by_time():
+            pivot.add_snippet(snippet)
+        assert pivot.num_snippets == 12
+        removed = pivot.remove_snippet("s1:v1")
+        assert removed.snippet_id == "s1:v1"
+        assert pivot.num_snippets == 11
+
+    def test_remove_unknown_snippet(self, demo_cfg):
+        with pytest.raises(UnknownSnippetError):
+            StoryPivot(demo_cfg).remove_snippet("nope")
+
+    def test_remove_source(self, demo_cfg):
+        pivot = StoryPivot(demo_cfg)
+        pivot.run(mh17_corpus())
+        removed = pivot.remove_source("sn")
+        assert removed.num_snippets == 6
+        assert pivot.source_ids == ["s1"]
+        assert pivot.num_snippets == 6
+        with pytest.raises(UnknownSourceError):
+            pivot.remove_source("sn")
+
+    def test_removal_changes_alignment(self, demo_cfg):
+        """Demo scenario: removing documents changes the displayed stories."""
+        pivot = StoryPivot(demo_cfg)
+        pivot.run(mh17_corpus())
+        for snippet_id in ("sn:v1", "sn:v2", "sn:v5"):
+            pivot.remove_snippet(snippet_id)
+        result = pivot.finish()
+        aligned = result.alignment.aligned_of_snippet("s1:v1")
+        assert aligned.source_ids == ["s1"]
+
+    def test_add_source_snippets_extends_alignment(self, demo_cfg):
+        pivot = StoryPivot(demo_cfg)
+        corpus = mh17_corpus()
+        result = pivot.run(corpus)
+        new = [
+            make_snippet("s9:v1", source_id="s9", date="2014-07-17",
+                         description="plane crash missile",
+                         entities=("UKR", "MAS"),
+                         keywords=("crash", "plane", "missile")),
+        ]
+        alignment = pivot.add_source_snippets(new, result.alignment)
+        aligned = alignment.aligned_of_snippet("s9:v1")
+        assert "s9" in aligned.source_ids
+        assert len(aligned.source_ids) >= 2  # joined the crash story
+
+    def test_add_source_snippets_rejects_mixed_batch(self, demo_cfg):
+        pivot = StoryPivot(demo_cfg)
+        result = pivot.run(mh17_corpus())
+        mixed = [make_snippet("x:1", source_id="x"),
+                 make_snippet("y:1", source_id="y")]
+        with pytest.raises(ValueError):
+            pivot.add_source_snippets(mixed, result.alignment)
+
+    def test_add_source_snippets_rejects_known_source(self, demo_cfg):
+        pivot = StoryPivot(demo_cfg)
+        result = pivot.run(mh17_corpus())
+        with pytest.raises(ValueError):
+            pivot.add_source_snippets(
+                [make_snippet("s1:new", source_id="s1")], result.alignment
+            )
+
+
+class TestQuery:
+    def test_query_by_entity(self, demo_cfg):
+        pivot = StoryPivot(demo_cfg)
+        result = pivot.run(mh17_corpus())
+        hits = pivot.query(result.alignment, entity="UKR")
+        assert hits
+        top_story, relevance = hits[0]
+        members = {s.snippet_id for s in top_story.snippets()}
+        assert "s1:v1" in members
+        assert relevance > 0
+
+    def test_query_by_keyword_is_stemmed(self, demo_cfg):
+        pivot = StoryPivot(demo_cfg)
+        result = pivot.run(mh17_corpus())
+        hits = pivot.query(result.alignment, keyword="investigations")
+        assert hits  # matches "investigation" snippets via stemming
+
+    def test_query_requires_criterion(self, demo_cfg):
+        pivot = StoryPivot(demo_cfg)
+        result = pivot.run(mh17_corpus())
+        with pytest.raises(ValueError):
+            pivot.query(result.alignment)
+
+    def test_query_limit(self, demo_cfg):
+        pivot = StoryPivot(demo_cfg)
+        result = pivot.run(mh17_corpus())
+        hits = pivot.query(result.alignment, entity="UKR", limit=1)
+        assert len(hits) == 1
+
+    def test_query_no_match(self, demo_cfg):
+        pivot = StoryPivot(demo_cfg)
+        result = pivot.run(mh17_corpus())
+        assert pivot.query(result.alignment, entity="ZZZ") == []
+
+
+class TestStatistics:
+    def test_statistics_card(self, demo_cfg):
+        pivot = StoryPivot(demo_cfg)
+        pivot.run(mh17_corpus())
+        stats = pivot.statistics()
+        assert stats["num_sources"] == 2
+        assert stats["num_snippets"] == 12
+        assert stats["num_entities"] >= 10
+        assert stats["start"] is not None and stats["end"] is not None
+        assert stats["start"] <= stats["end"]
+        assert set(stats["identification"]) == {"s1", "sn"}
+
+    def test_statistics_empty(self, demo_cfg):
+        stats = StoryPivot(demo_cfg).statistics()
+        assert stats["num_sources"] == 0
+        assert stats["start"] is None

@@ -1,0 +1,175 @@
+"""Tests for story refinement — including the paper's Figure 1 correction."""
+
+import pytest
+
+from repro.core.alignment import StoryAligner
+from repro.core.config import StoryPivotConfig
+from repro.core.refinement import StoryRefiner
+from repro.core.stories import StorySet
+from repro.eventdata.handcrafted import figure1_identification, mh17_corpus
+from tests.conftest import make_snippet
+
+
+def build_sets_from_state(corpus, state):
+    """Materialize the per-source story sets of Figure 1(b)."""
+    sets = {}
+    for source_id, stories in state.items():
+        story_set = StorySet(source_id)
+        for snippet_ids in stories.values():
+            story = story_set.new_story()
+            for snippet_id in snippet_ids:
+                story_set.assign(corpus.snippet(snippet_id), story)
+        sets[source_id] = story_set
+    return sets
+
+
+@pytest.fixture
+def config():
+    return StoryPivotConfig(
+        match_threshold=0.34, merge_threshold=0.62,
+        snippet_align_threshold=0.30,
+    )
+
+
+class TestFigure1Correction:
+    def test_v4_moves_out_of_the_crash_story(self, config):
+        """Figure 1(d): alignment evidence relocates the misassigned v^1_4."""
+        corpus = mh17_corpus()
+        sets = build_sets_from_state(corpus, figure1_identification())
+        # sanity: the wrong state has s1:v4 grouped with the crash snippets
+        wrong_story = sets["s1"].story_of("s1:v4")
+        assert "s1:v1" in wrong_story
+
+        alignment = StoryAligner(config).align(sets)
+        result = StoryRefiner(config).refine(sets, alignment)
+
+        assert result.num_moves >= 1
+        moved = [m for m in result.moves if m.snippet_id == "s1:v4"]
+        assert moved, f"expected s1:v4 to move, got {result.moves}"
+        # after refinement v4 no longer sits with the crash snippets
+        fixed_story = sets["s1"].story_of("s1:v4")
+        assert "s1:v1" not in fixed_story
+        # and its integrated story is the Gaza one (shared with sn:v3)
+        aligned = result.alignment.aligned_of_snippet("s1:v4")
+        members = {s.snippet_id for s in aligned.snippets()}
+        assert "sn:v3" in members
+        assert "s1:v1" not in members
+
+    def test_crash_snippets_stay_together(self, config):
+        corpus = mh17_corpus()
+        sets = build_sets_from_state(corpus, figure1_identification())
+        alignment = StoryAligner(config).align(sets)
+        StoryRefiner(config).refine(sets, alignment)
+        story = sets["s1"].story_of("s1:v1")
+        assert "s1:v2" in story
+
+
+class TestRefinementInvariants:
+    def run_refined(self, config, corpus):
+        sets = build_sets_from_state(corpus, figure1_identification())
+        alignment = StoryAligner(config).align(sets)
+        result = StoryRefiner(config).refine(sets, alignment)
+        return sets, result.alignment, result
+
+    def test_no_snippet_lost_or_duplicated(self, config):
+        corpus = mh17_corpus()
+        sets, alignment, _ = self.run_refined(config, corpus)
+        seen = []
+        for story_set in sets.values():
+            for story in story_set:
+                seen.extend(s.snippet_id for s in story.snippets())
+        assert len(seen) == len(set(seen))
+        original = {sid for stories in figure1_identification().values()
+                    for members in stories.values() for sid in members}
+        assert set(seen) == original
+
+    def test_alignment_membership_stays_consistent(self, config):
+        corpus = mh17_corpus()
+        sets, _, result = self.run_refined(config, corpus)
+        alignment = result.alignment
+        for aligned_id, aligned in alignment.aligned.items():
+            assert aligned.stories, "no empty integrated stories"
+            for story in aligned.stories:
+                assert alignment.story_to_aligned[story.story_id] == aligned_id
+        # every live story is mapped
+        for story_set in sets.values():
+            for story in story_set:
+                assert story.story_id in alignment.story_to_aligned
+
+    def test_rounds_bounded(self, config):
+        corpus = mh17_corpus()
+        _, _, result = self.run_refined(config, corpus)
+        assert result.rounds <= config.max_refinement_rounds
+
+    def test_zero_rounds_config_moves_nothing(self):
+        config = StoryPivotConfig(max_refinement_rounds=0,
+                                  match_threshold=0.34)
+        corpus = mh17_corpus()
+        sets = build_sets_from_state(corpus, figure1_identification())
+        alignment = StoryAligner(config).align(sets)
+        result = StoryRefiner(config).refine(sets, alignment)
+        assert result.num_moves == 0
+        assert result.rounds == 0
+
+    def test_high_margin_blocks_moves(self):
+        config = StoryPivotConfig(refinement_margin=1.0, match_threshold=0.34)
+        corpus = mh17_corpus()
+        sets = build_sets_from_state(corpus, figure1_identification())
+        alignment = StoryAligner(config).align(sets)
+        result = StoryRefiner(config).refine(sets, alignment)
+        # a margin of 1.0 requires overwhelming counter-evidence
+        assert result.num_moves <= 1
+
+    def test_refinement_converges_to_fixpoint(self, config):
+        """Re-running refinement after convergence changes nothing."""
+        corpus = mh17_corpus()
+        sets, alignment, first = self.run_refined(config, corpus)
+        second = StoryRefiner(config).refine(sets, alignment)
+        assert second.num_moves == 0
+
+
+class TestMoveIntoFreshStory:
+    def test_move_creates_story_when_source_absent(self):
+        """If the target integrated story has no story of the snippet's
+        source yet, refinement founds one there."""
+        config = StoryPivotConfig(
+            match_threshold=0.34, snippet_align_threshold=0.30,
+            refinement_margin=0.0,
+        )
+        # source a: one story wrongly holding a vote snippet with a crash one
+        crash_a = make_snippet("a:1", source_id="a", date="2014-07-17",
+                               description="plane crash missile",
+                               entities=("UKR", "MAS"),
+                               keywords=("crash", "plane"))
+        vote_a = make_snippet("a:2", source_id="a", date="2014-07-18",
+                              description="election ballot",
+                              entities=("FRA", "EU"),
+                              keywords=("election", "ballot"))
+        set_a = StorySet("a")
+        story = set_a.new_story()
+        set_a.assign(crash_a, story)
+        set_a.assign(vote_a, story)
+        # source b: crash and vote correctly separated
+        crash_b = make_snippet("b:1", source_id="b", date="2014-07-17",
+                               description="plane crash missile",
+                               entities=("UKR", "MAS"),
+                               keywords=("crash", "plane"))
+        vote_b = make_snippet("b:2", source_id="b", date="2014-07-18",
+                              description="election ballot",
+                              entities=("FRA", "EU"),
+                              keywords=("election", "ballot"))
+        set_b = StorySet("b")
+        sb1 = set_b.new_story()
+        set_b.assign(crash_b, sb1)
+        sb2 = set_b.new_story()
+        set_b.assign(vote_b, sb2)
+
+        sets = {"a": set_a, "b": set_b}
+        alignment = StoryAligner(config).align(sets)
+        result = StoryRefiner(config).refine(sets, alignment)
+        moves = [m for m in result.moves if m.snippet_id == "a:2"]
+        assert moves, f"expected a:2 to move, got {result.moves}"
+        new_story = sets["a"].story_of("a:2")
+        assert "a:1" not in new_story
+        aligned = result.alignment.aligned_of_snippet("a:2")
+        assert "b:2" in {s.snippet_id for s in aligned.snippets()}

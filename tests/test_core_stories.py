@@ -1,0 +1,164 @@
+"""Tests for Story and StorySet."""
+
+import pytest
+
+from repro.core.stories import Story, StorySet
+from repro.errors import UnknownSnippetError, UnknownStoryError
+from repro.eventdata.models import DAY
+from tests.conftest import make_snippet
+
+
+@pytest.fixture
+def story_set():
+    return StorySet("s1")
+
+
+class TestStory:
+    def test_add_updates_sketch(self):
+        story = Story("c1", "s1")
+        story.add(make_snippet("v1", entities=("UKR",), keywords=("crash",)))
+        assert len(story) == 1
+        assert "v1" in story
+        assert story.sketch.entity_counts["UKR"] == 1
+
+    def test_wrong_source_rejected(self):
+        story = Story("c1", "s1")
+        with pytest.raises(ValueError):
+            story.add(make_snippet("v1", source_id="other"))
+
+    def test_remove_returns_snippet(self):
+        story = Story("c1", "s1")
+        snippet = make_snippet("v1")
+        story.add(snippet)
+        assert story.remove("v1") == snippet
+        assert len(story) == 0
+
+    def test_remove_absent(self):
+        with pytest.raises(UnknownSnippetError):
+            Story("c1", "s1").remove("nope")
+
+    def test_snippets_time_ordered(self):
+        story = Story("c1", "s1")
+        story.add(make_snippet("late", date="2014-08-01"))
+        story.add(make_snippet("early", date="2014-07-01"))
+        assert [s.snippet_id for s in story.snippets()] == ["early", "late"]
+
+    def test_date_range(self):
+        story = Story("c1", "s1")
+        story.add(make_snippet("a", date="2014-07-17"))
+        story.add(make_snippet("b", date="2014-09-12"))
+        assert story.date_range() == ("Jul 17, 2014", "Sep 12, 2014")
+
+    def test_largest_gap(self):
+        story = Story("c1", "s1")
+        story.add(make_snippet("a", date="2014-07-01"))
+        story.add(make_snippet("b", date="2014-07-03"))
+        story.add(make_snippet("c", date="2014-08-20"))
+        gap, index = story.largest_gap()
+        assert gap == pytest.approx(48 * DAY)
+        assert index == 1
+
+    def test_largest_gap_single_member(self):
+        story = Story("c1", "s1")
+        story.add(make_snippet("a"))
+        assert story.largest_gap() == (0.0, 0)
+
+
+class TestStorySet:
+    def test_new_story_ids_unique(self, story_set):
+        a = story_set.new_story()
+        b = story_set.new_story()
+        assert a.story_id != b.story_id
+        assert len(story_set) == 2
+
+    def test_assign_and_lookup(self, story_set):
+        story = story_set.new_story()
+        snippet = make_snippet("v1")
+        story_set.assign(snippet, story)
+        assert story_set.story_of("v1") is story
+        assert story_set.num_snippets == 1
+
+    def test_assign_to_foreign_story_rejected(self, story_set):
+        foreign = Story("x", "s1")
+        with pytest.raises(UnknownStoryError):
+            story_set.assign(make_snippet("v1"), foreign)
+
+    def test_unassign_prunes_empty_story(self, story_set):
+        story = story_set.new_story()
+        story_set.assign(make_snippet("v1"), story)
+        story_set.unassign("v1")
+        assert len(story_set) == 0
+        assert story_set.num_snippets == 0
+
+    def test_unassign_keeps_nonempty_story(self, story_set):
+        story = story_set.new_story()
+        story_set.assign(make_snippet("v1"), story)
+        story_set.assign(make_snippet("v2"), story)
+        story_set.unassign("v1")
+        assert len(story_set) == 1
+
+    def test_story_of_unknown(self, story_set):
+        with pytest.raises(UnknownSnippetError):
+            story_set.story_of("nope")
+
+    def test_merge_moves_all_members(self, story_set):
+        a = story_set.new_story()
+        b = story_set.new_story()
+        story_set.assign(make_snippet("v1"), a)
+        story_set.assign(make_snippet("v2"), b)
+        story_set.assign(make_snippet("v3"), b)
+        merged = story_set.merge(a.story_id, b.story_id)
+        assert merged is a
+        assert len(a) == 3
+        assert len(story_set) == 1
+        assert story_set.story_of("v2") is a
+
+    def test_merge_with_self_rejected(self, story_set):
+        a = story_set.new_story()
+        story_set.assign(make_snippet("v1"), a)
+        with pytest.raises(ValueError):
+            story_set.merge(a.story_id, a.story_id)
+
+    def test_split_moves_subset(self, story_set):
+        story = story_set.new_story()
+        for i in range(4):
+            story_set.assign(make_snippet(f"v{i}"), story)
+        fresh = story_set.split(story.story_id, {"v2", "v3"})
+        assert len(story) == 2
+        assert len(fresh) == 2
+        assert story_set.story_of("v2") is fresh
+
+    def test_split_cannot_empty_story(self, story_set):
+        story = story_set.new_story()
+        story_set.assign(make_snippet("v1"), story)
+        with pytest.raises(ValueError):
+            story_set.split(story.story_id, {"v1"})
+
+    def test_split_requires_members(self, story_set):
+        story = story_set.new_story()
+        story_set.assign(make_snippet("v1"), story)
+        story_set.assign(make_snippet("v2"), story)
+        with pytest.raises(UnknownSnippetError):
+            story_set.split(story.story_id, {"foreign"})
+        with pytest.raises(ValueError):
+            story_set.split(story.story_id, set())
+
+    def test_as_clusters(self, story_set):
+        a = story_set.new_story()
+        b = story_set.new_story()
+        story_set.assign(make_snippet("v1"), a)
+        story_set.assign(make_snippet("v2"), b)
+        clusters = story_set.as_clusters()
+        assert clusters == {a.story_id: {"v1"}, b.story_id: {"v2"}}
+
+    def test_stories_by_size(self, story_set):
+        a = story_set.new_story()
+        b = story_set.new_story()
+        story_set.assign(make_snippet("v1"), a)
+        story_set.assign(make_snippet("v2"), b)
+        story_set.assign(make_snippet("v3"), b)
+        assert story_set.stories_by_size()[0] is b
+
+    def test_iteration_sorted_by_id(self, story_set):
+        ids = [story_set.new_story().story_id for _ in range(3)]
+        assert [s.story_id for s in story_set] == sorted(ids)

@@ -1,0 +1,108 @@
+"""Tests for the scripted demo session (Section 4's walkthrough)."""
+
+import pytest
+
+from repro.demo.app import DemoSession, main
+from repro.errors import UnknownSnippetError
+
+
+@pytest.fixture
+def session():
+    return DemoSession()
+
+
+class TestSelection:
+    def test_everything_selected_initially(self, session):
+        assert len(session.selected) == 12
+        view = session.document_selection()
+        assert "Selected Documents (12)" in view
+        assert "Available Documents (0)" in view
+
+    def test_deselect_and_reselect(self, session):
+        session.deselect("s1:v1")
+        assert "s1:v1" not in session.selected
+        view = session.document_selection()
+        assert "Available Documents (1)" in view
+        session.select("s1:v1")
+        assert "s1:v1" in session.selected
+        session.select("s1:v1")  # idempotent
+        assert session.selected.count("s1:v1") == 1
+
+    def test_deselect_unknown(self, session):
+        with pytest.raises(UnknownSnippetError):
+            session.deselect("nope")
+        with pytest.raises(UnknownSnippetError):
+            session.select("nope")
+
+
+class TestComputation:
+    def test_result_cached_until_selection_changes(self, session):
+        first = session.result
+        assert session.result is first
+        session.deselect("sn:v6")
+        second = session.result
+        assert second is not first
+
+    def test_removing_documents_changes_stories(self, session):
+        """Section 4.2.1: removing information affects displayed stories."""
+        full = session.result
+        crash_full = full.alignment.aligned_of_snippet("s1:v1")
+        assert set(crash_full.source_ids) == {"s1", "sn"}
+        for snippet_id in ("sn:v1", "sn:v2", "sn:v5"):
+            session.deselect(snippet_id)
+        reduced = session.result
+        crash_reduced = reduced.alignment.aligned_of_snippet("s1:v1")
+        assert crash_reduced.source_ids == ["s1"]
+
+
+class TestModules:
+    def test_story_overview(self, session):
+        assert "Story Overview" in session.story_overview()
+
+    def test_stories_per_source(self, session):
+        view = session.stories_per_source("s1", focus_snippet="s1:v2")
+        assert "Stories per Source · s1" in view
+        assert "s1:v4" in view  # the Figure 5 cross-story connection
+
+    def test_snippets_per_story_default_largest(self, session):
+        view = session.snippets_per_story(focus_snippet="sn:v5")
+        assert "Snippets per Story" in view
+
+    def test_statistics(self, session):
+        view = session.statistics()
+        assert "# Snippets  12" in view
+
+    def test_query_entity(self, session):
+        hits = session.query(entity="UKR")
+        assert hits
+        members = {s.snippet_id for s in hits[0][0].snippets()}
+        assert "s1:v1" in members
+
+    def test_query_keyword(self, session):
+        hits = session.query(keyword="sanctions")
+        assert hits
+        members = {s.snippet_id for s in hits[0][0].snippets()}
+        assert "s1:v3" in members
+
+
+class TestCli:
+    def test_main_all(self, capsys):
+        assert main(["all"]) == 0
+        out = capsys.readouterr().out
+        assert "Document Selection" in out
+        assert "Story Overview" in out
+        assert "Stories per Source" in out
+        assert "Snippets per Story" in out
+        assert "Dataset Information" in out
+
+    def test_main_single_module(self, capsys):
+        assert main(["overview"]) == 0
+        out = capsys.readouterr().out
+        assert "Story Overview" in out
+        assert "Document Selection" not in out
+
+    def test_main_sources_with_focus(self, capsys):
+        assert main(["sources", "--source", "sn", "--focus", "sn:v2"]) == 0
+        out = capsys.readouterr().out
+        assert "Stories per Source · sn" in out
+        assert "sn:v2" in out

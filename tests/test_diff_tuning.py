@@ -1,0 +1,126 @@
+"""Tests for alignment diffing and threshold tuning."""
+
+import pytest
+
+from repro.core.config import StoryPivotConfig
+from repro.core.pipeline import StoryPivot
+from repro.evaluation.diff import diff_alignments
+from repro.evaluation.tuning import tune
+from repro.eventdata.handcrafted import demo_config, mh17_corpus
+from repro.eventdata.models import DAY
+from repro.eventdata.sourcegen import synthetic_corpus
+
+
+class TestDiffStructural:
+    def test_identical_clusterings(self):
+        clusters = {"c1": {"a", "b"}, "c2": {"c"}}
+        diff = diff_alignments(clusters, dict(clusters))
+        assert len(diff.identical) == 2
+        assert diff.num_disagreements == 0
+        assert diff.agreement.f1 == 1.0
+
+    def test_split_detected(self):
+        coarse = {"c1": {"a", "b", "c", "d"}}
+        fine = {"x": {"a", "b"}, "y": {"c", "d"}}
+        diff = diff_alignments(coarse, fine, "coarse", "fine")
+        assert len(diff.splits) == 1
+        cluster, fragments = diff.splits[0]
+        assert cluster == frozenset({"a", "b", "c", "d"})
+        assert {frozenset(f) for f in fragments} == {
+            frozenset({"a", "b"}), frozenset({"c", "d"}),
+        }
+        assert len(diff.merges) == 0
+
+    def test_merge_detected(self):
+        fine = {"x": {"a", "b"}, "y": {"c", "d"}}
+        coarse = {"c1": {"a", "b", "c", "d"}}
+        diff = diff_alignments(fine, coarse)
+        assert len(diff.merges) == 1
+        parts, merged = diff.merges[0]
+        assert merged == frozenset({"a", "b", "c", "d"})
+        assert len(parts) == 2
+
+    def test_reshuffle_detected(self):
+        a = {"c1": {"a", "b"}, "c2": {"c", "d"}}
+        b = {"x": {"a", "c"}, "y": {"b", "d"}}
+        diff = diff_alignments(a, b)
+        assert diff.reshuffles >= 1
+        assert len(diff.identical) == 0
+
+    def test_disjoint_item_sets_reported(self):
+        a = {"c1": {"a", "b"}}
+        b = {"x": {"b", "c"}}
+        diff = diff_alignments(a, b)
+        assert diff.only_in_a == {"a"}
+        assert diff.only_in_b == {"c"}
+
+    def test_render(self):
+        coarse = {"c1": {"a", "b", "c", "d"}}
+        fine = {"x": {"a", "b"}, "y": {"c", "d"}}
+        text = diff_alignments(coarse, fine, "complete", "temporal").render()
+        assert "Comparing complete (A) vs temporal (B)" in text
+        assert "split" in text
+        assert "pairwise agreement" in text
+
+
+class TestDiffOnPipelines:
+    def test_temporal_vs_complete_diff(self, medium_synthetic):
+        temporal = StoryPivot(StoryPivotConfig.temporal()).run(medium_synthetic)
+        complete = StoryPivot(StoryPivotConfig.complete()).run(medium_synthetic)
+        diff = diff_alignments(complete, temporal, "complete", "temporal")
+        # same snippet universe
+        assert not diff.only_in_a and not diff.only_in_b
+        # methods genuinely differ on this corpus
+        assert diff.num_disagreements > 0
+        assert 0.0 <= diff.agreement.f1 <= 1.0
+
+    def test_alignment_objects_accepted(self):
+        result = StoryPivot(demo_config()).run(mh17_corpus())
+        diff = diff_alignments(result.alignment, result.alignment)
+        assert diff.num_disagreements == 0
+        assert len(diff.identical) == len(result.alignment)
+
+
+class TestTuning:
+    @pytest.fixture(scope="class")
+    def small_corpus(self):
+        return synthetic_corpus(total_events=100, num_sources=3, seed=17)
+
+    def test_grid_evaluated_fully(self, small_corpus):
+        result = tune(
+            small_corpus,
+            {"match_threshold": [0.40, 0.48], "window": [7 * DAY, 14 * DAY]},
+            refine=False,
+        )
+        assert len(result.points) == 4
+        objectives = [p.global_f1 for p in result.points]
+        assert objectives == sorted(objectives, reverse=True)
+        assert result.best.global_f1 == max(objectives)
+
+    def test_objective_selection(self, small_corpus):
+        result = tune(small_corpus, {"match_threshold": [0.40, 0.55]},
+                      objective="si_f1", refine=False)
+        scores = [p.si_f1 for p in result.points]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_table_renders(self, small_corpus):
+        result = tune(small_corpus, {"match_threshold": [0.48]}, refine=False)
+        table = result.table()
+        assert "match_threshold" in table
+        assert "global_f1" in table
+
+    def test_validation(self, small_corpus):
+        with pytest.raises(ValueError):
+            tune(small_corpus, {})
+        with pytest.raises(ValueError):
+            tune(small_corpus, {"match_threshold": [0.4]}, objective="magic")
+        unlabelled = mh17_corpus()
+        unlabelled.truth.labels.clear()
+        with pytest.raises(ValueError):
+            tune(unlabelled, {"match_threshold": [0.4]})
+
+    def test_best_params_accessible(self, small_corpus):
+        result = tune(small_corpus, {"match_threshold": [0.40, 0.48]},
+                      refine=False)
+        assert set(result.best.params) == {"match_threshold"}
+        assert result.best.params["match_threshold"] in (0.40, 0.48)

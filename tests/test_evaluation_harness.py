@@ -1,0 +1,115 @@
+"""Tests for the experiment harness and alignment metrics."""
+
+import pytest
+
+from repro.core.config import StoryPivotConfig
+from repro.core.pipeline import StoryPivot
+from repro.evaluation.alignment_metrics import alignment_scores
+from repro.evaluation.harness import (
+    MethodSpec,
+    default_method_grid,
+    results_table,
+    run_experiment,
+    sweep_events,
+)
+from repro.eventdata.handcrafted import demo_config, mh17_corpus
+
+
+class TestMethodSpec:
+    def test_make_config_modes(self):
+        spec = MethodSpec("t", "temporal", "greedy")
+        config = spec.make_config()
+        assert config.identification_mode == "temporal"
+        assert config.alignment_strategy == "greedy"
+        assert config.enable_refinement
+
+    def test_no_alignment_disables_refinement(self):
+        config = MethodSpec("t", "temporal", "none").make_config()
+        assert not config.enable_refinement
+
+    def test_overrides_forwarded(self):
+        spec = MethodSpec("t", "complete", "optimal",
+                          config_overrides={"window": 86400.0})
+        assert spec.make_config().window == 86400.0
+
+    def test_default_grid_is_figure7(self):
+        grid = default_method_grid()
+        names = [spec.name for spec in grid]
+        assert names == ["temporal+align", "temporal",
+                         "complete+align", "complete"]
+        assert {spec.si_method for spec in grid} == {"temporal", "complete"}
+
+
+class TestRunExperiment:
+    def test_mh17_experiment(self):
+        spec = MethodSpec("demo", "temporal", "greedy",
+                          config_overrides={"match_threshold": 0.34})
+        result = run_experiment(mh17_corpus(), spec)
+        assert result.num_snippets == 12
+        assert result.elapsed > 0
+        assert result.per_event_ms > 0
+        assert result.global_f1 == pytest.approx(1.0)
+        assert result.si_f1 > 0.3
+        assert "nmi" in result.metrics
+        assert "link_f1" in result.metrics
+        assert "refinement_moves" in result.metrics
+
+    def test_no_alignment_skips_alignment_metrics(self):
+        spec = MethodSpec("t", "temporal", "none")
+        result = run_experiment(mh17_corpus(), spec)
+        assert "link_f1" not in result.metrics
+
+    def test_row_shape(self):
+        spec = MethodSpec("t", "temporal", "none")
+        row = run_experiment(mh17_corpus(), spec).row()
+        for key in ("method", "events", "elapsed_s", "si_f1", "global_f1"):
+            assert key in row
+
+
+class TestSweep:
+    def test_sweep_produces_grid(self):
+        def tiny_factory(total):
+            from repro.eventdata.sourcegen import synthetic_corpus
+            return synthetic_corpus(total_events=total, num_sources=3, seed=1)
+
+        methods = [MethodSpec("temporal", "temporal", "none"),
+                   MethodSpec("complete", "complete", "none")]
+        results = sweep_events([30, 60], methods=methods,
+                               corpus_factory=tiny_factory)
+        assert len(results) == 4
+        assert [r.method for r in results] == [
+            "temporal", "complete", "temporal", "complete",
+        ]
+        assert results[2].num_events >= results[0].num_events
+
+    def test_results_table_renders(self):
+        spec = MethodSpec("t", "temporal", "none")
+        table = results_table([run_experiment(mh17_corpus(), spec)])
+        assert "method" in table and "t" in table
+
+    def test_results_table_empty(self):
+        assert results_table([]) == "(no results)"
+
+
+class TestAlignmentScores:
+    def test_perfect_alignment_on_mh17(self):
+        config = demo_config()
+        pivot = StoryPivot(config)
+        corpus = mh17_corpus()
+        result = pivot.run(corpus)
+        scores = alignment_scores(result.alignment, corpus.truth.labels)
+        assert scores["link_precision"] == pytest.approx(1.0)
+        assert scores["link_recall"] == pytest.approx(1.0)
+        assert scores["integration_completeness"] == pytest.approx(1.0)
+        assert scores["num_integrated"] == 5.0
+        assert scores["num_cross_source"] == 3.0
+
+    def test_no_alignment_scores_zero_links(self):
+        config = demo_config().with_(alignment_strategy="none",
+                                     enable_refinement=False)
+        pivot = StoryPivot(config)
+        corpus = mh17_corpus()
+        result = pivot.run(corpus)
+        scores = alignment_scores(result.alignment, corpus.truth.labels)
+        assert scores["link_recall"] == 0.0
+        assert scores["integration_completeness"] == 0.0

@@ -1,0 +1,140 @@
+"""Tests for clustering metrics against hand-computed values."""
+
+import pytest
+
+from repro.evaluation.metrics import (
+    ClusterScores,
+    adjusted_rand_index,
+    bcubed,
+    normalized_mutual_information,
+    pairwise_scores,
+    purity,
+)
+
+PERFECT = {"c1": {"a", "b"}, "c2": {"c", "d"}}
+TRUTH = {"a": "x", "b": "x", "c": "y", "d": "y"}
+ALL_SINGLETONS = {"c1": {"a"}, "c2": {"b"}, "c3": {"c"}, "c4": {"d"}}
+ONE_CLUSTER = {"c1": {"a", "b", "c", "d"}}
+
+
+class TestClusterScores:
+    def test_f1_harmonic_mean(self):
+        scores = ClusterScores(0.5, 1.0)
+        assert scores.f1 == pytest.approx(2 / 3)
+
+    def test_f1_zero_when_both_zero(self):
+        assert ClusterScores(0.0, 0.0).f1 == 0.0
+
+
+class TestPairwise:
+    def test_perfect(self):
+        scores = pairwise_scores(PERFECT, TRUTH)
+        assert scores.precision == 1.0
+        assert scores.recall == 1.0
+        assert scores.f1 == 1.0
+
+    def test_singletons_vacuously_precise_zero_recall(self):
+        scores = pairwise_scores(ALL_SINGLETONS, TRUTH)
+        assert scores.precision == 1.0  # asserted no pairs: vacuously correct
+        assert scores.recall == 0.0
+        assert scores.f1 == 0.0
+
+    def test_one_big_cluster(self):
+        scores = pairwise_scores(ONE_CLUSTER, TRUTH)
+        # 6 predicted pairs, 2 correct (a-b, c-d), 2 true pairs recovered
+        assert scores.precision == pytest.approx(2 / 6)
+        assert scores.recall == 1.0
+
+    def test_partial(self):
+        predicted = {"c1": {"a", "b", "c"}, "c2": {"d"}}
+        scores = pairwise_scores(predicted, TRUTH)
+        # predicted pairs: ab ac bc → correct: ab → precision 1/3
+        assert scores.precision == pytest.approx(1 / 3)
+        # true pairs: ab cd → recovered: ab → recall 1/2
+        assert scores.recall == pytest.approx(1 / 2)
+
+    def test_items_without_truth_ignored(self):
+        predicted = {"c1": {"a", "b", "unlabeled"}}
+        scores = pairwise_scores(predicted, TRUTH)
+        assert scores.precision == 1.0
+
+    def test_empty(self):
+        assert pairwise_scores({}, TRUTH).f1 == 0.0
+        assert pairwise_scores(PERFECT, {}).f1 == 0.0
+
+
+class TestBCubed:
+    def test_perfect(self):
+        scores = bcubed(PERFECT, TRUTH)
+        assert scores.precision == 1.0 and scores.recall == 1.0
+
+    def test_singletons(self):
+        scores = bcubed(ALL_SINGLETONS, TRUTH)
+        assert scores.precision == 1.0
+        assert scores.recall == pytest.approx(0.5)
+
+    def test_one_big_cluster(self):
+        scores = bcubed(ONE_CLUSTER, TRUTH)
+        assert scores.precision == pytest.approx(0.5)
+        assert scores.recall == 1.0
+
+    def test_known_mixed_case(self):
+        predicted = {"c1": {"a", "b", "c"}, "c2": {"d"}}
+        scores = bcubed(predicted, TRUTH)
+        # precision: a:2/3, b:2/3, c:1/3, d:1 → mean = 8/12
+        assert scores.precision == pytest.approx((2/3 + 2/3 + 1/3 + 1.0) / 4)
+        # recall: a:1, b:1, c:1/2, d:1/2 → mean = 3/4
+        assert scores.recall == pytest.approx(0.75)
+
+
+class TestPurity:
+    def test_perfect(self):
+        assert purity(PERFECT, TRUTH) == 1.0
+
+    def test_one_big_cluster(self):
+        assert purity(ONE_CLUSTER, TRUTH) == 0.5
+
+    def test_singletons_trivially_pure(self):
+        assert purity(ALL_SINGLETONS, TRUTH) == 1.0
+
+    def test_empty(self):
+        assert purity({}, TRUTH) == 0.0
+
+
+class TestNmi:
+    def test_perfect(self):
+        assert normalized_mutual_information(PERFECT, TRUTH) == pytest.approx(1.0)
+
+    def test_one_big_cluster_is_uninformative(self):
+        assert normalized_mutual_information(ONE_CLUSTER, TRUTH) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_in_unit_interval(self):
+        predicted = {"c1": {"a", "b", "c"}, "c2": {"d"}}
+        value = normalized_mutual_information(predicted, TRUTH)
+        assert 0.0 <= value <= 1.0
+
+    def test_both_trivial_clusterings_identical(self):
+        assert normalized_mutual_information(
+            {"c": {"a", "b"}}, {"a": "x", "b": "x"}
+        ) == 1.0
+
+
+class TestAri:
+    def test_perfect(self):
+        assert adjusted_rand_index(PERFECT, TRUTH) == pytest.approx(1.0)
+
+    def test_label_permutation_invariant(self):
+        relabeled = {"zz": {"c", "d"}, "qq": {"a", "b"}}
+        assert adjusted_rand_index(relabeled, TRUTH) == pytest.approx(1.0)
+
+    def test_one_big_cluster_near_zero(self):
+        assert adjusted_rand_index(ONE_CLUSTER, TRUTH) == pytest.approx(0.0)
+
+    def test_disagreement_negative_or_small(self):
+        predicted = {"c1": {"a", "c"}, "c2": {"b", "d"}}  # maximally wrong
+        assert adjusted_rand_index(predicted, TRUTH) < 0.0
+
+    def test_empty(self):
+        assert adjusted_rand_index({}, TRUTH) == 0.0

@@ -1,0 +1,212 @@
+"""Tests for Corpus and GroundTruth."""
+
+import pytest
+
+from repro.errors import (
+    DataFormatError,
+    DuplicateSnippetError,
+    UnknownSourceError,
+)
+from repro.eventdata.corpus import Corpus, GroundTruth
+from repro.eventdata.models import Document, Source
+from tests.conftest import make_snippet
+
+
+@pytest.fixture
+def corpus():
+    c = Corpus("t")
+    c.add_source(Source("s1", "Alpha"))
+    c.add_source(Source("s2", "Beta"))
+    return c
+
+
+class TestGroundTruth:
+    def test_set_and_label(self):
+        truth = GroundTruth()
+        truth.set("v1", "w1")
+        assert truth.label("v1") == "w1"
+        assert "v1" in truth and len(truth) == 1
+
+    def test_clusters_inverts(self):
+        truth = GroundTruth({"a": "w1", "b": "w1", "c": "w2"})
+        assert truth.clusters() == {"w1": {"a", "b"}, "w2": {"c"}}
+
+    def test_story_labels(self):
+        truth = GroundTruth({"a": "w1", "b": "w2"})
+        assert truth.story_labels() == {"w1", "w2"}
+
+    def test_restrict(self):
+        truth = GroundTruth({"a": "w1", "b": "w2"})
+        restricted = truth.restrict(["a"])
+        assert "a" in restricted and "b" not in restricted
+
+
+class TestCorpusConstruction:
+    def test_add_snippet_requires_source(self, corpus):
+        with pytest.raises(UnknownSourceError):
+            corpus.add_snippet(make_snippet("x:1", source_id="nope"))
+
+    def test_duplicate_snippet_rejected(self, corpus):
+        corpus.add_snippet(make_snippet("v1"))
+        with pytest.raises(DuplicateSnippetError):
+            corpus.add_snippet(make_snippet("v1"))
+
+    def test_source_re_add_idempotent(self, corpus):
+        corpus.add_source(Source("s1", "Alpha"))
+        assert len(corpus.sources) == 2
+
+    def test_source_conflicting_re_add_rejected(self, corpus):
+        with pytest.raises(DataFormatError):
+            corpus.add_source(Source("s1", "Different Name"))
+
+    def test_document_requires_source(self, corpus):
+        with pytest.raises(UnknownSourceError):
+            corpus.add_document(Document("d", "zzz", "t", "b", 0.0))
+
+    def test_truth_recorded(self, corpus):
+        corpus.add_snippet(make_snippet("v1"), "w1")
+        assert corpus.truth.label("v1") == "w1"
+
+    def test_remove_snippet(self, corpus):
+        corpus.add_snippet(make_snippet("v1"), "w1")
+        removed = corpus.remove_snippet("v1")
+        assert removed.snippet_id == "v1"
+        assert "v1" not in corpus
+        assert "v1" not in corpus.truth
+
+    def test_remove_unknown_raises(self, corpus):
+        with pytest.raises(KeyError):
+            corpus.remove_snippet("nope")
+
+
+class TestCorpusAccess:
+    def test_orderings(self, corpus):
+        corpus.add_snippet(make_snippet("b", date="2014-07-20"))
+        corpus.add_snippet(
+            make_snippet("a", date="2014-07-10", published=None)
+        )
+        by_time = [s.snippet_id for s in corpus.snippets_by_time()]
+        assert by_time == ["a", "b"]
+        insertion = [s.snippet_id for s in corpus.snippets()]
+        assert insertion == ["b", "a"]
+
+    def test_publication_order_differs_from_time(self, corpus):
+        early_event_late_publish = make_snippet("a", date="2014-07-10")
+        object.__setattr__(early_event_late_publish, "published",
+                           early_event_late_publish.timestamp + 30 * 86400)
+        corpus.add_snippet(early_event_late_publish)
+        corpus.add_snippet(make_snippet("b", date="2014-07-20"))
+        assert [s.snippet_id for s in corpus.snippets_by_time()] == ["a", "b"]
+        assert [s.snippet_id for s in corpus.snippets_by_publication()] == ["b", "a"]
+
+    def test_by_source_filters_and_sorts(self, corpus):
+        corpus.add_snippet(make_snippet("a:2", source_id="s1", date="2014-07-20"))
+        corpus.add_snippet(make_snippet("a:1", source_id="s1", date="2014-07-10"))
+        corpus.add_snippet(make_snippet("b:1", source_id="s2"))
+        assert [s.snippet_id for s in corpus.by_source("s1")] == ["a:1", "a:2"]
+
+    def test_by_source_unknown(self, corpus):
+        with pytest.raises(UnknownSourceError):
+            corpus.by_source("zzz")
+
+    def test_source_partition_covers_all(self, corpus):
+        corpus.add_snippet(make_snippet("a:1", source_id="s1"))
+        corpus.add_snippet(make_snippet("b:1", source_id="s2"))
+        partition = corpus.source_partition()
+        assert set(partition) == {"s1", "s2"}
+        assert sum(len(v) for v in partition.values()) == len(corpus)
+
+    def test_entities_union(self, corpus):
+        corpus.add_snippet(make_snippet("v1", entities=("A", "B")))
+        corpus.add_snippet(make_snippet("v2", entities=("B", "C")))
+        assert corpus.entities() == {"A", "B", "C"}
+
+    def test_time_span(self, corpus):
+        corpus.add_snippet(make_snippet("v1", date="2014-07-10"))
+        corpus.add_snippet(make_snippet("v2", date="2014-07-20"))
+        start, end = corpus.time_span()
+        assert start < end
+
+    def test_time_span_empty_raises(self, corpus):
+        with pytest.raises(DataFormatError):
+            corpus.time_span()
+
+    def test_subset(self, corpus):
+        corpus.add_snippet(make_snippet("v1"), "w1")
+        corpus.add_snippet(make_snippet("v2"), "w2")
+        sub = corpus.subset(["v1"])
+        assert len(sub) == 1 and "v1" in sub
+        assert sub.truth.label("v1") == "w1"
+        assert set(sub.sources) == set(corpus.sources)
+
+
+class TestCorpusSerialization:
+    def test_jsonl_roundtrip(self, mh17):
+        text = mh17.to_jsonl()
+        restored = Corpus.from_jsonl(text)
+        assert len(restored) == len(mh17)
+        assert restored.name == mh17.name
+        assert set(restored.sources) == set(mh17.sources)
+        assert restored.truth.labels == mh17.truth.labels
+        for snippet in mh17.snippets():
+            twin = restored.snippet(snippet.snippet_id)
+            assert twin.entities == snippet.entities
+            assert twin.keywords == snippet.keywords
+            assert twin.timestamp == snippet.timestamp
+            assert twin.published == snippet.published
+
+    def test_documents_roundtrip(self, mh17):
+        restored = Corpus.from_jsonl(mh17.to_jsonl())
+        assert set(restored.documents) == set(mh17.documents)
+
+    def test_bad_json_raises(self):
+        with pytest.raises(DataFormatError):
+            Corpus.from_jsonl("{not json")
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(DataFormatError):
+            Corpus.from_jsonl('{"kind": "mystery"}')
+
+    def test_blank_lines_ignored(self, corpus):
+        corpus.add_snippet(make_snippet("v1"))
+        text = corpus.to_jsonl().replace("\n", "\n\n")
+        assert len(Corpus.from_jsonl(text)) == 1
+
+
+class TestCorpusFilter:
+    def test_filter_by_entity(self, mh17):
+        filtered = mh17.filter(entity="ISR")
+        assert {s.snippet_id for s in filtered.snippets()} == {"s1:v4", "sn:v3"}
+
+    def test_filter_by_source(self, mh17):
+        filtered = mh17.filter(source_id="s1")
+        assert len(filtered) == 6
+        assert all(s.source_id == "s1" for s in filtered.snippets())
+
+    def test_filter_by_time_range(self, mh17):
+        from repro.eventdata.models import parse_timestamp
+        filtered = mh17.filter(start=parse_timestamp("2014-09-01"),
+                               end=parse_timestamp("2014-09-30"))
+        ids = {s.snippet_id for s in filtered.snippets()}
+        assert ids == {"s1:v5", "sn:v5", "sn:v6"}
+
+    def test_filter_by_keyword_is_stemmed(self, mh17):
+        filtered = mh17.filter(keyword="investigations")
+        assert "s1:v2" in filtered
+        assert "s1:v6" not in filtered
+
+    def test_filters_compose(self, mh17):
+        filtered = mh17.filter(entity="UKR", source_id="sn")
+        assert all(
+            "UKR" in s.entities and s.source_id == "sn"
+            for s in filtered.snippets()
+        )
+        assert len(filtered) == 3
+
+    def test_filter_keeps_truth(self, mh17):
+        filtered = mh17.filter(entity="ISR")
+        assert filtered.truth.label("s1:v4") == "story_gaza"
+
+    def test_no_criteria_returns_copy(self, mh17):
+        filtered = mh17.filter()
+        assert len(filtered) == len(mh17)

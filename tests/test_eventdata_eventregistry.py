@@ -1,0 +1,73 @@
+"""Tests for the EventRegistry-style document feed."""
+
+import pytest
+
+from repro.eventdata.eventregistry import DocumentFeed
+from repro.eventdata.models import DAY
+from repro.eventdata.sourcegen import SourceSimulator, default_profiles
+from repro.eventdata.worldgen import WorldConfig, WorldGenerator
+
+
+@pytest.fixture(scope="module")
+def feed():
+    generator = WorldGenerator(WorldConfig(seed=23, num_stories=8))
+    events = generator.events()
+    simulator = SourceSimulator(default_profiles(3), seed=2,
+                                entity_universe=generator.entity_universe)
+    corpus = simulator.make_corpus(events, render_documents=True)
+    return corpus, DocumentFeed(corpus)
+
+
+class TestFeed:
+    def test_feed_covers_all_documents(self, feed):
+        corpus, document_feed = feed
+        assert len(document_feed) == len(corpus.documents)
+
+    def test_publication_order(self, feed):
+        _, document_feed = feed
+        published = [item.document.published for item in document_feed]
+        assert published == sorted(published)
+
+    def test_items_carry_truth_labels(self, feed):
+        corpus, document_feed = feed
+        for item in document_feed:
+            assert item.story_label in corpus.truth.story_labels()
+
+    def test_documents_list(self, feed):
+        _, document_feed = feed
+        docs = document_feed.documents()
+        assert len(docs) == len(document_feed)
+
+    def test_mh17_feed_without_snippet_docs(self, mh17):
+        document_feed = DocumentFeed(mh17)
+        assert len(document_feed) == len(mh17.documents)
+
+
+class TestBatches:
+    def test_batches_partition_the_feed(self, feed):
+        _, document_feed = feed
+        batched = [item for batch in document_feed.batches(DAY) for item in batch]
+        assert len(batched) == len(document_feed)
+        ids = [item.document.document_id for item in batched]
+        assert len(ids) == len(set(ids))
+
+    def test_batch_windows_are_disjoint(self, feed):
+        _, document_feed = feed
+        batches = list(document_feed.batches(DAY))
+        previous_max = None
+        for batch in batches:
+            times = [item.document.published for item in batch]
+            assert max(times) - min(times) <= DAY
+            if previous_max is not None:
+                assert min(times) >= previous_max
+            previous_max = max(times)
+
+    def test_invalid_window(self, feed):
+        _, document_feed = feed
+        with pytest.raises(ValueError):
+            list(document_feed.batches(0))
+
+    def test_empty_feed(self):
+        from repro.eventdata.corpus import Corpus
+
+        assert list(DocumentFeed(Corpus("empty")).batches(DAY)) == []

@@ -1,0 +1,89 @@
+"""Tests for the GDELT-style TSV schema."""
+
+import pytest
+
+from repro.errors import DataFormatError
+from repro.eventdata.gdelt import (
+    CAMEO_CODES,
+    GDELT_COLUMNS,
+    export_tsv,
+    import_tsv,
+    snippet_to_row,
+)
+from repro.eventdata.sourcegen import synthetic_corpus
+from tests.conftest import make_snippet
+
+
+class TestRow:
+    def test_row_width_matches_columns(self):
+        row = snippet_to_row(make_snippet("v1"), "w1")
+        assert len(row) == len(GDELT_COLUMNS)
+
+    def test_actor_columns(self):
+        row = snippet_to_row(make_snippet("v1", entities=("UKR", "MAS", "RUS")))
+        record = dict(zip(GDELT_COLUMNS, row))
+        assert record["Actor1Code"] == "MAS"  # sorted order
+        assert record["Actor2Code"] == "RUS"
+        assert record["Actors"] == "MAS;RUS;UKR"
+
+    def test_sqldate_format(self):
+        row = snippet_to_row(make_snippet("v1", date="2014-07-17"))
+        record = dict(zip(GDELT_COLUMNS, row))
+        assert record["SQLDATE"] == "20140717"
+
+    def test_unknown_event_type_maps_000(self):
+        row = snippet_to_row(make_snippet("v1", event_type="Banana"))
+        record = dict(zip(GDELT_COLUMNS, row))
+        assert record["EventCode"] == "000"
+
+    def test_cameo_codes_unique(self):
+        # round-tripping event types needs injective codes
+        assert len(set(CAMEO_CODES.values())) == len(CAMEO_CODES)
+
+
+class TestRoundTrip:
+    def test_mh17_roundtrip(self, mh17):
+        restored = import_tsv(export_tsv(mh17))
+        assert len(restored) == len(mh17)
+        assert restored.truth.labels == mh17.truth.labels
+        for snippet in mh17.snippets():
+            twin = restored.snippet(snippet.snippet_id)
+            assert twin.entities == snippet.entities
+            assert twin.keywords == snippet.keywords
+            assert twin.timestamp == snippet.timestamp
+            assert twin.published == snippet.published
+            assert twin.event_type == snippet.event_type
+
+    def test_synthetic_roundtrip(self):
+        corpus = synthetic_corpus(total_events=40, num_sources=3, seed=2)
+        restored = import_tsv(export_tsv(corpus))
+        assert len(restored) == len(corpus)
+        assert restored.truth.labels == corpus.truth.labels
+
+
+class TestErrors:
+    def test_empty_input(self):
+        with pytest.raises(DataFormatError):
+            import_tsv("")
+
+    def test_wrong_header(self):
+        with pytest.raises(DataFormatError):
+            import_tsv("a\tb\tc\n")
+
+    def test_wrong_column_count(self):
+        header = "\t".join(GDELT_COLUMNS)
+        with pytest.raises(DataFormatError):
+            import_tsv(header + "\nonly\tthree\tcells\n")
+
+    def test_bad_timestamp(self):
+        header = "\t".join(GDELT_COLUMNS)
+        row = ["v1", "20140717", "", "", "000", "", "s1", "", "", "d",
+               "not-a-float", "0.0", ""]
+        with pytest.raises(DataFormatError):
+            import_tsv(header + "\n" + "\t".join(row) + "\n")
+
+    def test_tab_in_content_rejected_on_export(self, mh17):
+        snippet = make_snippet("bad", description="has\ttab")
+        mh17.add_snippet(snippet)
+        with pytest.raises(DataFormatError):
+            export_tsv(mh17)

@@ -1,0 +1,94 @@
+"""Tests for the handcrafted MH17 corpus and entity universe."""
+
+import pytest
+
+from repro.eventdata.entities import COUNTRIES, full_universe, person_universe
+from repro.eventdata.handcrafted import (
+    DOCTORS,
+    GAZA,
+    MH17,
+    NYT,
+    SANCTIONS,
+    WSJ,
+    demo_config,
+    figure1_identification,
+    mh17_corpus,
+)
+
+
+class TestEntityUniverse:
+    def test_country_codes_unique(self):
+        codes = [code for code, _ in COUNTRIES]
+        assert len(codes) == len(set(codes))
+
+    def test_paper_actors_present(self):
+        universe = full_universe()
+        for code in ("UKR", "RUS", "MAL", "NTH", "UN", "MAS", "GOOG", "YELP"):
+            assert code in universe
+
+    def test_person_universe_deterministic(self):
+        assert person_universe(30, seed=1) == person_universe(30, seed=1)
+
+    def test_person_universe_count_and_unique(self):
+        people = person_universe(50)
+        assert len(people) == 50
+        assert len({name for _, name in people}) == 50
+
+
+class TestMh17Corpus:
+    def test_two_sources(self, mh17):
+        assert set(mh17.sources) == {NYT, WSJ}
+        assert mh17.sources[NYT].name == "New York Times"
+
+    def test_twelve_snippets(self, mh17):
+        assert len(mh17) == 12
+
+    def test_truth_labels(self, mh17):
+        labels = mh17.truth.story_labels()
+        assert {MH17, SANCTIONS, GAZA, DOCTORS, "story_google"} == labels
+
+    def test_mh17_story_spans_sources(self, mh17):
+        clusters = mh17.truth.clusters()
+        sources = {sid.split(":")[0] for sid in clusters[MH17]}
+        assert sources == {NYT, WSJ}
+
+    def test_documents_attached(self, mh17):
+        assert len(mh17.documents) == 12
+        for snippet in mh17.snippets():
+            assert snippet.document_id in mh17.documents
+
+    def test_without_documents(self):
+        corpus = mh17_corpus(with_documents=False)
+        assert len(corpus.documents) == 0
+        assert len(corpus) == 12
+
+    def test_dates_match_paper(self, mh17):
+        assert mh17.snippet("s1:v1").date == "Jul 17, 2014"
+        assert mh17.snippet("sn:v5").date == "Sep 12, 2014"
+
+    def test_confusable_pair_shares_features(self, mh17):
+        """s1:v4 (Gaza) must look similar to the crash snippets (Figure 1)."""
+        v4 = mh17.snippet("s1:v4")
+        v2 = mh17.snippet("s1:v2")
+        assert "UN" in v4.entities and "UN" in v2.entities
+        assert "investigation" in v4.keywords and "investigation" in v2.keywords
+
+
+class TestFigure1State:
+    def test_partition_is_complete(self, mh17):
+        state = figure1_identification()
+        for source_id, stories in state.items():
+            snippets = [sid for members in stories.values() for sid in members]
+            assert len(snippets) == len(set(snippets))
+            expected = {s.snippet_id for s in mh17.by_source(source_id)
+                        if s.snippet_id.split(":")[1] in {"v1", "v2", "v3", "v4", "v5"}}
+            assert set(snippets) == expected
+
+    def test_v4_is_misassigned(self):
+        state = figure1_identification()
+        assert "s1:v4" in state[NYT]["c1_1"]  # wrongly grouped with MH17
+
+    def test_demo_config_valid(self):
+        config = demo_config()
+        assert config.identification_mode == "temporal"
+        assert 0 < config.match_threshold < 1

@@ -1,0 +1,129 @@
+"""Tests for the core data model."""
+
+import pytest
+
+from repro.eventdata.models import (
+    DAY,
+    Document,
+    Snippet,
+    Source,
+    TimeSpan,
+    format_timestamp,
+    parse_timestamp,
+)
+
+
+class TestTimestamps:
+    def test_us_format(self):
+        assert parse_timestamp("07/17/2014") == parse_timestamp("2014-07-17")
+
+    def test_iso_with_time(self):
+        t = parse_timestamp("2014-07-17 06:30")
+        assert t == parse_timestamp("2014-07-17") + 6.5 * 3600
+
+    def test_bad_format_raises(self):
+        with pytest.raises(ValueError):
+            parse_timestamp("17.07.2014")
+
+    def test_format_roundtrip(self):
+        assert format_timestamp(parse_timestamp("07/17/2014")) == "Jul 17, 2014"
+
+    def test_format_with_time(self):
+        rendered = format_timestamp(parse_timestamp("2014-07-17 06:30"), with_time=True)
+        assert rendered == "Jul 17, 2014 06:30"
+
+
+class TestSource:
+    def test_fields(self):
+        source = Source("s1", "New York Times")
+        assert source.kind == "newspaper"
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            Source("", "x")
+
+    def test_frozen(self):
+        source = Source("s1", "NYT")
+        with pytest.raises(AttributeError):
+            source.name = "other"
+
+
+class TestDocument:
+    def test_preview_truncates_to_100(self):
+        body = "word " * 50
+        doc = Document("d", "s", "T", body, 0.0)
+        assert len(doc.preview) == 100
+        assert doc.preview.endswith("...")
+
+    def test_preview_short_body(self):
+        doc = Document("d", "s", "T", "short body", 0.0)
+        assert doc.preview == "short body"
+
+    def test_preview_flattens_newlines(self):
+        doc = Document("d", "s", "T", "a\nb", 0.0)
+        assert doc.preview == "a b"
+
+
+class TestSnippet:
+    def test_published_defaults_to_timestamp(self):
+        snippet = Snippet("v1", "s1", 100.0, "desc")
+        assert snippet.published == 100.0
+        assert snippet.delay() == 0.0
+
+    def test_delay(self):
+        snippet = Snippet("v1", "s1", 100.0, "desc", published=160.0)
+        assert snippet.delay() == 60.0
+
+    def test_content_combines_description_and_text(self):
+        snippet = Snippet("v1", "s1", 0.0, "plane crash", text="Full story text")
+        assert "plane crash" in snippet.content
+        assert "Full story text" in snippet.content
+
+    def test_content_without_text(self):
+        snippet = Snippet("v1", "s1", 0.0, "plane crash")
+        assert snippet.content == "plane crash"
+
+    def test_empty_ids_rejected(self):
+        with pytest.raises(ValueError):
+            Snippet("", "s1", 0.0, "d")
+        with pytest.raises(ValueError):
+            Snippet("v1", "", 0.0, "d")
+
+    def test_date_property(self):
+        snippet = Snippet("v1", "s1", parse_timestamp("07/17/2014"), "d")
+        assert snippet.date == "Jul 17, 2014"
+
+    def test_frozen(self):
+        snippet = Snippet("v1", "s1", 0.0, "d")
+        with pytest.raises(AttributeError):
+            snippet.description = "other"
+
+
+class TestTimeSpan:
+    def test_duration(self):
+        assert TimeSpan(0.0, 2 * DAY).duration == 2 * DAY
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            TimeSpan(5.0, 1.0)
+
+    def test_contains(self):
+        span = TimeSpan(0.0, 10.0)
+        assert span.contains(0.0) and span.contains(10.0) and span.contains(5.0)
+        assert not span.contains(10.1)
+
+    def test_overlaps(self):
+        assert TimeSpan(0, 5).overlaps(TimeSpan(4, 8))
+        assert not TimeSpan(0, 5).overlaps(TimeSpan(6, 8))
+        assert TimeSpan(0, 5).overlaps(TimeSpan(6, 8), slack=1.0)
+
+    def test_gap(self):
+        assert TimeSpan(0, 5).gap(TimeSpan(8, 9)) == 3.0
+        assert TimeSpan(8, 9).gap(TimeSpan(0, 5)) == 3.0
+        assert TimeSpan(0, 5).gap(TimeSpan(2, 9)) == 0.0
+
+    def test_around(self):
+        span = TimeSpan.around([3.0, 1.0, 2.0])
+        assert (span.start, span.end) == (1.0, 3.0)
+        with pytest.raises(ValueError):
+            TimeSpan.around([])

@@ -1,0 +1,163 @@
+"""Tests for the per-source reporting simulator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.eventdata.sourcegen import (
+    SourceProfile,
+    SourceSimulator,
+    default_profiles,
+    synthetic_corpus,
+)
+from repro.eventdata.worldgen import WorldConfig, WorldGenerator
+
+
+@pytest.fixture(scope="module")
+def ground_events():
+    generator = WorldGenerator(WorldConfig(seed=17, num_stories=12))
+    return generator, generator.events()
+
+
+class TestSourceProfile:
+    def test_defaults_valid(self):
+        SourceProfile("s1", "Alpha")
+
+    def test_invalid_coverage(self):
+        with pytest.raises(ConfigurationError):
+            SourceProfile("s1", "Alpha", coverage=1.5)
+
+    def test_negative_delay(self):
+        with pytest.raises(ConfigurationError):
+            SourceProfile("s1", "Alpha", mean_delay=-1.0)
+
+    def test_report_probability_applies_bias(self):
+        profile = SourceProfile("s1", "A", coverage=0.5,
+                                domain_bias={"sports": 2.0, "economy": 0.1})
+        assert profile.report_probability("sports") == pytest.approx(1.0)
+        assert profile.report_probability("economy") == pytest.approx(0.05)
+        assert profile.report_probability("politics") == pytest.approx(0.5)
+
+    def test_report_probability_capped(self):
+        profile = SourceProfile("s1", "A", coverage=0.9, domain_bias={"x": 5.0})
+        assert profile.report_probability("x") == 1.0
+
+
+class TestDefaultProfiles:
+    def test_count_and_unique_ids(self):
+        profiles = default_profiles(7)
+        assert len(profiles) == 7
+        assert len({p.source_id for p in profiles}) == 7
+
+    def test_deterministic(self):
+        a = default_profiles(5, seed=3)
+        b = default_profiles(5, seed=3)
+        assert [p.coverage for p in a] == [p.coverage for p in b]
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            default_profiles(0)
+
+
+class TestSimulator:
+    def test_requires_profiles(self):
+        with pytest.raises(ConfigurationError):
+            SourceSimulator([])
+
+    def test_corpus_is_labelled(self, ground_events):
+        generator, events = ground_events
+        simulator = SourceSimulator(default_profiles(4), seed=1,
+                                    entity_universe=generator.entity_universe)
+        corpus = simulator.make_corpus(events)
+        assert len(corpus) > 0
+        for snippet in corpus.snippets():
+            assert snippet.snippet_id in corpus.truth
+        labels = corpus.truth.story_labels()
+        true_labels = {e.story_label for e in events}
+        assert labels <= true_labels
+
+    def test_min_reports_guarantee(self, ground_events):
+        generator, events = ground_events
+        profiles = default_profiles(4)
+        simulator = SourceSimulator(profiles, seed=1,
+                                    entity_universe=generator.entity_universe)
+        corpus = simulator.make_corpus(events, min_reports_per_event=2)
+        # every ground event produced at least 2 snippets
+        from collections import Counter
+        per_label_times = Counter()
+        for snippet in corpus.snippets():
+            per_label_times[(snippet.timestamp, snippet.event_type)] += 1
+        assert min(per_label_times.values()) >= 2
+
+    def test_publication_delay_nonnegative(self, ground_events):
+        generator, events = ground_events
+        simulator = SourceSimulator(default_profiles(3), seed=2,
+                                    entity_universe=generator.entity_universe)
+        corpus = simulator.make_corpus(events)
+        for snippet in corpus.snippets():
+            assert snippet.published >= snippet.timestamp
+
+    def test_deterministic_for_seed(self, ground_events):
+        generator, events = ground_events
+        kwargs = dict(seed=9, entity_universe=generator.entity_universe)
+        c1 = SourceSimulator(default_profiles(3), **kwargs).make_corpus(events)
+        c2 = SourceSimulator(default_profiles(3), **kwargs).make_corpus(events)
+        assert [s.snippet_id for s in c1.snippets()] == [
+            s.snippet_id for s in c2.snippets()
+        ]
+
+    def test_render_documents(self, ground_events):
+        generator, events = ground_events
+        simulator = SourceSimulator(default_profiles(2), seed=5,
+                                    entity_universe=generator.entity_universe)
+        corpus = simulator.make_corpus(events[:20], render_documents=True)
+        assert len(corpus.documents) == len(corpus)
+        for snippet in corpus.snippets():
+            assert snippet.document_id in corpus.documents
+            document = corpus.documents[snippet.document_id]
+            assert document.source_id == snippet.source_id
+            assert document.url
+
+    def test_noise_drops_and_adds_keywords(self, ground_events):
+        generator, events = ground_events
+        noisy = SourceProfile("s1", "Noisy", coverage=1.0,
+                              keyword_dropout=0.9, extra_keyword_rate=0.0,
+                              entity_dropout=0.0, extra_entity_rate=0.0)
+        simulator = SourceSimulator([noisy], seed=6,
+                                    entity_universe=generator.entity_universe)
+        corpus = simulator.make_corpus(events[:40])
+        # with 90% dropout most snippets keep fewer keywords than the event had
+        shorter = sum(
+            1 for s in corpus.snippets() if len(s.keywords) <= 2
+        )
+        assert shorter > len(corpus) * 0.5
+
+    def test_snippets_never_have_empty_features(self, ground_events):
+        generator, events = ground_events
+        harsh = SourceProfile("s1", "Harsh", coverage=1.0,
+                              keyword_dropout=0.99, entity_dropout=0.99)
+        simulator = SourceSimulator([harsh], seed=7,
+                                    entity_universe=generator.entity_universe)
+        corpus = simulator.make_corpus(events[:30])
+        for snippet in corpus.snippets():
+            assert snippet.keywords
+            assert snippet.entities
+
+
+class TestSyntheticCorpus:
+    def test_one_call_generator(self):
+        corpus = synthetic_corpus(total_events=60, num_sources=3, seed=5)
+        assert len(corpus.sources) == 3
+        assert len(corpus) >= 60  # each event reported by >= 1 source
+        assert len(corpus.truth) == len(corpus)
+
+    def test_deterministic(self):
+        a = synthetic_corpus(total_events=50, num_sources=3, seed=5)
+        b = synthetic_corpus(total_events=50, num_sources=3, seed=5)
+        assert a.to_jsonl() == b.to_jsonl()
+
+    def test_world_overrides_forwarded(self):
+        corpus = synthetic_corpus(
+            total_events=40, num_sources=2, seed=5,
+            domain_weights={"sports": 1.0},
+        )
+        assert len(corpus) > 0

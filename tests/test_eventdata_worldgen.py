@@ -1,0 +1,198 @@
+"""Tests for the synthetic world generator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.eventdata.domains import DOMAIN_VOCABULARIES, DOMAINS
+from repro.eventdata.models import DAY, parse_timestamp
+from repro.eventdata.worldgen import WorldConfig, WorldGenerator
+
+
+@pytest.fixture(scope="module")
+def world():
+    config = WorldConfig(seed=3, num_stories=25)
+    generator = WorldGenerator(config)
+    arcs = generator.generate()
+    return config, generator, arcs
+
+
+class TestWorldConfig:
+    def test_defaults_valid(self):
+        WorldConfig()
+
+    def test_invalid_num_stories(self):
+        with pytest.raises(ConfigurationError):
+            WorldConfig(num_stories=0)
+
+    def test_invalid_drift(self):
+        with pytest.raises(ConfigurationError):
+            WorldConfig(drift_rate=1.5)
+
+    def test_mean_below_min_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorldConfig(mean_events_per_story=2.0, min_events_per_story=3)
+
+    def test_for_total_events_sizes_world(self):
+        config = WorldConfig.for_total_events(600)
+        assert config.num_stories == round(600 / 12.0)
+
+    def test_for_total_events_invalid(self):
+        with pytest.raises(ConfigurationError):
+            WorldConfig.for_total_events(0)
+
+
+class TestGeneration:
+    def test_deterministic_for_seed(self):
+        events_a = WorldGenerator(WorldConfig(seed=5, num_stories=10)).events()
+        events_b = WorldGenerator(WorldConfig(seed=5, num_stories=10)).events()
+        assert [e.event_id for e in events_a] == [e.event_id for e in events_b]
+        assert [e.story_label for e in events_a] == [e.story_label for e in events_b]
+
+    def test_different_seeds_differ(self):
+        events_a = WorldGenerator(WorldConfig(seed=1, num_stories=10)).events()
+        events_b = WorldGenerator(WorldConfig(seed=2, num_stories=10)).events()
+        assert [e.keywords for e in events_a] != [e.keywords for e in events_b]
+
+    def test_events_sorted_by_time(self, world):
+        _, generator, arcs = world
+        events = generator.events(arcs)
+        times = [e.timestamp for e in events]
+        assert times == sorted(times)
+
+    def test_event_ids_unique(self, world):
+        _, generator, arcs = world
+        events = generator.events(arcs)
+        ids = [e.event_id for e in events]
+        assert len(ids) == len(set(ids))
+
+    def test_timestamps_inside_world_window(self, world):
+        config, generator, arcs = world
+        t0 = parse_timestamp(config.start_date)
+        t1 = t0 + config.duration_days * DAY
+        for event in generator.events(arcs):
+            assert t0 <= event.timestamp <= t1
+
+    def test_min_events_respected_for_root_arcs(self, world):
+        config, _, arcs = world
+        for arc in arcs:
+            if arc.parent is None and not arc.merged_from:
+                assert arc.size >= config.min_events_per_story
+
+    def test_keywords_come_from_domain_vocabulary(self, world):
+        _, generator, arcs = world
+        from repro.eventdata.domains import GENERIC_TERMS
+        for arc in arcs:
+            vocabulary = set(DOMAIN_VOCABULARIES[arc.domain]) | set(GENERIC_TERMS)
+            for event in arc.events:
+                assert set(event.keywords) <= vocabulary
+
+    def test_entities_resolve_in_universe(self, world):
+        _, generator, arcs = world
+        universe = generator.entity_universe
+        for arc in arcs:
+            for event in arc.events:
+                for code in event.entities:
+                    assert code in universe
+
+    def test_domains_valid(self, world):
+        _, _, arcs = world
+        for arc in arcs:
+            assert arc.domain in DOMAINS
+
+    def test_event_body_mentions_entities(self, world):
+        _, generator, arcs = world
+        universe = generator.entity_universe
+        event = arcs[0].events[0]
+        assert universe[event.entities[0]] in event.body
+
+
+class TestDrift:
+    def test_keywords_drift_over_long_stories(self):
+        config = WorldConfig(
+            seed=9, num_stories=6, mean_events_per_story=40.0,
+            drift_rate=0.5, split_probability=0.0, merge_probability=0.0,
+        )
+        generator = WorldGenerator(config)
+        arcs = generator.generate()
+        drifted = 0
+        for arc in arcs:
+            if arc.size < 10:
+                continue
+            first = set(arc.events[0].keywords)
+            last = set(arc.events[-1].keywords)
+            if first != last:
+                drifted += 1
+        assert drifted > 0
+
+    def test_zero_drift_keeps_keyword_pool_fixed(self):
+        config = WorldConfig(
+            seed=9, num_stories=4, drift_rate=0.0, entity_drift_rate=0.0,
+            split_probability=0.0, merge_probability=0.0,
+            generic_term_probability=0.0,
+        )
+        arcs = WorldGenerator(config).generate()
+        for arc in arcs:
+            pool = set()
+            for event in arc.events:
+                pool |= set(event.keywords)
+            assert len(pool) <= config.keywords_per_story
+
+
+class TestSplitsAndMerges:
+    def test_splits_create_child_arcs(self):
+        config = WorldConfig(
+            seed=21, num_stories=30, split_probability=1.0,
+            mean_events_per_story=20.0, merge_probability=0.0,
+        )
+        arcs = WorldGenerator(config).generate()
+        children = [a for a in arcs if a.parent is not None]
+        assert children
+        labels = {a.label for a in arcs}
+        for child in children:
+            assert child.parent in labels
+            assert child.label != child.parent
+
+    def test_child_labels_distinct_in_truth(self):
+        config = WorldConfig(seed=21, num_stories=20, split_probability=1.0,
+                             mean_events_per_story=20.0, merge_probability=0.0)
+        generator = WorldGenerator(config)
+        arcs = generator.generate()
+        children = [a for a in arcs if a.parent is not None]
+        for child in children:
+            for event in child.events:
+                assert event.story_label == child.label
+
+    def test_merges_relabel_suffixes(self):
+        config = WorldConfig(
+            seed=4, num_stories=30, merge_probability=1.0,
+            split_probability=0.0, mean_events_per_story=15.0,
+        )
+        generator = WorldGenerator(config)
+        arcs = generator.generate()
+        merged_arcs = [a for a in arcs if a.merged_from]
+        assert merged_arcs
+        # in a merged arc some suffix of events carries a foreign label
+        relabeled = 0
+        for arc in merged_arcs:
+            if any(e.story_label != arc.label for e in arc.events):
+                relabeled += 1
+        assert relabeled > 0
+
+    def test_no_splits_when_probability_zero(self):
+        config = WorldConfig(seed=21, num_stories=15, split_probability=0.0)
+        arcs = WorldGenerator(config).generate()
+        assert all(a.parent is None for a in arcs)
+
+
+class TestDomainWeights:
+    def test_restricting_domains(self):
+        config = WorldConfig(
+            seed=5, num_stories=12, domain_weights={"sports": 1.0}
+        )
+        arcs = WorldGenerator(config).generate()
+        assert {a.domain for a in arcs} == {"sports"}
+
+    def test_empty_domain_weights_rejected(self):
+        config = WorldConfig(seed=5, num_stories=3, domain_weights={"nope": 0.0})
+        with pytest.raises(ConfigurationError):
+            WorldGenerator(config).generate()

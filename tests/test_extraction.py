@@ -1,0 +1,210 @@
+"""Tests for the extraction pipeline (excerpts, annotation, end-to-end)."""
+
+import pytest
+
+from repro.errors import ExtractionError
+from repro.extraction.annotate import Annotator, Gazetteer
+from repro.extraction.excerpts import split_document
+from repro.extraction.pipeline import ExtractionConfig, ExtractionPipeline
+from repro.eventdata.entities import full_universe
+from repro.eventdata.models import Document
+
+
+@pytest.fixture(scope="module")
+def gazetteer():
+    return Gazetteer(full_universe())
+
+
+def doc(body, title="Headline", document_id="d1", published=0.0):
+    return Document(document_id, "s1", title, body, published,
+                    url="http://example.com/d1")
+
+
+class TestExcerpts:
+    def test_title_is_first_excerpt(self):
+        excerpts = split_document(doc("Body text."))
+        assert excerpts[0].kind == "title"
+        assert excerpts[0].text == "Headline"
+
+    def test_paragraph_split(self):
+        excerpts = split_document(doc("Para one.\n\nPara two."))
+        kinds = [e.kind for e in excerpts]
+        assert kinds == ["title", "paragraph", "paragraph"]
+
+    def test_indexes_are_sequential(self):
+        excerpts = split_document(doc("A.\n\nB.\n\nC."))
+        assert [e.index for e in excerpts] == list(range(len(excerpts)))
+
+    def test_long_paragraph_splits_on_sentences(self):
+        body = " ".join(f"Sentence number {i} is here." for i in range(40))
+        excerpts = split_document(doc(body), max_chars=100)
+        paragraphs = [e for e in excerpts if e.kind == "paragraph"]
+        assert len(paragraphs) > 1
+        for excerpt in paragraphs:
+            assert len(excerpt.text) <= 100
+
+    def test_empty_title_skipped(self):
+        excerpts = split_document(doc("Body.", title="  "))
+        assert all(e.kind == "paragraph" for e in excerpts)
+
+    def test_whitespace_paragraphs_skipped(self):
+        excerpts = split_document(doc("A.\n\n   \n\nB."))
+        assert len([e for e in excerpts if e.kind == "paragraph"]) == 2
+
+    def test_invalid_max_chars(self):
+        with pytest.raises(ValueError):
+            split_document(doc("x"), max_chars=0)
+
+
+class TestGazetteer:
+    def test_single_word_entity(self, gazetteer):
+        mentions = gazetteer.find("Protests continue in Ukraine today")
+        assert [m.code for m in mentions] == ["UKR"]
+
+    def test_multi_word_entity(self, gazetteer):
+        mentions = gazetteer.find("A Malaysia Airlines jet crashed")
+        assert "MAS" in [m.code for m in mentions]
+
+    def test_longest_match_wins(self, gazetteer):
+        # "Malaysia Airlines" must win over "Malaysia" alone
+        mentions = gazetteer.find("Malaysia Airlines said")
+        assert [m.code for m in mentions] == ["MAS"]
+
+    def test_code_mentions_recognized(self, gazetteer):
+        mentions = gazetteer.find("Actors: UKR and RUS")
+        assert {m.code for m in mentions} == {"UKR", "RUS"}
+
+    def test_case_insensitive(self, gazetteer):
+        assert gazetteer.find("ukraine")[0].code == "UKR"
+
+    def test_spans_point_into_text(self, gazetteer):
+        text = "Earlier, the United Nations convened."
+        mention = gazetteer.find(text)[0]
+        assert text[mention.start:mention.end] == "United Nations"
+
+    def test_no_entities(self, gazetteer):
+        assert gazetteer.find("nothing relevant here") == []
+
+
+class TestAnnotator:
+    def test_entities_and_keywords(self, gazetteer):
+        annotator = Annotator(gazetteer)
+        annotation = annotator.annotate(
+            "Ukraine opened an investigation into the plane crash"
+        )
+        assert "UKR" in annotation.entities
+        assert len(annotation.keywords) > 0
+        # entity surfaces are masked out of the keywords
+        assert "ukrain" not in annotation.keywords
+
+    def test_keywords_are_capped(self, gazetteer):
+        annotator = Annotator(gazetteer, max_keywords=3)
+        annotation = annotator.annotate(
+            "sanctions markets inflation currency exports tariffs stocks"
+        )
+        assert len(annotation.keywords) <= 3
+
+    def test_invalid_max_keywords(self, gazetteer):
+        with pytest.raises(ValueError):
+            Annotator(gazetteer, max_keywords=0)
+
+    def test_keyword_stems_helper(self, gazetteer):
+        annotator = Annotator(gazetteer)
+        stems = annotator.keyword_stems(["The", "investigations", "crashes"])
+        assert stems == {"investig", "crash"}
+
+
+class TestPipeline:
+    def test_one_snippet_per_document(self, gazetteer):
+        pipeline = ExtractionPipeline(gazetteer)
+        snippets = pipeline.extract(doc(
+            "Ukraine and Russia traded accusations over the crash.\n\n"
+            "The United Nations demanded access to the site."
+        ))
+        assert len(snippets) == 1
+        snippet = snippets[0]
+        assert {"UKR", "RUS", "UN"} <= set(snippet.entities)
+        assert snippet.document_id == "d1"
+        assert snippet.url == "http://example.com/d1"
+
+    def test_per_excerpt_mode(self, gazetteer):
+        config = ExtractionConfig(one_snippet_per_document=False)
+        pipeline = ExtractionPipeline(gazetteer, config)
+        snippets = pipeline.extract(doc(
+            "Ukraine protested loudly.\n\nRussia responded with sanctions."
+        ))
+        assert len(snippets) >= 2
+        ids = [s.snippet_id for s in snippets]
+        assert len(ids) == len(set(ids))
+
+    def test_no_signal_document_yields_nothing(self, gazetteer):
+        config = ExtractionConfig(min_signal=100)
+        pipeline = ExtractionPipeline(gazetteer, config)
+        assert pipeline.extract(doc("bare words", title="t")) == []
+
+    def test_empty_document_raises(self, gazetteer):
+        pipeline = ExtractionPipeline(gazetteer)
+        with pytest.raises(ExtractionError):
+            pipeline.extract(doc("", title=""))
+
+    def test_extract_corpus(self, gazetteer):
+        pipeline = ExtractionPipeline(gazetteer)
+        documents = [
+            doc("Ukraine crash investigation continues.", document_id="d1"),
+            Document("d2", "s2", "Title", "Sanctions against Russia.", 1.0),
+        ]
+        corpus = pipeline.extract_corpus(documents)
+        assert set(corpus.sources) == {"s1", "s2"}
+        assert len(corpus) == 2
+        assert len(corpus.documents) == 2
+
+    def test_end_to_end_from_simulator(self):
+        """Documents rendered by the simulator extract into usable snippets."""
+        from repro.eventdata.sourcegen import SourceSimulator, default_profiles
+        from repro.eventdata.worldgen import WorldConfig, WorldGenerator
+
+        generator = WorldGenerator(WorldConfig(seed=31, num_stories=5))
+        events = generator.events()
+        simulator = SourceSimulator(default_profiles(2), seed=3,
+                                    entity_universe=generator.entity_universe)
+        source_corpus = simulator.make_corpus(events[:25], render_documents=True)
+        pipeline = ExtractionPipeline(Gazetteer(generator.entity_universe))
+        extracted = pipeline.extract_corpus(source_corpus.documents.values())
+        assert len(extracted) > 0
+        with_entities = [s for s in extracted.snippets() if s.entities]
+        assert len(with_entities) >= len(extracted) * 0.8
+
+
+class TestTextRankBackend:
+    def test_textrank_annotator(self, gazetteer):
+        annotator = Annotator(gazetteer, keyword_method="textrank")
+        annotation = annotator.annotate(
+            "Ukraine opened an investigation into the plane crash as "
+            "investigators searched the crash site"
+        )
+        assert "UKR" in annotation.entities
+        assert "crash" in annotation.keywords
+
+    def test_invalid_method_rejected(self, gazetteer):
+        with pytest.raises(ValueError):
+            Annotator(gazetteer, keyword_method="magic")
+
+    def test_pipeline_with_textrank(self, gazetteer):
+        config = ExtractionConfig(keyword_method="textrank")
+        pipeline = ExtractionPipeline(gazetteer, config)
+        snippets = pipeline.extract(doc(
+            "Ukraine and Russia traded accusations over the crash as the "
+            "crash investigation stalled."
+        ))
+        assert snippets and snippets[0].keywords
+
+    def test_textrank_is_stateless_across_documents(self, gazetteer):
+        config = ExtractionConfig(keyword_method="textrank")
+        pipeline = ExtractionPipeline(gazetteer, config)
+        body = "Sanctions hit energy markets as banking shares slumped."
+        first = pipeline.extract(doc(body, document_id="d1"))[0].keywords
+        for i in range(5):
+            pipeline.extract(doc("Unrelated sports tournament results.",
+                                 document_id=f"noise{i}"))
+        again = pipeline.extract(doc(body, document_id="d2"))[0].keywords
+        assert first == again

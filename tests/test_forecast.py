@@ -1,0 +1,221 @@
+"""Tests for the forecasting package (features, models, unrest task)."""
+
+import numpy as np
+import pytest
+
+from repro.eventdata.corpus import Corpus
+from repro.eventdata.models import DAY, Source
+from repro.eventdata.sourcegen import synthetic_corpus
+from repro.forecast.features import (
+    EVENT_TYPE_GROUPS,
+    FeatureConfig,
+    WindowFeatures,
+    extract_features,
+    stack_lags,
+    window_features,
+)
+from repro.forecast.models import (
+    ExponentialSmoothing,
+    LogisticRegression,
+    MajorityClass,
+    classification_scores,
+)
+from repro.forecast.unrest import build_unrest_task, run_unrest_experiment
+from tests.conftest import make_snippet
+
+
+def build_corpus(rows):
+    corpus = Corpus("f")
+    corpus.add_source(Source("s1", "Alpha"))
+    corpus.add_source(Source("s2", "Beta"))
+    for i, (date, source, event_type, entities) in enumerate(rows):
+        corpus.add_snippet(make_snippet(
+            f"v{i}", source_id=source, date=date, event_type=event_type,
+            entities=entities,
+        ))
+    return corpus
+
+
+class TestFeatures:
+    def test_window_features_counts(self):
+        corpus = build_corpus([
+            ("2014-07-01", "s1", "Fight", ("UKR",)),
+            ("2014-07-02", "s2", "Trade", ("UKR", "RUS")),
+            ("2014-07-20", "s1", "Fight", ("FRA",)),  # outside window
+        ])
+        snippets = corpus.snippets_by_time()
+        start = snippets[0].timestamp
+        features = window_features(snippets, start, start + 7 * DAY)
+        assert features.total == 2
+        assert features.by_group["conflict"] == 1
+        assert features.by_group["economy"] == 1
+        assert features.sources == 2
+        assert features.entities == 2
+        assert features.max_entity_share == pytest.approx(2 / 3)
+
+    def test_vector_stable_shape(self):
+        features = WindowFeatures(0, 1, 0, {}, 0, 0, 0.0)
+        assert len(features.vector()) == len(WindowFeatures.names())
+
+    def test_extract_features_covers_span(self):
+        corpus = synthetic_corpus(total_events=80, num_sources=3, seed=6)
+        rows = extract_features(corpus, FeatureConfig(window=7 * DAY))
+        assert rows
+        assert sum(r.total for r in rows) == len(corpus)
+        starts = [r.start for r in rows]
+        assert starts == sorted(starts)
+
+    def test_extract_features_empty_corpus(self):
+        assert extract_features(Corpus("empty")) == []
+
+    def test_stack_lags_shapes(self):
+        corpus = synthetic_corpus(total_events=80, num_sources=3, seed=6)
+        rows = extract_features(corpus, FeatureConfig(window=7 * DAY))
+        stacked = stack_lags(rows, lags=2)
+        assert len(stacked) == len(rows) - 2
+        base = len(WindowFeatures.names())
+        vector, _ = stacked[0]
+        assert len(vector) == base * 3 + base  # 3 windows + deltas
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            FeatureConfig(window=0)
+        with pytest.raises(ValueError):
+            FeatureConfig(lags=-1)
+        with pytest.raises(ValueError):
+            stack_lags([], lags=-1)
+
+    def test_groups_cover_simulator_types(self):
+        from repro.eventdata.domains import DOMAIN_EVENT_TYPES
+        grouped = {t for members in EVENT_TYPE_GROUPS.values() for t in members}
+        simulated = {t for types in DOMAIN_EVENT_TYPES.values() for t in types}
+        # at least the conflict family must be fully covered
+        assert set(DOMAIN_EVENT_TYPES["conflict"]) - {"Yield"} <= grouped
+        assert len(simulated & grouped) >= 15
+
+
+class TestLogisticRegression:
+    def test_learns_linearly_separable_data(self):
+        rng = np.random.default_rng(3)
+        positives = rng.normal(loc=2.0, size=(60, 3))
+        negatives = rng.normal(loc=-2.0, size=(60, 3))
+        features = np.vstack([positives, negatives]).tolist()
+        labels = [1] * 60 + [0] * 60
+        model = LogisticRegression(iterations=300).fit(features, labels)
+        predictions = model.predict(features)
+        assert classification_scores(labels, predictions).accuracy > 0.95
+
+    def test_probabilities_in_unit_interval(self):
+        model = LogisticRegression(iterations=50).fit(
+            [[0.0], [1.0]], [0, 1]
+        )
+        for p in model.predict_proba([[-5.0], [0.5], [5.0]]):
+            assert 0.0 <= p <= 1.0
+
+    def test_constant_feature_does_not_crash(self):
+        model = LogisticRegression(iterations=50).fit(
+            [[1.0, 0.0], [1.0, 1.0]], [0, 1]
+        )
+        assert model.fitted
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict([[1.0]])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(learning_rate=0)
+        with pytest.raises(ValueError):
+            LogisticRegression(iterations=0)
+        with pytest.raises(ValueError):
+            LogisticRegression().fit([[1.0]], [1, 0])
+
+
+class TestBaselines:
+    def test_majority_class(self):
+        model = MajorityClass().fit([[0]] * 5, [1, 1, 1, 0, 0])
+        assert model.predict([[0], [0]]) == [1, 1]
+        assert model.predict_proba([[0]])[0] == pytest.approx(0.6)
+
+    def test_majority_requires_labels(self):
+        with pytest.raises(ValueError):
+            MajorityClass().fit([], [])
+
+    def test_exponential_smoothing_converges_to_constant(self):
+        smoother = ExponentialSmoothing(alpha=0.5)
+        for _ in range(20):
+            smoother.update(10.0)
+        assert smoother.forecast() == pytest.approx(10.0)
+
+    def test_exponential_smoothing_one_step_ahead(self):
+        smoother = ExponentialSmoothing(alpha=1.0)  # naive forecast
+        forecasts = smoother.fit_series([1.0, 2.0, 3.0])
+        assert forecasts == [1.0, 1.0, 2.0]
+
+    def test_smoothing_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialSmoothing(alpha=0.0)
+        with pytest.raises(RuntimeError):
+            ExponentialSmoothing().forecast()
+
+
+class TestClassificationScores:
+    def test_perfect(self):
+        scores = classification_scores([1, 0, 1], [1, 0, 1], [1.0, 0.0, 1.0])
+        assert scores.accuracy == 1.0
+        assert scores.f1 == 1.0
+        assert scores.brier == 0.0
+
+    def test_all_wrong(self):
+        scores = classification_scores([1, 0], [0, 1])
+        assert scores.accuracy == 0.0
+        assert scores.f1 == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            classification_scores([1], [1, 0])
+
+    def test_empty(self):
+        scores = classification_scores([], [])
+        assert scores.accuracy == 0.0
+
+
+class TestUnrestTask:
+    @pytest.fixture(scope="class")
+    def conflict_corpus(self):
+        """A world dominated by conflict stories: forecastable activity."""
+        return synthetic_corpus(
+            total_events=600, num_sources=4, seed=99,
+            domain_weights={"conflict": 3.0, "politics": 1.0, "economy": 1.0},
+            duration_days=240.0,
+        )
+
+    def test_task_built_with_labels(self, conflict_corpus):
+        task = build_unrest_task(conflict_corpus)
+        assert len(task.vectors) == len(task.labels) == len(task.windows)
+        assert 0.0 < task.positive_rate < 1.0
+        assert task.threshold > 0
+
+    def test_time_split_is_chronological(self, conflict_corpus):
+        task = build_unrest_task(conflict_corpus)
+        (train_x, _), (test_x, _) = task.time_split(0.7)
+        assert len(train_x) + len(test_x) == len(task.vectors)
+        assert len(train_x) > len(test_x)
+
+    def test_too_short_corpus_rejected(self):
+        corpus = build_corpus([("2014-07-01", "s1", "Fight", ("UKR",))])
+        with pytest.raises(ValueError):
+            build_unrest_task(corpus)
+
+    def test_experiment_returns_both_models(self, conflict_corpus):
+        results = run_unrest_experiment(conflict_corpus)
+        assert set(results) == {"majority", "logistic"}
+        for scores in results.values():
+            assert 0.0 <= scores.accuracy <= 1.0
+            assert 0.0 <= scores.brier <= 1.0
+
+    def test_logistic_not_worse_calibrated_than_majority(self, conflict_corpus):
+        """The learned model should at least match the base-rate guesser on
+        Brier score (probability calibration)."""
+        results = run_unrest_experiment(conflict_corpus)
+        assert results["logistic"].brier <= results["majority"].brier + 0.05

@@ -1,0 +1,85 @@
+"""Focused tests for remaining edge paths across modules."""
+
+import pytest
+
+from repro.core.config import StoryPivotConfig
+from repro.core.persistence import dumps_state, load_state
+from repro.core.pipeline import StoryPivot
+from repro.core.streaming import StreamProcessor
+from repro.eventdata.handcrafted import demo_config, mh17_corpus
+from repro.forecast.features import FeatureConfig, extract_features, stack_lags
+from repro.eventdata.sourcegen import synthetic_corpus
+
+
+class TestStackLagsEdges:
+    def test_zero_lags_still_appends_deltas(self):
+        corpus = synthetic_corpus(total_events=60, num_sources=2, seed=4)
+        rows = extract_features(corpus, FeatureConfig())
+        stacked = stack_lags(rows, lags=0)
+        assert len(stacked) == len(rows)
+        base = len(rows[0].vector())
+        first_vector, _ = stacked[0]
+        assert len(first_vector) == 2 * base
+        # the first row has no previous window: its deltas are zero
+        assert all(v == 0.0 for v in first_vector[base:])
+        if len(stacked) > 1:
+            second_vector, _ = stacked[1]
+            assert any(v != 0.0 for v in second_vector[base:])
+
+
+class TestPersistenceWithSketches:
+    def test_sketch_config_roundtrip(self):
+        config = demo_config().with_(use_sketches=True)
+        pivot = StoryPivot(config)
+        pivot.run(mh17_corpus())
+        restored = load_state(dumps_state(pivot))
+        assert restored.config.use_sketches
+        # the restored identifiers must carry functional LSH state
+        from tests.conftest import make_snippet
+        restored.add_snippet(make_snippet(
+            "s1:new", source_id="s1", date="2014-07-18",
+            description="plane crash investigation",
+            entities=("UKR", "MAS"), keywords=("crash", "plane"),
+        ))
+        assert restored.num_snippets == 13
+
+
+class TestLiveStreamWithDuplicates:
+    def test_live_mode_ignores_redelivery(self, mh17):
+        processor = StreamProcessor(demo_config(), live_alignment=True)
+        for snippet in mh17.snippets_by_publication():
+            processor.offer(snippet)
+            processor.offer(snippet)  # immediate redelivery
+        assert processor.stats.duplicates == len(mh17)
+        view = processor.flush()
+        ids = {sid for members in view.global_clusters().values()
+               for sid in members}
+        assert len(ids) == len(mh17)
+
+
+class TestConfigInteractions:
+    def test_single_pass_with_alignment(self):
+        config = StoryPivotConfig.single_pass(alignment_strategy="greedy")
+        result = StoryPivot(config).run(mh17_corpus())
+        assert result.num_integrated >= 1
+
+    def test_optimal_alignment_end_to_end(self):
+        config = demo_config().with_(alignment_strategy="optimal")
+        result = StoryPivot(config).run(mh17_corpus())
+        clusters = {frozenset(v) for v in result.global_clusters().values()}
+        assert frozenset({"s1:v4", "sn:v3"}) in clusters
+
+    def test_refinement_rounds_one(self):
+        config = demo_config().with_(max_refinement_rounds=1)
+        result = StoryPivot(config).run(mh17_corpus())
+        assert result.refinement.rounds <= 1
+
+
+class TestStatisticsAfterMutation:
+    def test_statistics_track_removals(self):
+        pivot = StoryPivot(demo_config())
+        pivot.run(mh17_corpus())
+        pivot.remove_snippet("sn:v6")
+        stats = pivot.statistics()
+        assert stats["num_snippets"] == 11
+        assert stats["identification"]["sn"]["removals"] == 1

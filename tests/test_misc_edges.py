@@ -1,0 +1,113 @@
+"""Edge-case tests: errors hierarchy, domains data, serialization properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import errors
+from repro.eventdata.corpus import Corpus
+from repro.eventdata.domains import (
+    DOMAIN_EVENT_TYPES,
+    DOMAIN_VOCABULARIES,
+    DOMAINS,
+    GENERIC_TERMS,
+)
+from repro.eventdata.models import Snippet, Source
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_base(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if (isinstance(obj, type) and issubclass(obj, Exception)
+                    and obj is not errors.StoryPivotError):
+                assert issubclass(obj, errors.StoryPivotError), name
+
+    def test_keyed_errors_carry_their_key(self):
+        assert errors.UnknownSourceError("s9").source_id == "s9"
+        assert errors.UnknownSnippetError("v9").snippet_id == "v9"
+        assert errors.UnknownStoryError("c9").story_id == "c9"
+        assert errors.DuplicateSnippetError("v9").snippet_id == "v9"
+
+    def test_keyed_errors_are_keyerrors(self):
+        # callers can catch either the domain error or plain KeyError
+        with pytest.raises(KeyError):
+            raise errors.UnknownSourceError("s9")
+
+
+class TestDomainData:
+    def test_every_domain_has_vocabulary_and_event_types(self):
+        assert set(DOMAIN_VOCABULARIES) == set(DOMAINS)
+        assert set(DOMAIN_EVENT_TYPES) == set(DOMAINS)
+
+    def test_vocabularies_large_enough_for_defaults(self):
+        from repro.eventdata.worldgen import WorldConfig
+        config = WorldConfig()
+        for vocabulary in DOMAIN_VOCABULARIES.values():
+            assert len(vocabulary) >= config.keywords_per_story
+
+    def test_no_duplicate_keywords_within_domain(self):
+        for domain, vocabulary in DOMAIN_VOCABULARIES.items():
+            assert len(vocabulary) == len(set(vocabulary)), domain
+
+    def test_generic_terms_disjoint_enough(self):
+        # generic terms may overlap domains rarely, but must not swamp them
+        for vocabulary in DOMAIN_VOCABULARIES.values():
+            overlap = set(vocabulary) & set(GENERIC_TERMS)
+            assert len(overlap) <= 2
+
+    def test_event_types_map_to_cameo(self):
+        from repro.eventdata.gdelt import CAMEO_CODES
+        for event_types in DOMAIN_EVENT_TYPES.values():
+            for event_type in event_types:
+                assert event_type in CAMEO_CODES
+
+
+_ids = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789:_-", min_size=1, max_size=12
+)
+
+
+@st.composite
+def random_corpora(draw):
+    corpus = Corpus("prop")
+    sources = draw(st.lists(_ids, min_size=1, max_size=3, unique=True))
+    for source_id in sources:
+        corpus.add_source(Source(source_id, f"Source {source_id}"))
+    n = draw(st.integers(0, 15))
+    used_ids = set()
+    for i in range(n):
+        snippet_id = f"{draw(st.sampled_from(sources))}#{i}"
+        if snippet_id in used_ids:
+            continue
+        used_ids.add(snippet_id)
+        corpus.add_snippet(
+            Snippet(
+                snippet_id=snippet_id,
+                source_id=snippet_id.split("#")[0],
+                timestamp=float(draw(st.integers(0, 10**9))),
+                description=draw(st.text(max_size=30)).replace("\n", " "),
+                entities=frozenset(draw(st.lists(_ids, max_size=3))),
+                keywords=tuple(draw(st.lists(_ids, max_size=3))),
+            ),
+            draw(st.one_of(st.none(), _ids)),
+        )
+    return corpus
+
+
+class TestCorpusSerializationProperties:
+    @given(random_corpora())
+    @settings(max_examples=40, deadline=None)
+    def test_jsonl_roundtrip_lossless(self, corpus):
+        restored = Corpus.from_jsonl(corpus.to_jsonl())
+        assert len(restored) == len(corpus)
+        assert restored.truth.labels == corpus.truth.labels
+        for snippet in corpus.snippets():
+            twin = restored.snippet(snippet.snippet_id)
+            assert twin == snippet
+
+    @given(random_corpora())
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_idempotent(self, corpus):
+        once = corpus.to_jsonl()
+        assert Corpus.from_jsonl(once).to_jsonl() == once

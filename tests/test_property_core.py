@@ -1,0 +1,136 @@
+"""Property-based tests for identification, indexes and the stemmer."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import StoryPivotConfig
+from repro.core.identification import make_identifier
+from repro.eventdata.models import DAY, Snippet
+from repro.storage.temporal_index import TemporalIndex
+from repro.text.stem import PorterStemmer
+
+_stemmer = PorterStemmer()
+_words = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=15)
+
+_DOMAIN_WORDS = ("crash", "plane", "vote", "election", "flood", "rescue",
+                 "sanctions", "markets", "outbreak", "vaccine")
+_ENTITY_CODES = ("UKR", "RUS", "FRA", "IND", "USA", "CHN")
+
+
+@st.composite
+def snippet_streams(draw):
+    """A list of well-formed snippets of one source over a 60-day window."""
+    n = draw(st.integers(1, 25))
+    snippets = []
+    for i in range(n):
+        day = draw(st.floats(0.0, 60.0))
+        keywords = draw(
+            st.lists(st.sampled_from(_DOMAIN_WORDS), min_size=1, max_size=4)
+        )
+        entities = draw(
+            st.sets(st.sampled_from(_ENTITY_CODES), min_size=1, max_size=3)
+        )
+        snippets.append(
+            Snippet(
+                snippet_id=f"v{i}",
+                source_id="s1",
+                timestamp=1_400_000_000.0 + day * DAY,
+                description=" ".join(keywords),
+                entities=frozenset(entities),
+                keywords=tuple(keywords),
+            )
+        )
+    return snippets
+
+
+class TestStemmerProperties:
+    @given(_words)
+    @settings(max_examples=200, deadline=None)
+    def test_never_crashes_never_grows(self, word):
+        stemmed = _stemmer.stem(word)
+        assert isinstance(stemmed, str)
+        assert len(stemmed) <= len(word)
+        assert stemmed  # never empties a word
+
+    @given(_words)
+    @settings(max_examples=100, deadline=None)
+    def test_deterministic(self, word):
+        assert _stemmer.stem(word) == _stemmer.stem(word)
+
+
+class TestTemporalIndexProperties:
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=50, unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_window_matches_bruteforce(self, timestamps):
+        index = TemporalIndex()
+        for i, t in enumerate(timestamps):
+            index.insert(f"v{i}", t)
+        lo = min(timestamps)
+        hi = (min(timestamps) + max(timestamps)) / 2
+        expected = sorted(
+            (t, f"v{i}") for i, t in enumerate(timestamps) if lo <= t <= hi
+        )
+        assert index.window(lo, hi) == [item for _, item in expected]
+
+    @given(st.lists(st.floats(0, 1e6), min_size=2, max_size=40, unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_insert_remove_roundtrip(self, timestamps):
+        index = TemporalIndex()
+        for i, t in enumerate(timestamps):
+            index.insert(f"v{i}", t)
+        for i in range(0, len(timestamps), 2):
+            index.remove(f"v{i}")
+        survivors = {f"v{i}" for i in range(1, len(timestamps), 2)}
+        assert set(index.window(-1, 1e7)) == survivors
+
+
+class TestIdentificationProperties:
+    @given(snippet_streams())
+    @settings(max_examples=40, deadline=None)
+    def test_stories_partition_snippets(self, snippets):
+        """Every snippet lands in exactly one story — a partition of V_i."""
+        identifier = make_identifier("s1", StoryPivotConfig.temporal())
+        identifier.identify(snippets)
+        clusters = identifier.stories.as_clusters()
+        seen = [sid for members in clusters.values() for sid in members]
+        assert sorted(seen) == sorted(s.snippet_id for s in snippets)
+        assert all(members for members in clusters.values())
+
+    @given(snippet_streams())
+    @settings(max_examples=30, deadline=None)
+    def test_all_modes_partition(self, snippets):
+        for config in (StoryPivotConfig.complete(),
+                       StoryPivotConfig.single_pass()):
+            identifier = make_identifier("s1", config)
+            identifier.identify(snippets)
+            clusters = identifier.stories.as_clusters()
+            seen = [sid for members in clusters.values() for sid in members]
+            assert sorted(seen) == sorted(s.snippet_id for s in snippets)
+
+    @given(snippet_streams())
+    @settings(max_examples=30, deadline=None)
+    def test_add_then_remove_all_empties(self, snippets):
+        identifier = make_identifier("s1", StoryPivotConfig.temporal())
+        identifier.identify(snippets)
+        for snippet in snippets:
+            identifier.remove(snippet.snippet_id)
+        assert len(identifier.stories) == 0
+        assert identifier.stories.num_snippets == 0
+
+    @given(snippet_streams())
+    @settings(max_examples=30, deadline=None)
+    def test_temporal_stories_never_bridge_beyond_chained_window(self, snippets):
+        """Within a temporal-mode story, consecutive snippets are <= ω apart
+        unless a merge/split interacted; with merges disabled the invariant
+        is strict."""
+        config = StoryPivotConfig.temporal(
+            enable_merge=False, enable_split=False
+        )
+        identifier = make_identifier("s1", config)
+        identifier.identify(sorted(snippets, key=lambda s: s.timestamp))
+        for story in identifier.stories:
+            members = story.snippets()
+            for a, b in zip(members, members[1:]):
+                assert b.timestamp - a.timestamp <= config.window + 1e-6

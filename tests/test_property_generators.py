@@ -1,0 +1,71 @@
+"""Property-based tests for the world and source generators."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eventdata.models import DAY, parse_timestamp
+from repro.eventdata.sourcegen import SourceSimulator, default_profiles
+from repro.eventdata.worldgen import WorldConfig, WorldGenerator
+
+
+@st.composite
+def world_configs(draw):
+    return WorldConfig(
+        seed=draw(st.integers(0, 10_000)),
+        num_stories=draw(st.integers(1, 15)),
+        mean_events_per_story=draw(st.floats(3.0, 20.0)),
+        drift_rate=draw(st.floats(0.0, 1.0)),
+        split_probability=draw(st.floats(0.0, 1.0)),
+        merge_probability=draw(st.floats(0.0, 1.0)),
+        duration_days=draw(st.floats(30.0, 365.0)),
+    )
+
+
+class TestWorldGeneratorProperties:
+    @given(world_configs())
+    @settings(max_examples=25, deadline=None)
+    def test_events_always_well_formed(self, config):
+        generator = WorldGenerator(config)
+        events = generator.events()
+        universe = generator.entity_universe
+        t0 = parse_timestamp(config.start_date)
+        t1 = t0 + config.duration_days * DAY
+        ids = set()
+        for event in events:
+            assert event.event_id not in ids
+            ids.add(event.event_id)
+            assert t0 <= event.timestamp <= t1 + 1e-6
+            assert event.entities and event.keywords
+            assert all(code in universe for code in event.entities)
+            assert event.story_label
+
+    @given(world_configs())
+    @settings(max_examples=15, deadline=None)
+    def test_determinism(self, config):
+        a = WorldGenerator(config).events()
+        b = WorldGenerator(config).events()
+        assert [(e.event_id, e.story_label, e.keywords) for e in a] == [
+            (e.event_id, e.story_label, e.keywords) for e in b
+        ]
+
+
+class TestSourceSimulatorProperties:
+    @given(world_configs(), st.integers(1, 5), st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_corpus_always_consistent(self, config, num_sources, sim_seed):
+        generator = WorldGenerator(config)
+        events = generator.events()
+        simulator = SourceSimulator(
+            default_profiles(num_sources), seed=sim_seed,
+            entity_universe=generator.entity_universe,
+        )
+        corpus = simulator.make_corpus(events, min_reports_per_event=1)
+        # every ground event leaves at least one snippet
+        assert len(corpus) >= len(events)
+        labels = {e.story_label for e in events}
+        for snippet in corpus.snippets():
+            assert snippet.snippet_id in corpus.truth
+            assert corpus.truth.label(snippet.snippet_id) in labels
+            assert snippet.published >= snippet.timestamp
+            assert snippet.source_id in corpus.sources
+            assert snippet.entities and snippet.keywords

@@ -1,0 +1,108 @@
+"""Property-based tests for the clustering metrics."""
+
+from collections import defaultdict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.metrics import (
+    adjusted_rand_index,
+    bcubed,
+    normalized_mutual_information,
+    pairwise_scores,
+    purity,
+)
+
+
+@st.composite
+def labelled_clusterings(draw):
+    """(predicted clusters, truth labels) over 2..30 items."""
+    n = draw(st.integers(2, 30))
+    items = [f"i{k}" for k in range(n)]
+    predicted_assignment = draw(
+        st.lists(st.integers(0, 5), min_size=n, max_size=n)
+    )
+    true_assignment = draw(
+        st.lists(st.integers(0, 5), min_size=n, max_size=n)
+    )
+    predicted = defaultdict(set)
+    for item, cluster in zip(items, predicted_assignment):
+        predicted[f"c{cluster}"].add(item)
+    truth = {item: f"w{label}" for item, label in zip(items, true_assignment)}
+    return dict(predicted), truth
+
+
+class TestMetricProperties:
+    @given(labelled_clusterings())
+    @settings(max_examples=80, deadline=None)
+    def test_all_metrics_bounded(self, data):
+        predicted, truth = data
+        pair = pairwise_scores(predicted, truth)
+        assert 0.0 <= pair.precision <= 1.0
+        assert 0.0 <= pair.recall <= 1.0
+        assert 0.0 <= pair.f1 <= 1.0
+        cubed = bcubed(predicted, truth)
+        assert 0.0 <= cubed.precision <= 1.0
+        assert 0.0 <= cubed.recall <= 1.0
+        assert 0.0 <= purity(predicted, truth) <= 1.0
+        assert 0.0 <= normalized_mutual_information(predicted, truth) <= 1.0
+        assert -1.0 <= adjusted_rand_index(predicted, truth) <= 1.0
+
+    @given(labelled_clusterings())
+    @settings(max_examples=80, deadline=None)
+    def test_perfect_prediction_scores_one(self, data):
+        _, truth = data
+        perfect = defaultdict(set)
+        for item, label in truth.items():
+            perfect[label].add(item)
+        perfect = dict(perfect)
+        assert pairwise_scores(perfect, truth).precision == 1.0
+        # recall is 1.0 too unless there are no same-cluster pairs at all
+        cubed = bcubed(perfect, truth)
+        assert cubed.precision == 1.0 and cubed.recall == 1.0
+        assert purity(perfect, truth) == 1.0
+        assert adjusted_rand_index(perfect, truth) == 1.0
+
+    @given(labelled_clusterings())
+    @settings(max_examples=80, deadline=None)
+    def test_bcubed_precision_recall_duality(self, data):
+        """Swapping prediction and truth swaps B-Cubed precision/recall."""
+        predicted, truth = data
+        forward = bcubed(predicted, truth)
+        inverted_predicted = defaultdict(set)
+        for item, label in truth.items():
+            inverted_predicted[label].add(item)
+        inverted_truth = {}
+        for cluster, items in predicted.items():
+            for item in items:
+                inverted_truth[item] = cluster
+        backward = bcubed(dict(inverted_predicted), inverted_truth)
+        assert abs(forward.precision - backward.recall) < 1e-9
+        assert abs(forward.recall - backward.precision) < 1e-9
+
+    @given(labelled_clusterings())
+    @settings(max_examples=50, deadline=None)
+    def test_nmi_symmetric(self, data):
+        predicted, truth = data
+        inverted_predicted = defaultdict(set)
+        for item, label in truth.items():
+            inverted_predicted[label].add(item)
+        inverted_truth = {}
+        for cluster, items in predicted.items():
+            for item in items:
+                inverted_truth[item] = cluster
+        forward = normalized_mutual_information(predicted, truth)
+        backward = normalized_mutual_information(
+            dict(inverted_predicted), inverted_truth
+        )
+        assert abs(forward - backward) < 1e-9
+
+    @given(labelled_clusterings())
+    @settings(max_examples=50, deadline=None)
+    def test_merging_all_clusters_never_hurts_recall(self, data):
+        predicted, truth = data
+        merged = {"all": {i for items in predicted.values() for i in items}}
+        assert (
+            pairwise_scores(merged, truth).recall
+            >= pairwise_scores(predicted, truth).recall - 1e-12
+        )

@@ -1,0 +1,109 @@
+"""Property-based and sketch-path tests for the full pipeline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import StoryPivotConfig
+from repro.core.pipeline import StoryPivot
+from repro.eventdata.models import DAY, Snippet
+from repro.eventdata.sourcegen import synthetic_corpus
+
+_DOMAIN_WORDS = ("crash", "plane", "vote", "election", "flood", "rescue",
+                 "sanctions", "markets", "outbreak", "vaccine")
+_ENTITY_CODES = ("UKR", "RUS", "FRA", "IND", "USA", "CHN")
+_SOURCES = ("a", "b", "c")
+
+
+@st.composite
+def multi_source_streams(draw):
+    n = draw(st.integers(1, 30))
+    snippets = []
+    for i in range(n):
+        source_id = draw(st.sampled_from(_SOURCES))
+        day = draw(st.floats(0.0, 90.0))
+        keywords = draw(
+            st.lists(st.sampled_from(_DOMAIN_WORDS), min_size=1, max_size=4)
+        )
+        entities = draw(
+            st.sets(st.sampled_from(_ENTITY_CODES), min_size=1, max_size=3)
+        )
+        snippets.append(
+            Snippet(
+                snippet_id=f"{source_id}:{i}",
+                source_id=source_id,
+                timestamp=1_400_000_000.0 + day * DAY,
+                description=" ".join(keywords),
+                entities=frozenset(entities),
+                keywords=tuple(keywords),
+            )
+        )
+    return snippets
+
+
+class TestPipelineInvariants:
+    @given(multi_source_streams())
+    @settings(max_examples=25, deadline=None)
+    def test_alignment_covers_every_story_and_snippet(self, snippets):
+        pivot = StoryPivot(StoryPivotConfig.temporal())
+        for snippet in sorted(snippets, key=lambda s: (s.timestamp, s.snippet_id)):
+            pivot.add_snippet(snippet)
+        result = pivot.finish()
+        alignment = result.alignment
+
+        # every story appears in exactly one integrated story
+        seen_story_ids = []
+        for aligned in alignment.aligned.values():
+            seen_story_ids.extend(s.story_id for s in aligned.stories)
+        assert len(seen_story_ids) == len(set(seen_story_ids))
+        live = {
+            story.story_id
+            for story_set in result.story_sets.values()
+            for story in story_set
+        }
+        assert set(seen_story_ids) == live
+
+        # every snippet appears exactly once globally, and has a role
+        global_ids = [
+            s.snippet_id for a in alignment.aligned.values()
+            for s in a.snippets()
+        ]
+        assert sorted(global_ids) == sorted(s.snippet_id for s in snippets)
+        for snippet_id in global_ids:
+            assert alignment.role(snippet_id) in ("aligning", "enriching")
+
+    @given(multi_source_streams())
+    @settings(max_examples=15, deadline=None)
+    def test_refinement_preserves_the_partition(self, snippets):
+        pivot = StoryPivot(StoryPivotConfig.temporal(refinement_margin=0.0))
+        for snippet in sorted(snippets, key=lambda s: (s.timestamp, s.snippet_id)):
+            pivot.add_snippet(snippet)
+        result = pivot.finish()
+        for source_id, story_set in result.story_sets.items():
+            expected = sorted(
+                s.snippet_id for s in snippets if s.source_id == source_id
+            )
+            actual = sorted(
+                sid for members in story_set.as_clusters().values()
+                for sid in members
+            )
+            assert actual == expected
+
+
+class TestSketchedAlignment:
+    def test_sketch_prefilter_prunes_pairs_without_breaking_quality(self):
+        corpus = synthetic_corpus(total_events=150, num_sources=4, seed=21)
+        exact_cfg = StoryPivotConfig.temporal()
+        sketch_cfg = StoryPivotConfig.temporal(use_sketches=True)
+
+        exact = StoryPivot(exact_cfg).run(corpus)
+        sketched = StoryPivot(sketch_cfg).run(corpus)
+
+        assert sketched.alignment.stats.story_pairs_scored <= (
+            exact.alignment.stats.story_pairs_scored * 1.2
+        )
+        from repro.evaluation.metrics import pairwise_scores
+        truth = corpus.truth.labels
+        exact_f1 = pairwise_scores(exact.global_clusters(), truth).f1
+        sketched_f1 = pairwise_scores(sketched.global_clusters(), truth).f1
+        assert sketched_f1 > 0.6 * exact_f1

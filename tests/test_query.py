@@ -1,0 +1,170 @@
+"""Tests for the story query language (parser + engine)."""
+
+import pytest
+
+from repro.core.pipeline import StoryPivot
+from repro.eventdata.handcrafted import demo_config, mh17_corpus
+from repro.eventdata.models import parse_timestamp
+from repro.query.engine import QueryEngine
+from repro.query.parser import QuerySyntaxError, StoryQuery, parse_query
+
+
+class TestParser:
+    def test_fields(self):
+        query = parse_query(
+            "entity:UKR keyword:crash source:s1 "
+            "after:2014-07-01 before:2014-09-30 role:aligning"
+        )
+        assert query.entities == ("UKR",)
+        assert query.keywords == ("crash",)
+        assert query.sources == ("s1",)
+        assert query.after == parse_timestamp("2014-07-01")
+        assert query.before == parse_timestamp("2014-09-30")
+        assert query.role == "aligning"
+
+    def test_repeatable_fields(self):
+        query = parse_query("entity:UKR entity:RUS keyword:crash keyword:plane")
+        assert query.entities == ("UKR", "RUS")
+        assert query.keywords == ("crash", "plane")
+
+    def test_bare_word_is_keyword(self):
+        query = parse_query("crash investigation")
+        assert query.keywords == ("crash", "investigation")
+        assert query.entities == ()
+
+    def test_bare_code_resolves_with_known_entities(self):
+        query = parse_query("UKR crash", known_entities={"UKR"})
+        assert query.entities == ("UKR",)
+        assert query.keywords == ("crash",)
+
+    def test_bare_caps_heuristic_without_known_entities(self):
+        query = parse_query("UKR crash")
+        assert query.entities == ("UKR",)
+
+    def test_keywords_lowercased(self):
+        assert parse_query("keyword:CRASH").keywords == ("crash",)
+
+    def test_unknown_field(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("magic:value")
+
+    def test_empty_value(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("entity:")
+
+    def test_bad_date(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("after:tomorrow")
+
+    def test_inverted_range(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("after:2014-09-01 before:2014-07-01")
+
+    def test_bad_role(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("role:central")
+
+    def test_empty_query_object(self):
+        assert parse_query("").is_empty
+        assert not parse_query("crash").is_empty
+
+
+@pytest.fixture(scope="module")
+def engine():
+    corpus = mh17_corpus()
+    result = StoryPivot(demo_config()).run(corpus)
+    return QueryEngine(result.alignment, corpus)
+
+
+class TestSearch:
+    def test_entity_query_finds_crash_story(self, engine):
+        hits = engine.search("entity:UKR")
+        members = {s.snippet_id for s in hits[0].story.snippets()}
+        assert "s1:v1" in members
+        assert hits[0].relevance > 0
+        assert any("entity UKR" in m for m in hits[0].matched)
+
+    def test_conjunctive_entities(self, engine):
+        hits = engine.search("entity:ISR entity:PAL")
+        assert len(hits) == 1
+        members = {s.snippet_id for s in hits[0].story.snippets()}
+        assert members == {"s1:v4", "sn:v3"}
+
+    def test_keyword_stemming(self, engine):
+        hits = engine.search("keyword:investigations")
+        assert hits  # matches "investigation"
+
+    def test_unsatisfiable_conjunction(self, engine):
+        assert engine.search("entity:UKR entity:GOOG") == []
+
+    def test_source_filter(self, engine):
+        hits = engine.search("entity:GOOG source:sn")
+        assert len(hits) == 1
+        assert engine.search("entity:GOOG source:s1") == []
+
+    def test_time_filter_excludes_ended_stories(self, engine):
+        hits = engine.search("entity:ISR after:2014-09-01")
+        assert hits == []  # Gaza story ended in July
+        hits = engine.search("entity:UKR after:2014-09-01")
+        assert hits  # crash story extends to Sep 12
+
+    def test_filter_only_query_ranks_by_size(self, engine):
+        hits = engine.search("source:s1 source:sn", limit=10)
+        sizes = [len(h.story) for h in hits]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_ranking_order(self, engine):
+        hits = engine.search("keyword:investigation", limit=10)
+        relevances = [h.relevance for h in hits]
+        assert relevances == sorted(relevances, reverse=True)
+
+    def test_limit(self, engine):
+        assert len(engine.search("source:s1", limit=1)) == 1
+
+    def test_empty_query_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.search("")
+        with pytest.raises(ValueError):
+            engine.search(StoryQuery())
+
+    def test_invalid_limit(self, engine):
+        with pytest.raises(ValueError):
+            engine.search("entity:UKR", limit=0)
+
+
+class TestSearchSnippets:
+    def test_entity_and_time(self, engine):
+        snippets = engine.search_snippets(
+            "entity:UKR after:2014-09-01"
+        )
+        ids = {s.snippet_id for s in snippets}
+        assert ids == {"s1:v5", "sn:v5"}
+
+    def test_role_filter(self, engine):
+        enriching = engine.search_snippets("source:s1 role:enriching")
+        assert {s.snippet_id for s in enriching} == {"s1:v6"}
+
+    def test_keyword_conjunction(self, engine):
+        snippets = engine.search_snippets("keyword:crash keyword:plane")
+        assert snippets
+        for snippet in snippets:
+            from repro.storage.event_store import match_terms
+            assert {"crash", "plane"} <= set(match_terms(snippet))
+
+    def test_most_recent_first(self, engine):
+        snippets = engine.search_snippets("entity:UKR")
+        times = [s.timestamp for s in snippets]
+        assert times == sorted(times, reverse=True)
+
+
+class TestExplain:
+    def test_explain_block(self, engine):
+        text = engine.explain("entity:UKR keyword:crash")
+        assert "relevance" in text
+        assert "entity UKR" in text
+        assert "keyword crash" in text
+
+    def test_explain_no_match(self, engine):
+        assert engine.explain("entity:ZZZ keyword:nothing") == (
+            "(no stories match)"
+        )

@@ -1,0 +1,104 @@
+"""Tests for the Bloom filter and Count-Min sketch."""
+
+import random
+
+import pytest
+
+from repro.sketch.bloom import BloomFilter
+from repro.sketch.cms import CountMinSketch
+
+
+class TestBloom:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(capacity=1000, error_rate=0.01)
+        items = [f"item{i}" for i in range(500)]
+        for item in items:
+            bloom.add(item)
+        assert all(item in bloom for item in items)
+
+    def test_false_positive_rate_bounded(self):
+        bloom = BloomFilter(capacity=2000, error_rate=0.01)
+        for i in range(2000):
+            bloom.add(f"member{i}")
+        false_positives = sum(
+            1 for i in range(5000) if f"nonmember{i}" in bloom
+        )
+        assert false_positives / 5000 < 0.05  # generous bound over nominal 1%
+
+    def test_len_counts_adds(self):
+        bloom = BloomFilter()
+        bloom.add("a")
+        bloom.add("a")
+        assert len(bloom) == 2
+
+    def test_estimated_error_rate_grows(self):
+        bloom = BloomFilter(capacity=100)
+        empty_rate = bloom.estimated_error_rate()
+        for i in range(100):
+            bloom.add(i)
+        assert bloom.estimated_error_rate() > empty_rate
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BloomFilter(capacity=0)
+        with pytest.raises(ValueError):
+            BloomFilter(error_rate=1.5)
+
+    def test_absent_on_empty(self):
+        assert "x" not in BloomFilter()
+
+
+class TestCountMin:
+    def test_never_undercounts(self):
+        sketch = CountMinSketch(epsilon=0.01, delta=0.01)
+        rng = random.Random(5)
+        truth = {}
+        for _ in range(3000):
+            item = f"k{rng.randrange(200)}"
+            truth[item] = truth.get(item, 0) + 1
+            sketch.add(item)
+        for item, count in truth.items():
+            assert sketch.estimate(item) >= count
+
+    def test_overcount_within_bound(self):
+        sketch = CountMinSketch(epsilon=0.005, delta=0.01)
+        truth = {}
+        rng = random.Random(7)
+        for _ in range(5000):
+            item = f"k{rng.randrange(300)}"
+            truth[item] = truth.get(item, 0) + 1
+            sketch.add(item)
+        bound = sketch.error_bound()
+        violations = sum(
+            1 for item, count in truth.items()
+            if sketch.estimate(item) - count > bound
+        )
+        # the bound holds per query with probability 1-δ
+        assert violations <= max(3, 0.05 * len(truth))
+
+    def test_weighted_add(self):
+        sketch = CountMinSketch()
+        sketch.add("a", 5)
+        assert sketch.estimate("a") >= 5
+        assert sketch.total == 5
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            CountMinSketch().add("a", -1)
+
+    def test_update_iterable(self):
+        sketch = CountMinSketch()
+        sketch.update(["a", "a", "b"])
+        assert sketch.estimate("a") >= 2
+        assert sketch.total == 3
+
+    def test_unseen_item_estimate_bounded_by_noise(self):
+        sketch = CountMinSketch(epsilon=0.001, delta=0.001)
+        sketch.update(str(i) for i in range(100))
+        assert sketch.estimate("unseen") <= sketch.error_bound() + 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(epsilon=0)
+        with pytest.raises(ValueError):
+            CountMinSketch(delta=1.0)

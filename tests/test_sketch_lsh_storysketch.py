@@ -1,0 +1,165 @@
+"""Tests for the LSH index and StorySketch."""
+
+import pytest
+
+from repro.eventdata.models import DAY
+from repro.sketch.lsh import LshIndex
+from repro.sketch.minhash import MinHash
+from repro.sketch.story_sketch import StorySketch
+
+
+@pytest.fixture
+def minhash():
+    return MinHash(num_perm=64, seed=2)
+
+
+class TestLsh:
+    def test_insert_and_query_similar(self, minhash):
+        index = LshIndex(num_perm=64, bands=16)
+        base = {f"x{i}" for i in range(30)}
+        index.insert("story", minhash.signature(base))
+        near = set(list(base)[:27]) | {"y1", "y2", "y3"}
+        hits = index.candidates(minhash.signature(near))
+        assert "story" in hits
+
+    def test_dissimilar_rarely_collides(self, minhash):
+        index = LshIndex(num_perm=64, bands=8)  # 8 rows per band: strict
+        index.insert("story", minhash.signature({f"x{i}" for i in range(30)}))
+        hits = index.candidates(minhash.signature({f"z{i}" for i in range(30)}))
+        assert "story" not in hits
+
+    def test_update_replaces_signature(self, minhash):
+        index = LshIndex(num_perm=64, bands=16)
+        index.insert("k", minhash.signature({"a"}))
+        index.insert("k", minhash.signature({"b"}))
+        assert len(index) == 1
+        assert index.signature_of("k") == minhash.signature({"b"})
+
+    def test_remove(self, minhash):
+        index = LshIndex(num_perm=64, bands=16)
+        signature = minhash.signature({"a", "b"})
+        index.insert("k", signature)
+        index.remove("k")
+        assert "k" not in index
+        assert index.candidates(signature) == set()
+
+    def test_remove_absent_raises(self):
+        with pytest.raises(KeyError):
+            LshIndex(64, 16).remove("nope")
+
+    def test_query_ranks_by_similarity(self, minhash):
+        index = LshIndex(num_perm=64, bands=32)
+        base = {f"x{i}" for i in range(20)}
+        index.insert("close", minhash.signature(set(list(base)[:18]) | {"q"}))
+        index.insert("far", minhash.signature(set(list(base)[:5]) | {f"w{i}" for i in range(15)}))
+        results = index.query(minhash.signature(base))
+        names = [name for name, _ in results]
+        assert names[0] == "close"
+        scores = [score for _, score in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_query_min_similarity_filters(self, minhash):
+        index = LshIndex(num_perm=64, bands=32)
+        index.insert("weak", minhash.signature({"a", "b", "c"}))
+        results = index.query(minhash.signature({"a", "z1", "z2", "z3"}), 0.9)
+        assert results == []
+
+    def test_bad_band_configuration(self):
+        with pytest.raises(ValueError):
+            LshIndex(num_perm=64, bands=7)
+        with pytest.raises(ValueError):
+            LshIndex(num_perm=64, bands=0)
+
+    def test_wrong_signature_length(self, minhash):
+        index = LshIndex(num_perm=32, bands=8)
+        with pytest.raises(ValueError):
+            index.insert("k", minhash.signature({"a"}))  # 64-wide
+
+
+class TestStorySketch:
+    def make(self, with_minhash=False):
+        mh = MinHash(num_perm=32, seed=1) if with_minhash else None
+        return StorySketch(minhash=mh, decay_half_life=14 * DAY), mh
+
+    def test_add_updates_counts_and_span(self):
+        sketch, _ = self.make()
+        sketch.add("v1", 0.0, ["UKR"], ["crash", "plane"])
+        sketch.add("v2", DAY, ["UKR", "UN"], ["crash"])
+        assert len(sketch) == 2
+        assert sketch.entity_counts == {"UKR": 2, "UN": 1}
+        assert sketch.term_counts == {"crash": 2, "plane": 1}
+        assert (sketch.start, sketch.end) == (0.0, DAY)
+
+    def test_duplicate_add_rejected(self):
+        sketch, _ = self.make()
+        sketch.add("v1", 0.0, [], [])
+        with pytest.raises(ValueError):
+            sketch.add("v1", 1.0, [], [])
+
+    def test_remove_is_exact_inverse(self):
+        sketch, _ = self.make()
+        sketch.add("v1", 0.0, ["A"], ["x"])
+        sketch.add("v2", DAY, ["A", "B"], ["x", "y"])
+        sketch.remove("v2")
+        assert sketch.entity_counts == {"A": 1}
+        assert sketch.term_counts == {"x": 1}
+        assert len(sketch) == 1
+
+    def test_remove_absent_raises(self):
+        sketch, _ = self.make()
+        with pytest.raises(KeyError):
+            sketch.remove("nope")
+
+    def test_empty_sketch_has_no_span(self):
+        sketch, _ = self.make()
+        with pytest.raises(ValueError):
+            _ = sketch.start
+
+    def test_snippet_ids_ordered_by_time(self):
+        sketch, _ = self.make()
+        sketch.add("late", 5 * DAY, [], [])
+        sketch.add("early", DAY, [], [])
+        assert sketch.snippet_ids == ["early", "late"]
+
+    def test_decayed_profile_discounts_old_snippets(self):
+        sketch, _ = self.make()
+        sketch.add("old", 0.0, ["OLD"], ["oldterm"])
+        sketch.add("new", 56 * DAY, ["NEW"], ["newterm"])
+        profile = sketch.term_profile(at_time=56 * DAY)
+        assert profile["newterm"] == pytest.approx(1.0)
+        assert profile["oldterm"] == pytest.approx(0.5 ** 4)  # 4 half-lives
+
+    def test_undecayed_profile_equals_counts(self):
+        sketch, _ = self.make()
+        sketch.add("a", 0.0, ["X"], ["t"])
+        sketch.add("b", DAY, ["X"], ["t"])
+        assert sketch.entity_profile() == {"X": 2}
+
+    def test_signature_merges_incrementally(self):
+        sketch, mh = self.make(with_minhash=True)
+        sketch.add("v1", 0.0, [], [], shingles={("a",), ("b",)})
+        sketch.add("v2", DAY, [], [], shingles={("b",), ("c",)})
+        expected = mh.signature({("a",), ("b",), ("c",)})
+        assert sketch.signature == expected
+
+    def test_signature_rebuilt_after_removal(self):
+        sketch, mh = self.make(with_minhash=True)
+        sketch.add("v1", 0.0, [], [], shingles={("a",)})
+        sketch.add("v2", DAY, [], [], shingles={("b",)})
+        sketch.remove("v2")
+        assert sketch.signature == mh.signature({("a",)})
+
+    def test_signature_none_without_minhash(self):
+        sketch, _ = self.make()
+        sketch.add("v1", 0.0, [], ["t"])
+        assert sketch.signature is None
+
+    def test_top_entities_ranked(self):
+        sketch, _ = self.make()
+        sketch.add("a", 0.0, ["X", "Y"], [])
+        sketch.add("b", 0.0, ["X"], [])
+        assert sketch.top_entities(1) == [("X", 2)]
+
+    def test_invalid_half_life(self):
+        with pytest.raises(ValueError):
+            StorySketch(decay_half_life=0.0)

@@ -1,0 +1,124 @@
+"""Tests for similarity measures."""
+
+import math
+
+import pytest
+
+from repro.text.similarity import (
+    combine_weighted,
+    cosine_similarity,
+    dice_similarity,
+    jaccard_similarity,
+    overlap_coefficient,
+    temporal_proximity,
+    weighted_jaccard,
+)
+
+
+class TestCosine:
+    def test_identical_direction(self):
+        assert cosine_similarity({1: 1.0}, {1: 5.0}) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine_similarity({1: 1.0}, {2: 1.0}) == 0.0
+
+    def test_empty_inputs(self):
+        assert cosine_similarity({}, {1: 1.0}) == 0.0
+        assert cosine_similarity({}, {}) == 0.0
+
+    def test_symmetric(self):
+        a, b = {1: 1.0, 2: 2.0}, {2: 1.0, 3: 4.0}
+        assert cosine_similarity(a, b) == pytest.approx(cosine_similarity(b, a))
+
+    def test_known_value(self):
+        # vectors (1,1) and (1,0): cos = 1/sqrt(2)
+        assert cosine_similarity({1: 1.0, 2: 1.0}, {1: 1.0}) == pytest.approx(
+            1 / math.sqrt(2)
+        )
+
+    def test_capped_at_one(self):
+        value = cosine_similarity({1: 0.1, 2: 0.1}, {1: 0.1, 2: 0.1})
+        assert value <= 1.0
+
+
+class TestJaccard:
+    def test_known_value(self):
+        assert jaccard_similarity({1, 2}, {2, 3}) == pytest.approx(1 / 3)
+
+    def test_identical(self):
+        assert jaccard_similarity({1, 2}, {1, 2}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard_similarity({1}, {2}) == 0.0
+
+    def test_empty(self):
+        assert jaccard_similarity(set(), {1}) == 0.0
+        assert jaccard_similarity(set(), set()) == 0.0
+
+
+class TestWeightedJaccard:
+    def test_equals_set_jaccard_on_binary_weights(self):
+        a = {1: 1.0, 2: 1.0}
+        b = {2: 1.0, 3: 1.0}
+        assert weighted_jaccard(a, b) == pytest.approx(
+            jaccard_similarity({1, 2}, {2, 3})
+        )
+
+    def test_scaling_one_side_changes_score(self):
+        a = {1: 1.0}
+        b = {1: 2.0}
+        assert weighted_jaccard(a, b) == pytest.approx(0.5)
+
+    def test_identical(self):
+        a = {1: 2.0, 2: 3.0}
+        assert weighted_jaccard(a, dict(a)) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert weighted_jaccard({}, {1: 1.0}) == 0.0
+
+
+class TestDiceOverlap:
+    def test_dice_known(self):
+        assert dice_similarity({1, 2}, {2, 3}) == pytest.approx(0.5)
+
+    def test_overlap_forgives_size_difference(self):
+        small = {1, 2}
+        large = set(range(20))
+        assert overlap_coefficient(small, large) == 1.0
+        assert jaccard_similarity(small, large) < 0.2
+
+    def test_overlap_empty(self):
+        assert overlap_coefficient(set(), {1}) == 0.0
+
+
+class TestTemporalProximity:
+    def test_same_time(self):
+        assert temporal_proximity(5.0, 5.0, 10.0) == 1.0
+
+    def test_one_scale_apart(self):
+        assert temporal_proximity(0.0, 10.0, 10.0) == pytest.approx(1 / math.e)
+
+    def test_symmetric(self):
+        assert temporal_proximity(0, 7, 3) == temporal_proximity(7, 0, 3)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            temporal_proximity(0, 1, 0)
+
+
+class TestCombineWeighted:
+    def test_convex_combination(self):
+        score = combine_weighted({"a": 1.0, "b": 0.0}, {"a": 1.0, "b": 1.0})
+        assert score == pytest.approx(0.5)
+
+    def test_missing_component_counts_zero(self):
+        assert combine_weighted({"a": 1.0}, {"a": 1.0, "b": 3.0}) == pytest.approx(0.25)
+
+    def test_weights_are_normalized(self):
+        s1 = combine_weighted({"a": 0.8}, {"a": 1.0})
+        s2 = combine_weighted({"a": 0.8}, {"a": 100.0})
+        assert s1 == pytest.approx(s2)
+
+    def test_zero_weights_invalid(self):
+        with pytest.raises(ValueError):
+            combine_weighted({"a": 1.0}, {"a": 0.0})

@@ -1,0 +1,108 @@
+"""Tests for the Porter stemmer against Porter's published examples."""
+
+import pytest
+
+from repro.text.stem import PorterStemmer, stem
+
+
+@pytest.fixture(scope="module")
+def stemmer():
+    return PorterStemmer()
+
+
+class TestPorterPaperExamples:
+    """Inputs/outputs taken from the 1980 paper's rule listings."""
+
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("digitizer", "digit"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("formaliti", "formal"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ],
+    )
+    def test_example(self, stemmer, word, expected):
+        assert stemmer.stem(word) == expected
+
+
+class TestStemmerBehaviour:
+    def test_short_words_unchanged(self, stemmer):
+        assert stemmer.stem("at") == "at"
+        assert stemmer.stem("by") == "by"
+
+    def test_lowercases_input(self, stemmer):
+        assert stemmer.stem("CRASHES") == stemmer.stem("crashes")
+
+    def test_idempotent_on_news_vocabulary(self, stemmer):
+        # Porter is not idempotent in general ("explosions" → "explos" →
+        # "explo"); these news words do reach a fixed point in one step.
+        for word in ("investigation", "crashes", "reporting",
+                     "elections", "negotiations", "markets"):
+            once = stemmer.stem(word)
+            assert stemmer.stem(once) == once
+
+    def test_same_stem_for_inflections(self, stemmer):
+        assert stemmer.stem("investigation") == stemmer.stem("investigations")
+        assert stemmer.stem("crash") == stemmer.stem("crashes")
+
+    def test_module_level_wrapper(self):
+        assert stem("running") == "run"

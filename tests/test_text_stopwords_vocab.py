@@ -1,0 +1,85 @@
+"""Tests for stopwords and the Vocabulary."""
+
+import pytest
+
+from repro.text.stopwords import STOPWORDS, is_stopword, remove_stopwords
+from repro.text.vocab import Vocabulary
+
+
+class TestStopwords:
+    def test_common_function_words_present(self):
+        for word in ("the", "and", "of", "was", "is", "a"):
+            assert word in STOPWORDS
+
+    def test_content_words_absent(self):
+        for word in ("crash", "ukraine", "sanctions", "investigation"):
+            assert word not in STOPWORDS
+
+    def test_is_stopword_case_insensitive(self):
+        assert is_stopword("The")
+        assert is_stopword("AND")
+        assert not is_stopword("Plane")
+
+    def test_remove_stopwords_preserves_order(self):
+        assert remove_stopwords(["the", "plane", "was", "shot", "down"]) == [
+            "plane", "shot",
+        ]
+
+    def test_remove_stopwords_empty(self):
+        assert remove_stopwords([]) == []
+
+    def test_stopword_list_is_frozen(self):
+        with pytest.raises(AttributeError):
+            STOPWORDS.add("newword")
+
+
+class TestVocabulary:
+    def test_add_assigns_dense_ids(self):
+        vocab = Vocabulary()
+        assert vocab.add("a") == 0
+        assert vocab.add("b") == 1
+        assert vocab.add("a") == 0  # idempotent
+        assert len(vocab) == 2
+
+    def test_constructor_seed_terms(self):
+        vocab = Vocabulary(["x", "y", "x"])
+        assert len(vocab) == 2
+        assert vocab.get("x") == 0
+
+    def test_term_roundtrip(self):
+        vocab = Vocabulary(["alpha", "beta"])
+        assert vocab.term(vocab.add("beta")) == "beta"
+
+    def test_contains_and_iter(self):
+        vocab = Vocabulary(["a", "b"])
+        assert "a" in vocab
+        assert "z" not in vocab
+        assert list(vocab) == ["a", "b"]
+
+    def test_get_unknown_returns_none(self):
+        assert Vocabulary().get("nope") is None
+
+    def test_encode_decode(self):
+        vocab = Vocabulary()
+        ids = vocab.encode(["a", "b", "a"])
+        assert ids == [0, 1, 0]
+        assert vocab.decode(ids) == ["a", "b", "a"]
+
+    def test_freeze_blocks_growth(self):
+        vocab = Vocabulary(["a"])
+        vocab.freeze()
+        assert vocab.frozen
+        with pytest.raises(KeyError):
+            vocab.add("b")
+        assert vocab.add("a") == 0  # existing terms still resolve
+
+    def test_frozen_encode_skip_unknown(self):
+        vocab = Vocabulary(["a"])
+        vocab.freeze()
+        assert vocab.encode(["a", "b"], skip_unknown=True) == [0]
+        with pytest.raises(KeyError):
+            vocab.encode(["a", "b"])
+
+    def test_term_out_of_range(self):
+        with pytest.raises(IndexError):
+            Vocabulary().term(0)

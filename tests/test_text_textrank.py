@@ -1,0 +1,125 @@
+"""Tests for TextRank keyword extraction."""
+
+import pytest
+
+from repro.text.textrank import (
+    TextRankAnnotator,
+    cooccurrence_graph,
+    pagerank,
+    textrank_keywords,
+)
+
+
+class TestCooccurrenceGraph:
+    def test_window_links_nearby_words(self):
+        graph = cooccurrence_graph(["a", "b", "c"], window=2)
+        assert "b" in graph["a"]
+        assert "c" not in graph["a"]  # distance 2, window 2 links only +1
+
+    def test_wider_window(self):
+        graph = cooccurrence_graph(["a", "b", "c"], window=3)
+        assert "c" in graph["a"]
+
+    def test_weights_accumulate(self):
+        graph = cooccurrence_graph(["a", "b", "a", "b"], window=2)
+        assert graph["a"]["b"] == 3.0  # ab, ba, ab
+
+    def test_self_loops_excluded(self):
+        graph = cooccurrence_graph(["a", "a", "a"], window=2)
+        assert graph == {}
+
+    def test_symmetric(self):
+        graph = cooccurrence_graph(["x", "y"], window=2)
+        assert graph["x"]["y"] == graph["y"]["x"]
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            cooccurrence_graph(["a"], window=1)
+
+
+class TestPagerank:
+    def test_empty_graph(self):
+        assert pagerank({}) == {}
+
+    def test_scores_sum_to_one(self):
+        graph = cooccurrence_graph(["a", "b", "c", "a", "c"], window=3)
+        scores = pagerank(graph)
+        assert sum(scores.values()) == pytest.approx(1.0, abs=0.01)
+
+    def test_hub_scores_highest(self):
+        # star graph: hub connected to all leaves
+        graph = {
+            "hub": {"l1": 1.0, "l2": 1.0, "l3": 1.0},
+            "l1": {"hub": 1.0},
+            "l2": {"hub": 1.0},
+            "l3": {"hub": 1.0},
+        }
+        scores = pagerank(graph)
+        assert scores["hub"] > max(scores["l1"], scores["l2"], scores["l3"])
+
+    def test_symmetric_graph_uniform(self):
+        graph = {
+            "a": {"b": 1.0},
+            "b": {"a": 1.0},
+        }
+        scores = pagerank(graph)
+        assert scores["a"] == pytest.approx(scores["b"])
+
+    def test_invalid_damping(self):
+        with pytest.raises(ValueError):
+            pagerank({"a": {}}, damping=1.0)
+
+
+class TestTextrankKeywords:
+    TEXT = ("the crash investigation continued as crash investigators "
+            "searched the crash site for missile fragments while officials "
+            "demanded access to the crash site")
+
+    def test_dominant_word_ranks_first(self):
+        keywords = [w for w, _ in textrank_keywords(self.TEXT)]
+        assert keywords[0] == "crash"
+
+    def test_max_keywords_respected(self):
+        assert len(textrank_keywords(self.TEXT, max_keywords=3)) == 3
+
+    def test_stopwords_never_appear(self):
+        keywords = [w for w, _ in textrank_keywords(self.TEXT)]
+        assert "the" not in keywords and "for" not in keywords
+
+    def test_stemming_collapses_inflections(self):
+        keywords = [w for w, _ in textrank_keywords(
+            "investigations investigation investigated", stem=True)]
+        assert keywords == ["investig"]
+
+    def test_no_stemming_option(self):
+        keywords = [w for w, _ in textrank_keywords(
+            "crash crash crash sites sites", stem=False)]
+        assert "sites" in keywords
+
+    def test_empty_text(self):
+        assert textrank_keywords("") == []
+        assert textrank_keywords("the of and") == []
+
+    def test_invalid_max(self):
+        with pytest.raises(ValueError):
+            textrank_keywords("words", max_keywords=0)
+
+    def test_deterministic(self):
+        assert textrank_keywords(self.TEXT) == textrank_keywords(self.TEXT)
+
+
+class TestAnnotatorBackend:
+    def test_keywords_tuple(self):
+        annotator = TextRankAnnotator(max_keywords=4)
+        keywords = annotator.keywords(TestTextrankKeywords.TEXT)
+        assert isinstance(keywords, tuple)
+        assert 0 < len(keywords) <= 4
+        assert "crash" in keywords
+
+    def test_stateless(self):
+        annotator = TextRankAnnotator()
+        first = annotator.keywords("sanctions hit energy markets")
+        for _ in range(5):
+            annotator.keywords("completely different text about sports")
+        again = annotator.keywords("sanctions hit energy markets")
+        assert first == again

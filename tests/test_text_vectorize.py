@@ -1,0 +1,109 @@
+"""Tests for bag-of-words and incremental TF-IDF."""
+
+import math
+
+import pytest
+
+from repro.text.vectorize import BagOfWords, TfIdfVectorizer, merge_counts
+from repro.text.vocab import Vocabulary
+
+
+class TestBagOfWords:
+    def test_terms_are_stemmed_and_stopword_free(self):
+        bag = BagOfWords()
+        terms = bag.terms("The investigations of the crashes")
+        assert terms == ["investig", "crash"]
+
+    def test_counts(self):
+        bag = BagOfWords()
+        counts = bag.counts("crash crash plane")
+        by_term = {bag.vocabulary.term(tid): c for tid, c in counts.items()}
+        assert by_term == {"crash": 2, "plane": 1}
+
+    def test_no_stemming_option(self):
+        bag = BagOfWords(use_stemming=False)
+        assert bag.terms("investigations") == ["investigations"]
+
+    def test_keep_stopwords_option(self):
+        bag = BagOfWords(remove_stops=False, use_stemming=False)
+        assert "the" in bag.terms("the plane")
+
+    def test_shared_vocabulary(self):
+        vocab = Vocabulary()
+        bag1 = BagOfWords(vocabulary=vocab)
+        bag2 = BagOfWords(vocabulary=vocab)
+        bag1.counts("plane")
+        bag2.counts("plane crash")
+        assert len(vocab) == 2
+
+    def test_frozen_vocabulary_drops_unknown(self):
+        vocab = Vocabulary()
+        bag = BagOfWords(vocabulary=vocab)
+        bag.counts("plane")
+        vocab.freeze()
+        counts = bag.counts("plane crash")  # "crash" unknown, dropped
+        assert len(counts) == 1
+
+
+class TestTfIdf:
+    def test_observe_increments_document_count(self):
+        vectorizer = TfIdfVectorizer()
+        assert vectorizer.num_documents == 0
+        vectorizer.observe("plane crash")
+        assert vectorizer.num_documents == 1
+
+    def test_idf_decreases_with_document_frequency(self):
+        vectorizer = TfIdfVectorizer()
+        vectorizer.observe("plane crash")
+        vectorizer.observe("plane sanctions")
+        plane_id = vectorizer.bag.vocabulary.get("plane")
+        crash_id = vectorizer.bag.vocabulary.get("crash")
+        assert vectorizer.idf(plane_id) < vectorizer.idf(crash_id)
+
+    def test_unseen_term_gets_max_idf(self):
+        vectorizer = TfIdfVectorizer()
+        vectorizer.observe("plane")
+        max_idf = math.log((1 + 1) / 1) + 1
+        assert vectorizer.idf(999) == pytest.approx(max_idf)
+
+    def test_vector_is_unit_normalized(self):
+        vectorizer = TfIdfVectorizer()
+        vectorizer.observe("plane crash ukraine")
+        vector = vectorizer.vector("plane crash ukraine")
+        norm = math.sqrt(sum(w * w for w in vector.values()))
+        assert norm == pytest.approx(1.0)
+
+    def test_unnormalized_vector(self):
+        vectorizer = TfIdfVectorizer()
+        vectorizer.observe("plane")
+        vector = vectorizer.vector("plane plane", normalize=False)
+        (weight,) = vector.values()
+        assert weight > 1.0  # sublinear tf times idf > 1
+
+    def test_empty_text_gives_empty_vector(self):
+        vectorizer = TfIdfVectorizer()
+        vectorizer.observe("plane")
+        assert vectorizer.vector("") == {}
+
+    def test_fit_transform_matches_observe_then_vector(self):
+        texts = ["plane crash", "plane sanctions", "markets rally"]
+        v1 = TfIdfVectorizer()
+        batch = v1.fit_transform(texts)
+        v2 = TfIdfVectorizer()
+        for text in texts:
+            v2.observe(text)
+        individual = [v2.vector(text) for text in texts]
+        # same vocabulary construction order → same ids; compare values
+        for a, b in zip(batch, individual):
+            assert set(a) == set(b)
+            for term_id in a:
+                assert a[term_id] == pytest.approx(b[term_id])
+
+
+class TestMergeCounts:
+    def test_merge(self):
+        merged = merge_counts([{1: 1.0, 2: 2.0}, {2: 3.0, 3: 1.0}])
+        assert merged == {1: 1.0, 2: 5.0, 3: 1.0}
+
+    def test_merge_empty(self):
+        assert merge_counts([]) == {}

@@ -1,0 +1,103 @@
+"""Tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.viz.ascii import bar_chart, histogram, line_chart, sparkline, timeline
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        chart = bar_chart({"a": 4.0, "b": 2.0}, width=8)
+        line_a, line_b = chart.splitlines()
+        assert line_a.count("█") == 8
+        assert line_b.count("█") == 4
+
+    def test_title_and_unit(self):
+        chart = bar_chart({"x": 1.0}, width=4, title="Times", unit="ms")
+        assert chart.splitlines()[0] == "Times"
+        assert "1ms" in chart
+
+    def test_zero_values(self):
+        chart = bar_chart({"a": 0.0, "b": 0.0}, width=4)
+        assert "█" not in chart
+
+    def test_empty(self):
+        assert bar_chart({}) == "(no data)"
+
+    def test_labels_aligned(self):
+        chart = bar_chart({"short": 1.0, "a-much-longer-label": 2.0}, width=4)
+        lines = chart.splitlines()
+        assert lines[0].index("█") == lines[1].index("█") or \
+            lines[0].split()[1][0] == "█" or True  # bars start at same column
+        starts = [line.find("█") for line in lines if "█" in line]
+        assert len(set(starts)) == 1
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        spark = sparkline([0, 1, 2, 3])
+        assert len(spark) == 4
+        assert spark[-1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "   "  # all map to the lowest block
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestLineChart:
+    def test_renders_series_with_legend(self):
+        chart = line_chart(
+            {"temporal": [(1, 1.0), (2, 2.0)], "complete": [(1, 2.0), (2, 4.0)]},
+            width=20, height=6, title="Performance",
+        )
+        assert "Performance" in chart
+        assert "o temporal" in chart
+        assert "x complete" in chart
+        assert "o" in chart.splitlines()[1:][0] or any(
+            "o" in line for line in chart.splitlines()
+        )
+
+    def test_axis_labels(self):
+        chart = line_chart({"s": [(0, 0.0), (10, 1.0)]}, width=20, height=5,
+                           x_label="# events", y_label="F")
+        assert "# events" in chart
+        assert "F |" in chart or " F" in chart
+
+    def test_empty(self):
+        assert line_chart({}) == "(no data)"
+
+    def test_single_point(self):
+        chart = line_chart({"s": [(5, 5.0)]}, width=10, height=4)
+        assert "o" in chart
+
+
+class TestHistogram:
+    def test_counts_sum(self):
+        chart = histogram([1, 1, 2, 3, 3, 3], bins=3, width=10)
+        counts = [int(line.rsplit(" ", 1)[1]) for line in chart.splitlines()]
+        assert sum(counts) == 6
+
+    def test_empty(self):
+        assert histogram([]) == "(no data)"
+
+
+class TestTimeline:
+    def test_markers_and_labels(self):
+        chart = timeline([(0.0, "v1"), (100.0, "v2")], width=30)
+        axis, labels = chart.splitlines()
+        assert axis.count("●") == 2
+        assert "v1" in labels and "v2" in labels
+        assert axis[0] == "●" and axis[-1] == "●"
+
+    def test_single_event(self):
+        chart = timeline([(5.0, "only")], width=10)
+        assert "●" in chart and "only" in chart
+
+    def test_empty(self):
+        assert timeline([]) == "(no events)"
+
+    def test_coincident_events_share_marker(self):
+        chart = timeline([(1.0, "a"), (1.0, "b"), (9.0, "c")], width=20)
+        assert chart.splitlines()[0].count("●") == 2

@@ -1,0 +1,106 @@
+"""Tests for the standalone HTML report."""
+
+import pytest
+
+from repro.core.pipeline import StoryPivot
+from repro.eventdata.corpus import Corpus
+from repro.eventdata.handcrafted import demo_config, mh17_corpus
+from repro.eventdata.models import Source
+from repro.viz.html_report import html_report, write_report
+from tests.conftest import make_snippet
+
+
+@pytest.fixture(scope="module")
+def report():
+    result = StoryPivot(demo_config()).run(mh17_corpus())
+    return html_report(result, dataset_name="mh17-demo"), result
+
+
+class TestStructure:
+    def test_valid_document_shell(self, report):
+        text, _ = report
+        assert text.startswith("<!DOCTYPE html>")
+        assert "</html>" in text
+        assert "<style>" in text
+
+    def test_dataset_card(self, report):
+        text, result = report
+        assert "mh17-demo" in text
+        assert f"<b>{result.num_integrated}</b> integrated stories" in text
+
+    def test_every_story_has_a_section(self, report):
+        from repro.viz.html_report import _anchor
+        text, result = report
+        for aligned_id in result.alignment.aligned:
+            assert f'id="{_anchor(aligned_id)}"' in text
+            assert f'href="#{_anchor(aligned_id)}"' in text
+
+    def test_snippet_rows_with_roles(self, report):
+        text, _ = report
+        assert "s1:v1" in text
+        assert 'class="role-aligning"' in text
+        assert 'class="role-enriching"' in text
+
+    def test_timeline_svgs_present(self, report):
+        text, _ = report
+        assert "<svg" in text
+        assert "<circle" in text
+        assert "Jul 17, 2014" in text
+
+    def test_entity_chips(self, report):
+        text, _ = report
+        assert 'class="chip"' in text
+        assert "UKR" in text
+
+
+class TestCharts:
+    def test_series_render_as_paths(self):
+        result = StoryPivot(demo_config()).run(mh17_corpus())
+        text = html_report(
+            result,
+            performance_series={"temporal": [(100, 0.5), (200, 1.0)]},
+            quality_series={"temporal": [(100, 0.9), (200, 0.8)]},
+        )
+        assert "Performance (ms / event)" in text
+        assert "Quality (F-measure)" in text
+        assert "<path" in text
+
+    def test_no_charts_without_series(self, report):
+        text, _ = report
+        assert "Performance (ms / event)" not in text
+
+
+class TestEscaping:
+    def test_malicious_description_escaped(self):
+        corpus = Corpus("xss")
+        corpus.add_source(Source("s1", "Alpha"))
+        corpus.add_snippet(make_snippet(
+            "v1", description='<script>alert("x")</script> crash',
+        ))
+        result = StoryPivot(demo_config()).run(corpus)
+        text = html_report(result)
+        assert "<script>alert" not in text
+        assert "&lt;script&gt;" in text
+
+    def test_max_stories_omission_note(self):
+        corpus = Corpus("many")
+        corpus.add_source(Source("s1", "Alpha"))
+        for i in range(8):
+            corpus.add_snippet(make_snippet(
+                f"v{i}", description=f"unique topic {i} word{i}",
+                entities=(f"E{i}",), keywords=(f"kw{i}",),
+                date=f"2014-07-{i + 1:02d}",
+            ))
+        result = StoryPivot(demo_config()).run(corpus)
+        text = html_report(result, max_stories=3)
+        assert "smaller stories omitted" in text
+
+
+class TestWriteReport:
+    def test_file_written(self, tmp_path):
+        result = StoryPivot(demo_config()).run(mh17_corpus())
+        path = tmp_path / "report.html"
+        write_report(str(path), result, dataset_name="mh17")
+        content = path.read_text(encoding="utf-8")
+        assert content.startswith("<!DOCTYPE html>")
+        assert "mh17" in content

@@ -1,0 +1,140 @@
+"""Tests for the demo UI modules (Figures 3-7 as text views)."""
+
+import pytest
+
+from repro.core.pipeline import StoryPivot
+from repro.eventdata.handcrafted import demo_config, mh17_corpus
+from repro.viz.modules import (
+    document_selection_view,
+    snippet_information_view,
+    snippets_per_story_view,
+    statistics_view,
+    stories_per_source_view,
+    story_overview_view,
+)
+
+
+@pytest.fixture(scope="module")
+def pivot_result():
+    corpus = mh17_corpus()
+    pivot = StoryPivot(demo_config())
+    result = pivot.run(corpus)
+    return corpus, pivot, result
+
+
+class TestDocumentSelection:
+    def test_figure3_fields(self, pivot_result):
+        corpus, _, _ = pivot_result
+        documents = list(corpus.documents.values())
+        names = {s.source_id: s.name for s in corpus.sources.values()}
+        view = document_selection_view(documents, [documents[0].document_id], names)
+        assert "Document Selection" in view
+        assert "New York Times" in view
+        assert "http://nytimes.com/doc1.html" in view
+        assert "Selected Documents (1)" in view
+        assert f"Available Documents ({len(documents) - 1})" in view
+
+    def test_previews_shown(self, pivot_result):
+        corpus, _, _ = pivot_result
+        documents = list(corpus.documents.values())
+        view = document_selection_view(documents)
+        assert "298 people aboard" in view
+
+
+class TestStoryOverview:
+    def test_figure4_fields(self, pivot_result):
+        _, _, result = pivot_result
+        view = story_overview_view(result.alignment)
+        assert "Story Overview" in view
+        # the biggest story is the crash story across both sources
+        assert "s1, sn" in view
+        assert "UKR" in view
+        # the frequency-annotated profile format of Figure 4
+        assert "{UKR," in view
+        assert "Start Date" in view and "End Date" in view
+        assert "Jul 17, 2014" in view
+        assert "Sep 12, 2014" in view
+
+    def test_focus_selection(self, pivot_result):
+        _, _, result = pivot_result
+        aligned_id = result.alignment.aligned_of_snippet("s1:v4").aligned_id
+        view = story_overview_view(result.alignment, focus=aligned_id)
+        assert f"Story       {aligned_id}" in view
+        assert "ISR" in view or "PAL" in view
+
+
+class TestStoriesPerSource:
+    def test_figure5_fields(self, pivot_result):
+        _, _, result = pivot_result
+        view = stories_per_source_view(result.story_sets["s1"],
+                                       focus_snippet="s1:v2")
+        assert "Stories per Source · s1" in view
+        assert "Snippet Information" in view
+        assert "Jul 18, 2014" in view
+        assert "UKR, UN" in view
+        assert "●" in view  # timeline markers
+
+    def test_cross_story_connection_to_v4(self, pivot_result):
+        """Figure 5 shows v2 connected to v4 in a different story."""
+        _, _, result = pivot_result
+        view = stories_per_source_view(result.story_sets["s1"],
+                                       focus_snippet="s1:v2")
+        assert "Connections across stories" in view
+        assert "s1:v4" in view
+
+    def test_no_focus(self, pivot_result):
+        _, _, result = pivot_result
+        view = stories_per_source_view(result.story_sets["sn"])
+        assert "Snippet Information" not in view
+
+
+class TestSnippetsPerStory:
+    def test_figure6_fields(self, pivot_result):
+        _, _, result = pivot_result
+        aligned = result.alignment.aligned_of_snippet("sn:v5")
+        view = snippets_per_story_view(aligned, result.alignment,
+                                       focus_snippet="sn:v5")
+        assert "Snippets per Story" in view
+        assert "s1:" in view and "sn:" in view  # per-source timelines
+        assert "Sep 12, 2014" in view
+        assert "Role" in view
+        assert "aligning" in view
+        assert "Counterparts" in view
+
+    def test_story_information_block(self, pivot_result):
+        _, _, result = pivot_result
+        aligned = result.alignment.aligned_of_snippet("s1:v1")
+        view = snippets_per_story_view(aligned, result.alignment)
+        assert "Story Information" in view
+        assert "{UKR," in view
+
+
+class TestSnippetInformation:
+    def test_fields(self, pivot_result):
+        corpus, _, _ = pivot_result
+        view = snippet_information_view(corpus.snippet("s1:v1"))
+        assert "s1:v1" in view
+        assert "Jul 17, 2014" in view
+        assert "MAS" in view
+        assert "http://nytimes.com/doc1.html" in view
+
+
+class TestStatistics:
+    def test_figure7_dataset_card(self, pivot_result):
+        _, pivot, _ = pivot_result
+        view = statistics_view("mh17-demo", pivot.statistics())
+        assert "Dataset Information" in view
+        assert "# Sources   2" in view
+        assert "# Snippets  12" in view
+        assert "Jul 17, 2014" in view
+
+    def test_charts_rendered_when_series_given(self, pivot_result):
+        _, pivot, _ = pivot_result
+        performance = {"temporal": [(100, 0.5), (200, 0.8)],
+                       "complete": [(100, 0.7), (200, 1.9)]}
+        quality = {"temporal": [(100, 0.9), (200, 0.85)]}
+        view = statistics_view("synthetic", pivot.statistics(),
+                               performance, quality)
+        assert "Performance" in view
+        assert "Quality" in view
+        assert "# events" in view
