@@ -1,0 +1,212 @@
+"""Throughput scaling of the sharded ingestion runtime.
+
+Streams one fixed 8-source synthetic workload through
+:class:`~repro.runtime.runtime.ShardedRuntime` at 1, 2, 4, and 8 shards
+and records snippets/sec for each, plus a single-threaded
+:class:`~repro.core.streaming.StreamProcessor` baseline.  The scaling
+sweep uses the *process* executor — per-source identification is pure
+Python, so only process shards escape the GIL; a thread-executor point is
+included to document that limitation honestly.
+
+Every configuration must produce the identical canonical state (the
+runtime's determinism guarantee); the script verifies this and fails loudly
+if any shard count diverges.
+
+    python benchmarks/bench_runtime.py                 # full sweep
+    python benchmarks/bench_runtime.py --smoke         # CI-sized
+    python benchmarks/bench_runtime.py -o BENCH_runtime.json
+
+Results land in ``BENCH_runtime.json`` next to the repo root by default.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.core.config import StoryPivotConfig  # noqa: E402
+from repro.core.streaming import StreamProcessor  # noqa: E402
+from repro.eventdata.sourcegen import synthetic_corpus  # noqa: E402
+from repro.runtime import ShardedRuntime  # noqa: E402
+
+NUM_SOURCES = 8
+
+
+def baseline(config, snippets):
+    processor = StreamProcessor(config, realign_every=10**9)
+    started = time.perf_counter()
+    processor.consume(snippets)
+    elapsed = time.perf_counter() - started
+    return elapsed, processor.stats.accepted
+
+
+def run_sharded(config, snippets, num_shards, executor, batch_size):
+    runtime = ShardedRuntime(
+        config,
+        num_shards=num_shards,
+        executor=executor,
+        batch_size=batch_size,
+    )
+    try:
+        runtime.start()
+        started = time.perf_counter()
+        runtime.consume(snippets)
+        runtime.drain()
+        elapsed = time.perf_counter() - started
+        digest = runtime.dumps_state()
+        accepted = runtime.stats()["accepted"]
+    finally:
+        runtime.stop()
+    return elapsed, accepted, digest
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Sharded-runtime throughput sweep."
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="small corpus, 1–2 shards (CI gate)")
+    parser.add_argument("--events", type=int, default=None,
+                        help="synthetic events (default 1000; smoke 60)")
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--shards", type=int, nargs="+", default=None,
+                        help="shard counts to sweep (default 1 2 4 8)")
+    parser.add_argument("--batch-size", type=int, default=256)
+    parser.add_argument("-o", "--output", default=None, metavar="FILE",
+                        help="result JSON (default <repo>/BENCH_runtime.json)")
+    args = parser.parse_args(argv)
+
+    events = args.events or (60 if args.smoke else 1000)
+    shard_counts = args.shards or ([1, 2] if args.smoke else [1, 2, 4, 8])
+    cpus = os.cpu_count() or 1
+
+    config = StoryPivotConfig.temporal()
+    corpus = synthetic_corpus(
+        total_events=events, num_sources=NUM_SOURCES, seed=args.seed
+    )
+    snippets = corpus.snippets_by_publication()
+    print(
+        f"workload: {len(snippets)} snippets, {NUM_SOURCES} sources, "
+        f"{events} events (seed {args.seed}), {cpus} cpu core(s)"
+    )
+
+    base_elapsed, base_accepted = baseline(config, snippets)
+    base_rate = base_accepted / base_elapsed
+    print(
+        f"baseline   StreamProcessor      "
+        f"{base_elapsed:7.2f}s  {base_rate:8.1f} snippets/s"
+    )
+
+    results = []
+    digests = {}
+    single_shard_rate = None
+    for num_shards in shard_counts:
+        elapsed, accepted, digest = run_sharded(
+            config, snippets, num_shards, "process", args.batch_size
+        )
+        rate = accepted / elapsed
+        if num_shards == 1:
+            single_shard_rate = rate
+        speedup = rate / single_shard_rate if single_shard_rate else None
+        digests[num_shards] = digest
+        results.append({
+            "executor": "process",
+            "num_shards": num_shards,
+            "snippets": accepted,
+            "elapsed_seconds": round(elapsed, 4),
+            "snippets_per_second": round(rate, 2),
+            "speedup_vs_1_shard": round(speedup, 3) if speedup else None,
+        })
+        print(
+            f"process    {num_shards} shard(s)           "
+            f"{elapsed:7.2f}s  {rate:8.1f} snippets/s"
+            + (f"  ({speedup:.2f}x)" if speedup else "")
+        )
+
+    # one thread-executor point: documents the GIL honestly
+    thread_shards = max(shard_counts)
+    elapsed, accepted, digest = run_sharded(
+        config, snippets, thread_shards, "thread", args.batch_size
+    )
+    rate = accepted / elapsed
+    results.append({
+        "executor": "thread",
+        "num_shards": thread_shards,
+        "snippets": accepted,
+        "elapsed_seconds": round(elapsed, 4),
+        "snippets_per_second": round(rate, 2),
+        "speedup_vs_1_shard": (
+            round(rate / single_shard_rate, 3) if single_shard_rate else None
+        ),
+    })
+    print(
+        f"thread     {thread_shards} shard(s)           "
+        f"{elapsed:7.2f}s  {rate:8.1f} snippets/s  (GIL-bound)"
+    )
+
+    reference = digests[shard_counts[0]]
+    if any(d != reference for d in digests.values()) or digest != reference:
+        print("FAIL: canonical state diverged across configurations",
+              file=sys.stderr)
+        return 1
+    print("determinism: canonical state identical across all configurations")
+
+    payload = {
+        "benchmark": "sharded-runtime-throughput",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "smoke": args.smoke,
+        "cpu_cores": cpus,
+        "workload": {
+            "events": events,
+            "num_sources": NUM_SOURCES,
+            "snippets": len(snippets),
+            "seed": args.seed,
+            "identification": "temporal",
+        },
+        "baseline_stream_processor": {
+            "elapsed_seconds": round(base_elapsed, 4),
+            "snippets_per_second": round(base_rate, 2),
+        },
+        "results": results,
+    }
+    output = args.output or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_runtime.json"
+    )
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {os.path.normpath(output)}")
+
+    best = max(
+        (r for r in results if r["executor"] == "process"),
+        key=lambda r: r["snippets_per_second"],
+    )
+    if not args.smoke and len(shard_counts) > 1:
+        if cpus < 2:
+            # identification is CPU-bound: on a single core no executor can
+            # beat sequential wall-clock, so the gate would measure the host
+            print(
+                "scaling gate skipped: single-core host cannot run shard "
+                "workers in parallel (determinism still verified above)"
+            )
+        elif best["speedup_vs_1_shard"] < 2.0:
+            print(
+                f"FAIL: best speedup {best['speedup_vs_1_shard']}x < 2x",
+                file=sys.stderr,
+            )
+            return 1
+        else:
+            print(f"scaling gate: {best['speedup_vs_1_shard']}x >= 2x at "
+                  f"{best['num_shards']} shards")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,7 +28,12 @@ from repro.core.identification import (
 )
 from repro.core.alignment import AlignedStory, Alignment, StoryAligner
 from repro.core.refinement import StoryRefiner
-from repro.core.streaming import StreamProcessor, replay_out_of_order
+from repro.core.streaming import (
+    BoundedSeenSet,
+    StreamProcessor,
+    replay_out_of_order,
+)
+from repro.runtime import MetricsRegistry, RuntimeOptions, ShardedRuntime
 from repro.eventdata.corpus import Corpus, GroundTruth
 from repro.eventdata.models import Document, Snippet, Source
 from repro.eventdata.handcrafted import mh17_corpus
@@ -55,6 +60,10 @@ __all__ = [
     "StoryPivot",
     "StoryPivotConfig",
     "PivotResult",
+    "BoundedSeenSet",
+    "MetricsRegistry",
+    "RuntimeOptions",
+    "ShardedRuntime",
     "Story",
     "StorySet",
     "TemporalIdentifier",

@@ -145,6 +145,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in ("serve", "ingest"):
+        # the runtime subcommands: `storypivot-run serve --demo --stats`
+        from repro.runtime.serve import main as serve_main
+
+        return serve_main(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

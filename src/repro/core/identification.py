@@ -120,6 +120,35 @@ class BaseIdentifier:
         self.stats.snippets += 1
         return self.stories.story_of(snippet.snippet_id)
 
+    def __contains__(self, snippet_id: str) -> bool:
+        return snippet_id in self._snippets
+
+    def restore_story(self, story_id: str, snippets: Iterable[Snippet]) -> Story:
+        """Bulk-restore a persisted story under its original id.
+
+        Bypasses candidate scoring entirely — the snippets are assigned to
+        one story exactly as a checkpoint recorded them — while still
+        maintaining every internal index (temporal, inverted, LSH), so the
+        restored identifier accepts incremental adds and removals
+        immediately.  Identification *work* counters are not replayed;
+        only :attr:`IdentificationStats.snippets` is advanced.
+        """
+        members = sorted(snippets, key=lambda s: (s.timestamp, s.snippet_id))
+        if not members:
+            raise ValueError("restore_story requires at least one snippet")
+        if story_id in self.stories:
+            raise ValueError(f"story {story_id!r} already present")
+        story = self.stories.new_story()
+        story = self.stories.rebind_story_id(story.story_id, story_id)
+        for snippet in members:
+            if snippet.snippet_id in self._snippets:
+                raise DuplicateSnippetError(snippet.snippet_id)
+            self.stories.assign(snippet, story)
+            self._snippets[snippet.snippet_id] = snippet
+            self._index(snippet)
+            self.stats.snippets += 1
+        return story
+
     def remove(self, snippet_id: str) -> Snippet:
         """Withdraw a snippet (demo: removing a document from the system)."""
         if snippet_id not in self._snippets:

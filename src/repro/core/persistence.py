@@ -59,10 +59,39 @@ def _config_record(config: StoryPivotConfig) -> Dict[str, object]:
     return asdict(config)
 
 
-def dump_state(pivot: StoryPivot, stream: TextIO) -> int:
+# public aliases: the runtime's write-ahead log reuses the snippet wire format
+snippet_record = _snippet_record
+snippet_from_record = _snippet_from_record
+config_record = _config_record
+
+
+def canonical_story_ids(story_set) -> Dict[str, str]:
+    """Deterministic, content-derived story ids for one source.
+
+    Live story ids come from a process-global counter, so two runs over the
+    same corpus — or a killed-and-resumed run — produce equivalent stories
+    under different ids.  Ordering stories by ``(start, min snippet id)``
+    (a total order: a snippet belongs to exactly one story) yields ids that
+    depend only on story *content*, making checkpoints of equivalent states
+    byte-comparable.
+    """
+    ordered = sorted(
+        story_set, key=lambda story: (story.start, min(story.snippet_ids()))
+    )
+    return {
+        story.story_id: f"{story_set.source_id}/s{index:06d}"
+        for index, story in enumerate(ordered)
+    }
+
+
+def dump_state(pivot: StoryPivot, stream: TextIO,
+               canonical_ids: bool = False) -> int:
     """Write the pivot's configuration and story state as JSON lines.
 
-    Returns the number of snippets written.
+    With ``canonical_ids`` the stories are renumbered by
+    :func:`canonical_story_ids`, so equivalent pivots (however their live
+    counter ids were allocated) serialize byte-identically.  Returns the
+    number of snippets written.
     """
     stream.write(json.dumps({
         "kind": "storypivot-checkpoint",
@@ -71,22 +100,27 @@ def dump_state(pivot: StoryPivot, stream: TextIO) -> int:
     }) + "\n")
     written = 0
     for source_id, story_set in sorted(pivot.story_sets().items()):
-        for story in story_set:
+        renamed = canonical_story_ids(story_set) if canonical_ids else None
+        stories = story_set
+        if renamed is not None:
+            stories = sorted(story_set, key=lambda s: renamed[s.story_id])
+        for story in stories:
+            story_id = renamed[story.story_id] if renamed else story.story_id
             for snippet in story.snippets():
                 record = _snippet_record(snippet)
                 record["kind"] = "assignment"
-                record["story_id"] = story.story_id
+                record["story_id"] = story_id
                 stream.write(json.dumps(record) + "\n")
                 written += 1
     return written
 
 
-def dumps_state(pivot: StoryPivot) -> str:
+def dumps_state(pivot: StoryPivot, canonical_ids: bool = False) -> str:
     """String-returning convenience wrapper around :func:`dump_state`."""
     import io
 
     buffer = io.StringIO()
-    dump_state(pivot, buffer)
+    dump_state(pivot, buffer, canonical_ids=canonical_ids)
     return buffer.getvalue()
 
 
@@ -127,18 +161,6 @@ def load_state(stream_or_text) -> StoryPivot:
         ).append(snippet)
 
     for source_id in sorted(pending):
-        identifier = pivot.identifier(source_id)
         for story_id in sorted(pending[source_id]):
-            story = identifier.stories.new_story()
-            # preserve the persisted story id (new_story allocated a fresh
-            # one; rebind it under the stored id for stable references)
-            del identifier.stories._stories[story.story_id]
-            story.story_id = story_id
-            identifier.stories._stories[story_id] = story
-            for snippet in sorted(pending[source_id][story_id],
-                                  key=lambda s: (s.timestamp, s.snippet_id)):
-                identifier.stories.assign(snippet, story)
-                identifier._snippets[snippet.snippet_id] = snippet
-                identifier._index(snippet)
-                pivot._snippet_count += 1
+            pivot.restore_story(source_id, story_id, pending[source_id][story_id])
     return pivot

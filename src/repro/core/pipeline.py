@@ -81,6 +81,26 @@ class StoryPivot:
         self._snippet_count += 1
         return story
 
+    def restore_story(self, source_id: str, story_id: str,
+                      snippets: Iterable[Snippet]):
+        """Bulk-restore one persisted story without re-running identification.
+
+        The public restoration entry point used by checkpoint loading and
+        the sharded runtime's shard merge: the story keeps ``story_id`` and
+        its exact snippet membership, all identifier indexes are rebuilt,
+        and the snippet count is advanced.  Returns the restored story.
+        """
+        story = self.identifier(source_id).restore_story(story_id, snippets)
+        self._snippet_count += len(story)
+        return story
+
+    def has_snippet(self, snippet_id: str) -> bool:
+        """Whether any source currently holds ``snippet_id``."""
+        return any(
+            snippet_id in identifier
+            for identifier in self._identifiers.values()
+        )
+
     def remove_snippet(self, snippet_id: str) -> Snippet:
         """Withdraw a snippet from whichever source holds it."""
         for identifier in self._identifiers.values():

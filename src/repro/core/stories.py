@@ -166,6 +166,11 @@ class StorySet:
     def new_story(self) -> Story:
         """Create and register an empty story with a globally fresh id."""
         story_id = f"{self.source_id}/c{next(_story_counter):06d}"
+        # the counter is process-global, but restored stories keep ids
+        # minted elsewhere (a checkpoint, a forked shard process) that may
+        # sit ahead of it — never clobber, skip to the next free id
+        while story_id in self._stories:
+            story_id = f"{self.source_id}/c{next(_story_counter):06d}"
         story = Story(
             story_id,
             self.source_id,
@@ -173,6 +178,26 @@ class StorySet:
             decay_half_life=self._decay_half_life,
         )
         self._stories[story_id] = story
+        return story
+
+    def rebind_story_id(self, old_id: str, new_id: str) -> Story:
+        """Re-key a registered story under ``new_id``.
+
+        State restoration (checkpoints, WAL recovery) must preserve story
+        ids across process restarts; :meth:`new_story` always allocates a
+        fresh counter-based id, so restorers create a story and rebind it
+        under the persisted id.  Snippet→story lookups follow the move.
+        """
+        story = self.story(old_id)
+        if new_id == old_id:
+            return story
+        if new_id in self._stories:
+            raise ValueError(f"story id {new_id!r} already in use")
+        del self._stories[old_id]
+        story.story_id = new_id
+        self._stories[new_id] = story
+        for snippet_id in story.snippet_ids():
+            self._story_of[snippet_id] = new_id
         return story
 
     def assign(self, snippet: Snippet, story: Story) -> None:

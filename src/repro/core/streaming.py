@@ -12,15 +12,56 @@ identification fully incremental, and refreshes alignment+refinement every
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Hashable, Iterable, List, Optional
 
 from repro.core.config import StoryPivotConfig
 from repro.core.live_alignment import LiveAligner
 from repro.core.pipeline import PivotResult, StoryPivot
+from repro.errors import DuplicateSnippetError
 from repro.eventdata.corpus import Corpus
 from repro.eventdata.models import Snippet
 from repro.sketch.bloom import BloomFilter
+
+
+class BoundedSeenSet:
+    """Insertion-ordered set that evicts its oldest member beyond capacity.
+
+    The exact-confirmation half of stream deduplication.  An unbounded set
+    grows forever on an infinite feed; this one keeps the most recent
+    ``capacity`` ids.  The trade-off of evicting: a re-delivery *older*
+    than the retained window is no longer confirmed here and falls through
+    to the identifier's exact per-snippet check (still a duplicate, just
+    off the fast path) — and if that snippet had meanwhile been *removed*
+    from the system, the stale re-delivery is accepted as new (a false
+    non-duplicate).  Size ``capacity`` to exceed the redelivery horizon of
+    the feed, not its total cardinality.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._entries
+
+    def add(self, item: Hashable) -> bool:
+        """Insert; returns False if already present.  Evicts the oldest."""
+        if item in self._entries:
+            return False
+        self._entries[item] = None
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return True
+
+    def discard(self, item: Hashable) -> None:
+        self._entries.pop(item, None)
 
 
 @dataclass
@@ -52,7 +93,7 @@ class StreamProcessor:
             LiveAligner(self.pivot.config) if live_alignment else None
         )
         self._bloom = BloomFilter(capacity=dedup_capacity)
-        self._seen: set = set()
+        self._seen = BoundedSeenSet(dedup_capacity)
         self._since_alignment = 0
         self._latest_event_time: Optional[float] = None
         self._result: Optional[PivotResult] = None
@@ -63,8 +104,11 @@ class StreamProcessor:
         """Deliver one snippet; returns False for duplicates.
 
         The Bloom filter answers "definitely new" without touching the
-        exact set; its (rare) positives are confirmed exactly, so
-        duplicate detection never has false positives overall.
+        exact set; its (rare) positives are confirmed exactly against the
+        bounded seen-set, so recent duplicates never slip through.  An id
+        evicted from the seen-set (older than ``dedup_capacity`` arrivals)
+        is caught by the identifier's own exact check instead — see
+        :class:`BoundedSeenSet` for the trade-off.
         """
         self.stats.arrived += 1
         if snippet.snippet_id in self._bloom and snippet.snippet_id in self._seen:
@@ -72,6 +116,12 @@ class StreamProcessor:
             return False
         self._bloom.add(snippet.snippet_id)
         self._seen.add(snippet.snippet_id)
+        try:
+            story = self.pivot.add_snippet(snippet)
+        except DuplicateSnippetError:
+            # evicted from the bounded seen-set but still live in a story
+            self.stats.duplicates += 1
+            return False
         if self._latest_event_time is not None:
             regression = self._latest_event_time - snippet.timestamp
             if regression > self.stats.max_disorder:
@@ -79,7 +129,6 @@ class StreamProcessor:
         self._latest_event_time = max(
             self._latest_event_time or snippet.timestamp, snippet.timestamp
         )
-        story = self.pivot.add_snippet(snippet)
         self.stats.accepted += 1
         if self._live is not None:
             if story.source_id not in self._live._story_sets:

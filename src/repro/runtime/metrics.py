@@ -1,0 +1,221 @@
+"""In-process metrics: counters, gauges, histograms with percentiles.
+
+The runtime instruments its hot paths (offer latency, queue depth, dedup
+hits, realignment duration, checkpoint bytes) through a
+:class:`MetricsRegistry`.  Everything is dependency-free and thread-safe:
+shard workers, the realigner and the supervisor all record concurrently.
+
+Histograms keep exact ``count``/``sum``/``min``/``max`` plus a bounded
+ring of the most recent observations from which p50/p95/p99 are computed —
+recency-biased quantiles, which is what an operator watching a live
+ingest wants, at O(1) memory.
+
+The registry snapshot is plain JSON (``to_json``) for machine consumers
+and a fixed-width table (``render``) for the ``serve --stats`` CLI view.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, Iterator, List, Optional
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"type": self.kind, "value": self._value}
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, live shards)."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value: float = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"type": self.kind, "value": self._value}
+
+
+class Histogram:
+    """Streaming distribution with recency-window percentiles."""
+
+    kind = "histogram"
+
+    def __init__(self, max_samples: int = 4096) -> None:
+        if max_samples <= 0:
+            raise ValueError("max_samples must be positive")
+        self._lock = threading.Lock()
+        self._samples: deque = deque(maxlen=max_samples)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            self._samples.append(value)
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Linearly interpolated percentile over the retained window."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        with self._lock:
+            ordered = sorted(self._samples)
+        if not ordered:
+            return None
+        rank = (q / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = rank - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.sum / self.count if self.count else None
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "type": self.kind,
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class _Timer:
+    """Context manager feeding elapsed seconds into a histogram."""
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self.elapsed: Optional[float] = None
+
+    def __enter__(self) -> "_Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._started
+        self._histogram.observe(self.elapsed)
+
+
+class MetricsRegistry:
+    """Named metric store; get-or-create, kind-checked, JSON-exportable."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, object] = {}
+
+    def _get_or_create(self, name: str, factory: Callable[[], object]):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        metric = self._get_or_create(name, Counter)
+        if not isinstance(metric, Counter):
+            raise TypeError(f"{name!r} is a {metric.kind}, not a counter")
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._get_or_create(name, Gauge)
+        if not isinstance(metric, Gauge):
+            raise TypeError(f"{name!r} is a {metric.kind}, not a gauge")
+        return metric
+
+    def histogram(self, name: str, max_samples: int = 4096) -> Histogram:
+        metric = self._get_or_create(name, lambda: Histogram(max_samples))
+        if not isinstance(metric, Histogram):
+            raise TypeError(f"{name!r} is a {metric.kind}, not a histogram")
+        return metric
+
+    def timer(self, name: str) -> _Timer:
+        return _Timer(self.histogram(name))
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        with self._lock:
+            items = sorted(self._metrics.items())
+        return {name: metric.snapshot() for name, metric in items}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def render(self) -> str:
+        """Fixed-width table of every metric — the ``--stats`` view."""
+
+        def fmt(value: object) -> str:
+            if value is None:
+                return "-"
+            if isinstance(value, float):
+                return f"{value:.6g}"
+            return str(value)
+
+        lines = [f"{'metric':<40} {'type':<10} value"]
+        lines.append("-" * 72)
+        for name, snap in self.snapshot().items():
+            kind = snap["type"]
+            if kind == "histogram":
+                detail = (
+                    f"n={fmt(snap['count'])} mean={fmt(snap['mean'])} "
+                    f"p50={fmt(snap['p50'])} p95={fmt(snap['p95'])} "
+                    f"p99={fmt(snap['p99'])} max={fmt(snap['max'])}"
+                )
+            else:
+                detail = fmt(snap["value"])
+            lines.append(f"{name:<40} {kind:<10} {detail}")
+        return "\n".join(lines)

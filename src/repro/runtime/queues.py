@@ -1,0 +1,186 @@
+"""Bounded shard queues with pluggable backpressure policies.
+
+A producer that outruns its shard worker must be slowed down or shed —
+an unbounded queue just converts overload into memory exhaustion and
+unbounded staleness.  Three policies:
+
+* ``block`` — the producer waits for space (lossless; default).  This is
+  classic backpressure: ingestion speed degrades to the slowest shard.
+* ``drop`` — a full queue rejects the offer immediately (bounded latency,
+  lossy under overload; every rejection is counted).
+* ``sample`` — a full queue accepts every ``sample_every``-th overflow by
+  *blocking* for space and sheds the rest; a deterministic degrade that
+  keeps a representative trickle of the feed flowing under sustained
+  overload instead of going fully deaf.
+
+The queue also carries drain bookkeeping (``task_done``/``join``) so the
+runtime can wait for in-flight work, and a close protocol that wakes
+blocked producers and consumers at shutdown.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Optional
+
+BACKPRESSURE_POLICIES = ("block", "drop", "sample")
+
+
+class QueueClosed(Exception):
+    """Raised by ``get`` once the queue is closed and fully drained."""
+
+
+class Empty(Exception):
+    """Raised by ``get`` on timeout."""
+
+
+class BoundedQueue:
+    """Thread-safe bounded FIFO with backpressure and drain tracking."""
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        policy: str = "block",
+        sample_every: int = 10,
+        put_timeout: Optional[float] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if policy not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; choose from {BACKPRESSURE_POLICIES}"
+            )
+        if sample_every <= 0:
+            raise ValueError("sample_every must be positive")
+        self.capacity = capacity
+        self.policy = policy
+        self.sample_every = sample_every
+        self.put_timeout = put_timeout
+        self._items: Deque = deque()
+        self._mutex = threading.Lock()
+        self._not_empty = threading.Condition(self._mutex)
+        self._not_full = threading.Condition(self._mutex)
+        self._all_done = threading.Condition(self._mutex)
+        self._unfinished = 0
+        self._overflows = 0
+        self._dropped = 0
+        self._closed = False
+
+    # -- producer side -----------------------------------------------------
+
+    def put(self, item, timeout: Optional[float] = None) -> bool:
+        """Offer one item; returns whether it was enqueued.
+
+        ``block`` waits (``timeout`` falls back to the queue default; the
+        wait expiring counts as a drop), ``drop`` rejects overflow
+        outright, ``sample`` blocks for every ``sample_every``-th overflow
+        and rejects the rest.
+        """
+        if timeout is None:
+            timeout = self.put_timeout
+        with self._mutex:
+            if self._closed:
+                raise QueueClosed("put on closed queue")
+            if len(self._items) >= self.capacity:
+                self._overflows += 1
+                must_wait = self.policy == "block" or (
+                    self.policy == "sample"
+                    and self._overflows % self.sample_every == 0
+                )
+                if not must_wait:
+                    self._dropped += 1
+                    return False
+                if not self._wait_for_space(timeout):
+                    self._dropped += 1
+                    return False
+            self._items.append(item)
+            self._unfinished += 1
+            self._not_empty.notify()
+            return True
+
+    def _wait_for_space(self, timeout: Optional[float]) -> bool:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while len(self._items) >= self.capacity:
+            if self._closed:
+                raise QueueClosed("put on closed queue")
+            if deadline is None:
+                self._not_full.wait()
+            else:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._not_full.wait(remaining)
+        return True
+
+    # -- consumer side -----------------------------------------------------
+
+    def get(self, timeout: Optional[float] = None):
+        """Take the oldest item; raises Empty on timeout, QueueClosed when
+        the queue is closed and exhausted."""
+        with self._mutex:
+            while not self._items:
+                if self._closed:
+                    raise QueueClosed("queue closed and drained")
+                if not self._not_empty.wait(timeout):
+                    raise Empty()
+            item = self._items.popleft()
+            self._not_full.notify()
+            return item
+
+    def task_done(self) -> None:
+        with self._mutex:
+            if self._unfinished <= 0:
+                raise ValueError("task_done() called too many times")
+            self._unfinished -= 1
+            if self._unfinished == 0:
+                self._all_done.notify_all()
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Wait until every enqueued item has been marked done."""
+        with self._mutex:
+            if self._unfinished == 0:
+                return True
+            return self._all_done.wait_for(
+                lambda: self._unfinished == 0, timeout
+            )
+
+    # -- shutdown ----------------------------------------------------------
+
+    def close(self) -> None:
+        """No further puts; blocked producers and consumers are woken."""
+        with self._mutex:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    def purge(self) -> int:
+        """Discard queued items (dead shard); counts them as dropped."""
+        with self._mutex:
+            discarded = len(self._items)
+            self._items.clear()
+            self._dropped += discarded
+            self._unfinished -= discarded
+            if self._unfinished == 0:
+                self._all_done.notify_all()
+            self._not_full.notify_all()
+            return discarded
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def dropped(self) -> int:
+        return self._dropped
+
+    @property
+    def overflows(self) -> int:
+        return self._overflows
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._items)

@@ -1,0 +1,634 @@
+"""The sharded streaming ingestion runtime.
+
+Turns the StoryPivot library into a long-running service.  Snippets are
+routed by a stable hash of their *source id* to shard workers; because
+story identification is strictly per-source, shards run identification
+with zero coordination, and only the (much rarer) cross-source alignment
+cycle needs a global view.  The cross-shard cycle is stop-the-world over
+the shard locks: with ``realign_every`` accepted snippets between cycles,
+workers spend a fraction of their time paused and the live alignment view
+stays fresh.
+
+Two executors, both ``concurrent.futures``-based:
+
+* ``thread`` (default) — shard loops on a ``ThreadPoolExecutor``, with the
+  full feature set: bounded queues with backpressure, supervision with
+  capped-backoff restarts, WAL + checkpoint durability, periodic
+  realignment.  Under CPython's GIL this prioritizes isolation and
+  liveness over parallel speed-up.
+* ``process`` — one single-worker ``ProcessPoolExecutor`` per shard, each
+  child owning its shard's pivot; snippets travel in batches.  This is
+  the throughput configuration: identification runs genuinely in
+  parallel, scaling near-linearly with shards until alignment dominates.
+
+Determinism: each source's snippets flow through exactly one shard in
+offer order, so the per-source story sets are a pure function of the
+per-source input sequences — identical to a single-threaded
+:class:`~repro.core.streaming.StreamProcessor` run, whatever the shard
+count or executor.  Cross-source alignment is recomputed at flush over
+the merged state.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import ExitStack
+from dataclasses import dataclass, field, replace
+from typing import Deque, Dict, Iterable, List, Optional
+
+from repro.core.alignment import Alignment, StoryAligner
+from repro.core.config import StoryPivotConfig
+from repro.core.persistence import dumps_state, load_state
+from repro.core.pipeline import PivotResult, StoryPivot
+from repro.errors import ConfigurationError, DuplicateSnippetError
+from repro.eventdata.corpus import Corpus
+from repro.eventdata.models import Snippet
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.queues import BACKPRESSURE_POLICIES, BoundedQueue, QueueClosed
+from repro.runtime.shard import STOP, Shard
+from repro.runtime.supervisor import BackoffPolicy, Supervisor
+from repro.runtime.wal import CheckpointStore
+
+EXECUTORS = ("thread", "process")
+
+
+@dataclass(frozen=True)
+class RuntimeOptions:
+    """Knobs of the ingestion runtime (pipeline knobs live in
+    :class:`~repro.core.config.StoryPivotConfig`)."""
+
+    num_shards: int = 4
+    executor: str = "thread"
+    queue_capacity: int = 2048
+    policy: str = "block"
+    sample_every: int = 10
+    put_timeout: Optional[float] = None
+    realign_every: int = 0  # 0 disables the periodic cross-shard cycle
+    dedup_capacity: int = 100_000
+    wal_dir: Optional[str] = None
+    checkpoint_every: int = 0  # accepted snippets per shard; 0 = manual only
+    fsync: bool = False
+    backoff: BackoffPolicy = field(default_factory=BackoffPolicy)
+    batch_size: int = 64  # process executor: snippets per IPC batch
+    max_outstanding: int = 4  # process executor: in-flight batches per shard
+
+    def __post_init__(self) -> None:
+        if self.num_shards <= 0:
+            raise ConfigurationError("num_shards must be positive")
+        if self.executor not in EXECUTORS:
+            raise ConfigurationError(
+                f"unknown executor {self.executor!r}; choose from {EXECUTORS}"
+            )
+        if self.policy not in BACKPRESSURE_POLICIES:
+            raise ConfigurationError(
+                f"unknown policy {self.policy!r}; "
+                f"choose from {BACKPRESSURE_POLICIES}"
+            )
+        if self.realign_every < 0 or self.checkpoint_every < 0:
+            raise ConfigurationError("cadences must be non-negative")
+        if self.executor == "process" and self.wal_dir is not None:
+            raise ConfigurationError(
+                "WAL/checkpointing requires the thread executor; the "
+                "process executor is the throughput configuration"
+            )
+        if self.executor == "process" and self.policy != "block":
+            raise ConfigurationError(
+                "the process executor only supports the block policy"
+            )
+
+
+def shard_of(source_id: str, num_shards: int) -> int:
+    """Stable source→shard routing (crc32 — not the salted ``hash()``).
+
+    Stability across processes matters: WAL and checkpoint files are per
+    shard, so a resumed runtime must route every source exactly as the
+    killed one did.
+    """
+    return zlib.crc32(source_id.encode("utf-8")) % num_shards
+
+
+# -- process-executor child-side state (one pivot per worker process) -------
+
+_PROCESS_PIVOT: Optional[StoryPivot] = None
+
+
+def _process_shard_init(config_values: Dict[str, object]) -> None:
+    global _PROCESS_PIVOT
+    _PROCESS_PIVOT = StoryPivot(StoryPivotConfig(**config_values))
+
+
+def _process_shard_ingest(snippets: List[Snippet]):
+    accepted = duplicates = 0
+    started = time.perf_counter()
+    for snippet in snippets:
+        try:
+            _PROCESS_PIVOT.add_snippet(snippet)
+            accepted += 1
+        except DuplicateSnippetError:
+            duplicates += 1
+    return accepted, duplicates, time.perf_counter() - started
+
+
+def _process_shard_dump() -> str:
+    return dumps_state(_PROCESS_PIVOT)
+
+
+class ShardedRuntime:
+    """Long-running sharded ingestion over StoryPivot."""
+
+    def __init__(
+        self,
+        config: Optional[StoryPivotConfig] = None,
+        options: Optional[RuntimeOptions] = None,
+        **overrides,
+    ) -> None:
+        self.config = config if config is not None else StoryPivotConfig()
+        options = options if options is not None else RuntimeOptions()
+        if overrides:
+            options = replace(options, **overrides)
+        self.options = options
+        self.metrics = MetricsRegistry()
+        self._aligner = StoryAligner(self.config)
+        self._started = False
+        self._stopped = False
+        self._lock = threading.Lock()
+        self._accepted_total = 0
+        self._live_alignment: Optional[Alignment] = None
+        self._result: Optional[PivotResult] = None
+        self._flushed_at = -1
+        # pre-register the metrics operators expect in every export
+        self._arrived = self.metrics.counter("ingest.arrived")
+        self._dropped = self.metrics.counter("ingest.dropped")
+        self.metrics.counter("ingest.accepted")
+        self.metrics.counter("ingest.duplicates")
+        self.metrics.histogram("ingest.offer_latency_seconds")
+        self.metrics.histogram("realign.duration_seconds")
+        self.metrics.histogram("flush.duration_seconds")
+        self.metrics.histogram("checkpoint.duration_seconds")
+        self.metrics.counter("realign.count")
+        self.metrics.counter("checkpoint.count")
+        self.metrics.counter("checkpoint.bytes")
+        for shard_id in range(options.num_shards):
+            self.metrics.gauge(f"queue.depth.shard{shard_id:03d}")
+        # populated by start()
+        self._shards: List[Shard] = []
+        self._store: Optional[CheckpointStore] = None
+        self._restored: List[Optional[StoryPivot]] = [None] * options.num_shards
+        self._executor = None
+        self._supervisor: Optional[Supervisor] = None
+        self._worker_stop = threading.Event()
+        self._realign_event = threading.Event()
+        self._realign_stop = threading.Event()
+        self._realign_thread: Optional[threading.Thread] = None
+        self._proc_executors: List[ProcessPoolExecutor] = []
+        self._buffers: List[List[Snippet]] = []
+        self._outstanding: List[List[Future]] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def resume(
+        cls,
+        wal_dir: str,
+        config: Optional[StoryPivotConfig] = None,
+        options: Optional[RuntimeOptions] = None,
+        **overrides,
+    ) -> "ShardedRuntime":
+        """Recover a runtime from its WAL directory.
+
+        The manifest pins shard count and pipeline config (routing and
+        identification must match the killed run); each shard loads its
+        last checkpoint and replays its WAL tail through ordinary
+        identification, so the recovered state is exactly the accepted
+        prefix of the killed run.
+        """
+        store = CheckpointStore(wal_dir)
+        manifest = store.read_manifest()
+        if manifest is None:
+            raise ConfigurationError(f"no runtime manifest in {wal_dir!r}")
+        num_shards = int(manifest["num_shards"])
+        if config is None:
+            config = StoryPivotConfig(**manifest["config"])
+        options = options if options is not None else RuntimeOptions()
+        overrides.setdefault("wal_dir", wal_dir)
+        overrides["num_shards"] = num_shards
+        runtime = cls(config, options, **overrides)
+        for shard_id in range(num_shards):
+            pivot, _ = store.recover_shard(shard_id, config)
+            runtime._restored[shard_id] = pivot
+        return runtime.start()
+
+    def start(self) -> "ShardedRuntime":
+        if self._started:
+            return self
+        self._started = True
+        if self.options.executor == "process":
+            self._start_process_shards()
+        else:
+            self._start_thread_shards()
+        return self
+
+    def _start_thread_shards(self) -> None:
+        options = self.options
+        if options.wal_dir is not None:
+            self._store = CheckpointStore(options.wal_dir)
+            self._store.write_manifest(options.num_shards, self.config)
+        for shard_id in range(options.num_shards):
+            queue = BoundedQueue(
+                capacity=options.queue_capacity,
+                policy=options.policy,
+                sample_every=options.sample_every,
+                put_timeout=options.put_timeout,
+            )
+            wal = (
+                self._store.wal(shard_id, fsync=options.fsync)
+                if self._store is not None
+                else None
+            )
+            shard = Shard(
+                shard_id,
+                self.config,
+                queue,
+                self.metrics,
+                wal=wal,
+                dedup_capacity=options.dedup_capacity,
+                checkpoint_every=options.checkpoint_every,
+                checkpoint_fn=self._checkpoint_shard,
+                on_accepted=self._on_accepted,
+            )
+            restored = self._restored[shard_id]
+            if restored is not None:
+                shard.restore(restored)
+                with self._lock:
+                    self._accepted_total += restored.num_snippets
+            self._shards.append(shard)
+        self._executor = ThreadPoolExecutor(
+            max_workers=options.num_shards,
+            thread_name_prefix="storypivot-shard",
+        )
+        self._supervisor = Supervisor(
+            self._executor, self.metrics, options.backoff
+        )
+        self._supervisor.start(self._shards, self._worker_stop)
+        if options.realign_every:
+            self._realign_thread = threading.Thread(
+                target=self._realign_loop,
+                name="storypivot-realigner",
+                daemon=True,
+            )
+            self._realign_thread.start()
+
+    def _start_process_shards(self) -> None:
+        from repro.core.persistence import config_record
+
+        values = config_record(self.config)
+        for shard_id in range(self.options.num_shards):
+            self._proc_executors.append(
+                ProcessPoolExecutor(
+                    max_workers=1,
+                    initializer=_process_shard_init,
+                    initargs=(values,),
+                )
+            )
+            self._buffers.append([])
+            self._outstanding.append([])
+        # worker processes spawn lazily on first submit; force them up now
+        # so start() returning means the runtime is actually ready
+        for executor in self._proc_executors:
+            executor.submit(_process_shard_ingest, []).result()
+
+    def __enter__(self) -> "ShardedRuntime":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- ingestion ---------------------------------------------------------
+
+    def offer(self, snippet: Snippet) -> bool:
+        """Route one snippet to its shard; True if it was enqueued.
+
+        False means the backpressure policy shed it (or its shard is
+        dead).  Acceptance vs duplicate is decided asynchronously by the
+        shard worker and visible in the metrics/stats.
+        """
+        if not self._started:
+            self.start()
+        self._arrived.inc()
+        shard_id = shard_of(snippet.source_id, self.options.num_shards)
+        if self.options.executor == "process":
+            return self._offer_process(shard_id, snippet)
+        shard = self._shards[shard_id]
+        if shard.dead:
+            self._dropped.inc()
+            return False
+        try:
+            enqueued = shard.queue.put(snippet)
+        except QueueClosed:
+            self._dropped.inc()
+            return False
+        if not enqueued:
+            self._dropped.inc()
+        return enqueued
+
+    def consume(self, snippets: Iterable[Snippet]) -> "ShardedRuntime":
+        for snippet in snippets:
+            self.offer(snippet)
+        return self
+
+    def consume_corpus(self, corpus: Corpus) -> "ShardedRuntime":
+        """Replay a corpus in publication order (the live delivery order)."""
+        return self.consume(corpus.snippets_by_publication())
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Wait until every enqueued snippet has been processed."""
+        if not self._started:
+            return
+        if self.options.executor == "process":
+            self._drain_process()
+            return
+        for shard in self._shards:
+            if shard.dead:
+                shard.queue.purge()
+                continue
+            shard.queue.join(timeout)
+
+    # -- process-executor internals ----------------------------------------
+
+    def _offer_process(self, shard_id: int, snippet: Snippet) -> bool:
+        buffer = self._buffers[shard_id]
+        buffer.append(snippet)
+        if len(buffer) >= self.options.batch_size:
+            self._submit_batch(shard_id)
+        return True
+
+    def _submit_batch(self, shard_id: int) -> None:
+        buffer = self._buffers[shard_id]
+        if not buffer:
+            return
+        outstanding = self._outstanding[shard_id]
+        while len(outstanding) >= self.options.max_outstanding:
+            self._reap(shard_id, outstanding.pop(0))  # block: backpressure
+        batch = list(buffer)
+        buffer.clear()
+        future = self._proc_executors[shard_id].submit(
+            _process_shard_ingest, batch
+        )
+        future._storypivot_batch = len(batch)
+        outstanding.append(future)
+        self.metrics.gauge(f"queue.depth.shard{shard_id:03d}").set(
+            len(outstanding)
+        )
+
+    def _reap(self, shard_id: int, future: Future) -> None:
+        accepted, duplicates, elapsed = future.result()
+        batch = getattr(future, "_storypivot_batch", accepted + duplicates)
+        self.metrics.counter("ingest.accepted").inc(accepted)
+        self.metrics.counter("ingest.duplicates").inc(duplicates)
+        if batch:
+            self.metrics.histogram("ingest.offer_latency_seconds").observe(
+                elapsed / batch
+            )
+        with self._lock:
+            self._accepted_total += accepted
+
+    def _drain_process(self) -> None:
+        for shard_id in range(self.options.num_shards):
+            self._submit_batch(shard_id)
+            outstanding = self._outstanding[shard_id]
+            while outstanding:
+                self._reap(shard_id, outstanding.pop(0))
+            self.metrics.gauge(f"queue.depth.shard{shard_id:03d}").set(0)
+
+    # -- cross-shard alignment cycle ---------------------------------------
+
+    def _on_accepted(self) -> None:
+        realign_every = self.options.realign_every
+        with self._lock:
+            self._accepted_total += 1
+            trigger = bool(
+                realign_every and self._accepted_total % realign_every == 0
+            )
+        if trigger:
+            self._realign_event.set()
+
+    def _realign_loop(self) -> None:
+        while not self._realign_stop.is_set():
+            if not self._realign_event.wait(timeout=0.1):
+                continue
+            self._realign_event.clear()
+            if self._realign_stop.is_set():
+                return
+            self.realign()
+
+    def realign(self) -> Alignment:
+        """Stop-the-world cross-shard alignment over the live story sets.
+
+        Pauses every shard (lock acquisition in shard order), aligns the
+        union of their story sets, and publishes the result as the live
+        view.  Identification state is *not* mutated — refinement feedback
+        runs only at :meth:`flush`, keeping per-source stories a pure
+        function of the input sequences (which is what makes kill/resume
+        recovery exact).
+        """
+        if self.options.executor == "process":
+            raise ConfigurationError(
+                "periodic realignment requires the thread executor"
+            )
+        self.start()
+        with ExitStack() as stack:
+            for shard in self._shards:
+                stack.enter_context(shard.lock)
+            with self.metrics.timer("realign.duration_seconds"):
+                story_sets = {}
+                for shard in self._shards:
+                    story_sets.update(shard.pivot.story_sets())
+                alignment = self._aligner.align(story_sets)
+        self._live_alignment = alignment
+        self.metrics.counter("realign.count").inc()
+        return alignment
+
+    @property
+    def live_alignment(self) -> Optional[Alignment]:
+        """Latest periodic cross-shard alignment (None before the first)."""
+        return self._live_alignment
+
+    # -- views -------------------------------------------------------------
+
+    def merged_pivot(self) -> StoryPivot:
+        """A standalone pivot holding every shard's stories.
+
+        Stories are *rebuilt* (sharing the immutable snippets) rather than
+        referenced, so downstream refinement cannot mutate shard state.
+        """
+        self.start()
+        if self.options.executor == "process":
+            return self._merged_pivot_process()
+        with ExitStack() as stack:
+            for shard in self._shards:
+                stack.enter_context(shard.lock)
+            story_sets = {}
+            for shard in self._shards:
+                story_sets.update(shard.pivot.story_sets())
+            merged = StoryPivot(self.config)
+            for source_id in sorted(story_sets):
+                for story in story_sets[source_id]:
+                    merged.restore_story(
+                        source_id, story.story_id, story.snippets()
+                    )
+        return merged
+
+    def _merged_pivot_process(self) -> StoryPivot:
+        self._drain_process()
+        merged = StoryPivot(self.config)
+        for shard_id in range(self.options.num_shards):
+            text = self._proc_executors[shard_id].submit(
+                _process_shard_dump
+            ).result()
+            shard_pivot = load_state(text)
+            for source_id in sorted(shard_pivot.source_ids):
+                story_set = shard_pivot.story_sets()[source_id]
+                for story in story_set:
+                    merged.restore_story(
+                        source_id, story.story_id, story.snippets()
+                    )
+        return merged
+
+    def flush(self) -> PivotResult:
+        """Drain, merge all shards, and run alignment (+refinement)."""
+        self.drain()
+        with self.metrics.timer("flush.duration_seconds"):
+            merged = self.merged_pivot()
+            result = merged.finish()
+        self._live_alignment = result.alignment
+        self._result = result
+        with self._lock:
+            self._flushed_at = self._accepted_total
+        self.metrics.counter("realign.count").inc()
+        self.metrics.histogram("realign.duration_seconds").observe(
+            result.timings.get("alignment", 0.0)
+        )
+        return result
+
+    def result(self) -> PivotResult:
+        """Last flushed view, refreshed if arrivals happened since."""
+        with self._lock:
+            stale = (
+                self._result is None
+                or self._flushed_at != self._accepted_total
+            )
+        if stale:
+            return self.flush()
+        return self._result
+
+    def dumps_state(self) -> str:
+        """Canonical checkpoint text of the merged identification state.
+
+        Uses canonical (content-derived) story ids, so two equivalent
+        runtimes — e.g. a killed-and-resumed run and an uninterrupted one
+        — serialize byte-identically.
+        """
+        return dumps_state(self.merged_pivot(), canonical_ids=True)
+
+    # -- durability --------------------------------------------------------
+
+    def _checkpoint_shard(self, shard: Shard) -> int:
+        if self._store is None:
+            raise ConfigurationError("runtime has no wal_dir configured")
+        with shard.lock:
+            with self.metrics.timer("checkpoint.duration_seconds"):
+                size = self._store.save(shard.shard_id, shard.pivot)
+                if shard.wal is not None:
+                    shard.wal.reset()
+        self.metrics.counter("checkpoint.count").inc()
+        self.metrics.counter("checkpoint.bytes").inc(size)
+        self.metrics.gauge("checkpoint.last_bytes").set(size)
+        return size
+
+    def checkpoint(self) -> int:
+        """Compact every shard's WAL into a full checkpoint; total bytes."""
+        self.start()
+        if self.options.executor == "process":
+            raise ConfigurationError(
+                "checkpointing requires the thread executor"
+            )
+        return sum(self._checkpoint_shard(shard) for shard in self._shards)
+
+    # -- shutdown ----------------------------------------------------------
+
+    def stop(
+        self, drain: bool = True, checkpoint: Optional[bool] = None
+    ) -> None:
+        """Stop workers and release resources.
+
+        ``drain=False`` abandons queued (not yet processed) snippets —
+        the kill path; accepted work is still recoverable from the WAL.
+        ``checkpoint`` defaults to True when a WAL directory is
+        configured and the runtime drained cleanly.
+        """
+        if not self._started or self._stopped:
+            self._stopped = True
+            return
+        self._stopped = True
+        if self.options.executor == "process":
+            if drain:
+                self._drain_process()
+            for executor in self._proc_executors:
+                executor.shutdown(wait=True)
+            return
+        if drain:
+            self.drain()
+        if checkpoint is None:
+            checkpoint = drain and self._store is not None
+        if checkpoint and self._store is not None:
+            for shard in self._shards:
+                self._checkpoint_shard(shard)
+        self._realign_stop.set()
+        self._realign_event.set()
+        self._worker_stop.set()
+        for shard in self._shards:
+            shard.queue.close()
+        if self._supervisor is not None:
+            self._supervisor.stop()
+        if self._realign_thread is not None:
+            self._realign_thread.join(timeout=5.0)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        for shard in self._shards:
+            if shard.wal is not None:
+                shard.wal.close()
+
+    def kill(self) -> None:
+        """Abrupt shutdown: no drain, no checkpoint (crash simulation)."""
+        self.stop(drain=False, checkpoint=False)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def accepted(self) -> int:
+        with self._lock:
+            return self._accepted_total
+
+    def stats(self) -> Dict[str, int]:
+        """Operational counters (queue drops, dedup hits, realigns...)."""
+        snap = self.metrics.snapshot()
+
+        def value(name: str) -> int:
+            return int(snap.get(name, {}).get("value", 0))
+
+        return {
+            "arrived": value("ingest.arrived"),
+            "accepted": value("ingest.accepted"),
+            "duplicates": value("ingest.duplicates"),
+            "dropped": value("ingest.dropped"),
+            "realignments": value("realign.count"),
+            "checkpoints": value("checkpoint.count"),
+            "restarts": value("supervisor.restarts"),
+            "failures": value("shard.failures"),
+        }
+
+    def metrics_json(self, indent: int = 2) -> str:
+        return self.metrics.to_json(indent=indent)

@@ -1,0 +1,179 @@
+"""``storypivot-serve`` — run the sharded ingestion runtime from the shell.
+
+Also reachable as ``storypivot-run serve ...`` / ``storypivot-run ingest
+...``.  Feeds a corpus (file, ``--demo``, or ``--synthetic N``) through a
+:class:`~repro.runtime.runtime.ShardedRuntime` in publication order — the
+order a live feed would deliver — then flushes and reports.
+
+Examples::
+
+    storypivot-serve --demo --workers 4 --stats
+    storypivot-serve --synthetic 2000 --sources 8 --workers 4 \\
+        --metrics out.json
+    storypivot-serve corpus.jsonl --wal-dir state/ --checkpoint-every 500
+    storypivot-serve --resume --wal-dir state/ --stats   # after a crash
+
+``--stats`` renders the metrics registry (queue depths, offer-latency
+percentiles, realignment timings); ``--metrics FILE`` writes the same
+registry as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.config import StoryPivotConfig
+from repro.errors import StoryPivotError
+from repro.eventdata.models import DAY
+from repro.runtime.runtime import RuntimeOptions, ShardedRuntime
+
+
+def build_parser(prog: str = "storypivot-serve") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Stream a corpus through the sharded ingestion runtime.",
+    )
+    parser.add_argument("corpus", nargs="?", default=None,
+                        help="corpus file (JSONL or GDELT TSV)")
+    parser.add_argument("--demo", action="store_true",
+                        help="use the built-in MH17 demo corpus")
+    parser.add_argument("--synthetic", type=int, default=None, metavar="N",
+                        help="generate a synthetic corpus with N events")
+    parser.add_argument("--sources", type=int, default=5,
+                        help="sources for --synthetic (default 5)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--si", choices=["temporal", "complete", "single_pass"],
+                        default="temporal", help="identification mode")
+    parser.add_argument("--window-days", type=float, default=None,
+                        help="sliding-window radius ω in days")
+    parser.add_argument("--workers", "-j", type=int, default=4,
+                        metavar="N", help="shard workers (default 4)")
+    parser.add_argument("--executor", choices=["thread", "process"],
+                        default="thread",
+                        help="thread: full runtime; process: throughput")
+    parser.add_argument("--policy", choices=["block", "drop", "sample"],
+                        default="block", help="backpressure policy")
+    parser.add_argument("--queue-capacity", type=int, default=2048)
+    parser.add_argument("--realign-every", type=int, default=500, metavar="N",
+                        help="cross-shard alignment cadence (0 disables)")
+    parser.add_argument("--wal-dir", default=None, metavar="DIR",
+                        help="write-ahead log + checkpoint directory")
+    parser.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                        help="auto-checkpoint cadence per shard (0 = at stop)")
+    parser.add_argument("--resume", action="store_true",
+                        help="recover state from --wal-dir before ingesting")
+    parser.add_argument("--metrics", default=None, metavar="FILE",
+                        help="write the metrics registry as JSON")
+    parser.add_argument("--stats", action="store_true",
+                        help="print the metrics table after the run")
+    parser.add_argument("--checkpoint", default=None, metavar="FILE",
+                        help="write a canonical state checkpoint at the end")
+    return parser
+
+
+def _make_config(args: argparse.Namespace) -> StoryPivotConfig:
+    factory = {
+        "temporal": StoryPivotConfig.temporal,
+        "complete": StoryPivotConfig.complete,
+        "single_pass": StoryPivotConfig.single_pass,
+    }[args.si]
+    overrides = {}
+    if args.window_days is not None:
+        overrides["window"] = args.window_days * DAY
+        overrides["decay_half_life"] = args.window_days * DAY
+    return factory(**overrides)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    from repro.cli import _load_corpus  # deferred: cli dispatches to us
+
+    corpus = None
+    if args.corpus or args.demo or args.synthetic is not None:
+        try:
+            corpus = _load_corpus(args)
+        except (OSError, StoryPivotError) as exc:
+            parser.exit(2, f"error: {exc}\n")
+    elif not args.resume:
+        parser.exit(2, "error: no input: give a corpus file, --demo, "
+                       "--synthetic N, or --resume with --wal-dir\n")
+    if args.resume and not args.wal_dir:
+        parser.exit(2, "error: --resume requires --wal-dir\n")
+
+    try:
+        options = RuntimeOptions(
+            num_shards=args.workers,
+            executor=args.executor,
+            queue_capacity=args.queue_capacity,
+            policy=args.policy,
+            realign_every=(
+                args.realign_every if args.executor == "thread" else 0
+            ),
+            wal_dir=args.wal_dir,
+            checkpoint_every=args.checkpoint_every,
+        )
+        if args.resume:
+            runtime = ShardedRuntime.resume(
+                args.wal_dir, config=_make_config(args), options=options
+            )
+        else:
+            runtime = ShardedRuntime(_make_config(args), options)
+        runtime.start()
+    except StoryPivotError as exc:
+        parser.exit(2, f"error: {exc}\n")
+
+    checkpoint_text = None
+    try:
+        if corpus is not None:
+            runtime.consume_corpus(corpus)
+        result = runtime.flush()
+        if args.checkpoint:
+            checkpoint_text = runtime.dumps_state()
+    finally:
+        runtime.stop()
+
+    stats = runtime.stats()
+    print(
+        f"{stats['arrived']} arrived → {stats['accepted']} accepted "
+        f"({stats['duplicates']} duplicates, {stats['dropped']} dropped) "
+        f"→ {result.num_stories} per-source stories "
+        f"→ {result.num_integrated} integrated stories "
+        f"[{args.workers} shard(s), {args.executor} executor, "
+        f"{stats['realignments']} realignment(s)]"
+    )
+
+    if checkpoint_text is not None:
+        with open(args.checkpoint, "w", encoding="utf-8") as handle:
+            handle.write(checkpoint_text)
+        print(f"checkpoint: {args.checkpoint}")
+
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            handle.write(runtime.metrics_json())
+        print(f"metrics: {args.metrics}")
+
+    if args.stats:
+        print()
+        print(runtime.metrics.render())
+    return 0
+
+
+def _console_entry() -> int:
+    try:
+        return main()
+    except BrokenPipeError:
+        import os
+
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        os._exit(0)
+
+
+if __name__ == "__main__":
+    raise SystemExit(_console_entry())

@@ -1,0 +1,164 @@
+"""One shard: a queue, a pivot, a WAL, and the worker loop that ties them.
+
+Sharding is by *source*: story identification is strictly per-source
+(Section 2.2 connects snippets within one source's partition), so a shard
+can own a disjoint set of sources and run identification with no
+cross-shard coordination at all.  Only alignment needs a global view, and
+the runtime provides that with a separate stop-the-world cycle.
+
+The worker loop is written to be supervision-friendly: any exception
+escapes to the supervisor (which restarts the loop with backoff) after the
+in-flight queue item has been acknowledged, so a poison snippet cannot
+wedge the drain barrier or crash-loop the shard forever on the same item.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional, Set
+
+from repro.core.config import StoryPivotConfig
+from repro.core.pipeline import StoryPivot
+from repro.core.streaming import BoundedSeenSet
+from repro.errors import DuplicateSnippetError
+from repro.eventdata.models import Snippet
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.queues import BoundedQueue, Empty, QueueClosed
+from repro.runtime.wal import ShardWal
+from repro.sketch.bloom import BloomFilter
+
+#: queue sentinel asking the worker loop to exit cleanly
+STOP = object()
+
+
+class ShardCrashed(Exception):
+    """Wraps the exception that killed a shard worker loop."""
+
+    def __init__(self, shard_id: int, cause: BaseException) -> None:
+        super().__init__(f"shard {shard_id} crashed: {cause!r}")
+        self.shard_id = shard_id
+        self.cause = cause
+
+
+class Shard:
+    """State and processing logic for one shard worker."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        config: StoryPivotConfig,
+        queue: BoundedQueue,
+        metrics: MetricsRegistry,
+        wal: Optional[ShardWal] = None,
+        dedup_capacity: int = 100_000,
+        checkpoint_every: int = 0,
+        checkpoint_fn: Optional[Callable[["Shard"], None]] = None,
+        on_accepted: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.queue = queue
+        self.pivot = StoryPivot(config)
+        self.wal = wal
+        self.lock = threading.RLock()
+        self.sources: Set[str] = set()
+        self.accepted = 0
+        self.duplicates = 0
+        self.failures = 0
+        self.dead = False
+        self._bloom = BloomFilter(capacity=dedup_capacity)
+        self._seen = BoundedSeenSet(dedup_capacity)
+        self._checkpoint_every = checkpoint_every
+        self._checkpoint_fn = checkpoint_fn
+        self._accepted_since_checkpoint = 0
+        self._on_accepted = on_accepted
+        self._metrics = metrics
+        self._offer_latency = metrics.histogram("ingest.offer_latency_seconds")
+        self._accepted_counter = metrics.counter("ingest.accepted")
+        self._duplicate_counter = metrics.counter("ingest.duplicates")
+        self._failure_counter = metrics.counter("shard.failures")
+        self._wal_records = metrics.counter("wal.records")
+        self._wal_bytes = metrics.counter("wal.bytes")
+        self._depth_gauge = metrics.gauge(f"queue.depth.shard{shard_id:03d}")
+        #: test/fault-injection hook, called with each snippet before
+        #: processing; raising simulates a worker crash
+        self.fault_hook: Optional[Callable[[Snippet], None]] = None
+
+    # -- state restoration (resume path) -----------------------------------
+
+    def restore(self, pivot: StoryPivot) -> None:
+        """Adopt a recovered pivot and reseed the dedup structures."""
+        with self.lock:
+            self.pivot = pivot
+            for source_id, story_set in pivot.story_sets().items():
+                self.sources.add(source_id)
+                for story in story_set:
+                    for snippet_id in story.snippet_ids():
+                        self._bloom.add(snippet_id)
+                        self._seen.add(snippet_id)
+
+    # -- processing --------------------------------------------------------
+
+    def process(self, snippet: Snippet) -> bool:
+        """Dedup, identify, and WAL one snippet; True if accepted."""
+        if self.fault_hook is not None:
+            self.fault_hook(snippet)
+        started = time.perf_counter()
+        with self.lock:
+            snippet_id = snippet.snippet_id
+            if snippet_id in self._bloom and snippet_id in self._seen:
+                self.duplicates += 1
+                self._duplicate_counter.inc()
+                return False
+            self._bloom.add(snippet_id)
+            self._seen.add(snippet_id)
+            try:
+                self.pivot.add_snippet(snippet)
+            except DuplicateSnippetError:
+                self.duplicates += 1
+                self._duplicate_counter.inc()
+                return False
+            self.sources.add(snippet.source_id)
+            if self.wal is not None:
+                self._wal_bytes.inc(self.wal.append(snippet))
+                self._wal_records.inc()
+            self.accepted += 1
+            self._accepted_since_checkpoint += 1
+            self._accepted_counter.inc()
+            if (
+                self._checkpoint_every
+                and self._checkpoint_fn is not None
+                and self._accepted_since_checkpoint >= self._checkpoint_every
+            ):
+                self._accepted_since_checkpoint = 0
+                self._checkpoint_fn(self)
+        self._offer_latency.observe(time.perf_counter() - started)
+        if self._on_accepted is not None:
+            self._on_accepted()
+        return True
+
+    # -- worker loop -------------------------------------------------------
+
+    def run_loop(self, stop_event: threading.Event) -> None:
+        """Consume the queue until STOP/close; exceptions escape wrapped."""
+        while True:
+            try:
+                item = self.queue.get(timeout=0.1)
+            except Empty:
+                if stop_event.is_set():
+                    return
+                continue
+            except QueueClosed:
+                return
+            if item is STOP:
+                self.queue.task_done()
+                return
+            try:
+                self.process(item)
+            except Exception as exc:
+                self.failures += 1
+                self._failure_counter.inc()
+                raise ShardCrashed(self.shard_id, exc) from exc
+            finally:
+                self.queue.task_done()
+                self._depth_gauge.set(len(self.queue))

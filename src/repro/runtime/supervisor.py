@@ -1,0 +1,138 @@
+"""Worker supervision: restart crashed shard loops with capped backoff.
+
+A long-running ingest must survive a worker dying on unexpected input.
+The supervisor watches every shard-loop future; when one crashes it
+resubmits the loop after an exponential backoff (``base * factor^n``,
+capped at ``max_delay``).  After ``max_restarts`` consecutive crashes the
+shard is declared dead: its queue is purged (items counted as dropped) and
+closed so producers and the drain barrier never hang on it.  A successful
+spell of processing resets the crash streak.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Executor, Future
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.shard import Shard
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Capped exponential backoff between restarts of one shard."""
+
+    base_delay: float = 0.05
+    factor: float = 2.0
+    max_delay: float = 2.0
+    max_restarts: int = 5
+
+    def delay(self, restarts: int) -> float:
+        return min(self.base_delay * (self.factor ** restarts), self.max_delay)
+
+
+class Supervisor:
+    """Keeps shard worker loops alive on a shared executor."""
+
+    def __init__(
+        self,
+        executor: Executor,
+        metrics: MetricsRegistry,
+        policy: Optional[BackoffPolicy] = None,
+    ) -> None:
+        self._executor = executor
+        self._policy = policy if policy is not None else BackoffPolicy()
+        self._restart_counter = metrics.counter("supervisor.restarts")
+        self._dead_gauge = metrics.gauge("shards.dead")
+        self._stop_event = threading.Event()
+        self._wake = threading.Event()
+        self._lock = threading.Lock()
+        self._crashes: Dict[int, int] = {}
+        self._futures: Dict[int, Future] = {}
+        self._shards: Dict[int, Shard] = {}
+        self._worker_stop: Optional[threading.Event] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self, shards: List[Shard], worker_stop: threading.Event) -> None:
+        self._worker_stop = worker_stop
+        for shard in shards:
+            self._shards[shard.shard_id] = shard
+            self._crashes[shard.shard_id] = 0
+            self._submit(shard)
+        self._thread = threading.Thread(
+            target=self._run, name="storypivot-supervisor", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop_event.set()
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+        for future in list(self._futures.values()):
+            try:
+                future.result(timeout=timeout)
+            except Exception:
+                pass  # crash already handled/recorded
+
+    def wait_workers(self, timeout: Optional[float] = None) -> None:
+        """Block until every live worker loop has returned."""
+        for future in list(self._futures.values()):
+            try:
+                future.result(timeout=timeout)
+            except Exception:
+                pass
+
+    # -- supervision -------------------------------------------------------
+
+    def _submit(self, shard: Shard) -> None:
+        future = self._executor.submit(shard.run_loop, self._worker_stop)
+        self._futures[shard.shard_id] = future
+        future.add_done_callback(lambda f, sid=shard.shard_id: self._on_done(sid, f))
+
+    def _on_done(self, shard_id: int, future: Future) -> None:
+        if future.exception() is None:
+            return  # clean exit (stop/close)
+        self._wake.set()
+
+    def _run(self) -> None:
+        while not self._stop_event.is_set():
+            self._wake.wait(timeout=0.1)
+            self._wake.clear()
+            for shard_id, future in list(self._futures.items()):
+                if not future.done() or future.exception() is None:
+                    continue
+                shard = self._shards[shard_id]
+                with self._lock:
+                    self._crashes[shard_id] += 1
+                    crashes = self._crashes[shard_id]
+                if crashes > self._policy.max_restarts:
+                    self._declare_dead(shard)
+                    continue
+                delay = self._policy.delay(crashes - 1)
+                if self._stop_event.wait(timeout=delay):
+                    return
+                self._restart_counter.inc()
+                self._submit(shard)
+
+    def _declare_dead(self, shard: Shard) -> None:
+        shard.dead = True
+        self._futures.pop(shard.shard_id, None)
+        shard.queue.purge()
+        shard.queue.close()
+        self._dead_gauge.add(1)
+
+    # -- introspection -----------------------------------------------------
+
+    def restarts(self, shard_id: int) -> int:
+        with self._lock:
+            return max(0, self._crashes.get(shard_id, 0))
+
+    def note_progress(self, shard_id: int) -> None:
+        """Reset the crash streak after healthy processing."""
+        with self._lock:
+            self._crashes[shard_id] = 0

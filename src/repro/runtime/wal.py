@@ -1,0 +1,199 @@
+"""Incremental durability: per-shard write-ahead logs and checkpoints.
+
+Layered on :mod:`repro.core.persistence`.  Each shard owns one append-only
+JSON-lines WAL: every *accepted* snippet is logged after identification
+integrates it.  Periodically the shard compacts — its full
+:class:`~repro.core.pipeline.StoryPivot` state is written as a checkpoint
+(atomic temp-file + rename) and the WAL is truncated.  Recovery loads the
+last checkpoint and replays the WAL tail through ordinary identification,
+so a killed runtime resumes *exactly*: replay is idempotent (records
+already present in the checkpoint are skipped), and a torn final line —
+the expected artifact of a kill mid-append — is tolerated.
+
+Shard files are named by shard index; a ``manifest.json`` pins the shard
+count and pipeline config, because source→shard routing depends on the
+shard count: resuming with a different count would replay snippets into
+the wrong shards.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.config import StoryPivotConfig
+from repro.core.persistence import (
+    config_record,
+    dump_state,
+    load_state,
+    snippet_from_record,
+    snippet_record,
+)
+from repro.core.pipeline import StoryPivot
+from repro.errors import DataFormatError
+from repro.eventdata.models import Snippet
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_VERSION = 1
+
+
+class ShardWal:
+    """Append-only snippet log for one shard."""
+
+    def __init__(self, path: str, fsync: bool = False) -> None:
+        self.path = path
+        self.fsync = fsync
+        self._handle = None
+        self._sequence = 0
+
+    def _ensure_open(self) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+
+    def append(self, snippet: Snippet) -> int:
+        """Log one accepted snippet; returns bytes written."""
+        self._ensure_open()
+        record = snippet_record(snippet)
+        record["kind"] = "wal-entry"
+        record["seq"] = self._sequence
+        self._sequence += 1
+        line = json.dumps(record) + "\n"
+        self._handle.write(line)
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        return len(line.encode("utf-8"))
+
+    def replay(self) -> List[Snippet]:
+        """Logged snippets in append order; a torn tail line is dropped."""
+        if not os.path.exists(self.path):
+            return []
+        snippets: List[Snippet] = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    if record.get("kind") != "wal-entry":
+                        raise DataFormatError("not a wal entry")
+                    snippets.append(snippet_from_record(record))
+                except (ValueError, KeyError, DataFormatError):
+                    # torn final write from a kill; everything before it
+                    # is intact, everything after it never happened
+                    break
+        self._sequence = len(snippets)
+        return snippets
+
+    def reset(self) -> None:
+        """Truncate after a checkpoint has durably captured the state."""
+        self.close()
+        with open(self.path, "w", encoding="utf-8"):
+            pass
+        self._sequence = 0
+
+    def size_bytes(self) -> int:
+        if self._handle is not None:
+            self._handle.flush()
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class CheckpointStore:
+    """Directory layout + atomic save/load for per-shard state."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    # -- paths -------------------------------------------------------------
+
+    def checkpoint_path(self, shard_id: int) -> str:
+        return os.path.join(self.directory, f"shard-{shard_id:03d}.ckpt.jsonl")
+
+    def wal_path(self, shard_id: int) -> str:
+        return os.path.join(self.directory, f"shard-{shard_id:03d}.wal.jsonl")
+
+    def wal(self, shard_id: int, fsync: bool = False) -> ShardWal:
+        return ShardWal(self.wal_path(shard_id), fsync=fsync)
+
+    # -- manifest ----------------------------------------------------------
+
+    def write_manifest(self, num_shards: int, config: StoryPivotConfig) -> None:
+        manifest = {
+            "kind": "storypivot-runtime-manifest",
+            "version": MANIFEST_VERSION,
+            "num_shards": num_shards,
+            "config": config_record(config),
+        }
+        path = os.path.join(self.directory, MANIFEST_NAME)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2)
+        os.replace(tmp, path)
+
+    def read_manifest(self) -> Optional[Dict[str, object]]:
+        path = os.path.join(self.directory, MANIFEST_NAME)
+        if not os.path.exists(path):
+            return None
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        if manifest.get("kind") != "storypivot-runtime-manifest":
+            raise DataFormatError(f"{path}: not a runtime manifest")
+        if manifest.get("version") != MANIFEST_VERSION:
+            raise DataFormatError(
+                f"{path}: unsupported manifest version "
+                f"{manifest.get('version')!r}"
+            )
+        return manifest
+
+    # -- checkpoints -------------------------------------------------------
+
+    def save(self, shard_id: int, pivot: StoryPivot) -> int:
+        """Atomically write one shard's checkpoint; returns bytes written."""
+        path = self.checkpoint_path(shard_id)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            dump_state(pivot, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        size = os.path.getsize(tmp)
+        os.replace(tmp, path)
+        return size
+
+    def load(self, shard_id: int) -> Optional[StoryPivot]:
+        path = self.checkpoint_path(shard_id)
+        if not os.path.exists(path):
+            return None
+        with open(path, "r", encoding="utf-8") as handle:
+            return load_state(handle)
+
+    def recover_shard(
+        self, shard_id: int, config: StoryPivotConfig
+    ) -> Tuple[StoryPivot, int]:
+        """(restored pivot, WAL records replayed) for one shard.
+
+        Loads the last checkpoint (or a fresh pivot) and replays the WAL
+        tail through normal identification.  Records the checkpoint
+        already holds are skipped, which makes a crash between
+        checkpoint-write and WAL-truncate harmless.
+        """
+        pivot = self.load(shard_id)
+        if pivot is None:
+            pivot = StoryPivot(config)
+        replayed = 0
+        for snippet in self.wal(shard_id).replay():
+            if pivot.has_snippet(snippet.snippet_id):
+                continue
+            pivot.add_snippet(snippet)
+            replayed += 1
+        return pivot, replayed

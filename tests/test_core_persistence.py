@@ -117,3 +117,60 @@ class TestLoadErrors:
         lines.insert(1, '{"kind": "mystery"}')
         with pytest.raises(DataFormatError):
             load_state("\n".join(lines))
+
+
+class TestCanonicalIds:
+    def test_canonical_dump_is_deterministic_across_id_histories(self):
+        """Two pivots with the same *content* but different internal story
+        ids (different creation histories) serialize identically with
+        canonical_ids=True."""
+        first = StoryPivot(demo_config())
+        first.run(mh17_corpus())
+        # same content, but the global story counter has since advanced,
+        # so the second pivot mints entirely different internal ids
+        second = StoryPivot(demo_config())
+        second.run(mh17_corpus())
+        assert first.story_sets()["s1"].story_ids() != (
+            second.story_sets()["s1"].story_ids()
+        )
+        assert dumps_state(first, canonical_ids=True) == dumps_state(
+            second, canonical_ids=True
+        )
+
+    def test_canonical_dump_loads_back(self, populated_pivot):
+        restored = load_state(dumps_state(populated_pivot, canonical_ids=True))
+        assert restored.num_snippets == populated_pivot.num_snippets
+        original = {
+            source_id: {frozenset(v) for v in ss.as_clusters().values()}
+            for source_id, ss in populated_pivot.story_sets().items()
+        }
+        recovered = {
+            source_id: {frozenset(v) for v in ss.as_clusters().values()}
+            for source_id, ss in restored.story_sets().items()
+        }
+        assert recovered == original
+
+    def test_canonical_ids_are_content_derived(self, populated_pivot):
+        text = dumps_state(populated_pivot, canonical_ids=True)
+        restored = load_state(text)
+        for source_id, story_set in restored.story_sets().items():
+            for index, story_id in enumerate(story_set.story_ids()):
+                assert story_id == f"{source_id}/s{index:06d}"
+
+    def test_restore_story_rebuilds_identifier_state(self, populated_pivot):
+        donor = populated_pivot.story_sets()["s1"]
+        target = StoryPivot(demo_config())
+        for story in donor:
+            target.restore_story("s1", story.story_id, story.snippets())
+        assert target.story_sets()["s1"].story_ids() == donor.story_ids()
+        assert target.num_snippets == donor.num_snippets
+        for story in donor:
+            for snippet_id in story.snippet_ids():
+                assert target.has_snippet(snippet_id)
+
+    def test_restore_story_rejects_duplicates(self, populated_pivot):
+        donor = next(iter(populated_pivot.story_sets()["s1"]))
+        target = StoryPivot(demo_config())
+        target.restore_story("s1", donor.story_id, donor.snippets())
+        with pytest.raises(Exception):
+            target.restore_story("s1", donor.story_id, donor.snippets())

@@ -162,3 +162,50 @@ class TestStorySet:
     def test_iteration_sorted_by_id(self, story_set):
         ids = [story_set.new_story().story_id for _ in range(3)]
         assert [s.story_id for s in story_set] == sorted(ids)
+
+
+class TestRebindStoryId:
+    def test_rebind_moves_story_and_lookups(self):
+        stories = StorySet("s1")
+        story = stories.new_story()
+        old_id = story.story_id
+        stories.assign(make_snippet("s1:a"), story)
+        stories.assign(make_snippet("s1:b"), story)
+        rebound = stories.rebind_story_id(old_id, "s1/custom")
+        assert rebound is story
+        assert story.story_id == "s1/custom"
+        assert "s1/custom" in stories
+        assert old_id not in stories
+        assert stories.story_of("s1:a").story_id == "s1/custom"
+        assert stories.story_of("s1:b").story_id == "s1/custom"
+
+    def test_rebind_to_same_id_is_noop(self):
+        stories = StorySet("s1")
+        story = stories.new_story()
+        assert stories.rebind_story_id(story.story_id, story.story_id) is story
+        assert story.story_id in stories
+
+    def test_rebind_unknown_story_raises(self):
+        with pytest.raises(UnknownStoryError):
+            StorySet("s1").rebind_story_id("s1/ghost", "s1/other")
+
+    def test_rebind_collision_raises(self):
+        stories = StorySet("s1")
+        first = stories.new_story()
+        second = stories.new_story()
+        with pytest.raises(ValueError):
+            stories.rebind_story_id(first.story_id, second.story_id)
+        assert first.story_id in stories  # unchanged on failure
+
+    def test_new_story_skips_restored_ids(self):
+        """The global counter never clobbers an id adopted via rebind."""
+        stories = StorySet("s1")
+        probe = stories.new_story()
+        counter_value = int(probe.story_id.rsplit("c", 1)[1])
+        taken = f"s1/c{counter_value + 1:06d}"
+        stories.rebind_story_id(
+            stories.new_story().story_id, taken
+        )
+        fresh = stories.new_story()
+        assert fresh.story_id != taken
+        assert len(stories) == 3

@@ -90,3 +90,59 @@ class TestLiveView:
     def test_invalid_realign_every(self, demo_cfg):
         with pytest.raises(ValueError):
             StreamProcessor(demo_cfg, realign_every=0)
+
+
+class TestBoundedSeenSet:
+    def test_add_and_membership(self):
+        from repro.core.streaming import BoundedSeenSet
+
+        seen = BoundedSeenSet(4)
+        assert seen.add("a") is True
+        assert seen.add("a") is False
+        assert "a" in seen
+        assert len(seen) == 1
+
+    def test_evicts_oldest_beyond_capacity(self):
+        from repro.core.streaming import BoundedSeenSet
+
+        seen = BoundedSeenSet(3)
+        for item in "abcd":
+            seen.add(item)
+        assert "a" not in seen  # oldest evicted
+        assert all(item in seen for item in "bcd")
+        assert len(seen) == 3
+
+    def test_discard(self):
+        from repro.core.streaming import BoundedSeenSet
+
+        seen = BoundedSeenSet(2)
+        seen.add("a")
+        seen.discard("a")
+        seen.discard("never-added")  # no-op
+        assert "a" not in seen
+
+    def test_invalid_capacity(self):
+        from repro.core.streaming import BoundedSeenSet
+
+        with pytest.raises(ValueError):
+            BoundedSeenSet(0)
+
+    def test_evicted_duplicate_still_caught_exactly(self, demo_cfg, mh17):
+        """A re-delivery older than the dedup window falls off the fast
+        path but the identifier's exact check still rejects it."""
+        processor = StreamProcessor(demo_cfg, dedup_capacity=2)
+        snippets = mh17.snippets_by_time()
+        first = snippets[0]
+        processor.offer(first)
+        for snippet in snippets[1:6]:
+            processor.offer(snippet)  # push `first` out of the seen-set
+        assert first.snippet_id not in processor._seen
+        assert processor.offer(first) is False  # DuplicateSnippetError path
+        assert processor.stats.duplicates == 1
+        assert processor.stats.accepted == 6
+
+    def test_dedup_memory_stays_bounded(self, demo_cfg, mh17):
+        processor = StreamProcessor(demo_cfg, dedup_capacity=3)
+        processor.consume_corpus(mh17)
+        assert len(processor._seen) <= 3
+        assert processor.stats.accepted == len(mh17)

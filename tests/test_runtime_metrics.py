@@ -1,0 +1,120 @@
+"""Tests for the runtime metrics registry."""
+
+import json
+import threading
+
+import pytest
+
+from repro.runtime.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter()
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_concurrent_increments_are_exact(self):
+        counter = Counter()
+
+        def spin():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.add(-3)
+        assert gauge.value == 7
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        histogram = Histogram()
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == 10.0
+        assert histogram.mean == 2.5
+        assert histogram.min == 1.0
+        assert histogram.max == 4.0
+
+    def test_percentiles(self):
+        histogram = Histogram()
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        assert histogram.percentile(50) == pytest.approx(50.5)
+        assert histogram.percentile(99) == pytest.approx(99.01)
+        assert histogram.percentile(0) == 1.0
+        assert histogram.percentile(100) == 100.0
+
+    def test_empty_percentile_is_none(self):
+        assert Histogram().percentile(50) is None
+
+    def test_bounded_window(self):
+        histogram = Histogram(max_samples=10)
+        for value in range(100):
+            histogram.observe(float(value))
+        # exact totals survive the eviction; percentiles use the window
+        assert histogram.count == 100
+        assert histogram.percentile(0) == 90.0
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(101)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TypeError):
+            registry.gauge("a")
+        with pytest.raises(TypeError):
+            registry.histogram("a")
+
+    def test_snapshot_is_json_roundtrippable(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs").inc(3)
+        registry.gauge("depth").set(7)
+        registry.histogram("latency").observe(0.25)
+        snapshot = json.loads(registry.to_json())
+        assert snapshot["reqs"] == {"type": "counter", "value": 3}
+        assert snapshot["depth"]["value"] == 7
+        assert snapshot["latency"]["count"] == 1
+        assert snapshot["latency"]["p50"] == 0.25
+
+    def test_timer_observes_elapsed(self):
+        registry = MetricsRegistry()
+        with registry.timer("op"):
+            pass
+        assert registry.histogram("op").count == 1
+        assert registry.histogram("op").max >= 0
+
+    def test_render_lists_every_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs").inc()
+        registry.histogram("latency").observe(1.0)
+        table = registry.render()
+        assert "reqs" in table
+        assert "latency" in table
+        assert "p95" in table

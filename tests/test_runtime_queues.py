@@ -1,0 +1,141 @@
+"""Tests for bounded queues and backpressure policies."""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime.queues import BoundedQueue, Empty, QueueClosed
+
+
+class TestBasics:
+    def test_fifo_order(self):
+        queue = BoundedQueue(capacity=4)
+        for item in "abc":
+            assert queue.put(item) is True
+        assert [queue.get(), queue.get(), queue.get()] == list("abc")
+
+    def test_get_timeout_raises_empty(self):
+        queue = BoundedQueue(capacity=4)
+        with pytest.raises(Empty):
+            queue.get(timeout=0.01)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(capacity=0)
+        with pytest.raises(ValueError):
+            BoundedQueue(policy="bogus")
+        with pytest.raises(ValueError):
+            BoundedQueue(sample_every=0)
+
+
+class TestBlockPolicy:
+    def test_put_blocks_until_space(self):
+        queue = BoundedQueue(capacity=1, policy="block")
+        queue.put("a")
+        entered = threading.Event()
+        done = threading.Event()
+
+        def producer():
+            entered.set()
+            queue.put("b")
+            done.set()
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        entered.wait(1.0)
+        time.sleep(0.05)
+        assert not done.is_set()  # still waiting for space
+        assert queue.get() == "a"
+        assert done.wait(1.0)
+        assert queue.get() == "b"
+        thread.join()
+
+    def test_put_timeout_counts_drop(self):
+        queue = BoundedQueue(capacity=1, policy="block")
+        queue.put("a")
+        assert queue.put("b", timeout=0.01) is False
+        assert queue.dropped == 1
+
+
+class TestDropPolicy:
+    def test_overflow_dropped_and_counted(self):
+        queue = BoundedQueue(capacity=2, policy="drop")
+        assert queue.put("a") and queue.put("b")
+        assert queue.put("c") is False
+        assert queue.put("d") is False
+        assert queue.dropped == 2
+        assert queue.overflows == 2
+        assert len(queue) == 2
+
+
+class TestSamplePolicy:
+    def test_every_nth_overflow_is_kept(self):
+        queue = BoundedQueue(capacity=1, policy="sample", sample_every=3)
+        queue.put("a")
+        # two overflow offers shed, the third would block — free space first
+        assert queue.put("x") is False
+        assert queue.put("y") is False
+        consumed = []
+        consumer = threading.Thread(target=lambda: consumed.append(queue.get()))
+        consumer.start()
+        time.sleep(0.02)
+        assert queue.put("z") is True  # 3rd overflow: blocks, then admitted
+        consumer.join()
+        assert consumed == ["a"]
+        assert queue.get() == "z"
+        assert queue.dropped == 2
+
+
+class TestDrainAndClose:
+    def test_join_waits_for_task_done(self):
+        queue = BoundedQueue(capacity=4)
+        queue.put("a")
+        assert queue.join(timeout=0.01) is False
+        queue.get()
+        queue.task_done()
+        assert queue.join(timeout=0.01) is True
+
+    def test_task_done_overflow_raises(self):
+        queue = BoundedQueue(capacity=4)
+        with pytest.raises(ValueError):
+            queue.task_done()
+
+    def test_closed_queue_rejects_put(self):
+        queue = BoundedQueue(capacity=4)
+        queue.close()
+        with pytest.raises(QueueClosed):
+            queue.put("a")
+
+    def test_closed_queue_drains_then_raises(self):
+        queue = BoundedQueue(capacity=4)
+        queue.put("a")
+        queue.close()
+        assert queue.get() == "a"
+        with pytest.raises(QueueClosed):
+            queue.get()
+
+    def test_close_wakes_blocked_consumer(self):
+        queue = BoundedQueue(capacity=4)
+        woke = threading.Event()
+
+        def consumer():
+            try:
+                queue.get()
+            except QueueClosed:
+                woke.set()
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        time.sleep(0.02)
+        queue.close()
+        assert woke.wait(1.0)
+        thread.join()
+
+    def test_purge_discards_and_unblocks_join(self):
+        queue = BoundedQueue(capacity=4)
+        queue.put("a")
+        queue.put("b")
+        assert queue.purge() == 2
+        assert queue.dropped == 2
+        assert queue.join(timeout=0.01) is True

@@ -1,0 +1,144 @@
+"""Kill/resume recovery: checkpoint + WAL replay must be exact.
+
+The ISSUE-level property: stream a corpus, kill the runtime at an
+arbitrary point, resume from checkpoint+WAL, finish the stream — the
+final identification state must be byte-identical (canonical serialized
+form) to an uninterrupted run.
+"""
+
+import os
+
+import pytest
+
+from repro.core.config import StoryPivotConfig
+from repro.errors import ConfigurationError
+from repro.runtime import RuntimeOptions, ShardedRuntime
+
+CONFIG = StoryPivotConfig.temporal()
+
+
+def uninterrupted_dump(snippets, num_shards):
+    runtime = ShardedRuntime(CONFIG, num_shards=num_shards)
+    try:
+        runtime.consume(snippets)
+        runtime.drain()
+        return runtime.dumps_state()
+    finally:
+        runtime.stop()
+
+
+def killed_and_resumed_dump(snippets, num_shards, cut, wal_dir, **extra):
+    first = ShardedRuntime(
+        CONFIG,
+        num_shards=num_shards,
+        wal_dir=wal_dir,
+        checkpoint_every=extra.pop("checkpoint_every", 37),
+        **extra,
+    )
+    first.consume(snippets[:cut])
+    first.drain()
+    first.kill()  # no final checkpoint: recovery must replay the WAL tail
+
+    resumed = ShardedRuntime.resume(wal_dir)
+    try:
+        assert resumed.accepted == cut
+        resumed.consume(snippets[cut:])
+        resumed.drain()
+        return resumed.dumps_state()
+    finally:
+        resumed.stop()
+
+
+@pytest.fixture(scope="module")
+def stream(medium_synthetic):
+    return list(medium_synthetic.snippets_by_publication())
+
+
+class TestKillResume:
+    @pytest.mark.parametrize("fraction", [0.1, 0.33, 0.5, 0.77, 0.95])
+    def test_resume_is_byte_identical_at_cut(
+        self, stream, tmp_path, fraction
+    ):
+        cut = int(len(stream) * fraction)
+        expected = uninterrupted_dump(stream, num_shards=4)
+        actual = killed_and_resumed_dump(
+            stream, 4, cut, str(tmp_path / f"wal-{cut}")
+        )
+        assert actual == expected
+
+    def test_resume_without_any_checkpoint_uses_wal_only(
+        self, stream, tmp_path
+    ):
+        # cadence larger than the prefix: recovery is pure WAL replay
+        cut = 60
+        actual = killed_and_resumed_dump(
+            stream,
+            4,
+            cut,
+            str(tmp_path / "wal-only"),
+            checkpoint_every=10_000,
+        )
+        assert actual == uninterrupted_dump(stream, num_shards=4)
+
+    def test_double_kill_double_resume(self, stream, tmp_path):
+        wal_dir = str(tmp_path / "wal-twice")
+        cut1, cut2 = len(stream) // 4, len(stream) // 2
+        first = ShardedRuntime(
+            CONFIG, num_shards=4, wal_dir=wal_dir, checkpoint_every=23
+        )
+        first.consume(stream[:cut1])
+        first.drain()
+        first.kill()
+
+        second = ShardedRuntime.resume(wal_dir)
+        second.consume(stream[cut1:cut2])
+        second.drain()
+        second.kill()
+
+        third = ShardedRuntime.resume(wal_dir)
+        try:
+            assert third.accepted == cut2
+            third.consume(stream[cut2:])
+            third.drain()
+            actual = third.dumps_state()
+        finally:
+            third.stop()
+        assert actual == uninterrupted_dump(stream, num_shards=4)
+
+    def test_clean_stop_checkpoints_and_truncates_wals(
+        self, stream, tmp_path
+    ):
+        wal_dir = str(tmp_path / "wal-clean")
+        runtime = ShardedRuntime(
+            CONFIG, num_shards=2, wal_dir=wal_dir, checkpoint_every=10_000
+        )
+        runtime.consume(stream[:80])
+        runtime.drain()
+        runtime.stop()  # clean stop: checkpoint + WAL truncate
+        for shard_id in range(2):
+            wal_path = os.path.join(wal_dir, f"shard-{shard_id:03d}.wal.jsonl")
+            assert os.path.getsize(wal_path) == 0
+        resumed = ShardedRuntime.resume(wal_dir)
+        try:
+            assert resumed.accepted == 80
+        finally:
+            resumed.stop()
+
+    def test_resume_requires_manifest(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ShardedRuntime.resume(str(tmp_path / "nothing-here"))
+
+    def test_resume_pins_shard_count_from_manifest(self, stream, tmp_path):
+        wal_dir = str(tmp_path / "wal-pin")
+        runtime = ShardedRuntime(CONFIG, num_shards=3, wal_dir=wal_dir)
+        runtime.consume(stream[:40])
+        runtime.drain()
+        runtime.stop()
+        resumed = ShardedRuntime.resume(
+            wal_dir, options=RuntimeOptions(num_shards=8)
+        )
+        try:
+            # routing must match the killed run, whatever the caller asks
+            assert resumed.options.num_shards == 3
+        finally:
+            resumed.stop()
