@@ -1,0 +1,219 @@
+"""Read-path API load benchmark: throughput + latency, cache on vs off.
+
+Boots a :class:`~repro.server.app.StoryPivotAPI` over a materialized view
+of a synthetic corpus (the MH17 demo corpus in ``--smoke`` mode) and
+drives it with a threaded load generator over a realistic endpoint mix
+(story listing, story detail, snippets, query box, stats).  Two passes
+run against identical data: one with the generation-keyed response cache
+enabled, one with it disabled — the delta is the cache's contribution,
+and the recorded run must show cached reads beating uncached ones.
+
+    python benchmarks/bench_server.py                 # full run
+    python benchmarks/bench_server.py --smoke         # CI-sized
+    python benchmarks/bench_server.py -o BENCH_server.json
+
+Results (throughput, p50/p95/p99 latency, cache hit-rate) land in
+``BENCH_server.json`` next to the repo root by default.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import sys
+import threading
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.core.pipeline import StoryPivot  # noqa: E402
+from repro.eventdata.handcrafted import demo_config, mh17_corpus  # noqa: E402
+from repro.eventdata.sourcegen import synthetic_corpus  # noqa: E402
+from repro.server import StoryPivotAPI, ViewStore  # noqa: E402
+
+
+def percentile(ordered, q):
+    if not ordered:
+        return None
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def build_store(smoke: bool, events: int, seed: int):
+    if smoke:
+        corpus = mh17_corpus()
+        result = StoryPivot(demo_config()).run(corpus)
+    else:
+        corpus = synthetic_corpus(
+            total_events=events, num_sources=6, seed=seed
+        )
+        result = StoryPivot().run(corpus)
+    store = ViewStore(dataset=corpus.name)
+    store.install(result, corpus=corpus)
+    return store
+
+
+def request_mix(store):
+    view = store.current()
+    top_story = view.stories[0]["id"]
+    source_id = view.sources[0]["id"]
+    return [
+        "/stories?limit=50",
+        f"/stories/{top_story}",
+        f"/stories/{top_story}/snippets?limit=50",
+        "/sources",
+        f"/sources/{source_id}/stories",
+        "/stats",
+        f"/query?q=source:{source_id}",
+        "/healthz",
+    ]
+
+
+def drive(port, paths, threads, requests_per_thread):
+    """Hammer the API; returns (per-request latencies, wall seconds)."""
+    latencies = [[] for _ in range(threads)]
+    errors = []
+    barrier = threading.Barrier(threads + 1)
+
+    def worker(worker_id):
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        mine = latencies[worker_id]
+        try:
+            barrier.wait()
+            for i in range(requests_per_thread):
+                path = paths[(worker_id + i) % len(paths)]
+                started = time.perf_counter()
+                conn.request("GET", path)
+                response = conn.getresponse()
+                response.read()
+                mine.append(time.perf_counter() - started)
+                if response.status != 200:
+                    errors.append((path, response.status))
+        except Exception as exc:
+            errors.append((worker_id, repr(exc)))
+        finally:
+            conn.close()
+
+    pool = [
+        threading.Thread(target=worker, args=(i,)) for i in range(threads)
+    ]
+    for thread in pool:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in pool:
+        thread.join()
+    wall = time.perf_counter() - started
+    if errors:
+        raise RuntimeError(f"load generator saw errors: {errors[:5]}")
+    return [x for chunk in latencies for x in chunk], wall
+
+
+def run_pass(store, cache_entries, threads, requests_per_thread, warmup):
+    api = StoryPivotAPI(store, port=0, cache_entries=cache_entries)
+    api.start()
+    try:
+        paths = request_mix(store)
+        drive(api.port, paths, min(2, threads), warmup)  # warm OS + JIT-ish
+        if cache_entries:  # warm the cache so the pass measures hits
+            drive(api.port, paths, 1, len(paths))
+        api.cache.hits = api.cache.misses = 0
+        samples, wall = drive(api.port, paths, threads, requests_per_thread)
+        hit_rate = api.cache.hit_rate
+    finally:
+        api.close()
+    ordered = sorted(samples)
+    return {
+        "cache_entries": cache_entries,
+        "requests": len(samples),
+        "wall_seconds": round(wall, 4),
+        "throughput_rps": round(len(samples) / wall, 1),
+        "latency_ms": {
+            "mean": round(sum(ordered) / len(ordered) * 1000, 4),
+            "p50": round(percentile(ordered, 50) * 1000, 4),
+            "p95": round(percentile(ordered, 95) * 1000, 4),
+            "p99": round(percentile(ordered, 99) * 1000, 4),
+        },
+        "cache_hit_rate": round(hit_rate, 4),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="API server load benchmark (cache on vs off)."
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="demo corpus, small request counts (CI gate)")
+    parser.add_argument("--events", type=int, default=400,
+                        help="synthetic events for the full run")
+    parser.add_argument("--seed", type=int, default=13)
+    parser.add_argument("--threads", type=int, default=None)
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per thread")
+    parser.add_argument("-o", "--output", default=None, metavar="FILE")
+    args = parser.parse_args(argv)
+
+    threads = args.threads or (4 if args.smoke else 8)
+    requests_per_thread = args.requests or (80 if args.smoke else 400)
+    output = args.output or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_server.json"
+    )
+
+    store = build_store(args.smoke, args.events, args.seed)
+    view = store.current()
+    print(f"corpus: {view.dataset} — {view.stats['num_snippets']} snippets, "
+          f"{len(view.stories)} integrated stories")
+    print(f"load: {threads} threads × {requests_per_thread} requests, "
+          f"{len(request_mix(store))} endpoint mix")
+
+    uncached = run_pass(store, 0, threads, requests_per_thread, warmup=20)
+    cached = run_pass(store, 512, threads, requests_per_thread, warmup=20)
+
+    for label, row in (("uncached", uncached), ("cached", cached)):
+        lat = row["latency_ms"]
+        print(f"  {label:<9} {row['throughput_rps']:>8} req/s   "
+              f"p50 {lat['p50']:.3f} ms   p95 {lat['p95']:.3f} ms   "
+              f"p99 {lat['p99']:.3f} ms   "
+              f"hit-rate {row['cache_hit_rate']:.0%}")
+
+    speedup = (
+        uncached["latency_ms"]["mean"] / cached["latency_ms"]["mean"]
+        if cached["latency_ms"]["mean"] else float("inf")
+    )
+    print(f"  cache speedup: {speedup:.2f}× on mean latency")
+
+    record = {
+        "benchmark": "server_read_path",
+        "smoke": args.smoke,
+        "threads": threads,
+        "requests_per_thread": requests_per_thread,
+        "corpus": {
+            "dataset": view.dataset,
+            "num_snippets": view.stats["num_snippets"],
+            "num_stories": len(view.stories),
+        },
+        "uncached": uncached,
+        "cached": cached,
+        "cache_speedup_mean_latency": round(speedup, 3),
+    }
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {os.path.normpath(output)}")
+
+    if cached["latency_ms"]["mean"] >= uncached["latency_ms"]["mean"]:
+        print("FAIL: cached reads did not beat uncached reads",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

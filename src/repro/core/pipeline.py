@@ -23,7 +23,7 @@ from repro.core.stories import StorySet
 from repro.errors import UnknownSnippetError, UnknownSourceError
 from repro.eventdata.corpus import Corpus
 from repro.eventdata.models import Snippet
-from repro.text.stem import PorterStemmer
+from repro.text.stem import stem
 
 
 @dataclass
@@ -59,7 +59,6 @@ class StoryPivot:
         self.aligner = StoryAligner(self.config)
         self.refiner = StoryRefiner(self.config)
         self._identifiers: Dict[str, BaseIdentifier] = {}
-        self._stemmer = PorterStemmer()
         self._snippet_count = 0
 
     # -- incremental ingestion ---------------------------------------------
@@ -213,14 +212,14 @@ class StoryPivot:
         """Integrated stories mentioning ``entity`` and/or ``keyword``."""
         if entity is None and keyword is None:
             raise ValueError("query needs an entity or a keyword")
-        stem = self._stemmer.stem(keyword) if keyword is not None else None
+        stemmed = stem(keyword) if keyword is not None else None
         scored: List[Tuple[AlignedStory, float]] = []
         for aligned in alignment.aligned.values():
             relevance = 0.0
             if entity is not None:
                 relevance += aligned.entity_profile().get(entity, 0.0)
-            if stem is not None:
-                relevance += aligned.term_profile().get(stem, 0.0)
+            if stemmed is not None:
+                relevance += aligned.term_profile().get(stemmed, 0.0)
             if relevance > 0:
                 scored.append((aligned, relevance))
         scored.sort(key=lambda kv: (-kv[1], kv[0].aligned_id))

@@ -192,9 +192,9 @@ class Corpus:
         "investigations" finds "investigation").  Timestamps are inclusive.
         """
         from repro.storage.event_store import match_terms
-        from repro.text.stem import PorterStemmer
+        from repro.text.stem import stem as stem_word
 
-        stem = PorterStemmer().stem(keyword.lower()) if keyword else None
+        stem = stem_word(keyword.lower()) if keyword else None
         selected = []
         for snippet in self.snippets():
             if entity is not None and entity not in snippet.entities:

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.text.stem import PorterStemmer
+from repro.text.stem import stem
 from repro.text.stopwords import STOPWORDS
 from repro.text.tokenize import Token, tokenize
 from repro.text.vectorize import TfIdfVectorizer
@@ -106,7 +106,6 @@ class Annotator:
         self.max_keywords = max_keywords
         self.keyword_method = keyword_method
         self._vectorizer = vectorizer if vectorizer is not None else TfIdfVectorizer()
-        self._stemmer = PorterStemmer()
 
     def annotate(self, text: str) -> Annotation:
         """Annotate one excerpt with entities and ranked keywords."""
@@ -144,7 +143,7 @@ class Annotator:
     def keyword_stems(self, words: Sequence[str]) -> Set[str]:
         """Stem ``words`` minus stopwords (helper for matching/evaluation)."""
         return {
-            self._stemmer.stem(w.lower())
+            stem(w.lower())
             for w in words
             if w.lower() not in STOPWORDS
         }

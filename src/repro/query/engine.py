@@ -9,15 +9,33 @@ per-term match explanations — the demo's query box with explanations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from weakref import WeakKeyDictionary
 
 from repro.core.alignment import AlignedStory, Alignment
 from repro.eventdata.corpus import Corpus
 from repro.eventdata.models import Snippet
 from repro.query.parser import StoryQuery, parse_query
-from repro.text.stem import PorterStemmer
+from repro.text.stem import stem
 
-_STEMMER = PorterStemmer()
+#: entity vocabularies cached per alignment instance, so constructing a
+#: throwaway engine per request (the API server's pattern) costs nothing
+#: beyond the first request against each snapshot.
+_ENTITY_CACHE: "WeakKeyDictionary[Alignment, FrozenSet[str]]" = (
+    WeakKeyDictionary()
+)
+
+
+def known_entities(alignment: Alignment) -> FrozenSet[str]:
+    """Entity codes mentioned anywhere in ``alignment`` (cached per instance)."""
+    cached = _ENTITY_CACHE.get(alignment)
+    if cached is None:
+        entities = set()
+        for aligned in alignment.aligned.values():
+            entities |= set(aligned.entity_profile())
+        cached = frozenset(entities)
+        _ENTITY_CACHE[alignment] = cached
+    return cached
 
 
 @dataclass(frozen=True)
@@ -30,33 +48,51 @@ class StoryHit:
 
 
 class QueryEngine:
-    """Execute parsed (or raw) queries."""
+    """Execute parsed (or raw) queries.
+
+    Construction is O(1): the known-entity vocabulary used to resolve bare
+    query tokens is computed lazily on first use and shared across every
+    engine over the same :class:`Alignment`.
+    """
 
     def __init__(self, alignment: Alignment,
                  corpus: Optional[Corpus] = None) -> None:
         self.alignment = alignment
         self.corpus = corpus
-        self._known_entities = set()
-        for aligned in alignment.aligned.values():
-            self._known_entities |= set(aligned.entity_profile())
+
+    @property
+    def _known_entities(self) -> FrozenSet[str]:
+        return known_entities(self.alignment)
 
     # -- story-level ------------------------------------------------------
 
-    def search(self, query, limit: int = 10) -> List[StoryHit]:
-        """Ranked stories matching ``query`` (a string or StoryQuery)."""
+    def execute(self, query, limit: int = 10, offset: int = 0) -> List[StoryHit]:
+        """One page of ranked stories matching ``query``.
+
+        ``query`` is a string or :class:`StoryQuery`; ``offset`` skips that
+        many ranked hits before taking ``limit`` — the server's pagination
+        entry point.  Ranking ties break on ``aligned_id``, so pages are
+        deterministic and non-overlapping.
+        """
         if isinstance(query, str):
             query = parse_query(query, known_entities=self._known_entities)
         if query.is_empty:
             raise ValueError("empty query")
         if limit <= 0:
             raise ValueError("limit must be positive")
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
         hits: List[StoryHit] = []
         for aligned in self.alignment.aligned.values():
             hit = self._match_story(aligned, query)
             if hit is not None:
                 hits.append(hit)
         hits.sort(key=lambda h: (-h.relevance, h.story.aligned_id))
-        return hits[:limit]
+        return hits[offset:offset + limit]
+
+    def search(self, query, limit: int = 10) -> List[StoryHit]:
+        """Ranked stories matching ``query`` (a string or StoryQuery)."""
+        return self.execute(query, limit=limit)
 
     def _match_story(
         self, aligned: AlignedStory, query: StoryQuery
@@ -80,12 +116,12 @@ class QueryEngine:
             relevance += weight
             matched.append(f"entity {entity} ×{weight:g}")
         for keyword in query.keywords:
-            stem = _STEMMER.stem(keyword)
-            weight = term_profile.get(stem, 0.0)
+            stemmed = stem(keyword)
+            weight = term_profile.get(stemmed, 0.0)
             if weight <= 0:
                 return None
             relevance += weight
-            matched.append(f"keyword {keyword} ({stem}) ×{weight:g}")
+            matched.append(f"keyword {keyword} ({stemmed}) ×{weight:g}")
         if not query.entities and not query.keywords:
             relevance = float(len(aligned))  # filter-only query: rank by size
             matched.append("matched filters")
@@ -102,7 +138,7 @@ class QueryEngine:
             raise ValueError("empty query")
         if limit <= 0:
             raise ValueError("limit must be positive")
-        stems = {_STEMMER.stem(k) for k in query.keywords}
+        stems = {stem(k) for k in query.keywords}
         results: List[Snippet] = []
         for aligned in self.alignment.aligned.values():
             for snippet in aligned.snippets():

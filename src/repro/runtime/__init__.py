@@ -8,7 +8,13 @@ every hot path.  See :mod:`repro.runtime.runtime` for the architecture
 notes and ``storypivot-serve`` for the CLI.
 """
 
-from repro.runtime.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.runtime.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_table,
+)
 from repro.runtime.queues import (
     BACKPRESSURE_POLICIES,
     BoundedQueue,
@@ -43,5 +49,6 @@ __all__ = [
     "ShardWal",
     "ShardedRuntime",
     "Supervisor",
+    "render_table",
     "shard_of",
 ]

@@ -197,25 +197,34 @@ class MetricsRegistry:
 
     def render(self) -> str:
         """Fixed-width table of every metric — the ``--stats`` view."""
+        return render_table(self.snapshot())
 
-        def fmt(value: object) -> str:
-            if value is None:
-                return "-"
-            if isinstance(value, float):
-                return f"{value:.6g}"
-            return str(value)
 
-        lines = [f"{'metric':<40} {'type':<10} value"]
-        lines.append("-" * 72)
-        for name, snap in self.snapshot().items():
-            kind = snap["type"]
-            if kind == "histogram":
-                detail = (
-                    f"n={fmt(snap['count'])} mean={fmt(snap['mean'])} "
-                    f"p50={fmt(snap['p50'])} p95={fmt(snap['p95'])} "
-                    f"p99={fmt(snap['p99'])} max={fmt(snap['max'])}"
-                )
-            else:
-                detail = fmt(snap["value"])
-            lines.append(f"{name:<40} {kind:<10} {detail}")
-        return "\n".join(lines)
+def render_table(snapshot: Dict[str, Dict[str, object]]) -> str:
+    """Fixed-width text table of a registry snapshot.
+
+    The single registry-to-text formatter: ``storypivot-serve --stats``
+    and the API server's ``/metricz`` text view both render through it.
+    """
+
+    def fmt(value: object) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.6g}"
+        return str(value)
+
+    lines = [f"{'metric':<40} {'type':<10} value"]
+    lines.append("-" * 72)
+    for name, snap in sorted(snapshot.items()):
+        kind = snap["type"]
+        if kind == "histogram":
+            detail = (
+                f"n={fmt(snap['count'])} mean={fmt(snap['mean'])} "
+                f"p50={fmt(snap['p50'])} p95={fmt(snap['p95'])} "
+                f"p99={fmt(snap['p99'])} max={fmt(snap['max'])}"
+            )
+        else:
+            detail = fmt(snap["value"])
+        lines.append(f"{name:<40} {kind:<10} {detail}")
+    return "\n".join(lines)

@@ -157,8 +157,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"metrics: {args.metrics}")
 
     if args.stats:
+        from repro.runtime.metrics import render_table
+
         print()
-        print(runtime.metrics.render())
+        print(render_table(runtime.metrics.snapshot()))
     return 0
 
 

@@ -1,0 +1,44 @@
+"""repro.server — the read-path HTTP API over materialized views.
+
+Serves the five demo modules plus the query box as JSON endpoints
+(``/stories``, ``/stories/{id}``, ``/stories/{id}/snippets``,
+``/sources``, ``/sources/{id}/stories``, ``/stats``, ``/query``,
+``/healthz``, ``/metricz``) from immutable :class:`ReadView` snapshots
+that are rebuilt off the ingestion runtime and swapped atomically —
+request handlers never lock against ingestion and every response is
+snapshot-consistent.  Layers: generation-keyed response cache with ETag
+revalidation, per-client token-bucket rate limiting, structured access
+logs and request metrics.  See ``storypivot-api`` for the CLI.
+"""
+
+from repro.server.app import StoryPivotAPI
+from repro.server.cache import CachedResponse, ResponseCache, make_etag
+from repro.server.handlers import (
+    ApiError,
+    ENDPOINTS,
+    RouteResult,
+    decode_cursor,
+    encode_cursor,
+    route,
+)
+from repro.server.ratelimit import RateLimiter, TokenBucket
+from repro.server.views import ReadView, ViewRefresher, ViewStore, empty_view
+
+__all__ = [
+    "ApiError",
+    "CachedResponse",
+    "ENDPOINTS",
+    "RateLimiter",
+    "ReadView",
+    "ResponseCache",
+    "RouteResult",
+    "StoryPivotAPI",
+    "TokenBucket",
+    "ViewRefresher",
+    "ViewStore",
+    "decode_cursor",
+    "empty_view",
+    "encode_cursor",
+    "make_etag",
+    "route",
+]

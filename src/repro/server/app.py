@@ -1,0 +1,353 @@
+"""The HTTP application: ThreadingHTTPServer over a ViewStore.
+
+Request flow (all stdlib, no locks on the read path):
+
+1. rate limiter — dry bucket answers ``429`` with ``Retry-After``;
+2. grab the current :class:`~repro.server.views.ReadView` **once** — the
+   whole response renders from that snapshot, and its generation is
+   echoed in ``X-StoryPivot-Generation``;
+3. response cache keyed ``(generation, path+query)`` — a hit skips
+   rendering entirely; ``If-None-Match`` matching the entry's ETag
+   short-circuits to ``304``;
+4. miss: route through :mod:`repro.server.handlers`, serialize once
+   (``sort_keys`` for byte-stable ETags), cache, respond.
+
+Every request is instrumented into a
+:class:`~repro.runtime.metrics.MetricsRegistry` (latency histogram,
+status counters, cache hit/miss, in-flight gauge) exposed at
+``/metricz`` in JSON or, via ``?format=text``, through the same
+``render_table`` helper the ``storypivot-serve --stats`` view uses.
+Access logs are structured JSON lines.  :meth:`StoryPivotAPI.close`
+drains in-flight requests before tearing the listener down.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import IO, Optional
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.runtime.metrics import MetricsRegistry, render_table
+
+from repro.server.cache import ResponseCache
+from repro.server.handlers import ApiError, route
+from repro.server.ratelimit import RateLimiter
+from repro.server.views import ViewStore
+
+JSON_TYPE = "application/json"
+
+
+def _json_bytes(payload: object) -> bytes:
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+class StoryPivotAPI:
+    """The read-path API server.
+
+    ``store`` supplies the current materialized view; ``metrics`` may be
+    shared with a live runtime so ``/metricz`` exposes ingestion and
+    serving counters side by side.
+    """
+
+    def __init__(
+        self,
+        store: ViewStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+        cache_entries: int = 512,
+        rate_limit: float = 0.0,
+        burst: float = 20.0,
+        access_log: Optional[IO[str]] = None,
+    ) -> None:
+        self.store = store
+        self.host = host
+        self._requested_port = port
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.cache = ResponseCache(cache_entries)
+        self.limiter = RateLimiter(rate=rate_limit, burst=burst)
+        self._access_log = access_log
+        self._log_lock = threading.Lock()
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._draining = False
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started_at = time.time()
+        # pre-register the serving metrics operators expect in every export
+        self.metrics.counter("http.requests")
+        self.metrics.histogram("http.latency_seconds")
+        self.metrics.counter("http.cache.hits")
+        self.metrics.counter("http.cache.misses")
+        self.metrics.counter("http.not_modified")
+        self.metrics.counter("http.ratelimited")
+        self.metrics.counter("http.bytes_sent")
+        self.metrics.gauge("http.inflight")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.server_address[1]
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "StoryPivotAPI":
+        if self._server is not None:
+            return self
+        api = self
+
+        class Handler(_ApiRequestHandler):
+            app = api
+
+        server = ThreadingHTTPServer(
+            (self.host, self._requested_port), Handler
+        )
+        # in-flight draining is handled by close(); handler threads must
+        # not block interpreter exit if a keep-alive client lingers
+        server.daemon_threads = True
+        self._server = server
+        self._thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="storypivot-api",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self, drain_timeout: float = 10.0) -> None:
+        """Graceful shutdown: refuse new work, drain in-flight, tear down."""
+        if self._server is None:
+            return
+        self._draining = True
+        deadline = time.monotonic() + drain_timeout
+        while time.monotonic() < deadline:
+            with self._inflight_lock:
+                if self._inflight == 0:
+                    break
+            time.sleep(0.01)
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "StoryPivotAPI":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- bookkeeping used by the handler ----------------------------------
+
+    def _enter_request(self) -> None:
+        with self._inflight_lock:
+            self._inflight += 1
+            self.metrics.gauge("http.inflight").set(self._inflight)
+
+    def _exit_request(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+            self.metrics.gauge("http.inflight").set(self._inflight)
+
+    def _record(self, status: int, elapsed: float, sent: int) -> None:
+        self.metrics.counter("http.requests").inc()
+        self.metrics.counter(f"http.status.{status}").inc()
+        self.metrics.histogram("http.latency_seconds").observe(elapsed)
+        self.metrics.counter("http.bytes_sent").inc(sent)
+
+    def _log(self, record: dict) -> None:
+        if self._access_log is None:
+            return
+        line = json.dumps(record, sort_keys=True)
+        with self._log_lock:
+            self._access_log.write(line + "\n")
+            self._access_log.flush()
+
+    def _metricz_payload(self, as_text: bool) -> bytes:
+        self.metrics.gauge("http.cache.entries").set(len(self.cache))
+        self.metrics.gauge("http.cache.hit_rate").set(self.cache.hit_rate)
+        self.metrics.gauge("view.generation").set(self.store.generation)
+        snapshot = self.metrics.snapshot()
+        if as_text:
+            return (render_table(snapshot) + "\n").encode("utf-8")
+        return _json_bytes(snapshot)
+
+
+class _ApiRequestHandler(BaseHTTPRequestHandler):
+    """One request: rate-limit, snapshot the view, serve from cache."""
+
+    app: StoryPivotAPI  # bound by StoryPivotAPI.start()
+    protocol_version = "HTTP/1.1"
+    server_version = "StoryPivotAPI/1.0"
+    # buffer the whole response and disable Nagle: an unbuffered wfile
+    # sends headers and body as separate small segments, and the
+    # Nagle/delayed-ACK interaction then stalls every response ~40ms
+    wbufsize = 64 * 1024
+    disable_nagle_algorithm = True
+
+    # the default handler logs to stderr; we emit structured access logs
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    def do_GET(self) -> None:
+        app = self.app
+        app._enter_request()
+        started = time.perf_counter()
+        status, sent, generation, cache_state = 500, 0, -1, "-"
+        try:
+            if app._draining:
+                status, sent = self._send_error_json(
+                    503, "server is shutting down", close=True
+                )
+                return
+            allowed, retry_after = app.limiter.allow(
+                self.client_address[0] if self.client_address else "?"
+            )
+            if not allowed:
+                app.metrics.counter("http.ratelimited").inc()
+                status, sent = self._send_error_json(
+                    429, "rate limit exceeded",
+                    extra_headers={
+                        "Retry-After": str(max(1, int(retry_after + 0.999)))
+                    },
+                )
+                return
+            split = urlsplit(self.path)
+            params = dict(parse_qsl(split.query))
+
+            if split.path.rstrip("/") == "/metricz":
+                as_text = params.get("format") == "text"
+                body = app._metricz_payload(as_text)
+                content_type = "text/plain" if as_text else JSON_TYPE
+                generation = app.store.generation
+                status, sent = self._send_body(
+                    200, body, content_type, generation, etag=None
+                )
+                return
+
+            view = app.store.current()  # the one snapshot read
+            generation = view.generation
+            cache_key = f"{split.path}?{split.query}"
+            entry = app.cache.get(view.generation, cache_key)
+            if entry is not None:
+                cache_state = "hit"
+                app.metrics.counter("http.cache.hits").inc()
+            else:
+                cache_state = "miss"
+                app.metrics.counter("http.cache.misses").inc()
+                try:
+                    result = route(view, split.path, params)
+                except ApiError as exc:
+                    status, sent = self._send_error_json(
+                        exc.status, exc.message, generation=generation
+                    )
+                    return
+                body = _json_bytes(result.payload)
+                if result.status == 200:
+                    entry = app.cache.put(
+                        view.generation, cache_key, body, JSON_TYPE
+                    )
+                else:  # non-200 routed responses are not cached
+                    status, sent = self._send_body(
+                        result.status, body, JSON_TYPE, generation,
+                        etag=None,
+                    )
+                    return
+
+            if_none_match = self.headers.get("If-None-Match", "")
+            if entry.etag and entry.etag in if_none_match:
+                app.metrics.counter("http.not_modified").inc()
+                status, sent = self._send_body(
+                    304, b"", entry.content_type, generation,
+                    etag=entry.etag,
+                )
+                return
+            status, sent = self._send_body(
+                200, entry.body, entry.content_type, generation,
+                etag=entry.etag,
+            )
+        except (BrokenPipeError, ConnectionResetError):
+            status = 499  # client went away mid-response
+        except Exception as exc:  # never take the worker thread down
+            try:
+                status, sent = self._send_error_json(
+                    500, f"internal error: {exc}"
+                )
+            except (BrokenPipeError, ConnectionResetError, OSError):
+                pass
+        finally:
+            elapsed = time.perf_counter() - started
+            app._record(status, elapsed, sent)
+            app._log({
+                "ts": round(time.time(), 3),
+                "client": self.client_address[0] if self.client_address else "?",
+                "method": "GET",
+                "path": self.path,
+                "status": status,
+                "bytes": sent,
+                "ms": round(elapsed * 1000.0, 3),
+                "generation": generation,
+                "cache": cache_state,
+            })
+            app._exit_request()
+
+    def do_HEAD(self) -> None:
+        # close the connection: clients must not guess at body framing
+        self._send_error_json(405, "only GET is supported", close=True)
+
+    do_POST = do_PUT = do_DELETE = do_PATCH = do_HEAD
+
+    # -- response writing --------------------------------------------------
+
+    def _send_body(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        generation: int,
+        etag: Optional[str],
+        extra_headers: Optional[dict] = None,
+        close: bool = False,
+    ):
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if generation >= 0:
+            self.send_header("X-StoryPivot-Generation", str(generation))
+        if etag:
+            self.send_header("ETag", etag)
+            self.send_header("Cache-Control", "private, must-revalidate")
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        if close:
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        if body and status != 304:
+            self.wfile.write(body)
+            return status, len(body)
+        return status, 0
+
+    def _send_error_json(
+        self,
+        status: int,
+        message: str,
+        generation: int = -1,
+        extra_headers: Optional[dict] = None,
+        close: bool = False,
+    ):
+        body = _json_bytes({"error": message, "status": status})
+        return self._send_body(
+            status, body, JSON_TYPE, generation, etag=None,
+            extra_headers=extra_headers, close=close,
+        )

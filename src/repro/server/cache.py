@@ -1,0 +1,109 @@
+"""Generation-keyed LRU response cache with ETag support.
+
+Responses are immutable for a given view generation — the ReadView never
+mutates — so the cache key is simply ``(generation, canonical request
+key)`` and invalidation is free: a realignment bumps the generation and
+every old entry stops being reachable, then ages out of the LRU.
+
+ETags are strong and derived from the response body (plus the
+generation), so ``If-None-Match`` revalidation answers 304 from the
+cache without re-rendering, and a client that held a tag across a
+generation bump transparently gets the fresh body.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+
+def make_etag(generation: int, body: bytes) -> str:
+    """Strong ETag for ``body`` rendered at ``generation``."""
+    digest = hashlib.sha256(body).hexdigest()[:20]
+    return f'"g{generation}-{digest}"'
+
+
+class CachedResponse:
+    """One rendered response: body bytes, content type and ETag."""
+
+    __slots__ = ("body", "content_type", "etag", "generation")
+
+    def __init__(
+        self, body: bytes, content_type: str, etag: str, generation: int
+    ) -> None:
+        self.body = body
+        self.content_type = content_type
+        self.etag = etag
+        self.generation = generation
+
+
+class ResponseCache:
+    """Thread-safe LRU over rendered responses, keyed by generation.
+
+    ``max_entries <= 0`` disables caching entirely (every lookup misses
+    and puts are dropped) — the bench harness uses that to measure the
+    uncached path.
+    """
+
+    def __init__(self, max_entries: int = 512) -> None:
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple[int, str], CachedResponse]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, generation: int, key: str) -> Optional[CachedResponse]:
+        if self.max_entries <= 0:
+            return None
+        with self._lock:
+            entry = self._entries.get((generation, key))
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end((generation, key))
+            self.hits += 1
+            return entry
+
+    def put(
+        self,
+        generation: int,
+        key: str,
+        body: bytes,
+        content_type: str = "application/json",
+    ) -> CachedResponse:
+        entry = CachedResponse(
+            body, content_type, make_etag(generation, body), generation
+        )
+        if self.max_entries <= 0:
+            return entry
+        with self._lock:
+            self._entries[(generation, key)] = entry
+            self._entries.move_to_end((generation, key))
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return entry
+
+    def purge_stale(self, current_generation: int) -> int:
+        """Drop entries from superseded generations; returns count removed."""
+        with self._lock:
+            stale = [
+                k for k in self._entries if k[0] != current_generation
+            ]
+            for key in stale:
+                del self._entries[key]
+        return len(stale)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,183 @@
+"""``storypivot-api`` — serve the read-path HTTP API from the shell.
+
+Three modes over the same endpoints:
+
+* **static** (default): run the full pipeline over the input corpus once,
+  materialize one :class:`~repro.server.views.ReadView` and serve it;
+* ``--follow``: ingest the corpus through a live
+  :class:`~repro.runtime.runtime.ShardedRuntime` *while serving* — a
+  background refresher rebuilds and atomically swaps the view as
+  ingestion advances, so clients watch the story set grow;
+* ``--demo``: the built-in MH17 two-source corpus (either mode).
+
+Examples::
+
+    storypivot-api --demo                       # demo corpus on :8321
+    storypivot-api corpus.jsonl --port 9000 --rate-limit 50 --burst 100
+    storypivot-api --synthetic 500 --follow --refresh-interval 0.5
+    curl -s localhost:8321/stories | python -m json.tool
+    curl -s localhost:8321/metricz?format=text
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+from typing import Optional, Sequence
+
+from repro.core.config import StoryPivotConfig
+from repro.core.pipeline import StoryPivot
+from repro.errors import StoryPivotError
+from repro.eventdata.models import DAY
+from repro.runtime.runtime import RuntimeOptions, ShardedRuntime
+
+from repro.server.app import StoryPivotAPI
+from repro.server.views import ViewRefresher, ViewStore
+
+DEFAULT_PORT = 8321
+
+
+def build_parser(prog: str = "storypivot-api") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Serve the StoryPivot read-path HTTP API.",
+    )
+    parser.add_argument("corpus", nargs="?", default=None,
+                        help="corpus file (JSONL or GDELT TSV)")
+    parser.add_argument("--demo", action="store_true",
+                        help="use the built-in MH17 demo corpus")
+    parser.add_argument("--synthetic", type=int, default=None, metavar="N",
+                        help="generate a synthetic corpus with N events")
+    parser.add_argument("--sources", type=int, default=5,
+                        help="sources for --synthetic (default 5)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--si", choices=["temporal", "complete", "single_pass"],
+                        default="temporal", help="identification mode")
+    parser.add_argument("--window-days", type=float, default=None,
+                        help="sliding-window radius ω in days")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help=f"listen port (default {DEFAULT_PORT}; 0 = ephemeral)")
+    parser.add_argument("--cache-size", type=int, default=512, metavar="N",
+                        help="response cache entries (0 disables; default 512)")
+    parser.add_argument("--rate-limit", type=float, default=0.0, metavar="RPS",
+                        help="per-client requests/second (0 = unlimited)")
+    parser.add_argument("--burst", type=float, default=20.0,
+                        help="rate-limiter burst size (default 20)")
+    parser.add_argument("--follow", action="store_true",
+                        help="serve while ingesting through the sharded "
+                             "runtime; the view refreshes as data arrives")
+    parser.add_argument("--workers", "-j", type=int, default=2, metavar="N",
+                        help="shard workers for --follow (default 2)")
+    parser.add_argument("--refresh-interval", type=float, default=1.0,
+                        metavar="SEC", help="--follow view rebuild cadence")
+    parser.add_argument("--access-log", action="store_true",
+                        help="write JSON access log lines to stderr")
+    return parser
+
+
+def _make_config(args: argparse.Namespace) -> StoryPivotConfig:
+    factory = {
+        "temporal": StoryPivotConfig.temporal,
+        "complete": StoryPivotConfig.complete,
+        "single_pass": StoryPivotConfig.single_pass,
+    }[args.si]
+    overrides = {}
+    if args.window_days is not None:
+        overrides["window"] = args.window_days * DAY
+        overrides["decay_half_life"] = args.window_days * DAY
+    return factory(**overrides)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    from repro.cli import _load_corpus  # deferred: cli dispatches widely
+
+    if not (args.corpus or args.demo or args.synthetic is not None):
+        parser.exit(2, "error: no input: give a corpus file, --demo, or "
+                       "--synthetic N\n")
+    try:
+        corpus = _load_corpus(args)
+        config = _make_config(args)
+    except (OSError, StoryPivotError) as exc:
+        parser.exit(2, f"error: {exc}\n")
+
+    store = ViewStore(dataset=corpus.name)
+    runtime = None
+    refresher = None
+    feeder = None
+
+    if args.follow:
+        runtime = ShardedRuntime(
+            config, RuntimeOptions(num_shards=args.workers)
+        ).start()
+        refresher = ViewRefresher(
+            runtime, store, interval=args.refresh_interval, corpus=corpus
+        ).start()
+        feeder = threading.Thread(
+            target=runtime.consume_corpus, args=(corpus,),
+            name="storypivot-feeder", daemon=True,
+        )
+        feeder.start()
+        metrics = runtime.metrics
+    else:
+        pivot = StoryPivot(config)
+        result = pivot.run(corpus)
+        store.install(result, corpus=corpus)
+        metrics = None
+
+    api = StoryPivotAPI(
+        store,
+        host=args.host,
+        port=args.port,
+        metrics=metrics,
+        cache_entries=args.cache_size,
+        rate_limit=args.rate_limit,
+        burst=args.burst,
+        access_log=sys.stderr if args.access_log else None,
+    )
+    api.start()
+    print(f"serving {corpus.name} on {api.address} "
+          f"(generation {store.generation})", flush=True)
+
+    stop = threading.Event()
+
+    def _shutdown(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGINT, _shutdown)
+    signal.signal(signal.SIGTERM, _shutdown)
+    try:
+        while not stop.is_set():
+            stop.wait(0.2)
+    finally:
+        print("shutting down: draining in-flight requests", flush=True)
+        api.close()
+        if refresher is not None:
+            refresher.stop()
+        if feeder is not None:
+            feeder.join(timeout=5.0)
+        if runtime is not None:
+            runtime.stop()
+    return 0
+
+
+def _console_entry() -> int:
+    try:
+        return main()
+    except BrokenPipeError:
+        import os
+
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        os._exit(0)
+
+
+if __name__ == "__main__":
+    raise SystemExit(_console_entry())

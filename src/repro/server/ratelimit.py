@@ -1,0 +1,90 @@
+"""Per-client token-bucket rate limiting.
+
+Each client (keyed by remote address) owns a token bucket that refills
+continuously at ``rate`` tokens/second up to ``burst``.  A request
+consumes one token; when the bucket is dry the limiter reports the time
+until the next token, which the server surfaces as ``429`` with a
+``Retry-After`` header.
+
+The limiter caps the number of tracked clients (LRU) so an address scan
+cannot grow memory without bound; an evicted client simply starts over
+with a full bucket, which errs on the side of serving.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Tuple
+
+
+class TokenBucket:
+    """One client's bucket: continuous refill, capped at ``burst``."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.updated = now
+
+    def take(self, now: float) -> Tuple[bool, float]:
+        """Try to consume one token; (allowed, seconds-until-next-token)."""
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True, 0.0
+        deficit = 1.0 - self.tokens
+        return False, deficit / self.rate if self.rate > 0 else float("inf")
+
+
+class RateLimiter:
+    """Thread-safe per-key token buckets with an LRU client cap.
+
+    ``rate <= 0`` disables limiting (every request is allowed) so the
+    server can be configured wide open for trusted/internal use.
+    ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        rate: float = 0.0,
+        burst: float = 20.0,
+        max_clients: int = 10_000,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if burst < 1.0 and rate > 0:
+            raise ValueError("burst must allow at least one request")
+        self.rate = rate
+        self.burst = burst
+        self.max_clients = max_clients
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+        self.rejected = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def allow(self, key: str) -> Tuple[bool, float]:
+        """(allowed, retry_after_seconds) for one request from ``key``."""
+        if not self.enabled:
+            return True, 0.0
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst, now)
+                self._buckets[key] = bucket
+                while len(self._buckets) > self.max_clients:
+                    self._buckets.popitem(last=False)
+            self._buckets.move_to_end(key)
+            allowed, retry_after = bucket.take(now)
+            if not allowed:
+                self.rejected += 1
+            return allowed, retry_after

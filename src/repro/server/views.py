@@ -1,0 +1,307 @@
+"""Immutable materialized read views for the HTTP API.
+
+The server never serves straight from pivot/alignment structures: every
+response is rendered from a :class:`ReadView` — a frozen, fully
+materialized snapshot of one :class:`~repro.core.pipeline.PivotResult`
+(story listings, per-source listings, snippet rows, statistics) built
+once and then only *read*.  A :class:`ViewStore` holds the current view
+behind a single attribute that is swapped atomically, so request handlers
+grab the view once, render everything from it, and can never observe a
+torn mixture of two generations — ingestion and serving share no locks.
+
+``generation`` is a monotonically increasing counter bumped on every
+swap; it keys the response cache, feeds ETags, and is echoed in the
+``X-StoryPivot-Generation`` response header.
+
+:class:`ViewRefresher` rebuilds the view off a live
+:class:`~repro.runtime.runtime.ShardedRuntime`: it polls the runtime's
+accepted count on the realignment cadence and, when ingestion has
+advanced, merges the shards (a read-only snapshot under the shard locks),
+runs alignment and swaps in the fresh view.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.core.alignment import AlignedStory, Alignment
+from repro.core.pipeline import PivotResult
+from repro.eventdata.corpus import Corpus
+from repro.eventdata.models import Snippet, format_timestamp
+
+
+def _snippet_record(snippet: Snippet, role: str) -> Dict[str, object]:
+    return {
+        "id": snippet.snippet_id,
+        "source": snippet.source_id,
+        "timestamp": snippet.timestamp,
+        "time": format_timestamp(snippet.timestamp),
+        "description": snippet.description,
+        "entities": sorted(snippet.entities),
+        "keywords": list(snippet.keywords),
+        "role": role,
+        "url": snippet.url,
+    }
+
+
+def _story_summary(aligned: AlignedStory) -> Dict[str, object]:
+    start, end = aligned.date_range()
+    return {
+        "id": aligned.aligned_id,
+        "sources": aligned.source_ids,
+        "num_sources": len(aligned.source_ids),
+        "num_snippets": len(aligned),
+        "entities": [name for name, _ in aligned.top_entities(3)],
+        "description": [term for term, _ in aligned.top_terms(3)],
+        "start": start,
+        "end": end,
+    }
+
+
+def _story_detail(aligned: AlignedStory, alignment: Alignment) -> Dict[str, object]:
+    start, end = aligned.date_range()
+    return {
+        "id": aligned.aligned_id,
+        "sources": aligned.source_ids,
+        "story_ids": aligned.story_ids,
+        "num_snippets": len(aligned),
+        "entities": [
+            {"name": name, "count": count}
+            for name, count in aligned.top_entities(5)
+        ],
+        "description": [
+            {"term": term, "count": count}
+            for term, count in aligned.top_terms(9)
+        ],
+        "start": start,
+        "end": end,
+        "start_timestamp": aligned.start,
+        "end_timestamp": aligned.end,
+    }
+
+
+class ReadView:
+    """One frozen, fully materialized snapshot of the pivot state.
+
+    Everything a handler needs is precomputed into plain lists and dicts
+    at build time; after construction the view is never mutated, so any
+    number of request threads can read it without synchronization.
+    """
+
+    def __init__(
+        self,
+        result: PivotResult,
+        generation: int,
+        dataset: str = "corpus",
+        corpus: Optional[Corpus] = None,
+    ) -> None:
+        self.generation = generation
+        self.dataset = dataset
+        self.built_at = time.time()
+        alignment = result.alignment
+        self.alignment = alignment  # query engines bind to this
+
+        ranked = sorted(
+            alignment.aligned.values(),
+            key=lambda a: (-len(a), a.aligned_id),
+        )
+        self.stories: List[Dict[str, object]] = [
+            _story_summary(a) for a in ranked
+        ]
+        self.story_details: Dict[str, Dict[str, object]] = {
+            a.aligned_id: _story_detail(a, alignment) for a in ranked
+        }
+        self.story_snippets: Dict[str, List[Dict[str, object]]] = {
+            a.aligned_id: [
+                _snippet_record(s, alignment.role(s.snippet_id))
+                for s in a.snippets()
+            ]
+            for a in ranked
+        }
+
+        source_meta = dict(corpus.sources) if corpus is not None else {}
+        self.source_stories: Dict[str, List[Dict[str, object]]] = {}
+        self.sources: List[Dict[str, object]] = []
+        for source_id in sorted(result.story_sets):
+            story_set = result.story_sets[source_id]
+            rows = []
+            for story in story_set.stories_by_size():
+                start, end = story.date_range()
+                rows.append({
+                    "id": story.story_id,
+                    "num_snippets": len(story),
+                    "start": start,
+                    "end": end,
+                    "aligned_id": alignment.story_to_aligned.get(
+                        story.story_id
+                    ),
+                })
+            self.source_stories[source_id] = rows
+            meta = source_meta.get(source_id)
+            self.sources.append({
+                "id": source_id,
+                "name": meta.name if meta is not None else source_id,
+                "kind": meta.kind if meta is not None else "unknown",
+                "num_stories": len(story_set),
+                "num_snippets": story_set.num_snippets,
+            })
+
+        entities = set()
+        timestamps: List[float] = []
+        for aligned in ranked:
+            entities |= set(aligned.entity_profile())
+            timestamps.append(aligned.start)
+            timestamps.append(aligned.end)
+        self.stats: Dict[str, object] = {
+            "dataset": dataset,
+            "num_sources": len(result.story_sets),
+            "num_snippets": sum(
+                s.num_snippets for s in result.story_sets.values()
+            ),
+            "num_stories": result.num_stories,
+            "num_integrated": result.num_integrated,
+            "num_cross_source": len(alignment.cross_source_stories()),
+            "num_entities": len(entities),
+            "start": format_timestamp(min(timestamps)) if timestamps else None,
+            "end": format_timestamp(max(timestamps)) if timestamps else None,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ReadView(generation={self.generation}, "
+            f"stories={len(self.stories)})"
+        )
+
+
+_EMPTY_RESULT = None
+
+
+def empty_view() -> ReadView:
+    """Generation-0 view served before the first build completes."""
+    global _EMPTY_RESULT
+    if _EMPTY_RESULT is None:
+        _EMPTY_RESULT = PivotResult(
+            story_sets={}, alignment=Alignment(), refinement=None
+        )
+    return ReadView(_EMPTY_RESULT, generation=0, dataset="empty")
+
+
+class ViewStore:
+    """Atomic holder of the current :class:`ReadView`.
+
+    Readers call :meth:`current` — a single attribute read, no lock —
+    while builders call :meth:`install`/:meth:`swap` under an internal
+    lock that only serializes *writers*.  Generations are strictly
+    monotonic: a swap never publishes an older view.
+    """
+
+    def __init__(self, dataset: str = "corpus") -> None:
+        self.dataset = dataset
+        self._lock = threading.Lock()
+        self._view = empty_view()
+
+    def current(self) -> ReadView:
+        return self._view
+
+    @property
+    def generation(self) -> int:
+        return self._view.generation
+
+    def install(
+        self, result: PivotResult, corpus: Optional[Corpus] = None
+    ) -> ReadView:
+        """Build a view from ``result`` at the next generation and swap."""
+        with self._lock:
+            view = ReadView(
+                result,
+                generation=self._view.generation + 1,
+                dataset=self.dataset,
+                corpus=corpus,
+            )
+            self._view = view
+        return view
+
+    def swap(self, view: ReadView) -> ReadView:
+        """Publish a pre-built view; refuses to move generations backwards."""
+        with self._lock:
+            if view.generation <= self._view.generation:
+                raise ValueError(
+                    f"generation must advance: have "
+                    f"{self._view.generation}, got {view.generation}"
+                )
+            self._view = view
+        return view
+
+
+class ViewRefresher:
+    """Background rebuilds of a :class:`ViewStore` off a live runtime.
+
+    Polls ``runtime.accepted`` every ``interval`` seconds; when ingestion
+    has advanced since the last build (or on :meth:`refresh` being called
+    directly), takes a read-only merged snapshot of the shards, runs
+    alignment/refinement on it, and swaps the result in.  The runtime is
+    never blocked for longer than its own ``merged_pivot`` locking.
+    """
+
+    def __init__(
+        self,
+        runtime,
+        store: ViewStore,
+        interval: float = 1.0,
+        corpus: Optional[Corpus] = None,
+        on_error: Optional[Callable[[BaseException], None]] = None,
+    ) -> None:
+        self.runtime = runtime
+        self.store = store
+        self.interval = interval
+        self.corpus = corpus
+        self.on_error = on_error
+        self._built_at_count = -1
+        self._stop = threading.Event()
+        self._wake = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def refresh(self, force: bool = False) -> ReadView:
+        """Rebuild now (if ingestion advanced, or ``force``); returns current."""
+        accepted = self.runtime.accepted
+        if not force and accepted == self._built_at_count:
+            return self.store.current()
+        merged = self.runtime.merged_pivot()
+        result = merged.finish()
+        view = self.store.install(result, corpus=self.corpus)
+        self._built_at_count = accepted
+        return view
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            self._wake.wait(timeout=self.interval)
+            self._wake.clear()
+            if self._stop.is_set():
+                return
+            try:
+                self.refresh()
+            except Exception as exc:  # keep serving the last good view
+                if self.on_error is not None:
+                    self.on_error(exc)
+
+    def start(self) -> "ViewRefresher":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._loop, name="storypivot-view-refresher",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def poke(self) -> None:
+        """Ask the refresher to check for new data immediately."""
+        self._wake.set()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

@@ -20,17 +20,9 @@ from repro.errors import (
 from repro.eventdata.models import Snippet, Source
 from repro.storage.inverted_index import InvertedIndex
 from repro.storage.temporal_index import TemporalIndex
-from repro.text.stem import PorterStemmer
+from repro.text.stem import stem
 from repro.text.stopwords import STOPWORDS
 from repro.text.tokenize import word_tokens
-
-_STEMMER = PorterStemmer()
-
-#: stems are cached globally — vocabularies are small and Zipf-distributed,
-#: so matching would otherwise re-stem the same words millions of times.
-from functools import lru_cache as _lru_cache
-
-_cached_stem = _lru_cache(maxsize=1 << 18)(_STEMMER.stem)
 
 
 def match_terms(snippet: Snippet) -> Tuple[str, ...]:
@@ -51,7 +43,7 @@ def match_terms(snippet: Snippet) -> Tuple[str, ...]:
         lowered = word.lower()
         if lowered in STOPWORDS:
             continue
-        stemmed = _cached_stem(lowered)
+        stemmed = stem(lowered)
         if stemmed not in seen_set:
             seen_set.add(stemmed)
             seen.append(stemmed)

@@ -9,6 +9,8 @@ implementation follows M. F. Porter, "An algorithm for suffix stripping",
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 _VOWELS = "aeiou"
 
 
@@ -208,8 +210,15 @@ class PorterStemmer:
 _DEFAULT_STEMMER = PorterStemmer()
 
 
+@lru_cache(maxsize=1 << 18)
 def stem(word: str) -> str:
-    """Module-level convenience wrapper around a shared :class:`PorterStemmer`.
+    """Shared, memoized stem of ``word``.
+
+    Every subsystem on the hot match path (event store, query engine,
+    TextRank, corpus filters, the pipeline's query helper) goes through
+    this one table: vocabularies are small and Zipf-distributed, so the
+    same words would otherwise be re-stemmed millions of times — once per
+    module-private stemmer instance.
 
     >>> stem("investigations")
     'investig'

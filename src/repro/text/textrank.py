@@ -12,17 +12,15 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.text.stem import PorterStemmer
+from repro.text.stem import stem as stem_word
 from repro.text.stopwords import STOPWORDS
 from repro.text.tokenize import word_tokens
-
-_STEMMER = PorterStemmer()
 
 
 def _content_words(text: str, stem: bool) -> List[str]:
     words = [w for w in word_tokens(text) if w not in STOPWORDS and len(w) > 2]
     if stem:
-        words = [_STEMMER.stem(w) for w in words]
+        words = [stem_word(w) for w in words]
     return words
 
 

@@ -11,7 +11,7 @@ import math
 from collections import Counter
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.text.stem import PorterStemmer
+from repro.text.stem import stem
 from repro.text.stopwords import STOPWORDS
 from repro.text.tokenize import word_tokens
 from repro.text.vocab import Vocabulary
@@ -29,7 +29,7 @@ class BagOfWords:
         remove_stops: bool = True,
     ) -> None:
         self.vocabulary = vocabulary if vocabulary is not None else Vocabulary()
-        self._stemmer = PorterStemmer() if use_stemming else None
+        self._use_stemming = use_stemming
         self._remove_stops = remove_stops
 
     def terms(self, text: str) -> List[str]:
@@ -37,8 +37,8 @@ class BagOfWords:
         tokens = word_tokens(text)
         if self._remove_stops:
             tokens = [t for t in tokens if t not in STOPWORDS]
-        if self._stemmer is not None:
-            tokens = [self._stemmer.stem(t) for t in tokens]
+        if self._use_stemming:
+            tokens = [stem(t) for t in tokens]
         return tokens
 
     def counts(self, text: str) -> Dict[int, int]:

@@ -157,6 +157,65 @@ class TestSearchSnippets:
         assert times == sorted(times, reverse=True)
 
 
+class TestApiEdgeCases:
+    """The corner cases the HTTP API hits: empty strings, unknown filters,
+    empty ranges, tie-breaking, pagination."""
+
+    def test_empty_query_string_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.execute("")
+        with pytest.raises(ValueError):
+            engine.execute("   ")
+
+    def test_unknown_source_filter_matches_nothing(self, engine):
+        assert engine.execute("source:does-not-exist") == []
+        assert engine.execute("entity:UKR source:does-not-exist") == []
+
+    def test_time_range_excluding_everything(self, engine):
+        assert engine.execute("source:s1 after:2031-01-01") == []
+        assert engine.execute("source:s1 before:1999-01-01") == []
+
+    def test_relevance_ties_break_deterministically(self, engine):
+        # filter-only queries rank by story size, so equally sized stories
+        # tie on relevance; ties must break on aligned_id, stably
+        hits = engine.execute("source:s1 source:sn", limit=50)
+        keys = [(-h.relevance, h.story.aligned_id) for h in hits]
+        assert keys == sorted(keys)
+        rerun = engine.execute("source:s1 source:sn", limit=50)
+        assert [h.story.aligned_id for h in rerun] == [
+            h.story.aligned_id for h in hits
+        ]
+
+    def test_execute_pagination(self, engine):
+        everything = engine.execute("source:s1", limit=100)
+        assert len(everything) > 1
+        paged = []
+        for offset in range(0, len(everything), 1):
+            paged.extend(engine.execute("source:s1", limit=1, offset=offset))
+        assert [h.story.aligned_id for h in paged] == [
+            h.story.aligned_id for h in everything
+        ]
+
+    def test_execute_offset_past_end(self, engine):
+        assert engine.execute("source:s1", limit=5, offset=10_000) == []
+
+    def test_execute_rejects_negative_offset(self, engine):
+        with pytest.raises(ValueError):
+            engine.execute("entity:UKR", offset=-1)
+
+    def test_lazy_known_entities_shared_per_alignment(self, engine):
+        from repro.query.engine import known_entities
+
+        first = QueryEngine(engine.alignment)
+        second = QueryEngine(engine.alignment)
+        # both engines resolve bare tokens from the same cached vocabulary
+        assert first._known_entities is second._known_entities
+        assert "UKR" in known_entities(engine.alignment)
+        # bare-token resolution still works through the lazy path
+        hits = first.search("UKR crash")
+        assert hits and any("entity UKR" in m for m in hits[0].matched)
+
+
 class TestExplain:
     def test_explain_block(self, engine):
         text = engine.explain("entity:UKR keyword:crash")

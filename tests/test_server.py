@@ -1,0 +1,362 @@
+"""HTTP integration tests for the ``repro.server`` read-path API."""
+
+import io
+import json
+import http.client
+import threading
+import time
+
+import pytest
+
+from repro.core.config import StoryPivotConfig
+from repro.core.pipeline import StoryPivot
+from repro.eventdata.handcrafted import demo_config, mh17_corpus
+from repro.eventdata.sourcegen import synthetic_corpus
+from repro.runtime.runtime import RuntimeOptions, ShardedRuntime
+from repro.server import StoryPivotAPI, ViewRefresher, ViewStore
+
+
+def _get(port, path, headers=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request("GET", path, headers=headers or {})
+        response = conn.getresponse()
+        body = response.read()
+        return response.status, dict(response.getheaders()), body
+    finally:
+        conn.close()
+
+
+def _get_json(port, path, headers=None):
+    status, resp_headers, body = _get(port, path, headers)
+    return status, resp_headers, json.loads(body) if body else None
+
+
+@pytest.fixture(scope="module")
+def demo_api():
+    corpus = mh17_corpus()
+    result = StoryPivot(demo_config()).run(corpus)
+    store = ViewStore(dataset=corpus.name)
+    store.install(result, corpus=corpus)
+    with StoryPivotAPI(store, port=0) as api:
+        yield api
+
+
+class TestEndpoints:
+    def test_healthz(self, demo_api):
+        status, headers, payload = _get_json(demo_api.port, "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["generation"] == 1
+        assert headers["X-StoryPivot-Generation"] == "1"
+
+    def test_stories_and_detail_and_snippets(self, demo_api):
+        status, _, payload = _get_json(demo_api.port, "/stories")
+        assert status == 200 and payload["stories"]
+        story_id = payload["stories"][0]["id"]
+
+        status, _, detail = _get_json(demo_api.port, f"/stories/{story_id}")
+        assert status == 200
+        assert detail["story"]["id"] == story_id
+        assert detail["story"]["entities"]
+
+        status, _, snippets = _get_json(
+            demo_api.port, f"/stories/{story_id}/snippets"
+        )
+        assert status == 200
+        assert snippets["total"] == payload["stories"][0]["num_snippets"]
+        timestamps = [row["timestamp"] for row in snippets["snippets"]]
+        assert timestamps == sorted(timestamps)
+
+    def test_sources_and_source_stories(self, demo_api):
+        status, _, payload = _get_json(demo_api.port, "/sources")
+        assert status == 200
+        ids = [s["id"] for s in payload["sources"]]
+        assert ids == sorted(ids) and len(ids) >= 2
+        status, _, per_source = _get_json(
+            demo_api.port, f"/sources/{ids[0]}/stories"
+        )
+        assert status == 200
+        assert per_source["stories"]
+        assert all(
+            row["aligned_id"] is not None for row in per_source["stories"]
+        )
+
+    def test_stats(self, demo_api):
+        status, _, payload = _get_json(demo_api.port, "/stats")
+        assert status == 200
+        assert payload["stats"]["num_snippets"] > 0
+        assert payload["stats"]["num_integrated"] > 0
+
+    def test_query(self, demo_api):
+        status, _, payload = _get_json(demo_api.port, "/query?q=crash")
+        assert status == 200
+        assert payload["results"]
+        relevances = [r["relevance"] for r in payload["results"]]
+        assert relevances == sorted(relevances, reverse=True)
+
+    def test_query_requires_q(self, demo_api):
+        status, _, payload = _get_json(demo_api.port, "/query")
+        assert status == 400
+        assert "q" in payload["error"]
+
+    def test_unknown_path_404(self, demo_api):
+        status, _, payload = _get_json(demo_api.port, "/nope/deeper")
+        assert status == 404
+
+    def test_unknown_story_404_not_cached(self, demo_api):
+        status, _, _ = _get_json(demo_api.port, "/stories/zzz")
+        assert status == 404
+        status, headers, _ = _get_json(demo_api.port, "/stories/zzz")
+        assert status == 404
+        assert "ETag" not in headers  # error responses bypass the cache
+
+    def test_post_is_405(self, demo_api):
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", demo_api.port, timeout=10
+        )
+        try:
+            conn.request("POST", "/stories", body=b"{}")
+            response = conn.getresponse()
+            assert response.status == 405
+            response.read()
+        finally:
+            conn.close()
+
+    def test_metricz_json_and_text(self, demo_api):
+        status, _, payload = _get_json(demo_api.port, "/metricz")
+        assert status == 200
+        assert "http.requests" in payload
+        assert payload["http.requests"]["type"] == "counter"
+        status, headers, body = _get(demo_api.port, "/metricz?format=text")
+        assert status == 200
+        assert headers["Content-Type"] == "text/plain"
+        text = body.decode()
+        assert "http.latency_seconds" in text and "p95" in text
+
+    def test_pagination_over_http(self, demo_api):
+        _, _, full = _get_json(demo_api.port, "/stories?limit=200")
+        collected, cursor = [], None
+        for _ in range(100):
+            path = "/stories?limit=1" + (
+                f"&cursor={cursor}" if cursor else ""
+            )
+            _, _, page = _get_json(demo_api.port, path)
+            collected.extend(s["id"] for s in page["stories"])
+            cursor = page["next_cursor"]
+            if cursor is None:
+                break
+        assert collected == [s["id"] for s in full["stories"]]
+
+    def test_malformed_cursor_400(self, demo_api):
+        status, _, payload = _get_json(
+            demo_api.port, "/stories?cursor=@@@bad@@@"
+        )
+        assert status == 400
+
+
+class TestCachingOverHttp:
+    def test_etag_revalidation_304(self, demo_api):
+        status, headers, body = _get(demo_api.port, "/stories?limit=5")
+        assert status == 200
+        etag = headers["ETag"]
+        status2, headers2, body2 = _get(
+            demo_api.port, "/stories?limit=5",
+            headers={"If-None-Match": etag},
+        )
+        assert status2 == 304
+        assert body2 == b""
+        assert headers2["ETag"] == etag
+        assert headers2["X-StoryPivot-Generation"] == (
+            headers["X-StoryPivot-Generation"]
+        )
+
+    def test_repeat_request_hits_cache(self, demo_api):
+        before = demo_api.cache.hits
+        _get(demo_api.port, "/stats")
+        _get(demo_api.port, "/stats")
+        assert demo_api.cache.hits > before
+
+    def test_identical_bodies_across_requests(self, demo_api):
+        _, _, a = _get(demo_api.port, "/stories")
+        _, _, b = _get(demo_api.port, "/stories")
+        assert a == b
+
+
+class TestRateLimiting:
+    def test_429_with_retry_after(self):
+        corpus = mh17_corpus()
+        result = StoryPivot(demo_config()).run(corpus)
+        store = ViewStore(dataset=corpus.name)
+        store.install(result, corpus=corpus)
+        with StoryPivotAPI(store, port=0, rate_limit=1.0, burst=2) as api:
+            statuses = []
+            for _ in range(4):
+                status, headers, _ = _get(api.port, "/healthz")
+                statuses.append((status, headers))
+            codes = [s for s, _ in statuses]
+            assert codes[:2] == [200, 200]
+            assert 429 in codes[2:]
+            rejected = next(h for s, h in statuses if s == 429)
+            assert int(rejected["Retry-After"]) >= 1
+            assert api.metrics.counter("http.ratelimited").value >= 1
+
+
+class TestAccessLog:
+    def test_structured_lines(self):
+        corpus = mh17_corpus()
+        result = StoryPivot(demo_config()).run(corpus)
+        store = ViewStore(dataset=corpus.name)
+        store.install(result, corpus=corpus)
+        log = io.StringIO()
+        with StoryPivotAPI(store, port=0, access_log=log) as api:
+            _get(api.port, "/stories")
+            _get(api.port, "/stories")
+        lines = [json.loads(l) for l in log.getvalue().splitlines()]
+        assert len(lines) == 2
+        for record in lines:
+            assert record["method"] == "GET"
+            assert record["path"] == "/stories"
+            assert record["status"] == 200
+            assert record["generation"] == 1
+            assert record["ms"] >= 0
+        # one miss (first render) and one hit; handler threads may flush
+        # their log lines in either order
+        assert sorted(r["cache"] for r in lines) == ["hit", "miss"]
+
+
+class TestShutdown:
+    def test_close_is_graceful_and_idempotent(self):
+        corpus = mh17_corpus()
+        result = StoryPivot(demo_config()).run(corpus)
+        store = ViewStore(dataset=corpus.name)
+        store.install(result, corpus=corpus)
+        api = StoryPivotAPI(store, port=0).start()
+        port = api.port
+        status, _, _ = _get(port, "/healthz")
+        assert status == 200
+        api.close()
+        api.close()  # idempotent
+        with pytest.raises(OSError):
+            _get(port, "/healthz")
+
+
+class TestLiveIngestConsistency:
+    """Acceptance: hammering the API during a live ingest never observes a
+    torn view — the generation header matches the body's generation within
+    every response and never decreases across responses."""
+
+    def test_generation_never_torn_under_live_ingest(self):
+        corpus = synthetic_corpus(total_events=90, num_sources=4, seed=11)
+        snippets = corpus.snippets_by_publication()
+        config = StoryPivotConfig.temporal()
+        runtime = ShardedRuntime(
+            config, RuntimeOptions(num_shards=2)
+        ).start()
+        store = ViewStore(dataset=corpus.name)
+        refresher = ViewRefresher(
+            runtime, store, interval=0.02, corpus=corpus
+        )
+        # seed an initial view so the first responses have generation >= 1
+        runtime.consume(snippets[:10])
+        runtime.drain()
+        refresher.refresh(force=True)
+        refresher.start()
+
+        api = StoryPivotAPI(store, port=0).start()
+        errors = []
+        observations = {}
+
+        def hammer(worker_id):
+            seen = []
+            try:
+                for _ in range(25):
+                    status, headers, payload = _get_json(
+                        api.port, "/stories?limit=5"
+                    )
+                    assert status == 200
+                    header_gen = int(headers["X-StoryPivot-Generation"])
+                    body_gen = payload["generation"]
+                    # snapshot consistency within one response
+                    assert header_gen == body_gen, (
+                        f"torn response: header {header_gen} "
+                        f"!= body {body_gen}"
+                    )
+                    seen.append(header_gen)
+            except Exception as exc:  # surfaced after joining
+                errors.append(exc)
+            observations[worker_id] = seen
+
+        def feed():
+            for snippet in snippets[10:]:
+                runtime.offer(snippet)
+                time.sleep(0.001)
+
+        feeder = threading.Thread(target=feed)
+        workers = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(3)
+        ]
+        try:
+            feeder.start()
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join(timeout=60)
+            feeder.join(timeout=60)
+        finally:
+            api.close()
+            refresher.stop()
+            runtime.stop()
+
+        assert not errors, errors
+        for seen in observations.values():
+            assert seen, "worker made no requests"
+            # monotonically non-decreasing across responses
+            assert all(a <= b for a, b in zip(seen, seen[1:])), seen
+            assert all(g >= 1 for g in seen)
+        # the view actually advanced while we were hammering
+        assert store.generation > 1
+
+    def test_generation_bump_invalidates_etag(self):
+        """Acceptance: same-generation repeats answer 304; a realignment
+        that bumps the generation serves a fresh body."""
+        corpus = synthetic_corpus(total_events=60, num_sources=3, seed=7)
+        snippets = corpus.snippets_by_publication()
+        runtime = ShardedRuntime(
+            StoryPivotConfig.temporal(), RuntimeOptions(num_shards=2)
+        ).start()
+        store = ViewStore(dataset=corpus.name)
+        refresher = ViewRefresher(runtime, store, corpus=corpus)
+        runtime.consume(snippets[:30])
+        runtime.drain()
+        refresher.refresh(force=True)
+        api = StoryPivotAPI(store, port=0).start()
+        try:
+            status, headers, body = _get(api.port, "/stories")
+            assert status == 200
+            etag = headers["ETag"]
+            gen = headers["X-StoryPivot-Generation"]
+
+            status, headers2, _ = _get(
+                api.port, "/stories", headers={"If-None-Match": etag}
+            )
+            assert status == 304
+            assert headers2["X-StoryPivot-Generation"] == gen
+
+            # ingest the rest and force a realignment/view rebuild
+            runtime.consume(snippets[30:])
+            runtime.drain()
+            refresher.refresh(force=True)
+            assert store.generation > int(gen)
+
+            status, headers3, body3 = _get(
+                api.port, "/stories", headers={"If-None-Match": etag}
+            )
+            assert status == 200  # stale tag no longer matches
+            assert headers3["ETag"] != etag
+            assert int(headers3["X-StoryPivot-Generation"]) > int(gen)
+            assert body3 != body
+        finally:
+            api.close()
+            refresher.stop()
+            runtime.stop()

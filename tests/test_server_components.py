@@ -1,0 +1,240 @@
+"""Unit tests for the server building blocks: views, cache, rate limiter."""
+
+import pytest
+
+from repro.core.pipeline import StoryPivot
+from repro.eventdata.handcrafted import demo_config, mh17_corpus
+from repro.runtime.metrics import MetricsRegistry, render_table
+from repro.server import (
+    ApiError,
+    ResponseCache,
+    RateLimiter,
+    ViewStore,
+    decode_cursor,
+    empty_view,
+    encode_cursor,
+    make_etag,
+    route,
+)
+
+
+@pytest.fixture(scope="module")
+def demo_result():
+    return mh17_corpus(), StoryPivot(demo_config()).run(mh17_corpus())
+
+
+@pytest.fixture(scope="module")
+def demo_view(demo_result):
+    corpus, result = demo_result
+    store = ViewStore(dataset=corpus.name)
+    return store.install(result, corpus=corpus)
+
+
+class TestReadView:
+    def test_materializes_all_modules(self, demo_view):
+        assert demo_view.generation == 1
+        assert demo_view.stories  # story overview (Figure 4)
+        first = demo_view.stories[0]
+        assert set(first) >= {"id", "sources", "num_snippets", "entities",
+                              "description", "start", "end"}
+        # stories are ranked by size then id, stable
+        sizes = [s["num_snippets"] for s in demo_view.stories]
+        assert sizes == sorted(sizes, reverse=True)
+        # detail + snippets exist for every listed story
+        for summary in demo_view.stories:
+            assert summary["id"] in demo_view.story_details
+            rows = demo_view.story_snippets[summary["id"]]
+            assert len(rows) == summary["num_snippets"]
+            for row in rows:
+                assert row["role"] in ("aligning", "enriching")
+
+    def test_sources_and_stats(self, demo_view):
+        ids = {s["id"] for s in demo_view.sources}
+        assert ids == set(demo_view.source_stories)
+        stats = demo_view.stats
+        assert stats["num_sources"] == len(ids)
+        assert stats["num_snippets"] > 0
+        assert stats["num_integrated"] == len(demo_view.stories)
+
+    def test_source_names_come_from_corpus(self, demo_result, demo_view):
+        corpus, _ = demo_result
+        names = {s["id"]: s["name"] for s in demo_view.sources}
+        for source_id, source in corpus.sources.items():
+            assert names[source_id] == source.name
+
+
+class TestViewStore:
+    def test_generations_monotonic(self, demo_result):
+        corpus, result = demo_result
+        store = ViewStore()
+        assert store.generation == 0  # empty view before first install
+        v1 = store.install(result)
+        v2 = store.install(result)
+        assert (v1.generation, v2.generation) == (1, 2)
+        assert store.current() is v2
+
+    def test_swap_refuses_stale_generation(self, demo_result):
+        _, result = demo_result
+        store = ViewStore()
+        store.install(result)
+        with pytest.raises(ValueError):
+            store.swap(empty_view())
+
+    def test_empty_view_serves(self):
+        view = empty_view()
+        assert route(view, "/stories", {}).payload["stories"] == []
+        assert route(view, "/healthz", {}).payload["status"] == "ok"
+
+
+class TestCursor:
+    def test_roundtrip(self):
+        for offset in (0, 1, 17, 10_000):
+            assert decode_cursor(encode_cursor(offset)) == offset
+
+    def test_malformed(self):
+        for bad in ("zzz", "bzzl==", encode_cursor(3)[:-4] + "!!!!"):
+            with pytest.raises(ApiError):
+                decode_cursor(bad)
+
+
+class TestRouting:
+    def test_pagination_walks_everything(self, demo_view):
+        seen = []
+        cursor = ""
+        while True:
+            params = {"limit": "2"}
+            if cursor:
+                params["cursor"] = cursor
+            payload = route(demo_view, "/stories", params).payload
+            assert len(payload["stories"]) <= 2
+            seen.extend(s["id"] for s in payload["stories"])
+            if payload["next_cursor"] is None:
+                break
+            cursor = payload["next_cursor"]
+        assert seen == [s["id"] for s in demo_view.stories]
+        assert len(set(seen)) == len(seen)
+
+    def test_unknown_story_404(self, demo_view):
+        with pytest.raises(ApiError) as err:
+            route(demo_view, "/stories/nope", {})
+        assert err.value.status == 404
+
+    def test_unknown_source_404(self, demo_view):
+        with pytest.raises(ApiError) as err:
+            route(demo_view, "/sources/nope/stories", {})
+        assert err.value.status == 404
+
+    def test_bad_limit_400(self, demo_view):
+        for params in ({"limit": "x"}, {"limit": "0"}, {"limit": "-3"}):
+            with pytest.raises(ApiError) as err:
+                route(demo_view, "/stories", params)
+            assert err.value.status == 400
+
+    def test_query_empty_400(self, demo_view):
+        with pytest.raises(ApiError) as err:
+            route(demo_view, "/query", {"q": "   "})
+        assert err.value.status == 400
+
+    def test_query_results_carry_details(self, demo_view):
+        payload = route(demo_view, "/query", {"q": "crash"}).payload
+        assert payload["results"]
+        for row in payload["results"]:
+            assert row["story"]["id"] in demo_view.story_details
+            assert row["relevance"] > 0
+
+    def test_every_payload_carries_generation(self, demo_view):
+        sid = demo_view.stories[0]["id"]
+        paths = ["/healthz", "/stats", "/stories", f"/stories/{sid}",
+                 f"/stories/{sid}/snippets", "/sources",
+                 "/sources/s1/stories"]
+        for path in paths:
+            payload = route(demo_view, path, {}).payload
+            assert payload["generation"] == demo_view.generation
+
+
+class TestResponseCache:
+    def test_hit_after_put(self):
+        cache = ResponseCache(4)
+        assert cache.get(1, "/stories") is None
+        entry = cache.put(1, "/stories", b"body")
+        hit = cache.get(1, "/stories")
+        assert hit is entry
+        assert hit.etag == make_etag(1, b"body")
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_generation_keys_apart(self):
+        cache = ResponseCache(4)
+        cache.put(1, "/stories", b"old")
+        cache.put(2, "/stories", b"new")
+        assert cache.get(1, "/stories").body == b"old"
+        assert cache.get(2, "/stories").body == b"new"
+        assert cache.get(1, "/stories").etag != cache.get(2, "/stories").etag
+
+    def test_lru_eviction(self):
+        cache = ResponseCache(2)
+        cache.put(1, "a", b"a")
+        cache.put(1, "b", b"b")
+        assert cache.get(1, "a") is not None  # refresh a
+        cache.put(1, "c", b"c")  # evicts b (least recently used)
+        assert cache.get(1, "b") is None
+        assert cache.get(1, "a") is not None
+        assert cache.evictions == 1
+
+    def test_purge_stale(self):
+        cache = ResponseCache(8)
+        cache.put(1, "a", b"a")
+        cache.put(1, "b", b"b")
+        cache.put(2, "a", b"a2")
+        assert cache.purge_stale(2) == 2
+        assert len(cache) == 1
+        assert cache.get(2, "a") is not None
+
+    def test_disabled_cache(self):
+        cache = ResponseCache(0)
+        entry = cache.put(1, "a", b"a")  # still renders an etag
+        assert entry.etag
+        assert cache.get(1, "a") is None
+        assert len(cache) == 0
+
+
+class TestRateLimiter:
+    def test_disabled_by_default(self):
+        limiter = RateLimiter()
+        assert all(limiter.allow("c")[0] for _ in range(1000))
+
+    def test_burst_then_reject_then_refill(self):
+        now = [0.0]
+        limiter = RateLimiter(rate=1.0, burst=3, clock=lambda: now[0])
+        assert [limiter.allow("c")[0] for _ in range(3)] == [True] * 3
+        allowed, retry_after = limiter.allow("c")
+        assert not allowed
+        assert 0 < retry_after <= 1.0
+        now[0] += retry_after  # wait exactly as told
+        assert limiter.allow("c")[0]
+        assert limiter.rejected == 1
+
+    def test_clients_are_independent(self):
+        now = [0.0]
+        limiter = RateLimiter(rate=1.0, burst=1, clock=lambda: now[0])
+        assert limiter.allow("a")[0]
+        assert not limiter.allow("a")[0]
+        assert limiter.allow("b")[0]  # b has its own bucket
+
+    def test_client_cap_evicts_lru(self):
+        now = [0.0]
+        limiter = RateLimiter(
+            rate=1.0, burst=1, max_clients=2, clock=lambda: now[0]
+        )
+        limiter.allow("a")
+        limiter.allow("b")
+        limiter.allow("c")  # evicts a
+        assert limiter.allow("a")[0]  # a restarts with a full bucket
+
+
+class TestSharedMetricsRendering:
+    def test_registry_render_delegates_to_render_table(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc(3)
+        registry.histogram("h").observe(0.5)
+        assert registry.render() == render_table(registry.snapshot())
+        assert "p95" in registry.render()
