@@ -85,6 +85,54 @@ class DocumentFeed:
             yield batch
 
 
+class ResilientFeed:
+    """A feed whose pulls ride a retry schedule behind a circuit breaker.
+
+    Wraps any iterable of feed items (a :class:`DocumentFeed`, a chaos
+    wrapper, a network-backed generator) so that transient pull errors
+    are retried on a deterministic backoff schedule and a *persistently*
+    failing upstream trips a breaker instead of hammering it: pulls then
+    fail fast with :class:`~repro.resilience.breaker.CircuitOpenError`
+    until the reset timeout lets a probe through.  Because an injected or
+    upstream error surfaces *before* an item is consumed, a retried pull
+    never loses data.
+    """
+
+    def __init__(
+        self,
+        feed,
+        retry=None,
+        breaker=None,
+        sleep=None,
+        name: str = "feed",
+    ) -> None:
+        from repro.resilience.breaker import CircuitBreaker
+        from repro.resilience.policies import RetryPolicy
+
+        self.feed = feed
+        self.name = name
+        self.retry = retry if retry is not None else RetryPolicy(
+            max_attempts=4, base_delay=0.05, factor=2.0, max_delay=1.0
+        )
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            name=name, failure_threshold=0.5, window=20, min_calls=5,
+            reset_timeout=2.0,
+        )
+        self._sleep = sleep
+
+    def __iter__(self) -> Iterator:
+        from repro.resilience.policies import resilient_iter
+
+        kwargs = {"retry": self.retry, "breaker": self.breaker,
+                  "key": self.name}
+        if self._sleep is not None:
+            kwargs["sleep"] = self._sleep
+        return resilient_iter(iter(self.feed), **kwargs)
+
+    def __len__(self) -> int:
+        return len(self.feed)
+
+
 def feed_from_events(
     events: Sequence, profiles: Sequence, seed: int = 7
 ) -> DocumentFeed:

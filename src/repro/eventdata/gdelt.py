@@ -93,11 +93,26 @@ def export_tsv(corpus: Corpus) -> str:
     return "\n".join(lines) + "\n"
 
 
-def import_tsv(text: str, name: str = "gdelt-import") -> Corpus:
+def import_tsv(
+    text: str,
+    name: str = "gdelt-import",
+    on_error: str = "raise",
+    errors: Optional[List[str]] = None,
+) -> Corpus:
     """Parse TSV produced by :func:`export_tsv` back into a corpus.
 
     Sources are synthesized from the distinct ``SourceId`` values.
+
+    ``on_error`` selects how malformed *rows* are treated: ``"raise"``
+    (default) keeps the strict contract and raises
+    :class:`~repro.errors.DataFormatError` on the first bad row;
+    ``"skip"`` quarantines bad rows — each is dropped with its message
+    appended to ``errors`` (when given) — so one mangled line in a large
+    export costs one record, not the whole import.  A bad header or an
+    empty file always raises: there is nothing sensible to salvage.
     """
+    if on_error not in ("raise", "skip"):
+        raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
     lines = [line for line in text.splitlines() if line.strip()]
     if not lines:
         raise DataFormatError("empty TSV input")
@@ -109,35 +124,42 @@ def import_tsv(text: str, name: str = "gdelt-import") -> Corpus:
     corpus = Corpus(name)
     seen_sources: Dict[str, Source] = {}
     for line_no, line in enumerate(lines[1:], start=2):
-        cells = line.split("\t")
-        if len(cells) != len(GDELT_COLUMNS):
-            raise DataFormatError(
-                f"line {line_no}: expected {len(GDELT_COLUMNS)} columns, "
-                f"got {len(cells)}"
+        try:
+            cells = line.split("\t")
+            if len(cells) != len(GDELT_COLUMNS):
+                raise DataFormatError(
+                    f"line {line_no}: expected {len(GDELT_COLUMNS)} columns, "
+                    f"got {len(cells)}"
+                )
+            record = dict(zip(GDELT_COLUMNS, cells))
+            source_id = record["SourceId"]
+            try:
+                timestamp = float(record["TimestampUnix"])
+                published = float(record["PublishedUnix"])
+            except ValueError as exc:
+                raise DataFormatError(f"line {line_no}: bad timestamp") from exc
+            entities = frozenset(a for a in record["Actors"].split(";") if a)
+            keywords = tuple(k for k in record["Keywords"].split(";") if k)
+            snippet = Snippet(
+                snippet_id=record["GLOBALEVENTID"],
+                source_id=source_id,
+                timestamp=timestamp,
+                published=published,
+                description=record["Description"],
+                entities=entities,
+                keywords=keywords,
+                event_type=_REVERSE_CAMEO.get(record["EventCode"], "unknown"),
+                url=record["SOURCEURL"],
             )
-        record = dict(zip(GDELT_COLUMNS, cells))
-        source_id = record["SourceId"]
+        except DataFormatError as exc:
+            if on_error == "raise":
+                raise
+            if errors is not None:
+                errors.append(str(exc))
+            continue
         if source_id not in seen_sources:
             source = Source(source_id, source_id)
             seen_sources[source_id] = source
             corpus.add_source(source)
-        try:
-            timestamp = float(record["TimestampUnix"])
-            published = float(record["PublishedUnix"])
-        except ValueError as exc:
-            raise DataFormatError(f"line {line_no}: bad timestamp") from exc
-        entities = frozenset(a for a in record["Actors"].split(";") if a)
-        keywords = tuple(k for k in record["Keywords"].split(";") if k)
-        snippet = Snippet(
-            snippet_id=record["GLOBALEVENTID"],
-            source_id=source_id,
-            timestamp=timestamp,
-            published=published,
-            description=record["Description"],
-            entities=entities,
-            keywords=keywords,
-            event_type=_REVERSE_CAMEO.get(record["EventCode"], "unknown"),
-            url=record["SOURCEURL"],
-        )
         corpus.add_snippet(snippet, record["StoryLabel"] or None)
     return corpus

@@ -12,7 +12,7 @@ explanations) for the exploration modules.
 
 from repro.kb.base import Entity, KnowledgeBase, Relation
 from repro.kb.dbpedia import build_default_kb
-from repro.kb.linker import EntityLinker
+from repro.kb.linker import EntityLinker, ResilientLinker
 from repro.kb.context import StoryContext, story_context
 
 __all__ = [
@@ -21,6 +21,7 @@ __all__ = [
     "KnowledgeBase",
     "build_default_kb",
     "EntityLinker",
+    "ResilientLinker",
     "StoryContext",
     "story_context",
 ]

@@ -66,3 +66,67 @@ class EntityLinker:
             url=snippet.url,
         )
         return normalized, sorted(unresolved)
+
+
+class ResilientLinker(EntityLinker):
+    """An :class:`EntityLinker` that degrades instead of failing.
+
+    Lookups against a flaky knowledge base are retried on a
+    deterministic schedule behind a circuit breaker; when the KB is hard
+    down (breaker open, or the retry schedule exhausts) a mention simply
+    resolves to ``None`` — exactly the contract for an *unknown* mention,
+    which :meth:`EntityLinker.normalize_snippet` already handles by
+    keeping the raw code.  Entity normalization is a quality refinement,
+    not a correctness requirement, so a degraded KB must never stop
+    ingestion; :attr:`degraded_lookups` counts how many resolutions fell
+    through for ``/metricz`` and post-hoc re-linking.
+    """
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        retry=None,
+        breaker=None,
+        sleep=None,
+        metrics=None,
+    ) -> None:
+        from repro.resilience.breaker import CircuitBreaker
+        from repro.resilience.policies import RetryPolicy
+
+        super().__init__(kb)
+        self.retry = retry if retry is not None else RetryPolicy(
+            max_attempts=3, base_delay=0.02, factor=2.0, max_delay=0.5
+        )
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            name="kb", failure_threshold=0.5, window=20, min_calls=5,
+            reset_timeout=5.0,
+        )
+        self._sleep = sleep
+        self.degraded_lookups = 0
+        self._degraded_counter = (
+            metrics.counter("kb.degraded_lookups")
+            if metrics is not None else None
+        )
+
+    def link(self, mention: str) -> Optional[Entity]:
+        """Resolve one mention; ``None`` if unknown *or* KB unavailable."""
+        import time as _time
+
+        from repro.resilience.breaker import CircuitOpenError
+
+        sleep = self._sleep if self._sleep is not None else _time.sleep
+        try:
+            return self.breaker.call_with_retry(
+                lambda: self.kb.resolve(mention),
+                retry=self.retry,
+                key=mention,
+                sleep=sleep,
+            )
+        except CircuitOpenError:
+            pass
+        except Exception:
+            pass
+        self.degraded_lookups += 1
+        if self._degraded_counter is not None:
+            self._degraded_counter.inc()
+        return None

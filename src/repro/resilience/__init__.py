@@ -1,0 +1,63 @@
+"""repro.resilience — retries, breakers, deadlines, quarantine, chaos.
+
+The failure-handling layer of the runtime and server: composable
+:class:`RetryPolicy` (capped exponential backoff, deterministic jitter),
+:class:`CircuitBreaker` (closed/open/half-open over a failure-rate
+window), :class:`Deadline` propagation, per-shard
+:class:`DeadLetterQueue` quarantine for poison snippets, and a seeded
+:class:`FaultInjector` that exercises all of it deterministically —
+in the ``chaos`` pytest fixture, under ``storypivot-serve --chaos`` and
+in the CI chaos-smoke job.
+"""
+
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    CircuitOpenError,
+)
+from repro.resilience.deadline import (
+    Deadline,
+    DeadlineExceeded,
+    current_deadline,
+    deadline_scope,
+)
+from repro.resilience.dlq import DeadLetter, DeadLetterQueue
+from repro.resilience.faults import (
+    PROFILES,
+    ChaosWal,
+    FaultInjector,
+    FaultProfile,
+    FaultyFeed,
+    InjectedFault,
+    InjectedFaultError,
+    InjectedPoisonError,
+    resolve_profile,
+)
+from repro.resilience.policies import RetryPolicy, resilient_iter
+
+__all__ = [
+    "CLOSED",
+    "ChaosWal",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "Deadline",
+    "DeadLetter",
+    "DeadLetterQueue",
+    "DeadlineExceeded",
+    "FaultInjector",
+    "FaultProfile",
+    "FaultyFeed",
+    "HALF_OPEN",
+    "InjectedFault",
+    "InjectedFaultError",
+    "InjectedPoisonError",
+    "OPEN",
+    "PROFILES",
+    "RetryPolicy",
+    "current_deadline",
+    "deadline_scope",
+    "resilient_iter",
+    "resolve_profile",
+]

@@ -1,0 +1,97 @@
+"""Deadlines: absolute time budgets that propagate down call stacks.
+
+A retry loop without a deadline happily spends 30 seconds "recovering"
+work the caller abandoned after two.  A :class:`Deadline` is an absolute
+point on the monotonic clock; layers hand the *same* deadline down
+(feed pull → retry policy → breaker wait) so the total budget is bounded
+end to end instead of multiplying per layer.
+
+:func:`deadline_scope` offers ambient propagation through a
+``contextvars`` variable for code paths where threading the object
+explicitly would be invasive; nested scopes always tighten (the
+effective deadline is the minimum).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import time
+from typing import Callable, Iterator, Optional
+
+from repro.errors import StoryPivotError
+
+
+class DeadlineExceeded(StoryPivotError, TimeoutError):
+    """An operation outlived its time budget."""
+
+
+class Deadline:
+    """An absolute expiry on an injectable monotonic clock."""
+
+    __slots__ = ("expires_at", "_clock")
+
+    def __init__(
+        self,
+        expires_at: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.expires_at = expires_at
+        self._clock = clock
+
+    @classmethod
+    def after(
+        cls,
+        seconds: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "Deadline":
+        if seconds < 0:
+            raise ValueError("deadline budget must be non-negative")
+        return cls(clock() + seconds, clock=clock)
+
+    def remaining(self) -> float:
+        """Seconds left; never negative."""
+        return max(0.0, self.expires_at - self._clock())
+
+    @property
+    def expired(self) -> bool:
+        return self._clock() >= self.expires_at
+
+    def check(self, what: str = "operation") -> None:
+        """Raise :class:`DeadlineExceeded` once the budget is spent."""
+        if self.expired:
+            raise DeadlineExceeded(f"{what} exceeded its deadline")
+
+    def tightened(self, other: Optional["Deadline"]) -> "Deadline":
+        """The stricter of two deadlines (identity when ``other`` is None)."""
+        if other is None or self.expires_at <= other.expires_at:
+            return self
+        return other
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+_CURRENT: contextvars.ContextVar[Optional[Deadline]] = contextvars.ContextVar(
+    "storypivot_deadline", default=None
+)
+
+
+def current_deadline() -> Optional[Deadline]:
+    """The ambient deadline of the calling context, if any."""
+    return _CURRENT.get()
+
+
+@contextlib.contextmanager
+def deadline_scope(seconds: float) -> Iterator[Deadline]:
+    """Bind an ambient deadline for the dynamic extent of the block.
+
+    Nesting tightens: an inner scope can only shorten the effective
+    budget, never extend what an outer caller granted.
+    """
+    deadline = Deadline.after(seconds).tightened(_CURRENT.get())
+    token = _CURRENT.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _CURRENT.reset(token)

@@ -46,9 +46,11 @@ from repro.core.pipeline import PivotResult, StoryPivot
 from repro.errors import ConfigurationError, DuplicateSnippetError
 from repro.eventdata.corpus import Corpus
 from repro.eventdata.models import Snippet
+from repro.resilience.dlq import DeadLetterQueue
+from repro.resilience.policies import RetryPolicy
 from repro.runtime.metrics import MetricsRegistry
 from repro.runtime.queues import BACKPRESSURE_POLICIES, BoundedQueue, QueueClosed
-from repro.runtime.shard import STOP, Shard
+from repro.runtime.shard import DEFAULT_SHARD_RETRY, POISON_POLICIES, STOP, Shard
 from repro.runtime.supervisor import BackoffPolicy, Supervisor
 from repro.runtime.wal import CheckpointStore
 
@@ -74,10 +76,17 @@ class RuntimeOptions:
     backoff: BackoffPolicy = field(default_factory=BackoffPolicy)
     batch_size: int = 64  # process executor: snippets per IPC batch
     max_outstanding: int = 4  # process executor: in-flight batches per shard
+    poison_policy: str = "quarantine"  # or "supervise": escalate snippet errors
+    retry: RetryPolicy = DEFAULT_SHARD_RETRY  # per-snippet retry schedule
 
     def __post_init__(self) -> None:
         if self.num_shards <= 0:
             raise ConfigurationError("num_shards must be positive")
+        if self.poison_policy not in POISON_POLICIES:
+            raise ConfigurationError(
+                f"unknown poison policy {self.poison_policy!r}; "
+                f"choose from {POISON_POLICIES}"
+            )
         if self.executor not in EXECUTORS:
             raise ConfigurationError(
                 f"unknown executor {self.executor!r}; choose from {EXECUTORS}"
@@ -171,6 +180,13 @@ class ShardedRuntime:
         self.metrics.counter("realign.count")
         self.metrics.counter("checkpoint.count")
         self.metrics.counter("checkpoint.bytes")
+        self.metrics.counter("shard.retries")
+        self.metrics.counter("shard.retry_successes")
+        self.metrics.counter("dlq.records")
+        self.metrics.counter("wal.torn_records")
+        self.metrics.counter("supervisor.crash_loops")
+        self.metrics.gauge("shards.dead")
+        self.metrics.gauge("shards.failed")
         for shard_id in range(options.num_shards):
             self.metrics.gauge(f"queue.depth.shard{shard_id:03d}")
         # populated by start()
@@ -217,7 +233,9 @@ class ShardedRuntime:
         overrides["num_shards"] = num_shards
         runtime = cls(config, options, **overrides)
         for shard_id in range(num_shards):
-            pivot, _ = store.recover_shard(shard_id, config)
+            pivot, _ = store.recover_shard(
+                shard_id, config, metrics=runtime.metrics
+            )
             runtime._restored[shard_id] = pivot
         return runtime.start()
 
@@ -248,6 +266,13 @@ class ShardedRuntime:
                 if self._store is not None
                 else None
             )
+            # quarantine persists next to the WAL when one is configured;
+            # otherwise it is memory-only but still audited via metrics
+            dlq = (
+                self._store.dlq(shard_id)
+                if self._store is not None
+                else DeadLetterQueue()
+            )
             shard = Shard(
                 shard_id,
                 self.config,
@@ -258,6 +283,9 @@ class ShardedRuntime:
                 checkpoint_every=options.checkpoint_every,
                 checkpoint_fn=self._checkpoint_shard,
                 on_accepted=self._on_accepted,
+                poison_policy=options.poison_policy,
+                retry=options.retry,
+                dlq=dlq,
             )
             restored = self._restored[shard_id]
             if restored is not None:
@@ -600,10 +628,73 @@ class ShardedRuntime:
         for shard in self._shards:
             if shard.wal is not None:
                 shard.wal.close()
+            if shard.dlq is not None:
+                shard.dlq.close()
 
     def kill(self) -> None:
         """Abrupt shutdown: no drain, no checkpoint (crash simulation)."""
         self.stop(drain=False, checkpoint=False)
+
+    # -- dead-letter replay ------------------------------------------------
+
+    def replay_dlq(self) -> Dict[str, int]:
+        """Re-offer every quarantined snippet through normal ingestion.
+
+        The DLQ files are drained first; snippets that fail again are
+        re-quarantined by their shard workers, so replay converges and
+        is safe to repeat.  Returns counts:
+        ``{"replayed": offered, "requeued": still quarantined after}``.
+        """
+        self.start()
+        if self.options.executor == "process":
+            raise ConfigurationError(
+                "DLQ replay requires the thread executor"
+            )
+        letters = []
+        for shard in self._shards:
+            if shard.dlq is not None:
+                letters.extend(shard.dlq.take_all())
+        for letter in letters:
+            self.offer(letter.snippet)
+        self.drain()
+        requeued = sum(
+            len(shard.dlq) for shard in self._shards if shard.dlq is not None
+        )
+        return {"replayed": len(letters), "requeued": requeued}
+
+    # -- health ------------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        """Component health: ``ok`` / ``degraded`` / ``unhealthy``.
+
+        Degraded means the runtime is still making progress with reduced
+        capacity (some shards parked/dead, or snippets in quarantine);
+        unhealthy means no shard is processing at all.
+        """
+        if self.options.executor == "process" or not self._shards:
+            status = "ok" if self._started and not self._stopped else "unhealthy"
+            return {"status": status, "executor": self.options.executor}
+        alive = [s for s in self._shards if not s.dead]
+        failed = [s.shard_id for s in self._shards if s.failed]
+        dead = [s.shard_id for s in self._shards if s.dead and not s.failed]
+        quarantined = sum(
+            len(s.dlq) for s in self._shards if s.dlq is not None
+        )
+        if not alive or self._stopped:
+            status = "unhealthy"
+        elif failed or dead or quarantined:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "shards": len(self._shards),
+            "shards_alive": len(alive),
+            "shards_failed": failed,
+            "shards_dead": dead,
+            "quarantined": quarantined,
+            "queue_depth": sum(len(s.queue) for s in self._shards),
+        }
 
     # -- introspection -----------------------------------------------------
 
@@ -628,6 +719,10 @@ class ShardedRuntime:
             "checkpoints": value("checkpoint.count"),
             "restarts": value("supervisor.restarts"),
             "failures": value("shard.failures"),
+            "retries": value("shard.retries"),
+            "quarantined": value("dlq.records"),
+            "torn_wal_records": value("wal.torn_records"),
+            "crash_loops": value("supervisor.crash_loops"),
         }
 
     def metrics_json(self, indent: int = 2) -> str:

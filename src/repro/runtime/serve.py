@@ -64,6 +64,14 @@ def build_parser(prog: str = "storypivot-serve") -> argparse.ArgumentParser:
                         help="auto-checkpoint cadence per shard (0 = at stop)")
     parser.add_argument("--resume", action="store_true",
                         help="recover state from --wal-dir before ingesting")
+    parser.add_argument("--chaos", default=None, metavar="PROFILE",
+                        help="inject deterministic faults (seeded by "
+                             "--seed) while ingesting; profiles: "
+                             "off, default, feed-flap, poison, torn-wal")
+    parser.add_argument("--replay-dlq", action="store_true",
+                        help="re-offer quarantined snippets from the "
+                             "--wal-dir dead-letter queues (implies "
+                             "--resume)")
     parser.add_argument("--metrics", default=None, metavar="FILE",
                         help="write the metrics registry as JSON")
     parser.add_argument("--stats", action="store_true",
@@ -91,6 +99,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     from repro.cli import _load_corpus  # deferred: cli dispatches to us
+
+    if args.replay_dlq:
+        if not args.wal_dir:
+            parser.exit(2, "error: --replay-dlq requires --wal-dir\n")
+        args.resume = True
+    if args.chaos is not None and args.executor != "thread":
+        parser.exit(2, "error: --chaos requires the thread executor\n")
 
     corpus = None
     if args.corpus or args.demo or args.synthetic is not None:
@@ -126,10 +141,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except StoryPivotError as exc:
         parser.exit(2, f"error: {exc}\n")
 
+    injector = None
+    if args.chaos is not None:
+        from repro.resilience.faults import FaultInjector, resolve_profile
+
+        try:
+            profile = resolve_profile(args.chaos)
+        except StoryPivotError as exc:
+            runtime.stop()
+            parser.exit(2, f"error: {exc}\n")
+        injector = FaultInjector(
+            seed=args.seed, profile=profile, metrics=runtime.metrics
+        )
+        for shard in runtime._shards:
+            shard.fault_hook = injector.shard_fault_hook(shard.shard_id)
+            if shard.wal is not None and profile.torn_write_rate:
+                shard.wal = injector.wrap_wal(shard.wal, shard.shard_id)
+
     checkpoint_text = None
+    replay_counts = None
     try:
+        if args.replay_dlq:
+            replay_counts = runtime.replay_dlq()
         if corpus is not None:
-            runtime.consume_corpus(corpus)
+            snippets = corpus.snippets_by_publication()
+            if injector is not None:
+                from repro.eventdata.eventregistry import ResilientFeed
+
+                snippets = ResilientFeed(
+                    injector.wrap_feed(snippets, site="feed"), name="feed"
+                )
+            runtime.consume(snippets)
         result = runtime.flush()
         if args.checkpoint:
             checkpoint_text = runtime.dumps_state()
@@ -142,9 +184,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"({stats['duplicates']} duplicates, {stats['dropped']} dropped) "
         f"→ {result.num_stories} per-source stories "
         f"→ {result.num_integrated} integrated stories "
-        f"[{args.workers} shard(s), {args.executor} executor, "
+        f"[{runtime.options.num_shards} shard(s), {args.executor} executor, "
         f"{stats['realignments']} realignment(s)]"
     )
+
+    if replay_counts is not None:
+        print(
+            f"dlq replay: {replay_counts['replayed']} replayed, "
+            f"{replay_counts['requeued']} still quarantined"
+        )
+
+    if injector is not None:
+        # accounting check the chaos-smoke CI job greps for: every
+        # arrival must be accepted, deduplicated, shed, or quarantined —
+        # a chaos run is allowed to degrade, never to lose silently
+        counts = injector.counts()
+        injected = sum(counts.values())
+        accounted = (
+            stats["accepted"] + stats["duplicates"]
+            + stats["dropped"] + stats["quarantined"]
+        )
+        verdict = "OK" if accounted == stats["arrived"] else "MISMATCH"
+        detail = ", ".join(
+            f"{kind}={counts[kind]}" for kind in sorted(counts)
+        ) or "none"
+        print(
+            f"chaos[{injector.profile.name}] seed={args.seed}: "
+            f"{injected} fault(s) injected ({detail}); accounting "
+            f"{stats['arrived']} arrived = {stats['accepted']} accepted "
+            f"+ {stats['duplicates']} dup + {stats['dropped']} dropped "
+            f"+ {stats['quarantined']} quarantined -> {verdict}"
+        )
 
     if checkpoint_text is not None:
         with open(args.checkpoint, "w", encoding="utf-8") as handle:

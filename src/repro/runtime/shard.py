@@ -6,14 +6,22 @@ can own a disjoint set of sources and run identification with no
 cross-shard coordination at all.  Only alignment needs a global view, and
 the runtime provides that with a separate stop-the-world cycle.
 
-The worker loop is written to be supervision-friendly: any exception
-escapes to the supervisor (which restarts the loop with backoff) after the
-in-flight queue item has been acknowledged, so a poison snippet cannot
-wedge the drain barrier or crash-loop the shard forever on the same item.
+Per-snippet failures are handled by **poison policy**:
+
+* ``quarantine`` (default) — the worker retries the snippet on its
+  :class:`~repro.resilience.policies.RetryPolicy` schedule and, when the
+  schedule is exhausted, routes it to the shard's dead-letter queue and
+  keeps consuming.  One bad record costs one quarantine entry, never the
+  shard.
+* ``supervise`` — legacy escalation: the exception escapes wrapped in
+  :class:`ShardCrashed` and the supervisor restarts the loop with
+  backoff.  The in-flight item is acknowledged first, so a poison
+  snippet cannot wedge the drain barrier.
 """
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from typing import Callable, Optional, Set
@@ -21,8 +29,10 @@ from typing import Callable, Optional, Set
 from repro.core.config import StoryPivotConfig
 from repro.core.pipeline import StoryPivot
 from repro.core.streaming import BoundedSeenSet
-from repro.errors import DuplicateSnippetError
+from repro.errors import ConfigurationError, DuplicateSnippetError
 from repro.eventdata.models import Snippet
+from repro.resilience.dlq import DeadLetterQueue
+from repro.resilience.policies import RetryPolicy
 from repro.runtime.metrics import MetricsRegistry
 from repro.runtime.queues import BoundedQueue, Empty, QueueClosed
 from repro.runtime.wal import ShardWal
@@ -30,6 +40,15 @@ from repro.sketch.bloom import BloomFilter
 
 #: queue sentinel asking the worker loop to exit cleanly
 STOP = object()
+
+POISON_POLICIES = ("quarantine", "supervise")
+
+#: snippet-level retry schedule: quick, bounded, deterministic jitter
+DEFAULT_SHARD_RETRY = RetryPolicy(
+    max_attempts=3, base_delay=0.01, factor=2.0, max_delay=0.2, jitter=0.1
+)
+
+logger = logging.getLogger("repro.runtime.shard")
 
 
 class ShardCrashed(Exception):
@@ -55,7 +74,15 @@ class Shard:
         checkpoint_every: int = 0,
         checkpoint_fn: Optional[Callable[["Shard"], None]] = None,
         on_accepted: Optional[Callable[[], None]] = None,
+        poison_policy: str = "quarantine",
+        retry: Optional[RetryPolicy] = None,
+        dlq: Optional[DeadLetterQueue] = None,
     ) -> None:
+        if poison_policy not in POISON_POLICIES:
+            raise ConfigurationError(
+                f"unknown poison policy {poison_policy!r}; "
+                f"choose from {POISON_POLICIES}"
+            )
         self.shard_id = shard_id
         self.queue = queue
         self.pivot = StoryPivot(config)
@@ -65,7 +92,12 @@ class Shard:
         self.accepted = 0
         self.duplicates = 0
         self.failures = 0
+        self.quarantined = 0
         self.dead = False
+        self.failed = False  # parked by the supervisor as crash-looping
+        self.poison_policy = poison_policy
+        self.retry = retry if retry is not None else DEFAULT_SHARD_RETRY
+        self.dlq = dlq
         self._bloom = BloomFilter(capacity=dedup_capacity)
         self._seen = BoundedSeenSet(dedup_capacity)
         self._checkpoint_every = checkpoint_every
@@ -79,6 +111,9 @@ class Shard:
         self._failure_counter = metrics.counter("shard.failures")
         self._wal_records = metrics.counter("wal.records")
         self._wal_bytes = metrics.counter("wal.bytes")
+        self._retry_counter = metrics.counter("shard.retries")
+        self._retry_success_counter = metrics.counter("shard.retry_successes")
+        self._dlq_counter = metrics.counter("dlq.records")
         self._depth_gauge = metrics.gauge(f"queue.depth.shard{shard_id:03d}")
         #: test/fault-injection hook, called with each snippet before
         #: processing; raising simulates a worker crash
@@ -110,14 +145,17 @@ class Shard:
                 self.duplicates += 1
                 self._duplicate_counter.inc()
                 return False
-            self._bloom.add(snippet_id)
-            self._seen.add(snippet_id)
             try:
                 self.pivot.add_snippet(snippet)
             except DuplicateSnippetError:
                 self.duplicates += 1
                 self._duplicate_counter.inc()
                 return False
+            # dedup structures admit the id only after integration
+            # succeeds, so a retried poison snippet is not misread as a
+            # duplicate of its own failed attempt
+            self._bloom.add(snippet_id)
+            self._seen.add(snippet_id)
             self.sources.add(snippet.source_id)
             if self.wal is not None:
                 self._wal_bytes.inc(self.wal.append(snippet))
@@ -137,10 +175,57 @@ class Shard:
             self._on_accepted()
         return True
 
+    # -- poison handling ---------------------------------------------------
+
+    def _retry_or_quarantine(
+        self,
+        snippet: Snippet,
+        first_exc: BaseException,
+        stop_event: threading.Event,
+    ) -> None:
+        """Re-attempt a failed snippet, then dead-letter it.
+
+        Sleeps are taken on ``stop_event`` so shutdown interrupts the
+        schedule; a snippet still failing at shutdown is quarantined
+        immediately rather than holding the drain barrier hostage.
+        """
+        last_exc = first_exc
+        attempts = 1
+        for delay in self.retry.delays(key=snippet.snippet_id):
+            if delay and stop_event.wait(delay):
+                break
+            attempts += 1
+            self._retry_counter.inc()
+            try:
+                self.process(snippet)
+            except Exception as exc:
+                last_exc = exc
+                continue
+            self._retry_success_counter.inc()
+            return
+        self.quarantined += 1
+        self._dlq_counter.inc()
+        logger.warning(
+            "shard %d: quarantining snippet %r after %d attempt(s): %r",
+            self.shard_id, snippet.snippet_id, attempts, last_exc,
+        )
+        if self.dlq is not None:
+            self.dlq.append(
+                snippet,
+                error=repr(last_exc),
+                attempts=attempts,
+                shard_id=self.shard_id,
+            )
+
     # -- worker loop -------------------------------------------------------
 
     def run_loop(self, stop_event: threading.Event) -> None:
-        """Consume the queue until STOP/close; exceptions escape wrapped."""
+        """Consume the queue until STOP/close.
+
+        Per-snippet failures follow :attr:`poison_policy`; only
+        ``supervise`` mode lets them escape (wrapped in
+        :class:`ShardCrashed`) to the supervisor.
+        """
         while True:
             try:
                 item = self.queue.get(timeout=0.1)
@@ -158,7 +243,9 @@ class Shard:
             except Exception as exc:
                 self.failures += 1
                 self._failure_counter.inc()
-                raise ShardCrashed(self.shard_id, exc) from exc
+                if self.poison_policy != "quarantine":
+                    raise ShardCrashed(self.shard_id, exc) from exc
+                self._retry_or_quarantine(item, exc, stop_event)
             finally:
                 self.queue.task_done()
                 self._depth_gauge.set(len(self.queue))

@@ -3,21 +3,35 @@
 A long-running ingest must survive a worker dying on unexpected input.
 The supervisor watches every shard-loop future; when one crashes it
 resubmits the loop after an exponential backoff (``base * factor^n``,
-capped at ``max_delay``).  After ``max_restarts`` consecutive crashes the
-shard is declared dead: its queue is purged (items counted as dropped) and
-closed so producers and the drain barrier never hang on it.  A successful
-spell of processing resets the crash streak.
+capped at ``max_delay``).  Two terminal outcomes, kept distinct because
+they mean different things to an operator:
+
+* **crash-looping** — the *same* exception ``crash_loop_threshold``
+  times in a row.  Restarting cannot help (the input or code is
+  deterministically broken), so the shard is parked as ``failed``
+  immediately instead of grinding through the rest of the restart
+  budget at max backoff.  Counted in ``supervisor.crash_loops`` and the
+  ``shards.failed`` gauge.
+* **dead** — more than ``max_restarts`` consecutive crashes of varying
+  shape (flaky infrastructure, not one poison cause).
+
+Either way the shard's queue is purged (items counted as dropped) and
+closed so producers and the drain barrier never hang on it.  A
+successful spell of processing resets the crash streak.
 """
 
 from __future__ import annotations
 
+import logging
 import threading
 from concurrent.futures import Executor, Future
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.runtime.metrics import MetricsRegistry
-from repro.runtime.shard import Shard
+from repro.runtime.shard import Shard, ShardCrashed
+
+logger = logging.getLogger("repro.runtime.supervisor")
 
 
 @dataclass(frozen=True)
@@ -28,9 +42,18 @@ class BackoffPolicy:
     factor: float = 2.0
     max_delay: float = 2.0
     max_restarts: int = 5
+    #: identical consecutive exceptions before parking the shard as failed
+    crash_loop_threshold: int = 3
 
     def delay(self, restarts: int) -> float:
         return min(self.base_delay * (self.factor ** restarts), self.max_delay)
+
+
+def _crash_signature(exc: BaseException) -> str:
+    """A stable identity for 'the same crash': type + message of the cause."""
+    if isinstance(exc, ShardCrashed):
+        exc = exc.cause
+    return f"{type(exc).__name__}: {exc}"
 
 
 class Supervisor:
@@ -45,11 +68,15 @@ class Supervisor:
         self._executor = executor
         self._policy = policy if policy is not None else BackoffPolicy()
         self._restart_counter = metrics.counter("supervisor.restarts")
+        self._crash_loop_counter = metrics.counter("supervisor.crash_loops")
         self._dead_gauge = metrics.gauge("shards.dead")
+        self._failed_gauge = metrics.gauge("shards.failed")
         self._stop_event = threading.Event()
         self._wake = threading.Event()
         self._lock = threading.Lock()
         self._crashes: Dict[int, int] = {}
+        self._last_signature: Dict[int, str] = {}
+        self._signature_streak: Dict[int, int] = {}
         self._futures: Dict[int, Future] = {}
         self._shards: Dict[int, Shard] = {}
         self._worker_stop: Optional[threading.Event] = None
@@ -107,9 +134,19 @@ class Supervisor:
                 if not future.done() or future.exception() is None:
                     continue
                 shard = self._shards[shard_id]
+                signature = _crash_signature(future.exception())
                 with self._lock:
                     self._crashes[shard_id] += 1
                     crashes = self._crashes[shard_id]
+                    if self._last_signature.get(shard_id) == signature:
+                        self._signature_streak[shard_id] += 1
+                    else:
+                        self._signature_streak[shard_id] = 1
+                    self._last_signature[shard_id] = signature
+                    streak = self._signature_streak[shard_id]
+                if streak >= self._policy.crash_loop_threshold:
+                    self._park_failed(shard, signature, streak)
+                    continue
                 if crashes > self._policy.max_restarts:
                     self._declare_dead(shard)
                     continue
@@ -119,12 +156,32 @@ class Supervisor:
                 self._restart_counter.inc()
                 self._submit(shard)
 
-    def _declare_dead(self, shard: Shard) -> None:
+    def _retire(self, shard: Shard) -> None:
         shard.dead = True
         self._futures.pop(shard.shard_id, None)
         shard.queue.purge()
         shard.queue.close()
+
+    def _declare_dead(self, shard: Shard) -> None:
+        logger.error(
+            "shard %d: exceeded %d restarts; declaring dead",
+            shard.shard_id, self._policy.max_restarts,
+        )
+        self._retire(shard)
         self._dead_gauge.add(1)
+
+    def _park_failed(self, shard: Shard, signature: str, streak: int) -> None:
+        """Crash loop: same exception every restart — parking cannot lose
+        more than restarting forever would, and it frees the operator
+        signal from the noise of doomed retries."""
+        logger.error(
+            "shard %d: crash-looping (%d consecutive identical crashes: "
+            "%s); parking as failed", shard.shard_id, streak, signature,
+        )
+        shard.failed = True
+        self._retire(shard)
+        self._crash_loop_counter.inc()
+        self._failed_gauge.add(1)
 
     # -- introspection -----------------------------------------------------
 
@@ -136,3 +193,5 @@ class Supervisor:
         """Reset the crash streak after healthy processing."""
         with self._lock:
             self._crashes[shard_id] = 0
+            self._signature_streak[shard_id] = 0
+            self._last_signature.pop(shard_id, None)

@@ -19,6 +19,7 @@ the wrong shards.
 from __future__ import annotations
 
 import json
+import logging
 import os
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -37,6 +38,8 @@ from repro.eventdata.models import Snippet
 MANIFEST_NAME = "manifest.json"
 MANIFEST_VERSION = 1
 
+logger = logging.getLogger("repro.runtime.wal")
+
 
 class ShardWal:
     """Append-only snippet log for one shard."""
@@ -46,6 +49,8 @@ class ShardWal:
         self.fsync = fsync
         self._handle = None
         self._sequence = 0
+        #: torn/corrupt records skipped by the last :meth:`replay`
+        self.torn_records = 0
 
     def _ensure_open(self) -> None:
         if self._handle is None:
@@ -66,12 +71,23 @@ class ShardWal:
         return len(line.encode("utf-8"))
 
     def replay(self) -> List[Snippet]:
-        """Logged snippets in append order; a torn tail line is dropped."""
+        """Logged snippets in append order; torn records are skipped.
+
+        A record can be torn by a kill mid-append (the classic truncated
+        final line) or by a torn write mid-file (crash between ``write``
+        and ``fsync``, or injected chaos) that merges two records into
+        one garbage line.  Either way the damage is *local*: the bad
+        line is skipped with a warning and counted in
+        :attr:`torn_records`, and every decodable record before and
+        after it is recovered.  Raising here would poison restart
+        forever — a corrupt byte must cost one record, not the shard.
+        """
+        self.torn_records = 0
         if not os.path.exists(self.path):
             return []
         snippets: List[Snippet] = []
         with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
+            for line_no, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
                     continue
@@ -80,10 +96,13 @@ class ShardWal:
                     if record.get("kind") != "wal-entry":
                         raise DataFormatError("not a wal entry")
                     snippets.append(snippet_from_record(record))
-                except (ValueError, KeyError, DataFormatError):
-                    # torn final write from a kill; everything before it
-                    # is intact, everything after it never happened
-                    break
+                except (ValueError, KeyError, TypeError, AttributeError,
+                        DataFormatError) as exc:
+                    self.torn_records += 1
+                    logger.warning(
+                        "%s:%d: skipping torn/corrupt WAL record (%s)",
+                        self.path, line_no, exc,
+                    )
         self._sequence = len(snippets)
         return snippets
 
@@ -125,6 +144,14 @@ class CheckpointStore:
 
     def wal(self, shard_id: int, fsync: bool = False) -> ShardWal:
         return ShardWal(self.wal_path(shard_id), fsync=fsync)
+
+    def dlq_path(self, shard_id: int) -> str:
+        return os.path.join(self.directory, f"shard-{shard_id:03d}.dlq.jsonl")
+
+    def dlq(self, shard_id: int):
+        from repro.resilience.dlq import DeadLetterQueue
+
+        return DeadLetterQueue(self.dlq_path(shard_id))
 
     # -- manifest ----------------------------------------------------------
 
@@ -178,22 +205,27 @@ class CheckpointStore:
             return load_state(handle)
 
     def recover_shard(
-        self, shard_id: int, config: StoryPivotConfig
+        self, shard_id: int, config: StoryPivotConfig, metrics=None
     ) -> Tuple[StoryPivot, int]:
         """(restored pivot, WAL records replayed) for one shard.
 
         Loads the last checkpoint (or a fresh pivot) and replays the WAL
         tail through normal identification.  Records the checkpoint
         already holds are skipped, which makes a crash between
-        checkpoint-write and WAL-truncate harmless.
+        checkpoint-write and WAL-truncate harmless.  Torn WAL records
+        are skipped (see :meth:`ShardWal.replay`) and counted into the
+        ``wal.torn_records`` metric when a registry is supplied.
         """
         pivot = self.load(shard_id)
         if pivot is None:
             pivot = StoryPivot(config)
         replayed = 0
-        for snippet in self.wal(shard_id).replay():
+        wal = self.wal(shard_id)
+        for snippet in wal.replay():
             if pivot.has_snippet(snippet.snippet_id):
                 continue
             pivot.add_snippet(snippet)
             replayed += 1
+        if wal.torn_records and metrics is not None:
+            metrics.counter("wal.torn_records").inc(wal.torn_records)
         return pivot, replayed

@@ -62,8 +62,12 @@ class StoryPivotAPI:
         rate_limit: float = 0.0,
         burst: float = 20.0,
         access_log: Optional[IO[str]] = None,
+        refresher=None,
+        runtime=None,
     ) -> None:
         self.store = store
+        self.refresher = refresher
+        self.runtime = runtime
         self.host = host
         self._requested_port = port
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -84,6 +88,8 @@ class StoryPivotAPI:
         self.metrics.counter("http.cache.misses")
         self.metrics.counter("http.not_modified")
         self.metrics.counter("http.ratelimited")
+        self.metrics.counter("http.shed")
+        self.metrics.counter("http.warming")
         self.metrics.counter("http.bytes_sent")
         self.metrics.gauge("http.inflight")
 
@@ -173,6 +179,39 @@ class StoryPivotAPI:
             self._access_log.write(line + "\n")
             self._access_log.flush()
 
+    def _health_payload(self):
+        """Compose /healthz from runtime + refresher component health.
+
+        Returns ``(http_status, payload)``: ``ok`` and ``degraded`` both
+        answer 200 (degraded still serves, just stale or partial),
+        ``unhealthy`` answers 503 so load balancers rotate away.
+        """
+        view = self.store.current()
+        components = {}
+        statuses = []
+        if self.runtime is not None:
+            component = self.runtime.health()
+            components["runtime"] = component
+            statuses.append(component["status"])
+        if self.refresher is not None:
+            component = self.refresher.health()
+            components["view"] = component
+            statuses.append(component["status"])
+        if "unhealthy" in statuses:
+            status = "unhealthy"
+        elif "degraded" in statuses:
+            status = "degraded"
+        else:
+            status = "ok"
+        payload = {
+            "status": status,
+            "generation": view.generation,
+            "dataset": view.dataset,
+            "num_stories": len(view.stories),
+            "components": components,
+        }
+        return (503 if status == "unhealthy" else 200), payload
+
     def _metricz_payload(self, as_text: bool) -> bytes:
         self.metrics.gauge("http.cache.entries").set(len(self.cache))
         self.metrics.gauge("http.cache.hit_rate").set(self.cache.hit_rate)
@@ -235,8 +274,51 @@ class _ApiRequestHandler(BaseHTTPRequestHandler):
                 )
                 return
 
+            if split.path.rstrip("/") == "/healthz" and (
+                app.refresher is not None or app.runtime is not None
+            ):
+                # live mode: health changes without generation bumps, so
+                # it must bypass the generation-keyed response cache
+                http_status, payload = app._health_payload()
+                generation = app.store.generation
+                status, sent = self._send_body(
+                    http_status, _json_bytes(payload), JSON_TYPE,
+                    generation, etag=None,
+                )
+                return
+
             view = app.store.current()  # the one snapshot read
             generation = view.generation
+            tail = split.path.strip("/")
+            is_data = tail not in ("", "healthz")
+            stale_headers = None
+            if app.refresher is not None:
+                stale_headers = {
+                    "X-StoryPivot-Stale-Seconds":
+                        f"{app.refresher.staleness():.3f}"
+                }
+            if is_data and view.generation == 0:
+                # nothing materialized yet: a clean 503, not a rendering
+                # crash against the empty placeholder view
+                app.metrics.counter("http.warming").inc()
+                status, sent = self._send_error_json(
+                    503, "service warming up: no view materialized yet",
+                    generation=0, extra_headers={"Retry-After": "1"},
+                )
+                return
+            if (
+                is_data
+                and app.refresher is not None
+                and app.refresher.should_shed()
+            ):
+                app.metrics.counter("http.shed").inc()
+                retry_sec = max(1, int(app.refresher.interval + 0.999))
+                status, sent = self._send_error_json(
+                    503, "view is past the lag budget; shedding load",
+                    generation=generation,
+                    extra_headers={"Retry-After": str(retry_sec)},
+                )
+                return
             cache_key = f"{split.path}?{split.query}"
             entry = app.cache.get(view.generation, cache_key)
             if entry is not None:
@@ -260,7 +342,7 @@ class _ApiRequestHandler(BaseHTTPRequestHandler):
                 else:  # non-200 routed responses are not cached
                     status, sent = self._send_body(
                         result.status, body, JSON_TYPE, generation,
-                        etag=None,
+                        etag=None, extra_headers=stale_headers,
                     )
                     return
 
@@ -269,12 +351,12 @@ class _ApiRequestHandler(BaseHTTPRequestHandler):
                 app.metrics.counter("http.not_modified").inc()
                 status, sent = self._send_body(
                     304, b"", entry.content_type, generation,
-                    etag=entry.etag,
+                    etag=entry.etag, extra_headers=stale_headers,
                 )
                 return
             status, sent = self._send_body(
                 200, entry.body, entry.content_type, generation,
-                etag=entry.etag,
+                etag=entry.etag, extra_headers=stale_headers,
             )
         except (BrokenPipeError, ConnectionResetError):
             status = 499  # client went away mid-response

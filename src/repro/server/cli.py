@@ -73,6 +73,11 @@ def build_parser(prog: str = "storypivot-api") -> argparse.ArgumentParser:
                         help="shard workers for --follow (default 2)")
     parser.add_argument("--refresh-interval", type=float, default=1.0,
                         metavar="SEC", help="--follow view rebuild cadence")
+    parser.add_argument("--lag-budget", type=float, default=None,
+                        metavar="SEC",
+                        help="--follow staleness budget: past this, data "
+                             "requests are shed with 503 + Retry-After "
+                             "(default: serve stale indefinitely)")
     parser.add_argument("--access-log", action="store_true",
                         help="write JSON access log lines to stderr")
     return parser
@@ -116,7 +121,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             config, RuntimeOptions(num_shards=args.workers)
         ).start()
         refresher = ViewRefresher(
-            runtime, store, interval=args.refresh_interval, corpus=corpus
+            runtime, store, interval=args.refresh_interval, corpus=corpus,
+            lag_budget=args.lag_budget, metrics=runtime.metrics,
         ).start()
         feeder = threading.Thread(
             target=runtime.consume_corpus, args=(corpus,),
@@ -139,6 +145,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         rate_limit=args.rate_limit,
         burst=args.burst,
         access_log=sys.stderr if args.access_log else None,
+        refresher=refresher,
+        runtime=runtime,
     )
     api.start()
     print(f"serving {corpus.name} on {api.address} "

@@ -243,6 +243,14 @@ class ViewRefresher:
     directly), takes a read-only merged snapshot of the shards, runs
     alignment/refinement on it, and swaps the result in.  The runtime is
     never blocked for longer than its own ``merged_pivot`` locking.
+
+    Degradation contract: a rebuild failure never takes serving down —
+    the last good view keeps being served, marked **stale**.
+    :meth:`staleness` reports how far behind it is (0.0 when current),
+    :meth:`health` summarizes it for ``/healthz``, and when a
+    ``lag_budget`` is configured :meth:`should_shed` tells the server to
+    answer data requests with 503 + Retry-After instead of serving
+    arbitrarily old responses as if they were fresh.
     """
 
     def __init__(
@@ -252,13 +260,21 @@ class ViewRefresher:
         interval: float = 1.0,
         corpus: Optional[Corpus] = None,
         on_error: Optional[Callable[[BaseException], None]] = None,
+        lag_budget: Optional[float] = None,
+        metrics=None,
     ) -> None:
         self.runtime = runtime
         self.store = store
         self.interval = interval
         self.corpus = corpus
         self.on_error = on_error
+        self.lag_budget = lag_budget
+        self.metrics = metrics
         self._built_at_count = -1
+        self._built_at_wall: Optional[float] = None
+        self._started_at_wall = time.time()
+        self._consecutive_failures = 0
+        self._last_error: Optional[str] = None
         self._stop = threading.Event()
         self._wake = threading.Event()
         self._thread: Optional[threading.Thread] = None
@@ -272,6 +288,9 @@ class ViewRefresher:
         result = merged.finish()
         view = self.store.install(result, corpus=self.corpus)
         self._built_at_count = accepted
+        self._built_at_wall = time.time()
+        self._consecutive_failures = 0
+        self._last_error = None
         return view
 
     def _loop(self) -> None:
@@ -283,8 +302,61 @@ class ViewRefresher:
             try:
                 self.refresh()
             except Exception as exc:  # keep serving the last good view
+                self._consecutive_failures += 1
+                self._last_error = f"{type(exc).__name__}: {exc}"
+                if self.metrics is not None:
+                    self.metrics.counter("view.refresh_errors").inc()
                 if self.on_error is not None:
                     self.on_error(exc)
+            if self.metrics is not None:
+                self.metrics.gauge("view.stale_seconds").set(
+                    round(self.staleness(), 3)
+                )
+
+    # -- degradation signals ----------------------------------------------
+
+    def staleness(self) -> float:
+        """Seconds the served view trails the runtime (0.0 when current).
+
+        The view is stale while ingestion has advanced past the last
+        successful build, or while rebuilds are failing; the age is
+        measured from that last successful build (or serving start when
+        nothing was ever built).
+        """
+        behind = self.runtime.accepted != self._built_at_count
+        if not behind and self._consecutive_failures == 0:
+            return 0.0
+        reference = self._built_at_wall
+        if reference is None:
+            reference = self._started_at_wall
+        return max(0.0, time.time() - reference)
+
+    def should_shed(self) -> bool:
+        """Has the view fallen past the configured lag budget?"""
+        return (
+            self.lag_budget is not None
+            and self.staleness() > self.lag_budget
+        )
+
+    def health(self) -> dict:
+        """Refresher component health for ``/healthz``."""
+        stale = self.staleness()
+        if self.should_shed():
+            status = "unhealthy"
+        elif self._consecutive_failures > 0 or (
+            stale > max(3.0 * self.interval, 1.0)
+        ):
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "stale_seconds": round(stale, 3),
+            "built_generation": self.store.generation,
+            "consecutive_failures": self._consecutive_failures,
+            "last_error": self._last_error,
+            "lag_budget": self.lag_budget,
+        }
 
     def start(self) -> "ViewRefresher":
         if self._thread is None:

@@ -66,6 +66,22 @@ def snippet_factory():
 
 
 @pytest.fixture
+def chaos():
+    """Factory for seeded deterministic fault injectors.
+
+    ``chaos(seed=7, profile="poison")`` returns a
+    :class:`repro.resilience.faults.FaultInjector`; same seed + profile
+    always produces the same fault sequence at each site.
+    """
+    from repro.resilience.faults import FaultInjector
+
+    def make(seed: int = 0, profile="default", **kwargs) -> FaultInjector:
+        return FaultInjector(seed=seed, profile=profile, **kwargs)
+
+    return make
+
+
+@pytest.fixture
 def two_source_corpus():
     """A minimal fully-controlled corpus with two sources and two stories."""
     corpus = Corpus("mini")

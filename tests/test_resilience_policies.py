@@ -1,0 +1,319 @@
+"""Unit tests for the resilience primitives: retries, deadlines, breakers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+    current_deadline,
+    deadline_scope,
+    resilient_iter,
+)
+from repro.runtime.metrics import MetricsRegistry
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestRetryPolicy:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_delay=-1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(factor=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.0)
+
+    def test_delay_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=0.1, factor=2.0, max_delay=0.5,
+            jitter=0.0,
+        )
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+        assert policy.delay(4) == pytest.approx(0.5)  # capped
+        assert policy.delay(9) == pytest.approx(0.5)
+
+    def test_jitter_is_deterministic_per_key(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.2)
+        assert policy.delay(1, key="a") == policy.delay(1, key="a")
+        assert policy.delay(1, key="a") != policy.delay(1, key="b")
+        # bounded: within +/- jitter of the raw delay
+        for key in ("a", "b", "c", "snippet:42"):
+            raw = 0.1
+            actual = policy.delay(1, key=key)
+            assert raw * 0.8 <= actual <= raw * 1.2
+
+    def test_delays_yields_schedule_of_max_attempts_minus_one(self):
+        policy = RetryPolicy(max_attempts=4, jitter=0.0)
+        assert len(list(policy.delays())) == 3
+
+    def test_call_retries_then_succeeds(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise ValueError("boom")
+            return "ok"
+
+        slept = []
+        policy = RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0.0)
+        assert policy.call(flaky, sleep=slept.append) == "ok"
+        assert len(attempts) == 3
+        assert len(slept) == 2
+
+    def test_call_reraises_after_exhaustion(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0)
+        with pytest.raises(ValueError):
+            policy.call(lambda: (_ for _ in ()).throw(ValueError("x")))
+
+    def test_call_stops_early_on_deadline(self):
+        clock = FakeClock()
+        deadline = Deadline.after(0.05, clock=clock)
+        policy = RetryPolicy(max_attempts=5, base_delay=1.0, jitter=0.0)
+        attempts = []
+
+        def always_fail():
+            attempts.append(1)
+            raise ValueError("x")
+
+        with pytest.raises(ValueError):
+            policy.call(always_fail, sleep=lambda s: None, deadline=deadline)
+        # a 1s pause never fits a 0.05s budget: one attempt, no retries
+        assert len(attempts) == 1
+
+
+class TestDeadline:
+    def test_remaining_and_expired(self):
+        clock = FakeClock()
+        deadline = Deadline.after(2.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(2.0)
+        assert not deadline.expired
+        clock.advance(3.0)
+        assert deadline.remaining() == 0.0
+        assert deadline.expired
+        with pytest.raises(DeadlineExceeded):
+            deadline.check("feed pull")
+
+    def test_deadline_exceeded_is_a_timeout(self):
+        assert issubclass(DeadlineExceeded, TimeoutError)
+
+    def test_tightened_picks_the_stricter(self):
+        clock = FakeClock()
+        near = Deadline.after(1.0, clock=clock)
+        far = Deadline.after(5.0, clock=clock)
+        assert far.tightened(near) is near
+        assert near.tightened(far) is near
+        assert near.tightened(None) is near
+
+    def test_scope_propagates_and_nests_tighter(self):
+        assert current_deadline() is None
+        with deadline_scope(10.0) as outer:
+            assert current_deadline() is outer
+            with deadline_scope(1.0) as inner:
+                assert current_deadline() is inner
+                assert inner.remaining() <= 1.0
+            # inner scope cannot extend the outer budget
+            with deadline_scope(100.0) as widened:
+                assert widened.expires_at == outer.expires_at
+            assert current_deadline() is outer
+        assert current_deadline() is None
+
+
+class TestCircuitBreaker:
+    def make(self, clock, **kwargs):
+        kwargs.setdefault("failure_threshold", 0.5)
+        kwargs.setdefault("window", 10)
+        kwargs.setdefault("min_calls", 4)
+        kwargs.setdefault("reset_timeout", 5.0)
+        kwargs.setdefault("half_open_probes", 2)
+        return CircuitBreaker(name="test", clock=clock, **kwargs)
+
+    def test_opens_at_failure_rate_threshold(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == "closed"  # below min_calls
+        breaker.record_failure()
+        assert breaker.state == "open"
+
+    def test_open_rejects_with_retry_hint(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        for _ in range(4):
+            breaker.record_failure()
+        with pytest.raises(CircuitOpenError) as err:
+            breaker.call(lambda: "never")
+        assert err.value.retry_after == pytest.approx(5.0)
+
+    def test_half_open_after_timeout_then_closes_on_probes(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.state == "half-open"
+        assert breaker.allow()  # probe 1
+        assert breaker.allow()  # probe 2
+        assert not breaker.allow()  # bounded
+        breaker.record_success()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.failure_rate() == 0.0  # window cleared
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        # the reset timeout restarted at the probe failure
+        clock.advance(4.9)
+        assert breaker.state == "open"
+        clock.advance(0.2)
+        assert breaker.state == "half-open"
+
+    def test_successes_keep_it_closed(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        for _ in range(20):
+            breaker.call(lambda: "fine")
+        assert breaker.state == "closed"
+
+    def test_transitions_hit_metrics(self):
+        clock = FakeClock()
+        metrics = MetricsRegistry()
+        breaker = CircuitBreaker(
+            name="feed", window=10, min_calls=2, reset_timeout=1.0,
+            clock=clock, metrics=metrics,
+        )
+        breaker.record_failure()
+        breaker.record_failure()
+        snapshot = metrics.snapshot()
+        assert snapshot["breaker.feed.state"]["value"] == 2  # open
+        assert snapshot["breaker.feed.opened"]["value"] == 1
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: None)
+        assert metrics.snapshot()["breaker.feed.rejected"]["value"] == 1
+
+    def test_call_with_retry_does_not_retry_an_open_circuit(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        for _ in range(4):
+            breaker.record_failure()
+        calls = []
+        with pytest.raises(CircuitOpenError):
+            breaker.call_with_retry(
+                lambda: calls.append(1),
+                retry=RetryPolicy(max_attempts=5, base_delay=0.0),
+                sleep=lambda s: None,
+            )
+        assert calls == []  # rejected before the function ever ran
+
+    def test_call_with_retry_rides_out_transients(self):
+        clock = FakeClock()
+        breaker = self.make(clock, window=50, min_calls=50)
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 2:
+                raise ValueError("blip")
+            return "ok"
+
+        result = breaker.call_with_retry(
+            flaky,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.0),
+            sleep=lambda s: None,
+        )
+        assert result == "ok"
+        assert len(attempts) == 2
+
+
+class FlakyIterator:
+    """Pull-safe flaky source: raises before consuming an item."""
+
+    def __init__(self, items, fail_on=frozenset()):
+        self._items = list(items)
+        self._index = 0
+        self._failed = set()
+        self._fail_on = set(fail_on)
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        if self._index >= len(self._items):
+            raise StopIteration
+        if self._index in self._fail_on and self._index not in self._failed:
+            self._failed.add(self._index)
+            raise OSError(f"flap at {self._index}")
+        item = self._items[self._index]
+        self._index += 1
+        return item
+
+
+class TestResilientIter:
+    def test_recovers_every_item_across_flaps(self):
+        source = FlakyIterator(range(20), fail_on={0, 5, 19})
+        got = list(resilient_iter(
+            source, retry=RetryPolicy(max_attempts=3, base_delay=0.0),
+            sleep=lambda s: None,
+        ))
+        assert got == list(range(20))
+
+    def test_gives_up_past_the_failure_limit(self):
+        class AlwaysDown:
+            def __iter__(self):
+                return self
+
+            def __next__(self):
+                raise OSError("hard down")
+
+        with pytest.raises(OSError):
+            list(resilient_iter(
+                AlwaysDown(),
+                retry=RetryPolicy(max_attempts=2, base_delay=0.0),
+                sleep=lambda s: None,
+                max_failures_per_item=5,
+            ))
+
+    def test_breaker_open_is_waited_out_not_counted(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            name="feed", window=10, min_calls=2, reset_timeout=0.5,
+            half_open_probes=1, clock=clock,
+        )
+        source = FlakyIterator(range(5), fail_on={0, 1})
+        slept = []
+
+        def sleep(seconds):
+            slept.append(seconds)
+            clock.advance(seconds)
+
+        got = list(resilient_iter(
+            source, retry=RetryPolicy(max_attempts=2, base_delay=0.0),
+            breaker=breaker, sleep=sleep,
+        ))
+        assert got == list(range(5))
+        assert breaker.state == "closed"  # recovered through half-open

@@ -146,8 +146,15 @@ class TestMetricsExport:
 
 
 class TestSupervision:
+    """Legacy escalation path: ``poison_policy="supervise"`` lets
+    per-snippet failures crash the worker loop for the supervisor to
+    restart.  The default ``quarantine`` policy is covered in
+    test_resilience_dlq.py."""
+
     def test_transient_crash_is_restarted_without_data_loss(self):
-        runtime = ShardedRuntime(StoryPivotConfig(), num_shards=1)
+        runtime = ShardedRuntime(
+            StoryPivotConfig(), num_shards=1, poison_policy="supervise"
+        )
         try:
             runtime.start()
             shard = runtime._shards[0]
@@ -177,6 +184,7 @@ class TestSupervision:
         runtime = ShardedRuntime(
             StoryPivotConfig(),
             num_shards=1,
+            poison_policy="supervise",
             backoff=BackoffPolicy(
                 base_delay=0.01, factor=1.0, max_delay=0.01, max_restarts=2
             ),

@@ -1,0 +1,266 @@
+"""Degraded-mode serving: warming 503s, stale headers, load shedding."""
+
+import http.client
+import json
+import time
+
+import pytest
+
+from repro.core.config import StoryPivotConfig
+from repro.core.pipeline import StoryPivot
+from repro.eventdata.handcrafted import demo_config, mh17_corpus
+from repro.runtime.runtime import ShardedRuntime
+from repro.server import StoryPivotAPI, ViewRefresher, ViewStore
+
+
+def _get(port, path, headers=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request("GET", path, headers=headers or {})
+        response = conn.getresponse()
+        body = response.read()
+        return response.status, dict(response.getheaders()), body
+    finally:
+        conn.close()
+
+
+def _get_json(port, path, headers=None):
+    status, resp_headers, body = _get(port, path, headers)
+    return status, resp_headers, json.loads(body) if body else None
+
+
+class FakeRefresher:
+    """Just the surface the server reads: staleness/shed/health."""
+
+    def __init__(self, stale=0.0, shed=False, status="ok"):
+        self.interval = 0.5
+        self._stale = stale
+        self._shed = shed
+        self._status = status
+
+    def staleness(self):
+        return self._stale
+
+    def should_shed(self):
+        return self._shed
+
+    def health(self):
+        return {"status": self._status, "stale_seconds": self._stale}
+
+
+class FakeRuntime:
+    def __init__(self, status="ok"):
+        self._status = status
+
+    def health(self):
+        return {"status": self._status, "shards": 2}
+
+
+def installed_store():
+    corpus = mh17_corpus()
+    result = StoryPivot(demo_config()).run(corpus)
+    store = ViewStore(dataset=corpus.name)
+    store.install(result, corpus=corpus)
+    return store
+
+
+class TestWarming:
+    """Satellite regression: requests before the first ReadView must get
+    a clean 503 JSON, never a stack trace or an empty reply."""
+
+    def test_data_request_before_first_view_is_503_json(self):
+        with StoryPivotAPI(ViewStore(), port=0) as api:
+            status, headers, payload = _get_json(api.port, "/stories")
+            assert status == 503
+            assert "warming" in payload["error"]
+            assert headers["Retry-After"] == "1"
+            assert headers["Content-Type"] == "application/json"
+
+    def test_healthz_and_root_still_answer_while_warming(self):
+        with StoryPivotAPI(ViewStore(), port=0) as api:
+            status, _, payload = _get_json(api.port, "/healthz")
+            assert status == 200
+            assert payload["generation"] == 0
+            status, _, payload = _get_json(api.port, "/")
+            assert status == 200
+            assert payload["endpoints"]
+
+    def test_first_view_clears_the_warming_gate(self):
+        corpus = mh17_corpus()
+        result = StoryPivot(demo_config()).run(corpus)
+        store = ViewStore(dataset=corpus.name)
+        with StoryPivotAPI(store, port=0) as api:
+            assert _get(api.port, "/stories")[0] == 503
+            store.install(result, corpus=corpus)
+            status, _, payload = _get_json(api.port, "/stories")
+            assert status == 200
+            assert payload["stories"]
+
+
+class TestComposedHealthz:
+    def test_ok_components_compose_to_ok(self):
+        api = StoryPivotAPI(
+            installed_store(), port=0,
+            refresher=FakeRefresher(), runtime=FakeRuntime(),
+        )
+        with api:
+            status, _, payload = _get_json(api.port, "/healthz")
+            assert status == 200
+            assert payload["status"] == "ok"
+            assert payload["components"]["runtime"]["status"] == "ok"
+            assert payload["components"]["view"]["status"] == "ok"
+
+    def test_degraded_component_degrades_the_whole(self):
+        api = StoryPivotAPI(
+            installed_store(), port=0,
+            refresher=FakeRefresher(status="degraded", stale=4.2),
+            runtime=FakeRuntime(),
+        )
+        with api:
+            status, _, payload = _get_json(api.port, "/healthz")
+            assert status == 200  # degraded still serves
+            assert payload["status"] == "degraded"
+            assert payload["components"]["view"]["stale_seconds"] == 4.2
+
+    def test_unhealthy_component_makes_healthz_503(self):
+        api = StoryPivotAPI(
+            installed_store(), port=0,
+            refresher=FakeRefresher(), runtime=FakeRuntime(status="unhealthy"),
+        )
+        with api:
+            status, _, payload = _get_json(api.port, "/healthz")
+            assert status == 503
+            assert payload["status"] == "unhealthy"
+
+    def test_health_is_not_cached_across_state_changes(self):
+        refresher = FakeRefresher()
+        api = StoryPivotAPI(
+            installed_store(), port=0, refresher=refresher,
+        )
+        with api:
+            assert _get_json(api.port, "/healthz")[2]["status"] == "ok"
+            refresher._status = "degraded"  # no generation bump
+            assert _get_json(api.port, "/healthz")[2]["status"] == "degraded"
+
+
+class TestStaleHeader:
+    def test_data_responses_carry_stale_seconds(self):
+        api = StoryPivotAPI(
+            installed_store(), port=0, refresher=FakeRefresher(stale=2.5),
+        )
+        with api:
+            status, headers, _ = _get_json(api.port, "/stories")
+            assert status == 200
+            assert headers["X-StoryPivot-Stale-Seconds"] == "2.500"
+            # cache hits carry it too (second request hits the cache)
+            status, headers, _ = _get_json(api.port, "/stories")
+            assert status == 200
+            assert headers["X-StoryPivot-Stale-Seconds"] == "2.500"
+
+    def test_no_refresher_no_header(self):
+        with StoryPivotAPI(installed_store(), port=0) as api:
+            _, headers, _ = _get_json(api.port, "/stories")
+            assert "X-StoryPivot-Stale-Seconds" not in headers
+
+
+class TestLoadShedding:
+    def test_past_lag_budget_sheds_with_retry_after(self):
+        api = StoryPivotAPI(
+            installed_store(), port=0,
+            refresher=FakeRefresher(stale=30.0, shed=True),
+        )
+        with api:
+            status, headers, payload = _get_json(api.port, "/stories")
+            assert status == 503
+            assert "lag budget" in payload["error"]
+            assert int(headers["Retry-After"]) >= 1
+            # healthz keeps answering so operators can see why
+            assert _get(api.port, "/healthz")[0] == 200
+            status, _, body = _get(api.port, "/metricz")
+            snapshot = json.loads(body)
+            assert snapshot["http.shed"]["value"] >= 1
+
+
+class TestLiveRefresherDegradation:
+    def test_staleness_tracks_unbuilt_ingestion(self, snippet_factory):
+        runtime = ShardedRuntime(StoryPivotConfig(), num_shards=1)
+        store = ViewStore()
+        refresher = ViewRefresher(
+            runtime, store, interval=0.1, lag_budget=60.0
+        )
+        try:
+            runtime.start()
+            runtime.offer(snippet_factory("a:1", "a"))
+            runtime.drain()
+            assert refresher.staleness() > 0.0  # accepted but not built
+            refresher.refresh()
+            assert refresher.staleness() == 0.0
+            assert not refresher.should_shed()
+            health = refresher.health()
+            assert health["status"] == "ok"
+            assert health["built_generation"] == 1
+        finally:
+            runtime.stop()
+
+    def test_refresh_failures_mark_degraded_and_keep_serving(
+        self, snippet_factory
+    ):
+        runtime = ShardedRuntime(StoryPivotConfig(), num_shards=1)
+        store = ViewStore()
+        refresher = ViewRefresher(runtime, store, interval=0.05)
+        try:
+            runtime.start()
+            runtime.offer(snippet_factory("a:1", "a"))
+            runtime.drain()
+            refresher.refresh()
+            generation = store.generation
+
+            # break rebuilds, then advance ingestion so the loop retries
+            refresher.runtime = _Broken(runtime)
+            refresher.start()
+            deadline = time.monotonic() + 5.0
+            while (
+                refresher._consecutive_failures == 0
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.02)
+            refresher.stop()
+            assert refresher._consecutive_failures >= 1
+            assert refresher.health()["status"] in ("degraded", "unhealthy")
+            assert refresher.health()["last_error"]
+            assert store.generation == generation  # last good view survives
+        finally:
+            runtime.stop()
+
+    def test_shedding_kicks_in_past_the_budget(self, snippet_factory):
+        runtime = ShardedRuntime(StoryPivotConfig(), num_shards=1)
+        store = ViewStore()
+        refresher = ViewRefresher(
+            runtime, store, interval=1.0, lag_budget=0.01
+        )
+        try:
+            runtime.start()
+            refresher.refresh()
+            runtime.offer(snippet_factory("a:1", "a"))
+            runtime.drain()
+            time.sleep(0.05)  # behind and past the 10ms budget
+            assert refresher.should_shed()
+            assert refresher.health()["status"] == "unhealthy"
+        finally:
+            runtime.stop()
+
+
+class _Broken:
+    """Runtime proxy whose merge always fails (refresher error path)."""
+
+    def __init__(self, runtime):
+        self._runtime = runtime
+        self._bump = 0
+
+    @property
+    def accepted(self):
+        self._bump += 1  # always looks advanced, forcing a rebuild try
+        return self._runtime.accepted + self._bump
+
+    def merged_pivot(self):
+        raise RuntimeError("merge exploded")
