@@ -1,0 +1,266 @@
+"""Overhead of the observability layer on the ingest hot path.
+
+Two measurements, one gate:
+
+**Gated — machinery share.**  The exact per-snippet call sequence the
+traced runtime executes (``start_trace``, the head-sampling check, the
+queue :class:`~repro.obs.trace.Envelope`, context attach, the no-op or
+real stage spans, the outcome attribute, ``end``) is run as a tight
+loop and divided by the per-snippet cost of the real pipeline
+(``StoryPivot.add_snippet`` over the same corpus), measured back to
+back.  The gate: that share must be **at most 5%** at the production
+sampling rate of 1%.
+
+**Informational — end-to-end rates.**  The same workload streams
+through a thread-executor :class:`~repro.runtime.runtime.ShardedRuntime`
+untraced, at 1% sampling, and at 100% sampling; per-round paired
+ratios and wall rates are reported but not gated.
+
+Why the split: on a busy shared host the end-to-end numbers are noise.
+Identical untraced runs here swing +-30% in wall time *and* in process
+CPU time (SMT siblings and frequency scaling change how much work a
+CPU-second buys), so a paired end-to-end delta of a few percent is
+unresolvable without hundreds of rounds.  The machinery loop is stable
+to well under a microsecond per snippet across rounds, and the
+machinery/pipeline ratio divides out clock-speed swings because both
+legs are measured the same way moments apart.  What the tight loop
+cannot see is second-order allocator/GC pressure from the extra span
+objects; the end-to-end rates would surface that on a quiet host, which
+is why they stay in the report.
+
+    python benchmarks/bench_obs.py                 # full run
+    python benchmarks/bench_obs.py --smoke         # CI-sized
+    python benchmarks/bench_obs.py -o BENCH_obs.json
+
+Results land in ``BENCH_obs.json`` next to the repo root by default.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.core.config import StoryPivotConfig  # noqa: E402
+from repro.core.pipeline import StoryPivot  # noqa: E402
+from repro.eventdata.sourcegen import synthetic_corpus  # noqa: E402
+from repro.obs import SpanStore, Tracer  # noqa: E402
+from repro.obs.trace import Envelope  # noqa: E402
+from repro.runtime import RuntimeOptions, ShardedRuntime  # noqa: E402
+
+NUM_SOURCES = 8
+OVERHEAD_GATE = 0.05  # tracing at 1% sampling may cost at most 5%
+
+
+# -- gated measurement: machinery share ---------------------------------
+
+
+def pipeline_loop(config, snippets):
+    """Per-snippet seconds to integrate the corpus, no tracing at all."""
+    pivot = StoryPivot(config)
+    started = time.perf_counter()
+    for snippet in snippets:
+        pivot.add_snippet(snippet)
+    return (time.perf_counter() - started) / len(snippets)
+
+
+def machinery_loop(snippets, sample_rate):
+    """Per-snippet seconds for the traced runtime's span choreography.
+
+    Mirrors ``ShardedRuntime.consume`` + the shard worker exactly: mint
+    a root, set identity attrs when sampled, freeze an Envelope for the
+    queue hop, re-attach on the "worker" side, open the queue-wait and
+    integrate stage spans, stamp outcomes, end the root.  The pipeline
+    work itself is absent — this is precisely the delta tracing adds.
+    """
+    tracer = Tracer(sample_rate=sample_rate, store=SpanStore())
+    started = time.perf_counter()
+    for snippet in snippets:
+        root = tracer.start_trace("ingest")
+        if root.sampled:
+            root.set(snippet=snippet.snippet_id, source=snippet.source_id)
+        envelope = Envelope(snippet, root)
+        with tracer.attach(envelope.span):
+            with tracer.span("queue.wait", start=envelope.enqueued_at):
+                pass
+            with tracer.span("shard.integrate", shard=0) as span:
+                span.set(outcome="accepted")
+            root.set(outcome="accepted")
+        root.end()
+    return (time.perf_counter() - started) / len(snippets)
+
+
+def machinery_share(config, snippets, sample_rate, repeats):
+    """Median machinery and pipeline per-snippet costs, and their ratio."""
+    pipeline_costs, machinery_costs = [], []
+    for _ in range(repeats):
+        pipeline_costs.append(pipeline_loop(config, snippets))
+        machinery_costs.append(machinery_loop(snippets, sample_rate))
+    pipeline_cost = statistics.median(pipeline_costs)
+    machinery_cost = statistics.median(machinery_costs)
+    return machinery_cost, pipeline_cost, machinery_cost / pipeline_cost
+
+
+# -- informational measurement: end-to-end rates ------------------------
+
+
+def run_once(config, snippets, num_shards, tracer):
+    runtime = ShardedRuntime(
+        config, RuntimeOptions(num_shards=num_shards), tracer=tracer
+    )
+    try:
+        runtime.start()
+        started = time.perf_counter()
+        runtime.consume(snippets)
+        runtime.drain()
+        elapsed = time.perf_counter() - started
+        accepted = runtime.stats()["accepted"]
+    finally:
+        runtime.stop()
+    return elapsed, accepted
+
+
+def paired_rounds(config, snippets, num_shards, repeats, configurations):
+    """Per-configuration rates and paired overhead ratios, by round."""
+    rates = {name: [] for name, _ in configurations}
+    ratios = {name: [] for name, _ in configurations}
+    accepted = {name: 0 for name, _ in configurations}
+    for _ in range(repeats):
+        round_rates = {}
+        for name, make_tracer in configurations:
+            elapsed, count = run_once(
+                config, snippets, num_shards, make_tracer()
+            )
+            round_rates[name] = count / elapsed
+            rates[name].append(round_rates[name])
+            accepted[name] = count
+        baseline = round_rates[configurations[0][0]]
+        for name, _ in configurations:
+            ratios[name].append((baseline - round_rates[name]) / baseline)
+    return rates, ratios, accepted
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Tracing-overhead benchmark for the ingest path."
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="fewer rounds (CI gate); same corpus — the "
+                             "share depends on workload scale, because "
+                             "per-snippet pipeline cost grows as stories "
+                             "accumulate while machinery cost is flat")
+    parser.add_argument("--events", type=int, default=None,
+                        help="synthetic events (default 800)")
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="rounds per measurement (default 5; smoke 2)")
+    parser.add_argument("-o", "--output", default=None, metavar="FILE",
+                        help="result JSON (default <repo>/BENCH_obs.json)")
+    args = parser.parse_args(argv)
+
+    events = args.events or 800
+    repeats = args.repeats or (2 if args.smoke else 5)
+
+    config = StoryPivotConfig.temporal()
+    corpus = synthetic_corpus(
+        total_events=events, num_sources=NUM_SOURCES, seed=args.seed
+    )
+    snippets = corpus.snippets_by_publication()
+    print(
+        f"workload: {len(snippets)} snippets, {NUM_SOURCES} sources, "
+        f"{events} events (seed {args.seed}), {args.shards} thread shard(s), "
+        f"median of {repeats} rounds"
+    )
+
+    machinery_cost, pipeline_cost, share = machinery_share(
+        config, snippets, sample_rate=0.01, repeats=repeats
+    )
+    print(
+        f"machinery (1% sampling)  {machinery_cost * 1e6:6.2f} us/snippet\n"
+        f"pipeline  (untraced)     {pipeline_cost * 1e6:6.2f} us/snippet\n"
+        f"machinery share          {share:+.2%}  (gate {OVERHEAD_GATE:.0%})"
+    )
+
+    configurations = [
+        ("untraced", lambda: None),
+        ("sampled_1pct",
+         lambda: Tracer(sample_rate=0.01, store=SpanStore())),
+        ("sampled_100pct",
+         lambda: Tracer(sample_rate=1.0, store=SpanStore())),
+    ]
+    rates, ratios, accepted = paired_rounds(
+        config, snippets, args.shards, repeats, configurations
+    )
+    results = {}
+    for name, _ in configurations:
+        rate = statistics.median(rates[name])
+        overhead = statistics.median(ratios[name])
+        results[name] = {
+            "snippets": accepted[name],
+            "snippets_per_second": round(rate, 2),
+            "overhead_vs_untraced": round(overhead, 4),
+            "rounds_snippets_per_second": [
+                round(r, 1) for r in rates[name]
+            ],
+        }
+        print(
+            f"{name:<16} {rate:8.1f} snippets/s"
+            + (f"  ({overhead:+.1%} vs untraced, median of "
+               f"{repeats} paired rounds; informational)"
+               if name != "untraced" else "  (baseline)")
+        )
+
+    payload = {
+        "benchmark": "observability-overhead",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "smoke": args.smoke,
+        "cpu_cores": os.cpu_count() or 1,
+        "workload": {
+            "events": events,
+            "num_sources": NUM_SOURCES,
+            "snippets": len(snippets),
+            "seed": args.seed,
+            "num_shards": args.shards,
+            "executor": "thread",
+            "repeats": repeats,
+        },
+        "gate": {
+            "metric": "machinery_share_at_1pct_sampling",
+            "max_share": OVERHEAD_GATE,
+            "machinery_us_per_snippet": round(machinery_cost * 1e6, 3),
+            "pipeline_us_per_snippet": round(pipeline_cost * 1e6, 3),
+            "machinery_share": round(share, 4),
+        },
+        "end_to_end": results,
+    }
+    output = args.output or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_obs.json"
+    )
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {os.path.normpath(output)}")
+
+    if share > OVERHEAD_GATE:
+        print(
+            f"FAIL: 1%-sampling machinery share {share:.1%} > "
+            f"{OVERHEAD_GATE:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"overhead gate: {share:.1%} <= {OVERHEAD_GATE:.0%} at 1% sampling"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,8 @@ Examples::
     storypivot-run --demo --evaluate
     storypivot-run --synthetic 500 --si complete --format json
     storypivot-run corpus.jsonl --window-days 7 --checkpoint state.jsonl
+    storypivot-run explain s1/c000000 --demo
+    storypivot-run explain "c'000001" --wal-dir state/
 """
 
 from __future__ import annotations
@@ -144,6 +146,86 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _explain_main(argv: Sequence[str]) -> int:
+    """``storypivot-run explain`` — replay one story's decision history.
+
+    Works offline against a state directory's ``decisions.jsonl`` (the
+    always-on log the sharded runtime writes next to its WAL) or, given
+    a corpus, re-runs the pipeline with a fresh log attached.  Accepts
+    per-source story ids (``s1/000003``) and integrated/aligned ids
+    (``c'000001``) — the latter interleave every member story's history.
+    """
+    import os
+
+    from repro.obs.decisions import DecisionLog, format_event, merge_histories
+
+    parser = argparse.ArgumentParser(
+        prog="storypivot-run explain",
+        description="Replay the decision history of one story.",
+    )
+    parser.add_argument("story_id",
+                        help="per-source story id (s1/c000003) or "
+                             "integrated story id (c'000001)")
+    parser.add_argument("corpus", nargs="?", default=None,
+                        help="corpus to re-run when no --wal-dir/--log is "
+                             "given")
+    parser.add_argument("--wal-dir", default=None, metavar="DIR",
+                        help="state directory holding decisions.jsonl")
+    parser.add_argument("--log", default=None, metavar="FILE",
+                        help="decision-log JSONL file to load")
+    parser.add_argument("--demo", action="store_true",
+                        help="use the built-in MH17 demo corpus")
+    parser.add_argument("--synthetic", type=int, default=None, metavar="N",
+                        help="generate a synthetic corpus with N events")
+    parser.add_argument("--sources", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--si", choices=["temporal", "complete", "single_pass"],
+                        default="temporal", help="identification mode")
+    args = parser.parse_args(list(argv))
+
+    if args.log or args.wal_dir:
+        path = args.log or os.path.join(args.wal_dir, "decisions.jsonl")
+        if not os.path.exists(path):
+            parser.exit(2, f"error: no decision log at {path}\n")
+        log = DecisionLog.load(path)
+    else:
+        try:
+            corpus = _load_corpus(args)
+        except (OSError, StoryPivotError) as exc:
+            parser.exit(2, f"error: {exc}\n")
+        factory = {
+            "temporal": StoryPivotConfig.temporal,
+            "complete": StoryPivotConfig.complete,
+            "single_pass": StoryPivotConfig.single_pass,
+        }[args.si]
+        log = DecisionLog()
+        StoryPivot(factory(), decision_log=log).run(corpus)
+
+    events = log.history(args.story_id)
+    if events:
+        print(log.format_history(args.story_id))
+        return 0
+    # maybe an integrated story id: interleave its members' histories
+    members = []
+    for event in log.events():
+        if (
+            event["event"] == "aligned"
+            and event.get("details", {}).get("aligned_id") == args.story_id
+            and event["story_id"] not in members
+        ):
+            members.append(event["story_id"])
+    if members:
+        merged = merge_histories(log.history(m) for m in members)
+        print(f"integrated story {args.story_id}: {len(members)} member "
+              f"story(ies), {len(merged)} decision(s)")
+        for event in merged:
+            print("  " + format_event(event))
+        return 0
+    print(f"no decision history for story {args.story_id!r}",
+          file=sys.stderr)
+    return 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -152,6 +234,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.runtime.serve import main as serve_main
 
         return serve_main(list(argv[1:]))
+    if argv and argv[0] == "explain":
+        return _explain_main(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

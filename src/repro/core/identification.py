@@ -70,10 +70,16 @@ class BaseIdentifier:
     mode = "base"
 
     def __init__(
-        self, source_id: str, config: Optional[StoryPivotConfig] = None
+        self,
+        source_id: str,
+        config: Optional[StoryPivotConfig] = None,
+        decisions=None,
     ) -> None:
         self.source_id = source_id
         self.config = config if config is not None else StoryPivotConfig()
+        #: optional repro.obs.decisions.DecisionLog receiving lifecycle
+        #: events (created/extended/merged/split/restored) with scores
+        self.decisions = decisions
         self.matcher = SnippetMatcher(self.config)
         self._minhash = (
             MinHash(self.config.minhash_permutations)
@@ -147,6 +153,11 @@ class BaseIdentifier:
             self._snippets[snippet.snippet_id] = snippet
             self._index(snippet)
             self.stats.snippets += 1
+        if self.decisions is not None:
+            self.decisions.record(
+                "restored", story_id, self.source_id,
+                num_snippets=len(members),
+            )
         return story
 
     def remove(self, snippet_id: str) -> Snippet:
@@ -186,13 +197,21 @@ class BaseIdentifier:
     # -- placement -------------------------------------------------------------
 
     def _place(self, snippet: Snippet, ranked: List[Tuple[Story, float]]) -> Story:
+        best_score = ranked[0][1] if ranked else None
         if ranked and ranked[0][1] >= self.config.match_threshold:
             story = ranked[0][0]
+            event = "extended"
         else:
             story = self.stories.new_story()
             self.stats.new_stories += 1
+            event = "created"
         self.stories.assign(snippet, story)
         self._snippets[snippet.snippet_id] = snippet
+        if self.decisions is not None:
+            self.decisions.record(
+                event, story.story_id, self.source_id,
+                snippet_id=snippet.snippet_id, score=best_score,
+            )
         return story
 
     def _post_assign(
@@ -233,6 +252,12 @@ class BaseIdentifier:
                     keep, absorb = absorb, keep
                 self.stories.merge(keep.story_id, absorb.story_id)
                 self.stats.merges += 1
+                if self.decisions is not None:
+                    self.decisions.record(
+                        "merged", keep.story_id, self.source_id,
+                        snippet_id=snippet.snippet_id, score=pair,
+                        absorbed=absorb.story_id,
+                    )
                 return
 
     def _maybe_split(self, story: Story) -> None:
@@ -246,8 +271,14 @@ class BaseIdentifier:
         tail = {s.snippet_id for s in members[index + 1 :]}
         if not tail or len(tail) >= len(members):
             return
-        self.stories.split(story.story_id, tail)
+        fresh = self.stories.split(story.story_id, tail)
         self.stats.splits += 1
+        if self.decisions is not None:
+            self.decisions.record(
+                "split", fresh.story_id, self.source_id,
+                from_story=story.story_id, gap_seconds=round(gap, 3),
+                moved=len(tail),
+            )
 
     # -- indexing ---------------------------------------------------------------
 
@@ -350,9 +381,11 @@ _IDENTIFIER_CLASSES = {
 
 
 def make_identifier(
-    source_id: str, config: Optional[StoryPivotConfig] = None
+    source_id: str,
+    config: Optional[StoryPivotConfig] = None,
+    decisions=None,
 ) -> BaseIdentifier:
     """Instantiate the identifier class the config's mode selects."""
     config = config if config is not None else StoryPivotConfig()
     cls = _IDENTIFIER_CLASSES[config.identification_mode]
-    return cls(source_id, config)
+    return cls(source_id, config, decisions=decisions)

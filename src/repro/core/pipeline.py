@@ -54,10 +54,15 @@ class PivotResult:
 class StoryPivot:
     """The full system: identification + alignment + refinement."""
 
-    def __init__(self, config: Optional[StoryPivotConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[StoryPivotConfig] = None,
+        decision_log=None,
+    ) -> None:
         self.config = config if config is not None else StoryPivotConfig()
         self.aligner = StoryAligner(self.config)
-        self.refiner = StoryRefiner(self.config)
+        self.decisions = decision_log
+        self.refiner = StoryRefiner(self.config, decisions=decision_log)
         self._identifiers: Dict[str, BaseIdentifier] = {}
         self._snippet_count = 0
 
@@ -67,9 +72,18 @@ class StoryPivot:
         """The (lazily created) identifier owning source ``source_id``."""
         identifier = self._identifiers.get(source_id)
         if identifier is None:
-            identifier = make_identifier(source_id, self.config)
+            identifier = make_identifier(
+                source_id, self.config, decisions=self.decisions
+            )
             self._identifiers[source_id] = identifier
         return identifier
+
+    def set_decision_log(self, decision_log) -> None:
+        """Attach a decision log after construction (restore path)."""
+        self.decisions = decision_log
+        self.refiner.decisions = decision_log
+        for identifier in self._identifiers.values():
+            identifier.decisions = decision_log
 
     def add_snippet(self, snippet: Snippet):
         """Integrate one snippet into its source's stories.
@@ -166,6 +180,8 @@ class StoryPivot:
             if refinement.alignment is not None:
                 alignment = refinement.alignment
         refine_done = time.perf_counter()
+        if self.decisions is not None:
+            self.decisions.note_alignment(alignment)
         return PivotResult(
             story_sets=story_sets,
             alignment=alignment,

@@ -61,10 +61,17 @@ class RefinementResult:
 class StoryRefiner:
     """Resolve SI/SA conflicts by moving snippets between stories."""
 
-    def __init__(self, config: Optional[StoryPivotConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[StoryPivotConfig] = None,
+        decisions=None,
+    ) -> None:
         self.config = config if config is not None else StoryPivotConfig()
         self.matcher = SnippetMatcher(self.config)
         self._aligner = StoryAligner(self.config)
+        #: optional repro.obs.decisions.DecisionLog; every applied Move
+        #: is recorded as a "refined" event with its evidence mass
+        self.decisions = decisions
 
     def refine(
         self,
@@ -279,6 +286,7 @@ class StoryRefiner:
                 best_story, best_score = candidate, score
 
         from_story_id = story.story_id
+        founded = False
         if best_story is None:
             key = (snippet.source_id, frozenset(evidence_stories))
             best_story = fresh_homes.get(key)
@@ -286,11 +294,20 @@ class StoryRefiner:
                 story_set.unassign(snippet.snippet_id)
                 best_story = story_set.new_story()
                 fresh_homes[key] = best_story
+                founded = True
             else:
                 story_set.unassign(snippet.snippet_id)
         else:
             story_set.unassign(snippet.snippet_id)
         story_set.assign(snippet, best_story)
+        if self.decisions is not None:
+            details = {"from_story": from_story_id}
+            if founded:
+                details["founded"] = True
+            self.decisions.record(
+                "refined", best_story.story_id, snippet.source_id,
+                snippet_id=snippet.snippet_id, score=evidence, **details,
+            )
         return Move(
             snippet_id=snippet.snippet_id,
             source_id=snippet.source_id,

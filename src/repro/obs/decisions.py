@@ -1,0 +1,250 @@
+"""The structured decision log: why each story looks the way it does.
+
+The paper's demo UI exists so an operator can *see* why snippets were
+identified into a story and why stories aligned across sources.  This
+module is the programmatic equivalent: every lifecycle decision the
+pipeline makes — ``created``, ``extended``, ``merged``, ``split``,
+``refined``, ``restored``, ``aligned`` — is recorded with the
+responsible snippet, the similarity score that justified it, and the
+trace id of the request that caused it (captured from the ambient
+span, free when tracing is off).
+
+The log is a bounded ring with a per-story index and explicit lineage
+maps (which story absorbed which, which split from which), so
+``history(story_id)`` can replay a story's full ancestry including
+events recorded against stories it later absorbed.  When a path is
+configured every event is also appended as one JSON line next to the
+WAL, so ``storypivot explain`` works offline against a state dir.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.trace import current_trace_id
+
+#: Events that legitimately start a story's history.  ``refined`` counts
+#: only when flagged ``founded`` (refinement moved snippets into a story
+#: it created itself).
+FOUNDING_EVENTS = ("created", "restored", "split")
+
+LIFECYCLE_EVENTS = FOUNDING_EVENTS + ("extended", "merged", "refined", "aligned")
+
+
+class DecisionLog:
+    """Thread-safe bounded ring of story lifecycle events."""
+
+    def __init__(self, capacity: int = 20000, path: Optional[str] = None) -> None:
+        self.capacity = capacity
+        self.path = path
+        self._lock = threading.Lock()
+        self._events: deque = deque()
+        self._by_story: Dict[str, List[dict]] = {}
+        self._absorbed_into: Dict[str, str] = {}  # absorbed id -> keeper id
+        self._split_from: Dict[str, str] = {}  # child id -> parent id
+        self._aligned_map: Dict[str, str] = {}  # story id -> last aligned id
+        self._seq = 0
+        self._file = None
+        self.recorded = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def record(
+        self,
+        event: str,
+        story_id: str,
+        source_id: Optional[str] = None,
+        snippet_id: Optional[str] = None,
+        score: Optional[float] = None,
+        **details,
+    ) -> dict:
+        if source_id is None and "/" in story_id:
+            source_id = story_id.split("/", 1)[0]
+        entry = {
+            "seq": 0,  # assigned under the lock
+            "ts": round(time.time(), 6),
+            "event": event,
+            "story_id": story_id,
+            "source_id": source_id,
+            "snippet_id": snippet_id,
+            "score": round(score, 6) if score is not None else None,
+        }
+        if details:
+            entry["details"] = details
+        trace_id = current_trace_id()
+        if trace_id:
+            entry["trace_id"] = trace_id
+        with self._lock:
+            self._seq += 1
+            entry["seq"] = self._seq
+            self.recorded += 1
+            self._append(entry)
+            if event == "merged" and "absorbed" in details:
+                self._absorbed_into[details["absorbed"]] = story_id
+            elif event == "split" and "from_story" in details:
+                self._split_from[story_id] = details["from_story"]
+            if self.path is not None:
+                if self._file is None:
+                    self._file = open(self.path, "a", encoding="utf-8")
+                self._file.write(json.dumps(entry, sort_keys=True) + "\n")
+                self._file.flush()
+        return entry
+
+    def _append(self, entry: dict) -> None:
+        if len(self._events) >= self.capacity:
+            evicted = self._events.popleft()
+            bucket = self._by_story.get(evicted["story_id"])
+            # The evicted event is the globally oldest, hence also the
+            # oldest of its story — always the head of its bucket.
+            if bucket and bucket[0] is evicted:
+                bucket.pop(0)
+                if not bucket:
+                    del self._by_story[evicted["story_id"]]
+        self._events.append(entry)
+        self._by_story.setdefault(entry["story_id"], []).append(entry)
+
+    def note_alignment(self, alignment) -> int:
+        """Diff ``alignment`` against the last one; record what changed.
+
+        Alignment runs repeatedly (every view refresh); recording every
+        mapping every time would bury the signal, so only stories whose
+        integrated story changed get an ``aligned`` event.
+        """
+        changed = 0
+        mapping = dict(alignment.story_to_aligned)
+        for story_id, aligned_id in sorted(mapping.items()):
+            if self._aligned_map.get(story_id) != aligned_id:
+                self.record("aligned", story_id, aligned_id=aligned_id)
+                changed += 1
+        self._aligned_map = mapping
+        return changed
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    # -- queries -----------------------------------------------------------
+
+    def events(self) -> List[dict]:
+        with self._lock:
+            return list(self._events)
+
+    def story_ids(self) -> List[str]:
+        with self._lock:
+            return sorted(self._by_story)
+
+    def history(self, story_id: str) -> List[dict]:
+        """The story's events plus those of every story it absorbed."""
+        with self._lock:
+            members = self._closure(story_id)
+            events: List[dict] = []
+            for member in members:
+                events.extend(self._by_story.get(member, ()))
+        return sorted(events, key=lambda e: e["seq"])
+
+    def _closure(self, story_id: str) -> List[str]:
+        members = [story_id]
+        frontier = [story_id]
+        while frontier:
+            target = frontier.pop()
+            for absorbed, keeper in self._absorbed_into.items():
+                if keeper == target and absorbed not in members:
+                    members.append(absorbed)
+                    frontier.append(absorbed)
+        return members
+
+    def orphans(self) -> List[str]:
+        """Story ids whose recorded history starts mid-life.
+
+        Every story the pipeline touches must enter the log through a
+        founding event (``created``/``restored``/``split``, or a
+        ``refined`` flagged ``founded``) before anything else happens to
+        it — an orphan means an instrumentation gap.  Stories whose
+        founding event aged out of the ring are exempt (``seq`` of their
+        first retained event is above the ring's floor).
+        """
+        with self._lock:
+            floor = self._events[0]["seq"] if self._events else 0
+            bad = []
+            for story_id, events in self._by_story.items():
+                first = events[0]
+                if first["seq"] > floor and not self._founding(first):
+                    bad.append(story_id)
+        return sorted(bad)
+
+    @staticmethod
+    def _founding(event: dict) -> bool:
+        if event["event"] in FOUNDING_EVENTS:
+            return True
+        return event["event"] == "refined" and bool(
+            event.get("details", {}).get("founded")
+        )
+
+    # -- persistence -------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str, capacity: int = 20000) -> "DecisionLog":
+        """Rebuild a log from its JSONL file (tolerates a torn tail)."""
+        log = cls(capacity=capacity, path=None)
+        if not os.path.exists(path):
+            return log
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue  # torn tail, same stance as the WAL
+                with log._lock:
+                    log._seq = max(log._seq, entry.get("seq", 0))
+                    log.recorded += 1
+                    log._append(entry)
+                    details = entry.get("details", {})
+                    if entry["event"] == "merged" and "absorbed" in details:
+                        log._absorbed_into[details["absorbed"]] = entry["story_id"]
+                    elif entry["event"] == "split" and "from_story" in details:
+                        log._split_from[entry["story_id"]] = details["from_story"]
+        return log
+
+    # -- presentation ------------------------------------------------------
+
+    def format_history(self, story_id: str) -> str:
+        """Human-readable replay for ``storypivot explain``."""
+        events = self.history(story_id)
+        if not events:
+            return f"no decision history for story {story_id!r}"
+        lines = [f"story {story_id}: {len(events)} decision(s)"]
+        for event in events:
+            lines.append("  " + format_event(event))
+        return "\n".join(lines)
+
+
+def format_event(event: dict) -> str:
+    when = time.strftime("%H:%M:%S", time.localtime(event["ts"]))
+    parts = [f"#{event['seq']:<6} {when} {event['event']:<9} {event['story_id']}"]
+    if event.get("snippet_id"):
+        parts.append(f"snippet={event['snippet_id']}")
+    if event.get("score") is not None:
+        parts.append(f"score={event['score']:.4f}")
+    for key, value in event.get("details", {}).items():
+        parts.append(f"{key}={value}")
+    if event.get("trace_id"):
+        parts.append(f"trace={event['trace_id']}")
+    return " ".join(parts)
+
+
+def merge_histories(logs_events: Iterable[List[dict]]) -> List[dict]:
+    """Interleave per-story histories (used for aligned-story queries)."""
+    merged: List[dict] = []
+    for events in logs_events:
+        merged.extend(events)
+    return sorted(merged, key=lambda e: e["seq"])

@@ -1,0 +1,123 @@
+"""Lightweight profiling: slow-span leaderboard and a sampling ticker.
+
+Neither piece uses ``sys.setprofile`` — that hook taxes *every* Python
+call in the process, which is exactly what an always-on diagnostics
+layer must not do.  Instead:
+
+* :class:`SlowSpanBoard` keeps the top-N slowest spans ever ended by a
+  tracer (sampled or not — duration is known either way), so the one
+  pathological realignment that happened an hour ago is still visible.
+* :class:`SamplingTicker` is a wall-clock profiler: a daemon thread
+  wakes every ``interval`` seconds, walks ``sys._current_frames()``,
+  attributes each thread to the innermost ``repro`` module on its
+  stack, and bumps a labeled counter.  Tick counts are proportional to
+  wall time spent per module; cardinality is bounded by the module
+  count, not the call graph.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import sys
+import threading
+from typing import List, Optional, Tuple
+
+
+class SlowSpanBoard:
+    """Top-N slowest spans, cheapest-possible maintenance.
+
+    ``offer`` is called for every ended span from every worker thread,
+    so both the off-board case (one comparison against a cached floor,
+    no lock) and the on-board case must stay cheap.  The board is a
+    bounded min-heap — replace-root is O(log N) with a tiny lock hold.
+    A sorted list looks equivalent but is pathological here: ingest
+    span durations include queue wait, which trends upward under load,
+    so *every* span beats the floor and the sort convoyed the shard
+    workers behind one lock.
+    """
+
+    __slots__ = ("_n", "_lock", "_heap", "_floor", "_seq")
+
+    def __init__(self, n: int = 16) -> None:
+        self._n = n
+        self._lock = threading.Lock()
+        # min-heap of (duration, seq, name, trace_id); seq breaks ties
+        self._heap: List[Tuple[float, int, str, str]] = []
+        self._floor = -1.0
+        self._seq = itertools.count()
+
+    def offer(self, name: str, trace_id: str, duration: float) -> None:
+        if duration <= self._floor:
+            return
+        with self._lock:
+            if len(self._heap) < self._n:
+                heapq.heappush(
+                    self._heap, (duration, next(self._seq), name, trace_id)
+                )
+                if len(self._heap) == self._n:
+                    self._floor = self._heap[0][0]
+            elif duration > self._heap[0][0]:
+                heapq.heapreplace(
+                    self._heap, (duration, next(self._seq), name, trace_id)
+                )
+                self._floor = self._heap[0][0]
+
+    def top(self) -> List[dict]:
+        with self._lock:
+            ordered = sorted(self._heap, reverse=True)
+        return [
+            {"name": name, "trace_id": trace_id, "duration": duration}
+            for duration, _, name, trace_id in ordered
+        ]
+
+
+def _attribute(frame) -> Optional[str]:
+    """Innermost repro-package module on the stack, if any."""
+    while frame is not None:
+        module = frame.f_globals.get("__name__", "")
+        if module.startswith("repro.") and not module.startswith("repro.obs"):
+            return module
+        frame = frame.f_back
+    return None
+
+
+class SamplingTicker:
+    """Wall-clock sampling profiler feeding the metrics registry.
+
+    Counts land in ``profile.ticks{module=...}``; the ratio between two
+    modules' counts is the ratio of wall time their code was on-stack.
+    """
+
+    def __init__(self, metrics, interval: float = 0.05) -> None:
+        self.metrics = metrics
+        self.interval = interval
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.ticks = 0
+
+    def start(self) -> "SamplingTicker":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._run, name="obs-ticker", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        me = threading.get_ident()
+        while not self._stop.wait(self.interval):
+            self.ticks += 1
+            for thread_id, frame in sys._current_frames().items():
+                if thread_id == me:
+                    continue
+                module = _attribute(frame)
+                if module is not None:
+                    self.metrics.counter("profile.ticks", module=module).inc()

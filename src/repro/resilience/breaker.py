@@ -28,6 +28,7 @@ from collections import deque
 from typing import Callable, Deque, Optional
 
 from repro.errors import ConfigurationError, StoryPivotError
+from repro.obs.trace import add_event
 
 CLOSED = "closed"
 OPEN = "open"
@@ -107,6 +108,10 @@ class CircuitBreaker:
         old, self._state = self._state, new_state
         if old == new_state:
             return
+        add_event(
+            "breaker.transition", breaker=self.name,
+            from_state=old, to_state=new_state,
+        )
         if self._metrics is not None:
             self._metrics.gauge(f"breaker.{self.name}.state").set(
                 _STATE_VALUE[new_state]
@@ -180,6 +185,7 @@ class CircuitBreaker:
         if not self.allow():
             if self._metrics is not None:
                 self._metrics.counter(f"breaker.{self.name}.rejected").inc()
+            add_event("breaker.rejected", breaker=self.name)
             raise CircuitOpenError(self.name, self.retry_after())
         try:
             result = fn(*args, **kwargs)

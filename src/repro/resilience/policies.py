@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterator, Optional, Tuple, Type
 
 from repro.errors import ConfigurationError
+from repro.obs.trace import add_event
 from repro.resilience.deadline import Deadline
 
 
@@ -95,6 +96,9 @@ class RetryPolicy:
                 pause = self.delay(attempt, key=key)
                 if deadline is not None and deadline.remaining() < pause:
                     raise
+                add_event(
+                    "retry", attempt=attempt, key=key, error=repr(exc),
+                )
                 if on_retry is not None:
                     on_retry(attempt, exc)
                 if pause:

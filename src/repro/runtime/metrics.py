@@ -10,8 +10,15 @@ ring of the most recent observations from which p50/p95/p99 are computed —
 recency-biased quantiles, which is what an operator watching a live
 ingest wants, at O(1) memory.
 
-The registry snapshot is plain JSON (``to_json``) for machine consumers
-and a fixed-width table (``render``) for the ``serve --stats`` CLI view.
+The registry snapshot is plain JSON (``to_json``) for machine consumers,
+a fixed-width table (``render``) for the ``serve --stats`` CLI view, and
+Prometheus text exposition (``prometheus_render``) for scrapers.
+
+Metrics may carry labels: ``registry.counter("queue.depth", shard=3)``
+stores under the canonical key ``queue.depth{shard=3}`` — one key per
+label set, so snapshots stay a flat dict, but renderers can split the
+key back apart (``split_metric_key``) and group children into a single
+Prometheus family.
 """
 
 from __future__ import annotations
@@ -19,8 +26,34 @@ from __future__ import annotations
 import json
 import threading
 import time
+import re
 from collections import deque
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+
+def labeled_name(name: str, labels: Dict[str, object]) -> str:
+    """Canonical storage key for a metric child: ``name{k=v,...}``.
+
+    Label keys are sorted so the same label set always maps to the same
+    child regardless of call-site keyword order.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def split_metric_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Invert :func:`labeled_name`: ``"q{shard=3}"`` -> ``("q", {"shard": "3"})``."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, inner = key[:-1].partition("{")
+    labels: Dict[str, str] = {}
+    for part in inner.split(","):
+        if "=" in part:
+            label, _, value = part.partition("=")
+            labels[label] = value
+    return name, labels
 
 
 class Counter:
@@ -103,12 +136,23 @@ class Histogram:
         with self._lock:
             ordered = sorted(self._samples)
         if not ordered:
-            return None
+            return None  # empty histogram: no quantile, not a crash
+        if len(ordered) == 1:
+            return ordered[0]  # p99 of one observation IS that observation
         rank = (q / 100.0) * (len(ordered) - 1)
         low = int(rank)
         high = min(low + 1, len(ordered) - 1)
         fraction = rank - low
         return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+    def reset(self) -> None:
+        """Drop all state (test isolation between scenario phases)."""
+        with self._lock:
+            self._samples.clear()
+            self.count = 0
+            self.sum = 0.0
+            self.min = None
+            self.max = None
 
     @property
     def mean(self) -> Optional[float]:
@@ -159,26 +203,43 @@ class MetricsRegistry:
                 self._metrics[name] = metric
             return metric
 
-    def counter(self, name: str) -> Counter:
-        metric = self._get_or_create(name, Counter)
+    def counter(self, name: str, **labels) -> Counter:
+        key = labeled_name(name, labels)
+        metric = self._get_or_create(key, Counter)
         if not isinstance(metric, Counter):
-            raise TypeError(f"{name!r} is a {metric.kind}, not a counter")
+            raise TypeError(f"{key!r} is a {metric.kind}, not a counter")
         return metric
 
-    def gauge(self, name: str) -> Gauge:
-        metric = self._get_or_create(name, Gauge)
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = labeled_name(name, labels)
+        metric = self._get_or_create(key, Gauge)
         if not isinstance(metric, Gauge):
-            raise TypeError(f"{name!r} is a {metric.kind}, not a gauge")
+            raise TypeError(f"{key!r} is a {metric.kind}, not a gauge")
         return metric
 
-    def histogram(self, name: str, max_samples: int = 4096) -> Histogram:
-        metric = self._get_or_create(name, lambda: Histogram(max_samples))
+    def histogram(self, name: str, max_samples: int = 4096, **labels) -> Histogram:
+        key = labeled_name(name, labels)
+        metric = self._get_or_create(key, lambda: Histogram(max_samples))
         if not isinstance(metric, Histogram):
-            raise TypeError(f"{name!r} is a {metric.kind}, not a histogram")
+            raise TypeError(f"{key!r} is a {metric.kind}, not a histogram")
         return metric
 
-    def timer(self, name: str) -> _Timer:
-        return _Timer(self.histogram(name))
+    def timer(self, name: str, **labels) -> _Timer:
+        return _Timer(self.histogram(name, **labels))
+
+    def children(self, name: str) -> Dict[str, object]:
+        """All children of a labeled family, keyed by their label dicts.
+
+        Returns ``{canonical_key: metric}`` for every metric whose base
+        name is ``name`` (including the unlabeled parent, if any).
+        """
+        with self._lock:
+            items = list(self._metrics.items())
+        return {
+            key: metric
+            for key, metric in items
+            if split_metric_key(key)[0] == name
+        }
 
     def names(self) -> List[str]:
         with self._lock:
@@ -228,3 +289,79 @@ def render_table(snapshot: Dict[str, Dict[str, object]]) -> str:
             detail = fmt(snap["value"])
         lines.append(f"{name:<40} {kind:<10} {detail}")
     return "\n".join(lines)
+
+
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    sanitized = _PROM_INVALID.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_value(value: object) -> str:
+    if value is None:
+        return "NaN"
+    return f"{float(value):.10g}"
+
+
+def _prom_escape(value: object) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _prom_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_PROM_INVALID.sub("_", key)}="{_prom_escape(value)}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def prometheus_render(snapshot: Dict[str, Dict[str, object]]) -> str:
+    """Prometheus text exposition (format version 0.0.4) of a snapshot.
+
+    Counters and gauges map directly; histograms are exposed as
+    summaries (quantile children + ``_sum``/``_count``), which is the
+    honest encoding of our recency-window percentiles — we do not have
+    cumulative buckets to offer.  Labeled children collapse into one
+    family per base name so scrapers see a single ``# TYPE`` line.
+    """
+    families: Dict[str, List[Tuple[Dict[str, str], Dict[str, object]]]] = {}
+    kinds: Dict[str, str] = {}
+    for key, snap in sorted(snapshot.items()):
+        base, labels = split_metric_key(key)
+        name = _prom_name(base)
+        families.setdefault(name, []).append((labels, snap))
+        kinds[name] = snap["type"]
+
+    lines: List[str] = []
+    for name in sorted(families):
+        kind = kinds[name]
+        if kind == "histogram":
+            lines.append(f"# TYPE {name} summary")
+            for labels, snap in families[name]:
+                for q, field in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
+                    quantiled = dict(labels, quantile=str(q))
+                    lines.append(
+                        f"{name}{_prom_labels(quantiled)} "
+                        f"{_prom_value(snap.get(field))}"
+                    )
+                lines.append(
+                    f"{name}_sum{_prom_labels(labels)} {_prom_value(snap.get('sum'))}"
+                )
+                lines.append(
+                    f"{name}_count{_prom_labels(labels)} "
+                    f"{_prom_value(snap.get('count'))}"
+                )
+        else:
+            prom_kind = "counter" if kind == "counter" else "gauge"
+            lines.append(f"# TYPE {name} {prom_kind}")
+            for labels, snap in families[name]:
+                lines.append(
+                    f"{name}{_prom_labels(labels)} {_prom_value(snap.get('value'))}"
+                )
+    return "\n".join(lines) + "\n"

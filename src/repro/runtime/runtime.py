@@ -31,9 +31,11 @@ the merged state.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 import zlib
+from collections import deque
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import ExitStack
 from dataclasses import dataclass, field, replace
@@ -46,6 +48,8 @@ from repro.core.pipeline import PivotResult, StoryPivot
 from repro.errors import ConfigurationError, DuplicateSnippetError
 from repro.eventdata.corpus import Corpus
 from repro.eventdata.models import Snippet
+from repro.obs.decisions import DecisionLog
+from repro.obs.trace import NULL_TRACER, Envelope, Span, current_span
 from repro.resilience.dlq import DeadLetterQueue
 from repro.resilience.policies import RetryPolicy
 from repro.runtime.metrics import MetricsRegistry
@@ -152,6 +156,8 @@ class ShardedRuntime:
         self,
         config: Optional[StoryPivotConfig] = None,
         options: Optional[RuntimeOptions] = None,
+        tracer=None,
+        decisions=None,
         **overrides,
     ) -> None:
         self.config = config if config is not None else StoryPivotConfig()
@@ -160,6 +166,20 @@ class ShardedRuntime:
             options = replace(options, **overrides)
         self.options = options
         self.metrics = MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer.enabled and self.tracer.metrics is None:
+            self.tracer.metrics = self.metrics
+        # the decision log is always on: it is how `storypivot explain`
+        # answers "why does this story look like this", tracing or not
+        if decisions is None:
+            decisions_path = (
+                os.path.join(options.wal_dir, "decisions.jsonl")
+                if options.wal_dir is not None
+                else None
+            )
+            decisions = DecisionLog(path=decisions_path)
+        self.decisions = decisions
+        self._recent_traces: Deque[str] = deque(maxlen=32)
         self._aligner = StoryAligner(self.config)
         self._started = False
         self._stopped = False
@@ -188,7 +208,7 @@ class ShardedRuntime:
         self.metrics.gauge("shards.dead")
         self.metrics.gauge("shards.failed")
         for shard_id in range(options.num_shards):
-            self.metrics.gauge(f"queue.depth.shard{shard_id:03d}")
+            self.metrics.gauge("queue.depth", shard=shard_id)
         # populated by start()
         self._shards: List[Shard] = []
         self._store: Optional[CheckpointStore] = None
@@ -202,6 +222,9 @@ class ShardedRuntime:
         self._proc_executors: List[ProcessPoolExecutor] = []
         self._buffers: List[List[Snippet]] = []
         self._outstanding: List[List[Future]] = []
+        self._batch_traces: List[List[str]] = [
+            [] for _ in range(options.num_shards)
+        ]
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -211,6 +234,8 @@ class ShardedRuntime:
         wal_dir: str,
         config: Optional[StoryPivotConfig] = None,
         options: Optional[RuntimeOptions] = None,
+        tracer=None,
+        decisions=None,
         **overrides,
     ) -> "ShardedRuntime":
         """Recover a runtime from its WAL directory.
@@ -231,7 +256,9 @@ class ShardedRuntime:
         options = options if options is not None else RuntimeOptions()
         overrides.setdefault("wal_dir", wal_dir)
         overrides["num_shards"] = num_shards
-        runtime = cls(config, options, **overrides)
+        runtime = cls(
+            config, options, tracer=tracer, decisions=decisions, **overrides
+        )
         for shard_id in range(num_shards):
             pivot, _ = store.recover_shard(
                 shard_id, config, metrics=runtime.metrics
@@ -286,6 +313,8 @@ class ShardedRuntime:
                 poison_policy=options.poison_policy,
                 retry=options.retry,
                 dlq=dlq,
+                tracer=self.tracer,
+                decisions=self.decisions,
             )
             restored = self._restored[shard_id]
             if restored is not None:
@@ -342,13 +371,29 @@ class ShardedRuntime:
         False means the backpressure policy shed it (or its shard is
         dead).  Acceptance vs duplicate is decided asynchronously by the
         shard worker and visible in the metrics/stats.
+
+        With tracing enabled the snippet travels wrapped in an
+        :class:`~repro.obs.trace.Envelope` carrying its root span; the
+        shard worker ends the root when processing completes.  An
+        ambient ``ingest`` root (from :meth:`consume`) is reused,
+        otherwise a fresh one is started here.
         """
         if not self._started:
             self.start()
         self._arrived.inc()
         shard_id = shard_of(snippet.source_id, self.options.num_shards)
-        if self.options.executor == "process":
-            return self._offer_process(shard_id, snippet)
+        if not self.tracer.enabled:
+            if self.options.executor == "process":
+                return self._offer_process(shard_id, snippet)
+            return self._offer_plain(shard_id, snippet)
+        root = current_span()
+        if root is None:
+            root = self.tracer.start_trace("ingest")
+        if root.sampled:  # identity attrs are export-only; skip off-sample
+            root.set(snippet=snippet.snippet_id, source=snippet.source_id)
+        return self._offer_traced(shard_id, snippet, root)
+
+    def _offer_plain(self, shard_id: int, snippet: Snippet) -> bool:
         shard = self._shards[shard_id]
         if shard.dead:
             self._dropped.inc()
@@ -362,9 +407,67 @@ class ShardedRuntime:
             self._dropped.inc()
         return enqueued
 
+    def _offer_traced(self, shard_id: int, snippet: Snippet, root: Span) -> bool:
+        if self.options.executor == "process":
+            # Spans cannot cross pickling into the worker process: the
+            # ingest trace ends at the batch boundary and the batch span
+            # links back to it by trace id (graceful degradation).
+            if root.sampled:
+                self._batch_traces[shard_id].append(root.trace_id)
+                self._recent_traces.append(root.trace_id)
+            ok = self._offer_process(shard_id, snippet)
+            root.set(shard=shard_id, outcome="batched")
+            root.end()
+            return ok
+        shard = self._shards[shard_id]
+        root.set(shard=shard_id)
+
+        def drop(reason: str) -> bool:
+            self._dropped.inc()
+            root.add_event("dropped", reason=reason)
+            root.set(outcome="dropped")
+            root.end()
+            return False
+
+        if shard.dead:
+            return drop("shard_dead")
+        envelope = Envelope(snippet, root)
+        try:
+            enqueued = shard.queue.put(envelope)
+        except QueueClosed:
+            return drop("queue_closed")
+        if not enqueued:
+            return drop("backpressure")
+        if root.sampled:
+            self._recent_traces.append(root.trace_id)
+        return True
+
     def consume(self, snippets: Iterable[Snippet]) -> "ShardedRuntime":
-        for snippet in snippets:
-            self.offer(snippet)
+        if not self.tracer.enabled:
+            for snippet in snippets:
+                self.offer(snippet)
+            return self
+        # traced feed: each pulled snippet gets its own ingest root so a
+        # sampled trace shows feed.pull -> queue.wait -> shard.integrate
+        iterator = iter(snippets)
+        while True:
+            root = self.tracer.start_trace("ingest")
+            with self.tracer.attach(root):
+                pull = self.tracer.span("feed.pull")
+                try:
+                    snippet = next(iterator)
+                except StopIteration:
+                    pull.discard()
+                    root.discard()
+                    break
+                except BaseException as exc:
+                    pull.record_error(exc)
+                    pull.end()
+                    root.record_error(exc)
+                    root.end()
+                    raise
+                pull.end()
+                self.offer(snippet)
         return self
 
     def consume_corpus(self, corpus: Corpus) -> "ShardedRuntime":
@@ -406,14 +509,29 @@ class ShardedRuntime:
             _process_shard_ingest, batch
         )
         future._storypivot_batch = len(batch)
+        if self.tracer.enabled:
+            # new root on this side of the process boundary; the ingest
+            # traces it continues are attached as links
+            links = self._batch_traces[shard_id][:64]
+            self._batch_traces[shard_id].clear()
+            span = self.tracer.start_trace(
+                "shard.batch", shard=shard_id, batch=len(batch)
+            )
+            if links:
+                span.set(links=links)
+            future._storypivot_span = span
         outstanding.append(future)
-        self.metrics.gauge(f"queue.depth.shard{shard_id:03d}").set(
+        self.metrics.gauge("queue.depth", shard=shard_id).set(
             len(outstanding)
         )
 
     def _reap(self, shard_id: int, future: Future) -> None:
         accepted, duplicates, elapsed = future.result()
         batch = getattr(future, "_storypivot_batch", accepted + duplicates)
+        span = getattr(future, "_storypivot_span", None)
+        if span is not None:
+            span.set(accepted=accepted, duplicates=duplicates)
+            span.end()
         self.metrics.counter("ingest.accepted").inc(accepted)
         self.metrics.counter("ingest.duplicates").inc(duplicates)
         if batch:
@@ -429,7 +547,7 @@ class ShardedRuntime:
             outstanding = self._outstanding[shard_id]
             while outstanding:
                 self._reap(shard_id, outstanding.pop(0))
-            self.metrics.gauge(f"queue.depth.shard{shard_id:03d}").set(0)
+            self.metrics.gauge("queue.depth", shard=shard_id).set(0)
 
     # -- cross-shard alignment cycle ---------------------------------------
 
@@ -467,14 +585,17 @@ class ShardedRuntime:
                 "periodic realignment requires the thread executor"
             )
         self.start()
-        with ExitStack() as stack:
-            for shard in self._shards:
-                stack.enter_context(shard.lock)
-            with self.metrics.timer("realign.duration_seconds"):
-                story_sets = {}
+        with self.tracer.span("realign", shards=len(self._shards)) as span:
+            with ExitStack() as stack:
                 for shard in self._shards:
-                    story_sets.update(shard.pivot.story_sets())
-                alignment = self._aligner.align(story_sets)
+                    stack.enter_context(shard.lock)
+                with self.metrics.timer("realign.duration_seconds"):
+                    story_sets = {}
+                    for shard in self._shards:
+                        story_sets.update(shard.pivot.story_sets())
+                    alignment = self._aligner.align(story_sets)
+            span.set(stories=sum(len(s) for s in story_sets.values()),
+                     integrated=len(alignment))
         self._live_alignment = alignment
         self.metrics.counter("realign.count").inc()
         return alignment
@@ -493,21 +614,22 @@ class ShardedRuntime:
         referenced, so downstream refinement cannot mutate shard state.
         """
         self.start()
-        if self.options.executor == "process":
-            return self._merged_pivot_process()
-        with ExitStack() as stack:
-            for shard in self._shards:
-                stack.enter_context(shard.lock)
-            story_sets = {}
-            for shard in self._shards:
-                story_sets.update(shard.pivot.story_sets())
-            merged = StoryPivot(self.config)
-            for source_id in sorted(story_sets):
-                for story in story_sets[source_id]:
-                    merged.restore_story(
-                        source_id, story.story_id, story.snippets()
-                    )
-        return merged
+        with self.tracer.span("shards.merge"):
+            if self.options.executor == "process":
+                return self._merged_pivot_process()
+            with ExitStack() as stack:
+                for shard in self._shards:
+                    stack.enter_context(shard.lock)
+                story_sets = {}
+                for shard in self._shards:
+                    story_sets.update(shard.pivot.story_sets())
+                merged = StoryPivot(self.config)
+                for source_id in sorted(story_sets):
+                    for story in story_sets[source_id]:
+                        merged.restore_story(
+                            source_id, story.story_id, story.snippets()
+                        )
+            return merged
 
     def _merged_pivot_process(self) -> StoryPivot:
         self._drain_process()
@@ -528,9 +650,14 @@ class ShardedRuntime:
     def flush(self) -> PivotResult:
         """Drain, merge all shards, and run alignment (+refinement)."""
         self.drain()
-        with self.metrics.timer("flush.duration_seconds"):
+        with self.tracer.span("flush"), \
+                self.metrics.timer("flush.duration_seconds"):
             merged = self.merged_pivot()
+            # refinement decisions on the merged view belong to the same
+            # lineage as the shard-side identification decisions
+            merged.refiner.decisions = self.decisions
             result = merged.finish()
+            self.decisions.note_alignment(result.alignment)
         self._live_alignment = result.alignment
         self._result = result
         with self._lock:
@@ -566,11 +693,13 @@ class ShardedRuntime:
     def _checkpoint_shard(self, shard: Shard) -> int:
         if self._store is None:
             raise ConfigurationError("runtime has no wal_dir configured")
-        with shard.lock:
+        with self.tracer.span("checkpoint", shard=shard.shard_id) as span, \
+                shard.lock:
             with self.metrics.timer("checkpoint.duration_seconds"):
                 size = self._store.save(shard.shard_id, shard.pivot)
                 if shard.wal is not None:
                     shard.wal.reset()
+            span.set(bytes=size)
         self.metrics.counter("checkpoint.count").inc()
         self.metrics.counter("checkpoint.bytes").inc(size)
         self.metrics.gauge("checkpoint.last_bytes").set(size)
@@ -630,6 +759,7 @@ class ShardedRuntime:
                 shard.wal.close()
             if shard.dlq is not None:
                 shard.dlq.close()
+        self.decisions.close()
 
     def kill(self) -> None:
         """Abrupt shutdown: no drain, no checkpoint (crash simulation)."""
@@ -702,6 +832,10 @@ class ShardedRuntime:
     def accepted(self) -> int:
         with self._lock:
             return self._accepted_total
+
+    def recent_traces(self) -> List[str]:
+        """Trace ids of recently sampled ingests (view-refresh links)."""
+        return list(self._recent_traces)
 
     def stats(self) -> Dict[str, int]:
         """Operational counters (queue drops, dedup hits, realigns...)."""

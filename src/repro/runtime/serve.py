@@ -21,12 +21,15 @@ registry as JSON.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import Optional, Sequence
 
 from repro.core.config import StoryPivotConfig
 from repro.errors import StoryPivotError
 from repro.eventdata.models import DAY
+from repro.obs import SpanStore, Tracer
 from repro.runtime.runtime import RuntimeOptions, ShardedRuntime
 
 
@@ -78,6 +81,17 @@ def build_parser(prog: str = "storypivot-serve") -> argparse.ArgumentParser:
                         help="print the metrics table after the run")
     parser.add_argument("--checkpoint", default=None, metavar="FILE",
                         help="write a canonical state checkpoint at the end")
+    parser.add_argument("--trace-sample", type=float, default=0.0,
+                        metavar="RATE",
+                        help="head-sampling rate in [0, 1] for ingest traces "
+                             "(error traces are always kept; with --wal-dir, "
+                             "sampled traces are exported to "
+                             "DIR/traces.jsonl)")
+    parser.add_argument("--trace-dump", action="store_true",
+                        help="print the /tracez payload (recent traces, slow "
+                             "leaderboard, per-stage percentiles) as JSON "
+                             "after the run; implies --trace-sample 1.0 "
+                             "unless a rate is given")
     return parser
 
 
@@ -119,6 +133,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.resume and not args.wal_dir:
         parser.exit(2, "error: --resume requires --wal-dir\n")
 
+    tracer = None
+    span_store = None
+    sample_rate = args.trace_sample
+    if args.trace_dump and sample_rate == 0.0:
+        sample_rate = 1.0
+    if sample_rate > 0.0 or args.trace_dump:
+        span_store = SpanStore(
+            export_path=(
+                os.path.join(args.wal_dir, "traces.jsonl")
+                if args.wal_dir else None
+            )
+        )
+        tracer = Tracer(sample_rate=sample_rate, store=span_store)
+
     try:
         options = RuntimeOptions(
             num_shards=args.workers,
@@ -133,10 +161,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         if args.resume:
             runtime = ShardedRuntime.resume(
-                args.wal_dir, config=_make_config(args), options=options
+                args.wal_dir, config=_make_config(args), options=options,
+                tracer=tracer,
             )
         else:
-            runtime = ShardedRuntime(_make_config(args), options)
+            runtime = ShardedRuntime(_make_config(args), options,
+                                     tracer=tracer)
         runtime.start()
     except StoryPivotError as exc:
         parser.exit(2, f"error: {exc}\n")
@@ -215,6 +245,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"+ {stats['duplicates']} dup + {stats['dropped']} dropped "
             f"+ {stats['quarantined']} quarantined -> {verdict}"
         )
+        if span_store is not None:
+            # second, independent ledger: the resilience machinery also
+            # narrates faults as span events; at full sampling the two
+            # accounts must agree on quarantines
+            span_store.flush()
+            events = span_store.event_counts()
+            quarantines = events.get("dlq.quarantine", 0)
+            if sample_rate >= 1.0:
+                trace_verdict = (
+                    "OK" if quarantines == stats["quarantined"]
+                    else "MISMATCH"
+                )
+            else:
+                trace_verdict = "PARTIAL (sampled)"
+            print(
+                f"trace events: quarantine={quarantines}"
+                f"/{stats['quarantined']} "
+                f"retry={events.get('retry', 0)} "
+                f"breaker={events.get('breaker.transition', 0)} "
+                f"torn_wal={events.get('wal.torn_record', 0)} "
+                f"-> {trace_verdict}"
+            )
 
     if checkpoint_text is not None:
         with open(args.checkpoint, "w", encoding="utf-8") as handle:
@@ -231,6 +283,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         print()
         print(render_table(runtime.metrics.snapshot()))
+
+    if span_store is not None:
+        span_store.flush()
+        if args.trace_dump:
+            payload = span_store.tracez_payload(
+                limit=20, slow_board=tracer.slow
+            )
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        span_store.close()
     return 0
 
 

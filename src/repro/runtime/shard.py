@@ -31,6 +31,7 @@ from repro.core.pipeline import StoryPivot
 from repro.core.streaming import BoundedSeenSet
 from repro.errors import ConfigurationError, DuplicateSnippetError
 from repro.eventdata.models import Snippet
+from repro.obs.trace import NULL_TRACER, Envelope, add_event
 from repro.resilience.dlq import DeadLetterQueue
 from repro.resilience.policies import RetryPolicy
 from repro.runtime.metrics import MetricsRegistry
@@ -77,6 +78,8 @@ class Shard:
         poison_policy: str = "quarantine",
         retry: Optional[RetryPolicy] = None,
         dlq: Optional[DeadLetterQueue] = None,
+        tracer=None,
+        decisions=None,
     ) -> None:
         if poison_policy not in POISON_POLICIES:
             raise ConfigurationError(
@@ -85,7 +88,9 @@ class Shard:
             )
         self.shard_id = shard_id
         self.queue = queue
-        self.pivot = StoryPivot(config)
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._decisions = decisions
+        self.pivot = StoryPivot(config, decision_log=decisions)
         self.wal = wal
         self.lock = threading.RLock()
         self.sources: Set[str] = set()
@@ -114,7 +119,7 @@ class Shard:
         self._retry_counter = metrics.counter("shard.retries")
         self._retry_success_counter = metrics.counter("shard.retry_successes")
         self._dlq_counter = metrics.counter("dlq.records")
-        self._depth_gauge = metrics.gauge(f"queue.depth.shard{shard_id:03d}")
+        self._depth_gauge = metrics.gauge("queue.depth", shard=shard_id)
         #: test/fault-injection hook, called with each snippet before
         #: processing; raising simulates a worker crash
         self.fault_hook: Optional[Callable[[Snippet], None]] = None
@@ -125,9 +130,16 @@ class Shard:
         """Adopt a recovered pivot and reseed the dedup structures."""
         with self.lock:
             self.pivot = pivot
+            if self._decisions is not None:
+                pivot.set_decision_log(self._decisions)
             for source_id, story_set in pivot.story_sets().items():
                 self.sources.add(source_id)
                 for story in story_set:
+                    if self._decisions is not None:
+                        self._decisions.record(
+                            "restored", story.story_id, source_id,
+                            num_snippets=len(story),
+                        )
                     for snippet_id in story.snippet_ids():
                         self._bloom.add(snippet_id)
                         self._seen.add(snippet_id)
@@ -136,6 +148,10 @@ class Shard:
 
     def process(self, snippet: Snippet) -> bool:
         """Dedup, identify, and WAL one snippet; True if accepted."""
+        with self._tracer.span("shard.integrate", shard=self.shard_id) as span:
+            return self._integrate(snippet, span)
+
+    def _integrate(self, snippet: Snippet, span) -> bool:
         if self.fault_hook is not None:
             self.fault_hook(snippet)
         started = time.perf_counter()
@@ -144,12 +160,16 @@ class Shard:
             if snippet_id in self._bloom and snippet_id in self._seen:
                 self.duplicates += 1
                 self._duplicate_counter.inc()
+                span.add_event("dedup.hit", snippet=snippet_id)
+                span.set(outcome="duplicate")
                 return False
             try:
                 self.pivot.add_snippet(snippet)
             except DuplicateSnippetError:
                 self.duplicates += 1
                 self._duplicate_counter.inc()
+                span.add_event("dedup.hit", snippet=snippet_id)
+                span.set(outcome="duplicate")
                 return False
             # dedup structures admit the id only after integration
             # succeeds, so a retried poison snippet is not misread as a
@@ -158,7 +178,8 @@ class Shard:
             self._seen.add(snippet_id)
             self.sources.add(snippet.source_id)
             if self.wal is not None:
-                self._wal_bytes.inc(self.wal.append(snippet))
+                with self._tracer.span("wal.append", shard=self.shard_id):
+                    self._wal_bytes.inc(self.wal.append(snippet))
                 self._wal_records.inc()
             self.accepted += 1
             self._accepted_since_checkpoint += 1
@@ -171,6 +192,7 @@ class Shard:
                 self._accepted_since_checkpoint = 0
                 self._checkpoint_fn(self)
         self._offer_latency.observe(time.perf_counter() - started)
+        span.set(outcome="accepted")
         if self._on_accepted is not None:
             self._on_accepted()
         return True
@@ -182,12 +204,13 @@ class Shard:
         snippet: Snippet,
         first_exc: BaseException,
         stop_event: threading.Event,
-    ) -> None:
+    ) -> bool:
         """Re-attempt a failed snippet, then dead-letter it.
 
         Sleeps are taken on ``stop_event`` so shutdown interrupts the
         schedule; a snippet still failing at shutdown is quarantined
         immediately rather than holding the drain barrier hostage.
+        Returns True when a retry eventually succeeded.
         """
         last_exc = first_exc
         attempts = 1
@@ -196,15 +219,23 @@ class Shard:
                 break
             attempts += 1
             self._retry_counter.inc()
+            add_event(
+                "retry", snippet=snippet.snippet_id, attempt=attempts,
+                error=repr(last_exc),
+            )
             try:
                 self.process(snippet)
             except Exception as exc:
                 last_exc = exc
                 continue
             self._retry_success_counter.inc()
-            return
+            return True
         self.quarantined += 1
         self._dlq_counter.inc()
+        add_event(
+            "dlq.quarantine", snippet=snippet.snippet_id,
+            attempts=attempts, error=repr(last_exc),
+        )
         logger.warning(
             "shard %d: quarantining snippet %r after %d attempt(s): %r",
             self.shard_id, snippet.snippet_id, attempts, last_exc,
@@ -216,6 +247,7 @@ class Shard:
                 attempts=attempts,
                 shard_id=self.shard_id,
             )
+        return False
 
     # -- worker loop -------------------------------------------------------
 
@@ -239,13 +271,46 @@ class Shard:
                 self.queue.task_done()
                 return
             try:
-                self.process(item)
-            except Exception as exc:
-                self.failures += 1
-                self._failure_counter.inc()
-                if self.poison_policy != "quarantine":
-                    raise ShardCrashed(self.shard_id, exc) from exc
-                self._retry_or_quarantine(item, exc, stop_event)
+                if isinstance(item, Envelope):
+                    self._consume_traced(item, stop_event)
+                else:
+                    self._consume_one(item, stop_event)
             finally:
                 self.queue.task_done()
                 self._depth_gauge.set(len(self.queue))
+
+    def _consume_one(self, snippet: Snippet, stop_event: threading.Event) -> str:
+        """Process one snippet with poison handling; returns the outcome."""
+        try:
+            accepted = self.process(snippet)
+        except Exception as exc:
+            self.failures += 1
+            self._failure_counter.inc()
+            if self.poison_policy != "quarantine":
+                raise ShardCrashed(self.shard_id, exc) from exc
+            recovered = self._retry_or_quarantine(snippet, exc, stop_event)
+            return "accepted" if recovered else "quarantined"
+        return "accepted" if accepted else "duplicate"
+
+    def _consume_traced(
+        self, envelope: Envelope, stop_event: threading.Event
+    ) -> None:
+        """Re-bind the producer's root span, then consume its item.
+
+        The root crossed the queue on the envelope; ``queue.wait`` is
+        measured from the producer's enqueue instant to now, and the
+        root is ended here — processing completes on this thread.
+        """
+        root = envelope.span
+        with self._tracer.attach(root):
+            self._tracer.span(
+                "queue.wait", start=envelope.enqueued_at, shard=self.shard_id
+            ).end()
+            try:
+                outcome = self._consume_one(envelope.item, stop_event)
+                root.set(outcome=outcome)
+            except BaseException as exc:
+                root.record_error(exc)
+                raise
+            finally:
+                root.end()

@@ -33,6 +33,7 @@ from repro.core.persistence import (
 )
 from repro.core.pipeline import StoryPivot
 from repro.errors import DataFormatError
+from repro.obs.trace import add_event
 from repro.eventdata.models import Snippet
 
 MANIFEST_NAME = "manifest.json"
@@ -99,6 +100,10 @@ class ShardWal:
                 except (ValueError, KeyError, TypeError, AttributeError,
                         DataFormatError) as exc:
                     self.torn_records += 1
+                    add_event(
+                        "wal.torn_record", path=self.path, line=line_no,
+                        error=str(exc),
+                    )
                     logger.warning(
                         "%s:%d: skipping torn/corrupt WAL record (%s)",
                         self.path, line_no, exc,

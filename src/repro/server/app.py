@@ -28,14 +28,23 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import IO, Optional
-from urllib.parse import parse_qsl, urlsplit
+from urllib.parse import parse_qsl, unquote, urlsplit
 
-from repro.runtime.metrics import MetricsRegistry, render_table
+from repro.obs.decisions import format_event, merge_histories
+from repro.obs.trace import Tracer
+from repro.runtime.metrics import (
+    MetricsRegistry,
+    prometheus_render,
+    render_table,
+)
 
 from repro.server.cache import ResponseCache
 from repro.server.handlers import ApiError, route
 from repro.server.ratelimit import RateLimiter
 from repro.server.views import ViewStore
+
+#: content type Prometheus scrapers send in Accept and expect back
+PROMETHEUS_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 JSON_TYPE = "application/json"
 
@@ -64,6 +73,8 @@ class StoryPivotAPI:
         access_log: Optional[IO[str]] = None,
         refresher=None,
         runtime=None,
+        tracer=None,
+        decisions=None,
     ) -> None:
         self.store = store
         self.refresher = refresher
@@ -71,6 +82,16 @@ class StoryPivotAPI:
         self.host = host
         self._requested_port = port
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # a real tracer even when nothing is exported: every response then
+        # carries an X-Trace-Id clients can quote in bug reports
+        self.tracer = tracer if tracer is not None else Tracer(sample_rate=0.0)
+        if self.tracer.enabled and self.tracer.metrics is None:
+            self.tracer.metrics = self.metrics
+        self.decisions = (
+            decisions
+            if decisions is not None
+            else getattr(runtime, "decisions", None)
+        )
         self.cache = ResponseCache(cache_entries)
         self.limiter = RateLimiter(rate=rate_limit, burst=burst)
         self._access_log = access_log
@@ -212,14 +233,63 @@ class StoryPivotAPI:
         }
         return (503 if status == "unhealthy" else 200), payload
 
-    def _metricz_payload(self, as_text: bool) -> bytes:
+    def _metricz_payload(self, fmt: str = "json") -> bytes:
         self.metrics.gauge("http.cache.entries").set(len(self.cache))
         self.metrics.gauge("http.cache.hit_rate").set(self.cache.hit_rate)
         self.metrics.gauge("view.generation").set(self.store.generation)
         snapshot = self.metrics.snapshot()
-        if as_text:
+        if fmt == "prometheus":
+            return prometheus_render(snapshot).encode("utf-8")
+        if fmt == "text":
             return (render_table(snapshot) + "\n").encode("utf-8")
         return _json_bytes(snapshot)
+
+    def _tracez_payload(self, limit: int = 20) -> dict:
+        """Recent traces + slow leaderboard + per-stage percentiles."""
+        payload = {
+            "enabled": bool(self.tracer.enabled),
+            "sample_rate": getattr(self.tracer, "sample_rate", 0.0),
+        }
+        span_store = getattr(self.tracer, "store", None)
+        if span_store is None:
+            payload.update({
+                "finalized": 0, "dropped_partial": 0, "recent": [],
+                "slow_traces": [], "stages": {}, "events": {},
+            })
+            return payload
+        payload.update(span_store.tracez_payload(
+            limit=limit, slow_board=getattr(self.tracer, "slow", None),
+        ))
+        return payload
+
+    def _storyz_payload(self, story_id: str) -> dict:
+        """Decision history for one story — per-source or aligned id.
+
+        An aligned id resolves through the current view to its member
+        per-source stories, whose histories are interleaved by sequence
+        number; a per-source id replays directly (including events of
+        stories it absorbed).
+        """
+        log = self.decisions
+        if log is None:
+            raise ApiError(404, "no decision log attached to this server")
+        view = self.store.current()
+        detail = view.story_details.get(story_id)
+        if detail is not None:
+            events = merge_histories(
+                log.history(member) for member in detail["story_ids"]
+            )
+        else:
+            events = log.history(story_id)
+        if not events:
+            raise ApiError(404, f"no decision history for story {story_id!r}")
+        return {
+            "story_id": story_id,
+            "aligned": detail is not None,
+            "num_events": len(events),
+            "events": events,
+            "formatted": [format_event(event) for event in events],
+        }
 
 
 class _ApiRequestHandler(BaseHTTPRequestHandler):
@@ -239,6 +309,17 @@ class _ApiRequestHandler(BaseHTTPRequestHandler):
         pass
 
     def do_GET(self) -> None:
+        app = self.app
+        root = app.tracer.start_trace("http.request", path=self.path)
+        self._trace_id = root.trace_id or None
+        self._request_id = self.headers.get("X-Request-Id")
+        with app.tracer.attach(root):
+            try:
+                self._handle_get(root)
+            finally:
+                root.end()
+
+    def _handle_get(self, root) -> None:
         app = self.app
         app._enter_request()
         started = time.perf_counter()
@@ -265,12 +346,56 @@ class _ApiRequestHandler(BaseHTTPRequestHandler):
             params = dict(parse_qsl(split.query))
 
             if split.path.rstrip("/") == "/metricz":
-                as_text = params.get("format") == "text"
-                body = app._metricz_payload(as_text)
-                content_type = "text/plain" if as_text else JSON_TYPE
+                fmt = params.get("format", "")
+                if not fmt and "version=0.0.4" in self.headers.get(
+                    "Accept", ""
+                ):
+                    fmt = "prometheus"
+                body = app._metricz_payload(fmt or "json")
+                content_type = {
+                    "prometheus": PROMETHEUS_TYPE,
+                    "text": "text/plain",
+                }.get(fmt, JSON_TYPE)
                 generation = app.store.generation
                 status, sent = self._send_body(
                     200, body, content_type, generation, etag=None
+                )
+                return
+
+            if split.path.rstrip("/") == "/tracez":
+                try:
+                    limit = int(params.get("limit", "20"))
+                except ValueError:
+                    limit = 20
+                generation = app.store.generation
+                status, sent = self._send_body(
+                    200, _json_bytes(app._tracez_payload(limit=limit)),
+                    JSON_TYPE, generation, etag=None,
+                )
+                return
+
+            parts = [p for p in split.path.strip("/").split("/") if p]
+            if parts and parts[0] == "storyz":
+                # live endpoint: the decision log advances without
+                # generation bumps, so it must bypass the response cache
+                generation = app.store.generation
+                if len(parts) >= 3 and parts[-1] == "history":
+                    story_id = "/".join(unquote(p) for p in parts[1:-1])
+                    try:
+                        payload = app._storyz_payload(story_id)
+                    except ApiError as exc:
+                        status, sent = self._send_error_json(
+                            exc.status, exc.message, generation=generation
+                        )
+                        return
+                    status, sent = self._send_body(
+                        200, _json_bytes(payload), JSON_TYPE, generation,
+                        etag=None,
+                    )
+                    return
+                status, sent = self._send_error_json(
+                    404, "use /storyz/<story_id>/history",
+                    generation=generation,
                 )
                 return
 
@@ -361,6 +486,7 @@ class _ApiRequestHandler(BaseHTTPRequestHandler):
         except (BrokenPipeError, ConnectionResetError):
             status = 499  # client went away mid-response
         except Exception as exc:  # never take the worker thread down
+            root.record_error(exc)
             try:
                 status, sent = self._send_error_json(
                     500, f"internal error: {exc}"
@@ -369,6 +495,7 @@ class _ApiRequestHandler(BaseHTTPRequestHandler):
                 pass
         finally:
             elapsed = time.perf_counter() - started
+            root.set(status=status, cache=cache_state)
             app._record(status, elapsed, sent)
             app._log({
                 "ts": round(time.time(), 3),
@@ -380,6 +507,7 @@ class _ApiRequestHandler(BaseHTTPRequestHandler):
                 "ms": round(elapsed * 1000.0, 3),
                 "generation": generation,
                 "cache": cache_state,
+                "trace_id": self._trace_id,
             })
             app._exit_request()
 
@@ -404,6 +532,12 @@ class _ApiRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id:
+            self.send_header("X-Trace-Id", trace_id)
+        request_id = getattr(self, "_request_id", None)
+        if request_id:
+            self.send_header("X-Request-Id", request_id)
         if generation >= 0:
             self.send_header("X-StoryPivot-Generation", str(generation))
         if etag:

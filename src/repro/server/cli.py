@@ -22,6 +22,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import signal
 import sys
 import threading
@@ -31,6 +32,7 @@ from repro.core.config import StoryPivotConfig
 from repro.core.pipeline import StoryPivot
 from repro.errors import StoryPivotError
 from repro.eventdata.models import DAY
+from repro.obs import DecisionLog, SpanStore, Tracer
 from repro.runtime.runtime import RuntimeOptions, ShardedRuntime
 
 from repro.server.app import StoryPivotAPI
@@ -80,6 +82,15 @@ def build_parser(prog: str = "storypivot-api") -> argparse.ArgumentParser:
                              "(default: serve stale indefinitely)")
     parser.add_argument("--access-log", action="store_true",
                         help="write JSON access log lines to stderr")
+    parser.add_argument("--trace-sample", type=float, default=0.0,
+                        metavar="RATE",
+                        help="head-sampling rate in [0, 1] for pipeline and "
+                             "request traces (error traces are always kept; "
+                             "default 0.0)")
+    parser.add_argument("--wal-dir", default=None, metavar="DIR",
+                        help="--follow: state directory for WAL/checkpoints; "
+                             "the decision log and sampled traces are "
+                             "exported next to them as JSONL")
     return parser
 
 
@@ -116,13 +127,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     refresher = None
     feeder = None
 
+    export_path = (
+        os.path.join(args.wal_dir, "traces.jsonl") if args.wal_dir else None
+    )
+    span_store = SpanStore(export_path=export_path)
+    tracer = Tracer(sample_rate=args.trace_sample, store=span_store)
+
     if args.follow:
         runtime = ShardedRuntime(
-            config, RuntimeOptions(num_shards=args.workers)
+            config,
+            RuntimeOptions(num_shards=args.workers, wal_dir=args.wal_dir),
+            tracer=tracer,
         ).start()
+        decisions = runtime.decisions
         refresher = ViewRefresher(
             runtime, store, interval=args.refresh_interval, corpus=corpus,
             lag_budget=args.lag_budget, metrics=runtime.metrics,
+            tracer=tracer, decisions=decisions,
         ).start()
         feeder = threading.Thread(
             target=runtime.consume_corpus, args=(corpus,),
@@ -131,8 +152,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         feeder.start()
         metrics = runtime.metrics
     else:
-        pivot = StoryPivot(config)
-        result = pivot.run(corpus)
+        decisions = DecisionLog()
+        pivot = StoryPivot(config, decision_log=decisions)
+        with tracer.start_trace("pipeline.run", dataset=corpus.name):
+            result = pivot.run(corpus)
         store.install(result, corpus=corpus)
         metrics = None
 
@@ -147,6 +170,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         access_log=sys.stderr if args.access_log else None,
         refresher=refresher,
         runtime=runtime,
+        tracer=tracer,
+        decisions=decisions,
     )
     api.start()
     print(f"serving {corpus.name} on {api.address} "
@@ -171,6 +196,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             feeder.join(timeout=5.0)
         if runtime is not None:
             runtime.stop()
+        span_store.close()
     return 0
 
 

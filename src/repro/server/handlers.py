@@ -251,6 +251,8 @@ def route(view: ReadView, path: str, params: Dict[str, str]) -> RouteResult:
 ENDPOINTS = (
     "/healthz",
     "/metricz",
+    "/tracez",
+    "/storyz/{id}/history",
     "/stats",
     "/stories",
     "/stories/{id}",

@@ -30,6 +30,7 @@ from repro.core.alignment import AlignedStory, Alignment
 from repro.core.pipeline import PivotResult
 from repro.eventdata.corpus import Corpus
 from repro.eventdata.models import Snippet, format_timestamp
+from repro.obs.trace import NULL_TRACER
 
 
 def _snippet_record(snippet: Snippet, role: str) -> Dict[str, object]:
@@ -100,6 +101,9 @@ class ReadView:
         self.generation = generation
         self.dataset = dataset
         self.built_at = time.time()
+        #: trace id of the view.refresh that built this view (set by the
+        #: refresher after install; None for static/empty views)
+        self.trace_id: Optional[str] = None
         alignment = result.alignment
         self.alignment = alignment  # query engines bind to this
 
@@ -262,6 +266,8 @@ class ViewRefresher:
         on_error: Optional[Callable[[BaseException], None]] = None,
         lag_budget: Optional[float] = None,
         metrics=None,
+        tracer=None,
+        decisions=None,
     ) -> None:
         self.runtime = runtime
         self.store = store
@@ -270,6 +276,14 @@ class ViewRefresher:
         self.on_error = on_error
         self.lag_budget = lag_budget
         self.metrics = metrics
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: decision log receiving "aligned"/"refined" events from rebuilds;
+        #: defaults to the runtime's always-on log
+        self.decisions = (
+            decisions
+            if decisions is not None
+            else getattr(runtime, "decisions", None)
+        )
         self._built_at_count = -1
         self._built_at_wall: Optional[float] = None
         self._started_at_wall = time.time()
@@ -284,9 +298,27 @@ class ViewRefresher:
         accepted = self.runtime.accepted
         if not force and accepted == self._built_at_count:
             return self.store.current()
-        merged = self.runtime.merged_pivot()
-        result = merged.finish()
-        view = self.store.install(result, corpus=self.corpus)
+        root = self.tracer.start_trace("view.refresh", accepted=accepted)
+        # link the ingest traces this rebuild folds in (same degradation
+        # idiom as the process-executor boundary: ids, not live spans)
+        recent = getattr(self.runtime, "recent_traces", None)
+        if recent is not None:
+            ids = recent()
+            if ids:
+                root.set(links=list(ids))
+        try:
+            with self.tracer.attach(root):
+                merged = self.runtime.merged_pivot()
+                if self.decisions is not None:
+                    merged.refiner.decisions = self.decisions
+                result = merged.finish()
+                view = self.store.install(result, corpus=self.corpus)
+                if self.decisions is not None:
+                    self.decisions.note_alignment(result.alignment)
+            root.set(generation=view.generation, stories=len(view.stories))
+        finally:
+            root.end()
+        view.trace_id = root.trace_id or None
         self._built_at_count = accepted
         self._built_at_wall = time.time()
         self._consecutive_failures = 0

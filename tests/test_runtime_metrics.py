@@ -5,7 +5,15 @@ import threading
 
 import pytest
 
-from repro.runtime.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.runtime.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    labeled_name,
+    prometheus_render,
+    split_metric_key,
+)
 
 
 class TestCounter:
@@ -78,6 +86,25 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram().percentile(101)
 
+    def test_single_sample_is_every_percentile(self):
+        histogram = Histogram()
+        histogram.observe(7.0)
+        for q in (0, 50, 95, 100):
+            assert histogram.percentile(q) == 7.0
+
+    def test_reset_drops_all_state(self):
+        histogram = Histogram()
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        histogram.reset()
+        assert histogram.count == 0
+        assert histogram.sum == 0.0
+        assert histogram.min is None and histogram.max is None
+        assert histogram.mean is None
+        assert histogram.percentile(50) is None
+        histogram.observe(9.0)  # usable again after reset
+        assert histogram.snapshot()["p50"] == 9.0
+
 
 class TestRegistry:
     def test_get_or_create_returns_same_instance(self):
@@ -118,3 +145,80 @@ class TestRegistry:
         assert "reqs" in table
         assert "latency" in table
         assert "p95" in table
+
+
+class TestLabels:
+    def test_labeled_name_roundtrip(self):
+        key = labeled_name("queue.depth", {"shard": 3, "host": "a"})
+        assert key == "queue.depth{host=a,shard=3}"
+        assert split_metric_key(key) == (
+            "queue.depth", {"host": "a", "shard": "3"}
+        )
+        assert split_metric_key("plain") == ("plain", {})
+
+    def test_label_order_is_canonical(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x", shard=3, host="a")
+        second = registry.counter("x", host="a", shard=3)
+        assert first is second
+        assert registry.names() == ["x{host=a,shard=3}"]
+
+    def test_children_groups_a_family(self):
+        registry = MetricsRegistry()
+        registry.counter("q", shard=0).inc()
+        registry.counter("q", shard=1).inc(2)
+        registry.counter("q").inc(4)  # unlabeled parent
+        registry.counter("other").inc()
+        family = registry.children("q")
+        assert set(family) == {"q", "q{shard=0}", "q{shard=1}"}
+        assert family["q{shard=1}"].value == 2
+
+    def test_kind_mismatch_is_per_child(self):
+        registry = MetricsRegistry()
+        registry.counter("m", shard=0)
+        with pytest.raises(TypeError):
+            registry.gauge("m", shard=0)
+        registry.gauge("m", shard=1)  # different label set is fine
+
+
+class TestPrometheusRender:
+    def test_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.counter("http.requests").inc(3)
+        registry.gauge("queue.depth", shard=0).set(2)
+        registry.gauge("queue.depth", shard=1).set(5)
+        text = prometheus_render(registry.snapshot())
+        assert "# TYPE http_requests counter\nhttp_requests 3\n" in text
+        # labeled children collapse under one # TYPE line
+        assert text.count("# TYPE queue_depth gauge") == 1
+        assert 'queue_depth{shard="0"} 2' in text
+        assert 'queue_depth{shard="1"} 5' in text
+
+    def test_histogram_becomes_summary(self):
+        registry = MetricsRegistry()
+        for value in (0.1, 0.2, 0.3):
+            registry.histogram("latency.seconds").observe(value)
+        text = prometheus_render(registry.snapshot())
+        assert "# TYPE latency_seconds summary" in text
+        assert 'latency_seconds{quantile="0.5"} 0.2' in text
+        assert "latency_seconds_sum 0.6" in text
+        assert "latency_seconds_count 3" in text
+
+    def test_empty_histogram_quantiles_are_nan(self):
+        registry = MetricsRegistry()
+        registry.histogram("empty")
+        text = prometheus_render(registry.snapshot())
+        assert 'empty{quantile="0.5"} NaN' in text
+        assert "empty_count 0" in text
+
+    def test_names_and_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("9weird.name-x", site='a"b\\c').inc()
+        text = prometheus_render(registry.snapshot())
+        assert "# TYPE _9weird_name_x counter" in text
+        assert '_9weird_name_x{site="a\\"b\\\\c"} 1' in text
+
+    def test_render_ends_with_newline(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        assert prometheus_render(registry.snapshot()).endswith("\n")

@@ -58,7 +58,7 @@ class TestMetricsOutputs:
         assert f"metrics: {path}" in capsys.readouterr().out
         snapshot = json.loads(path.read_text(encoding="utf-8"))
         for shard_id in range(4):
-            assert f"queue.depth.shard{shard_id:03d}" in snapshot
+            assert f"queue.depth{{shard={shard_id}}}" in snapshot
         latency = snapshot["ingest.offer_latency_seconds"]
         assert latency["type"] == "histogram"
         assert latency["count"] > 0

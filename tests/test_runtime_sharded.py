@@ -136,7 +136,7 @@ class TestMetricsExport:
         finally:
             runtime.stop()
         for shard_id in range(4):
-            assert f"queue.depth.shard{shard_id:03d}" in snapshot
+            assert f"queue.depth{{shard={shard_id}}}" in snapshot
         latency = snapshot["ingest.offer_latency_seconds"]
         assert latency["type"] == "histogram"
         assert latency["count"] > 0
