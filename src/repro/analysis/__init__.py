@@ -1,0 +1,34 @@
+"""`repro.analysis`: project-aware static analysis + dynamic race detection.
+
+Two complementary halves:
+
+* :mod:`repro.analysis.engine` / :mod:`repro.analysis.rules` — the
+  ``storypivot-lint`` AST engine enforcing the invariants PRs 1–4
+  established (deterministic core paths, no blocking under locks,
+  errors recorded not swallowed, spans/deadlines context-managed,
+  canonical metric names).
+* :mod:`repro.analysis.lockwatch` — an opt-in dynamic detector that
+  wraps the runtime's locks, records the per-thread acquisition graph,
+  and reports lock-order inversions (potential deadlocks), long holds,
+  and blocking calls made while locked.  Exposed as the pytest
+  ``--lockwatch`` flag and ``storypivot-serve --lockwatch``.
+"""
+
+from repro.analysis.engine import LintConfig, LintEngine, iter_python_files
+from repro.analysis.findings import Finding, render_report, summarize
+from repro.analysis.lockwatch import InstrumentedLock, LockWatch
+from repro.analysis.rules import CORE_MARKERS, REGISTRY, all_rules
+
+__all__ = [
+    "LintConfig",
+    "LintEngine",
+    "iter_python_files",
+    "Finding",
+    "render_report",
+    "summarize",
+    "InstrumentedLock",
+    "LockWatch",
+    "CORE_MARKERS",
+    "REGISTRY",
+    "all_rules",
+]

@@ -1,0 +1,95 @@
+"""``storypivot-lint`` — run the project lint rules from the shell.
+
+Examples::
+
+    storypivot-lint src/                     # CI gate: exit 1 on findings
+    storypivot-lint src/ --format=json       # machine-readable findings
+    storypivot-lint --list-rules             # rule catalogue
+    storypivot-lint src/ --select SP201,SP202
+
+Exit status: 0 when clean, 1 when any finding survives suppression and
+selection, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.engine import LintConfig, LintEngine
+from repro.analysis.findings import render_report, summarize
+from repro.analysis.rules import all_rules
+
+
+def build_parser(prog: str = "storypivot-lint") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Project-aware static analysis for the StoryPivot tree.",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories")
+    parser.add_argument("--format", choices=["text", "json"], default="text",
+                        help="output format (default text)")
+    parser.add_argument("--select", default=None, metavar="CODES",
+                        help="comma-separated rule codes to run exclusively")
+    parser.add_argument("--ignore", default=None, metavar="CODES",
+                        help="comma-separated rule codes to skip")
+    parser.add_argument("--root", default=None, metavar="DIR",
+                        help="relativize reported paths against DIR "
+                             "(default: current directory)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def _split_codes(text: Optional[str]) -> Optional[List[str]]:
+    if text is None:
+        return None
+    return [code.strip().upper() for code in text.split(",") if code.strip()]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            scope = " [core paths only]" if rule.core_only else ""
+            print(f"{rule.code}  {rule.summary}{scope}")
+        return 0
+
+    if not args.paths:
+        parser.exit(2, "error: give at least one path (or --list-rules)\n")
+
+    try:
+        config = LintConfig(
+            select=_split_codes(args.select),
+            ignore=_split_codes(args.ignore),
+        )
+    except ValueError as exc:
+        parser.exit(2, f"error: {exc}\n")
+
+    engine = LintEngine(config)
+    findings, checked = engine.check_paths(args.paths, root=args.root)
+
+    if args.format == "json":
+        payload = {
+            "findings": [f.to_dict() for f in findings],
+            "summary": summarize(findings),
+            "files_checked": checked,
+            "clean": not findings,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_report(findings, checked_files=checked))
+
+    return 1 if findings else 0
+
+
+def _console_entry() -> int:
+    return main()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,480 @@
+"""Dynamic lock-order race detection for the threaded runtime.
+
+``LockWatch`` wraps ``threading.Lock``/``threading.RLock`` objects in
+:class:`InstrumentedLock` proxies and records, per thread, the stack of
+locks currently held.  Acquiring lock *B* while holding lock *A* adds a
+directed edge A→B to a global acquisition graph; a cycle in that graph
+is a **lock-order inversion** — two threads that interleave on those
+locks can deadlock, even if this run happened not to.  This is the
+lock-order-graph half of a happens-before detector: it catches latent
+deadlocks from a single passing run, which is exactly what a CI smoke
+leg needs (see DESIGN.md for why we stopped short of full
+happens-before).
+
+Three finding kinds, all structured dicts (reconcilable with the chaos
+accounting ledger the smoke job already greps):
+
+* ``lock-order-inversion`` — a cycle in the acquisition graph, with the
+  edges, acquire sites, and thread names that produced it.
+* ``long-hold`` — a lock held longer than ``long_hold_threshold``
+  seconds (waits inside ``Condition.wait`` release the lock and are
+  *not* counted — the proxy implements the ``_release_save`` /
+  ``_acquire_restore`` protocol).
+* ``blocked-while-locked`` — ``time.sleep`` called while the thread
+  held instrumented locks (requires ``install(patch_sleep=True)``).
+
+Two usage modes:
+
+* **Private** (unit tests): ``watch.lock("a")`` / ``watch.rlock("b")``
+  hand out instrumented locks backed by raw primitives; nothing global
+  is touched, so a test can provoke an inversion without polluting a
+  concurrently-installed global watch.
+* **Installed** (``pytest --lockwatch``, ``storypivot-serve
+  --lockwatch``): ``install()`` monkeypatches the ``threading`` lock
+  factories so every lock created afterwards — the runtime's shard
+  locks, metric locks, queue conditions — is instrumented and named by
+  its creation site (``shard.py:95``).  ``uninstall()`` restores the
+  originals.
+
+Overhead is a dict lookup and a monotonic read per acquire/release plus
+one frame inspection per lock *creation*; it is an opt-in diagnostic
+mode, not an always-on cost (budget discussion in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+# captured before any install() can patch the factories: internals and
+# private watches must stay invisible to a globally-installed watch
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+_THIS_FILE = __file__
+
+
+class InstrumentedLock:
+    """Proxy around a real lock that reports acquire/release to a watch.
+
+    Implements the full ``threading`` lock surface the stdlib relies on,
+    including the private ``Condition`` integration protocol
+    (``_release_save``/``_acquire_restore``/``_is_owned``) so waits do
+    not count as holds.
+    """
+
+    def __init__(self, inner, watch: "LockWatch", name: str) -> None:
+        self._inner = inner
+        self._watch = watch
+        self.name = name
+
+    # -- core lock protocol ------------------------------------------------
+
+    def acquire(self, blocking: bool = True, timeout: float = -1):
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._watch._on_acquired(self)
+        return acquired
+
+    def release(self) -> None:
+        self._watch._on_release(self)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        locked_fn = getattr(self._inner, "locked", None)
+        if locked_fn is not None:
+            return locked_fn()
+        if self._inner.acquire(False):
+            self._inner.release()
+            return False
+        return True
+
+    def __enter__(self):
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    # -- Condition integration (CPython threading.Condition protocol) -----
+
+    def _release_save(self):
+        self._watch._on_release_save(self)
+        inner = self._inner
+        if hasattr(inner, "_release_save"):
+            return inner._release_save()
+        inner.release()
+        return None
+
+    def _acquire_restore(self, state) -> None:
+        inner = self._inner
+        if hasattr(inner, "_acquire_restore"):
+            inner._acquire_restore(state)
+        else:
+            inner.acquire()
+        self._watch._on_acquired(self)
+
+    def _is_owned(self) -> bool:
+        inner = self._inner
+        if hasattr(inner, "_is_owned"):
+            return inner._is_owned()
+        if inner.acquire(False):
+            inner.release()
+            return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"InstrumentedLock({self.name!r})"
+
+
+class _Held:
+    """Per-thread bookkeeping for one held lock."""
+
+    __slots__ = ("lock", "acquired_at", "count", "site")
+
+    def __init__(self, lock: InstrumentedLock, acquired_at: float, site: str):
+        self.lock = lock
+        self.acquired_at = acquired_at
+        self.count = 1
+        self.site = site
+
+
+class LockWatch:
+    """Acquisition-graph recorder and finding store."""
+
+    def __init__(
+        self,
+        long_hold_threshold: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.long_hold_threshold = long_hold_threshold
+        self._clock = clock
+        self._local = threading.local()
+        self._state_lock = _REAL_LOCK()  # leaf lock: never held while
+        #                                  acquiring an instrumented lock
+        #: (id(a), id(b)) -> {"from","to","sites","threads"}
+        self._edges: Dict[Tuple[int, int], Dict[str, object]] = {}
+        #: strong refs so ids stay unique for the watch's lifetime
+        self._registry: Dict[int, InstrumentedLock] = {}
+        self._event_findings: List[dict] = []
+        self._acquisitions = 0
+        self._installed = False
+        self._orig: Dict[str, object] = {}
+
+    # -- lock construction -------------------------------------------------
+
+    def lock(self, name: Optional[str] = None) -> InstrumentedLock:
+        """A fresh instrumented non-reentrant lock (private mode)."""
+        return self.wrap(_REAL_LOCK(), name=name)
+
+    def rlock(self, name: Optional[str] = None) -> InstrumentedLock:
+        """A fresh instrumented reentrant lock (private mode)."""
+        return self.wrap(_REAL_RLOCK(), name=name)
+
+    def wrap(self, inner, name: Optional[str] = None) -> InstrumentedLock:
+        """Instrument an existing raw lock."""
+        if name is None:
+            name = f"lock@{_creation_site()}"
+        instrumented = InstrumentedLock(inner, self, name)
+        with self._state_lock:
+            self._registry[id(instrumented)] = instrumented
+        return instrumented
+
+    # -- global installation ----------------------------------------------
+
+    def install(self, patch_sleep: bool = True) -> "LockWatch":
+        """Patch ``threading.Lock``/``RLock`` so new locks are watched.
+
+        Locks created *before* install keep their raw primitives; the
+        runtime constructs its locks at startup, so install before
+        building the object graph you want covered.
+        """
+        if self._installed:
+            return self
+        self._orig = {"lock": threading.Lock, "rlock": threading.RLock}
+        watch = self
+
+        def make_lock():
+            return watch.wrap(_REAL_LOCK(), name=f"Lock@{_creation_site()}")
+
+        def make_rlock():
+            return watch.wrap(_REAL_RLOCK(), name=f"RLock@{_creation_site()}")
+
+        threading.Lock = make_lock  # type: ignore[assignment]
+        threading.RLock = make_rlock  # type: ignore[assignment]
+        if patch_sleep:
+            self._orig["sleep"] = time.sleep
+            orig_sleep = time.sleep
+
+            def watched_sleep(seconds: float) -> None:
+                watch._note_blocking("time.sleep", seconds)
+                orig_sleep(seconds)
+
+            time.sleep = watched_sleep  # type: ignore[assignment]
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if not self._installed:
+            return
+        threading.Lock = self._orig["lock"]  # type: ignore[assignment]
+        threading.RLock = self._orig["rlock"]  # type: ignore[assignment]
+        if "sleep" in self._orig:
+            time.sleep = self._orig["sleep"]  # type: ignore[assignment]
+        self._orig = {}
+        self._installed = False
+
+    def __enter__(self) -> "LockWatch":
+        return self.install()
+
+    def __exit__(self, *exc_info) -> None:
+        self.uninstall()
+
+    # -- acquisition callbacks --------------------------------------------
+
+    def _held_stack(self) -> List[_Held]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _on_acquired(self, lock: InstrumentedLock) -> None:
+        stack = self._held_stack()
+        for held in stack:
+            if held.lock is lock:  # reentrant re-acquire: no new edge
+                held.count += 1
+                return
+        site = _creation_site()
+        thread = _thread_name()
+        if stack:
+            with self._state_lock:
+                self._acquisitions += 1
+                for held in stack:
+                    edge = (id(held.lock), id(lock))
+                    info = self._edges.get(edge)
+                    if info is None:
+                        info = self._edges[edge] = {
+                            "from": held.lock.name,
+                            "to": lock.name,
+                            "sites": set(),
+                            "threads": set(),
+                        }
+                    info["sites"].add(site)
+                    info["threads"].add(thread)
+        stack.append(_Held(lock, self._clock(), site))
+
+    def _on_release(self, lock: InstrumentedLock) -> None:
+        stack = self._held_stack()
+        for index in range(len(stack) - 1, -1, -1):
+            held = stack[index]
+            if held.lock is not lock:
+                continue
+            held.count -= 1
+            if held.count <= 0:
+                del stack[index]
+                self._check_hold(held)
+            return
+        # release of a lock acquired before instrumentation: ignore
+
+    def _on_release_save(self, lock: InstrumentedLock) -> None:
+        """Condition.wait released the lock fully (all recursion levels)."""
+        stack = self._held_stack()
+        for index in range(len(stack) - 1, -1, -1):
+            held = stack[index]
+            if held.lock is lock:
+                del stack[index]
+                self._check_hold(held)
+                return
+
+    def _check_hold(self, held: _Held) -> None:
+        duration = self._clock() - held.acquired_at
+        if duration > self.long_hold_threshold:
+            with self._state_lock:
+                self._event_findings.append({
+                    "kind": "long-hold",
+                    "lock": held.lock.name,
+                    "held_seconds": round(duration, 6),
+                    "threshold": self.long_hold_threshold,
+                    "site": held.site,
+                    "thread": _thread_name(),
+                })
+
+    def _note_blocking(self, what: str, seconds: float) -> None:
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return
+        with self._state_lock:
+            self._event_findings.append({
+                "kind": "blocked-while-locked",
+                "call": what,
+                "seconds": seconds,
+                "locks": [held.lock.name for held in stack],
+                "site": _call_site(),
+                "thread": _thread_name(),
+            })
+
+    # -- reporting ---------------------------------------------------------
+
+    def _cycles(self) -> List[List[Tuple[int, int]]]:
+        """Elementary cycles in the acquisition graph (edge lists).
+
+        Iterative DFS over lock-instance nodes; each cycle is reported
+        once, keyed by its sorted edge set.
+        """
+        with self._state_lock:
+            edges = list(self._edges)
+        graph: Dict[int, List[int]] = {}
+        for src, dst in edges:
+            graph.setdefault(src, []).append(dst)
+        cycles: List[List[Tuple[int, int]]] = []
+        seen_keys: Set[Tuple[Tuple[int, int], ...]] = set()
+        for start in sorted(graph):
+            stack = [(start, iter(graph.get(start, ())))]
+            path = [start]
+            on_path = {start}
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    if nxt == start:
+                        cycle_nodes = path + [start]
+                        cycle_edges = [
+                            (cycle_nodes[i], cycle_nodes[i + 1])
+                            for i in range(len(cycle_nodes) - 1)
+                        ]
+                        key = tuple(sorted(cycle_edges))
+                        if key not in seen_keys:
+                            seen_keys.add(key)
+                            cycles.append(cycle_edges)
+                    elif nxt > start and nxt not in on_path:
+                        # only expand nodes > start: each cycle is found
+                        # from its smallest node, once
+                        stack.append((nxt, iter(graph.get(nxt, ()))))
+                        path.append(nxt)
+                        on_path.add(nxt)
+                        advanced = True
+                        break
+                if not advanced:
+                    stack.pop()
+                    on_path.discard(path.pop())
+        return cycles
+
+    def findings(self) -> List[dict]:
+        """All findings: inversion cycles plus recorded hold/block events."""
+        with self._state_lock:
+            out = [dict(f) for f in self._event_findings]
+            edge_info = {
+                edge: {
+                    "from": info["from"],
+                    "to": info["to"],
+                    "sites": sorted(info["sites"]),
+                    "threads": sorted(info["threads"]),
+                }
+                for edge, info in self._edges.items()
+            }
+        for cycle in self._cycles():
+            detail = [edge_info[edge] for edge in cycle]
+            out.append({
+                "kind": "lock-order-inversion",
+                "cycle": " -> ".join(
+                    [detail[0]["from"]] + [e["to"] for e in detail]
+                ),
+                "edges": detail,
+                "threads": sorted({
+                    t for e in detail for t in e["threads"]
+                }),
+            })
+        return out
+
+    def report(self) -> dict:
+        """Structured summary: counts + findings (the serve/pytest view)."""
+        found = self.findings()
+        counts: Dict[str, int] = {}
+        for finding in found:
+            counts[finding["kind"]] = counts.get(finding["kind"], 0) + 1
+        with self._state_lock:
+            locks = len(self._registry)
+            edges = len(self._edges)
+            acquisitions = self._acquisitions
+        return {
+            "locks": locks,
+            "edges": edges,
+            "acquisitions": acquisitions,
+            "counts": counts,
+            "findings": found,
+        }
+
+    def render_report(self) -> str:
+        """Text summary for CLI output; greppable one-line verdict first."""
+        report = self.report()
+        counts = report["counts"]
+        lines = [
+            "lockwatch: "
+            f"{counts.get('lock-order-inversion', 0)} inversion(s), "
+            f"{counts.get('long-hold', 0)} long-hold(s), "
+            f"{counts.get('blocked-while-locked', 0)} blocked-while-locked "
+            f"({report['locks']} lock(s), {report['edges']} edge(s), "
+            f"{report['acquisitions']} nested acquisition(s))"
+        ]
+        for finding in report["findings"]:
+            if finding["kind"] == "lock-order-inversion":
+                lines.append(
+                    f"  inversion: {finding['cycle']} "
+                    f"[threads: {', '.join(finding['threads'])}]"
+                )
+                for edge in finding["edges"]:
+                    lines.append(
+                        f"    {edge['from']} -> {edge['to']} at "
+                        f"{', '.join(edge['sites'])}"
+                    )
+            elif finding["kind"] == "long-hold":
+                lines.append(
+                    f"  long-hold: {finding['lock']} held "
+                    f"{finding['held_seconds']}s (> "
+                    f"{finding['threshold']}s) by {finding['thread']}"
+                )
+            else:
+                lines.append(
+                    f"  blocked-while-locked: {finding['call']} for "
+                    f"{finding['seconds']}s holding "
+                    f"{', '.join(finding['locks'])} at {finding['site']}"
+                )
+        return "\n".join(lines)
+
+
+def _thread_name() -> str:
+    """Current thread's name, safe inside ``Thread._bootstrap_inner``.
+
+    ``threading.current_thread()`` must not be called from lock
+    callbacks: a starting thread acquires its ``_started`` Condition
+    before registering in ``threading._active``, so the fallback would
+    build a ``_DummyThread`` — which acquires another instrumented lock
+    and recurses forever.  A plain dict read cannot register anything.
+    """
+    ident = threading.get_ident()
+    thread = threading._active.get(ident)
+    return thread.name if thread is not None else f"thread-{ident}"
+
+
+def _creation_site() -> str:
+    """file:line of the nearest frame outside lockwatch/threading."""
+    frame = sys._getframe(1)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if filename != _THIS_FILE and "threading" not in filename:
+            short = filename.replace("\\", "/").rsplit("/", 1)[-1]
+            return f"{short}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>"
+
+
+def _call_site() -> str:
+    """file:line of the nearest frame outside lockwatch/time internals."""
+    frame = sys._getframe(1)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if filename != _THIS_FILE:
+            short = filename.replace("\\", "/").rsplit("/", 1)[-1]
+            return f"{short}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>"

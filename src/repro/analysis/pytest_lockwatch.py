@@ -1,0 +1,85 @@
+"""Pytest plugin: ``--lockwatch`` instruments every lock the suite creates.
+
+Loaded from ``tests/conftest.py`` via ``pytest_plugins``.  With the flag
+given, a global :class:`~repro.analysis.lockwatch.LockWatch` is
+installed for the whole session; at the end it prints the acquisition
+report and **fails the run on any lock-order inversion** (long holds and
+blocked-while-locked events are reported but do not fail — wall-clock
+noise on shared CI boxes would make them flaky gates).
+
+Tests that deliberately provoke inversions (the regression tests in
+``test_analysis_lockwatch.py``) use a *private* ``LockWatch`` whose
+locks are built from raw primitives captured at import time, so they
+stay invisible to the session watch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_SESSION_WATCH = None
+
+
+def pytest_addoption(parser) -> None:
+    group = parser.getgroup("lockwatch")
+    group.addoption(
+        "--lockwatch",
+        action="store_true",
+        default=False,
+        help="instrument threading locks for the whole session and fail "
+             "on lock-order inversions",
+    )
+    group.addoption(
+        "--lockwatch-long-hold",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="long-hold reporting threshold under --lockwatch "
+             "(default 5.0; reported, never failing)",
+    )
+
+
+def pytest_configure(config) -> None:
+    global _SESSION_WATCH
+    if not config.getoption("--lockwatch"):
+        return
+    from repro.analysis.lockwatch import LockWatch
+
+    _SESSION_WATCH = LockWatch(
+        long_hold_threshold=config.getoption("--lockwatch-long-hold")
+    )
+    # sleep patching stays off for the suite: tests sleep under their own
+    # private locks legitimately (timing fixtures), and the serve leg
+    # already covers blocked-while-locked on the real runtime
+    _SESSION_WATCH.install(patch_sleep=False)
+
+
+def pytest_unconfigure(config) -> None:
+    global _SESSION_WATCH
+    if _SESSION_WATCH is not None:
+        _SESSION_WATCH.uninstall()
+        _SESSION_WATCH = None
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    yield
+    if _SESSION_WATCH is None:
+        return
+    report = _SESSION_WATCH.report()
+    terminalreporter.section("lockwatch")
+    terminalreporter.write_line(_SESSION_WATCH.render_report())
+    inversions = report["counts"].get("lock-order-inversion", 0)
+    if inversions:
+        terminalreporter.write_line(
+            f"lockwatch: FAILING the session: {inversions} lock-order "
+            f"inversion(s) detected", red=True,
+        )
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    if _SESSION_WATCH is None:
+        return
+    report = _SESSION_WATCH.report()
+    if report["counts"].get("lock-order-inversion", 0) and exitstatus == 0:
+        session.exitstatus = 1

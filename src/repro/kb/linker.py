@@ -12,6 +12,7 @@ from typing import Iterable, List, Optional, Tuple
 
 from repro.eventdata.models import Snippet
 from repro.kb.base import Entity, KnowledgeBase
+from repro.obs import add_event
 
 
 class EntityLinker:
@@ -123,9 +124,16 @@ class ResilientLinker(EntityLinker):
                 sleep=sleep,
             )
         except CircuitOpenError:
-            pass
-        except Exception:
-            pass
+            # expected while the KB is parked; the breaker transition
+            # span event already narrates it once per state change
+            add_event("kb.degraded", mention=mention, reason="circuit-open")
+        except Exception as exc:
+            # enrichment is optional, so degrade — but leave the cause on
+            # the active span so /tracez explains the missing entity
+            add_event(
+                "kb.degraded", mention=mention, reason="lookup-failed",
+                error=f"{type(exc).__name__}: {exc}",
+            )
         self.degraded_lookups += 1
         if self._degraded_counter is not None:
             self._degraded_counter.inc()

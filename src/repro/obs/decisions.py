@@ -24,7 +24,7 @@ import os
 import threading
 import time
 from collections import deque
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.obs.trace import current_trace_id
 
@@ -39,9 +39,15 @@ LIFECYCLE_EVENTS = FOUNDING_EVENTS + ("extended", "merged", "refined", "aligned"
 class DecisionLog:
     """Thread-safe bounded ring of story lifecycle events."""
 
-    def __init__(self, capacity: int = 20000, path: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        capacity: int = 20000,
+        path: Optional[str] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
         self.capacity = capacity
         self.path = path
+        self._clock = clock  # injected so replayed histories stamp identically
         self._lock = threading.Lock()
         self._events: deque = deque()
         self._by_story: Dict[str, List[dict]] = {}
@@ -67,7 +73,7 @@ class DecisionLog:
             source_id = story_id.split("/", 1)[0]
         entry = {
             "seq": 0,  # assigned under the lock
-            "ts": round(time.time(), 6),
+            "ts": round(self._clock(), 6),
             "event": event,
             "story_id": story_id,
             "source_id": source_id,
@@ -83,19 +89,20 @@ class DecisionLog:
             self._seq += 1
             entry["seq"] = self._seq
             self.recorded += 1
-            self._append(entry)
+            self._append_locked(entry)
             if event == "merged" and "absorbed" in details:
                 self._absorbed_into[details["absorbed"]] = story_id
             elif event == "split" and "from_story" in details:
                 self._split_from[story_id] = details["from_story"]
             if self.path is not None:
                 if self._file is None:
+                    # sp-lint: disable=SP201 -- lazy one-time JSONL open; this lock is what serializes appends
                     self._file = open(self.path, "a", encoding="utf-8")
                 self._file.write(json.dumps(entry, sort_keys=True) + "\n")
                 self._file.flush()
         return entry
 
-    def _append(self, entry: dict) -> None:
+    def _append_locked(self, entry: dict) -> None:
         if len(self._events) >= self.capacity:
             evicted = self._events.popleft()
             bucket = self._by_story.get(evicted["story_id"])
@@ -207,7 +214,7 @@ class DecisionLog:
                 with log._lock:
                     log._seq = max(log._seq, entry.get("seq", 0))
                     log.recorded += 1
-                    log._append(entry)
+                    log._append_locked(entry)
                     details = entry.get("details", {})
                     if entry["event"] == "merged" and "absorbed" in details:
                         log._absorbed_into[details["absorbed"]] = entry["story_id"]

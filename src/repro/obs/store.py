@@ -80,13 +80,13 @@ class SpanStore:
             for event in span.get("events", ()):
                 self._events[event["name"]] += 1
             if span.get("parent_id") is None:
-                self._finalize(trace_id, partial=False)
+                self._finalize_locked(trace_id, partial=False)
             while self._open_spans > self.max_open_spans and self._open:
                 oldest = next(iter(self._open))
-                self._finalize(oldest, partial=True)
+                self._finalize_locked(oldest, partial=True)
                 self.dropped_partial += 1
 
-    def _finalize(self, trace_id: str, partial: bool) -> None:
+    def _finalize_locked(self, trace_id: str, partial: bool) -> None:
         spans = self._open.pop(trace_id, None)
         if not spans:
             return
@@ -117,9 +117,9 @@ class SpanStore:
             self._slow.sort(key=lambda t: -t["duration"])
             del self._slow[self.slow_traces:]
         if self.export_path is not None:
-            self._export(trace)
+            self._export_locked(trace)
 
-    def _export(self, trace: dict) -> None:
+    def _export_locked(self, trace: dict) -> None:
         if self._export_file is None:
             self._export_file = open(self.export_path, "a", encoding="utf-8")
         self._export_file.write(json.dumps(trace, sort_keys=True) + "\n")
@@ -132,7 +132,7 @@ class SpanStore:
         with self._lock:
             while self._open:
                 oldest = next(iter(self._open))
-                self._finalize(oldest, partial=True)
+                self._finalize_locked(oldest, partial=True)
 
     def close(self) -> None:
         self.flush()

@@ -95,7 +95,7 @@ class CircuitBreaker:
     @property
     def state(self) -> str:
         with self._lock:
-            self._maybe_half_open()
+            self._maybe_half_open_locked()
             return self._state
 
     def failure_rate(self) -> float:
@@ -104,7 +104,7 @@ class CircuitBreaker:
                 return 0.0
             return sum(self._window) / len(self._window)
 
-    def _transition(self, new_state: str) -> None:
+    def _transition_locked(self, new_state: str) -> None:
         old, self._state = self._state, new_state
         if old == new_state:
             return
@@ -121,19 +121,19 @@ class CircuitBreaker:
         if self._on_transition is not None:
             self._on_transition(old, new_state)
 
-    def _maybe_half_open(self) -> None:
+    def _maybe_half_open_locked(self) -> None:
         if (
             self._state == OPEN
             and self._clock() - self._opened_at >= self.reset_timeout
         ):
             self._probes_inflight = 0
             self._probe_successes = 0
-            self._transition(HALF_OPEN)
+            self._transition_locked(HALF_OPEN)
 
     def allow(self) -> bool:
         """May a call proceed right now?  Half-open admits bounded probes."""
         with self._lock:
-            self._maybe_half_open()
+            self._maybe_half_open_locked()
             if self._state == CLOSED:
                 return True
             if self._state == HALF_OPEN:
@@ -158,7 +158,7 @@ class CircuitBreaker:
                 self._probe_successes += 1
                 if self._probe_successes >= self.half_open_probes:
                     self._window.clear()
-                    self._transition(CLOSED)
+                    self._transition_locked(CLOSED)
                 return
             self._window.append(False)
 
@@ -166,7 +166,7 @@ class CircuitBreaker:
         with self._lock:
             if self._state == HALF_OPEN:
                 self._opened_at = self._clock()
-                self._transition(OPEN)
+                self._transition_locked(OPEN)
                 return
             self._window.append(True)
             if (
@@ -176,7 +176,7 @@ class CircuitBreaker:
                 >= self.failure_threshold
             ):
                 self._opened_at = self._clock()
-                self._transition(OPEN)
+                self._transition_locked(OPEN)
 
     # -- convenience -------------------------------------------------------
 

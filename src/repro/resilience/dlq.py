@@ -21,7 +21,7 @@ import os
 import threading
 import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.core.persistence import snippet_from_record, snippet_record
 from repro.eventdata.models import Snippet
@@ -67,8 +67,13 @@ class DeadLetterQueue:
     mirroring the WAL's tolerance.
     """
 
-    def __init__(self, path: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
         self.path = path
+        self._clock = clock  # injected so tests can pin quarantine stamps
         self._lock = threading.Lock()
         self._records: List[DeadLetter] = []
         self._handle = None
@@ -106,12 +111,13 @@ class DeadLetterQueue:
             error=error,
             attempts=attempts,
             shard_id=shard_id,
-            quarantined_at=time.time(),
+            quarantined_at=self._clock(),
         )
         with self._lock:
             self._records.append(letter)
             if self.path is not None:
                 if self._handle is None:
+                    # sp-lint: disable=SP201 -- lazy one-time JSONL open; this lock is what serializes appends
                     self._handle = open(self.path, "a", encoding="utf-8")
                 self._handle.write(json.dumps(letter.to_record()) + "\n")
                 self._handle.flush()
@@ -144,6 +150,7 @@ class DeadLetterQueue:
                 self._handle.close()
                 self._handle = None
             if self.path is not None and os.path.exists(self.path):
+                # sp-lint: disable=SP201 -- truncation must be atomic with the drain or a crash replays twice
                 with open(self.path, "w", encoding="utf-8"):
                     pass
         return drained

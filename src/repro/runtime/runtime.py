@@ -453,6 +453,7 @@ class ShardedRuntime:
         while True:
             root = self.tracer.start_trace("ingest")
             with self.tracer.attach(root):
+                # sp-lint: disable=SP301 -- pull ends on every branch below; `with` cannot express the discard path
                 pull = self.tracer.span("feed.pull")
                 try:
                     snippet = next(iterator)

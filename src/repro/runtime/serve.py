@@ -92,6 +92,14 @@ def build_parser(prog: str = "storypivot-serve") -> argparse.ArgumentParser:
                              "leaderboard, per-stage percentiles) as JSON "
                              "after the run; implies --trace-sample 1.0 "
                              "unless a rate is given")
+    parser.add_argument("--lockwatch", action="store_true",
+                        help="instrument every lock the runtime creates and "
+                             "report lock-order inversions, long holds, and "
+                             "blocking calls made while locked")
+    parser.add_argument("--lockwatch-long-hold", type=float, default=1.0,
+                        metavar="SECONDS",
+                        help="long-hold reporting threshold for --lockwatch "
+                             "(default 1.0)")
     return parser
 
 
@@ -132,6 +140,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                        "--synthetic N, or --resume with --wal-dir\n")
     if args.resume and not args.wal_dir:
         parser.exit(2, "error: --resume requires --wal-dir\n")
+
+    lockwatch = None
+    if args.lockwatch:
+        from repro.analysis.lockwatch import LockWatch
+
+        # installed before the runtime builds its object graph so every
+        # shard/queue/metric/breaker lock created below is instrumented
+        lockwatch = LockWatch(
+            long_hold_threshold=args.lockwatch_long_hold
+        ).install()
 
     tracer = None
     span_store = None
@@ -207,6 +225,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             checkpoint_text = runtime.dumps_state()
     finally:
         runtime.stop()
+        if lockwatch is not None:
+            lockwatch.uninstall()
 
     stats = runtime.stats()
     print(
@@ -267,6 +287,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"torn_wal={events.get('wal.torn_record', 0)} "
                 f"-> {trace_verdict}"
             )
+
+    if lockwatch is not None:
+        print(lockwatch.render_report())
 
     if checkpoint_text is not None:
         with open(args.checkpoint, "w", encoding="utf-8") as handle:

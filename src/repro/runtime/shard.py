@@ -303,6 +303,7 @@ class Shard:
         """
         root = envelope.span
         with self._tracer.attach(root):
+            # sp-lint: disable=SP301 -- retro-dated span: starts at the producer's enqueue instant, ends now
             self._tracer.span(
                 "queue.wait", start=envelope.enqueued_at, shard=self.shard_id
             ).end()

@@ -24,7 +24,12 @@ from __future__ import annotations
 
 import logging
 import threading
-from concurrent.futures import Executor, Future
+from concurrent.futures import (
+    CancelledError,
+    Executor,
+    Future,
+    TimeoutError as FuturesTimeoutError,
+)
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -100,19 +105,39 @@ class Supervisor:
         self._wake.set()
         if self._thread is not None:
             self._thread.join(timeout)
-        for future in list(self._futures.values()):
-            try:
-                future.result(timeout=timeout)
-            except Exception:
-                pass  # crash already handled/recorded
+        self._reap_workers(timeout)
 
     def wait_workers(self, timeout: Optional[float] = None) -> None:
         """Block until every live worker loop has returned."""
-        for future in list(self._futures.values()):
+        self._reap_workers(timeout)
+
+    def _reap_workers(self, timeout: Optional[float]) -> None:
+        """Join worker futures, keeping crash handling in one place.
+
+        A :class:`ShardCrashed` here was already counted and restarted
+        (or parked) by the supervision loop; a slow worker at shutdown
+        is logged rather than blocking teardown forever.  Anything else
+        escaping a worker loop is a supervisor bug — record it loudly
+        before moving on to the next future.
+        """
+        for shard_id, future in list(self._futures.items()):
             try:
                 future.result(timeout=timeout)
-            except Exception:
-                pass
+            except ShardCrashed:
+                pass  # counted, restarted or parked by _run already
+            except FuturesTimeoutError:
+                logger.warning(
+                    "shard %d: worker still running after %.1fs at "
+                    "shutdown; abandoning the join", shard_id,
+                    timeout if timeout is not None else -1.0,
+                )
+            except CancelledError:
+                pass  # executor shut down before the loop started
+            except Exception as exc:
+                logger.error(
+                    "shard %d: worker loop died outside the ShardCrashed "
+                    "protocol: %s: %s", shard_id, type(exc).__name__, exc,
+                )
 
     # -- supervision -------------------------------------------------------
 

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import pytest
 
+pytest_plugins = ("repro.analysis.pytest_lockwatch",)
+
 from repro.core.config import StoryPivotConfig
 from repro.eventdata.corpus import Corpus
 from repro.eventdata.handcrafted import demo_config, mh17_corpus

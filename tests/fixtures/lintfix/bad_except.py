@@ -1,0 +1,22 @@
+"""Seeded-bad fixture: exception-handling violations (SP103/SP104)."""
+
+
+def swallow_everything(work):
+    try:
+        work()
+    except:  # SP103: bare except
+        pass
+
+
+def swallow_broad(work):
+    try:
+        work()
+    except Exception:  # SP104: swallowed without recording
+        return None
+
+
+def handled_fine(work, log):
+    try:
+        work()
+    except Exception as exc:  # negative case: recorded on a sink
+        log.warning("work failed: %s", exc)

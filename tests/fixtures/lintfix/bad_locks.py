@@ -1,0 +1,28 @@
+"""Seeded-bad fixture: lock-discipline violations (SP201/SP202)."""
+
+import threading
+import time
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+        self.worker = None
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+
+    def reset(self):
+        self.count = 0  # SP202: guarded by _lock in bump(), written bare here
+
+    def flush(self, path):
+        with self._lock:
+            time.sleep(0.1)  # SP201: sleeping while locked
+            with open(path, "w") as handle:  # SP201: blocking I/O while locked
+                handle.write(str(self.count))
+
+    def stop(self):
+        with self._lock:
+            self.worker.join()  # SP201: join while holding the lock

@@ -1,0 +1,18 @@
+"""Seeded-bad fixture: observability violations (SP301/SP302)."""
+
+
+def trace_badly(tracer, work):
+    span = tracer.span("work")  # SP301: span not context-managed
+    work()
+    span.end()
+
+
+def scope_badly(work):
+    deadline_scope(0.5)  # SP301: deadline scope never entered
+    return work()
+
+
+def register_metrics(metrics):
+    metrics.counter("Ingest-Accepted")  # SP302: not canonical
+    metrics.gauge("queue depth")  # SP302: not canonical
+    metrics.histogram("ingest.offer_latency_seconds")  # negative: canonical

@@ -1,0 +1,20 @@
+"""Seeded-bad fixture: determinism violations in a core path (SP101/SP102)."""
+
+import random
+import time
+from datetime import datetime
+
+
+def stamp_story(story):
+    story.updated_at = time.time()  # SP101: wall clock in core
+    story.created = datetime.now()  # SP101: wall clock in core
+    return story
+
+
+def jitter_scores(scores):
+    rng = random.Random()  # SP102: unseeded RNG in core
+    return [s + random.uniform(0, 0.01) for s in scores]  # SP102: global RNG
+
+
+def pick_representative(snippets):
+    return random.choice(snippets)  # SP102: global RNG
