@@ -1,0 +1,359 @@
+"""Replication benchmark: catch-up, steady-state lag, read scale-out.
+
+Boots an in-process leader (:class:`~repro.runtime.ShardedRuntime`
+behind a :class:`~repro.replication.ReplicationServer`) and measures
+the three numbers the replication subsystem exists for:
+
+1. **Cold catch-up** — how long a fresh follower takes to bootstrap
+   from snapshot, tail the WAL, and converge on the leader's state.
+2. **Steady-state lag** — while the leader keeps ingesting, how far
+   behind (in seconds) a tailing follower falls.  The recorded run
+   must stay inside ``LAG_BUDGET_SECONDS``.
+3. **Read scale-out** — aggregate read throughput over a fleet of one
+   vs two followers, each serving the standard read API from its own
+   materialized view.  The scaling assertion only applies on hosts
+   with enough cores for the fleet to actually run in parallel
+   (``SCALING_MIN_CORES``); the measurement is recorded either way.
+
+A parity check rides along: at the same generation, leader and
+follower must serve ``/stories`` with identical ETags.
+
+    python benchmarks/bench_replication.py            # full run
+    python benchmarks/bench_replication.py --smoke    # CI-sized
+    python benchmarks/bench_replication.py -o BENCH_replication.json
+
+Results land in ``BENCH_replication.json`` at the repo root by default.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import shutil
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.core.config import StoryPivotConfig  # noqa: E402
+from repro.eventdata.handcrafted import mh17_corpus  # noqa: E402
+from repro.eventdata.sourcegen import synthetic_corpus  # noqa: E402
+from repro.replication import ReplicaRuntime, ReplicationServer  # noqa: E402
+from repro.replication.follower import (  # noqa: E402
+    SourceMetaShim,
+    source_meta_record,
+)
+from repro.runtime import ShardedRuntime  # noqa: E402
+from repro.server import StoryPivotAPI, ViewRefresher, ViewStore  # noqa: E402
+
+#: steady-state lag must stay inside this budget on the recorded run
+LAG_BUDGET_SECONDS = 5.0
+
+#: assert throughput scaling only when the fleet can truly parallelize
+SCALING_MIN_CORES = 4
+
+POLL = 0.05
+
+
+def wait_converged(leader, replica, store=None, timeout=120.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if replica.accepted == leader.accepted and replica.lag_records() == 0:
+            if store is None or store.generation == leader.accepted:
+                return True
+        time.sleep(POLL)
+    raise RuntimeError("follower failed to converge within %.0fs" % timeout)
+
+
+class Follower:
+    """A ReplicaRuntime + view refresher + read API, started together."""
+
+    def __init__(self, leader_address):
+        self.replica = ReplicaRuntime(
+            leader_address, poll_interval=POLL
+        ).start()
+        self.store = ViewStore(dataset=self.replica.dataset)
+        self.refresher = ViewRefresher(
+            self.replica, self.store, interval=0.2,
+            corpus=SourceMetaShim(self.replica.source_meta),
+            metrics=self.replica.metrics, pin_generations=True,
+        ).start()
+        self.api = StoryPivotAPI(
+            self.store, refresher=self.refresher, runtime=self.replica,
+        ).start()
+
+    def close(self):
+        self.api.close()
+        self.refresher.stop()
+        self.replica.stop()
+
+
+def get_headers(port, path):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        body = response.read()
+        return response.status, dict(response.getheaders()), body
+    finally:
+        conn.close()
+
+
+def drive_fleet(ports, paths, threads_per_port, requests_per_thread):
+    """Hammer every port concurrently; returns aggregate (requests, wall)."""
+    errors = []
+    counts = []
+    barrier = threading.Barrier(len(ports) * threads_per_port + 1)
+
+    def worker(port, worker_id, cell):
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        try:
+            barrier.wait()
+            for i in range(requests_per_thread):
+                conn.request("GET", paths[(worker_id + i) % len(paths)])
+                response = conn.getresponse()
+                response.read()
+                if response.status != 200:
+                    errors.append((port, response.status))
+                cell[0] += 1
+        except Exception as exc:
+            errors.append((port, repr(exc)))
+        finally:
+            conn.close()
+
+    pool = []
+    for port in ports:
+        for worker_id in range(threads_per_port):
+            cell = [0]
+            counts.append(cell)
+            pool.append(threading.Thread(
+                target=worker, args=(port, worker_id, cell)
+            ))
+    for thread in pool:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in pool:
+        thread.join()
+    wall = time.perf_counter() - started
+    if errors:
+        raise RuntimeError(f"load generator saw errors: {errors[:5]}")
+    return sum(cell[0] for cell in counts), wall
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Replication benchmark: catch-up, lag, read scale-out."
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="demo corpus, small request counts (CI gate)")
+    parser.add_argument("--events", type=int, default=400,
+                        help="synthetic events for the full run")
+    parser.add_argument("--seed", type=int, default=13)
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per load thread")
+    parser.add_argument("-o", "--output", default=None, metavar="FILE")
+    args = parser.parse_args(argv)
+
+    requests_per_thread = args.requests or (40 if args.smoke else 200)
+    output = args.output or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..",
+        "BENCH_replication.json",
+    )
+    cpu_cores = os.cpu_count() or 1
+
+    if args.smoke:
+        corpus = mh17_corpus()
+    else:
+        corpus = synthetic_corpus(
+            total_events=args.events, num_sources=6, seed=args.seed
+        )
+    stream = list(corpus.snippets_by_publication())
+    cut = (2 * len(stream)) // 3
+    config = StoryPivotConfig.temporal()
+
+    wal_dir = tempfile.mkdtemp(prefix="bench-replication-")
+    runtime = ShardedRuntime(
+        config, num_shards=2, wal_dir=os.path.join(wal_dir, "wal"),
+        checkpoint_every=200,
+    )
+    followers = []
+    results = {}
+    try:
+        runtime.consume(stream[:cut])
+        runtime.drain()
+        ship = ReplicationServer(
+            runtime, dataset=corpus.name,
+            sources=source_meta_record(corpus),
+        ).start()
+        print(f"corpus: {corpus.name} — {len(stream)} snippets, "
+              f"{cut} preloaded on the leader")
+
+        # ---- 1. cold catch-up -------------------------------------------
+        started = time.perf_counter()
+        followers.append(Follower(ship.address))
+        first = followers[0]
+        wait_converged(runtime, first.replica)
+        catchup = time.perf_counter() - started
+        results["cold_catchup"] = {
+            "records": runtime.accepted,
+            "seconds": round(catchup, 4),
+            "records_per_second": round(runtime.accepted / catchup, 1),
+        }
+        print(f"  cold catch-up: {runtime.accepted} records in "
+              f"{catchup:.2f}s "
+              f"({results['cold_catchup']['records_per_second']} rec/s)")
+
+        # ---- 2. steady-state lag while the leader keeps ingesting -------
+        lag_samples = []
+        stop_sampling = threading.Event()
+
+        def sample():
+            while not stop_sampling.is_set():
+                lag_samples.append(first.replica.lag_seconds())
+                time.sleep(POLL)
+
+        sampler = threading.Thread(target=sample)
+        sampler.start()
+        for snippet in stream[cut:]:
+            runtime.consume([snippet])
+        runtime.drain()
+        wait_converged(runtime, first.replica)
+        stop_sampling.set()
+        sampler.join()
+        max_lag = max(lag_samples) if lag_samples else 0.0
+        mean_lag = (
+            sum(lag_samples) / len(lag_samples) if lag_samples else 0.0
+        )
+        results["steady_state_lag"] = {
+            "budget_seconds": LAG_BUDGET_SECONDS,
+            "samples": len(lag_samples),
+            "max_seconds": round(max_lag, 4),
+            "mean_seconds": round(mean_lag, 4),
+            "within_budget": max_lag <= LAG_BUDGET_SECONDS,
+        }
+        print(f"  steady-state lag: max {max_lag:.3f}s, "
+              f"mean {mean_lag:.3f}s over {len(lag_samples)} samples "
+              f"(budget {LAG_BUDGET_SECONDS:.0f}s)")
+
+        # ---- 3. ETag parity at the same generation ----------------------
+        wait_converged(runtime, first.replica, store=first.store)
+        leader_store = ViewStore(dataset=corpus.name)
+        leader_refresher = ViewRefresher(
+            runtime, leader_store, interval=0.2, corpus=corpus,
+            metrics=runtime.metrics, pin_generations=True,
+        ).start()
+        leader_api = StoryPivotAPI(
+            leader_store, refresher=leader_refresher, runtime=runtime,
+            replication=ship,
+        ).start()
+        try:
+            deadline = time.time() + 60
+            while (leader_store.generation != runtime.accepted
+                   and time.time() < deadline):
+                time.sleep(POLL)
+            _, leader_headers, leader_body = get_headers(
+                leader_api.port, "/stories"
+            )
+            _, follower_headers, follower_body = get_headers(
+                first.api.port, "/stories"
+            )
+            parity = (
+                leader_headers["ETag"] == follower_headers["ETag"]
+                and leader_body == follower_body
+            )
+            results["parity"] = {
+                "generation": runtime.accepted,
+                "etag": leader_headers["ETag"],
+                "identical": parity,
+            }
+            print(f"  parity at generation {runtime.accepted}: "
+                  f"{'identical ETags' if parity else 'DIVERGED'}")
+        finally:
+            leader_api.close()
+            leader_refresher.stop()
+
+        # ---- 4. read throughput, 1 vs 2 followers -----------------------
+        paths = ["/stories?limit=50", "/stories", "/sources", "/stats"]
+        fleet_rows = []
+        for target_size in (1, 2):
+            while len(followers) < target_size:
+                follower = Follower(ship.address)
+                followers.append(follower)
+                wait_converged(runtime, follower.replica,
+                               store=follower.store)
+            ports = [f.api.port for f in followers[:target_size]]
+            drive_fleet(ports, paths, 2, 10)  # warm connections + caches
+            total, wall = drive_fleet(ports, paths, 4, requests_per_thread)
+            row = {
+                "followers": target_size,
+                "requests": total,
+                "wall_seconds": round(wall, 4),
+                "throughput_rps": round(total / wall, 1),
+            }
+            fleet_rows.append(row)
+            print(f"  fleet of {target_size}: {row['throughput_rps']} req/s "
+                  f"aggregate ({total} requests in {wall:.2f}s)")
+        scaling = fleet_rows[1]["throughput_rps"] / fleet_rows[0][
+            "throughput_rps"
+        ]
+        scaling_asserted = cpu_cores >= SCALING_MIN_CORES
+        results["read_scaling"] = {
+            "fleets": fleet_rows,
+            "speedup_2_vs_1": round(scaling, 3),
+            "asserted": scaling_asserted,
+            "min_cores_to_assert": SCALING_MIN_CORES,
+        }
+        if not scaling_asserted:
+            print(f"  scaling assertion skipped: {cpu_cores} cores < "
+                  f"{SCALING_MIN_CORES} (fleet cannot parallelize)")
+        ship.close()
+    finally:
+        for follower in followers:
+            follower.close()
+        runtime.stop()
+        shutil.rmtree(wal_dir, ignore_errors=True)
+
+    record = {
+        "benchmark": "replication",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "smoke": args.smoke,
+        "cpu_cores": cpu_cores,
+        "workload": {
+            "dataset": corpus.name,
+            "snippets": len(stream),
+            "preloaded": cut,
+            "requests_per_thread": requests_per_thread,
+        },
+        "results": results,
+    }
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {os.path.normpath(output)}")
+
+    failures = []
+    if not results["steady_state_lag"]["within_budget"]:
+        failures.append(
+            f"steady-state lag {results['steady_state_lag']['max_seconds']}s "
+            f"blew the {LAG_BUDGET_SECONDS}s budget"
+        )
+    if not results["parity"]["identical"]:
+        failures.append("leader and follower ETags diverged")
+    if scaling_asserted and scaling <= 1.0:
+        failures.append(
+            f"2-follower fleet did not out-serve 1 ({scaling:.2f}x)"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -93,11 +93,14 @@ def dump_state(pivot: StoryPivot, stream: TextIO,
     counter ids were allocated) serialize byte-identically.  Returns the
     number of snippets written.
     """
+    # sort_keys so the header is canonical: a config that took a JSON
+    # round trip (replication manifest) serializes byte-identically to
+    # the original whatever its dict insertion order
     stream.write(json.dumps({
         "kind": "storypivot-checkpoint",
         "version": 1,
         "config": _config_record(pivot.config),
-    }) + "\n")
+    }, sort_keys=True) + "\n")
     written = 0
     for source_id, story_set in sorted(pivot.story_sets().items()):
         renamed = canonical_story_ids(story_set) if canonical_ids else None

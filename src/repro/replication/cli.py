@@ -1,0 +1,161 @@
+"""``storypivot-replica`` — serve the read path from a follower.
+
+Point it at a leader started with ``storypivot-api --follow --wal-dir
+... --replication-port N``: the follower bootstraps from the leader's
+latest checkpoint snapshot, tails its WAL segments, and serves the same
+read-path API from its own materialized views.  Aggregate read
+throughput scales with follower count while the leader keeps the write
+path to itself.
+
+Examples::
+
+    storypivot-api --synthetic 500 --follow --wal-dir state/ \\
+        --replication-port 8421 &
+    storypivot-replica --leader http://127.0.0.1:8421 --port 8322 &
+    storypivot-replica --leader http://127.0.0.1:8421 --port 8323 &
+    curl -s localhost:8322/healthz | python -m json.tool
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+from typing import Optional, Sequence
+
+from repro.errors import StoryPivotError
+from repro.obs import SpanStore, Tracer
+from repro.resilience.breaker import CircuitOpenError
+
+from repro.replication.follower import ReplicaRuntime, SourceMetaShim
+from repro.server.app import StoryPivotAPI
+from repro.server.views import ViewRefresher, ViewStore
+
+DEFAULT_PORT = 8322
+
+
+def build_parser(prog: str = "storypivot-replica") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Serve the StoryPivot read-path API from a replica "
+                    "that tails a leader's WAL.",
+    )
+    parser.add_argument("--leader", required=True, metavar="URL",
+                        help="leader replication endpoint, e.g. "
+                             "http://127.0.0.1:8421")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help=f"listen port (default {DEFAULT_PORT}; "
+                             f"0 = ephemeral)")
+    parser.add_argument("--poll-interval", type=float, default=0.2,
+                        metavar="SEC",
+                        help="WAL tail cadence (default 0.2s; a backlog "
+                             "is drained at full speed regardless)")
+    parser.add_argument("--refresh-interval", type=float, default=1.0,
+                        metavar="SEC", help="view rebuild cadence")
+    parser.add_argument("--lag-budget", type=float, default=None,
+                        metavar="SEC",
+                        help="replication + view staleness budget: past "
+                             "this, /healthz degrades and data requests "
+                             "are shed with 503 + Retry-After")
+    parser.add_argument("--cache-size", type=int, default=512, metavar="N",
+                        help="response cache entries (0 disables)")
+    parser.add_argument("--rate-limit", type=float, default=0.0,
+                        metavar="RPS",
+                        help="per-client requests/second (0 = unlimited)")
+    parser.add_argument("--burst", type=float, default=20.0,
+                        help="rate-limiter burst size (default 20)")
+    parser.add_argument("--access-log", action="store_true",
+                        help="write JSON access log lines to stderr")
+    parser.add_argument("--trace-sample", type=float, default=0.0,
+                        metavar="RATE",
+                        help="head-sampling rate in [0, 1] for apply and "
+                             "request traces (default 0.0)")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    span_store = SpanStore()
+    tracer = Tracer(sample_rate=args.trace_sample, store=span_store)
+
+    replica = ReplicaRuntime(
+        args.leader,
+        poll_interval=args.poll_interval,
+        lag_budget=args.lag_budget,
+        tracer=tracer,
+    )
+    try:
+        replica.start()
+    except (StoryPivotError, CircuitOpenError, OSError) as exc:
+        parser.exit(2, f"error: cannot bootstrap from {args.leader}: "
+                       f"{exc}\n")
+
+    store = ViewStore(dataset=replica.dataset)
+    refresher = ViewRefresher(
+        replica, store,
+        interval=args.refresh_interval,
+        corpus=SourceMetaShim(replica.source_meta),
+        lag_budget=args.lag_budget,
+        metrics=replica.metrics,
+        tracer=tracer,
+        decisions=replica.decisions,
+        # mirror the leader: generation = accepted-snippet count, so the
+        # same generation means the same replicated prefix on every node
+        pin_generations=True,
+    ).start()
+
+    api = StoryPivotAPI(
+        store,
+        host=args.host,
+        port=args.port,
+        metrics=replica.metrics,
+        cache_entries=args.cache_size,
+        rate_limit=args.rate_limit,
+        burst=args.burst,
+        access_log=sys.stderr if args.access_log else None,
+        refresher=refresher,
+        runtime=replica,
+        tracer=tracer,
+        decisions=replica.decisions,
+    ).start()
+    print(f"replica of {args.leader} serving {replica.dataset} on "
+          f"{api.address} (generation {store.generation})", flush=True)
+
+    stop = threading.Event()
+
+    def _shutdown(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGINT, _shutdown)
+    signal.signal(signal.SIGTERM, _shutdown)
+    try:
+        while not stop.is_set():
+            stop.wait(0.2)
+    finally:
+        print("shutting down: draining in-flight requests", flush=True)
+        api.close()
+        refresher.stop()
+        replica.stop()
+        span_store.close()
+    return 0
+
+
+def _console_entry() -> int:
+    try:
+        return main()
+    except BrokenPipeError:
+        import os
+
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        os._exit(0)
+
+
+if __name__ == "__main__":
+    raise SystemExit(_console_entry())

@@ -39,7 +39,7 @@ from collections import deque
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import ExitStack
 from dataclasses import dataclass, field, replace
-from typing import Deque, Dict, Iterable, List, Optional
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.alignment import Alignment, StoryAligner
 from repro.core.config import StoryPivotConfig
@@ -76,6 +76,7 @@ class RuntimeOptions:
     dedup_capacity: int = 100_000
     wal_dir: Optional[str] = None
     checkpoint_every: int = 0  # accepted snippets per shard; 0 = manual only
+    wal_keep_segments: int = 6  # sealed WAL segments retained per shard
     fsync: bool = False
     backoff: BackoffPolicy = field(default_factory=BackoffPolicy)
     batch_size: int = 64  # process executor: snippets per IPC batch
@@ -151,6 +152,10 @@ def _process_shard_dump() -> str:
 
 class ShardedRuntime:
     """Long-running sharded ingestion over StoryPivot."""
+
+    #: replication role reported in /healthz; followers (which duck-type
+    #: this runtime's read surface) report "follower"
+    role = "leader"
 
     def __init__(
         self,
@@ -289,7 +294,10 @@ class ShardedRuntime:
                 put_timeout=options.put_timeout,
             )
             wal = (
-                self._store.wal(shard_id, fsync=options.fsync)
+                self._store.wal(
+                    shard_id, fsync=options.fsync,
+                    keep_segments=options.wal_keep_segments,
+                )
                 if self._store is not None
                 else None
             )
@@ -699,7 +707,10 @@ class ShardedRuntime:
             with self.metrics.timer("checkpoint.duration_seconds"):
                 size = self._store.save(shard.shard_id, shard.pivot)
                 if shard.wal is not None:
-                    shard.wal.reset()
+                    # rotate, not truncate: the sealed segment is the
+                    # replication shipping unit; sequence numbers keep
+                    # counting so follower cursors stay meaningful
+                    shard.wal.rotate()
             span.set(bytes=size)
         self.metrics.counter("checkpoint.count").inc()
         self.metrics.counter("checkpoint.bytes").inc(size)
@@ -826,6 +837,42 @@ class ShardedRuntime:
             "quarantined": quarantined,
             "queue_depth": sum(len(s.queue) for s in self._shards),
         }
+
+    # -- replication (leader side) -----------------------------------------
+
+    def shard_wal(self, shard_id: int):
+        """The live :class:`~repro.runtime.wal.ShardWal` of one shard.
+
+        Raises when the runtime has no WAL configured — replication
+        ships WAL segments, so a WAL-less runtime cannot lead.
+        """
+        if self._store is None or not self._shards:
+            raise ConfigurationError(
+                "replication requires a thread-executor runtime with "
+                "wal_dir configured"
+            )
+        return self._shards[shard_id].wal
+
+    def shard_snapshot(self, shard_id: int) -> "Tuple[str, int]":
+        """(serialized shard state, WAL position it covers) — atomic.
+
+        Taken under the shard lock, so the text and the position always
+        agree: a follower that loads the text and tails records from the
+        position materializes exactly the leader's state.
+        """
+        shard = self._shards[shard_id]
+        wal = self.shard_wal(shard_id)
+        with shard.lock:
+            text = dumps_state(shard.pivot)
+            position = wal.position
+        return text, position
+
+    def wal_positions(self) -> List[int]:
+        """Per-shard cumulative WAL positions (the replication cursors)."""
+        return [
+            self.shard_wal(shard_id).position
+            for shard_id in range(self.options.num_shards)
+        ]
 
     # -- introspection -----------------------------------------------------
 

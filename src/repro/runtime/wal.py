@@ -14,6 +14,20 @@ Shard files are named by shard index; a ``manifest.json`` pins the shard
 count and pipeline config, because source→shard routing depends on the
 shard count: resuming with a different count would replay snippets into
 the wrong shards.
+
+Replication additions (see :mod:`repro.replication`):
+
+* every record carries a **cumulative sequence number** that survives
+  checkpoints, so a follower can say "give me everything from seq N";
+* every record carries a **CRC32 frame** over its canonical payload, so
+  a record corrupted on disk *or in transit* is detected (counted under
+  the existing ``wal.torn_records`` accounting) — unframed seed-era
+  records stay readable;
+* a checkpoint **rotates** the active WAL into a sealed, immutable
+  segment instead of truncating it.  Sealed segments are what the leader
+  ships; a bounded number are retained (they are fully covered by the
+  checkpoint, so pruning never endangers recovery — only a very-behind
+  follower, which then re-bootstraps from the snapshot).
 """
 
 from __future__ import annotations
@@ -21,6 +35,8 @@ from __future__ import annotations
 import json
 import logging
 import os
+import re
+import zlib
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.config import StoryPivotConfig
@@ -39,21 +55,105 @@ from repro.eventdata.models import Snippet
 MANIFEST_NAME = "manifest.json"
 MANIFEST_VERSION = 1
 
+#: sealed-segment name: ``<active>.<first>-<last>.seg`` (seqs inclusive)
+_SEGMENT_RE = re.compile(r"\.(\d{8})-(\d{8})\.seg$")
+
 logger = logging.getLogger("repro.runtime.wal")
 
 
-class ShardWal:
-    """Append-only snippet log for one shard."""
+def record_crc(record: Dict[str, object]) -> int:
+    """CRC32 of the record's canonical payload (the ``crc`` field excluded).
 
-    def __init__(self, path: str, fsync: bool = False) -> None:
+    Canonical means ``sort_keys`` JSON, so the checksum is independent of
+    field ordering and of how the line was formatted on disk or on the
+    wire — the same record always frames to the same CRC.
+    """
+    payload = {k: v for k, v in record.items() if k != "crc"}
+    return zlib.crc32(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    )
+
+
+def frame_record(record: Dict[str, object]) -> Dict[str, object]:
+    """Stamp the CRC32 frame onto ``record`` (in place) and return it."""
+    record["crc"] = record_crc(record)
+    return record
+
+
+def verify_record(record: Dict[str, object]) -> bool:
+    """True when the record's frame checks out.
+
+    Unframed records (no ``crc`` field — written by seed-era WALs) are
+    accepted: framing is backward-compatible, corruption detection only
+    applies to records that claim a checksum.
+    """
+    crc = record.get("crc")
+    if crc is None:
+        return True
+    return crc == record_crc(record)
+
+
+class ShardWal:
+    """Append-only snippet log for one shard.
+
+    Sequence numbers are **cumulative**: they keep increasing across
+    checkpoint rotations (and across reopen — the counter is recovered
+    by scanning sealed segments and the active file), so a replication
+    cursor is meaningful for the lifetime of the shard, not just one
+    active file.  ``keep_segments`` bounds how many sealed segments
+    :meth:`rotate` retains for followers to tail.
+    """
+
+    def __init__(
+        self, path: str, fsync: bool = False, keep_segments: int = 6
+    ) -> None:
         self.path = path
         self.fsync = fsync
+        self.keep_segments = keep_segments
         self._handle = None
-        self._sequence = 0
+        self._next_seq = 0
+        self._active_base_seq = 0
+        self._bootstrapped = False
         #: torn/corrupt records skipped by the last :meth:`replay`
         self.torn_records = 0
 
+    # -- sequence bootstrap ------------------------------------------------
+
+    def _bootstrap(self) -> None:
+        """Recover the cumulative sequence counter from disk (once).
+
+        The active file continues after the last sealed segment; within
+        the active file the highest *decodable* record's ``seq`` wins.
+        Torn lines are skipped, not stopped at: the file is at rest
+        while bootstrapping (first append or reopen), so a mid-file torn
+        write must not hide the valid records after it — reusing their
+        sequence numbers would make two different records share a seq.
+        A torn *tail* record's seq is reused by the next append, which
+        is fine: the torn record is invisible to every reader.
+        """
+        if self._bootstrapped:
+            return
+        self._bootstrapped = True
+        base = 0
+        for _, end, _ in self.segments():
+            base = max(base, end + 1)
+        self._active_base_seq = base
+        last_seq = None
+        if os.path.exists(self.path):
+            for record in self._decode_lines(self.path):
+                seq = record.get("seq")
+                if isinstance(seq, int) and (last_seq is None or seq > last_seq):
+                    last_seq = seq
+        self._next_seq = base if last_seq is None else max(base, last_seq + 1)
+
+    @property
+    def position(self) -> int:
+        """The next sequence number (= records ever appended, fresh WAL)."""
+        self._bootstrap()
+        return self._next_seq
+
     def _ensure_open(self) -> None:
+        self._bootstrap()
         if self._handle is None:
             self._handle = open(self.path, "a", encoding="utf-8")
 
@@ -62,8 +162,9 @@ class ShardWal:
         self._ensure_open()
         record = snippet_record(snippet)
         record["kind"] = "wal-entry"
-        record["seq"] = self._sequence
-        self._sequence += 1
+        record["seq"] = self._next_seq
+        frame_record(record)
+        self._next_seq += 1
         line = json.dumps(record) + "\n"
         self._handle.write(line)
         self._handle.flush()
@@ -71,23 +172,20 @@ class ShardWal:
             os.fsync(self._handle.fileno())
         return len(line.encode("utf-8"))
 
-    def replay(self) -> List[Snippet]:
-        """Logged snippets in append order; torn records are skipped.
+    def _decode_lines(
+        self, path: str, stop_on_error: bool = False, count_bad: bool = False
+    ) -> Iterator[Dict[str, object]]:
+        """Decoded, CRC-verified records of one file, in order.
 
-        A record can be torn by a kill mid-append (the classic truncated
-        final line) or by a torn write mid-file (crash between ``write``
-        and ``fsync``, or injected chaos) that merges two records into
-        one garbage line.  Either way the damage is *local*: the bad
-        line is skipped with a warning and counted in
-        :attr:`torn_records`, and every decodable record before and
-        after it is recovered.  Raising here would poison restart
-        forever — a corrupt byte must cost one record, not the shard.
+        Bad lines (torn writes, CRC mismatches, non-entries) are skipped
+        — or, with ``stop_on_error``, end the iteration: that is the live
+        tailing mode, where an undecodable final line usually means an
+        append is racing us and the bytes simply are not all there yet.
+        ``count_bad`` accumulates skips into :attr:`torn_records`.
         """
-        self.torn_records = 0
-        if not os.path.exists(self.path):
-            return []
-        snippets: List[Snippet] = []
-        with open(self.path, "r", encoding="utf-8") as handle:
+        if not os.path.exists(path):
+            return
+        with open(path, "r", encoding="utf-8") as handle:
             for line_no, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
@@ -96,27 +194,181 @@ class ShardWal:
                     record = json.loads(line)
                     if record.get("kind") != "wal-entry":
                         raise DataFormatError("not a wal entry")
-                    snippets.append(snippet_from_record(record))
+                    if not verify_record(record):
+                        raise DataFormatError("CRC32 frame mismatch")
                 except (ValueError, KeyError, TypeError, AttributeError,
                         DataFormatError) as exc:
-                    self.torn_records += 1
-                    add_event(
-                        "wal.torn_record", path=self.path, line=line_no,
-                        error=str(exc),
-                    )
-                    logger.warning(
-                        "%s:%d: skipping torn/corrupt WAL record (%s)",
-                        self.path, line_no, exc,
-                    )
-        self._sequence = len(snippets)
+                    if stop_on_error:
+                        return
+                    if count_bad:
+                        self.torn_records += 1
+                        add_event(
+                            "wal.torn_record", path=path, line=line_no,
+                            error=str(exc),
+                        )
+                        logger.warning(
+                            "%s:%d: skipping torn/corrupt WAL record (%s)",
+                            path, line_no, exc,
+                        )
+                    continue
+                yield record
+
+    def replay(self) -> List[Snippet]:
+        """Active-file snippets in append order; torn records are skipped.
+
+        A record can be torn by a kill mid-append (the classic truncated
+        final line), by a torn write mid-file (crash between ``write``
+        and ``fsync``, or injected chaos) that merges two records into
+        one garbage line, or corrupted in place (caught by the CRC32
+        frame).  Either way the damage is *local*: the bad line is
+        skipped with a warning and counted in :attr:`torn_records`, and
+        every decodable record before and after it is recovered.
+        Raising here would poison restart forever — a corrupt byte must
+        cost one record, not the shard.
+
+        Sealed segments are *not* replayed: they are rotated out only
+        after a checkpoint durably captured their records, so the active
+        file is exactly the tail the last checkpoint does not cover.
+        """
+        self.torn_records = 0
+        snippets: List[Snippet] = []
+        last_seq = None
+        for record in self._decode_lines(self.path, count_bad=True):
+            snippets.append(snippet_from_record(record))
+            seq = record.get("seq")
+            if isinstance(seq, int):
+                last_seq = seq
+        base = 0
+        for _, end, _ in self.segments():
+            base = max(base, end + 1)
+        self._active_base_seq = base
+        self._next_seq = (
+            max(base, last_seq + 1) if last_seq is not None
+            else max(base, len(snippets))
+        )
+        self._bootstrapped = True
         return snippets
 
+    # -- segments (replication shipping units) -----------------------------
+
+    def segments(self) -> List[Tuple[int, int, str]]:
+        """Sealed segments as ``(first_seq, last_seq, path)``, in order."""
+        directory = os.path.dirname(self.path) or "."
+        prefix = os.path.basename(self.path) + "."
+        found: List[Tuple[int, int, str]] = []
+        try:
+            names = os.listdir(directory)
+        except OSError:
+            return []
+        for name in names:
+            if not name.startswith(prefix):
+                continue
+            match = _SEGMENT_RE.search(name)
+            if match is None:
+                continue
+            found.append((
+                int(match.group(1)), int(match.group(2)),
+                os.path.join(directory, name),
+            ))
+        found.sort()
+        return found
+
+    def rotate(self) -> Optional[str]:
+        """Seal the active file into an immutable segment.
+
+        Called right after a checkpoint captured every record in the
+        active file.  The file is renamed to
+        ``<active>.<first>-<last>.seg`` (sequence range inclusive) and a
+        fresh empty active file takes its place; sequence numbering
+        continues.  At most :attr:`keep_segments` sealed segments are
+        retained — older ones are fully covered by the checkpoint, so
+        pruning only affects how far back a follower can tail before it
+        must re-bootstrap from a snapshot.  Returns the segment path,
+        or None when the active file has no records.
+        """
+        self._bootstrap()
+        if self._next_seq == self._active_base_seq:
+            return None  # nothing appended since the last rotation
+        self.close()
+        first, last = self._active_base_seq, self._next_seq - 1
+        segment = f"{self.path}.{first:08d}-{last:08d}.seg"
+        os.replace(self.path, segment)
+        self._active_base_seq = self._next_seq
+        with open(self.path, "w", encoding="utf-8"):
+            pass
+        if self.keep_segments >= 0:
+            retained = self.segments()
+            for _, _, stale in retained[:max(
+                0, len(retained) - self.keep_segments
+            )]:
+                try:
+                    os.unlink(stale)
+                except OSError:
+                    pass
+        return segment
+
+    def earliest_available_seq(self) -> int:
+        """The oldest sequence still on disk (segments included)."""
+        self._bootstrap()
+        retained = self.segments()
+        if retained:
+            return retained[0][0]
+        return self._active_base_seq
+
+    def iter_records(
+        self, from_seq: int = 0, max_records: Optional[int] = None
+    ) -> Iterator[Dict[str, object]]:
+        """Framed records with ``seq >= from_seq``, oldest first.
+
+        Reads sealed segments first, then the active file.  The active
+        file may be receiving concurrent appends; iteration stops at the
+        first undecodable active line (an append racing the read) rather
+        than mis-counting it as corruption.  Callers below
+        :meth:`earliest_available_seq` should bootstrap from a snapshot
+        instead — pruned records are gone.
+        """
+        self._bootstrap()
+        if self._handle is not None:
+            self._handle.flush()
+        yielded = 0
+        for _, end, path in self.segments():
+            if end < from_seq:
+                continue
+            for record in self._decode_lines(path):
+                seq = record.get("seq")
+                if isinstance(seq, int) and seq < from_seq:
+                    continue
+                yield record
+                yielded += 1
+                if max_records is not None and yielded >= max_records:
+                    return
+        for record in self._decode_lines(self.path, stop_on_error=True):
+            seq = record.get("seq")
+            if isinstance(seq, int) and seq < from_seq:
+                continue
+            yield record
+            yielded += 1
+            if max_records is not None and yielded >= max_records:
+                return
+
     def reset(self) -> None:
-        """Truncate after a checkpoint has durably captured the state."""
+        """Discard the log entirely — active file, segments and cursor.
+
+        This is the legacy truncation path (and the test hook); the
+        checkpoint cycle uses :meth:`rotate`, which preserves sequence
+        numbering and keeps sealed segments for replication.
+        """
         self.close()
         with open(self.path, "w", encoding="utf-8"):
             pass
-        self._sequence = 0
+        for _, _, path in self.segments():
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self._next_seq = 0
+        self._active_base_seq = 0
+        self._bootstrapped = True
 
     def size_bytes(self) -> int:
         if self._handle is not None:
@@ -147,8 +399,13 @@ class CheckpointStore:
     def wal_path(self, shard_id: int) -> str:
         return os.path.join(self.directory, f"shard-{shard_id:03d}.wal.jsonl")
 
-    def wal(self, shard_id: int, fsync: bool = False) -> ShardWal:
-        return ShardWal(self.wal_path(shard_id), fsync=fsync)
+    def wal(
+        self, shard_id: int, fsync: bool = False, keep_segments: int = 6
+    ) -> ShardWal:
+        return ShardWal(
+            self.wal_path(shard_id), fsync=fsync,
+            keep_segments=keep_segments,
+        )
 
     def dlq_path(self, shard_id: int) -> str:
         return os.path.join(self.directory, f"shard-{shard_id:03d}.dlq.jsonl")

@@ -75,10 +75,14 @@ class StoryPivotAPI:
         runtime=None,
         tracer=None,
         decisions=None,
+        replication=None,
     ) -> None:
         self.store = store
         self.refresher = refresher
         self.runtime = runtime
+        #: leader-side ReplicationServer whose shipping health should be
+        #: surfaced in /healthz (followers report through runtime instead)
+        self.replication = replication
         self.host = host
         self._requested_port = port
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -210,10 +214,19 @@ class StoryPivotAPI:
         view = self.store.current()
         components = {}
         statuses = []
+        role = getattr(self.runtime, "role", None)
         if self.runtime is not None:
             component = self.runtime.health()
-            components["runtime"] = component
+            # a follower's runtime *is* its replication state (cursor
+            # lag, breaker, bootstrap) — name the component accordingly
+            key = "replication" if role == "follower" else "runtime"
+            components[key] = component
             statuses.append(component["status"])
+        if self.replication is not None:
+            component = self.replication.health()
+            components["replication"] = component
+            statuses.append(component["status"])
+            role = role or "leader"
         if self.refresher is not None:
             component = self.refresher.health()
             components["view"] = component
@@ -226,6 +239,7 @@ class StoryPivotAPI:
             status = "ok"
         payload = {
             "status": status,
+            "role": role or "leader",
             "generation": view.generation,
             "dataset": view.dataset,
             "num_stories": len(view.stories),
@@ -418,9 +432,14 @@ class _ApiRequestHandler(BaseHTTPRequestHandler):
             is_data = tail not in ("", "healthz")
             stale_headers = None
             if app.refresher is not None:
+                stale = app.refresher.staleness()
+                # a follower's data is additionally stale by however far
+                # its replication cursor trails the leader
+                lag_seconds = getattr(app.runtime, "lag_seconds", None)
+                if callable(lag_seconds):
+                    stale += lag_seconds()
                 stale_headers = {
-                    "X-StoryPivot-Stale-Seconds":
-                        f"{app.refresher.staleness():.3f}"
+                    "X-StoryPivot-Stale-Seconds": f"{stale:.3f}"
                 }
             if is_data and view.generation == 0:
                 # nothing materialized yet: a clean 503, not a rendering

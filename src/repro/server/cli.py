@@ -91,6 +91,18 @@ def build_parser(prog: str = "storypivot-api") -> argparse.ArgumentParser:
                         help="--follow: state directory for WAL/checkpoints; "
                              "the decision log and sampled traces are "
                              "exported next to them as JSONL")
+    parser.add_argument("--replication-port", type=int, default=None,
+                        metavar="PORT",
+                        help="--follow + --wal-dir: also ship WAL segments "
+                             "and snapshots to followers on this port "
+                             "(0 = ephemeral); see storypivot-replica")
+    parser.add_argument("--chaos", default=None, metavar="PROFILE",
+                        help="--follow: inject deterministic faults into "
+                             "the feed, shards and WAL (off, default, "
+                             "feed-flap, poison, torn-wal)")
+    parser.add_argument("--lockwatch", action="store_true",
+                        help="instrument every lock and print an "
+                             "order-inversion report at shutdown")
     return parser
 
 
@@ -116,16 +128,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not (args.corpus or args.demo or args.synthetic is not None):
         parser.exit(2, "error: no input: give a corpus file, --demo, or "
                        "--synthetic N\n")
+    if args.replication_port is not None and not (args.follow and args.wal_dir):
+        parser.exit(2, "error: --replication-port requires --follow and "
+                       "--wal-dir (followers tail the per-shard WAL)\n")
+    if args.chaos is not None and not args.follow:
+        parser.exit(2, "error: --chaos requires --follow\n")
     try:
         corpus = _load_corpus(args)
         config = _make_config(args)
     except (OSError, StoryPivotError) as exc:
         parser.exit(2, f"error: {exc}\n")
 
+    lockwatch = None
+    if args.lockwatch:
+        from repro.analysis.lockwatch import LockWatch
+
+        # installed before the runtime builds its object graph so every
+        # shard/queue/metric/breaker lock created below is instrumented
+        lockwatch = LockWatch().install()
+
     store = ViewStore(dataset=corpus.name)
     runtime = None
     refresher = None
     feeder = None
+    replication = None
+    injector = None
 
     export_path = (
         os.path.join(args.wal_dir, "traces.jsonl") if args.wal_dir else None
@@ -139,15 +166,56 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             RuntimeOptions(num_shards=args.workers, wal_dir=args.wal_dir),
             tracer=tracer,
         ).start()
+        if args.chaos is not None:
+            from repro.resilience.faults import FaultInjector, resolve_profile
+
+            try:
+                profile = resolve_profile(args.chaos)
+            except StoryPivotError as exc:
+                runtime.stop()
+                parser.exit(2, f"error: {exc}\n")
+            injector = FaultInjector(
+                seed=args.seed, profile=profile, metrics=runtime.metrics
+            )
+            for shard in runtime._shards:
+                shard.fault_hook = injector.shard_fault_hook(shard.shard_id)
+                if shard.wal is not None and profile.torn_write_rate:
+                    shard.wal = injector.wrap_wal(shard.wal, shard.shard_id)
+        if args.replication_port is not None:
+            from repro.replication import ReplicationServer
+            from repro.replication.follower import source_meta_record
+
+            replication = ReplicationServer(
+                runtime,
+                host=args.host,
+                port=args.replication_port,
+                dataset=corpus.name,
+                sources=source_meta_record(corpus),
+                tracer=tracer,
+            ).start()
         decisions = runtime.decisions
         refresher = ViewRefresher(
             runtime, store, interval=args.refresh_interval, corpus=corpus,
             lag_budget=args.lag_budget, metrics=runtime.metrics,
             tracer=tracer, decisions=decisions,
+            # generation = accepted-snippet count whenever followers may
+            # be attached, so leader and follower ETags agree per
+            # generation rather than per refresh tick
+            pin_generations=replication is not None,
         ).start()
+
+        def _feed() -> None:
+            snippets = corpus.snippets_by_publication()
+            if injector is not None:
+                from repro.eventdata.eventregistry import ResilientFeed
+
+                snippets = ResilientFeed(
+                    injector.wrap_feed(snippets, site="feed"), name="feed"
+                )
+            runtime.consume(snippets)
+
         feeder = threading.Thread(
-            target=runtime.consume_corpus, args=(corpus,),
-            name="storypivot-feeder", daemon=True,
+            target=_feed, name="storypivot-feeder", daemon=True,
         )
         feeder.start()
         metrics = runtime.metrics
@@ -172,10 +240,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         runtime=runtime,
         tracer=tracer,
         decisions=decisions,
+        replication=replication,
     )
     api.start()
     print(f"serving {corpus.name} on {api.address} "
           f"(generation {store.generation})", flush=True)
+    if replication is not None:
+        print(f"replicating on {replication.address}", flush=True)
 
     stop = threading.Event()
 
@@ -190,12 +261,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     finally:
         print("shutting down: draining in-flight requests", flush=True)
         api.close()
+        if replication is not None:
+            replication.close()
         if refresher is not None:
             refresher.stop()
         if feeder is not None:
             feeder.join(timeout=5.0)
         if runtime is not None:
             runtime.stop()
+        if lockwatch is not None:
+            lockwatch.uninstall()
+        if injector is not None and runtime is not None:
+            # same accounting line the chaos-smoke CI jobs grep for:
+            # every arrival accepted, deduplicated, shed, or quarantined
+            stats = runtime.stats()
+            counts = injector.counts()
+            injected = sum(counts.values())
+            accounted = (
+                stats["accepted"] + stats["duplicates"]
+                + stats["dropped"] + stats["quarantined"]
+            )
+            verdict = "OK" if accounted == stats["arrived"] else "MISMATCH"
+            detail = ", ".join(
+                f"{kind}={counts[kind]}" for kind in sorted(counts)
+            ) or "none"
+            print(
+                f"chaos[{injector.profile.name}] seed={args.seed}: "
+                f"{injected} fault(s) injected ({detail}); accounting "
+                f"{stats['arrived']} arrived = {stats['accepted']} accepted "
+                f"+ {stats['duplicates']} dup + {stats['dropped']} dropped "
+                f"+ {stats['quarantined']} quarantined -> {verdict}",
+                flush=True,
+            )
+        if lockwatch is not None:
+            print(lockwatch.render_report(), flush=True)
         span_store.close()
     return 0
 

@@ -47,6 +47,54 @@ def _snippet_record(snippet: Snippet, role: str) -> Dict[str, object]:
     }
 
 
+def canonicalize_result_ids(result: PivotResult) -> None:
+    """Rewrite a result's story and aligned ids to content-derived ones.
+
+    Live ids come from process-global counters, so a leader and a
+    follower materializing the *same* replicated state would still label
+    its stories differently — and their view payloads (hence ETags)
+    would disagree.  Re-keying per-source stories through
+    :func:`~repro.core.persistence.canonical_story_ids` and renumbering
+    aligned stories by their smallest member id makes the ids a pure
+    function of story content, so equivalent results render
+    byte-identically on every node.
+
+    Mutates ``result`` in place; call only after ``finish()``, on a
+    result whose story sets are a standalone merge (never on live shard
+    state).
+    """
+    from repro.core.persistence import canonical_story_ids
+
+    mapping: Dict[str, str] = {}
+    for story_set in result.story_sets.values():
+        renamed = canonical_story_ids(story_set)
+        mapping.update(renamed)
+        # two-phase: a canonical target id may currently be held by a
+        # *different* story (restored from a canonical checkpoint)
+        for old_id in renamed:
+            story_set.rebind_story_id(old_id, "\x00" + old_id)
+        for old_id, new_id in renamed.items():
+            story_set.rebind_story_id("\x00" + old_id, new_id)
+    # Story objects are shared with the alignment, so member ids are
+    # already canonical — renumber the aligned stories and re-key maps
+    alignment = result.alignment
+    ordered = sorted(
+        alignment.aligned.values(),
+        key=lambda a: min(a.story_ids) if a.stories else a.aligned_id,
+    )
+    alignment.aligned = {}
+    alignment.story_to_aligned = {}
+    for index, aligned in enumerate(ordered):
+        aligned.aligned_id = f"c'{index:06d}"
+        alignment.aligned[aligned.aligned_id] = aligned
+        for story in aligned.stories:
+            alignment.story_to_aligned[story.story_id] = aligned.aligned_id
+    alignment.edge_scores = {
+        tuple(sorted((mapping.get(a, a), mapping.get(b, b)))): score
+        for (a, b), score in alignment.edge_scores.items()
+    }
+
+
 def _story_summary(aligned: AlignedStory) -> Dict[str, object]:
     start, end = aligned.date_range()
     return {
@@ -214,13 +262,29 @@ class ViewStore:
         return self._view.generation
 
     def install(
-        self, result: PivotResult, corpus: Optional[Corpus] = None
+        self,
+        result: PivotResult,
+        corpus: Optional[Corpus] = None,
+        generation: Optional[int] = None,
     ) -> ReadView:
-        """Build a view from ``result`` at the next generation and swap."""
+        """Build a view from ``result`` at the next generation and swap.
+
+        An explicit ``generation`` pins the view to an external counter
+        (replication pins it to the accepted-snippet count, so a leader
+        and its followers assign the *same* generation to views built
+        from the same ingested prefix — which makes their ETags
+        comparable and monotonic reads possible across replicas).  A
+        pinned generation that does not advance past the current view is
+        a stale build: the current view is returned unchanged.
+        """
         with self._lock:
+            if generation is None:
+                generation = self._view.generation + 1
+            elif generation <= self._view.generation:
+                return self._view
             view = ReadView(
                 result,
-                generation=self._view.generation + 1,
+                generation=generation,
                 dataset=self.dataset,
                 corpus=corpus,
             )
@@ -268,6 +332,7 @@ class ViewRefresher:
         metrics=None,
         tracer=None,
         decisions=None,
+        pin_generations: bool = False,
     ) -> None:
         self.runtime = runtime
         self.store = store
@@ -276,6 +341,10 @@ class ViewRefresher:
         self.on_error = on_error
         self.lag_budget = lag_budget
         self.metrics = metrics
+        #: pin view generations to the runtime's accepted-snippet count
+        #: (replication mode: leader and followers then agree on what
+        #: generation N means)
+        self.pin_generations = pin_generations
         self.tracer = tracer if tracer is not None else NULL_TRACER
         #: decision log receiving "aligned"/"refined" events from rebuilds;
         #: defaults to the runtime's always-on log
@@ -312,7 +381,15 @@ class ViewRefresher:
                 if self.decisions is not None:
                     merged.refiner.decisions = self.decisions
                 result = merged.finish()
-                view = self.store.install(result, corpus=self.corpus)
+                if self.pin_generations:
+                    # replication mode: ids must be a function of story
+                    # content, or leader and follower ETags diverge
+                    canonicalize_result_ids(result)
+                view = self.store.install(
+                    result,
+                    corpus=self.corpus,
+                    generation=accepted if self.pin_generations else None,
+                )
                 if self.decisions is not None:
                     self.decisions.note_alignment(result.alignment)
             root.set(generation=view.generation, stories=len(view.stories))

@@ -1,0 +1,142 @@
+"""The leader's replication endpoints over live HTTP.
+
+A real ShardedRuntime behind a real ReplicationServer: manifest
+topology, atomic snapshot+position pairs, WAL windows, reset signalling
+for pruned cursors, and error envelopes for bad requests.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.config import StoryPivotConfig
+from repro.core.persistence import load_state
+from repro.errors import ConfigurationError, DataFormatError
+from repro.replication import ReplicationServer
+from repro.replication.protocol import (
+    PROTOCOL_VERSION,
+    check_payload,
+    manifest_url,
+    snapshot_url,
+    wal_url,
+)
+from repro.runtime import RuntimeOptions, ShardedRuntime
+
+CONFIG = StoryPivotConfig.temporal()
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return json.loads(response.read())
+
+
+@pytest.fixture
+def leader(tmp_path, small_synthetic):
+    runtime = ShardedRuntime(
+        CONFIG, num_shards=2, wal_dir=str(tmp_path / "wal"),
+        checkpoint_every=10_000,
+    )
+    runtime.consume_corpus(small_synthetic)
+    runtime.drain()
+    with ReplicationServer(runtime, dataset=small_synthetic.name) as ship:
+        yield runtime, ship
+    runtime.stop()
+
+
+class TestManifest:
+    def test_topology_and_positions(self, leader):
+        runtime, ship = leader
+        manifest = fetch(manifest_url(ship.address))
+        check_payload(manifest, "storypivot-replication-manifest")
+        assert manifest["role"] == "leader"
+        assert manifest["num_shards"] == 2
+        assert manifest["positions"] == runtime.wal_positions()
+        assert sum(manifest["positions"]) == runtime.accepted
+        # the shipped config must reconstruct the leader's config exactly
+        assert StoryPivotConfig(**manifest["config"]) == runtime.config
+
+    def test_check_payload_rejects_wrong_kind_and_version(self):
+        with pytest.raises(DataFormatError):
+            check_payload({"kind": "nope", "version": PROTOCOL_VERSION},
+                          "storypivot-replication-manifest")
+        with pytest.raises(DataFormatError):
+            check_payload(
+                {"kind": "storypivot-replication-manifest", "version": 99},
+                "storypivot-replication-manifest",
+            )
+
+
+class TestSnapshot:
+    def test_snapshot_state_loads_and_covers_position(self, leader):
+        runtime, ship = leader
+        shard_id = busiest_shard(runtime)
+        payload = fetch(snapshot_url(ship.address, shard_id))
+        check_payload(payload, "storypivot-replication-snapshot")
+        assert payload["shard"] == shard_id
+        assert payload["position"] == runtime.shard_wal(shard_id).position
+        pivot = load_state(payload["state"])
+        # the snapshot holds exactly the records its position covers
+        assert pivot.num_snippets == payload["position"]
+
+    def test_out_of_range_shard_is_an_error(self, leader):
+        _, ship = leader
+        with pytest.raises(urllib.error.HTTPError) as err:
+            fetch(snapshot_url(ship.address, 7))
+        assert err.value.code == 500
+
+
+def busiest_shard(runtime):
+    """Sharding is by source hash, so load is uneven — test the busy one."""
+    positions = runtime.wal_positions()
+    shard_id = positions.index(max(positions))
+    assert positions[shard_id] >= 10
+    return shard_id
+
+
+class TestWal:
+    def test_window_from_zero_covers_everything(self, leader):
+        runtime, ship = leader
+        shard_id = busiest_shard(runtime)
+        payload = fetch(wal_url(ship.address, shard_id, 0))
+        check_payload(payload, "storypivot-replication-wal")
+        assert payload["reset"] is False
+        assert payload["position"] == runtime.shard_wal(shard_id).position
+        seqs = [r["seq"] for r in payload["records"]]
+        assert seqs == list(range(payload["position"]))
+
+    def test_window_respects_from_and_max(self, leader):
+        runtime, ship = leader
+        shard_id = busiest_shard(runtime)
+        payload = fetch(wal_url(ship.address, shard_id, 3, max_records=4))
+        seqs = [r["seq"] for r in payload["records"]]
+        assert seqs == [3, 4, 5, 6]
+
+    def test_pruned_cursor_demands_reset(self, leader):
+        runtime, ship = leader
+        shard_id = busiest_shard(runtime)
+        wal = runtime.shard_wal(shard_id)
+        wal.keep_segments = 0  # rotate seals, then immediately prunes
+        wal.rotate()
+        assert wal.earliest_available_seq() > 0
+        payload = fetch(wal_url(ship.address, shard_id, 0))
+        assert payload["reset"] is True
+        assert payload["records"] == []
+        assert payload["earliest"] == wal.earliest_available_seq()
+
+    def test_unknown_path_is_404(self, leader):
+        _, ship = leader
+        with pytest.raises(urllib.error.HTTPError) as err:
+            fetch(ship.address + "/replication/v1/nope")
+        assert err.value.code == 404
+
+
+class TestConstruction:
+    def test_runtime_without_wal_cannot_lead(self):
+        runtime = ShardedRuntime(CONFIG, num_shards=2)  # no wal_dir
+        try:
+            with pytest.raises(ConfigurationError):
+                ReplicationServer(runtime)
+        finally:
+            runtime.stop()

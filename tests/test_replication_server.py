@@ -1,0 +1,191 @@
+"""The read-path API served from a follower.
+
+End of the pipe: a leader runtime with a replication endpoint, a
+follower ReplicaRuntime behind the standard StoryPivotAPI, and the
+assertions the ISSUE cares about — /healthz reports role and per-shard
+lag on both nodes, a bootstrapping follower answers warming 503s, data
+responses echo the generation, and at the same generation leader and
+follower serve identical bytes under identical ETags.
+"""
+
+import http.client
+import json
+import time
+
+import pytest
+
+from repro.core.config import StoryPivotConfig
+from repro.replication import ReplicaRuntime, ReplicationServer
+from repro.replication.follower import SourceMetaShim, source_meta_record
+from repro.runtime import ShardedRuntime
+from repro.server import StoryPivotAPI, ViewRefresher, ViewStore
+
+CONFIG = StoryPivotConfig.temporal()
+POLL = 0.02
+
+
+def _get(port, path, headers=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request("GET", path, headers=headers or {})
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        conn.close()
+
+
+@pytest.fixture
+def pair(tmp_path, small_synthetic):
+    """A converged leader API + follower API over the same corpus."""
+    runtime = ShardedRuntime(
+        CONFIG, num_shards=2, wal_dir=str(tmp_path / "wal"),
+        checkpoint_every=25,
+    )
+    runtime.consume_corpus(small_synthetic)
+    runtime.drain()
+    ship = ReplicationServer(
+        runtime, dataset=small_synthetic.name,
+        sources=source_meta_record(small_synthetic),
+    ).start()
+
+    leader_store = ViewStore(dataset=small_synthetic.name)
+    leader_refresher = ViewRefresher(
+        runtime, leader_store, interval=0.1, corpus=small_synthetic,
+        metrics=runtime.metrics, pin_generations=True,
+    ).start()
+    leader_api = StoryPivotAPI(
+        leader_store, refresher=leader_refresher, runtime=runtime,
+        replication=ship,
+    ).start()
+
+    replica = ReplicaRuntime(ship.address, poll_interval=POLL).start()
+    replica_store = ViewStore(dataset=replica.dataset)
+    replica_refresher = ViewRefresher(
+        replica, replica_store, interval=0.1,
+        corpus=SourceMetaShim(replica.source_meta),
+        metrics=replica.metrics, pin_generations=True,
+    ).start()
+    replica_api = StoryPivotAPI(
+        replica_store, refresher=replica_refresher, runtime=replica,
+    ).start()
+
+    deadline = time.time() + 60
+    while time.time() < deadline:
+        if (
+            replica.accepted == runtime.accepted
+            and replica.lag_records() == 0
+            and leader_store.generation == replica_store.generation
+            and leader_store.generation > 0
+        ):
+            break
+        time.sleep(0.05)
+
+    yield {
+        "runtime": runtime, "replica": replica,
+        "leader_port": leader_api.port, "replica_port": replica_api.port,
+        "leader_store": leader_store, "replica_store": replica_store,
+    }
+    replica_api.close()
+    replica_refresher.stop()
+    replica.stop()
+    leader_api.close()
+    leader_refresher.stop()
+    ship.close()
+    runtime.stop()
+
+
+class TestHealthz:
+    def test_leader_reports_role_and_shipping(self, pair):
+        status, _, body = _get(pair["leader_port"], "/healthz")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["role"] == "leader"
+        ship_health = payload["components"]["replication"]
+        assert ship_health["role"] == "leader"
+        assert ship_health["positions"] == pair["runtime"].wal_positions()
+
+    def test_follower_reports_role_and_per_shard_lag(self, pair):
+        status, _, body = _get(pair["replica_port"], "/healthz")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["role"] == "follower"
+        repl = payload["components"]["replication"]
+        assert repl["status"] == "ok"
+        assert repl["lag_records"] == 0
+        assert repl["lag_seconds"] == 0.0
+        shards = {row["shard"]: row for row in repl["shards"]}
+        assert len(shards) == 2
+        for row in shards.values():
+            assert row["cursor"] == row["leader_position"]
+            assert row["lag_records"] == 0
+
+
+class TestGenerationAndParity:
+    def test_data_responses_echo_pinned_generation(self, pair):
+        accepted = pair["runtime"].accepted
+        for port in (pair["leader_port"], pair["replica_port"]):
+            _, headers, _ = _get(port, "/stories")
+            # pinned generations: the view generation is the accepted
+            # count, identical on every node serving the same prefix
+            assert headers["X-StoryPivot-Generation"] == str(accepted)
+
+    @pytest.mark.parametrize(
+        "path", ["/stories", "/stats", "/sources", "/stories?limit=3"]
+    )
+    def test_leader_and_follower_serve_identical_bytes(self, pair, path):
+        ls, lh, lb = _get(pair["leader_port"], path)
+        fs, fh, fb = _get(pair["replica_port"], path)
+        assert (ls, lb) == (fs, fb)
+        assert lh["ETag"] == fh["ETag"]
+        assert (
+            lh["X-StoryPivot-Generation"] == fh["X-StoryPivot-Generation"]
+        )
+
+    def test_follower_etag_revalidates_against_leader_etag(self, pair):
+        _, headers, _ = _get(pair["leader_port"], "/stories")
+        status, _, body = _get(
+            pair["replica_port"], "/stories",
+            headers={"If-None-Match": headers["ETag"]},
+        )
+        # a cache warmed by one node revalidates for free on any other
+        assert status == 304
+        assert body == b""
+
+    def test_follower_stale_header_includes_replication_lag(self, pair):
+        replica = pair["replica"]
+        for shard in replica._shards:
+            shard.leader_position = shard.cursor + 5
+            shard.behind_since = time.time() - 60.0
+        try:
+            _, headers, _ = _get(pair["replica_port"], "/stories")
+            assert float(headers["X-StoryPivot-Stale-Seconds"]) >= 60.0
+        finally:
+            for shard in replica._shards:
+                shard.leader_position = shard.cursor
+                shard.behind_since = None
+
+
+class TestWarming:
+    def test_bootstrapping_follower_answers_503(self, pair):
+        # a follower whose first view has not materialized yet: same
+        # warming contract as the leader's --follow cold start
+        replica = pair["replica"]
+        store = ViewStore(dataset=replica.dataset)
+        refresher = ViewRefresher(
+            replica, store, interval=3600.0,
+            corpus=SourceMetaShim(replica.source_meta),
+            pin_generations=True,
+        )  # never started: generation stays 0
+        api = StoryPivotAPI(
+            store, refresher=refresher, runtime=replica,
+        ).start()
+        try:
+            status, headers, body = _get(api.port, "/stories")
+            assert status == 503
+            assert "warming" in json.loads(body)["error"]
+            assert headers["Retry-After"] == "1"
+            # healthz still answers while warming, with the role visible
+            status, _, body = _get(api.port, "/healthz")
+            assert json.loads(body)["role"] == "follower"
+        finally:
+            api.close()
