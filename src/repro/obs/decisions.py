@@ -57,6 +57,34 @@ class DecisionLog:
         self._seq = 0
         self._file = None
         self.recorded = 0
+        #: canonical story id -> live id (set post-canonicalization so
+        #: history queries by canonical id reach creation-time events)
+        self._aliases: Dict[str, str] = {}
+        # tuple swapped atomically so record() can snapshot without the
+        # lock ordering constraints a guarded list would add
+        self._listeners: tuple = ()
+
+    # -- listeners ----------------------------------------------------------
+
+    def add_listener(self, listener: Callable[[dict], None]) -> None:
+        """Subscribe to every recorded entry (fired outside the lock).
+
+        This is the feed for the push EventBus: listeners run in the
+        recording thread *after* the log's lock is released, so they may
+        take their own locks without creating a decisions→anything
+        ordering edge.
+        """
+        with self._lock:
+            if listener not in self._listeners:
+                self._listeners = self._listeners + (listener,)
+
+    def remove_listener(self, listener: Callable[[dict], None]) -> None:
+        # equality, not identity: each ``obj.method`` access builds a new
+        # bound-method object, so ``is`` would never match the one stored
+        with self._lock:
+            self._listeners = tuple(
+                l for l in self._listeners if l != listener
+            )
 
     # -- recording ---------------------------------------------------------
 
@@ -100,6 +128,8 @@ class DecisionLog:
                     self._file = open(self.path, "a", encoding="utf-8")
                 self._file.write(json.dumps(entry, sort_keys=True) + "\n")
                 self._file.flush()
+        for listener in self._listeners:
+            listener(entry)
         return entry
 
     def _append_locked(self, entry: dict) -> None:
@@ -147,13 +177,37 @@ class DecisionLog:
         with self._lock:
             return sorted(self._by_story)
 
+    def set_aliases(self, aliases: Dict[str, str]) -> None:
+        """Map canonical story ids to the live ids events were logged under.
+
+        View canonicalization renames result ids post-finish (content-
+        derived names shared with replicas), but decisions were recorded
+        against the live ids.  With the alias map installed, a history
+        query for either name replays the same lineage — including the
+        creation-time events a follower otherwise never sees.
+        """
+        with self._lock:
+            self._aliases = dict(aliases)
+
     def history(self, story_id: str) -> List[dict]:
         """The story's events plus those of every story it absorbed."""
         with self._lock:
-            members = self._closure(story_id)
+            seeds = {story_id}
+            alias = self._aliases.get(story_id)
+            if alias:
+                seeds.add(alias)
+            members: List[str] = []
+            for seed in sorted(seeds):
+                for member in self._closure(seed):
+                    if member not in members:
+                        members.append(member)
             events: List[dict] = []
+            seen = set()
             for member in members:
-                events.extend(self._by_story.get(member, ()))
+                for event in self._by_story.get(member, ()):
+                    if event["seq"] not in seen:
+                        seen.add(event["seq"])
+                        events.append(event)
         return sorted(events, key=lambda e: e["seq"])
 
     def _closure(self, story_id: str) -> List[str]:

@@ -1,0 +1,41 @@
+"""repro.push — real-time story-evolution subscriptions.
+
+An :class:`EventBus` tails the structured DecisionLog and fans
+created/extended/split/merged/aligned/refined events out to subscribers
+over Server-Sent Events (long-poll fallback) with a generation-cursor
+resume protocol backed by a bounded :class:`ReplayRing`.  Each
+subscriber owns a bounded queue reusing the runtime backpressure
+policies, so a slow client sheds its own events instead of convoying
+the pipeline.
+"""
+
+from repro.push.bus import (
+    CONTROL_EVENTS,
+    EventBus,
+    PushError,
+    Subscription,
+)
+from repro.push.ring import DEFAULT_RING_CAPACITY, ReplayRing
+from repro.push.transport import (
+    HEARTBEAT_FRAME,
+    SSE_HEADERS,
+    event_id,
+    format_sse,
+    parse_last_event_id,
+    stream,
+)
+
+__all__ = [
+    "CONTROL_EVENTS",
+    "DEFAULT_RING_CAPACITY",
+    "EventBus",
+    "HEARTBEAT_FRAME",
+    "PushError",
+    "ReplayRing",
+    "SSE_HEADERS",
+    "Subscription",
+    "event_id",
+    "format_sse",
+    "parse_last_event_id",
+    "stream",
+]

@@ -1,0 +1,81 @@
+"""The bounded replay ring behind generation-cursor resume.
+
+Every event the :class:`~repro.push.bus.EventBus` publishes is stamped
+with a monotonically increasing *cursor* and appended here before it is
+fanned out.  A reconnecting client quotes the cursor of the last event
+it saw (``Last-Event-ID``) and the ring answers one of two ways:
+
+* the gap is still retained — :meth:`replay` returns exactly the events
+  with ``cursor > last_cursor``, oldest first, and the client resumes
+  without loss;
+* the gap was pruned (the ring is bounded; a client that slept through
+  more than ``capacity`` events cannot be caught up from memory) —
+  ``reset`` is True and the client must re-snapshot through the regular
+  read API at the generation the ``reset`` event carries, then
+  re-subscribe from the current cursor.
+
+The ring itself is not thread-safe: the bus serializes every append and
+replay under its own lock, which also makes the cursor assignment and
+the append atomic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Tuple
+
+DEFAULT_RING_CAPACITY = 4096
+
+
+class ReplayRing:
+    """Bounded FIFO of published events keyed by their bus cursor."""
+
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("replay ring capacity must be positive")
+        self.capacity = capacity
+        self._events: Deque[dict] = deque(maxlen=capacity)
+        self.appended = 0
+        self.pruned = 0
+
+    def append(self, event: dict) -> None:
+        if len(self._events) == self.capacity:
+            self.pruned += 1
+        self._events.append(event)
+        self.appended += 1
+
+    @property
+    def earliest_cursor(self) -> int:
+        """Cursor of the oldest retained event (0 when empty)."""
+        return self._events[0]["cursor"] if self._events else 0
+
+    @property
+    def latest_cursor(self) -> int:
+        """Cursor of the newest retained event (0 when nothing published)."""
+        return self._events[-1]["cursor"] if self._events else 0
+
+    def replay(self, last_cursor: int) -> Tuple[List[dict], bool]:
+        """Events after ``last_cursor``, plus whether the gap was pruned.
+
+        ``reset`` is True when events between ``last_cursor`` and the
+        oldest retained cursor no longer exist — replaying would silently
+        skip them, so the caller must tell the client to re-snapshot
+        instead.  A cursor at or past the ring head replays cleanly (and
+        possibly emptily).
+        """
+        if not self._events:
+            # nothing retained: a cursor from before the ring's lifetime
+            # is only resumable if nothing was ever pruned
+            return [], self.pruned > 0 and last_cursor < self.latest_cursor
+        if last_cursor + 1 < self.earliest_cursor:
+            return [], True
+        return [e for e in self._events if e["cursor"] > last_cursor], False
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ReplayRing(len={len(self._events)}, "
+            f"span=[{self.earliest_cursor}, {self.latest_cursor}])"
+        )

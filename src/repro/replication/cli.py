@@ -26,6 +26,7 @@ from typing import Optional, Sequence
 
 from repro.errors import StoryPivotError
 from repro.obs import SpanStore, Tracer
+from repro.push import EventBus
 from repro.resilience.breaker import CircuitOpenError
 
 from repro.replication.follower import ReplicaRuntime, SourceMetaShim
@@ -72,6 +73,14 @@ def build_parser(prog: str = "storypivot-replica") -> argparse.ArgumentParser:
                         metavar="RATE",
                         help="head-sampling rate in [0, 1] for apply and "
                              "request traces (default 0.0)")
+    parser.add_argument("--state-dir", default=None, metavar="DIR",
+                        help="persist replication cursors + shard state "
+                             "here; a restarted replica then warm-starts "
+                             "and tails from its saved position instead "
+                             "of re-bootstrapping from the leader")
+    parser.add_argument("--persist-every", type=float, default=5.0,
+                        metavar="SEC",
+                        help="--state-dir save cadence (default 5s)")
     return parser
 
 
@@ -87,6 +96,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         poll_interval=args.poll_interval,
         lag_budget=args.lag_budget,
         tracer=tracer,
+        state_dir=args.state_dir,
+        persist_every=args.persist_every,
     )
     try:
         replica.start()
@@ -94,6 +105,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.exit(2, f"error: cannot bootstrap from {args.leader}: "
                        f"{exc}\n")
 
+    # followers serve /subscribez too: the bus tails the *replica's*
+    # decision log, so subscribers see the story evolution implied by
+    # the replicated WAL as it is applied locally
+    bus = EventBus(metrics=replica.metrics, tracer=tracer).attach(
+        replica.decisions
+    )
     store = ViewStore(dataset=replica.dataset)
     refresher = ViewRefresher(
         replica, store,
@@ -106,6 +123,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # mirror the leader: generation = accepted-snippet count, so the
         # same generation means the same replicated prefix on every node
         pin_generations=True,
+        bus=bus,
     ).start()
 
     api = StoryPivotAPI(
@@ -121,6 +139,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         runtime=replica,
         tracer=tracer,
         decisions=replica.decisions,
+        bus=bus,
     ).start()
     print(f"replica of {args.leader} serving {replica.dataset} on "
           f"{api.address} (generation {store.generation})", flush=True)

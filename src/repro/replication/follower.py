@@ -30,6 +30,7 @@ the records are re-fetched rather than applied corrupt.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 import urllib.error
@@ -160,6 +161,8 @@ class _ReplicaShard:
         self.caught_up_at: Optional[float] = None
         self.behind_since: Optional[float] = None
         self.applied = 0
+        self.dirty = False  # applied records not yet persisted locally
+        self.saved_at = 0.0
 
 
 class ReplicaRuntime:
@@ -178,11 +181,18 @@ class ReplicaRuntime:
         tracer=None,
         decisions: Optional[DecisionLog] = None,
         bootstrap_retry: Optional[RetryPolicy] = None,
+        state_dir: Optional[str] = None,
+        persist_every: float = 5.0,
     ) -> None:
         self.leader_url = leader_url.rstrip("/")
         self.poll_interval = poll_interval
         self.batch_records = batch_records
         self.lag_budget = lag_budget
+        #: local directory for {cursor, state} persistence — a restarted
+        #: follower warm-starts from here and tails from its saved
+        #: cursor instead of re-bootstrapping snapshot-then-segments
+        self.state_dir = state_dir
+        self.persist_every = persist_every
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.decisions = decisions if decisions is not None else DecisionLog()
@@ -214,6 +224,8 @@ class ReplicaRuntime:
         self.metrics.counter("replication.crc_failures")
         self.metrics.counter("replication.stale_batches")
         self.metrics.counter("replication.errors")
+        self.metrics.counter("replication.state_saves")
+        self.metrics.counter("replication.warm_starts")
         self.metrics.counter("wal.torn_records")
         self.metrics.gauge("replication.lag_seconds")
 
@@ -232,9 +244,22 @@ class ReplicaRuntime:
             _ReplicaShard(shard_id, self.config)
             for shard_id in range(num_shards)
         ]
+        # warm start only when the saved state describes the same
+        # topology and pipeline config — a reconfigured leader makes
+        # local state meaningless, so it is discarded, not migrated
+        local = self._load_local_manifest()
+        warm = (
+            local is not None
+            and int(local.get("num_shards", -1)) == num_shards
+            and local.get("config") == manifest["config"]
+        )
         for shard in self._shards:
             self.metrics.gauge("replication.lag_records", shard=shard.shard_id)
+            if warm and self._load_shard(shard):
+                continue
             self._bootstrap_shard(shard)
+        if self.state_dir is not None:
+            self._save_local_manifest(manifest)
         self._bootstrapped = True
         self._thread = threading.Thread(
             target=self._tail_loop,
@@ -250,6 +275,10 @@ class ReplicaRuntime:
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+        # final save so the next start tails from exactly where we stopped
+        for shard in self._shards:
+            if shard.dirty:
+                self._save_shard(shard)
 
     def __enter__(self) -> "ReplicaRuntime":
         return self.start()
@@ -264,16 +293,135 @@ class ReplicaRuntime:
         payload = self.client.fetch_snapshot(shard.shard_id)
         pivot = load_state(payload["state"])
         pivot.set_decision_log(self.decisions)
+        self._record_restored(pivot)
         with shard.lock:
             shard.pivot = pivot
             shard.cursor = int(payload["position"])
             shard.leader_position = shard.cursor
             shard.applied = 0
+            shard.dirty = True  # snapshot state not yet on local disk
         self.metrics.counter("replication.bootstraps").inc()
         add_event(
             "replication.bootstrap", shard=shard.shard_id,
             position=shard.cursor, snippets=pivot.num_snippets,
         )
+        if self.state_dir is not None:
+            # persist immediately: a crash right after bootstrap should
+            # warm-start, not pay the snapshot transfer twice
+            self._save_shard(shard)
+
+    def _record_restored(self, pivot: StoryPivot) -> None:
+        """Found every adopted story in the decision log.
+
+        Mirrors what :meth:`repro.runtime.shard.Shard.restore` does on
+        the leader's resume path: stories arriving via snapshot (or a
+        local warm start) enter the log through a ``restored`` founding
+        event, so ``/storyz/{id}/history`` on a follower covers
+        creation-time lineage instead of starting mid-life.
+        """
+        for source_id, story_set in sorted(pivot.story_sets().items()):
+            for story in story_set:
+                self.decisions.record(
+                    "restored", story.story_id, source_id,
+                    num_snippets=len(story),
+                )
+
+    # -- local state persistence -------------------------------------------
+
+    def _shard_path(self, shard_id: int) -> str:
+        return os.path.join(self.state_dir, f"shard-{shard_id}.json")
+
+    def _manifest_path(self) -> str:
+        return os.path.join(self.state_dir, "manifest.json")
+
+    def _load_local_manifest(self) -> Optional[Dict[str, object]]:
+        if self.state_dir is None:
+            return None
+        try:
+            with open(self._manifest_path(), "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def _save_local_manifest(self, manifest: Dict[str, object]) -> None:
+        os.makedirs(self.state_dir, exist_ok=True)
+        record = {
+            "num_shards": int(manifest["num_shards"]),
+            "config": manifest["config"],
+            "dataset": manifest.get("dataset", "corpus"),
+            "sources": manifest.get("sources", {}),
+        }
+        self._write_atomic(self._manifest_path(), json.dumps(
+            record, sort_keys=True
+        ))
+
+    def _load_shard(self, shard: _ReplicaShard) -> bool:
+        """Warm-start one shard from its local save; False = bootstrap."""
+        try:
+            with open(
+                self._shard_path(shard.shard_id), "r", encoding="utf-8"
+            ) as fh:
+                payload = json.load(fh)
+            cursor = int(payload["cursor"])
+            pivot = load_state(payload["state"])
+        except (OSError, ValueError, KeyError, TypeError, DataFormatError):
+            # missing or torn save: fall back to a fresh bootstrap — a
+            # local file must never be able to brick the follower
+            return False
+        pivot.set_decision_log(self.decisions)
+        self._record_restored(pivot)
+        with shard.lock:
+            shard.pivot = pivot
+            shard.cursor = cursor
+            shard.leader_position = cursor
+            shard.applied = 0
+            shard.dirty = False
+            shard.saved_at = time.time()
+        self.metrics.counter("replication.warm_starts").inc()
+        add_event(
+            "replication.warm_start", shard=shard.shard_id,
+            cursor=cursor, snippets=pivot.num_snippets,
+        )
+        return True
+
+    def _save_shard(self, shard: _ReplicaShard) -> None:
+        if self.state_dir is None:
+            return
+        with shard.lock:
+            cursor = shard.cursor
+            state = dumps_state(shard.pivot)
+        os.makedirs(self.state_dir, exist_ok=True)
+        self._write_atomic(
+            self._shard_path(shard.shard_id),
+            json.dumps({"cursor": cursor, "state": state}, sort_keys=True),
+        )
+        with shard.lock:
+            # records applied while we serialized stay dirty (cursor
+            # moved past what was written); only an unchanged cursor
+            # means the save is complete
+            if shard.cursor == cursor:
+                shard.dirty = False
+            shard.saved_at = time.time()
+        self.metrics.counter("replication.state_saves").inc()
+
+    @staticmethod
+    def _write_atomic(path: str, text: str) -> None:
+        """tmp + rename so a crash mid-write leaves the old save intact."""
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+
+    def _maybe_persist(self) -> None:
+        if self.state_dir is None:
+            return
+        now = time.time()
+        for shard in self._shards:
+            if shard.dirty and now - shard.saved_at >= self.persist_every:
+                self._save_shard(shard)
 
     # -- tailing -----------------------------------------------------------
 
@@ -300,6 +448,7 @@ class ReplicaRuntime:
                 self._last_error = f"{type(exc).__name__}: {exc}"
                 self.metrics.counter("replication.errors").inc()
             self._refresh_lag_gauges()
+            self._maybe_persist()
             if pause:
                 self._stop.wait(pause)
 
@@ -387,6 +536,7 @@ class ReplicaRuntime:
                         shard.pivot.add_snippet(snippet)
                     shard.cursor = seq + 1
                     shard.applied += 1
+                    shard.dirty = True
                     applied += 1
             span.set(applied=applied, cursor=shard.cursor)
         if applied:

@@ -227,6 +227,15 @@ class MetricsRegistry:
     def timer(self, name: str, **labels) -> _Timer:
         return _Timer(self.histogram(name, **labels))
 
+    def remove(self, name: str, **labels) -> bool:
+        """Drop one metric (e.g. a per-subscriber gauge whose subject is
+        gone); returns whether it existed.  Without this, short-lived
+        label values — subscription ids, connection ids — would leak
+        dead children into every subsequent scrape."""
+        key = labeled_name(name, labels)
+        with self._lock:
+            return self._metrics.pop(key, None) is not None
+
     def children(self, name: str) -> Dict[str, object]:
         """All children of a labeled family, keyed by their label dicts.
 

@@ -32,6 +32,13 @@ from urllib.parse import parse_qsl, unquote, urlsplit
 
 from repro.obs.decisions import format_event, merge_histories
 from repro.obs.trace import Tracer
+from repro.push.bus import PushError
+from repro.push.transport import (
+    DEFAULT_HEARTBEAT_SECONDS,
+    SSE_HEADERS,
+    parse_last_event_id,
+    stream,
+)
 from repro.runtime.metrics import (
     MetricsRegistry,
     prometheus_render,
@@ -76,10 +83,13 @@ class StoryPivotAPI:
         tracer=None,
         decisions=None,
         replication=None,
+        bus=None,
     ) -> None:
         self.store = store
         self.refresher = refresher
         self.runtime = runtime
+        #: push EventBus serving /subscribez (None = push disabled)
+        self.bus = bus
         #: leader-side ReplicationServer whose shipping health should be
         #: surfaced in /healthz (followers report through runtime instead)
         self.replication = replication
@@ -159,6 +169,12 @@ class StoryPivotAPI:
         if self._server is None:
             return
         self._draining = True
+        # end push streams first: SSE handler threads count as in-flight
+        # requests and only exit once their queues close, so draining the
+        # bus (goodbye event + queue close) is what lets the in-flight
+        # wait below actually reach zero
+        if self.bus is not None:
+            self.bus.drain()
         deadline = time.monotonic() + drain_timeout
         while time.monotonic() < deadline:
             with self._inflight_lock:
@@ -251,6 +267,9 @@ class StoryPivotAPI:
         self.metrics.gauge("http.cache.entries").set(len(self.cache))
         self.metrics.gauge("http.cache.hit_rate").set(self.cache.hit_rate)
         self.metrics.gauge("view.generation").set(self.store.generation)
+        if self.bus is not None:
+            # per-subscriber lag/depth/drop gauges, scrape-time fresh
+            self.bus.refresh_metrics()
         snapshot = self.metrics.snapshot()
         if fmt == "prometheus":
             return prometheus_render(snapshot).encode("utf-8")
@@ -321,6 +340,23 @@ class _ApiRequestHandler(BaseHTTPRequestHandler):
     # the default handler logs to stderr; we emit structured access logs
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass
+
+    # a client that vanishes mid-stream (killed SSE subscriber) breaks
+    # the pipe; base-class plumbing then re-touches wfile in
+    # handle_one_request's trailing flush and in finish()'s close, and
+    # that second failure would escape to socketserver's handle_error
+    # traceback printer.  A gone client is normal operation here.
+    def handle(self) -> None:
+        try:
+            super().handle()
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+
+    def finish(self) -> None:
+        try:
+            super().finish()
+        except (BrokenPipeError, ConnectionResetError):
+            pass
 
     def do_GET(self) -> None:
         app = self.app
@@ -411,6 +447,17 @@ class _ApiRequestHandler(BaseHTTPRequestHandler):
                     404, "use /storyz/<story_id>/history",
                     generation=generation,
                 )
+                return
+
+            if split.path.rstrip("/") == "/subscribez":
+                if app.bus is None:
+                    status, sent = self._send_error_json(
+                        404, "push subscriptions are not enabled "
+                             "on this server",
+                    )
+                    return
+                generation = app.store.generation
+                status, sent = self._serve_subscribe(params, root)
                 return
 
             if split.path.rstrip("/") == "/healthz" and (
@@ -529,6 +576,128 @@ class _ApiRequestHandler(BaseHTTPRequestHandler):
                 "trace_id": self._trace_id,
             })
             app._exit_request()
+
+    # -- push subscriptions -------------------------------------------------
+
+    def _serve_subscribe(self, params: dict, root):
+        """``/subscribez``: SSE stream (default) or long-poll batch.
+
+        Admission composes with everything the data path already has:
+        the rate limiter ran before we got here, draining answered 503
+        at the top, and under lag pressure new subscriptions are shed
+        *first* — at half the ``--lag-budget``, before data requests
+        shed at the full budget — because a refused subscription is one
+        cheap 503 while an admitted one is an open stream competing with
+        the refresher for the lifetime of the connection.
+        """
+        app = self.app
+        bus = app.bus
+        story = params.get("story") or None
+        entity = params.get("entity") or None
+        source = params.get("source") or None
+        refresher = app.refresher
+        if (
+            refresher is not None
+            and refresher.lag_budget is not None
+            and refresher.staleness() > 0.5 * refresher.lag_budget
+        ):
+            app.metrics.counter("http.shed").inc()
+            retry_sec = max(1, int(refresher.interval + 0.999))
+            return self._send_error_json(
+                503, "view lag approaching budget; "
+                     "new subscriptions are shed first",
+                generation=app.store.generation,
+                extra_headers={"Retry-After": str(retry_sec)},
+                close=True,
+            )
+        mode = params.get("mode", "sse")
+        if mode == "poll":
+            return self._serve_poll(params, story, entity, source)
+        if mode != "sse":
+            return self._send_error_json(
+                400, f"unknown mode {mode!r}; use mode=sse or mode=poll"
+            )
+        last_cursor = parse_last_event_id(
+            self.headers.get("Last-Event-ID") or params.get("cursor")
+        )
+        try:
+            capacity = (
+                max(1, min(int(params["capacity"]), 8192))
+                if "capacity" in params else None
+            )
+            max_events = (
+                max(1, int(params["limit"])) if "limit" in params else None
+            )
+            heartbeat = min(
+                60.0,
+                max(0.05, float(params.get(
+                    "heartbeat", DEFAULT_HEARTBEAT_SECONDS
+                ))),
+            )
+        except ValueError:
+            return self._send_error_json(
+                400, "capacity, limit and heartbeat must be numeric"
+            )
+        try:
+            sub = bus.subscribe(
+                story=story, entity=entity, source=source,
+                queue_capacity=capacity,
+                policy=params.get("policy") or None,
+                last_cursor=last_cursor,
+            )
+        except PushError as exc:
+            if exc.status == 503:
+                app.metrics.counter("http.shed").inc()
+            return self._send_error_json(
+                exc.status, exc.message, close=True
+            )
+        self.send_response(200)
+        for name, value in SSE_HEADERS:
+            self.send_header(name, value)
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id:
+            self.send_header("X-Trace-Id", trace_id)
+        self.send_header(
+            "X-StoryPivot-Generation", str(app.store.generation)
+        )
+        self.send_header("X-StoryPivot-Subscription", sub.name)
+        self.close_connection = True  # the stream IS the rest of the body
+        self.end_headers()
+        self.wfile.flush()
+        root.set(subscription=sub.name, resumed=sub.resumed)
+        try:
+            reason = stream(
+                sub, self.wfile,
+                heartbeat=heartbeat,
+                tracer=app.tracer,
+                max_events=max_events,
+            )
+        finally:
+            # whether the stream ended cleanly or the client vanished
+            # mid-write, the subscription must not outlive the socket
+            bus.unsubscribe(sub)
+        root.set(end=reason, delivered=sub.read)
+        return 200, 0
+
+    def _serve_poll(self, params: dict, story, entity, source):
+        """Stateless long-poll leg: one bounded batch per request."""
+        app = self.app
+        try:
+            cursor = int(params.get("cursor", "0"))
+            wait = min(30.0, max(0.0, float(params.get("wait", "0"))))
+            limit = int(params.get("limit", "100"))
+        except ValueError:
+            return self._send_error_json(
+                400, "cursor, wait and limit must be numeric"
+            )
+        payload = app.bus.poll(
+            cursor, story=story, entity=entity, source=source,
+            timeout=wait, limit=limit,
+        )
+        return self._send_body(
+            200, _json_bytes(payload), JSON_TYPE,
+            app.store.generation, etag=None,
+        )
 
     def do_HEAD(self) -> None:
         # close the connection: clients must not guess at body framing

@@ -33,6 +33,8 @@ from repro.core.pipeline import StoryPivot
 from repro.errors import StoryPivotError
 from repro.eventdata.models import DAY
 from repro.obs import DecisionLog, SpanStore, Tracer
+from repro.push import EventBus
+from repro.runtime.metrics import MetricsRegistry
 from repro.runtime.runtime import RuntimeOptions, ShardedRuntime
 
 from repro.server.app import StoryPivotAPI
@@ -96,6 +98,21 @@ def build_parser(prog: str = "storypivot-api") -> argparse.ArgumentParser:
                         help="--follow + --wal-dir: also ship WAL segments "
                              "and snapshots to followers on this port "
                              "(0 = ephemeral); see storypivot-replica")
+    parser.add_argument("--push-queue", type=int, default=256, metavar="N",
+                        help="per-subscriber event queue capacity for "
+                             "/subscribez (default 256)")
+    parser.add_argument("--push-policy", default="drop",
+                        choices=["block", "drop", "sample"],
+                        help="default backpressure policy for slow "
+                             "subscribers (default drop; block still "
+                             "bounds the wait, see DESIGN)")
+    parser.add_argument("--push-ring", type=int, default=4096, metavar="N",
+                        help="replay ring capacity for resume after "
+                             "reconnect (default 4096 events)")
+    parser.add_argument("--max-subscribers", type=int, default=4096,
+                        metavar="N",
+                        help="concurrent /subscribez streams before new "
+                             "ones are refused with 503 (default 4096)")
     parser.add_argument("--chaos", default=None, metavar="PROFILE",
                         help="--follow: inject deterministic faults into "
                              "the feed, shards and WAL (off, default, "
@@ -194,6 +211,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 tracer=tracer,
             ).start()
         decisions = runtime.decisions
+        bus = EventBus(
+            replay_capacity=args.push_ring,
+            queue_capacity=args.push_queue,
+            policy=args.push_policy,
+            max_subscribers=args.max_subscribers,
+            metrics=runtime.metrics,
+            tracer=tracer,
+        ).attach(decisions)
         refresher = ViewRefresher(
             runtime, store, interval=args.refresh_interval, corpus=corpus,
             lag_budget=args.lag_budget, metrics=runtime.metrics,
@@ -202,6 +227,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             # be attached, so leader and follower ETags agree per
             # generation rather than per refresh tick
             pin_generations=replication is not None,
+            bus=bus,
         ).start()
 
         def _feed() -> None:
@@ -221,11 +247,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metrics = runtime.metrics
     else:
         decisions = DecisionLog()
+        metrics = MetricsRegistry()
+        bus = EventBus(
+            replay_capacity=args.push_ring,
+            queue_capacity=args.push_queue,
+            policy=args.push_policy,
+            max_subscribers=args.max_subscribers,
+            metrics=metrics,
+            tracer=tracer,
+        ).attach(decisions)
         pivot = StoryPivot(config, decision_log=decisions)
         with tracer.start_trace("pipeline.run", dataset=corpus.name):
             result = pivot.run(corpus)
-        store.install(result, corpus=corpus)
-        metrics = None
+        view = store.install(result, corpus=corpus)
+        # static mode still serves /subscribez: the stream carries the
+        # one generation event plus any history replay a cursor asks for
+        bus.note_view(view)
 
     api = StoryPivotAPI(
         store,
@@ -241,6 +278,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         tracer=tracer,
         decisions=decisions,
         replication=replication,
+        bus=bus,
     )
     api.start()
     print(f"serving {corpus.name} on {api.address} "

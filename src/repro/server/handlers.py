@@ -253,6 +253,7 @@ ENDPOINTS = (
     "/metricz",
     "/tracez",
     "/storyz/{id}/history",
+    "/subscribez?story=...&entity=...&source=...",
     "/stats",
     "/stories",
     "/stories/{id}",

@@ -47,7 +47,7 @@ def _snippet_record(snippet: Snippet, role: str) -> Dict[str, object]:
     }
 
 
-def canonicalize_result_ids(result: PivotResult) -> None:
+def canonicalize_result_ids(result: PivotResult) -> Dict[str, str]:
     """Rewrite a result's story and aligned ids to content-derived ones.
 
     Live ids come from process-global counters, so a leader and a
@@ -61,7 +61,8 @@ def canonicalize_result_ids(result: PivotResult) -> None:
 
     Mutates ``result`` in place; call only after ``finish()``, on a
     result whose story sets are a standalone merge (never on live shard
-    state).
+    state).  Returns the live→canonical id mapping so callers can teach
+    other components (e.g. the DecisionLog) about the rename.
     """
     from repro.core.persistence import canonical_story_ids
 
@@ -93,6 +94,7 @@ def canonicalize_result_ids(result: PivotResult) -> None:
         tuple(sorted((mapping.get(a, a), mapping.get(b, b)))): score
         for (a, b), score in alignment.edge_scores.items()
     }
+    return mapping
 
 
 def _story_summary(aligned: AlignedStory) -> Dict[str, object]:
@@ -333,6 +335,7 @@ class ViewRefresher:
         tracer=None,
         decisions=None,
         pin_generations: bool = False,
+        bus=None,
     ) -> None:
         self.runtime = runtime
         self.store = store
@@ -341,6 +344,11 @@ class ViewRefresher:
         self.on_error = on_error
         self.lag_budget = lag_budget
         self.metrics = metrics
+        #: push EventBus notified after each installed view (it rebuilds
+        #: its entity/alignment filter indexes and publishes a
+        #: ``generation`` event to every subscriber)
+        self.bus = bus
+        self._notified_generation = -1
         #: pin view generations to the runtime's accepted-snippet count
         #: (replication mode: leader and followers then agree on what
         #: generation N means)
@@ -384,7 +392,13 @@ class ViewRefresher:
                 if self.pin_generations:
                     # replication mode: ids must be a function of story
                     # content, or leader and follower ETags diverge
-                    canonicalize_result_ids(result)
+                    mapping = canonicalize_result_ids(result)
+                    if self.decisions is not None and mapping:
+                        # history by canonical id must reach the events
+                        # recorded under the live id it renamed
+                        self.decisions.set_aliases(
+                            {new: old for old, new in mapping.items()}
+                        )
                 view = self.store.install(
                     result,
                     corpus=self.corpus,
@@ -392,6 +406,12 @@ class ViewRefresher:
                 )
                 if self.decisions is not None:
                     self.decisions.note_alignment(result.alignment)
+                if (
+                    self.bus is not None
+                    and view.generation > self._notified_generation
+                ):
+                    self.bus.note_view(view)
+                    self._notified_generation = view.generation
             root.set(generation=view.generation, stories=len(view.stories))
         finally:
             root.end()
