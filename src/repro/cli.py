@@ -39,7 +39,18 @@ from repro.evaluation.metrics import bcubed, pairwise_scores
 from repro.viz.modules import story_overview_view
 
 
-def _load_corpus(args: argparse.Namespace) -> Corpus:
+def _load_corpus(
+    args: argparse.Namespace,
+    skip_reasons: "dict[str, int] | None" = None,
+) -> Corpus:
+    """Load the corpus selected by ``args``.
+
+    When ``skip_reasons`` is given, GDELT TSV inputs are imported with
+    ``on_error="skip"`` and each dropped row's reject reason is tallied
+    into it (long-running servers report these on ``/metricz`` instead of
+    dying on one bad row); without it the strict raise-on-first-error
+    contract holds.
+    """
     if args.demo:
         from repro.eventdata.handcrafted import mh17_corpus
 
@@ -59,6 +70,8 @@ def _load_corpus(args: argparse.Namespace) -> Corpus:
         text = handle.read()
     first_line = text.splitlines()[0] if text.splitlines() else ""
     if first_line.startswith(GDELT_COLUMNS[0]):
+        if skip_reasons is not None:
+            return import_tsv(text, on_error="skip", reasons=skip_reasons)
         return import_tsv(text)
     return Corpus.from_jsonl(text)
 

@@ -1,0 +1,67 @@
+"""Pluggable live-source connectors behind a hostile-input gauntlet.
+
+The paper pitches StoryPivot as a framework over live feeds —
+EventRegistry documents, GDELT-style interval releases — yet a repro fed
+only by its own simulator never learns what the real internet does to a
+parser.  This package is the admission layer that closes the gap:
+
+* :mod:`repro.connect.base` — the :class:`ConnectorRegistry` and the
+  ``scheme:locator`` spec grammar (``jsonl:events.jsonl``,
+  ``rss:feed.xml``, ``gdelt:export.tsv``, ``sim:500``);
+* :mod:`repro.connect.connectors` — the built-in connectors, each
+  yielding **raw, untrusted** :class:`~repro.connect.base.RawItem`\\ s;
+* :mod:`repro.connect.normalize` — the :class:`Normalizer` gauntlet
+  every raw item must survive before it becomes a
+  :class:`~repro.eventdata.models.Snippet`: hostile timestamps,
+  encoding damage, oversized fields, markup, near-duplicate storms,
+  clock skew.  Salvageable inputs are repaired and counted per reason;
+  unsalvageable ones are *rejected* (never a crash) and routed to the
+  dead-letter queue;
+* :mod:`repro.connect.service` — the resilient pull loop gluing a
+  connector + normalizer to the sharded runtime, with
+  ``connect.pull``/``connect.normalize`` spans and per-connector,
+  per-reason metrics on ``/metricz``.
+
+Design stance (normalize-then-admit): nothing downstream of this
+package ever sees an unnormalized byte.  See DESIGN.md.
+"""
+
+from repro.connect.base import (
+    ConnectorRegistry,
+    RawItem,
+    REGISTRY,
+    SourceConnector,
+    open_source,
+    register,
+)
+from repro.connect.normalize import (
+    NormalizedItem,
+    NormalizerConfig,
+    Normalizer,
+    Rejection,
+    REPAIR_REASONS,
+    REJECT_REASONS,
+)
+from repro.connect.service import (
+    ConnectorStream,
+    build_resilient_feed,
+    source_corpus_shell,
+)
+
+__all__ = [
+    "ConnectorRegistry",
+    "ConnectorStream",
+    "NormalizedItem",
+    "Normalizer",
+    "NormalizerConfig",
+    "RawItem",
+    "REGISTRY",
+    "REJECT_REASONS",
+    "REPAIR_REASONS",
+    "Rejection",
+    "SourceConnector",
+    "build_resilient_feed",
+    "open_source",
+    "register",
+    "source_corpus_shell",
+]

@@ -1,0 +1,126 @@
+"""Connector contract and registry.
+
+A *connector* adapts one upstream format to a stream of raw items; the
+registry maps URL-ish specs (``scheme:locator``) to connector factories
+so ``storypivot-serve --source rss:feed.xml`` can name any registered
+source from the shell.  Connectors make **no** promises about their
+output beyond "it is a dict of whatever the upstream said" — cleaning,
+validation and admission are the normalizer's job, which is what lets a
+connector author stay a thin, dumb adapter (see ADDING_SOURCES.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(slots=True)
+class RawItem:
+    """One untrusted upstream record, exactly as the connector saw it.
+
+    ``fields`` holds the raw values (strings, bytes, numbers — whatever
+    the wire format produced) under loosely standard keys: ``id``,
+    ``source``, ``title``, ``body``, ``description``, ``published``,
+    ``timestamp``, ``entities``, ``keywords``, ``event_type``, ``url``,
+    ``story_label``.  Missing keys are normal; garbage values are
+    normal; the normalizer decides what survives.  ``note`` lets a
+    connector flag items it already knows are damaged (e.g. an
+    unparseable feed entry it salvaged by regex).
+    """
+
+    connector: str
+    seq: int
+    fields: Dict[str, object] = field(default_factory=dict)
+    note: str = ""
+
+    def get(self, key: str, default: object = None) -> object:
+        return self.fields.get(key, default)
+
+
+class SourceConnector:
+    """Base class for connectors: iterate raw items, never normalize.
+
+    Subclasses set :attr:`scheme` and implement :meth:`pull`.  ``pull``
+    may raise on transient upstream trouble — the service layer retries
+    it behind the resilience stack — but a *readable* input containing
+    garbage records must yield those records as :class:`RawItem`\\ s
+    rather than raising, so one mangled entry costs one rejection, not
+    the whole feed.
+    """
+
+    scheme = ""
+
+    def __init__(self, locator: str) -> None:
+        self.locator = locator
+        self.name = f"{self.scheme}:{locator}" if locator else self.scheme
+
+    def pull(self) -> Iterator[RawItem]:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[RawItem]:
+        return self.pull()
+
+    def default_source(self) -> Optional[str]:
+        """Source id to assume for items that carry none (None = reject)."""
+        return None
+
+
+class ConnectorRegistry:
+    """scheme -> connector factory, resolved from ``scheme:locator`` specs."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, Callable[[str], SourceConnector]] = {}
+
+    def register(
+        self, scheme: str
+    ) -> Callable[[Callable[[str], SourceConnector]], Callable]:
+        """Decorator: ``@registry.register("rss")`` on a factory/class."""
+        if not scheme or ":" in scheme:
+            raise ConfigurationError(
+                f"connector scheme must be a bare word, got {scheme!r}"
+            )
+
+        def wrap(factory: Callable[[str], SourceConnector]):
+            if scheme in self._factories:
+                raise ConfigurationError(
+                    f"connector scheme {scheme!r} already registered"
+                )
+            self._factories[scheme] = factory
+            return factory
+
+        return wrap
+
+    def schemes(self) -> List[str]:
+        return sorted(self._factories)
+
+    def create(self, spec: str) -> SourceConnector:
+        """Instantiate the connector a ``scheme:locator`` spec names."""
+        if not spec or not spec.strip():
+            raise ConfigurationError("empty --source spec")
+        scheme, _, locator = spec.partition(":")
+        factory = self._factories.get(scheme)
+        if factory is None:
+            raise ConfigurationError(
+                f"unknown connector scheme {scheme!r} in {spec!r}; "
+                f"registered: {', '.join(self.schemes()) or '(none)'}"
+            )
+        return factory(locator)
+
+
+#: The process-wide registry the CLIs resolve ``--source`` specs against.
+REGISTRY = ConnectorRegistry()
+
+
+def register(scheme: str):
+    """Module-level sugar for :meth:`ConnectorRegistry.register`."""
+    return REGISTRY.register(scheme)
+
+
+def open_source(spec: str) -> SourceConnector:
+    """Resolve a ``--source`` spec against the global registry."""
+    import repro.connect.connectors  # noqa: F401  (registers built-ins)
+
+    return REGISTRY.create(spec)

@@ -29,7 +29,7 @@ from repro.core.config import StoryPivotConfig
 from repro.core.matchers import SnippetMatcher
 from repro.core.stories import Story, StorySet
 from repro.errors import AlignmentError
-from repro.eventdata.models import Snippet, format_timestamp
+from repro.eventdata.models import DEFAULT_TRUST, Snippet, format_timestamp
 from repro.text.similarity import temporal_proximity, weighted_jaccard
 
 _aligned_counter = itertools.count()
@@ -173,8 +173,30 @@ class StoryAligner:
     def __init__(self, config: Optional[StoryPivotConfig] = None) -> None:
         self.config = config if config is not None else StoryPivotConfig()
         self.matcher = SnippetMatcher(self.config)
+        self._source_trust: Dict[str, int] = {}
+
+    def set_source_trust(self, trust: Mapping[str, int]) -> None:
+        """Install per-source trust (0–10) for trust-weighted alignment.
+
+        Only consulted when ``config.trust_weighted_alignment`` is on;
+        sources absent from the mapping score as the neutral default 5.
+        """
+        self._source_trust = dict(trust)
 
     # -- story-level similarity ----------------------------------------------
+
+    def _trust_factor(self, a: Story, b: Story) -> float:
+        """Confidence multiplier from the pair's source trust.
+
+        ``0.75 + 0.025 * (trust_a + trust_b)``: 1.0 when both sources sit
+        at the default trust of 5, 1.25 for two fully trusted wires, 0.75
+        for two untrusted feeds.  Identity when the knob is off.
+        """
+        if not self.config.trust_weighted_alignment:
+            return 1.0
+        trust_a = self._source_trust.get(a.source_id, DEFAULT_TRUST)
+        trust_b = self._source_trust.get(b.source_id, DEFAULT_TRUST)
+        return 0.75 + 0.025 * (trust_a + trust_b)
 
     def story_pair_score(self, a: Story, b: Story) -> float:
         """Cross-source story similarity: content + evolution."""
@@ -187,11 +209,12 @@ class StoryAligner:
         temporal_sim = self._span_score(a, b)
         weights = self.config.weights
         total = sum(weights.values())
-        return (
+        score = (
             weights.get("entity", 0.0) * entity_sim
             + weights.get("term", 0.0) * term_sim
             + weights.get("temporal", 0.0) * temporal_sim
         ) / total
+        return min(1.0, score * self._trust_factor(a, b))
 
     def _span_score(self, a: Story, b: Story) -> float:
         """1.0 for overlapping spans, decaying with the gap beyond that."""

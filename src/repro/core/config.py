@@ -51,6 +51,7 @@ class StoryPivotConfig:
     alignment_tolerance: float = 2.0  # temporal slack, in multiples of ω
     snippet_align_threshold: float = 0.35  # snippet counterpart similarity
     snippet_align_tolerance: float = 7 * DAY  # counterpart time slack
+    trust_weighted_alignment: bool = False  # scale scores by source trust
 
     # -- refinement (Section 2.3, Figure 1d) ----------------------------
     enable_refinement: bool = True

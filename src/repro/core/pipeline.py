@@ -159,6 +159,10 @@ class StoryPivot:
             snippets = corpus.snippets_by_publication()
         else:
             raise ValueError(f"unknown order {order!r}")
+        if self.config.trust_weighted_alignment:
+            self.aligner.set_source_trust(
+                {s.source_id: s.trust for s in corpus.sources.values()}
+            )
         started = time.perf_counter()
         for snippet in snippets:
             self.add_snippet(snippet)

@@ -239,6 +239,7 @@ class Corpus:
                         "source_id": source.source_id,
                         "name": source.name,
                         "type": source.kind,
+                        "trust": source.trust,
                     }
                 )
             )
@@ -298,6 +299,7 @@ class Corpus:
                         source_id=record["source_id"],
                         name=record["name"],
                         kind=record.get("type", "newspaper"),
+                        trust=int(record.get("trust", 5)),
                     )
                 )
             elif kind == "document":

@@ -93,11 +93,24 @@ def export_tsv(corpus: Corpus) -> str:
     return "\n".join(lines) + "\n"
 
 
+def _row_error(line_no: int, message: str, reason: str) -> DataFormatError:
+    """A per-row import error tagged with a normalization reject reason.
+
+    ``reason`` uses the same vocabulary as
+    :data:`repro.connect.normalize.REJECT_REASONS` so batch TSV imports
+    and live connector pulls report skips on the same metric series.
+    """
+    exc = DataFormatError(f"line {line_no}: {message}")
+    exc.reason = reason  # type: ignore[attr-defined]
+    return exc
+
+
 def import_tsv(
     text: str,
     name: str = "gdelt-import",
     on_error: str = "raise",
     errors: Optional[List[str]] = None,
+    reasons: Optional[Dict[str, int]] = None,
 ) -> Corpus:
     """Parse TSV produced by :func:`export_tsv` back into a corpus.
 
@@ -107,9 +120,12 @@ def import_tsv(
     (default) keeps the strict contract and raises
     :class:`~repro.errors.DataFormatError` on the first bad row;
     ``"skip"`` quarantines bad rows — each is dropped with its message
-    appended to ``errors`` (when given) — so one mangled line in a large
-    export costs one record, not the whole import.  A bad header or an
-    empty file always raises: there is nothing sensible to salvage.
+    appended to ``errors`` (when given) and its reject reason tallied
+    into ``reasons`` (when given; same reason names the connector
+    gauntlet uses, e.g. ``malformed_record``/``bad_timestamp``) — so one
+    mangled line in a large export costs one record, not the whole
+    import.  A bad header or an empty file always raises: there is
+    nothing sensible to salvage.
     """
     if on_error not in ("raise", "skip"):
         raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
@@ -127,17 +143,25 @@ def import_tsv(
         try:
             cells = line.split("\t")
             if len(cells) != len(GDELT_COLUMNS):
-                raise DataFormatError(
-                    f"line {line_no}: expected {len(GDELT_COLUMNS)} columns, "
-                    f"got {len(cells)}"
+                raise _row_error(
+                    line_no,
+                    f"expected {len(GDELT_COLUMNS)} columns, got {len(cells)}",
+                    "malformed_record",
                 )
             record = dict(zip(GDELT_COLUMNS, cells))
             source_id = record["SourceId"]
+            if not record["GLOBALEVENTID"]:
+                raise _row_error(line_no, "missing GLOBALEVENTID",
+                                 "malformed_record")
+            if not source_id:
+                raise _row_error(line_no, "missing SourceId",
+                                 "missing_source")
             try:
                 timestamp = float(record["TimestampUnix"])
                 published = float(record["PublishedUnix"])
             except ValueError as exc:
-                raise DataFormatError(f"line {line_no}: bad timestamp") from exc
+                raise _row_error(line_no, "bad timestamp",
+                                 "bad_timestamp") from exc
             entities = frozenset(a for a in record["Actors"].split(";") if a)
             keywords = tuple(k for k in record["Keywords"].split(";") if k)
             snippet = Snippet(
@@ -156,6 +180,9 @@ def import_tsv(
                 raise
             if errors is not None:
                 errors.append(str(exc))
+            if reasons is not None:
+                reason = getattr(exc, "reason", "malformed_record")
+                reasons[reason] = reasons.get(reason, 0) + 1
             continue
         if source_id not in seen_sources:
             source = Source(source_id, source_id)

@@ -50,17 +50,34 @@ def format_timestamp(timestamp: float, with_time: bool = False) -> str:
     return moment.strftime("%b %d, %Y")
 
 
+#: Default source trust on the 0–10 ladder (see :attr:`Source.trust`).
+DEFAULT_TRUST = 5
+
+
 @dataclass(frozen=True)
 class Source:
-    """A data source: a newspaper, blog, wire service, social feed etc."""
+    """A data source: a newspaper, blog, wire service, social feed etc.
+
+    ``trust`` grades editorial reliability on a 0–10 ladder (wire
+    services ≈ 9, papers of record ≈ 8, anonymous blogs ≈ 3).  It is
+    metadata only until
+    :attr:`~repro.core.config.StoryPivotConfig.trust_weighted_alignment`
+    is enabled, at which point the aligner scales cross-source alignment
+    confidence by the pair's trust.
+    """
 
     source_id: str
     name: str
     kind: str = "newspaper"
+    trust: int = DEFAULT_TRUST
 
     def __post_init__(self) -> None:
         if not self.source_id:
             raise ValueError("source_id must be non-empty")
+        if not 0 <= self.trust <= 10:
+            raise ValueError(
+                f"trust must be in [0, 10], got {self.trust}"
+            )
 
 
 @dataclass(frozen=True)

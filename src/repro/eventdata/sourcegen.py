@@ -46,6 +46,8 @@ class SourceProfile:
     entity_dropout: float = 0.15
     extra_entity_rate: float = 0.10
     enrichment_rate: float = 0.05
+    trust_level: int = 5
+    persona: str = ""
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.coverage <= 1.0:
@@ -54,13 +56,43 @@ class SourceProfile:
             )
         if self.mean_delay < 0:
             raise ConfigurationError("mean_delay must be non-negative")
+        if not 0 <= self.trust_level <= 10:
+            raise ConfigurationError(
+                f"trust_level must be in [0, 10], got {self.trust_level}"
+            )
 
     def report_probability(self, domain: str) -> float:
         """Probability this source reports an event of ``domain``."""
         return min(1.0, self.coverage * self.domain_bias.get(domain, 1.0))
 
     def to_source(self) -> Source:
-        return Source(self.source_id, self.name, self.kind)
+        return Source(self.source_id, self.name, self.kind,
+                      trust=self.trust_level)
+
+
+#: Editorial personas per archetype: a flavour string downstream tooling
+#: (mock registries, demo UIs) can show, and the style register the
+#: renderer may lean on.  Assigned round-robin per archetype so profile
+#: generation stays byte-identical for existing seeds (no RNG draws).
+PERSONAS: Dict[str, tuple] = {
+    "newspaper": ("investigative desk", "paper of record",
+                  "metro bureau veteran"),
+    "wire": ("terse wire copy", "just-the-facts dispatcher"),
+    "blog": ("breathless firsthand", "rumor-friendly aggregator",
+             "single-beat obsessive"),
+    "magazine": ("long-form explainer", "weekly retrospective"),
+    "broadcaster": ("on-air bulletin", "rolling live coverage"),
+}
+
+#: Trust ladder per archetype (0–10): how much the aligner should believe
+#: a cross-source confirmation from this kind of outlet.
+ARCHETYPE_TRUST: Dict[str, int] = {
+    "newspaper": 8,
+    "wire": 9,
+    "blog": 3,
+    "magazine": 5,
+    "broadcaster": 7,
+}
 
 
 def default_profiles(num_sources: int, seed: int = 13) -> List[SourceProfile]:
@@ -82,8 +114,12 @@ def default_profiles(num_sources: int, seed: int = 13) -> List[SourceProfile]:
     )
     domains = sorted(DOMAIN_VOCABULARIES)
     profiles: List[SourceProfile] = []
+    archetype_tally: Dict[str, int] = {}
     for i in range(num_sources):
         kind, coverage, delay, noise = archetypes[i % len(archetypes)]
+        nth = archetype_tally.get(kind, 0)
+        archetype_tally[kind] = nth + 1
+        personas = PERSONAS[kind]
         bias: Dict[str, float] = {}
         # Every source leans toward a couple of domains and away from others.
         favored = rng.sample(domains, 2)
@@ -105,6 +141,8 @@ def default_profiles(num_sources: int, seed: int = 13) -> List[SourceProfile]:
                 extra_keyword_rate=noise,
                 entity_dropout=noise * 0.6,
                 extra_entity_rate=noise * 0.4,
+                trust_level=ARCHETYPE_TRUST[kind],
+                persona=personas[nth % len(personas)],
             )
         )
     return profiles

@@ -60,6 +60,12 @@ from repro.runtime.wal import CheckpointStore
 
 EXECUTORS = ("thread", "process")
 
+#: DLQ error prefix marking records turned away at admission (never
+#: integrated), as opposed to snippets quarantined by a failing shard.
+#: Their stored snippet is an audit shell of the raw payload, so health
+#: reporting and DLQ replay must not treat them as poisoned-but-valid.
+REJECTED_PREFIX = "rejected: "
+
 
 @dataclass(frozen=True)
 class RuntimeOptions:
@@ -198,6 +204,7 @@ class ShardedRuntime:
         self._dropped = self.metrics.counter("ingest.dropped")
         self.metrics.counter("ingest.accepted")
         self.metrics.counter("ingest.duplicates")
+        self.metrics.counter("ingest.rejected")
         self.metrics.histogram("ingest.offer_latency_seconds")
         self.metrics.histogram("realign.duration_seconds")
         self.metrics.histogram("flush.duration_seconds")
@@ -449,6 +456,30 @@ class ShardedRuntime:
         if root.sampled:
             self._recent_traces.append(root.trace_id)
         return True
+
+    def reject(self, snippet: Snippet, reason: str, detail: str = "") -> None:
+        """Quarantine an inadmissible input without offering it to a shard.
+
+        The admission layer (:mod:`repro.connect`) calls this for raw
+        records that failed normalization: they never count as arrived —
+        they were turned away at the door — but they must not vanish
+        either, so each lands in its routed shard's dead-letter queue
+        with the rejection reason, and ``ingest.rejected`` carries the
+        extra term of the accounting invariant
+        (``arrived = accepted + dup + dropped + quarantined + rejected``).
+        """
+        if not self._started:
+            self.start()
+        self.metrics.counter("ingest.rejected").inc()
+        if self.options.executor != "thread" or not self._shards:
+            return
+        shard_id = shard_of(snippet.source_id, self.options.num_shards)
+        shard = self._shards[shard_id]
+        if shard.dlq is not None:
+            error = REJECTED_PREFIX + reason + (f" ({detail})" if detail else "")
+            shard.dlq.append(
+                snippet, error=error, attempts=0, shard_id=shard_id
+            )
 
     def consume(self, snippets: Iterable[Snippet]) -> "ShardedRuntime":
         if not self.tracer.enabled:
@@ -784,8 +815,11 @@ class ShardedRuntime:
 
         The DLQ files are drained first; snippets that fail again are
         re-quarantined by their shard workers, so replay converges and
-        is safe to repeat.  Returns counts:
-        ``{"replayed": offered, "requeued": still quarantined after}``.
+        is safe to repeat.  Records rejected at admission stay behind:
+        their stored snippet is an audit shell of raw input that never
+        passed normalization, so re-offering it would inject garbage.
+        Returns counts: ``{"replayed": offered, "requeued": still
+        quarantined after, "held": rejected records left in place}``.
         """
         self.start()
         if self.options.executor == "process":
@@ -793,16 +827,26 @@ class ShardedRuntime:
                 "DLQ replay requires the thread executor"
             )
         letters = []
+        held = 0
         for shard in self._shards:
-            if shard.dlq is not None:
-                letters.extend(shard.dlq.take_all())
+            if shard.dlq is None:
+                continue
+            for letter in shard.dlq.take_all():
+                if letter.error.startswith(REJECTED_PREFIX):
+                    shard.dlq.append(
+                        letter.snippet, error=letter.error,
+                        attempts=letter.attempts, shard_id=letter.shard_id,
+                    )
+                    held += 1
+                else:
+                    letters.append(letter)
         for letter in letters:
             self.offer(letter.snippet)
         self.drain()
         requeued = sum(
             len(shard.dlq) for shard in self._shards if shard.dlq is not None
-        )
-        return {"replayed": len(letters), "requeued": requeued}
+        ) - held
+        return {"replayed": len(letters), "requeued": requeued, "held": held}
 
     # -- health ------------------------------------------------------------
 
@@ -819,9 +863,19 @@ class ShardedRuntime:
         alive = [s for s in self._shards if not s.dead]
         failed = [s.shard_id for s in self._shards if s.failed]
         dead = [s.shard_id for s in self._shards if s.dead and not s.failed]
-        quarantined = sum(
-            len(s.dlq) for s in self._shards if s.dlq is not None
-        )
+        # the DLQ holds two populations: snippets a shard failed to
+        # integrate (quarantined — the runtime is losing capacity) and
+        # records turned away at admission (rejected — the feed is
+        # hostile, the runtime is fine); only the former degrades health
+        quarantined = 0
+        rejected = 0
+        for s in self._shards:
+            if s.dlq is not None:
+                for letter in s.dlq.records():
+                    if letter.error.startswith(REJECTED_PREFIX):
+                        rejected += 1
+                    else:
+                        quarantined += 1
         if not alive or self._stopped:
             status = "unhealthy"
         elif failed or dead or quarantined:
@@ -835,6 +889,7 @@ class ShardedRuntime:
             "shards_failed": failed,
             "shards_dead": dead,
             "quarantined": quarantined,
+            "rejected": rejected,
             "queue_depth": sum(len(s.queue) for s in self._shards),
         }
 
@@ -903,6 +958,7 @@ class ShardedRuntime:
             "failures": value("shard.failures"),
             "retries": value("shard.retries"),
             "quarantined": value("dlq.records"),
+            "rejected": value("ingest.rejected"),
             "torn_wal_records": value("wal.torn_records"),
             "crash_loops": value("supervisor.crash_loops"),
         }

@@ -44,6 +44,13 @@ def build_parser(prog: str = "storypivot-serve") -> argparse.ArgumentParser:
                         help="use the built-in MH17 demo corpus")
     parser.add_argument("--synthetic", type=int, default=None, metavar="N",
                         help="generate a synthetic corpus with N events")
+    parser.add_argument("--source", default=None, metavar="SPEC",
+                        help="pull from a live source connector instead of "
+                             "a corpus: scheme:locator, e.g. "
+                             "jsonl:events.jsonl, rss:feed.xml, "
+                             "gdelt:export.tsv, sim:500 (raw items run "
+                             "the normalization gauntlet; rejects are "
+                             "quarantined with a reason)")
     parser.add_argument("--sources", type=int, default=5,
                         help="sources for --synthetic (default 5)")
     parser.add_argument("--seed", type=int, default=42)
@@ -130,14 +137,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.exit(2, "error: --chaos requires the thread executor\n")
 
     corpus = None
-    if args.corpus or args.demo or args.synthetic is not None:
+    connector = None
+    tsv_skip_reasons: dict = {}
+    if args.source is not None:
+        if args.corpus or args.demo or args.synthetic is not None:
+            parser.exit(2, "error: --source replaces the corpus input; "
+                           "give one or the other\n")
+        from repro.connect import open_source
+
         try:
-            corpus = _load_corpus(args)
+            connector = open_source(args.source)
+        except (OSError, StoryPivotError) as exc:
+            parser.exit(2, f"error: {exc}\n")
+    elif args.corpus or args.demo or args.synthetic is not None:
+        try:
+            corpus = _load_corpus(args, skip_reasons=tsv_skip_reasons)
         except (OSError, StoryPivotError) as exc:
             parser.exit(2, f"error: {exc}\n")
     elif not args.resume:
         parser.exit(2, "error: no input: give a corpus file, --demo, "
-                       "--synthetic N, or --resume with --wal-dir\n")
+                       "--synthetic N, --source SPEC, or --resume with "
+                       "--wal-dir\n")
     if args.resume and not args.wal_dir:
         parser.exit(2, "error: --resume requires --wal-dir\n")
 
@@ -189,6 +209,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except StoryPivotError as exc:
         parser.exit(2, f"error: {exc}\n")
 
+    # rows import_tsv skipped never reach the runtime, but their reject
+    # reasons still belong on /metricz next to the live-connector tallies
+    for reason, count in sorted(tsv_skip_reasons.items()):
+        runtime.metrics.counter(
+            "connect.rejected", connector="gdelt-tsv", reason=reason
+        ).inc(count)
+
     injector = None
     if args.chaos is not None:
         from repro.resilience.faults import FaultInjector, resolve_profile
@@ -208,17 +235,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     checkpoint_text = None
     replay_counts = None
+    stream = None
     try:
         if args.replay_dlq:
             replay_counts = runtime.replay_dlq()
-        if corpus is not None:
+        if connector is not None:
+            from repro.connect import ConnectorStream
+
+            # the stream carries its own retry/breaker; chaos faults are
+            # injected at the raw-pull site, upstream of the gauntlet
+            stream = ConnectorStream(
+                connector, runtime=runtime, injector=injector
+            )
+            runtime.consume(stream)
+        elif corpus is not None:
             snippets = corpus.snippets_by_publication()
             if injector is not None:
-                from repro.eventdata.eventregistry import ResilientFeed
+                from repro.connect import build_resilient_feed
 
-                snippets = ResilientFeed(
-                    injector.wrap_feed(snippets, site="feed"), name="feed"
-                )
+                snippets = build_resilient_feed(snippets, injector=injector)
             runtime.consume(snippets)
         result = runtime.flush()
         if args.checkpoint:
@@ -238,10 +273,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"{stats['realignments']} realignment(s)]"
     )
 
+    if stream is not None:
+        print(stream.render_report())
+
     if replay_counts is not None:
         print(
             f"dlq replay: {replay_counts['replayed']} replayed, "
-            f"{replay_counts['requeued']} still quarantined"
+            f"{replay_counts['requeued']} still quarantined, "
+            f"{replay_counts['held']} rejected record(s) held back"
         )
 
     if injector is not None:
@@ -252,18 +291,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         injected = sum(counts.values())
         accounted = (
             stats["accepted"] + stats["duplicates"]
-            + stats["dropped"] + stats["quarantined"]
+            + stats["dropped"] + stats["quarantined"] + stats["rejected"]
         )
-        verdict = "OK" if accounted == stats["arrived"] else "MISMATCH"
+        # rejected inputs were turned away before ingest.arrived, so the
+        # invariant's left side is connector arrivals = arrived + rejected
+        total_arrived = stats["arrived"] + stats["rejected"]
+        verdict = "OK" if accounted == total_arrived else "MISMATCH"
         detail = ", ".join(
             f"{kind}={counts[kind]}" for kind in sorted(counts)
         ) or "none"
         print(
             f"chaos[{injector.profile.name}] seed={args.seed}: "
             f"{injected} fault(s) injected ({detail}); accounting "
-            f"{stats['arrived']} arrived = {stats['accepted']} accepted "
+            f"{total_arrived} arrived = {stats['accepted']} accepted "
             f"+ {stats['duplicates']} dup + {stats['dropped']} dropped "
-            f"+ {stats['quarantined']} quarantined -> {verdict}"
+            f"+ {stats['quarantined']} quarantined "
+            f"+ {stats['rejected']} rejected -> {verdict}"
         )
         if span_store is not None:
             # second, independent ledger: the resilience machinery also

@@ -54,6 +54,11 @@ def build_parser(prog: str = "storypivot-api") -> argparse.ArgumentParser:
                         help="use the built-in MH17 demo corpus")
     parser.add_argument("--synthetic", type=int, default=None, metavar="N",
                         help="generate a synthetic corpus with N events")
+    parser.add_argument("--source", default=None, metavar="SPEC",
+                        help="serve a live source connector (requires "
+                             "--follow): scheme:locator, e.g. "
+                             "jsonl:events.jsonl, rss:feed.xml, "
+                             "gdelt:export.tsv, sim:500")
     parser.add_argument("--sources", type=int, default=5,
                         help="sources for --synthetic (default 5)")
     parser.add_argument("--seed", type=int, default=42)
@@ -142,16 +147,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     from repro.cli import _load_corpus  # deferred: cli dispatches widely
 
-    if not (args.corpus or args.demo or args.synthetic is not None):
-        parser.exit(2, "error: no input: give a corpus file, --demo, or "
-                       "--synthetic N\n")
+    connector = None
+    if args.source is not None:
+        if args.corpus or args.demo or args.synthetic is not None:
+            parser.exit(2, "error: --source replaces the corpus input; "
+                           "give one or the other\n")
+        if not args.follow:
+            parser.exit(2, "error: --source requires --follow (a live "
+                           "connector feeds the runtime while serving)\n")
+    elif not (args.corpus or args.demo or args.synthetic is not None):
+        parser.exit(2, "error: no input: give a corpus file, --demo, "
+                       "--synthetic N, or --source SPEC with --follow\n")
     if args.replication_port is not None and not (args.follow and args.wal_dir):
         parser.exit(2, "error: --replication-port requires --follow and "
                        "--wal-dir (followers tail the per-shard WAL)\n")
     if args.chaos is not None and not args.follow:
         parser.exit(2, "error: --chaos requires --follow\n")
+    tsv_skip_reasons: dict = {}
     try:
-        corpus = _load_corpus(args)
+        if args.source is not None:
+            from repro.connect import open_source, source_corpus_shell
+
+            connector = open_source(args.source)
+            corpus = source_corpus_shell(args.source, connector)
+        else:
+            corpus = _load_corpus(args, skip_reasons=tsv_skip_reasons)
         config = _make_config(args)
     except (OSError, StoryPivotError) as exc:
         parser.exit(2, f"error: {exc}\n")
@@ -183,6 +203,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             RuntimeOptions(num_shards=args.workers, wal_dir=args.wal_dir),
             tracer=tracer,
         ).start()
+        # TSV rows skipped at load time surface on /metricz alongside the
+        # live-connector reject tallies (same metric family, same reasons)
+        for reason, count in sorted(tsv_skip_reasons.items()):
+            runtime.metrics.counter(
+                "connect.rejected", connector="gdelt-tsv", reason=reason
+            ).inc(count)
         if args.chaos is not None:
             from repro.resilience.faults import FaultInjector, resolve_profile
 
@@ -231,13 +257,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ).start()
 
         def _feed() -> None:
+            if connector is not None:
+                from repro.connect import ConnectorStream
+
+                runtime.consume(ConnectorStream(
+                    connector, runtime=runtime, injector=injector
+                ))
+                return
             snippets = corpus.snippets_by_publication()
             if injector is not None:
-                from repro.eventdata.eventregistry import ResilientFeed
+                from repro.connect import build_resilient_feed
 
-                snippets = ResilientFeed(
-                    injector.wrap_feed(snippets, site="feed"), name="feed"
-                )
+                snippets = build_resilient_feed(snippets, injector=injector)
             runtime.consume(snippets)
 
         feeder = threading.Thread(
@@ -318,17 +349,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             accounted = (
                 stats["accepted"] + stats["duplicates"]
                 + stats["dropped"] + stats["quarantined"]
+                + stats["rejected"]
             )
-            verdict = "OK" if accounted == stats["arrived"] else "MISMATCH"
+            # rejects never counted as arrived (turned away at admission),
+            # so connector arrivals = arrived + rejected on both sides
+            total_arrived = stats["arrived"] + stats["rejected"]
+            verdict = "OK" if accounted == total_arrived else "MISMATCH"
             detail = ", ".join(
                 f"{kind}={counts[kind]}" for kind in sorted(counts)
             ) or "none"
             print(
                 f"chaos[{injector.profile.name}] seed={args.seed}: "
                 f"{injected} fault(s) injected ({detail}); accounting "
-                f"{stats['arrived']} arrived = {stats['accepted']} accepted "
+                f"{total_arrived} arrived = {stats['accepted']} accepted "
                 f"+ {stats['duplicates']} dup + {stats['dropped']} dropped "
-                f"+ {stats['quarantined']} quarantined -> {verdict}",
+                f"+ {stats['quarantined']} quarantined "
+                f"+ {stats['rejected']} rejected -> {verdict}",
                 flush=True,
             )
         if lockwatch is not None:

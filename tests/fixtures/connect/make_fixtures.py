@@ -1,0 +1,216 @@
+"""Regenerate the recorded hostile-input fixtures in this directory.
+
+The fixtures are checked in (tests must not depend on running this), but
+keeping the generator next to them documents exactly what each hostile
+byte is and lets a future scenario be added reproducibly:
+
+    python tests/fixtures/connect/make_fixtures.py
+"""
+
+import json
+import os
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+BASE = 1405555200  # 2014-07-17 00:00:00 UTC
+
+
+def jl(*records):
+    out = []
+    for record in records:
+        if isinstance(record, bytes):
+            out.append(record)
+        elif isinstance(record, str):
+            out.append(record.encode("utf-8"))
+        else:
+            out.append(json.dumps(record).encode("utf-8"))
+    return b"\n".join(out) + b"\n"
+
+
+def write(name, blob):
+    with open(os.path.join(HERE, name), "wb") as handle:
+        handle.write(blob)
+
+
+def main():
+    # -- valid.jsonl: 8 clean records, two sources -----------------------
+    valid = []
+    for i in range(8):
+        src = "wire-a" if i % 2 == 0 else "paper-b"
+        valid.append({
+            "id": f"v{i}", "source": src,
+            "title": f"Event {i} develops in region",
+            "description": f"Step {i} of the unfolding investigation story",
+            "body": f"Full text of report number {i} with distinct wording {i}.",
+            "timestamp": BASE + i * 3600,
+            "published": BASE + i * 3600 + 600,
+            "entities": ["Ukraine", f"Actor{i}"],
+            "keywords": ["crash", f"kw{i}"],
+            "event_type": "Investigate",
+            "url": f"http://example.com/{i}",
+            "story": "mh17",
+        })
+    write("valid.jsonl", jl(*valid))
+
+    # -- mangled.jsonl: every encoding/field/markup hostility ------------
+    rows = []
+    rows.append({"id": "m0", "source": "s1", "title": "Plain survivor",
+                 "published": "2014-07-17T08:00:00Z"})
+    # mojibake title (UTF-8 read as cp1252), RFC822 date
+    rows.append({"id": "m1", "source": "s1",
+                 "title": "Witness said â€œit fell from the "
+                          "skyâ€ yesterday",
+                 "published": "Thu, 17 Jul 2014 09:00:00 GMT"})
+    # BOM + control chars + epoch-in-ms
+    rows.append({"id": "m2", "source": "s1",
+                 "title": "﻿Control\x07 chars\x00here",
+                 "published": 1405587600000})
+    # markup damage + HTML entities, naive ISO (tz assumed)
+    rows.append({"id": "m3", "source": "s1",
+                 "title": "<b>Bold &amp; <script>evil()</script>claims</b>",
+                 "published": "2014-07-17 11:00:00"})
+    # oversized body (truncated), US date format
+    rows.append({"id": "m4", "source": "s1", "title": "Oversized",
+                 "body": "x" * 20000, "published": "07/17/2014"})
+    # missing id (synthesized) and missing source (connector default)
+    rows.append({"title": "No id nor source but real content",
+                 "published": "20140717"})
+    # entities as semicolon string, keywords garbage-laden list
+    rows.append({"id": "m6", "source": "s2", "title": "List coercion case",
+                 "entities": "Ukraine;Malaysia; ;Ukraine",
+                 "keywords": ["ok", None, 42, "<i>tagged</i>"],
+                 "published": "17 Jul 2014"})
+    # unparseable timestamp -> reject bad_timestamp
+    rows.append({"id": "m7", "source": "s2", "title": "When even",
+                 "published": "sometime last tuesday"})
+    # nothing textual survives -> reject empty_content
+    rows.append({"id": "m8", "source": "s2", "published": "2014-07-17",
+                 "title": "   ", "description": " "})
+    # pre-1970 timestamp -> reject bad_timestamp
+    rows.append({"id": "m9", "source": "s2", "title": "Ancient history",
+                 "published": "1812-06-24"})
+    blob = jl(*rows)
+    # a non-JSON line, a torn line, invalid UTF-8 bytes, a non-object
+    blob += b"this line is not json at all\n"
+    blob += b'{"id": "m10", "source": "s2", "title": "torn json", "pub\n'
+    blob += (b'{"id": "m11", "source": "s2", "title": "bad \xff\xfe utf8 '
+             b'bytes", "published": "2014-07-18"}\n')
+    blob += b'["a", "json", "array", "not", "object"]\n'
+    write("mangled.jsonl", blob)
+
+    # -- storm.jsonl: near-duplicate storm -------------------------------
+    storm = [{"id": "st0", "source": "blog-x",
+              "title": "BREAKING: Plane down over eastern Ukraine",
+              "published": BASE}]
+    variants = (
+        "BREAKING:  plane down over eastern ukraine!!",
+        "Breaking -- PLANE DOWN over Eastern Ukraine",
+        "<b>BREAKING</b>: plane down, over eastern ukraine…",
+    )
+    for i in range(1, 12):
+        storm.append({"id": f"st{i}", "source": "blog-x",
+                      "title": variants[i % 3],
+                      "published": BASE + i * 60})
+    storm.append({"id": "st12", "source": "blog-x",
+                  "title": "Rescue crews reach the crash site",
+                  "published": BASE + 7200})
+    write("storm.jsonl", jl(*storm))
+
+    # -- gap.jsonl: a source going silent for days -----------------------
+    gap = []
+    for i in range(3):
+        gap.append({"id": f"g{i}", "source": "local-paper",
+                    "title": f"Daily report {i}",
+                    "published": BASE + i * 3600})
+    gap.append({"id": "g3", "source": "local-paper",
+                "title": "Back after the outage",
+                "published": BASE + 5 * 86400})
+    gap.append({"id": "g4", "source": "local-paper",
+                "title": "Normal service resumes",
+                "published": BASE + 5 * 86400 + 3600})
+    write("gap.jsonl", jl(*gap))
+
+    # -- skew.jsonl: clocks in the future --------------------------------
+    skew = [
+        {"id": "k0", "source": "wire-a", "title": "Honest clock",
+         "timestamp": BASE, "published": BASE + 60},
+        {"id": "k1", "source": "wire-a", "title": "Published from 2099",
+         "timestamp": BASE, "published": "2099-01-01T00:00:00Z"},
+        {"id": "k2", "source": "wire-a", "title": "Occurred in 2099 too",
+         "timestamp": "2099-06-01", "published": "2099-06-02"},
+        {"id": "k3", "source": "wire-a",
+         "title": "Beyond the representable horizon entirely",
+         "published": "2150-01-01"},
+    ]
+    write("skew.jsonl", jl(*skew))
+
+    # -- feed.xml: valid RSS 2.0 -----------------------------------------
+    write("feed.xml", b"""<?xml version="1.0" encoding="UTF-8"?>
+<rss version="2.0"><channel>
+<title>Example Wire</title>
+<link>http://wire.example.com/</link>
+<item>
+  <guid>rss-1</guid>
+  <title>Jet crashes near Grabovo village</title>
+  <description>A passenger jet came down in eastern Ukraine.</description>
+  <pubDate>Thu, 17 Jul 2014 16:20:00 GMT</pubDate>
+  <link>http://wire.example.com/1</link>
+  <category>crash</category>
+  <category>ukraine</category>
+</item>
+<item>
+  <guid>rss-2</guid>
+  <title>Investigators dispatched to the crash site</title>
+  <description>International teams en route &amp; monitoring.</description>
+  <pubDate>Fri, 18 Jul 2014 09:00:00 +0200</pubDate>
+  <link>http://wire.example.com/2</link>
+</item>
+</channel></rss>
+""")
+
+    # -- mangled.xml: broken markup the scavenger must salvage -----------
+    write("mangled.xml", b"""<?xml version="1.0"?>
+<rss version="2.0"><channel>
+<title>Damaged Feed & Co</title>
+<item>
+  <guid>bad-1</guid>
+  <title>Salvageable despite the broken feed</title>
+  <pubDate>Thu, 17 Jul 2014 10:00:00 GMT</pubDate>
+</item>
+<item>
+  <guid>bad-2</guid>
+  <title><![CDATA[CDATA title with <markup> inside]]></title>
+  <pubDate>Thu, 17 Jul 2014 11:00:00 GMT</pubDate>
+<item>
+  <guid>bad-3</guid>
+  <title>Unclosed previous item and unclosed channel
+""")
+
+    # -- feed.tsv: GDELT flavour, short row + bad-timestamp row ----------
+    header = ("GLOBALEVENTID\tSQLDATE\tActor1Code\tActor2Code\tEventCode\t"
+              "SOURCEURL\tSourceId\tActors\tKeywords\tDescription\t"
+              "TimestampUnix\tPublishedUnix\tStoryLabel")
+    tsv_rows = [header]
+    for i in range(4):
+        tsv_rows.append("\t".join([
+            f"t{i}", "20140717", "UKR", "MYS", "090",
+            f"http://g.example/{i}", "gdelt-src", "Ukraine;Malaysia",
+            "crash;probe", f"Investigation step {i} recorded",
+            str(float(BASE + i * 3600)), str(float(BASE + i * 3600 + 300)),
+            "mh17",
+        ]))
+    # short row (7 columns): no timestamp columns at all -> rejected
+    tsv_rows.append(
+        "t4\t20140717\tUKR\t\t090\thttp://g.example/4\tgdelt-src"
+    )
+    # bad timestamp text in every date column -> rejected by the gauntlet
+    tsv_rows.append("\t".join([
+        "t5", "not-a-date", "UKR", "MYS", "090", "http://g.example/5",
+        "gdelt-src", "Ukraine", "crash", "Bad clock row",
+        "yesterdayish", "alsobad", "mh17",
+    ]))
+    write("feed.tsv", ("\n".join(tsv_rows) + "\n").encode("utf-8"))
+    print("fixtures written to", HERE)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""Golden date suite: the dozen-plus wire timestamp formats.
+
+Each case feeds one hostile ``published`` value through the public
+``normalize`` API and pins the POSIX seconds that must come out (and
+whether the UTC assumption was counted as a repair).
+"""
+
+import pytest
+
+from repro.connect import NormalizedItem, Normalizer, RawItem, Rejection
+from repro.eventdata.models import DAY
+
+BASE = 1405555200.0  # 2014-07-17 00:00:00 UTC
+H8 = BASE + 8 * 3600
+NOW = BASE + 30 * DAY
+
+
+def norm(published):
+    """Fresh gauntlet per case: no dedup/gap state bleeds between cases."""
+    normalizer = Normalizer(clock=lambda: NOW)
+    return normalizer.normalize(RawItem("t", 0, {
+        "source": "s1", "title": "dated", "published": published,
+    }))
+
+
+GOLDEN = [
+    # ISO 8601 family
+    ("2014-07-17T08:00:00Z", H8, False),
+    ("2014-07-17T08:00:00+00:00", H8, False),
+    ("2014-07-17T10:00:00+02:00", H8, False),
+    ("2014-07-17 08:00:00", H8, True),
+    ("2014-07-17 08:00", H8, True),
+    ("2014-07-17", BASE, True),
+    # RFC 822/1123 (RSS pubDate)
+    ("Thu, 17 Jul 2014 08:00:00 GMT", H8, False),
+    ("Thu, 17 Jul 2014 10:00:00 +0200", H8, False),
+    ("17 Jul 2014 08:00:00", H8, True),
+    ("17 Jul 2014", BASE, True),
+    # US and slashed forms
+    ("07/17/2014", BASE, True),
+    ("07/17/2014 08:00", H8, True),
+    ("2014/07/17", BASE, True),
+    # compact and dotted forms
+    ("20140717", BASE, True),
+    ("20140717080000", H8, True),
+    ("Jul 17, 2014", BASE, True),
+    ("17.07.2014", BASE, True),
+    # raw epochs: int, float, string, milliseconds
+    (1405584000, H8, False),
+    (1405584000.5, H8 + 0.5, False),
+    ("1405584000", H8, False),
+    (1405584000000, H8, False),  # epoch-in-ms, rescaled
+]
+
+
+class TestGoldenFormats:
+    @pytest.mark.parametrize("value,expected,tz_assumed", GOLDEN)
+    def test_format(self, value, expected, tz_assumed):
+        verdict = norm(value)
+        assert isinstance(verdict, NormalizedItem), value
+        assert verdict.snippet.published == pytest.approx(expected)
+        assert (("tz_assumed" in verdict.repairs) == tz_assumed), value
+
+    def test_epoch_ms_counted(self):
+        verdict = norm(1405584000000)
+        assert "epoch_ms" in verdict.repairs
+
+
+class TestUnparseable:
+    @pytest.mark.parametrize("value", [
+        "sometime last tuesday",
+        "not a date",
+        "",
+        "   ",
+        True,          # bool is an int, but True is not a time
+        float("nan"),
+        float("inf"),
+        "1812-06-24",  # before the epoch floor
+        "2150-01-01",  # beyond the 2100 horizon
+        None,
+    ])
+    def test_rejected_as_bad_timestamp(self, value):
+        verdict = norm(value)
+        assert isinstance(verdict, Rejection), value
+        assert verdict.reason == "bad_timestamp"
+
+
+class TestTwoClockRepairs:
+    def test_occurrence_missing_uses_published(self):
+        normalizer = Normalizer(clock=lambda: NOW)
+        verdict = normalizer.normalize(RawItem("t", 0, {
+            "source": "s1", "title": "x", "published": BASE,
+        }))
+        assert verdict.snippet.timestamp == BASE
+        assert "timestamp_assumed" in verdict.repairs
+
+    def test_published_missing_uses_occurrence(self):
+        normalizer = Normalizer(clock=lambda: NOW)
+        verdict = normalizer.normalize(RawItem("t", 0, {
+            "source": "s1", "title": "x", "timestamp": BASE,
+        }))
+        assert verdict.snippet.published == BASE
+        assert "timestamp_assumed" not in verdict.repairs
+
+    def test_published_before_occurrence_lifted(self):
+        normalizer = Normalizer(clock=lambda: NOW)
+        verdict = normalizer.normalize(RawItem("t", 0, {
+            "source": "s1", "title": "x",
+            "timestamp": BASE + 3600, "published": BASE,
+        }))
+        assert verdict.snippet.published == BASE + 3600
+        assert "published_repaired" in verdict.repairs
+
+    def test_mixed_formats_agree(self):
+        # the same instant in three spellings lands on the same second
+        a = norm("Thu, 17 Jul 2014 08:00:00 GMT")
+        b = norm("2014-07-17T10:00:00+02:00")
+        c = norm(1405584000)
+        assert a.snippet.published == b.snippet.published
+        assert b.snippet.published == c.snippet.published

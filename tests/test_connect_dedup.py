@@ -1,0 +1,106 @@
+"""Near-duplicate storm defence: fingerprint window tests."""
+
+import os
+
+from repro.connect import (
+    ConnectorStream,
+    NormalizedItem,
+    Normalizer,
+    NormalizerConfig,
+    RawItem,
+    Rejection,
+    open_source,
+)
+from repro.eventdata.models import DAY
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "connect")
+BASE = 1405555200.0
+NOW = BASE + 30 * DAY
+
+
+def item(seq, title, source="s1", published=BASE, **extra):
+    fields = {"source": source, "title": title, "published": published}
+    fields.update(extra)
+    return RawItem("t", seq, fields)
+
+
+class TestStormFixture:
+    def test_storm_collapses_to_two_stories(self):
+        connector = open_source(f"jsonl:{os.path.join(FIXTURES, 'storm.jsonl')}")
+        s = ConnectorStream(connector, clock=lambda: NOW)
+        snippets = list(s)
+        assert s.pulled == 13
+        assert s.admitted == 2
+        assert s.normalizer.rejections == {"near_duplicate": 11}
+        assert [sn.snippet_id for sn in snippets] == ["st0", "st12"]
+
+
+class TestFingerprint:
+    def test_case_punctuation_markup_noise_collapse(self):
+        normalizer = Normalizer(clock=lambda: NOW)
+        first = normalizer.normalize(
+            item(0, "BREAKING: Plane down over eastern Ukraine")
+        )
+        assert isinstance(first, NormalizedItem)
+        for seq, variant in enumerate([
+            "breaking -- plane DOWN over eastern ukraine!!",
+            "<b>BREAKING</b>: plane down, over eastern ukraine…",
+            "BREAKING:\tplane   down over eastern\nukraine",
+        ], start=1):
+            verdict = normalizer.normalize(item(seq, variant))
+            assert isinstance(verdict, Rejection), variant
+            assert verdict.reason == "near_duplicate"
+
+    def test_different_sources_do_not_collide(self):
+        normalizer = Normalizer(clock=lambda: NOW)
+        assert isinstance(
+            normalizer.normalize(item(0, "plane down", source="a")),
+            NormalizedItem,
+        )
+        assert isinstance(
+            normalizer.normalize(item(1, "plane down", source="b")),
+            NormalizedItem,
+        )
+
+    def test_day_bucket_allows_recurring_daily_item(self):
+        normalizer = Normalizer(clock=lambda: NOW)
+        assert isinstance(
+            normalizer.normalize(item(0, "daily digest", published=BASE)),
+            NormalizedItem,
+        )
+        # same content the next day is a legitimate recurring item
+        assert isinstance(
+            normalizer.normalize(
+                item(1, "daily digest", published=BASE + DAY)
+            ),
+            NormalizedItem,
+        )
+
+    def test_genuinely_new_content_admitted(self):
+        normalizer = Normalizer(clock=lambda: NOW)
+        normalizer.normalize(item(0, "plane down over ukraine"))
+        verdict = normalizer.normalize(
+            item(1, "rescue crews reach the crash site")
+        )
+        assert isinstance(verdict, NormalizedItem)
+
+
+class TestWindow:
+    def test_window_eviction_forgets_old_fingerprints(self):
+        config = NormalizerConfig(dedup_window=2)
+        normalizer = Normalizer(config, clock=lambda: NOW)
+        normalizer.normalize(item(0, "alpha report"))
+        normalizer.normalize(item(1, "beta report"))
+        normalizer.normalize(item(2, "gamma report"))  # evicts alpha
+        verdict = normalizer.normalize(item(3, "alpha report"))
+        assert isinstance(verdict, NormalizedItem)
+
+    def test_zero_window_disables_dedup(self):
+        config = NormalizerConfig(dedup_window=0)
+        normalizer = Normalizer(config, clock=lambda: NOW)
+        assert isinstance(
+            normalizer.normalize(item(0, "same text")), NormalizedItem
+        )
+        assert isinstance(
+            normalizer.normalize(item(1, "same text")), NormalizedItem
+        )

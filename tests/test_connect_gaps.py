@@ -1,0 +1,88 @@
+"""Coverage-gap telemetry: publication silences are counted, not fatal."""
+
+import os
+
+from repro.connect import (
+    ConnectorStream,
+    Normalizer,
+    NormalizerConfig,
+    RawItem,
+    open_source,
+)
+from repro.eventdata.models import DAY, HOUR
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "connect")
+BASE = 1405555200.0
+NOW = BASE + 30 * DAY
+
+
+def item(seq, published, source="s1", title=None):
+    return RawItem("t", seq, {
+        "source": source,
+        "title": title or f"report {seq}",
+        "published": published,
+    })
+
+
+class TestGapFixture:
+    def test_five_day_silence_counted_once(self):
+        connector = open_source(f"jsonl:{os.path.join(FIXTURES, 'gap.jsonl')}")
+        s = ConnectorStream(connector, clock=lambda: NOW)
+        snippets = list(s)
+        # every record is admitted — a gap is telemetry about the source,
+        # not a defect of the item that ends it
+        assert s.admitted == 5
+        assert s.normalizer.gaps == 1
+        assert [sn.snippet_id for sn in snippets] == [
+            f"g{i}" for i in range(5)
+        ]
+
+
+class TestGapDetection:
+    def test_gap_attached_to_ending_item(self):
+        normalizer = Normalizer(clock=lambda: NOW)
+        normalizer.normalize(item(0, BASE))
+        verdict = normalizer.normalize(item(1, BASE + 2 * DAY))
+        assert verdict.gap_seconds == 2 * DAY
+        assert normalizer.gaps == 1
+
+    def test_below_threshold_not_counted(self):
+        normalizer = Normalizer(clock=lambda: NOW)
+        normalizer.normalize(item(0, BASE))
+        verdict = normalizer.normalize(item(1, BASE + 6 * HOUR))
+        assert verdict.gap_seconds == 0.0
+        assert normalizer.gaps == 0
+
+    def test_threshold_configurable(self):
+        config = NormalizerConfig(gap_threshold=1 * HOUR)
+        normalizer = Normalizer(config, clock=lambda: NOW)
+        normalizer.normalize(item(0, BASE))
+        verdict = normalizer.normalize(item(1, BASE + 2 * HOUR))
+        assert verdict.gap_seconds == 2 * HOUR
+        assert normalizer.gaps == 1
+
+    def test_gaps_tracked_per_source(self):
+        normalizer = Normalizer(clock=lambda: NOW)
+        normalizer.normalize(item(0, BASE, source="a"))
+        normalizer.normalize(item(1, BASE + 1 * HOUR, source="b"))
+        # a's next item is 2 days after a's last — b's cursor is separate
+        verdict = normalizer.normalize(item(2, BASE + 2 * DAY, source="a"))
+        assert verdict.gap_seconds == 2 * DAY
+        assert normalizer.gaps == 1
+
+    def test_out_of_order_arrival_is_not_a_gap(self):
+        normalizer = Normalizer(clock=lambda: NOW)
+        normalizer.normalize(item(0, BASE + 2 * DAY))
+        # late-arriving older item: silence cannot run backwards
+        verdict = normalizer.normalize(item(1, BASE))
+        assert verdict.gap_seconds == 0.0
+        assert normalizer.gaps == 0
+        # and the cursor stays at the high-water mark
+        verdict = normalizer.normalize(item(2, BASE + 2 * DAY + 1 * HOUR))
+        assert verdict.gap_seconds == 0.0
+
+    def test_first_item_never_counts(self):
+        normalizer = Normalizer(clock=lambda: NOW)
+        verdict = normalizer.normalize(item(0, BASE))
+        assert verdict.gap_seconds == 0.0
+        assert normalizer.gaps == 0

@@ -1,0 +1,253 @@
+"""Golden tests for the hostile-input normalization gauntlet.
+
+The fixtures under ``tests/fixtures/connect/`` are recorded hostile
+inputs (see ``make_fixtures.py`` there for what each byte is); these
+tests pin exactly what the gauntlet repairs, rejects and admits.  The
+hypothesis suite at the bottom enforces the gauntlet's headline
+contract: *never* an exception, whatever the bytes.
+"""
+
+import os
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.connect import (
+    ConnectorStream,
+    NormalizedItem,
+    Normalizer,
+    NormalizerConfig,
+    RawItem,
+    REJECT_REASONS,
+    REPAIR_REASONS,
+    Rejection,
+    open_source,
+)
+from repro.eventdata.models import DAY
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "connect")
+BASE = 1405555200.0  # 2014-07-17 00:00:00 UTC
+NOW = BASE + 30 * DAY  # deterministic "wall clock" for every stream
+
+
+def fixture(name):
+    return os.path.join(FIXTURES, name)
+
+
+def stream(spec):
+    connector = open_source(spec)
+    s = ConnectorStream(connector, clock=lambda: NOW)
+    snippets = list(s)
+    return s, snippets
+
+
+class TestValidCorpus:
+    def test_clean_records_pass_untouched(self):
+        s, snippets = stream(f"jsonl:{fixture('valid.jsonl')}")
+        assert s.pulled == 8
+        assert s.admitted == 8
+        assert s.rejected == 0
+        assert s.normalizer.repairs == {}
+        assert [sn.snippet_id for sn in snippets] == [
+            f"v{i}" for i in range(8)
+        ]
+
+    def test_fields_survive_verbatim(self):
+        _, snippets = stream(f"jsonl:{fixture('valid.jsonl')}")
+        first = snippets[0]
+        assert first.source_id == "wire-a"
+        assert first.timestamp == BASE
+        assert first.published == BASE + 600
+        assert "Ukraine" in first.entities
+        assert "crash" in first.keywords
+        assert first.event_type == "Investigate"
+
+    def test_story_labels_recorded(self):
+        s, _ = stream(f"jsonl:{fixture('valid.jsonl')}")
+        assert s.labels["v0"] == "mh17"
+        assert len(s.labels) == 8
+
+
+class TestMangledCorpus:
+    """One stream through every encoding/field/markup hostility."""
+
+    def test_admission_tally(self):
+        s, _ = stream(f"jsonl:{fixture('mangled.jsonl')}")
+        assert s.pulled == 14
+        assert s.admitted == 8
+        assert s.rejected == 6
+        assert s.normalizer.rejections == {
+            "bad_timestamp": 5,
+            "empty_content": 1,
+        }
+
+    def test_repair_reasons(self):
+        s, _ = stream(f"jsonl:{fixture('mangled.jsonl')}")
+        repairs = s.normalizer.repairs
+        for reason in ("mojibake", "bom_stripped", "control_chars",
+                       "epoch_ms", "markup_stripped", "truncated",
+                       "id_synthesized", "source_assumed",
+                       "encoding_replaced", "tz_assumed"):
+            assert repairs.get(reason, 0) >= 1, reason
+        for reason in repairs:
+            assert reason in REPAIR_REASONS
+
+    def test_mojibake_repaired(self):
+        _, snippets = stream(f"jsonl:{fixture('mangled.jsonl')}")
+        by_id = {sn.snippet_id: sn for sn in snippets}
+        assert "“it fell from the sky”" in by_id["m1"].description
+
+    def test_control_chars_and_bom_removed(self):
+        _, snippets = stream(f"jsonl:{fixture('mangled.jsonl')}")
+        by_id = {sn.snippet_id: sn for sn in snippets}
+        assert by_id["m2"].description == "Control charshere"
+        assert by_id["m2"].timestamp == 1405587600.0  # epoch-ms rescaled
+
+    def test_markup_stripped_and_unescaped(self):
+        _, snippets = stream(f"jsonl:{fixture('mangled.jsonl')}")
+        by_id = {sn.snippet_id: sn for sn in snippets}
+        assert by_id["m3"].description == "Bold & claims"
+        assert "script" not in by_id["m3"].description
+
+    def test_oversized_body_clipped(self):
+        _, snippets = stream(f"jsonl:{fixture('mangled.jsonl')}")
+        by_id = {sn.snippet_id: sn for sn in snippets}
+        assert len(by_id["m4"].text) <= NormalizerConfig().max_body_chars
+        assert by_id["m4"].text.endswith("…")
+
+    def test_missing_id_and_source_synthesized(self):
+        _, snippets = stream(f"jsonl:{fixture('mangled.jsonl')}")
+        synth = [sn for sn in snippets if sn.snippet_id.startswith("mangled:gen")]
+        assert len(synth) == 1
+        assert synth[0].source_id == "mangled"  # connector default
+
+    def test_term_coercion(self):
+        _, snippets = stream(f"jsonl:{fixture('mangled.jsonl')}")
+        by_id = {sn.snippet_id: sn for sn in snippets}
+        assert by_id["m6"].entities == frozenset({"Ukraine", "Malaysia"})
+        assert "ok" in by_id["m6"].keywords
+        assert "tagged" in by_id["m6"].keywords  # tags stripped, kept
+        assert "42" in by_id["m6"].keywords  # numbers coerced to text
+
+    def test_invalid_utf8_replaced_not_fatal(self):
+        _, snippets = stream(f"jsonl:{fixture('mangled.jsonl')}")
+        by_id = {sn.snippet_id: sn for sn in snippets}
+        assert by_id["m11"].description == "bad utf8 bytes"
+
+
+class TestSkewCorpus:
+    def test_future_clocks_clamped(self):
+        s, snippets = stream(f"jsonl:{fixture('skew.jsonl')}")
+        assert s.admitted == 3
+        assert s.normalizer.repairs["clock_skew_clamped"] == 2
+        by_id = {sn.snippet_id: sn for sn in snippets}
+        assert by_id["k0"].published == BASE + 60  # honest clock untouched
+        assert by_id["k1"].published == NOW
+        assert by_id["k1"].timestamp == BASE  # occurrence was honest
+        assert by_id["k2"].timestamp == NOW
+        assert by_id["k2"].published == NOW
+
+    def test_beyond_horizon_rejected(self):
+        s, _ = stream(f"jsonl:{fixture('skew.jsonl')}")
+        assert s.normalizer.rejections == {"bad_timestamp": 1}  # year 2150
+
+    def test_within_tolerance_untouched(self):
+        normalizer = Normalizer(clock=lambda: NOW)
+        verdict = normalizer.normalize(RawItem("t", 0, {
+            "source": "s1", "title": "slightly ahead",
+            "published": NOW + 3600,  # within the 1-day tolerance
+        }))
+        assert isinstance(verdict, NormalizedItem)
+        assert verdict.snippet.published == NOW + 3600
+        assert "clock_skew_clamped" not in verdict.repairs
+
+
+class TestVerdicts:
+    def test_rejection_vocabulary_is_closed(self):
+        s, _ = stream(f"jsonl:{fixture('mangled.jsonl')}")
+        for reason in s.normalizer.rejections:
+            assert reason in REJECT_REASONS
+
+    def test_non_dict_fields_rejected_not_raised(self):
+        normalizer = Normalizer(clock=lambda: NOW)
+        verdict = normalizer.normalize(
+            RawItem("t", 0, ["not", "a", "mapping"])
+        )
+        assert isinstance(verdict, Rejection)
+        assert verdict.reason == "malformed_record"
+
+    def test_counts_shape(self):
+        s, _ = stream(f"jsonl:{fixture('mangled.jsonl')}")
+        counts = s.normalizer.counts()
+        assert set(counts) == {"repaired", "rejected", "gaps"}
+        assert counts["rejected"]["bad_timestamp"] == 5
+
+
+# -- property: the gauntlet never raises --------------------------------
+
+_field_keys = st.one_of(
+    st.sampled_from([
+        "id", "source", "title", "body", "description", "published",
+        "timestamp", "entities", "keywords", "event_type", "url",
+        "story_label",
+    ]),
+    st.text(alphabet=string.printable, max_size=12),
+)
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.floats(allow_nan=True, allow_infinity=True),
+    st.text(max_size=80),
+    st.binary(max_size=80),
+)
+_field_values = st.recursive(
+    _scalars, lambda inner: st.lists(inner, max_size=4), max_leaves=8
+)
+_fields = st.one_of(
+    st.dictionaries(_field_keys, _field_values, max_size=10),
+    _scalars,  # not even a mapping
+)
+
+
+class TestNeverRaises:
+    @given(_fields)
+    @settings(max_examples=300, deadline=None)
+    def test_arbitrary_fields_yield_a_verdict(self, fields):
+        normalizer = Normalizer(
+            clock=lambda: NOW, default_source="fuzz-source"
+        )
+        verdict = normalizer.normalize(RawItem("fuzz", 0, fields))
+        assert isinstance(verdict, (NormalizedItem, Rejection))
+        if isinstance(verdict, Rejection):
+            assert verdict.reason in REJECT_REASONS
+        else:
+            snippet = verdict.snippet
+            config = normalizer.config
+            assert snippet.snippet_id and snippet.source_id
+            assert config.min_timestamp <= snippet.timestamp
+            assert snippet.timestamp <= snippet.published
+            assert snippet.published <= NOW + config.skew_tolerance
+            assert len(snippet.text) <= config.max_body_chars
+            assert "\x00" not in snippet.description
+            for reason in verdict.repairs:
+                assert reason in REPAIR_REASONS
+
+    @given(st.lists(st.binary(max_size=200), max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_byte_blobs(self, blobs):
+        normalizer = Normalizer(
+            clock=lambda: NOW, default_source="fuzz-source"
+        )
+        tally = 0
+        for i, blob in enumerate(blobs):
+            verdict = normalizer.normalize(
+                RawItem("fuzz", i, {"title": blob, "body": blob,
+                                    "published": blob})
+            )
+            assert isinstance(verdict, (NormalizedItem, Rejection))
+            tally += 1
+        assert normalizer.admitted + sum(
+            normalizer.rejections.values()
+        ) == tally

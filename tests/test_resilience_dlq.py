@@ -191,7 +191,7 @@ class TestReplay:
             for shard in runtime._shards:
                 shard.fault_hook = None
             counts = runtime.replay_dlq()
-            assert counts == {"replayed": 2, "requeued": 0}
+            assert counts == {"replayed": 2, "requeued": 0, "held": 0}
             assert runtime.stats()["accepted"] == 8
         finally:
             runtime.stop()
@@ -210,7 +210,33 @@ class TestReplay:
             runtime.offer(make_snippet("a:0", "a"))
             runtime.drain(timeout=10.0)
             counts = runtime.replay_dlq()
-            assert counts == {"replayed": 1, "requeued": 1}
+            assert counts == {"replayed": 1, "requeued": 1, "held": 0}
+        finally:
+            runtime.stop()
+
+    def test_rejections_neither_degrade_health_nor_replay(self, tmp_path):
+        runtime = ShardedRuntime(
+            CONFIG, num_shards=1, wal_dir=str(tmp_path / "state")
+        )
+        try:
+            runtime.start()
+            runtime.offer(make_snippet("a:0", "a"))
+            runtime.drain(timeout=10.0)
+            runtime.reject(
+                make_snippet("bad:0", "a"), "bad_timestamp", "junk input"
+            )
+
+            # the feed is hostile; the runtime is fine
+            health = runtime.health()
+            assert health["status"] == "ok"
+            assert health["quarantined"] == 0
+            assert health["rejected"] == 1
+
+            # the audit shell never re-enters ingestion, and survives
+            counts = runtime.replay_dlq()
+            assert counts == {"replayed": 0, "requeued": 0, "held": 1}
+            assert len(runtime._shards[0].dlq) == 1
+            assert runtime.stats()["accepted"] == 1
         finally:
             runtime.stop()
 
