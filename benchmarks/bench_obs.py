@@ -8,7 +8,11 @@ queue :class:`~repro.obs.trace.Envelope`, context attach, the no-op or
 real stage spans, the outcome attribute, ``end``) is run as a tight
 loop and divided by the per-snippet cost of the real pipeline
 (``StoryPivot.add_snippet`` over the same corpus), measured back to
-back.  The gate: that share must be **at most 5%** at the production
+back.  The fleet plane rides inside the same budget: the WAL trace
+stamp is part of the machinery loop, one traceparent inject/extract
+hop is charged per replication batch, and one default-objective SLO
+observation per tick is amortized over the snippets a tick spans.  The
+gate: the combined share must be **at most 5%** at the production
 sampling rate of 1%.
 
 **Informational — end-to-end rates.**  The same workload streams
@@ -52,8 +56,14 @@ from repro.core.config import StoryPivotConfig  # noqa: E402
 from repro.core.pipeline import StoryPivot  # noqa: E402
 from repro.eventdata.sourcegen import synthetic_corpus  # noqa: E402
 from repro.obs import SpanStore, Tracer  # noqa: E402
-from repro.obs.trace import Envelope  # noqa: E402
+from repro.obs.propagate import (  # noqa: E402
+    extract_context,
+    inject_headers,
+)
+from repro.obs.slo import SLOEngine, default_objectives  # noqa: E402
+from repro.obs.trace import Envelope, current_span  # noqa: E402
 from repro.runtime import RuntimeOptions, ShardedRuntime  # noqa: E402
+from repro.runtime.metrics import MetricsRegistry  # noqa: E402
 
 NUM_SOURCES = 8
 OVERHEAD_GATE = 0.05  # tracing at 1% sampling may cost at most 5%
@@ -92,9 +102,75 @@ def machinery_loop(snippets, sample_rate):
                 pass
             with tracer.span("shard.integrate", shard=0) as span:
                 span.set(outcome="accepted")
+            # the WAL trace stamp (repro.runtime.wal): sampled ingests
+            # mark their records so replication can link back
+            record = {"seq": 0}
+            ambient = current_span()
+            if ambient is not None and ambient.sampled:
+                record["trace"] = ambient.trace_id
             root.set(outcome="accepted")
         root.end()
     return (time.perf_counter() - started) / len(snippets)
+
+
+# -- gated measurement: cross-node propagation and SLO machinery --------
+
+#: records per replication WAL batch — one traceparent hop serves this
+#: many snippets, so the per-hop cost is amortized accordingly
+HOP_BATCH_RECORDS = 64
+
+#: production SLO sampling cadence (SLOEngine.start interval in the CLIs)
+SLO_INTERVAL_SECONDS = 2.0
+
+
+def propagation_hop_cost(repeats_inner=2000):
+    """Per-hop seconds for one inject -> extract traceparent round trip.
+
+    One hop ships a whole WAL batch, so the ingest hot path pays this
+    once per HOP_BATCH_RECORDS snippets.
+    """
+    tracer = Tracer(sample_rate=1.0, store=SpanStore())
+    with tracer.start_trace("replication.ship") as span:
+        with tracer.attach(span):
+            started = time.perf_counter()
+            for _ in range(repeats_inner):
+                headers = inject_headers()
+                extract_context(headers)
+            elapsed = time.perf_counter() - started
+    return elapsed / repeats_inner
+
+
+def slo_observe_cost(repeats_inner=500):
+    """Per-observation seconds of the default SLO objective set.
+
+    The engine ticks every SLO_INTERVAL_SECONDS regardless of load; the
+    per-snippet cost is this divided by the snippets a tick spans.
+    """
+    metrics = MetricsRegistry()
+    metrics.counter("http.requests").inc(1000)
+    metrics.counter("http.status.503").inc(3)
+    for value in (0.01, 0.05, 0.2):
+        metrics.histogram("http.latency_seconds").observe(value)
+        metrics.histogram("push.fanout_seconds").observe(value)
+
+    class Leaderish:
+        def stats(self):
+            return {"arrived": 1000, "accepted": 990, "duplicates": 7,
+                    "dropped": 2, "quarantined": 1, "rejected": 0}
+
+    class Refresherish:
+        lag_budget = 30.0
+
+        def staleness(self):
+            return 0.4
+
+    engine = SLOEngine(default_objectives(
+        metrics, refresher=Refresherish(), runtime=Leaderish(),
+    ), min_interval=0.0)
+    started = time.perf_counter()
+    for _ in range(repeats_inner):
+        engine.observe(force=True)
+    return (time.perf_counter() - started) / repeats_inner
 
 
 def machinery_share(config, snippets, sample_rate, repeats):
@@ -180,11 +256,30 @@ def main(argv=None) -> int:
         f"median of {repeats} rounds"
     )
 
-    machinery_cost, pipeline_cost, share = machinery_share(
+    machinery_cost, pipeline_cost, _ = machinery_share(
         config, snippets, sample_rate=0.01, repeats=repeats
     )
+    # fold the fleet plane into the same per-snippet budget: one
+    # traceparent hop per WAL batch, one SLO observation per tick
+    # (amortized over the snippets the untraced pipeline integrates in
+    # one tick interval)
+    hop_cost = statistics.median(
+        propagation_hop_cost() for _ in range(repeats)
+    )
+    slo_cost = statistics.median(
+        slo_observe_cost() for _ in range(repeats)
+    )
+    hop_per_snippet = hop_cost / HOP_BATCH_RECORDS
+    slo_per_snippet = slo_cost * pipeline_cost / SLO_INTERVAL_SECONDS
+    total_cost = machinery_cost + hop_per_snippet + slo_per_snippet
+    share = total_cost / pipeline_cost
     print(
         f"machinery (1% sampling)  {machinery_cost * 1e6:6.2f} us/snippet\n"
+        f"traceparent hop          {hop_cost * 1e6:6.2f} us/hop "
+        f"(/{HOP_BATCH_RECORDS} records = "
+        f"{hop_per_snippet * 1e6:.3f} us/snippet)\n"
+        f"slo observe              {slo_cost * 1e6:6.2f} us/tick "
+        f"({slo_per_snippet * 1e6:.4f} us/snippet amortized)\n"
         f"pipeline  (untraced)     {pipeline_cost * 1e6:6.2f} us/snippet\n"
         f"machinery share          {share:+.2%}  (gate {OVERHEAD_GATE:.0%})"
     )
@@ -236,6 +331,11 @@ def main(argv=None) -> int:
             "metric": "machinery_share_at_1pct_sampling",
             "max_share": OVERHEAD_GATE,
             "machinery_us_per_snippet": round(machinery_cost * 1e6, 3),
+            "propagation_us_per_hop": round(hop_cost * 1e6, 3),
+            "hop_batch_records": HOP_BATCH_RECORDS,
+            "slo_observe_us_per_tick": round(slo_cost * 1e6, 3),
+            "slo_interval_seconds": SLO_INTERVAL_SECONDS,
+            "total_us_per_snippet": round(total_cost * 1e6, 3),
             "pipeline_us_per_snippet": round(pipeline_cost * 1e6, 3),
             "machinery_share": round(share, 4),
         },

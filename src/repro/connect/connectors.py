@@ -15,11 +15,13 @@ from __future__ import annotations
 import json
 import os
 import re
+import urllib.request
 import xml.etree.ElementTree as ET
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.connect.base import RawItem, SourceConnector, register
 from repro.errors import ConfigurationError
+from repro.obs.propagate import inject_headers
 
 #: Alias map: loosely standard RawItem key <- upstream spellings, tried in
 #: order.  Lets one JSONL connector replay corpus exports, EventRegistry
@@ -73,6 +75,22 @@ def _read_new_text(path: str, offset: int) -> Tuple[str, int]:
         handle.seek(offset)
         blob = handle.read()
     return blob.decode("utf-8", errors="replace"), offset + len(blob)
+
+
+def _is_http_locator(locator: str) -> bool:
+    return locator.startswith(("http://", "https://"))
+
+
+def _fetch_url_text(url: str, timeout: float = 10.0) -> str:
+    """One HTTP pull of a remote feed document, decoded leniently.
+
+    The request carries the ambient ``traceparent`` (when the pull runs
+    under a ``connect.pull`` span), so a traced ingest cycle is
+    attributable end to end — upstream log line to shard integration.
+    """
+    request = urllib.request.Request(url, headers=inject_headers())
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.read().decode("utf-8", errors="replace")
 
 
 @register("jsonl")
@@ -180,8 +198,13 @@ class RssConnector(SourceConnector):
     def __init__(self, locator: str) -> None:
         super().__init__(locator)
         if not locator:
-            raise ConfigurationError("rss connector needs a file path")
-        _require_file(locator, "rss")
+            raise ConfigurationError(
+                "rss connector needs a file path or http(s) URL"
+            )
+        # rss:http://host/feed.xml polls a live feed; anything else is
+        # a local file checked at construction like the other schemes
+        if not _is_http_locator(locator):
+            _require_file(locator, "rss")
         self._seq = 0
         self._seen_ids: Dict[str, None] = {}
         self._feed_title = ""
@@ -193,7 +216,10 @@ class RssConnector(SourceConnector):
         return _slug(base) or "rss"
 
     def pull(self) -> Iterator[RawItem]:
-        text, _ = _read_new_text(self.locator, 0)
+        if _is_http_locator(self.locator):
+            text = _fetch_url_text(self.locator)
+        else:
+            text, _ = _read_new_text(self.locator, 0)
         try:
             root = ET.fromstring(text)
         except ET.ParseError:

@@ -9,7 +9,24 @@ lifecycle decision log behind ``/storyz`` and ``storypivot explain``
 """
 
 from repro.obs.decisions import DecisionLog, format_event
+from repro.obs.fleet import FleetCollector, federate_payload, node_summary
 from repro.obs.profile import SamplingTicker, SlowSpanBoard
+from repro.obs.propagate import (
+    extract_context,
+    format_traceparent,
+    inject_headers,
+    make_node_id,
+    parse_traceparent,
+    span_traceparent,
+)
+from repro.obs.slo import (
+    Objective,
+    RatioObjective,
+    SLOEngine,
+    ThresholdObjective,
+    default_objectives,
+    render_slo_table,
+)
 from repro.obs.store import SpanStore
 from repro.obs.trace import (
     NOOP_SPAN,
@@ -28,8 +45,23 @@ from repro.obs.trace import (
 __all__ = [
     "DecisionLog",
     "format_event",
+    "FleetCollector",
+    "federate_payload",
+    "node_summary",
     "SamplingTicker",
     "SlowSpanBoard",
+    "extract_context",
+    "format_traceparent",
+    "inject_headers",
+    "make_node_id",
+    "parse_traceparent",
+    "span_traceparent",
+    "Objective",
+    "RatioObjective",
+    "SLOEngine",
+    "ThresholdObjective",
+    "default_objectives",
+    "render_slo_table",
     "SpanStore",
     "NOOP_SPAN",
     "NULL_TRACER",

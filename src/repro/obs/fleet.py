@@ -1,0 +1,299 @@
+"""Metrics federation: one `/clusterz` answer for a many-node fleet.
+
+Replication (PR 6) made the fleet plural; until now each node answered
+``/metricz`` only for itself, so "how far behind is the fleet" meant N
+curls and a spreadsheet.  This module is the pull side of federation:
+
+* Every node serves ``/metricz?federate=1`` — a *machine* view wrapping
+  the registry snapshot in an envelope (node id, role, generation,
+  collection timestamp) so a scraper knows **who** it is reading.
+* The leader runs a :class:`FleetCollector` that scrapes the followers
+  registered on the replication channel (see
+  ``/replication/v1/register``) plus its own registry, and serves the
+  merged result as ``/clusterz``: per-node summary rows (generation,
+  replication lag, subscribers, DLQ/reject totals, breaker states,
+  error rates) and node-labeled Prometheus exposition.
+
+Pull, not push, deliberately (same argument as WAL shipping, DESIGN.md):
+the leader decides the scrape cadence, a wedged follower costs one
+timed-out request instead of a mailbox of stale pushes, and "node down"
+is directly observable as a failed scrape — ``/clusterz`` then reports
+the node ``up: false`` rather than silently aging its last report.  A
+dead follower *degrades* the answer; it must never 500 it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.request
+from typing import Callable, Dict, List, Optional
+
+from repro.runtime.metrics import (
+    labeled_name,
+    prometheus_render,
+    split_metric_key,
+)
+
+FEDERATE_KIND = "storypivot-federate"
+
+#: scrape budget per follower: a slow node must not stall /clusterz
+DEFAULT_SCRAPE_TIMEOUT = 2.0
+
+
+def federate_payload(
+    metrics, node_id: str, role: str = "leader", generation: int = 0,
+) -> Dict[str, object]:
+    """The ``/metricz?federate=1`` body: a self-describing snapshot."""
+    return {
+        "kind": FEDERATE_KIND,
+        "node": node_id,
+        "role": role,
+        "generation": generation,
+        "collected_at": round(time.time(), 3),
+        "metrics": metrics.snapshot(),
+    }
+
+
+def _http_scrape(timeout: float) -> Callable[[str], bytes]:
+    def fetch(url: str) -> bytes:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.read()
+
+    return fetch
+
+
+def _value(snapshot: Dict[str, dict], name: str, default: float = 0.0) -> float:
+    entry = snapshot.get(name)
+    if not isinstance(entry, dict):
+        return default
+    value = entry.get("value", default)
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return default
+
+
+def _family_sum(snapshot: Dict[str, dict], base: str) -> float:
+    """Sum of every child of a labeled family (and its bare parent)."""
+    total = 0.0
+    for key, entry in snapshot.items():
+        if split_metric_key(key)[0] == base and isinstance(entry, dict):
+            try:
+                total += float(entry.get("value", 0))
+            except (TypeError, ValueError):
+                pass
+    return total
+
+
+def _prefix_sum(snapshot: Dict[str, dict], prefix: str) -> float:
+    total = 0.0
+    for key, entry in snapshot.items():
+        if key.startswith(prefix) and isinstance(entry, dict):
+            try:
+                total += float(entry.get("value", 0))
+            except (TypeError, ValueError):
+                pass
+    return total
+
+
+def node_summary(snapshot: Dict[str, dict]) -> Dict[str, object]:
+    """The /clusterz row distilled from one node's metrics snapshot.
+
+    Every field degrades to zero/empty when the node does not export
+    the underlying metric — a leader has no replication lag, a follower
+    without push has no subscribers, and neither is an error.
+    """
+    requests = _value(snapshot, "http.requests")
+    errors = _prefix_sum(snapshot, "http.status.5")
+    breakers: Dict[str, int] = {}
+    for key in snapshot:
+        if key.startswith("breaker.") and key.endswith(".state"):
+            breakers[key[len("breaker."):-len(".state")]] = int(
+                _value(snapshot, key)
+            )
+    latency = snapshot.get("http.latency_seconds", {})
+    p95 = latency.get("p95") if isinstance(latency, dict) else None
+    return {
+        "generation": int(_value(snapshot, "view.generation")),
+        "lag_seconds": _value(snapshot, "replication.lag_seconds"),
+        "lag_records": _family_sum(snapshot, "replication.lag_records"),
+        "subscribers": int(_value(snapshot, "push.subscribers")),
+        "dlq_records": int(_value(snapshot, "dlq.records")),
+        "rejected": int(_value(snapshot, "connect.rejected")),
+        "requests": int(requests),
+        "error_rate": round(errors / requests, 6) if requests else 0.0,
+        "http_p95_seconds": p95,
+        "breakers": breakers,
+        "trace_files": int(_value(snapshot, "obs.trace_files")),
+    }
+
+
+class FleetCollector:
+    """Leader-side scraper aggregating the fleet's metrics.
+
+    ``metrics`` is the leader's own registry (always node zero of the
+    answer); followers come from ``replication.followers()`` — entries
+    that registered with a ``url`` are scraped at
+    ``<url>/metricz?federate=1``.  ``transport`` is injectable for
+    tests, like the replication client's.
+    """
+
+    def __init__(
+        self,
+        metrics,
+        node_id: str,
+        role: str = "leader",
+        replication=None,
+        store=None,
+        timeout: float = DEFAULT_SCRAPE_TIMEOUT,
+        transport: Optional[Callable[[str], bytes]] = None,
+    ) -> None:
+        self.metrics = metrics
+        self.node_id = node_id
+        self.role = role
+        #: the ReplicationServer holding the follower registry (None on
+        #: a node that leads nothing: /clusterz then shows itself only)
+        self.replication = replication
+        #: ViewStore for the local generation stamp (optional)
+        self.store = store
+        self._transport = (
+            transport if transport is not None else _http_scrape(timeout)
+        )
+        self.metrics.counter("fleet.scrapes")
+        self.metrics.counter("fleet.scrape_failures")
+
+    # -- scraping ----------------------------------------------------------
+
+    def _local_payload(self) -> Dict[str, object]:
+        generation = getattr(self.store, "generation", 0) if self.store else 0
+        return federate_payload(
+            self.metrics, self.node_id, role=self.role, generation=generation
+        )
+
+    def _scrape(self, url: str) -> Dict[str, object]:
+        raw = self._transport(f"{url.rstrip('/')}/metricz?federate=1")
+        payload = json.loads(raw.decode("utf-8"))
+        if (
+            not isinstance(payload, dict)
+            or payload.get("kind") != FEDERATE_KIND
+        ):
+            raise ValueError("scrape did not return a federate payload")
+        return payload
+
+    def collect(self) -> List[Dict[str, object]]:
+        """One scrape round: self first, then every registered follower.
+
+        Each entry is ``{node, role, up, ...}``; a failed scrape yields
+        ``up: false`` with the error string instead of raising — the
+        whole point of /clusterz is to *show* the dead node.
+        """
+        nodes: List[Dict[str, object]] = []
+        local = self._local_payload()
+        local["up"] = True
+        nodes.append(local)
+        followers = (
+            self.replication.followers()
+            if self.replication is not None else []
+        )
+        for entry in followers:
+            node_id = str(entry.get("node", "?"))
+            url = str(entry.get("url", "") or "")
+            self.metrics.counter("fleet.scrapes").inc()
+            if not url:
+                nodes.append({
+                    "kind": FEDERATE_KIND, "node": node_id,
+                    "role": "follower", "up": False,
+                    "error": "registered without a metrics url",
+                })
+                continue
+            try:
+                payload = self._scrape(url)
+            except Exception as exc:
+                self.metrics.counter("fleet.scrape_failures").inc()
+                nodes.append({
+                    "kind": FEDERATE_KIND, "node": node_id,
+                    "role": "follower", "up": False, "url": url,
+                    "error": f"{type(exc).__name__}: {exc}",
+                })
+                continue
+            payload["up"] = True
+            payload["url"] = url
+            nodes.append(payload)
+        return nodes
+
+    # -- aggregation -------------------------------------------------------
+
+    def clusterz_payload(self) -> Dict[str, object]:
+        """The ``/clusterz`` JSON body: per-node rows plus fleet totals."""
+        nodes = self.collect()
+        rows = []
+        live = 0
+        worst_lag = 0.0
+        total_subscribers = 0
+        total_dlq = 0
+        total_rejected = 0
+        for payload in nodes:
+            row = {
+                "node": payload.get("node", "?"),
+                "role": payload.get("role", "?"),
+                "up": bool(payload.get("up")),
+            }
+            if payload.get("up"):
+                live += 1
+                summary = node_summary(payload.get("metrics", {}))
+                summary["generation"] = max(
+                    int(summary["generation"]),
+                    int(payload.get("generation", 0)),
+                )
+                row.update(summary)
+                worst_lag = max(worst_lag, float(summary["lag_seconds"]))
+                total_subscribers += summary["subscribers"]
+                total_dlq += summary["dlq_records"]
+                total_rejected += summary["rejected"]
+            else:
+                row["error"] = payload.get("error")
+                if payload.get("url"):
+                    row["url"] = payload["url"]
+            rows.append(row)
+        return {
+            "kind": "storypivot-clusterz",
+            "collected_at": round(time.time(), 3),
+            "nodes": rows,
+            "fleet": {
+                "nodes": len(rows),
+                "live": live,
+                "down": len(rows) - live,
+                "worst_lag_seconds": round(worst_lag, 3),
+                "subscribers": total_subscribers,
+                "dlq_records": total_dlq,
+                "rejected": total_rejected,
+            },
+        }
+
+    def prometheus(self) -> str:
+        """Node-labeled exposition of every live node's snapshot.
+
+        Each metric key gains a ``node=<id>`` label before rendering, so
+        one scrape of the leader yields the whole fleet with standard
+        Prometheus label semantics (and label *values* are escaped by
+        the renderer — node ids contain no surprises, but the renderer
+        must not rely on that).
+        """
+        merged: Dict[str, dict] = {}
+        for payload in self.collect():
+            if not payload.get("up"):
+                # down nodes still appear: up{node=...} 0 is the signal
+                merged[labeled_name("up", {"node": payload.get("node", "?")})] = {
+                    "type": "gauge", "value": 0.0,
+                }
+                continue
+            node = str(payload.get("node", "?"))
+            merged[labeled_name("up", {"node": node})] = {
+                "type": "gauge", "value": 1.0,
+            }
+            for key, snap in payload.get("metrics", {}).items():
+                base, labels = split_metric_key(key)
+                labels["node"] = node
+                merged[labeled_name(base, labels)] = snap
+        return prometheus_render(merged)

@@ -17,6 +17,7 @@ so a producer that never ends its root cannot leak memory.
 from __future__ import annotations
 
 import json
+import os
 import threading
 from collections import Counter, OrderedDict, deque
 from typing import Dict, List, Optional
@@ -45,11 +46,22 @@ class SpanStore:
         max_open_spans: int = 4096,
         slow_traces: int = 10,
         export_path: Optional[str] = None,
+        export_max_bytes: Optional[int] = 64 * 1024 * 1024,
+        export_keep_files: int = 3,
+        metrics=None,
     ) -> None:
         self.max_traces = max_traces
         self.max_open_spans = max_open_spans
         self.slow_traces = slow_traces
         self.export_path = export_path
+        #: size-based rotation of the JSONL export: past this many bytes
+        #: the active file is sealed as ``<path>.1`` (older generations
+        #: shift up) and at most ``export_keep_files`` sealed files are
+        #: retained — the exporter lives next to the WAL and must share
+        #: its discipline of never growing without bound
+        self.export_max_bytes = export_max_bytes
+        self.export_keep_files = max(0, export_keep_files)
+        self.metrics = metrics
         self._lock = threading.Lock()
         # trace_id -> list of span records, insertion-ordered across traces
         self._open: "OrderedDict[str, List[dict]]" = OrderedDict()
@@ -59,8 +71,22 @@ class SpanStore:
         self._events: Counter = Counter()
         self._stages: Dict[str, deque] = {}
         self._export_file = None
+        self._export_bytes = 0
+        self.rotations = 0
         self.finalized = 0
         self.dropped_partial = 0
+        if metrics is not None and export_path is not None:
+            metrics.gauge("obs.trace_files").set(
+                len(self.export_files())
+            )
+
+    def bind_metrics(self, metrics) -> "SpanStore":
+        """Late-attach a registry (CLIs build the store before the
+        registry exists); initializes the ``obs.trace_files`` gauge."""
+        self.metrics = metrics
+        if metrics is not None and self.export_path is not None:
+            metrics.gauge("obs.trace_files").set(len(self.export_files()))
+        return self
 
     # -- ingest ------------------------------------------------------------
 
@@ -79,7 +105,9 @@ class SpanStore:
                 reservoir.append(span["duration"])
             for event in span.get("events", ()):
                 self._events[event["name"]] += 1
-            if span.get("parent_id") is None:
+            if span.get("parent_id") is None or span.get("remote"):
+                # a remote-parented span is this process's root: the real
+                # root lives (and finalizes) on the originating node
                 self._finalize_locked(trace_id, partial=False)
             while self._open_spans > self.max_open_spans and self._open:
                 oldest = next(iter(self._open))
@@ -91,7 +119,10 @@ class SpanStore:
         if not spans:
             return
         self._open_spans -= len(spans)
-        root = next((s for s in spans if s.get("parent_id") is None), spans[0])
+        root = next(
+            (s for s in spans if s.get("parent_id") is None),
+            next((s for s in spans if s.get("remote")), spans[0]),
+        )
         trace = {
             "trace_id": trace_id,
             "name": root["name"],
@@ -101,6 +132,9 @@ class SpanStore:
             "partial": partial,
             "spans": sorted(spans, key=lambda s: (s["started_at"], s["span_id"])),
         }
+        nodes = sorted({s["node"] for s in spans if s.get("node")})
+        if nodes:
+            trace["nodes"] = nodes
         self._traces.append(trace)
         self.finalized += 1
         duration = trace["duration"]
@@ -122,8 +156,72 @@ class SpanStore:
     def _export_locked(self, trace: dict) -> None:
         if self._export_file is None:
             self._export_file = open(self.export_path, "a", encoding="utf-8")
-        self._export_file.write(json.dumps(trace, sort_keys=True) + "\n")
+            try:
+                self._export_bytes = os.path.getsize(self.export_path)
+            except OSError:
+                self._export_bytes = 0
+        line = json.dumps(trace, sort_keys=True) + "\n"
+        self._export_file.write(line)
         self._export_file.flush()
+        self._export_bytes += len(line.encode("utf-8"))
+        if (
+            self.export_max_bytes is not None
+            and self._export_bytes >= self.export_max_bytes
+        ):
+            self._rotate_export_locked()
+
+    def _rotate_export_locked(self) -> None:
+        """Seal the active export as ``.1``, shifting older seals up.
+
+        Mirrors :meth:`repro.runtime.wal.ShardWal.rotate`'s retention
+        contract: a bounded number of sealed files, oldest pruned first,
+        and a crash between any two steps leaves only files a reader
+        already knows how to handle (whole JSONL lines, maybe one
+        missing generation number).
+        """
+        self._export_file.close()
+        self._export_file = None
+        # shift sealed generations up; the one past retention is dropped
+        for index in range(self.export_keep_files, 0, -1):
+            sealed = f"{self.export_path}.{index}"
+            if not os.path.exists(sealed):
+                continue
+            if index >= self.export_keep_files:
+                try:
+                    os.remove(sealed)
+                except OSError:
+                    pass
+            else:
+                os.replace(sealed, f"{self.export_path}.{index + 1}")
+        if self.export_keep_files > 0:
+            os.replace(self.export_path, f"{self.export_path}.1")
+        else:
+            try:
+                os.remove(self.export_path)
+            except OSError:
+                pass
+        self._export_bytes = 0
+        self.rotations += 1
+        if self.metrics is not None:
+            self.metrics.gauge("obs.trace_files").set(
+                len(self.export_files())
+            )
+
+    def export_files(self) -> List[str]:
+        """Every trace-export file on disk, newest first."""
+        if self.export_path is None:
+            return []
+        paths = []
+        if os.path.exists(self.export_path):
+            paths.append(self.export_path)
+        index = 1
+        while True:
+            sealed = f"{self.export_path}.{index}"
+            if not os.path.exists(sealed):
+                break
+            paths.append(sealed)
+            index += 1
+        return paths
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -180,6 +278,12 @@ class SpanStore:
             "stages": self.stage_breakdown(),
             "events": self.event_counts(),
         }
+        if self.export_path is not None:
+            payload["export"] = {
+                "path": self.export_path,
+                "files": len(self.export_files()),
+                "rotations": self.rotations,
+            }
         if slow_board is not None:
             payload["slow_spans"] = slow_board.top()
         return payload

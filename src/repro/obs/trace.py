@@ -145,7 +145,7 @@ class Span:
     __slots__ = (
         "tracer", "trace_id", "span_id", "parent_id", "name", "sampled",
         "started_at", "_started", "_started_cpu", "_thread", "duration",
-        "cpu_time", "attrs", "events", "error", "ended", "_token",
+        "cpu_time", "attrs", "events", "error", "ended", "_token", "remote",
     )
 
     def __init__(
@@ -171,6 +171,10 @@ class Span:
         self.error: Optional[str] = None
         self.ended = False
         self._token = None
+        # True for spans whose parent lives in another process (see
+        # Tracer.start_remote): the local span store treats them as
+        # finalization roots, since the real root never arrives here
+        self.remote = False
         if sampled:
             self.span_id: Optional[str] = new_id()
             self.started_at = time.time()
@@ -253,6 +257,11 @@ class Span:
             "cpu_time": round(self.cpu_time, 9) if self.cpu_time is not None else None,
             "sampled": self.sampled,
         }
+        node_id = getattr(self.tracer, "node_id", None)
+        if node_id:
+            record["node"] = node_id
+        if self.remote:
+            record["remote"] = True
         if self.attrs:
             record["attrs"] = dict(self.attrs)
         if self.events:
@@ -361,12 +370,17 @@ class Tracer:
         store=None,
         metrics=None,
         slow_spans: int = 16,
+        node_id: Optional[str] = None,
     ) -> None:
         if not 0.0 <= sample_rate <= 1.0:
             raise ValueError("sample_rate must be in [0, 1]")
         self.sample_rate = sample_rate
         self.store = store
         self.metrics = metrics
+        #: per-process identity stamped on every exported span so a
+        #: stitched cross-node tree can attribute each stage to the
+        #: process that ran it (see repro.obs.propagate.make_node_id)
+        self.node_id = node_id
         from repro.obs.profile import SlowSpanBoard  # local: avoid cycle
 
         self.slow = SlowSpanBoard(slow_spans)
@@ -386,6 +400,23 @@ class Tracer:
             sampled=head_sampled(trace_id, self.sample_rate),
             attrs=attrs or None,
         )
+
+    def start_remote(self, name: str, context, **attrs) -> Span:
+        """A span continuing a trace that arrived from another process.
+
+        ``context`` is the :class:`TraceContext` extracted from a
+        ``traceparent`` header (or a replication payload): the new span
+        shares the remote trace id, parents under the remote span id,
+        and — crucially — inherits the remote *sampling decision*, so a
+        trace is kept or dropped consistently across every node it
+        touches regardless of local sample rates.
+        """
+        span = Span(
+            self, context.trace_id, context.span_id, name,
+            sampled=bool(context.sampled), attrs=attrs or None,
+        )
+        span.remote = True
+        return span
 
     def span(self, name: str, start: Optional[float] = None, **attrs):
         """A child of the ambient span — or a fresh root when there is none.
@@ -451,8 +482,12 @@ class NullTracer:
     sample_rate = 0.0
     store = None
     metrics = None
+    node_id = None
 
     def start_trace(self, name: str, **attrs) -> _NoopSpan:
+        return NOOP_SPAN
+
+    def start_remote(self, name: str, context, **attrs) -> _NoopSpan:
         return NOOP_SPAN
 
     def span(self, name: str, start: Optional[float] = None, **attrs) -> _NoopSpan:

@@ -24,8 +24,12 @@ import sys
 import threading
 from typing import Optional, Sequence
 
+import os
+
 from repro.errors import StoryPivotError
 from repro.obs import SpanStore, Tracer
+from repro.obs.propagate import make_node_id
+from repro.obs.slo import SLOEngine, default_objectives
 from repro.push import EventBus
 from repro.resilience.breaker import CircuitOpenError
 
@@ -81,6 +85,21 @@ def build_parser(prog: str = "storypivot-replica") -> argparse.ArgumentParser:
     parser.add_argument("--persist-every", type=float, default=5.0,
                         metavar="SEC",
                         help="--state-dir save cadence (default 5s)")
+    parser.add_argument("--node-id", default=None, metavar="ID",
+                        help="fleet identity stamped on spans, announced "
+                             "to the leader's /clusterz registry "
+                             "(default: follower@host:port)")
+    parser.add_argument("--advertise-url", default=None, metavar="URL",
+                        help="base URL the leader should scrape this "
+                             "node's /metricz at (default: "
+                             "http://<host>:<port>)")
+    parser.add_argument("--trace-export-mb", type=int, default=64,
+                        metavar="MB",
+                        help="rotate the JSONL trace export (under "
+                             "--state-dir) past this size (default 64)")
+    parser.add_argument("--trace-keep", type=int, default=3, metavar="N",
+                        help="sealed trace-export files retained after "
+                             "rotation (default 3)")
     return parser
 
 
@@ -88,8 +107,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
-    span_store = SpanStore()
-    tracer = Tracer(sample_rate=args.trace_sample, store=span_store)
+    node_id = args.node_id or make_node_id("follower", args.port or None)
+    export_path = (
+        os.path.join(args.state_dir, "traces.jsonl")
+        if args.state_dir else None
+    )
+    span_store = SpanStore(
+        export_path=export_path,
+        export_max_bytes=args.trace_export_mb * 1024 * 1024,
+        export_keep_files=args.trace_keep,
+    )
+    tracer = Tracer(
+        sample_rate=args.trace_sample, store=span_store, node_id=node_id
+    )
 
     replica = ReplicaRuntime(
         args.leader,
@@ -98,6 +128,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         tracer=tracer,
         state_dir=args.state_dir,
         persist_every=args.persist_every,
+        node_id=node_id,
+        advertise_url=args.advertise_url,
     )
     try:
         replica.start()
@@ -126,6 +158,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         bus=bus,
     ).start()
 
+    span_store.bind_metrics(replica.metrics)
+    slo = SLOEngine(default_objectives(
+        replica.metrics, refresher=refresher, runtime=replica,
+        staleness_limit=args.lag_budget,
+    )).start(interval=2.0)
+
     api = StoryPivotAPI(
         store,
         host=args.host,
@@ -140,9 +178,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         tracer=tracer,
         decisions=replica.decisions,
         bus=bus,
+        node_id=node_id,
+        slo=slo,
     ).start()
+    # the listener knows its real port only now: advertise it to the
+    # leader's registry so /clusterz can scrape this node's /metricz
+    if not replica.advertise_url:
+        replica.advertise_url = args.advertise_url or api.address
+    replica._maybe_register(force=True)
     print(f"replica of {args.leader} serving {replica.dataset} on "
-          f"{api.address} (generation {store.generation})", flush=True)
+          f"{api.address} (generation {store.generation}) as {node_id}",
+          flush=True)
 
     stop = threading.Event()
 
@@ -156,6 +202,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             stop.wait(0.2)
     finally:
         print("shutting down: draining in-flight requests", flush=True)
+        slo.stop()
         api.close()
         refresher.stop()
         replica.stop()

@@ -29,6 +29,7 @@ the records are re-fetched rather than applied corrupt.
 
 from __future__ import annotations
 
+import inspect
 import json
 import os
 import threading
@@ -46,14 +47,21 @@ from repro.core.persistence import (
 from repro.core.pipeline import StoryPivot
 from repro.errors import DataFormatError, StoryPivotError
 from repro.obs.decisions import DecisionLog
+from repro.obs.propagate import (
+    inject_headers,
+    make_node_id,
+    parse_traceparent,
+)
 from repro.obs.trace import NULL_TRACER, add_event
 from repro.replication.protocol import (
     DEFAULT_BATCH_RECORDS,
     MANIFEST_KIND,
+    REGISTER_KIND,
     SNAPSHOT_KIND,
     WAL_KIND,
     check_payload,
     manifest_url,
+    register_url,
     snapshot_url,
     wal_url,
 )
@@ -78,12 +86,35 @@ class ReplicationError(StoryPivotError):
     """A replication fetch or apply failed past its retry budget."""
 
 
-def _http_transport(timeout: float) -> Callable[[str], bytes]:
-    def fetch(url: str) -> bytes:
-        with urllib.request.urlopen(url, timeout=timeout) as response:
+def _http_transport(timeout: float) -> Callable[..., bytes]:
+    def fetch(url: str, headers: Optional[Dict[str, str]] = None) -> bytes:
+        request = urllib.request.Request(url, headers=headers or {})
+        with urllib.request.urlopen(request, timeout=timeout) as response:
             return response.read()
 
     return fetch
+
+
+def _transport_takes_headers(transport: Callable[..., bytes]) -> bool:
+    """Whether ``transport`` accepts a second ``headers`` argument.
+
+    The transport has been injectable since PR 6 with a one-argument
+    ``transport(url)`` contract; existing fault-injection transports
+    keep working untouched — they simply don't carry the traceparent.
+    """
+    try:
+        parameters = inspect.signature(transport).parameters.values()
+    except (TypeError, ValueError):
+        return False
+    positional = [
+        p for p in parameters
+        if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+    ]
+    if len(positional) >= 2:
+        return True
+    return any(p.kind == p.VAR_POSITIONAL for p in parameters) or any(
+        p.name == "headers" and p.kind == p.KEYWORD_ONLY for p in parameters
+    )
 
 
 class ReplicationClient:
@@ -95,7 +126,7 @@ class ReplicationClient:
         timeout: float = 5.0,
         retry: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
-        transport: Optional[Callable[[str], bytes]] = None,
+        transport: Optional[Callable[..., bytes]] = None,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.leader_url = leader_url.rstrip("/")
@@ -115,6 +146,7 @@ class ReplicationClient:
         self._transport = (
             transport if transport is not None else _http_transport(timeout)
         )
+        self._headers_ok = _transport_takes_headers(self._transport)
 
     def _fetch_json(
         self, url: str, kind: str, retry: Optional[RetryPolicy] = None
@@ -122,9 +154,12 @@ class ReplicationClient:
         retry = retry if retry is not None else self.retry
 
         def pull() -> Dict[str, object]:
-            return check_payload(
-                json.loads(self._transport(url).decode("utf-8")), kind
-            )
+            if self._headers_ok:
+                # ambient span (bootstrap root, traced read) rides along
+                raw = self._transport(url, inject_headers())
+            else:
+                raw = self._transport(url)
+            return check_payload(json.loads(raw.decode("utf-8")), kind)
 
         return self.breaker.call_with_retry(pull, retry=retry, key=url)
 
@@ -146,6 +181,12 @@ class ReplicationClient:
         return self._fetch_json(
             wal_url(self.leader_url, shard_id, from_seq, max_records),
             WAL_KIND,
+        )
+
+    def register(self, node_id: str, metrics_url: str = "") -> Dict[str, object]:
+        return self._fetch_json(
+            register_url(self.leader_url, node_id, metrics_url),
+            REGISTER_KIND,
         )
 
 
@@ -183,11 +224,21 @@ class ReplicaRuntime:
         bootstrap_retry: Optional[RetryPolicy] = None,
         state_dir: Optional[str] = None,
         persist_every: float = 5.0,
+        node_id: Optional[str] = None,
+        advertise_url: Optional[str] = None,
+        register_interval: float = 10.0,
     ) -> None:
         self.leader_url = leader_url.rstrip("/")
         self.poll_interval = poll_interval
         self.batch_records = batch_records
         self.lag_budget = lag_budget
+        #: fleet identity announced to the leader's follower registry;
+        #: ``advertise_url`` is where this node's /metricz lives (the
+        #: CLI fills it in once the API listener knows its port)
+        self.node_id = node_id if node_id else make_node_id("follower")
+        self.advertise_url = advertise_url
+        self.register_interval = register_interval
+        self._registered_at = 0.0
         #: local directory for {cursor, state} persistence — a restarted
         #: follower warm-starts from here and tails from its saved
         #: cursor instead of re-bootstrapping snapshot-then-segments
@@ -226,6 +277,8 @@ class ReplicaRuntime:
         self.metrics.counter("replication.errors")
         self.metrics.counter("replication.state_saves")
         self.metrics.counter("replication.warm_starts")
+        self.metrics.counter("replication.registrations")
+        self.metrics.counter("replication.register_failures")
         self.metrics.counter("wal.torn_records")
         self.metrics.gauge("replication.lag_seconds")
 
@@ -235,32 +288,44 @@ class ReplicaRuntime:
         if self._started:
             return self
         self._started = True
-        manifest = self.client.fetch_manifest(retry=self._bootstrap_retry)
-        self.config = StoryPivotConfig(**manifest["config"])
-        self.dataset = manifest.get("dataset", "corpus")
-        self.source_meta = dict(manifest.get("sources", {}))
-        num_shards = int(manifest["num_shards"])
-        self._shards = [
-            _ReplicaShard(shard_id, self.config)
-            for shard_id in range(num_shards)
-        ]
-        # warm start only when the saved state describes the same
-        # topology and pipeline config — a reconfigured leader makes
-        # local state meaningless, so it is discarded, not migrated
-        local = self._load_local_manifest()
-        warm = (
-            local is not None
-            and int(local.get("num_shards", -1)) == num_shards
-            and local.get("config") == manifest["config"]
-        )
-        for shard in self._shards:
-            self.metrics.gauge("replication.lag_records", shard=shard.shard_id)
-            if warm and self._load_shard(shard):
-                continue
-            self._bootstrap_shard(shard)
-        if self.state_dir is not None:
-            self._save_local_manifest(manifest)
+        # the bootstrap is one trace: its root is ambient while the
+        # manifest and snapshots are pulled, so every fetch carries the
+        # traceparent and the leader-side ship spans parent under it —
+        # a cold start renders as one stitched cross-node tree
+        with self.tracer.span(
+            "replication.bootstrap", leader=self.leader_url,
+            node=self.node_id,
+        ) as boot:
+            manifest = self.client.fetch_manifest(retry=self._bootstrap_retry)
+            self.config = StoryPivotConfig(**manifest["config"])
+            self.dataset = manifest.get("dataset", "corpus")
+            self.source_meta = dict(manifest.get("sources", {}))
+            num_shards = int(manifest["num_shards"])
+            self._shards = [
+                _ReplicaShard(shard_id, self.config)
+                for shard_id in range(num_shards)
+            ]
+            # warm start only when the saved state describes the same
+            # topology and pipeline config — a reconfigured leader makes
+            # local state meaningless, so it is discarded, not migrated
+            local = self._load_local_manifest()
+            warm = (
+                local is not None
+                and int(local.get("num_shards", -1)) == num_shards
+                and local.get("config") == manifest["config"]
+            )
+            for shard in self._shards:
+                self.metrics.gauge(
+                    "replication.lag_records", shard=shard.shard_id
+                )
+                if warm and self._load_shard(shard):
+                    continue
+                self._bootstrap_shard(shard)
+            if self.state_dir is not None:
+                self._save_local_manifest(manifest)
+            boot.set(shards=num_shards, warm=bool(warm))
         self._bootstrapped = True
+        self._maybe_register(force=True)
         self._thread = threading.Thread(
             target=self._tail_loop,
             name="storypivot-replica-tail",
@@ -449,8 +514,26 @@ class ReplicaRuntime:
                 self.metrics.counter("replication.errors").inc()
             self._refresh_lag_gauges()
             self._maybe_persist()
+            self._maybe_register()
             if pause:
                 self._stop.wait(pause)
+
+    def _maybe_register(self, force: bool = False) -> None:
+        """Refresh this node's entry in the leader's follower registry.
+
+        Best-effort on purpose: registration is observability plumbing
+        and must never be able to stall or fail replication — a leader
+        that predates the register endpoint 404s, and that is fine.
+        """
+        now = time.time()
+        if not force and now - self._registered_at < self.register_interval:
+            return
+        self._registered_at = now
+        try:
+            self.client.register(self.node_id, self.advertise_url or "")
+            self.metrics.counter("replication.registrations").inc()
+        except Exception:
+            self.metrics.counter("replication.register_failures").inc()
 
     def _poll_shard(self, shard: _ReplicaShard) -> bool:
         """One fetch+apply round; True when records were applied."""
@@ -475,7 +558,10 @@ class ReplicaRuntime:
             # applying it would skip records — discard and re-fetch
             self.metrics.counter("replication.stale_batches").inc()
             return False
-        applied = self._apply_records(shard, payload["records"])
+        applied = self._apply_records(
+            shard, payload["records"],
+            ship_context=parse_traceparent(payload.get("trace")),
+        )
         position = int(payload["position"])
         with shard.lock:
             shard.leader_position = max(shard.leader_position, position)
@@ -487,7 +573,10 @@ class ReplicaRuntime:
         return applied > 0
 
     def _apply_records(
-        self, shard: _ReplicaShard, records: List[Dict[str, object]]
+        self,
+        shard: _ReplicaShard,
+        records: List[Dict[str, object]],
+        ship_context=None,
     ) -> int:
         """Apply a batch in sequence order; returns records applied.
 
@@ -497,6 +586,12 @@ class ReplicaRuntime:
         its WAL) — the cursor jumps forward.  A CRC mismatch, by
         contrast, means *our copy* is bad: the batch is abandoned and
         re-fetched next poll.
+
+        ``ship_context`` is the leader-side ``replication.ship`` span's
+        traceparent (from the payload): when present, the apply span
+        *continues that trace* instead of rooting a fresh one, so
+        /tracez shows leader ship → follower apply as one tree with the
+        leader's sampling verdict governing both halves.
         """
         if not records:
             return 0
@@ -505,14 +600,44 @@ class ReplicaRuntime:
             key=lambda r: r["seq"],
         )
         applied = 0
-        with self.tracer.span(
-            "replication.apply", shard=shard.shard_id, batch=len(ordered)
-        ) as span:
+        if ship_context is not None:
+            span_cm = self.tracer.start_remote(
+                "replication.apply", ship_context,
+                shard=shard.shard_id, batch=len(ordered),
+            )
+        else:
+            # sp-lint: disable=SP301 -- entered by the `with span_cm` below; the branch only picks remote vs local root
+            span_cm = self.tracer.span(
+                "replication.apply", shard=shard.shard_id, batch=len(ordered)
+            )
+        links: List[str] = []
+        for record in ordered:
+            ingest = record.get("trace")
+            if ingest and ingest not in links:
+                links.append(ingest)
+                if len(links) >= 8:
+                    break
+        with span_cm as span:
+            if links:
+                # back-links to the leader-side ingest traces whose
+                # snippets this batch materializes
+                span.set(links=links)
             with shard.lock:
                 for record in ordered:
                     seq = record["seq"]
                     if seq < shard.cursor:
                         continue  # duplicate delivery; already applied
+                    if seq > shard.cursor:
+                        # the leader is authoritative about gaps (torn
+                        # records pruned from its WAL) — but a jump is
+                        # rare enough that it must leave a trail
+                        self.metrics.counter(
+                            "replication.gap_jumps"
+                        ).inc()
+                        span.add_event(
+                            "replication.gap_jump", shard=shard.shard_id,
+                            cursor=shard.cursor, seq=seq,
+                        )
                     if not verify_record(record):
                         self.metrics.counter(
                             "replication.crc_failures"

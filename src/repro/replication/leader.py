@@ -19,17 +19,21 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional
 from urllib.parse import parse_qsl, urlsplit
 
 from repro.core.persistence import config_record
-from repro.obs.trace import Tracer
+from repro.obs.propagate import extract_context, span_traceparent
+from repro.obs.trace import Tracer, current_span
 from repro.replication.protocol import (
     DEFAULT_BATCH_RECORDS,
     MANIFEST_KIND,
     MANIFEST_PATH,
     PROTOCOL_VERSION,
+    REGISTER_KIND,
+    REGISTER_PATH,
     SNAPSHOT_KIND,
     SNAPSHOT_PATH,
     WAL_KIND,
@@ -67,6 +71,11 @@ class ReplicationServer:
         self.tracer = tracer if tracer is not None else Tracer(sample_rate=0.0)
         self._server: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
+        # soft-state follower registry for the observability plane:
+        # node id -> {url, registered_at, registrations}; populated by
+        # /replication/v1/register, consumed by the FleetCollector
+        self._followers: Dict[str, Dict[str, object]] = {}
+        self._followers_lock = threading.Lock()
         # touch the WAL accessor now: a runtime that cannot lead
         # (process executor / no wal_dir) must fail at construction,
         # not on the first follower request
@@ -77,6 +86,7 @@ class ReplicationServer:
         self.metrics.counter("replication.ship.bytes")
         self.metrics.counter("replication.ship.snapshots")
         self.metrics.counter("replication.ship.resets")
+        self.metrics.counter("replication.ship.registrations")
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -144,13 +154,17 @@ class ReplicationServer:
     def snapshot_payload(self, shard_id: int) -> Dict[str, object]:
         text, position = self.runtime.shard_snapshot(shard_id)
         self.metrics.counter("replication.ship.snapshots").inc()
-        return {
+        payload = {
             "kind": SNAPSHOT_KIND,
             "version": PROTOCOL_VERSION,
             "shard": shard_id,
             "position": position,
             "state": text,
         }
+        trace = span_traceparent(current_span())
+        if trace is not None:
+            payload["trace"] = trace
+        return payload
 
     def wal_payload(
         self, shard_id: int, from_seq: int, max_records: int
@@ -176,7 +190,7 @@ class ReplicationServer:
             wal.iter_records(from_seq, max_records)
         )
         self.metrics.counter("replication.ship.records").inc(len(records))
-        return {
+        payload = {
             "kind": WAL_KIND,
             "version": PROTOCOL_VERSION,
             "shard": shard_id,
@@ -186,6 +200,59 @@ class ReplicationServer:
             "reset": False,
             "records": records,
         }
+        span = current_span()
+        trace = span_traceparent(span)
+        if trace is not None:
+            payload["trace"] = trace
+        if span is not None and span.sampled:
+            # the ship span links back to the ingest traces whose
+            # records it carries, so /tracez can walk from a shipped
+            # batch to the leader-side accepts it forwarded
+            links: List[str] = []
+            for record in records:
+                ingest = record.get("trace")
+                if ingest and ingest not in links:
+                    links.append(ingest)
+                    if len(links) >= 8:
+                        break
+            if links:
+                span.set(links=links)
+        return payload
+
+    # -- follower registry -------------------------------------------------
+
+    def register_follower(self, node_id: str, url: str = "") -> Dict[str, object]:
+        """Record (or refresh) a follower's presence; returns the ack."""
+        if not node_id:
+            raise ValueError("register requires a non-empty node id")
+        now = time.time()
+        with self._followers_lock:
+            entry = self._followers.get(node_id)
+            if entry is None:
+                entry = self._followers[node_id] = {
+                    "node": node_id,
+                    "first_seen": round(now, 3),
+                    "registrations": 0,
+                }
+            if url:
+                entry["url"] = url
+            entry["registered_at"] = round(now, 3)
+            entry["registrations"] = int(entry["registrations"]) + 1
+            count = len(self._followers)
+        self.metrics.counter("replication.ship.registrations").inc()
+        return {
+            "kind": REGISTER_KIND,
+            "version": PROTOCOL_VERSION,
+            "node": node_id,
+            "followers": count,
+        }
+
+    def followers(self) -> List[Dict[str, object]]:
+        """Registered followers, most recently refreshed first."""
+        with self._followers_lock:
+            entries = [dict(entry) for entry in self._followers.values()]
+        entries.sort(key=lambda e: -float(e.get("registered_at", 0)))
+        return entries
 
     def health(self) -> Dict[str, object]:
         """Leader-side replication component for ``/healthz``."""
@@ -194,6 +261,8 @@ class ReplicationServer:
         def value(name: str) -> int:
             return int(snap.get(name, {}).get("value", 0))
 
+        with self._followers_lock:
+            followers = len(self._followers)
         return {
             "status": "ok" if self._server is not None else "degraded",
             "role": "leader",
@@ -202,6 +271,7 @@ class ReplicationServer:
             "snapshots_shipped": value("replication.ship.snapshots"),
             "records_shipped": value("replication.ship.records"),
             "resets": value("replication.ship.resets"),
+            "followers": followers,
         }
 
 
@@ -223,10 +293,34 @@ class _ReplicationRequestHandler(BaseHTTPRequestHandler):
         split = urlsplit(self.path)
         path = split.path.rstrip("/")
         params = dict(parse_qsl(split.query))
-        with ship.tracer.span("replication.ship", path=path) as span:
+        # a caller that is itself tracing (follower bootstrap, client
+        # read) hands us its context; the ship span then parents into
+        # the remote trace instead of rooting a new one
+        remote = extract_context(self.headers)
+        if remote is not None:
+            span_cm = ship.tracer.start_remote(
+                "replication.ship", remote, path=path
+            )
+        else:
+            # sp-lint: disable=SP301 -- entered by the `with span_cm` below; the branch only picks remote vs local root
+            span_cm = ship.tracer.span("replication.ship", path=path)
+        with span_cm as span:
             try:
                 if path == MANIFEST_PATH:
                     self._send_json(200, ship.manifest_payload())
+                    return
+                if path == REGISTER_PATH:
+                    node_id = params.get("node", "")
+                    span.set(kind="register", node=node_id)
+                    if not node_id:
+                        self._send_json(
+                            400, {"error": "register requires ?node=<id>"}
+                        )
+                        return
+                    self._send_json(
+                        200,
+                        ship.register_follower(node_id, params.get("url", "")),
+                    )
                     return
                 shard_id = self._shard_of(path, SNAPSHOT_PATH)
                 if shard_id is not None:

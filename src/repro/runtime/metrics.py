@@ -317,7 +317,15 @@ def _prom_value(value: object) -> str:
 
 
 def _prom_escape(value: object) -> str:
-    return str(value).replace("\\", "\\\\").replace('"', '\\"')
+    # exposition-format label escaping: backslash first, then quote and
+    # newline — a literal newline in a label value would split the sample
+    # line and corrupt the whole scrape
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
 
 
 def _prom_labels(labels: Dict[str, str]) -> str:

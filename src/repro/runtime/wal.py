@@ -36,6 +36,7 @@ import json
 import logging
 import os
 import re
+import threading
 import zlib
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -49,7 +50,7 @@ from repro.core.persistence import (
 )
 from repro.core.pipeline import StoryPivot
 from repro.errors import DataFormatError
-from repro.obs.trace import add_event
+from repro.obs.trace import add_event, current_span
 from repro.eventdata.models import Snippet
 
 MANIFEST_NAME = "manifest.json"
@@ -114,6 +115,14 @@ class ShardWal:
         self._next_seq = 0
         self._active_base_seq = 0
         self._bootstrapped = False
+        #: serializes rotation against readers.  The worker thread
+        #: rotates (rename active → segment, prune old segments) while
+        #: the replication ship thread iterates records; without mutual
+        #: exclusion a reader can list segments, lose the race, and then
+        #: read the *fresh empty* active file — the renamed-away records
+        #: appear as a sequence gap, which a follower is entitled to
+        #: interpret as "pruned on the leader" and silently skip.
+        self._rotate_lock = threading.RLock()
         #: torn/corrupt records skipped by the last :meth:`replay`
         self.torn_records = 0
 
@@ -131,20 +140,25 @@ class ShardWal:
         A torn *tail* record's seq is reused by the next append, which
         is fine: the torn record is invisible to every reader.
         """
-        if self._bootstrapped:
-            return
-        self._bootstrapped = True
-        base = 0
-        for _, end, _ in self.segments():
-            base = max(base, end + 1)
-        self._active_base_seq = base
-        last_seq = None
-        if os.path.exists(self.path):
-            for record in self._decode_lines(self.path):
-                seq = record.get("seq")
-                if isinstance(seq, int) and (last_seq is None or seq > last_seq):
-                    last_seq = seq
-        self._next_seq = base if last_seq is None else max(base, last_seq + 1)
+        with self._rotate_lock:
+            if self._bootstrapped:
+                return
+            self._bootstrapped = True
+            base = 0
+            for _, end, _ in self.segments():
+                base = max(base, end + 1)
+            self._active_base_seq = base
+            last_seq = None
+            if os.path.exists(self.path):
+                for record in self._decode_lines(self.path):
+                    seq = record.get("seq")
+                    if isinstance(seq, int) and (
+                        last_seq is None or seq > last_seq
+                    ):
+                        last_seq = seq
+            self._next_seq = (
+                base if last_seq is None else max(base, last_seq + 1)
+            )
 
     @property
     def position(self) -> int:
@@ -159,18 +173,28 @@ class ShardWal:
 
     def append(self, snippet: Snippet) -> int:
         """Log one accepted snippet; returns bytes written."""
-        self._ensure_open()
-        record = snippet_record(snippet)
-        record["kind"] = "wal-entry"
-        record["seq"] = self._next_seq
-        frame_record(record)
-        self._next_seq += 1
-        line = json.dumps(record) + "\n"
-        self._handle.write(line)
-        self._handle.flush()
-        if self.fsync:
-            os.fsync(self._handle.fileno())
-        return len(line.encode("utf-8"))
+        with self._rotate_lock:
+            self._ensure_open()
+            record = snippet_record(snippet)
+            record["kind"] = "wal-entry"
+            record["seq"] = self._next_seq
+            # ingest provenance: the sampled trace this snippet was
+            # accepted under rides along, so a shipped record can be
+            # stitched back to the leader-side ingest trace from any
+            # follower (the field is covered by the CRC frame and
+            # ignored by replay)
+            span = current_span()
+            if span is not None and span.sampled:
+                record["trace"] = span.trace_id
+            frame_record(record)
+            self._next_seq += 1
+            line = json.dumps(record) + "\n"
+            self._handle.write(line)
+            self._handle.flush()
+            if self.fsync:
+                # sp-lint: disable=SP201 -- the durability barrier is part of the append critical section: a rotate must not rename bytes that are not yet on disk
+                os.fsync(self._handle.fileno())
+            return len(line.encode("utf-8"))
 
     def _decode_lines(
         self, path: str, stop_on_error: bool = False, count_bad: bool = False
@@ -201,6 +225,7 @@ class ShardWal:
                     if stop_on_error:
                         return
                     if count_bad:
+                        # sp-lint: disable=SP202 -- count_bad callers (replay, reset's bootstrap) hold the rotate lock
                         self.torn_records += 1
                         add_event(
                             "wal.torn_record", path=path, line=line_no,
@@ -230,24 +255,25 @@ class ShardWal:
         after a checkpoint durably captured their records, so the active
         file is exactly the tail the last checkpoint does not cover.
         """
-        self.torn_records = 0
-        snippets: List[Snippet] = []
-        last_seq = None
-        for record in self._decode_lines(self.path, count_bad=True):
-            snippets.append(snippet_from_record(record))
-            seq = record.get("seq")
-            if isinstance(seq, int):
-                last_seq = seq
-        base = 0
-        for _, end, _ in self.segments():
-            base = max(base, end + 1)
-        self._active_base_seq = base
-        self._next_seq = (
-            max(base, last_seq + 1) if last_seq is not None
-            else max(base, len(snippets))
-        )
-        self._bootstrapped = True
-        return snippets
+        with self._rotate_lock:
+            self.torn_records = 0
+            snippets: List[Snippet] = []
+            last_seq = None
+            for record in self._decode_lines(self.path, count_bad=True):
+                snippets.append(snippet_from_record(record))
+                seq = record.get("seq")
+                if isinstance(seq, int):
+                    last_seq = seq
+            base = 0
+            for _, end, _ in self.segments():
+                base = max(base, end + 1)
+            self._active_base_seq = base
+            self._next_seq = (
+                max(base, last_seq + 1) if last_seq is not None
+                else max(base, len(snippets))
+            )
+            self._bootstrapped = True
+            return snippets
 
     # -- segments (replication shipping units) -----------------------------
 
@@ -286,34 +312,37 @@ class ShardWal:
         must re-bootstrap from a snapshot.  Returns the segment path,
         or None when the active file has no records.
         """
-        self._bootstrap()
-        if self._next_seq == self._active_base_seq:
-            return None  # nothing appended since the last rotation
-        self.close()
-        first, last = self._active_base_seq, self._next_seq - 1
-        segment = f"{self.path}.{first:08d}-{last:08d}.seg"
-        os.replace(self.path, segment)
-        self._active_base_seq = self._next_seq
-        with open(self.path, "w", encoding="utf-8"):
-            pass
-        if self.keep_segments >= 0:
-            retained = self.segments()
-            for _, _, stale in retained[:max(
-                0, len(retained) - self.keep_segments
-            )]:
-                try:
-                    os.unlink(stale)
-                except OSError:
-                    pass
-        return segment
+        with self._rotate_lock:
+            self._bootstrap()
+            if self._next_seq == self._active_base_seq:
+                return None  # nothing appended since the last rotation
+            self.close()
+            first, last = self._active_base_seq, self._next_seq - 1
+            segment = f"{self.path}.{first:08d}-{last:08d}.seg"
+            os.replace(self.path, segment)
+            self._active_base_seq = self._next_seq
+            # sp-lint: disable=SP201 -- the rename/reopen must be atomic vs readers; this lock is what makes it so
+            with open(self.path, "w", encoding="utf-8"):
+                pass
+            if self.keep_segments >= 0:
+                retained = self.segments()
+                for _, _, stale in retained[:max(
+                    0, len(retained) - self.keep_segments
+                )]:
+                    try:
+                        os.unlink(stale)
+                    except OSError:
+                        pass
+            return segment
 
     def earliest_available_seq(self) -> int:
         """The oldest sequence still on disk (segments included)."""
-        self._bootstrap()
-        retained = self.segments()
-        if retained:
-            return retained[0][0]
-        return self._active_base_seq
+        with self._rotate_lock:
+            self._bootstrap()
+            retained = self.segments()
+            if retained:
+                return retained[0][0]
+            return self._active_base_seq
 
     def iter_records(
         self, from_seq: int = 0, max_records: Optional[int] = None
@@ -326,15 +355,30 @@ class ShardWal:
         than mis-counting it as corruption.  Callers below
         :meth:`earliest_available_seq` should bootstrap from a snapshot
         instead — pruned records are gone.
+
+        The whole iteration holds the rotation lock: a checkpoint that
+        rotated (or pruned) files between the segment listing and the
+        reads would make the renamed-away records look like a sequence
+        gap — and a replication follower treats a gap as "pruned on the
+        leader" and skips it, silently losing the records.
         """
-        self._bootstrap()
-        if self._handle is not None:
-            self._handle.flush()
-        yielded = 0
-        for _, end, path in self.segments():
-            if end < from_seq:
-                continue
-            for record in self._decode_lines(path):
+        with self._rotate_lock:
+            self._bootstrap()
+            if self._handle is not None:
+                self._handle.flush()
+            yielded = 0
+            for _, end, path in self.segments():
+                if end < from_seq:
+                    continue
+                for record in self._decode_lines(path):
+                    seq = record.get("seq")
+                    if isinstance(seq, int) and seq < from_seq:
+                        continue
+                    yield record
+                    yielded += 1
+                    if max_records is not None and yielded >= max_records:
+                        return
+            for record in self._decode_lines(self.path, stop_on_error=True):
                 seq = record.get("seq")
                 if isinstance(seq, int) and seq < from_seq:
                     continue
@@ -342,14 +386,6 @@ class ShardWal:
                 yielded += 1
                 if max_records is not None and yielded >= max_records:
                     return
-        for record in self._decode_lines(self.path, stop_on_error=True):
-            seq = record.get("seq")
-            if isinstance(seq, int) and seq < from_seq:
-                continue
-            yield record
-            yielded += 1
-            if max_records is not None and yielded >= max_records:
-                return
 
     def reset(self) -> None:
         """Discard the log entirely — active file, segments and cursor.
@@ -358,17 +394,19 @@ class ShardWal:
         checkpoint cycle uses :meth:`rotate`, which preserves sequence
         numbering and keeps sealed segments for replication.
         """
-        self.close()
-        with open(self.path, "w", encoding="utf-8"):
-            pass
-        for _, _, path in self.segments():
-            try:
-                os.unlink(path)
-            except OSError:
+        with self._rotate_lock:
+            self.close()
+            # sp-lint: disable=SP201 -- truncation must be atomic vs readers; this lock is what makes it so
+            with open(self.path, "w", encoding="utf-8"):
                 pass
-        self._next_seq = 0
-        self._active_base_seq = 0
-        self._bootstrapped = True
+            for _, _, path in self.segments():
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+            self._next_seq = 0
+            self._active_base_seq = 0
+            self._bootstrapped = True
 
     def size_bytes(self) -> int:
         if self._handle is not None:

@@ -31,6 +31,9 @@ from typing import IO, Optional
 from urllib.parse import parse_qsl, unquote, urlsplit
 
 from repro.obs.decisions import format_event, merge_histories
+from repro.obs.fleet import federate_payload
+from repro.obs.propagate import extract_context, make_node_id
+from repro.obs.slo import render_slo_table
 from repro.obs.trace import Tracer
 from repro.push.bus import PushError
 from repro.push.transport import (
@@ -84,6 +87,9 @@ class StoryPivotAPI:
         decisions=None,
         replication=None,
         bus=None,
+        node_id=None,
+        fleet=None,
+        slo=None,
     ) -> None:
         self.store = store
         self.refresher = refresher
@@ -93,6 +99,10 @@ class StoryPivotAPI:
         #: leader-side ReplicationServer whose shipping health should be
         #: surfaced in /healthz (followers report through runtime instead)
         self.replication = replication
+        #: leader-side FleetCollector serving /clusterz (None = 404)
+        self.fleet = fleet
+        #: SLOEngine serving /sloz and the slo /healthz component
+        self.slo = slo
         self.host = host
         self._requested_port = port
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -101,6 +111,13 @@ class StoryPivotAPI:
         self.tracer = tracer if tracer is not None else Tracer(sample_rate=0.0)
         if self.tracer.enabled and self.tracer.metrics is None:
             self.tracer.metrics = self.metrics
+        #: fleet identity echoed in X-StoryPivot-Node and the federate
+        #: envelope; defaults to the tracer's (the CLI sets both)
+        self.node_id = (
+            node_id
+            or getattr(self.tracer, "node_id", None)
+            or make_node_id(getattr(runtime, "role", None) or "node")
+        )
         self.decisions = (
             decisions
             if decisions is not None
@@ -247,6 +264,11 @@ class StoryPivotAPI:
             component = self.refresher.health()
             components["view"] = component
             statuses.append(component["status"])
+        if self.slo is not None:
+            self.slo.observe()
+            component = self.slo.health()
+            components["slo"] = component
+            statuses.append(component["status"])
         if "unhealthy" in statuses:
             status = "unhealthy"
         elif "degraded" in statuses:
@@ -256,6 +278,7 @@ class StoryPivotAPI:
         payload = {
             "status": status,
             "role": role or "leader",
+            "node": self.node_id,
             "generation": view.generation,
             "dataset": view.dataset,
             "num_stories": len(view.stories),
@@ -263,13 +286,22 @@ class StoryPivotAPI:
         }
         return (503 if status == "unhealthy" else 200), payload
 
-    def _metricz_payload(self, fmt: str = "json") -> bytes:
+    def _metricz_payload(self, fmt: str = "json", federate: bool = False) -> bytes:
         self.metrics.gauge("http.cache.entries").set(len(self.cache))
         self.metrics.gauge("http.cache.hit_rate").set(self.cache.hit_rate)
         self.metrics.gauge("view.generation").set(self.store.generation)
         if self.bus is not None:
             # per-subscriber lag/depth/drop gauges, scrape-time fresh
             self.bus.refresh_metrics()
+        if federate:
+            # the machine view the FleetCollector scrapes: the snapshot
+            # wrapped in a self-describing envelope (who, role, when)
+            return _json_bytes(federate_payload(
+                self.metrics, self.node_id,
+                role=getattr(self.runtime, "role", None)
+                or ("leader" if self.replication is not None else "serve"),
+                generation=self.store.generation,
+            ))
         snapshot = self.metrics.snapshot()
         if fmt == "prometheus":
             return prometheus_render(snapshot).encode("utf-8")
@@ -360,7 +392,18 @@ class _ApiRequestHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:
         app = self.app
-        root = app.tracer.start_trace("http.request", path=self.path)
+        # a traced caller (another node, an instrumented client) hands
+        # us its traceparent: this request then *continues* that trace
+        # — the follower-read case where http.request parents into the
+        # leader-side trace.  Absent, malformed or foreign headers all
+        # fall through to a fresh local root.
+        remote = extract_context(self.headers)
+        if remote is not None:
+            root = app.tracer.start_remote(
+                "http.request", remote, path=self.path
+            )
+        else:
+            root = app.tracer.start_trace("http.request", path=self.path)
         self._trace_id = root.trace_id or None
         self._request_id = self.headers.get("X-Request-Id")
         with app.tracer.attach(root):
@@ -401,14 +444,61 @@ class _ApiRequestHandler(BaseHTTPRequestHandler):
                     "Accept", ""
                 ):
                     fmt = "prometheus"
-                body = app._metricz_payload(fmt or "json")
+                federate = params.get("federate", "") not in ("", "0")
+                body = app._metricz_payload(fmt or "json", federate=federate)
                 content_type = {
                     "prometheus": PROMETHEUS_TYPE,
                     "text": "text/plain",
-                }.get(fmt, JSON_TYPE)
+                }.get("json" if federate else fmt, JSON_TYPE)
                 generation = app.store.generation
                 status, sent = self._send_body(
                     200, body, content_type, generation, etag=None
+                )
+                return
+
+            if split.path.rstrip("/") == "/clusterz":
+                if app.fleet is None:
+                    status, sent = self._send_error_json(
+                        404, "fleet federation is not enabled on this "
+                             "node (no FleetCollector attached)",
+                    )
+                    return
+                generation = app.store.generation
+                fmt = params.get("format", "")
+                if not fmt and "version=0.0.4" in self.headers.get(
+                    "Accept", ""
+                ):
+                    fmt = "prometheus"
+                if fmt == "prometheus":
+                    status, sent = self._send_body(
+                        200, app.fleet.prometheus().encode("utf-8"),
+                        PROMETHEUS_TYPE, generation, etag=None,
+                    )
+                    return
+                status, sent = self._send_body(
+                    200, _json_bytes(app.fleet.clusterz_payload()),
+                    JSON_TYPE, generation, etag=None,
+                )
+                return
+
+            if split.path.rstrip("/") == "/sloz":
+                if app.slo is None:
+                    status, sent = self._send_error_json(
+                        404, "no SLO engine attached to this server",
+                    )
+                    return
+                app.slo.observe()
+                generation = app.store.generation
+                payload = app.slo.evaluate()
+                if params.get("format") == "text":
+                    body = (render_slo_table(payload) + "\n").encode("utf-8")
+                    status, sent = self._send_body(
+                        200, body, "text/plain", generation, etag=None
+                    )
+                    return
+                status, sent = self._send_body(
+                    200, _json_bytes(payload), JSON_TYPE, generation,
+                    etag=None,
                 )
                 return
 
@@ -723,6 +813,8 @@ class _ApiRequestHandler(BaseHTTPRequestHandler):
         trace_id = getattr(self, "_trace_id", None)
         if trace_id:
             self.send_header("X-Trace-Id", trace_id)
+        if self.app.node_id:
+            self.send_header("X-StoryPivot-Node", self.app.node_id)
         request_id = getattr(self, "_request_id", None)
         if request_id:
             self.send_header("X-Request-Id", request_id)

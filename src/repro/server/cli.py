@@ -33,6 +33,9 @@ from repro.core.pipeline import StoryPivot
 from repro.errors import StoryPivotError
 from repro.eventdata.models import DAY
 from repro.obs import DecisionLog, SpanStore, Tracer
+from repro.obs.fleet import FleetCollector
+from repro.obs.propagate import make_node_id
+from repro.obs.slo import SLOEngine, default_objectives
 from repro.push import EventBus
 from repro.runtime.metrics import MetricsRegistry
 from repro.runtime.runtime import RuntimeOptions, ShardedRuntime
@@ -125,6 +128,18 @@ def build_parser(prog: str = "storypivot-api") -> argparse.ArgumentParser:
     parser.add_argument("--lockwatch", action="store_true",
                         help="instrument every lock and print an "
                              "order-inversion report at shutdown")
+    parser.add_argument("--node-id", default=None, metavar="ID",
+                        help="fleet identity stamped on spans, /clusterz "
+                             "rows and the X-StoryPivot-Node header "
+                             "(default: role@host:port)")
+    parser.add_argument("--trace-export-mb", type=int, default=64,
+                        metavar="MB",
+                        help="rotate the JSONL trace export past this "
+                             "size, keeping --trace-keep sealed files "
+                             "(default 64)")
+    parser.add_argument("--trace-keep", type=int, default=3, metavar="N",
+                        help="sealed trace-export files retained after "
+                             "rotation (default 3)")
     return parser
 
 
@@ -191,11 +206,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     replication = None
     injector = None
 
+    node_id = args.node_id or make_node_id(
+        "leader" if args.follow else "api", args.port or None
+    )
     export_path = (
         os.path.join(args.wal_dir, "traces.jsonl") if args.wal_dir else None
     )
-    span_store = SpanStore(export_path=export_path)
-    tracer = Tracer(sample_rate=args.trace_sample, store=span_store)
+    span_store = SpanStore(
+        export_path=export_path,
+        export_max_bytes=args.trace_export_mb * 1024 * 1024,
+        export_keep_files=args.trace_keep,
+    )
+    tracer = Tracer(
+        sample_rate=args.trace_sample, store=span_store, node_id=node_id
+    )
 
     if args.follow:
         runtime = ShardedRuntime(
@@ -295,6 +319,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # one generation event plus any history replay a cursor asks for
         bus.note_view(view)
 
+    span_store.bind_metrics(metrics)
+    # the fleet plane: /clusterz on any node that leads followers, and a
+    # burn-rate SLO engine on every node (its ticker is the cadence the
+    # 5m/1h windows are evaluated over between /sloz polls)
+    fleet = None
+    if replication is not None:
+        fleet = FleetCollector(
+            metrics, node_id, role="leader",
+            replication=replication, store=store,
+        )
+    slo = SLOEngine(default_objectives(
+        metrics, refresher=refresher, runtime=runtime,
+        staleness_limit=args.lag_budget,
+    )).start(interval=2.0)
+
     api = StoryPivotAPI(
         store,
         host=args.host,
@@ -310,6 +349,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         decisions=decisions,
         replication=replication,
         bus=bus,
+        node_id=node_id,
+        fleet=fleet,
+        slo=slo,
     )
     api.start()
     print(f"serving {corpus.name} on {api.address} "
@@ -329,6 +371,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             stop.wait(0.2)
     finally:
         print("shutting down: draining in-flight requests", flush=True)
+        slo.stop()
         api.close()
         if replication is not None:
             replication.close()

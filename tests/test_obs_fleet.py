@@ -1,0 +1,177 @@
+"""Metrics federation: scrape envelopes, /clusterz aggregation, degrade.
+
+All transport here is injected — the fleet is a dict of canned federate
+payloads plus deliberately broken entries — so every aggregation and
+degradation path runs without sockets.  The governing invariant: a dead
+or misbehaving follower *changes the answer*, it never *breaks* it.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.fleet import (
+    FEDERATE_KIND,
+    FleetCollector,
+    federate_payload,
+    node_summary,
+)
+from repro.runtime.metrics import MetricsRegistry
+
+
+class FakeReplication:
+    def __init__(self, entries):
+        self._entries = entries
+
+    def followers(self):
+        return list(self._entries)
+
+
+class FakeFleetTransport:
+    """url -> canned bytes; registered exceptions raise instead."""
+
+    def __init__(self):
+        self.payloads = {}
+        self.failures = {}
+        self.urls = []
+
+    def add_node(self, url, node_id, metrics, generation=0):
+        self.payloads[url] = json.dumps(federate_payload(
+            metrics, node_id, role="follower", generation=generation,
+        )).encode("utf-8")
+
+    def __call__(self, url):
+        base = url.split("/metricz")[0]
+        self.urls.append(url)
+        if base in self.failures:
+            raise self.failures[base]
+        return self.payloads[base]
+
+
+def follower_metrics(lag=0.5, subscribers=2):
+    metrics = MetricsRegistry()
+    metrics.gauge("replication.lag_seconds").set(lag)
+    metrics.counter("replication.lag_records", shard=0).inc(3)
+    metrics.counter("replication.lag_records", shard=1).inc(4)
+    metrics.gauge("push.subscribers").set(subscribers)
+    metrics.gauge("view.generation").set(41)
+    metrics.counter("http.requests").inc(200)
+    metrics.counter("http.status.503").inc(2)
+    return metrics
+
+
+@pytest.fixture
+def collector():
+    leader_metrics = MetricsRegistry()
+    leader_metrics.gauge("view.generation").set(42)
+    leader_metrics.counter("http.requests").inc(1000)
+    transport = FakeFleetTransport()
+    transport.add_node(
+        "http://f1", "follower@h:8322", follower_metrics(), generation=41
+    )
+    transport.failures["http://f2"] = OSError("connection refused")
+    replication = FakeReplication([
+        {"node": "follower@h:8322", "url": "http://f1"},
+        {"node": "follower@h:8323", "url": "http://f2"},
+        {"node": "follower@h:8324", "url": ""},  # registered url-less
+    ])
+    return FleetCollector(
+        leader_metrics, "leader@h:8421", replication=replication,
+        transport=transport,
+    ), transport
+
+
+class TestFederatePayload:
+    def test_envelope_is_self_describing(self):
+        metrics = MetricsRegistry()
+        metrics.counter("x").inc()
+        payload = federate_payload(metrics, "n@h:1", role="leader",
+                                   generation=7)
+        assert payload["kind"] == FEDERATE_KIND
+        assert payload["node"] == "n@h:1"
+        assert payload["generation"] == 7
+        assert payload["metrics"]["x"]["value"] == 1
+
+    def test_scrape_rejects_non_federate_bodies(self, collector):
+        fleet, transport = collector
+        transport.payloads["http://f1"] = b'{"kind": "something-else"}'
+        rows = {n["node"]: n for n in fleet.collect()}
+        assert rows["follower@h:8322"]["up"] is False
+        assert "federate" in rows["follower@h:8322"]["error"]
+
+
+class TestNodeSummary:
+    def test_empty_snapshot_degrades_to_zeroes(self):
+        summary = node_summary({})
+        assert summary["generation"] == 0
+        assert summary["lag_seconds"] == 0.0
+        assert summary["error_rate"] == 0.0
+        assert summary["breakers"] == {}
+
+    def test_families_and_breakers_are_distilled(self):
+        metrics = follower_metrics()
+        metrics.gauge("breaker.leader.state").set(2)
+        summary = node_summary(metrics.snapshot())
+        assert summary["lag_records"] == 7  # summed across shards
+        assert summary["subscribers"] == 2
+        assert summary["error_rate"] == pytest.approx(0.01)
+        assert summary["breakers"] == {"leader": 2}
+
+
+class TestClusterz:
+    def test_dead_followers_degrade_the_answer_not_error_it(self, collector):
+        fleet, _ = collector
+        payload = fleet.clusterz_payload()
+        rows = {n["node"]: n for n in payload["nodes"]}
+        assert rows["leader@h:8421"]["up"] is True
+        assert rows["follower@h:8322"]["up"] is True
+        assert rows["follower@h:8323"]["up"] is False
+        assert "connection refused" in rows["follower@h:8323"]["error"]
+        assert rows["follower@h:8324"]["up"] is False
+        assert payload["fleet"] == {
+            "nodes": 4, "live": 2, "down": 2,
+            "worst_lag_seconds": 0.5, "subscribers": 2,
+            "dlq_records": 0, "rejected": 0,
+        }
+
+    def test_scrape_failures_are_counted(self, collector):
+        fleet, _ = collector
+        fleet.collect()
+        fleet.collect()
+        assert fleet.metrics.counter("fleet.scrapes").value == 6
+        # only the refused scrape counts as a failure; the url-less
+        # entry was never scraped at all
+        assert fleet.metrics.counter("fleet.scrape_failures").value == 2
+
+    def test_scrape_url_is_the_federate_endpoint(self, collector):
+        fleet, transport = collector
+        fleet.collect()
+        assert "http://f1/metricz?federate=1" in transport.urls
+
+
+class TestPrometheusFederation:
+    def test_every_sample_is_node_labeled(self, collector):
+        fleet, _ = collector
+        text = fleet.prometheus()
+        assert 'http_requests{node="leader@h:8421"} 1000' in text
+        assert 'http_requests{node="follower@h:8322"} 200' in text
+        # existing labels compose with the node label
+        assert ('replication_lag_records{node="follower@h:8322",'
+                'shard="0"} 3' in text)
+
+    def test_down_nodes_appear_as_up_zero(self, collector):
+        fleet, _ = collector
+        text = fleet.prometheus()
+        assert 'up{node="leader@h:8421"} 1' in text
+        assert 'up{node="follower@h:8322"} 1' in text
+        assert 'up{node="follower@h:8323"} 0' in text
+        assert 'up{node="follower@h:8324"} 0' in text
+
+    def test_leader_only_fleet_is_still_a_valid_answer(self):
+        metrics = MetricsRegistry()
+        metrics.counter("http.requests").inc(5)
+        fleet = FleetCollector(metrics, "solo@h:1", replication=None)
+        payload = fleet.clusterz_payload()
+        assert payload["fleet"]["nodes"] == 1
+        assert payload["fleet"]["live"] == 1
+        assert 'up{node="solo@h:1"} 1' in fleet.prometheus()

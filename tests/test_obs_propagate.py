@@ -1,0 +1,141 @@
+"""traceparent propagation: wire format, hostile inputs, remote spans.
+
+The propagation contract is defensive by construction: a header is
+either a well-formed context minted by this fleet — in which case the
+remote span joins the trace and inherits the sampling verdict — or it is
+treated exactly like no header at all.  Nothing an upstream puts on the
+wire may break request handling or corrupt local tracing.
+"""
+
+import pytest
+
+from repro.obs import SpanStore, Tracer
+from repro.obs.propagate import (
+    TRACEPARENT_HEADER,
+    extract_context,
+    format_traceparent,
+    inject_headers,
+    make_node_id,
+    parse_traceparent,
+    span_traceparent,
+)
+from repro.obs.trace import NOOP_SPAN
+
+
+class TestWireFormat:
+    def test_sampled_round_trip(self):
+        value = format_traceparent("ab" * 8, "cd" * 8, sampled=True)
+        assert value == f"00-{'0' * 16}{'ab' * 8}-{'cd' * 8}-01"
+        context = parse_traceparent(value)
+        assert context.trace_id == "ab" * 8
+        assert context.span_id == "cd" * 8
+        assert context.sampled is True
+
+    def test_unsampled_round_trip_preserves_the_drop_verdict(self):
+        value = format_traceparent("ab" * 8, "cd" * 8, sampled=False)
+        assert value.endswith("-00")
+        context = parse_traceparent(value)
+        assert context is not None and context.sampled is False
+
+    def test_case_and_whitespace_are_normalized(self):
+        value = format_traceparent("ab" * 8, "cd" * 8, True)
+        assert parse_traceparent(f"  {value.upper()}  ") is not None
+
+    @pytest.mark.parametrize("value", [
+        None,
+        "",
+        "garbage",
+        "00-zz-zz-01",                                       # not hex
+        f"01-{'0' * 16}{'ab' * 8}-{'cd' * 8}-01",            # future version
+        f"00-{'ab' * 16}-{'cd' * 8}-01",                     # foreign high half
+        f"00-{'0' * 32}-{'cd' * 8}-01",                      # all-zero trace
+        f"00-{'0' * 16}{'ab' * 8}-{'0' * 16}-01",            # all-zero span
+        f"00-{'0' * 16}{'ab' * 8}-{'cd' * 8}",               # missing flags
+        f"00-{'0' * 16}{'ab' * 8}-{'cd' * 8}-01-extra",      # trailing junk
+        f"00-{'0' * 14}{'ab' * 9}-{'cd' * 8}-01",            # wrong width
+    ])
+    def test_hostile_values_read_as_no_header(self, value):
+        assert parse_traceparent(value) is None
+
+
+class TestInjectExtract:
+    def test_inject_uses_the_ambient_span(self):
+        tracer = Tracer(sample_rate=1.0)
+        with tracer.start_trace("work") as span:
+            with tracer.attach(span):
+                headers = inject_headers()
+        context = parse_traceparent(headers[TRACEPARENT_HEADER])
+        assert context.trace_id == span.trace_id
+        assert context.span_id == span.span_id
+        assert context.sampled is True
+
+    def test_no_ambient_span_sends_clean_headers(self):
+        assert inject_headers() == {}
+        assert inject_headers({"x": "y"}) == {"x": "y"}
+
+    def test_noop_span_injects_nothing(self):
+        assert span_traceparent(NOOP_SPAN) is None
+        assert inject_headers(span=NOOP_SPAN) == {}
+
+    def test_unsampled_span_still_propagates_its_identity(self):
+        tracer = Tracer(sample_rate=0.0)
+        with tracer.start_trace("work") as span:
+            value = span_traceparent(span)
+        context = parse_traceparent(value)
+        assert context.trace_id == span.trace_id
+        assert context.sampled is False
+
+    def test_extract_tries_both_header_spellings(self):
+        value = format_traceparent("ab" * 8, "cd" * 8, True)
+        assert extract_context({"traceparent": value}) is not None
+        assert extract_context({"Traceparent": value}) is not None
+        assert extract_context({}) is None
+
+
+class TestRemoteSpans:
+    def test_remote_span_joins_the_trace_and_finalizes_locally(self):
+        """The remote-parented span is this node's root: its parent ends
+        on another process, so the local store must finalize on it."""
+        store = SpanStore()
+        tracer = Tracer(sample_rate=1.0, store=store, node_id="f@h:1")
+        origin = Tracer(sample_rate=1.0, node_id="l@h:2")
+        with origin.start_trace("replication.ship") as ship:
+            context = parse_traceparent(span_traceparent(ship))
+        with tracer.start_remote("replication.apply", context) as span:
+            with tracer.attach(span):
+                with tracer.span("wal.append"):
+                    pass
+        traces = store.traces()
+        assert len(traces) == 1
+        trace = traces[0]
+        assert not trace["partial"]
+        assert trace["trace_id"] == ship.trace_id
+        assert trace["nodes"] == ["f@h:1"]
+        apply_span = next(
+            s for s in trace["spans"] if s["name"] == "replication.apply"
+        )
+        assert apply_span["remote"] is True
+        assert apply_span["parent_id"] == ship.span_id
+        child = next(
+            s for s in trace["spans"] if s["name"] == "wal.append"
+        )
+        assert child["parent_id"] == apply_span["span_id"]
+
+    def test_remote_unsampled_context_is_honored(self):
+        store = SpanStore()
+        tracer = Tracer(sample_rate=1.0, store=store)
+        context = parse_traceparent(
+            format_traceparent("ab" * 8, "cd" * 8, sampled=False)
+        )
+        with tracer.start_remote("replication.apply", context):
+            pass
+        assert store.traces() == []  # dropped on every node alike
+
+
+class TestNodeId:
+    def test_shape_and_port_preference(self):
+        node = make_node_id("follower", 8322)
+        role, rest = node.split("@", 1)
+        assert role == "follower"
+        assert rest.endswith(":8322")
+        assert make_node_id("api").split(":")[-1].isdigit()  # pid fallback

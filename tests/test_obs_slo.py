@@ -1,0 +1,276 @@
+"""SLO burn-rate mechanics under an injected clock.
+
+Every state transition here is deterministic: the fake clock advances by
+hand, objectives read counters the test mutates directly, and the
+multi-window rule ("page only when fast AND slow agree") is exercised
+through its full lifecycle — quiet, fast spike, sustained burn,
+recovery — without a single sleep.
+"""
+
+import pytest
+
+from repro.obs.slo import (
+    RatioObjective,
+    SLOEngine,
+    ThresholdObjective,
+    default_objectives,
+    render_slo_table,
+)
+from repro.runtime.metrics import MetricsRegistry
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, seconds):
+        self.now += seconds
+
+
+class Counters:
+    """Mutable cumulative (bad, total) the test drives directly."""
+
+    def __init__(self):
+        self.bad = 0.0
+        self.total = 0.0
+
+    def serve(self, good, bad=0):
+        self.bad += bad
+        self.total += good + bad
+
+
+def engine_with_ratio(target=0.99, fast=60.0, slow=600.0):
+    clock = FakeClock()
+    counters = Counters()
+    engine = SLOEngine(
+        [RatioObjective(
+            "reads", "good reads", target,
+            bad=lambda: counters.bad, total=lambda: counters.total,
+        )],
+        clock=clock, fast_window=fast, slow_window=slow,
+        min_interval=0.0,
+    )
+    return engine, clock, counters
+
+
+def state_of(engine, name="reads"):
+    payload = engine.evaluate()
+    return next(
+        e for e in payload["objectives"] if e["name"] == name
+    )["state"]
+
+
+class TestBurnRateLifecycle:
+    def test_quiet_service_is_ok(self):
+        engine, clock, counters = engine_with_ratio()
+        for _ in range(12):
+            counters.serve(good=100)
+            engine.observe(force=True)
+            clock.tick(10)
+        assert state_of(engine) == "ok"
+        assert engine.evaluate()["status"] == "ok"
+
+    def test_sustained_burn_flips_to_burning_then_recovers(self):
+        """The acceptance transition: ok -> burning -> (recovery) not
+        burning, each flip forced purely by the injected clock."""
+        engine, clock, counters = engine_with_ratio(target=0.99)
+        # 10 minutes of clean traffic fills the slow window
+        for _ in range(60):
+            counters.serve(good=100)
+            engine.observe(force=True)
+            clock.tick(10)
+        assert state_of(engine) == "ok"
+        # a hard outage: 100% errors; budget is 1%, so the burn rate is
+        # ~100x in the fast window immediately, and the slow window
+        # crosses the 14.4 page threshold once enough of it is errors
+        for _ in range(90):
+            counters.serve(good=0, bad=100)
+            engine.observe(force=True)
+            clock.tick(10)
+        assert state_of(engine) == "burning"
+        health = engine.health()
+        assert health["status"] == "degraded"
+        assert health["burning"] == ["reads"]
+        # recovery: clean traffic drains the fast window first — the
+        # page clears (both-windows rule) even while the slow window
+        # still remembers the outage
+        for _ in range(12):
+            counters.serve(good=100)
+            engine.observe(force=True)
+            clock.tick(10)
+        assert state_of(engine) in ("warn", "ok")
+        assert engine.health()["status"] == "ok"
+
+    def test_short_spike_warns_but_does_not_page(self):
+        engine, clock, counters = engine_with_ratio(target=0.99)
+        for _ in range(60):
+            counters.serve(good=100)
+            engine.observe(force=True)
+            clock.tick(10)
+        # one fast-window's worth of 50% errors: fast burn = 50x (page
+        # level) but slow burn stays far under the threshold
+        for _ in range(6):
+            counters.serve(good=50, bad=50)
+            engine.observe(force=True)
+            clock.tick(10)
+        assert state_of(engine) == "warn"
+        assert engine.health()["status"] == "ok"  # warn does not degrade
+
+    def test_no_traffic_is_no_data_not_an_alert(self):
+        engine, clock, _ = engine_with_ratio()
+        engine.observe(force=True)
+        clock.tick(30)
+        engine.observe(force=True)
+        assert state_of(engine) == "no_data"
+
+
+class TestThresholdObjective:
+    def test_breaches_count_only_past_the_limit(self):
+        clock = FakeClock()
+        value = {"v": 0.1}
+        engine = SLOEngine(
+            [ThresholdObjective(
+                "p95", "latency", 0.95,
+                value=lambda: value["v"], limit=0.5,
+            )],
+            clock=clock, fast_window=60, slow_window=600,
+            min_interval=0.0,
+        )
+        for _ in range(30):
+            engine.observe(force=True)
+            clock.tick(10)
+        assert state_of(engine, "p95") == "ok"
+        value["v"] = 2.0  # every observation is now a breach
+        for _ in range(90):
+            engine.observe(force=True)
+            clock.tick(10)
+        assert state_of(engine, "p95") == "burning"
+        entry = next(
+            e for e in engine.evaluate()["objectives"]
+            if e["name"] == "p95"
+        )
+        assert entry["limit"] == 0.5 and entry["current"] == 2.0
+
+    def test_absent_value_contributes_no_event(self):
+        clock = FakeClock()
+        engine = SLOEngine(
+            [ThresholdObjective(
+                "p95", "latency", 0.5, value=lambda: None, limit=0.5,
+            )],
+            clock=clock, fast_window=60, slow_window=600,
+            min_interval=0.0,
+        )
+        for _ in range(10):
+            engine.observe(force=True)
+            clock.tick(10)
+        assert state_of(engine, "p95") == "no_data"
+
+    def test_value_exceptions_read_as_absent(self):
+        def explode():
+            raise RuntimeError("metric backend down")
+
+        objective = ThresholdObjective("x", "d", 0.5, explode, limit=1.0)
+        assert objective.sample() is None
+
+
+class TestEngineMechanics:
+    def test_observations_below_min_interval_coalesce(self):
+        clock = FakeClock()
+        engine, _, _ = engine_with_ratio()
+        engine.clock = clock
+        engine.min_interval = 5.0
+        assert engine.observe() is True
+        assert engine.observe() is False  # same instant: coalesced
+        assert engine.observe(force=True) is True  # ticker overrides
+        clock.tick(6)
+        assert engine.observe() is True
+
+    def test_sample_ring_is_bounded_by_the_slow_window(self):
+        engine, clock, counters = engine_with_ratio(fast=60, slow=600)
+        for _ in range(500):
+            counters.serve(good=10)
+            engine.observe(force=True)
+            clock.tick(10)
+        # 600s window at 10s cadence: ~61 samples plus one baseline
+        assert engine.evaluate()["samples"] <= 63
+
+    def test_duplicate_objective_names_are_rejected(self):
+        engine, _, counters = engine_with_ratio()
+        with pytest.raises(ValueError):
+            engine.add(RatioObjective(
+                "reads", "again", 0.9,
+                bad=lambda: 0, total=lambda: 1,
+            ))
+
+    def test_invalid_windows_and_targets_are_rejected(self):
+        with pytest.raises(ValueError):
+            SLOEngine(fast_window=60, slow_window=30)
+        with pytest.raises(ValueError):
+            RatioObjective("x", "d", 1.0, lambda: 0, lambda: 1)
+
+
+class TestDefaultObjectives:
+    def test_every_node_watches_availability_and_latency(self):
+        metrics = MetricsRegistry()
+        names = {o.name for o in default_objectives(metrics)}
+        assert {"read-availability", "read-latency-p95",
+                "push-fanout-p95"} <= names
+        assert "ingest-accounting" not in names  # no runtime given
+
+    def test_leader_gets_the_accounting_invariant(self):
+        metrics = MetricsRegistry()
+
+        class Leaderish:
+            def stats(self):
+                return {"arrived": 10, "accepted": 8, "rejected": 1}
+
+        objectives = default_objectives(metrics, runtime=Leaderish())
+        accounting = next(
+            o for o in objectives if o.name == "ingest-accounting"
+        )
+        # accepted + rejected = 9 <= arrived + rejected = 11: in-flight
+        # deficit is not a violation
+        assert accounting.sample() == (0.0, 1.0)
+
+    def test_follower_stats_shape_skips_accounting(self):
+        metrics = MetricsRegistry()
+
+        class Followerish:
+            def stats(self):
+                return {"applied": 5, "resets": 0}
+
+        objectives = default_objectives(metrics, runtime=Followerish())
+        accounting = next(
+            o for o in objectives if o.name == "ingest-accounting"
+        )
+        assert accounting.sample() is None
+
+    def test_double_counting_is_a_violation(self):
+        metrics = MetricsRegistry()
+
+        class Buggy:
+            def stats(self):
+                return {"arrived": 10, "accepted": 10, "duplicates": 3}
+
+        objectives = default_objectives(metrics, runtime=Buggy())
+        accounting = next(
+            o for o in objectives if o.name == "ingest-accounting"
+        )
+        bad, total = accounting.sample()
+        assert bad == 1.0  # 13 accounted > 10 arrived
+
+
+class TestRendering:
+    def test_table_lists_every_objective_and_the_status(self):
+        engine, clock, counters = engine_with_ratio()
+        for _ in range(12):
+            counters.serve(good=100)
+            engine.observe(force=True)
+            clock.tick(10)
+        table = render_slo_table(engine.evaluate())
+        assert "reads" in table
+        assert "status: ok" in table
+        assert "budget left" in table

@@ -190,3 +190,63 @@ class TestRotation:
         assert wal.position == 0
         assert wal.segments() == []
         assert wal.replay() == []
+
+
+class TestRotationReaderRace:
+    def test_rotation_never_hides_records_from_a_tailing_reader(
+        self, tmp_path
+    ):
+        """A checkpoint rotating mid-fetch must not fake a sequence gap.
+
+        The hazard: a reader lists the sealed segments, then rotation
+        renames the active file into a new segment and replaces it with
+        an empty one — the reader sees neither, and the batch skips
+        those seqs.  A replication follower is entitled to treat a gap
+        as "pruned on the leader" and jump its cursor, silently losing
+        up to a checkpoint's worth of records while its cursor-derived
+        accepted count still matches the leader's.  So: tail with
+        follower semantics while a writer appends and rotates, and
+        require every sequence to surface exactly once.
+        """
+        import sys
+        import threading
+
+        wal = ShardWal(
+            str(tmp_path / "shard.wal.jsonl"), keep_segments=-1
+        )
+        total, every = 1500, 25
+        done = threading.Event()
+        failure = []
+
+        def writer():
+            try:
+                for i in range(total):
+                    wal.append(make_snippet(f"s1:v{i:05d}"))
+                    if (i + 1) % every == 0:
+                        wal.rotate()
+            except Exception as exc:  # surfaced by the main thread
+                failure.append(exc)
+            finally:
+                done.set()
+
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)  # force frequent thread switches
+        try:
+            seen = []
+            cursor = 0
+            thread = threading.Thread(target=writer)
+            thread.start()
+            while True:
+                batch = list(wal.iter_records(cursor, 64))
+                if batch:
+                    seqs = [r["seq"] for r in batch]
+                    seen.extend(seqs)
+                    cursor = seqs[-1] + 1
+                elif done.is_set():
+                    break
+            thread.join()
+        finally:
+            sys.setswitchinterval(old_interval)
+            wal.close()
+        assert not failure
+        assert sorted(seen) == list(range(total))

@@ -222,3 +222,40 @@ class TestPrometheusRender:
         registry = MetricsRegistry()
         registry.counter("a").inc()
         assert prometheus_render(registry.snapshot()).endswith("\n")
+
+
+class TestLabelHygiene:
+    """Regression coverage for exposition escaping and child removal."""
+
+    def test_newline_in_label_value_cannot_split_a_sample_line(self):
+        registry = MetricsRegistry()
+        registry.counter("evil", site="line1\nline2").inc()
+        text = prometheus_render(registry.snapshot())
+        assert 'evil{site="line1\\nline2"} 1' in text
+        # every line is either a comment or a complete sample — a raw
+        # newline in a label would have produced a dangling fragment
+        for line in text.strip().split("\n"):
+            assert line.startswith("#") or " " in line
+
+    def test_escape_order_backslash_before_quote_and_newline(self):
+        registry = MetricsRegistry()
+        registry.counter("evil", site='\\n"\n').inc()
+        text = prometheus_render(registry.snapshot())
+        assert 'evil{site="\\\\n\\"\\n"} 1' in text
+
+    def test_remove_labeled_child_is_idempotent(self):
+        registry = MetricsRegistry()
+        registry.gauge("subs.depth", sub="a").set(1)
+        registry.gauge("subs.depth", sub="b").set(2)
+        assert registry.remove("subs.depth", sub="a") is True
+        assert registry.remove("subs.depth", sub="a") is False  # repeat
+        assert registry.remove("subs.depth", sub="never") is False
+        assert "subs.depth{sub=a}" not in registry.snapshot()
+        assert "subs.depth{sub=b}" in registry.snapshot()
+
+    def test_remove_does_not_touch_the_unlabeled_parent(self):
+        registry = MetricsRegistry()
+        registry.counter("fam").inc()
+        registry.counter("fam", shard=0).inc()
+        assert registry.remove("fam", shard=0) is True
+        assert registry.counter("fam").value == 1
