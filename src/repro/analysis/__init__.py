@@ -14,8 +14,18 @@ Two complementary halves:
   ``--lockwatch`` flag and ``storypivot-serve --lockwatch``.
 """
 
+from repro.analysis.callgraph import Project
+from repro.analysis.cfg import CFG, build_cfg
 from repro.analysis.engine import LintConfig, LintEngine, iter_python_files
-from repro.analysis.findings import Finding, render_report, summarize
+from repro.analysis.findings import (
+    Finding,
+    apply_baseline,
+    load_baseline,
+    render_report,
+    summarize,
+    to_sarif,
+    write_baseline,
+)
 from repro.analysis.lockwatch import InstrumentedLock, LockWatch
 from repro.analysis.rules import CORE_MARKERS, REGISTRY, all_rules
 
@@ -23,9 +33,16 @@ __all__ = [
     "LintConfig",
     "LintEngine",
     "iter_python_files",
+    "Project",
+    "CFG",
+    "build_cfg",
     "Finding",
+    "apply_baseline",
+    "load_baseline",
     "render_report",
     "summarize",
+    "to_sarif",
+    "write_baseline",
     "InstrumentedLock",
     "LockWatch",
     "CORE_MARKERS",

@@ -1,0 +1,242 @@
+"""Per-function control-flow graph with may-reach path queries.
+
+A deliberately small CFG: one node per *statement*, edges for the
+normal control flow of ``if``/``while``/``for``/``try``/``with``/
+``break``/``continue``/``return``/``raise``.  That is enough for the
+resource-lifecycle pass (SP6xx), whose question is path-shaped: "is
+there a path from this acquire to a function exit that never passes a
+release?"
+
+Exceptional control flow is modeled coarsely: every statement inside a
+``try`` body gets an edge to each handler and to the ``finally`` suite,
+and a ``raise`` jumps to the enclosing handler/finally (or exits).  We
+do **not** pretend every expression can raise — that would make every
+resource "leaked on some path" and the pass useless; DESIGN.md records
+the trade-off.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, List, Optional, Set
+
+
+class Node:
+    """One statement in the CFG."""
+
+    __slots__ = ("index", "stmt", "succ", "is_exit")
+
+    def __init__(self, index: int, stmt: Optional[ast.stmt]) -> None:
+        self.index = index
+        self.stmt = stmt
+        self.succ: List[int] = []
+        self.is_exit = stmt is None
+
+
+class CFG:
+    """Statement-level graph for one function body."""
+
+    def __init__(self) -> None:
+        self.nodes: List[Node] = []
+        self.exit = self._new(None)  # node 0: the single exit
+        self.entry: Optional[int] = None
+
+    def _new(self, stmt: Optional[ast.stmt]) -> int:
+        node = Node(len(self.nodes), stmt)
+        self.nodes.append(node)
+        return node.index
+
+    def _edge(self, src: int, dst: int) -> None:
+        if dst not in self.nodes[src].succ:
+            self.nodes[src].succ.append(dst)
+
+    def statement_nodes(self) -> List[Node]:
+        return [n for n in self.nodes if n.stmt is not None]
+
+    def exists_path_avoiding(
+        self, start: int,
+        avoid: Callable[[ast.stmt], bool],
+        skip_start: bool = True,
+    ) -> bool:
+        """True if the exit is reachable from ``start`` without passing
+        a statement matching ``avoid`` (the start node itself is skipped
+        by default: the acquire statement is not its own release)."""
+        stack = [start]
+        seen: Set[int] = set()
+        while stack:
+            index = stack.pop()
+            if index in seen:
+                continue
+            seen.add(index)
+            node = self.nodes[index]
+            if node.is_exit:
+                return True
+            if node.stmt is not None and avoid(node.stmt):
+                if not (skip_start and index == start):
+                    continue
+            stack.extend(node.succ)
+        return False
+
+    def reaches(self, start: int, pred: Callable[[ast.stmt], bool]) -> bool:
+        """True if any statement matching ``pred`` is reachable from
+        ``start`` (exclusive)."""
+        stack = list(self.nodes[start].succ)
+        seen: Set[int] = set()
+        while stack:
+            index = stack.pop()
+            if index in seen:
+                continue
+            seen.add(index)
+            node = self.nodes[index]
+            if node.stmt is not None and pred(node.stmt):
+                return True
+            stack.extend(node.succ)
+        return False
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        #: statement node index by id(stmt) for rule lookups
+        self.index_of: Dict[int, int] = {}
+        self._break_targets: List[List[int]] = []
+        self._continue_targets: List[List[int]] = []
+        #: stack of "where does an exception go" node lists (handler
+        #: entries / finally heads); empty = function exit
+        self._except_targets: List[List[int]] = []
+        #: one pending-return list per enclosing try-with-finally: a
+        #: ``return`` must run the suite before the function exits, so
+        #: its node is parked here and wired into the suite's frontier
+        self._finally_returns: List[List[int]] = []
+
+    # Each _stmts/_stmt call threads a frontier: the set of node indices
+    # whose control falls through to whatever comes next.
+
+    def build(self, func: ast.AST) -> CFG:
+        body = list(getattr(func, "body", []))
+        frontier = self._stmts(body, [])
+        for index in frontier:
+            self.cfg._edge(index, self.cfg.exit)
+        if self.cfg.entry is None:
+            self.cfg.entry = self.cfg.exit
+        return self.cfg
+
+    def _stmts(self, body: List[ast.stmt], frontier: List[int]) -> List[int]:
+        for stmt in body:
+            frontier = self._stmt(stmt, frontier)
+        return frontier
+
+    def _note(self, stmt: ast.stmt, frontier: List[int]) -> int:
+        index = self.cfg._new(stmt)
+        self.index_of[id(stmt)] = index
+        for prev in frontier:
+            self.cfg._edge(prev, index)
+        if self.cfg.entry is None:
+            self.cfg.entry = index
+        # a statement inside a try may transfer to the handler/finally
+        if self._except_targets:
+            for target in self._except_targets[-1]:
+                self.cfg._edge(index, target)
+        return index
+
+    def _stmt(self, stmt: ast.stmt, frontier: List[int]) -> List[int]:
+        cfg = self.cfg
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            index = self._note(stmt, frontier)
+            if isinstance(stmt, ast.Raise) and self._except_targets:
+                pass  # _note already wired the handler edges
+            elif self._finally_returns:
+                self._finally_returns[-1].append(index)
+            else:
+                cfg._edge(index, cfg.exit)
+            return []
+        if isinstance(stmt, ast.Break):
+            index = self._note(stmt, frontier)
+            if self._break_targets:
+                self._break_targets[-1].append(index)
+            return []
+        if isinstance(stmt, ast.Continue):
+            index = self._note(stmt, frontier)
+            if self._continue_targets:
+                self._continue_targets[-1].append(index)
+            return []
+        if isinstance(stmt, ast.If):
+            index = self._note(stmt, frontier)
+            then_out = self._stmts(stmt.body, [index])
+            else_out = self._stmts(stmt.orelse, [index]) if stmt.orelse \
+                else [index]
+            return then_out + else_out
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            index = self._note(stmt, frontier)
+            breaks: List[int] = []
+            continues: List[int] = []
+            self._break_targets.append(breaks)
+            self._continue_targets.append(continues)
+            body_out = self._stmts(stmt.body, [index])
+            self._break_targets.pop()
+            self._continue_targets.pop()
+            for back in body_out + continues:
+                cfg._edge(back, index)
+            else_out = self._stmts(stmt.orelse, [index]) if stmt.orelse \
+                else [index]
+            return else_out + breaks
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            index = self._note(stmt, frontier)
+            return self._stmts(stmt.body, [index])
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier)
+        # plain statement (nested defs are opaque single nodes: their
+        # bodies run later, under a different CFG)
+        index = self._note(stmt, frontier)
+        return [index]
+
+    def _try(self, stmt: ast.Try, frontier: List[int]) -> List[int]:
+        cfg = self.cfg
+        handler_heads: List[int] = []
+        handler_entries: List[ast.ExceptHandler] = list(stmt.handlers)
+        # pre-create one anchor node per handler so body statements can
+        # point at them before their bodies are built
+        anchors = []
+        for handler in handler_entries:
+            anchor = cfg._new(handler)  # the `except X:` line itself
+            self.index_of[id(handler)] = anchor
+            anchors.append(anchor)
+            handler_heads.append(anchor)
+        finally_present = bool(stmt.finalbody)
+        if finally_present:
+            self._finally_returns.append([])
+        self._except_targets.append(handler_heads or [])
+        body_out = self._stmts(stmt.body, frontier)
+        self._except_targets.pop()
+        else_out = self._stmts(stmt.orelse, body_out) if stmt.orelse \
+            else body_out
+        handler_out: List[int] = []
+        for handler, anchor in zip(handler_entries, anchors):
+            handler_out.extend(self._stmts(handler.body, [anchor]))
+        merged = else_out + handler_out
+        if finally_present:
+            # returns parked inside this try run the suite first; they
+            # join the normal frontier entering the finally statements
+            pending = self._finally_returns.pop()
+            merged = self._stmts(stmt.finalbody, merged + pending)
+            if pending:
+                # after the suite, the return paths really exit — via
+                # the next enclosing finally if there is one
+                for index in merged:
+                    if self._finally_returns:
+                        self._finally_returns[-1].append(index)
+                    else:
+                        cfg._edge(index, cfg.exit)
+            # exceptional entry into finally: a handler-less escape
+            # still runs the suite, then exits
+            for index in merged:
+                if not handler_entries:
+                    cfg._edge(index, cfg.exit)
+        return merged
+
+
+def build_cfg(func: ast.AST) -> "tuple[CFG, Dict[int, int]]":
+    """CFG + ``id(stmt) -> node index`` map for one function node."""
+    builder = _Builder()
+    cfg = builder.build(func)
+    return cfg, builder.index_of

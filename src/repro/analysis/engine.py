@@ -46,16 +46,25 @@ class LintConfig:
         self.select = set(select) if select else None
         self.ignore = set(ignore) if ignore else set()
         for code in (self.select or set()) | self.ignore:
-            if code not in known:
+            # a family prefix (SP4, SP60) selects every code under it
+            if code not in known and not any(
+                k.startswith(code) for k in known
+            ):
                 raise ValueError(f"unknown rule code {code!r}")
         self.core_markers = tuple(core_markers)
+
+    @staticmethod
+    def _matches(code: str, patterns: Set[str]) -> bool:
+        return any(code == p or code.startswith(p) for p in patterns)
 
     def active_rules(self) -> List[Rule]:
         rules = []
         for rule in all_rules():
-            if self.select is not None and rule.code not in self.select:
+            if self.select is not None and not self._matches(
+                rule.code, self.select
+            ):
                 continue
-            if rule.code in self.ignore:
+            if self._matches(rule.code, self.ignore):
                 continue
             rules.append(rule)
         return rules
@@ -69,6 +78,7 @@ class ModuleInfo:
         self.display_path = display_path
         self.source = source
         self.tree = ast.parse(source, filename=display_path)
+        self._nodes: Optional[List[ast.AST]] = None
         self.line_disables: Dict[int, Set[str]] = {}
         self.file_disables: Set[str] = set()
         for lineno, line in enumerate(source.splitlines(), start=1):
@@ -85,6 +95,14 @@ class ModuleInfo:
                 self.file_disables |= codes
             else:
                 self.line_disables.setdefault(lineno, set()).update(codes)
+
+    def nodes(self) -> List[ast.AST]:
+        """Every AST node, walked once and shared by all rules — the
+        tree is parsed once per file and traversed once per file, not
+        once per rule family."""
+        if self._nodes is None:
+            self._nodes = list(ast.walk(self.tree))
+        return self._nodes
 
     def is_core(self, markers: Sequence[str]) -> bool:
         parts = set(re.split(r"[\\/]", self.display_path))
@@ -135,13 +153,19 @@ class LintEngine:
 
     def __init__(self, config: Optional[LintConfig] = None) -> None:
         self.config = config if config is not None else LintConfig()
+        #: the call graph of the last check_paths/check_source run —
+        #: the CLI reads resolution stats off it
+        self.last_project = None
 
     def check_source(
         self, source: str, display_path: str = "<string>"
     ) -> List[Finding]:
         """Lint one source string (the unit-test entry point)."""
         module = ModuleInfo(display_path, display_path, source)
-        return self._check_module(module)
+        findings = self._check_module(module)
+        findings.extend(self._project_pass([module]))
+        findings.sort(key=Finding.sort_key)
+        return findings
 
     def check_paths(
         self, paths: Sequence[str], root: Optional[str] = None
@@ -155,6 +179,7 @@ class LintEngine:
         base = root if root is not None else os.getcwd()
         findings: List[Finding] = []
         files = iter_python_files(paths)
+        modules: List[ModuleInfo] = []
         for path in files:
             display = os.path.relpath(path, base).replace(os.sep, "/")
             try:
@@ -169,9 +194,28 @@ class LintEngine:
                     line=getattr(exc, "lineno", None) or 1,
                 ))
                 continue
+            modules.append(module)
             findings.extend(self._check_module(module))
+        findings.extend(self._project_pass(modules))
         findings.sort(key=Finding.sort_key)
         return findings, len(files)
+
+    def _project_pass(self, modules: Sequence[ModuleInfo]) -> List[Finding]:
+        """Interprocedural rules: one call graph, every project-aware
+        rule, suppression resolved back through the owning module."""
+        from repro.analysis.callgraph import Project
+
+        project = Project(modules)
+        self.last_project = project
+        by_path = {module.display_path: module for module in modules}
+        out: List[Finding] = []
+        for rule in self.config.active_rules():
+            for finding in rule.check_project(project):
+                module = by_path.get(finding.path)
+                if module is not None and module.suppressed(finding):
+                    continue
+                out.append(finding)
+        return out
 
     def _check_module(self, module: ModuleInfo) -> List[Finding]:
         core = module.is_core(self.config.core_markers)

@@ -107,9 +107,17 @@ class Rule:
     code = "SP000"
     summary = ""
     core_only = False  # when True the engine skips non-core modules
+    project_only = False  # when True `check` is empty; `check_project` runs
 
-    def check(self, module) -> Iterator[Finding]:  # pragma: no cover
-        raise NotImplementedError
+    def check(self, module) -> Iterator[Finding]:
+        if self.project_only:
+            return iter(())
+        raise NotImplementedError  # pragma: no cover
+
+    def check_project(self, project) -> Iterator[Finding]:
+        """Interprocedural leg: runs once per lint invocation with the
+        whole-project call graph.  Default: nothing."""
+        return iter(())
 
     def finding(self, module, node: ast.AST, message: str, **detail) -> Finding:
         return Finding(
@@ -136,7 +144,7 @@ class WallClockInCore(Rule):
     core_only = True
 
     def check(self, module) -> Iterator[Finding]:
-        for node in ast.walk(module.tree):
+        for node in module.nodes():
             if not isinstance(node, ast.Call):
                 continue
             func = node.func
@@ -161,7 +169,7 @@ class UnseededRandomInCore(Rule):
     core_only = True
 
     def check(self, module) -> Iterator[Finding]:
-        for node in ast.walk(module.tree):
+        for node in module.nodes():
             if not isinstance(node, ast.Call):
                 continue
             func = node.func
@@ -189,7 +197,7 @@ class BareExcept(Rule):
     summary = "bare `except:` swallows SystemExit/KeyboardInterrupt"
 
     def check(self, module) -> Iterator[Finding]:
-        for node in ast.walk(module.tree):
+        for node in module.nodes():
             if isinstance(node, ast.ExceptHandler) and node.type is None:
                 yield self.finding(
                     module, node,
@@ -218,7 +226,7 @@ class SwallowedException(Rule):
     )
 
     def check(self, module) -> Iterator[Finding]:
-        for node in ast.walk(module.tree):
+        for node in module.nodes():
             if not isinstance(node, ast.ExceptHandler):
                 continue
             if not _handler_catches_broad(node):
@@ -311,7 +319,7 @@ class BlockingUnderLock(Rule):
                         ))
                 self.generic_visit(node)
 
-        for func in ast.walk(module.tree):
+        for func in module.nodes():
             if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 visitor = Visitor()
                 for stmt in func.body:
@@ -342,6 +350,15 @@ class BlockingUnderLock(Rule):
             return ".result()"
         return None
 
+    def check_project(self, project) -> Iterator[Finding]:
+        # interprocedural leg: a *clean-looking* call under a lock that
+        # resolves to a project function whose may-block set is non-empty
+        from repro.analysis.contracts import contract_findings
+
+        for finding in contract_findings(project):
+            if finding.code == self.code:
+                yield finding
+
 
 class MutationOutsideLock(Rule):
     code = "SP202"
@@ -353,7 +370,7 @@ class MutationOutsideLock(Rule):
     _SETUP_METHODS = {"__init__", "__new__", "__post_init__", "__enter__"}
 
     def check(self, module) -> Iterator[Finding]:
-        for node in ast.walk(module.tree):
+        for node in module.nodes():
             if isinstance(node, ast.ClassDef):
                 yield from self._check_class(module, node)
 
@@ -436,11 +453,11 @@ class ScopeNotContextManaged(Rule):
 
     def check(self, module) -> Iterator[Finding]:
         with_exprs = set()
-        for node in ast.walk(module.tree):
+        for node in module.nodes():
             if isinstance(node, (ast.With, ast.AsyncWith)):
                 for item in node.items:
                     with_exprs.add(id(item.context_expr))
-        for node in ast.walk(module.tree):
+        for node in module.nodes():
             if not isinstance(node, ast.Call) or id(node) in with_exprs:
                 continue
             func = node.func
@@ -476,7 +493,7 @@ class NonCanonicalMetricName(Rule):
     _REGISTRYISH = re.compile(r"metrics|registry", re.IGNORECASE)
 
     def check(self, module) -> Iterator[Finding]:
-        for node in ast.walk(module.tree):
+        for node in module.nodes():
             if not isinstance(node, ast.Call):
                 continue
             func = node.func
@@ -503,6 +520,128 @@ class NonCanonicalMetricName(Rule):
                 )
 
 
+# ---------------------------------------------------------------------------
+# SP4xx — interprocedural taint (see dataflow.py for the engine)
+# ---------------------------------------------------------------------------
+
+
+class _TaintRule(Rule):
+    """Shared plumbing: the taint fixpoint runs once per project and is
+    cached on it; each code filters its own findings out."""
+
+    project_only = True
+
+    def check_project(self, project) -> Iterator[Finding]:
+        from repro.analysis.dataflow import taint_findings
+
+        for finding in taint_findings(project):
+            if finding.code == self.code:
+                yield finding
+
+
+class TaintedFilePath(_TaintRule):
+    code = "SP401"
+    summary = (
+        "untrusted value (connector record / HTTP input / federation "
+        "envelope) used as a filesystem path without sanitization"
+    )
+
+
+class TaintedMetricName(_TaintRule):
+    code = "SP402"
+    summary = (
+        "untrusted value reaches a metric/label name without passing "
+        "_prom_escape/_prom_name"
+    )
+
+
+class TaintedResponseWrite(_TaintRule):
+    code = "SP403"
+    summary = (
+        "untrusted value written raw to an HTTP/socket response without "
+        "escaping or encoding"
+    )
+
+
+class TaintedWalAppend(_TaintRule):
+    code = "SP404"
+    summary = (
+        "untrusted record reaches a WAL append / persisted state without "
+        "passing the Normalizer gauntlet"
+    )
+
+
+class TaintedExec(_TaintRule):
+    code = "SP405"
+    summary = "untrusted value reaches eval/exec/subprocess/os.system"
+
+
+# ---------------------------------------------------------------------------
+# SP5xx — exception/blocking contracts (see contracts.py for the engine)
+# ---------------------------------------------------------------------------
+
+
+class _ContractRule(Rule):
+    project_only = True
+
+    def check_project(self, project) -> Iterator[Finding]:
+        from repro.analysis.contracts import contract_findings
+
+        for finding in contract_findings(project):
+            if finding.code == self.code:
+                yield finding
+
+
+class NeverRaisesViolation(_ContractRule):
+    code = "SP501"
+    summary = (
+        "function annotated `# sp-contract: never-raises` may raise "
+        "(witness chain in detail)"
+    )
+
+
+class NeverBlocksViolation(_ContractRule):
+    code = "SP502"
+    summary = (
+        "function annotated `# sp-contract: never-blocks` may block "
+        "(witness chain in detail)"
+    )
+
+
+class UnknownContractAnnotation(_ContractRule):
+    code = "SP503"
+    summary = "unknown sp-contract / sp-taint annotation value"
+
+
+# ---------------------------------------------------------------------------
+# SP6xx — resource lifecycle (CFG-based, see contracts.py)
+# ---------------------------------------------------------------------------
+
+
+class LockNotReleased(_ContractRule):
+    code = "SP601"
+    summary = (
+        "lock .acquire() with a path to the function exit that never "
+        ".release()s it"
+    )
+
+
+class HandleNotClosed(_ContractRule):
+    code = "SP602"
+    summary = (
+        "file/socket closed on some paths but leaked on others (partial "
+        "close; escaping handles are exempt)"
+    )
+
+
+class ThreadNotJoined(_ContractRule):
+    code = "SP603"
+    summary = (
+        "thread joined on some paths but not on others (partial join; "
+        "fire-and-forget daemons are exempt)"
+    )
+
+
 REGISTRY: Dict[str, Rule] = {
     rule.code: rule
     for rule in (
@@ -514,6 +653,17 @@ REGISTRY: Dict[str, Rule] = {
         MutationOutsideLock(),
         ScopeNotContextManaged(),
         NonCanonicalMetricName(),
+        TaintedFilePath(),
+        TaintedMetricName(),
+        TaintedResponseWrite(),
+        TaintedWalAppend(),
+        TaintedExec(),
+        NeverRaisesViolation(),
+        NeverBlocksViolation(),
+        UnknownContractAnnotation(),
+        LockNotReleased(),
+        HandleNotClosed(),
+        ThreadNotJoined(),
     )
 }
 

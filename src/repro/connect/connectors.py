@@ -206,7 +206,11 @@ class RssConnector(SourceConnector):
         if not _is_http_locator(locator):
             _require_file(locator, "rss")
         self._seq = 0
+        # insertion-ordered FIFO set, same shape as Normalizer._seen: a
+        # long-polled feed must not grow this without bound, and the
+        # oldest ids are the ones the feed itself has already rotated out
         self._seen_ids: Dict[str, None] = {}
+        self._seen_limit = 4096
         self._feed_title = ""
 
     def default_source(self) -> Optional[str]:
@@ -242,6 +246,8 @@ class RssConnector(SourceConnector):
                 continue
             if marker:
                 self._seen_ids[marker] = None
+                while len(self._seen_ids) > self._seen_limit:
+                    self._seen_ids.pop(next(iter(self._seen_ids)))
             self._seq += 1
             yield RawItem(self.name, self._seq, fields, note=note)
 

@@ -63,6 +63,57 @@ def _http_scrape(timeout: float) -> Callable[[str], bytes]:
     return fetch
 
 
+#: histogram snapshot fields the renderer and summaries read; anything
+#: else a follower sends is dropped on the floor
+_HIST_FIELDS = ("count", "sum", "mean", "min", "max", "p50", "p95", "p99")
+
+_SNAPSHOT_KINDS = ("counter", "gauge", "histogram")
+
+
+# sp-taint: sanitizer -- coerces follower envelopes to render-safe snapshots
+def _sanitize_federated(metrics_obj: object) -> Dict[str, dict]:
+    """Coerce a scraped ``metrics`` field into exactly the snapshot shape
+    the renderer and summarizers index into.
+
+    Follower envelopes arrive over the network from whatever is
+    answering on the registered url; ``prometheus_render`` hard-indexes
+    ``snap["type"]`` and calls ``float()`` on the sample fields, so one
+    malformed entry would 500 ``/clusterz`` — the page whose whole
+    contract is "show the dead node, never die of it".  Unknown kinds
+    become gauges, non-numeric samples become ``None`` (rendered as
+    ``NaN``), non-dict entries and non-string keys are dropped.
+    """
+    if not isinstance(metrics_obj, dict):
+        return {}
+    clean: Dict[str, dict] = {}
+    for key, snap in metrics_obj.items():
+        if not isinstance(key, str) or not isinstance(snap, dict):
+            continue
+        kind = snap.get("type")
+        if kind not in _SNAPSHOT_KINDS:
+            kind = "gauge"
+        entry: Dict[str, object] = {"type": kind}
+        if kind == "histogram":
+            for field in _HIST_FIELDS:
+                value = snap.get(field)
+                entry[field] = (
+                    value
+                    if isinstance(value, (int, float))
+                    and not isinstance(value, bool)
+                    else None
+                )
+        else:
+            value = snap.get("value")
+            entry["value"] = (
+                float(value)
+                if isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                else 0.0
+            )
+        clean[key] = entry
+    return clean
+
+
 def _value(snapshot: Dict[str, dict], name: str, default: float = 0.0) -> float:
     entry = snapshot.get(name)
     if not isinstance(entry, dict):
@@ -171,6 +222,7 @@ class FleetCollector:
             self.metrics, self.node_id, role=self.role, generation=generation
         )
 
+    # sp-taint: source -- body comes off the wire from a follower
     def _scrape(self, url: str) -> Dict[str, object]:
         raw = self._transport(f"{url.rstrip('/')}/metricz?federate=1")
         payload = json.loads(raw.decode("utf-8"))
@@ -235,16 +287,23 @@ class FleetCollector:
         total_rejected = 0
         for payload in nodes:
             row = {
-                "node": payload.get("node", "?"),
-                "role": payload.get("role", "?"),
+                "node": str(payload.get("node", "?")),
+                "role": str(payload.get("role", "?")),
                 "up": bool(payload.get("up")),
             }
             if payload.get("up"):
                 live += 1
-                summary = node_summary(payload.get("metrics", {}))
+                summary = node_summary(
+                    _sanitize_federated(payload.get("metrics"))
+                )
+                envelope_generation = payload.get("generation", 0)
+                if not isinstance(envelope_generation, (int, float)) or (
+                    isinstance(envelope_generation, bool)
+                ):
+                    envelope_generation = 0
                 summary["generation"] = max(
                     int(summary["generation"]),
-                    int(payload.get("generation", 0)),
+                    int(envelope_generation),
                 )
                 row.update(summary)
                 worst_lag = max(worst_lag, float(summary["lag_seconds"]))
@@ -292,7 +351,9 @@ class FleetCollector:
             merged[labeled_name("up", {"node": node})] = {
                 "type": "gauge", "value": 1.0,
             }
-            for key, snap in payload.get("metrics", {}).items():
+            for key, snap in _sanitize_federated(
+                payload.get("metrics")
+            ).items():
                 base, labels = split_metric_key(key)
                 labels["node"] = node
                 merged[labeled_name(base, labels)] = snap

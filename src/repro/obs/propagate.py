@@ -80,6 +80,7 @@ def span_traceparent(span) -> Optional[str]:
     return format_traceparent(span.trace_id, span.span_id, span.sampled)
 
 
+# sp-taint: sanitizer -- malformed or foreign headers become None
 def parse_traceparent(value: Optional[str]) -> Optional[TraceContext]:
     """A :class:`TraceContext` from a header value — or None.
 

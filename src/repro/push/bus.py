@@ -240,6 +240,7 @@ class EventBus:
             self._decisions.remove_listener(self.on_decision)
             self._decisions = None
 
+    # sp-contract: never-raises
     def on_decision(self, entry: dict) -> None:
         """DecisionLog listener — must never raise into the ingest path."""
         try:

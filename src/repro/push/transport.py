@@ -19,6 +19,7 @@ bare cursor.
 from __future__ import annotations
 
 import json
+import re
 from typing import Optional
 
 from repro.obs.trace import NULL_TRACER
@@ -43,6 +44,7 @@ def event_id(event: dict) -> str:
     return f"{event.get('generation', 0)}-{event.get('cursor', 0)}"
 
 
+# sp-taint: sanitizer -- returns a validated non-negative int or None
 def parse_last_event_id(value: Optional[str]) -> Optional[int]:
     """Cursor from a ``Last-Event-ID`` header (or ``cursor`` param).
 
@@ -60,14 +62,31 @@ def parse_last_event_id(value: Optional[str]) -> Optional[int]:
     return cursor if cursor >= 0 else None
 
 
+#: SSE framing is line-oriented: a CR/LF smuggled into a field value
+#: would terminate the line early and forge extra frames
+_FRAME_UNSAFE = re.compile(r"[\r\n\x00]")
+
+
+def _frame_field(value: object) -> str:
+    return _FRAME_UNSAFE.sub("", str(value))
+
+
+# sp-taint: sanitizer -- data is JSON-encoded, framing fields escaped
 def format_sse(event: dict) -> bytes:
-    """One SSE frame: id, event name, and the payload as one data line."""
+    """One SSE frame: id, event name, and the payload as one data line.
+
+    The payload is JSON (newline-free by construction with compact
+    separators); the ``id:`` and ``event:`` framing fields are stripped
+    of CR/LF so no value that ultimately came off the wire — a resumed
+    cursor, a subscription filter echoed in a hello frame — can
+    terminate a line early and inject frames into the stream.
+    """
     data = json.dumps(
         event, separators=(",", ":"), sort_keys=True, default=str
     )
     return (
-        f"id: {event_id(event)}\n"
-        f"event: {event.get('event', 'message')}\n"
+        f"id: {_frame_field(event_id(event))}\n"
+        f"event: {_frame_field(event.get('event', 'message'))}\n"
         f"data: {data}\n\n"
     ).encode("utf-8")
 

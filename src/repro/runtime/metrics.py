@@ -303,6 +303,7 @@ def render_table(snapshot: Dict[str, Dict[str, object]]) -> str:
 _PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
 
 
+# sp-taint: sanitizer -- collapses anything outside [a-zA-Z0-9_:]
 def _prom_name(name: str) -> str:
     sanitized = _PROM_INVALID.sub("_", name)
     if sanitized and sanitized[0].isdigit():
@@ -316,6 +317,7 @@ def _prom_value(value: object) -> str:
     return f"{float(value):.10g}"
 
 
+# sp-taint: sanitizer -- label values cannot break out of their quotes
 def _prom_escape(value: object) -> str:
     # exposition-format label escaping: backslash first, then quote and
     # newline — a literal newline in a label value would split the sample

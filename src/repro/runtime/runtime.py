@@ -736,6 +736,7 @@ class ShardedRuntime:
         with self.tracer.span("checkpoint", shard=shard.shard_id) as span, \
                 shard.lock:
             with self.metrics.timer("checkpoint.duration_seconds"):
+                # sp-lint: disable=SP201 -- checkpoint must capture the shard frozen; holding its lock across the save is the consistency contract
                 size = self._store.save(shard.shard_id, shard.pivot)
                 if shard.wal is not None:
                     # rotate, not truncate: the sealed segment is the

@@ -150,6 +150,7 @@ class ShardWal:
             self._active_base_seq = base
             last_seq = None
             if os.path.exists(self.path):
+                # sp-lint: disable=SP201 -- WAL file I/O is serialized by this lock; that is its purpose
                 for record in self._decode_lines(self.path):
                     seq = record.get("seq")
                     if isinstance(seq, int) and (
@@ -174,6 +175,7 @@ class ShardWal:
     def append(self, snippet: Snippet) -> int:
         """Log one accepted snippet; returns bytes written."""
         with self._rotate_lock:
+            # sp-lint: disable=SP201 -- WAL file I/O is serialized by this lock; that is its purpose
             self._ensure_open()
             record = snippet_record(snippet)
             record["kind"] = "wal-entry"
@@ -259,6 +261,7 @@ class ShardWal:
             self.torn_records = 0
             snippets: List[Snippet] = []
             last_seq = None
+            # sp-lint: disable=SP201 -- WAL file I/O is serialized by this lock; that is its purpose
             for record in self._decode_lines(self.path, count_bad=True):
                 snippets.append(snippet_from_record(record))
                 seq = record.get("seq")
@@ -313,6 +316,7 @@ class ShardWal:
         or None when the active file has no records.
         """
         with self._rotate_lock:
+            # sp-lint: disable=SP201 -- WAL file I/O is serialized by this lock; that is its purpose
             self._bootstrap()
             if self._next_seq == self._active_base_seq:
                 return None  # nothing appended since the last rotation
@@ -338,6 +342,7 @@ class ShardWal:
     def earliest_available_seq(self) -> int:
         """The oldest sequence still on disk (segments included)."""
         with self._rotate_lock:
+            # sp-lint: disable=SP201 -- WAL file I/O is serialized by this lock; that is its purpose
             self._bootstrap()
             retained = self.segments()
             if retained:
@@ -363,6 +368,7 @@ class ShardWal:
         leader" and skips it, silently losing the records.
         """
         with self._rotate_lock:
+            # sp-lint: disable=SP201 -- WAL file I/O is serialized by this lock; that is its purpose
             self._bootstrap()
             if self._handle is not None:
                 self._handle.flush()
@@ -370,6 +376,7 @@ class ShardWal:
             for _, end, path in self.segments():
                 if end < from_seq:
                     continue
+                # sp-lint: disable=SP201 -- WAL file I/O is serialized by this lock; that is its purpose
                 for record in self._decode_lines(path):
                     seq = record.get("seq")
                     if isinstance(seq, int) and seq < from_seq:
@@ -378,6 +385,7 @@ class ShardWal:
                     yielded += 1
                     if max_records is not None and yielded >= max_records:
                         return
+            # sp-lint: disable=SP201 -- WAL file I/O is serialized by this lock; that is its purpose
             for record in self._decode_lines(self.path, stop_on_error=True):
                 seq = record.get("seq")
                 if isinstance(seq, int) and seq < from_seq:

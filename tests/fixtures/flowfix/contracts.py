@@ -1,0 +1,34 @@
+"""Seeded-bad contract annotations: raises, blocks, and a typo."""
+
+import threading
+import time
+
+_lock = threading.Lock()
+
+
+def fail_fast(value):
+    raise ValueError(value)
+
+
+# sp-contract: never-raises
+def should_not_raise(value):
+    return fail_fast(value)
+
+
+def nap():
+    time.sleep(0.5)
+
+
+# sp-contract: never-blocks
+def should_not_block():
+    nap()
+
+
+# sp-contract: never-sleeps
+def unknown_contract():
+    return None
+
+
+def blocks_under_lock():
+    with _lock:
+        nap()

@@ -1,0 +1,22 @@
+"""Seeded-bad handler module: every taint family, through a helper.
+
+The module name matches the HTTP-boundary pattern, so ``params``
+arrives untrusted; ``pick`` launders nothing, and each statement in
+``handle`` lands the value in a different sink family.
+"""
+
+import os
+
+
+def pick(params):
+    return params.get("name", "")
+
+
+def handle(params, wfile, metrics, wal):
+    name = pick(params)
+    path = os.path.join("/tmp", name)
+    open(path)
+    metrics.counter(name)
+    wfile.write(name)
+    wal.append(name)
+    eval(name)

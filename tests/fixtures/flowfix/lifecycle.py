@@ -1,0 +1,24 @@
+"""Seeded-bad resource lifecycles: a path exists that skips cleanup."""
+
+import threading
+
+
+def leaky_lock(lock, flag):
+    lock.acquire()
+    if flag:
+        lock.release()
+
+
+def leaky_file(path, flag):
+    handle = open(path)
+    if flag:
+        handle.close()
+        return True
+    return False
+
+
+def leaky_thread(flag):
+    worker = threading.Thread(target=print)
+    worker.start()
+    if flag:
+        worker.join()

@@ -1,0 +1,233 @@
+"""Exception contracts, interprocedural blocking, and resource lifecycle."""
+
+from __future__ import annotations
+
+from repro.analysis.engine import LintEngine
+
+PATH = "src/repro/runtime/module.py"
+
+
+def codes(findings):
+    return sorted({f.code for f in findings})
+
+
+def lint(source, path=PATH):
+    return LintEngine().check_source(source, display_path=path)
+
+
+# -- SP501: never-raises -----------------------------------------------------
+
+
+def test_sp501_raise_via_callee_breaks_the_contract():
+    findings = lint(
+        "def explode(value):\n"
+        "    raise ValueError(value)\n"
+        "# sp-contract: never-raises\n"
+        "def safe(value):\n"
+        "    return explode(value)\n"
+    )
+    assert codes(findings) == ["SP501"]
+    assert "explode" in findings[0].message
+    assert findings[0].detail.get("chain")
+
+
+def test_sp501_broad_except_protects_the_contract():
+    assert lint(
+        "import logging\n"
+        "def explode(value):\n"
+        "    raise ValueError(value)\n"
+        "# sp-contract: never-raises\n"
+        "def safe(value):\n"
+        "    try:\n"
+        "        return explode(value)\n"
+        "    except Exception as exc:\n"
+        "        logging.error('normalize failed: %s', exc)\n"
+        "        return None\n"
+    ) == []
+
+
+def test_sp501_direct_raise_in_annotated_function():
+    findings = lint(
+        "# sp-contract: never-raises\n"
+        "def safe(value):\n"
+        "    raise RuntimeError(value)\n"
+    )
+    assert codes(findings) == ["SP501"]
+
+
+# -- SP502: never-blocks -----------------------------------------------------
+
+
+def test_sp502_sleep_via_callee_breaks_the_contract():
+    findings = lint(
+        "import time\n"
+        "def nap():\n"
+        "    time.sleep(0.5)\n"
+        "# sp-contract: never-blocks\n"
+        "def fast():\n"
+        "    nap()\n"
+    )
+    assert codes(findings) == ["SP502"]
+
+
+def test_sp502_nonblocking_chain_is_fine():
+    assert lint(
+        "def add(a, b):\n"
+        "    return a + b\n"
+        "# sp-contract: never-blocks\n"
+        "def fast():\n"
+        "    return add(1, 2)\n"
+    ) == []
+
+
+# -- SP503: unknown annotations ----------------------------------------------
+
+
+def test_sp503_flags_contract_typos():
+    findings = lint(
+        "# sp-contract: never-sleeps\n"
+        "def typo():\n"
+        "    return None\n"
+    )
+    assert codes(findings) == ["SP503"]
+    assert "never-sleeps" in findings[0].message
+
+
+# -- SP201 upgraded: blocking *reachable* under a lock -----------------------
+
+
+def test_sp201_blocking_callee_reached_under_lock():
+    findings = lint(
+        "import threading\n"
+        "import time\n"
+        "_lock = threading.Lock()\n"
+        "def nap():\n"
+        "    time.sleep(0.5)\n"
+        "def critical():\n"
+        "    with _lock:\n"
+        "        nap()\n"
+    )
+    assert codes(findings) == ["SP201"]
+    # the witness names the blocking call at the end of the chain
+    assert "time.sleep" in findings[0].message
+
+
+def test_sp201_interprocedural_respects_suppression():
+    assert lint(
+        "import threading\n"
+        "import time\n"
+        "_lock = threading.Lock()\n"
+        "def nap():\n"
+        "    time.sleep(0.5)\n"
+        "def critical():\n"
+        "    with _lock:\n"
+        "        nap()  # sp-lint: disable=SP201 -- bench harness only\n"
+    ) == []
+
+
+# -- SP601: lock release not on every path -----------------------------------
+
+
+def test_sp601_partial_release_fires():
+    findings = lint(
+        "def leaky(lock, flag):\n"
+        "    lock.acquire()\n"
+        "    if flag:\n"
+        "        lock.release()\n"
+    )
+    assert codes(findings) == ["SP601"]
+
+
+def test_sp601_try_finally_release_is_clean():
+    assert lint(
+        "def safe(lock):\n"
+        "    lock.acquire()\n"
+        "    try:\n"
+        "        return 1\n"
+        "    finally:\n"
+        "        lock.release()\n"
+    ) == []
+
+
+def test_sp601_with_statement_is_clean():
+    assert lint(
+        "def safe(lock):\n"
+        "    with lock:\n"
+        "        return 1\n"
+    ) == []
+
+
+# -- SP602: file handles -----------------------------------------------------
+
+
+def test_sp602_close_on_one_path_only():
+    findings = lint(
+        "def leaky(path, flag):\n"
+        "    handle = open(path)\n"
+        "    if flag:\n"
+        "        handle.close()\n"
+        "        return True\n"
+        "    return False\n"
+    )
+    assert codes(findings) == ["SP602"]
+
+
+def test_sp602_escaping_handle_is_not_flagged():
+    # a returned handle is the caller's to close
+    assert lint(
+        "def opener(path, flag):\n"
+        "    handle = open(path)\n"
+        "    if flag:\n"
+        "        handle.close()\n"
+        "        return None\n"
+        "    return handle\n"
+    ) == []
+
+
+def test_sp602_with_open_is_clean():
+    assert lint(
+        "def safe(path):\n"
+        "    with open(path) as handle:\n"
+        "        return handle.read()\n"
+    ) == []
+
+
+# -- SP603: threads ----------------------------------------------------------
+
+
+def test_sp603_partial_join_fires():
+    findings = lint(
+        "import threading\n"
+        "def leaky(flag):\n"
+        "    worker = threading.Thread(target=print)\n"
+        "    worker.start()\n"
+        "    if flag:\n"
+        "        worker.join()\n"
+    )
+    assert codes(findings) == ["SP603"]
+
+
+def test_sp603_guard_on_the_resource_counts_as_release():
+    # `if worker is not None: worker.join()` — the False branch means
+    # the thread was never started; this is the optional-worker idiom
+    assert lint(
+        "import threading\n"
+        "def run(flag):\n"
+        "    worker = None\n"
+        "    if flag:\n"
+        "        worker = threading.Thread(target=print)\n"
+        "        worker.start()\n"
+        "    if worker is not None:\n"
+        "        worker.join()\n"
+    ) == []
+
+
+def test_sp603_thread_without_any_join_is_fire_and_forget():
+    # zero joins anywhere means no cleanup intent in this function:
+    # the owner lives elsewhere (daemon workers, supervisors)
+    assert lint(
+        "import threading\n"
+        "def spawn():\n"
+        "    worker = threading.Thread(target=print, daemon=True)\n"
+        "    worker.start()\n"
+    ) == []

@@ -1,0 +1,190 @@
+"""The interprocedural pass end to end: fixture tree, goldens, baseline
+ratchet, SARIF, CLI flags, and the src-tree gates CI relies on."""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.analysis import LintConfig, LintEngine
+from repro.analysis.cli import main as lint_main
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+FLOWFIX = os.path.join(REPO_ROOT, "tests", "fixtures", "flowfix")
+GOLDEN_JSON = os.path.join(
+    REPO_ROOT, "tests", "fixtures", "flowfix_expected.json"
+)
+GOLDEN_SARIF = os.path.join(
+    REPO_ROOT, "tests", "fixtures", "flowfix_expected.sarif"
+)
+SRC = os.path.join(REPO_ROOT, "src")
+
+NEW_FAMILIES = ("SP4", "SP5", "SP6")
+
+
+# -- the seeded-bad tree -----------------------------------------------------
+
+
+def test_flowfix_trips_every_new_family():
+    engine = LintEngine()
+    findings, checked = engine.check_paths([FLOWFIX], root=REPO_ROOT)
+    fired = {f.code for f in findings}
+    expected = {
+        "SP401", "SP402", "SP403", "SP404", "SP405",
+        "SP501", "SP502", "SP503",
+        "SP601", "SP602", "SP603",
+    }
+    assert expected <= fired
+    assert len(fired & {c for c in fired if c[:3] in NEW_FAMILIES}) >= 6
+    assert checked == 3
+
+
+def test_flowfix_taint_findings_carry_traces():
+    engine = LintEngine()
+    findings, _ = engine.check_paths([FLOWFIX], root=REPO_ROOT)
+    taint = [f for f in findings if f.code.startswith("SP4")]
+    assert taint
+    for finding in taint:
+        assert finding.detail.get("trace"), finding.code
+        assert "source" in finding.detail and "sink" in finding.detail
+
+
+def test_golden_json_output(capsys):
+    exit_code = lint_main([FLOWFIX, "--root", REPO_ROOT, "--format=json"])
+    assert exit_code == 1
+    payload = json.loads(capsys.readouterr().out)
+    with open(GOLDEN_JSON, encoding="utf-8") as fh:
+        expected = json.load(fh)
+    assert payload == expected
+
+
+def test_golden_sarif_output(capsys):
+    exit_code = lint_main([FLOWFIX, "--root", REPO_ROOT, "--format=sarif"])
+    assert exit_code == 1
+    payload = json.loads(capsys.readouterr().out)
+    with open(GOLDEN_SARIF, encoding="utf-8") as fh:
+        expected = json.load(fh)
+    assert payload == expected
+
+
+def test_sarif_shape_is_valid_enough_for_ci():
+    with open(GOLDEN_SARIF, encoding="utf-8") as fh:
+        sarif = json.load(fh)
+    assert sarif["version"] == "2.1.0"
+    run = sarif["runs"][0]
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    for result in run["results"]:
+        assert result["ruleId"] in rule_ids
+        assert result["partialFingerprints"]["storypivotLint/v1"]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].startswith("tests/")
+        assert location["region"]["startLine"] >= 1
+
+
+# -- baseline ratchet --------------------------------------------------------
+
+
+def test_baseline_suppresses_known_findings(tmp_path, capsys):
+    baseline = str(tmp_path / "baseline.json")
+    assert lint_main(
+        [FLOWFIX, "--root", REPO_ROOT, "--write-baseline", baseline]
+    ) == 0
+    capsys.readouterr()
+    assert lint_main([FLOWFIX, "--root", REPO_ROOT, "--baseline", baseline]) == 0
+
+
+def test_stale_baseline_entry_fails_the_run(tmp_path, capsys):
+    baseline = str(tmp_path / "baseline.json")
+    lint_main([FLOWFIX, "--root", REPO_ROOT, "--write-baseline", baseline])
+    capsys.readouterr()
+    with open(baseline, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    payload["entries"].append({
+        "fingerprint": "deadbeefdeadbeef",
+        "code": "SP401",
+        "path": "tests/fixtures/flowfix/fixed_long_ago.py",
+        "message": "a finding that no longer exists",
+    })
+    with open(baseline, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+    exit_code = lint_main(
+        [FLOWFIX, "--root", REPO_ROOT, "--baseline", baseline]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    assert "stale baseline entry" in out
+
+
+def test_baseline_fingerprints_survive_line_drift(tmp_path):
+    # fingerprints hash code|path|message, not line numbers: inserting a
+    # line above a baselined finding must not resurrect it
+    engine = LintEngine()
+    findings, _ = engine.check_paths([FLOWFIX], root=REPO_ROOT)
+    from repro.analysis.findings import Finding
+
+    moved = [
+        Finding(
+            code=f.code, message=f.message, path=f.path,
+            line=f.line + 7, col=f.col, severity=f.severity, detail=f.detail,
+        )
+        for f in findings
+    ]
+    assert {f.fingerprint() for f in findings} == {
+        f.fingerprint() for f in moved
+    }
+
+
+# -- CLI flags ---------------------------------------------------------------
+
+
+def test_callgraph_stats_flag_reports_the_ledger(capsys):
+    lint_main([FLOWFIX, "--root", REPO_ROOT, "--format=json",
+               "--callgraph-stats"])
+    captured = capsys.readouterr()
+    stats = json.loads(captured.err)["callgraph"]
+    assert stats["call_sites"] > 0
+    assert 0.0 <= stats["unresolved_ratio"] <= 1.0
+    payload = json.loads(captured.out)
+    assert payload["callgraph"] == stats
+
+
+def test_max_unresolved_ratio_gate(capsys):
+    # a budget of zero must fail any tree with dynamic calls
+    exit_code = lint_main(
+        [FLOWFIX, "--root", REPO_ROOT, "--select", "SP101",
+         "--max-unresolved-ratio", "0.0"]
+    )
+    err = capsys.readouterr().err
+    assert exit_code == 1
+    assert "unresolved ratio" in err
+
+
+def test_family_prefix_rejects_unknown_prefix():
+    with pytest.raises(ValueError):
+        LintConfig(select=["SP9"])
+
+
+# -- the src tree gates ------------------------------------------------------
+
+
+def test_src_tree_is_clean_for_new_families_within_budget():
+    config = LintConfig(select=list(NEW_FAMILIES))
+    engine = LintEngine(config)
+    started = time.monotonic()
+    findings, checked = engine.check_paths([SRC], root=REPO_ROOT)
+    elapsed = time.monotonic() - started
+    assert findings == [], [f"{f.code} {f.path}:{f.line}" for f in findings]
+    assert checked > 100
+    assert elapsed < 30.0, f"lint took {elapsed:.1f}s, budget is 30s"
+
+
+def test_src_tree_unresolved_ratio_within_checked_in_threshold():
+    engine = LintEngine(LintConfig(select=["SP401"]))
+    engine.check_paths([SRC], root=REPO_ROOT)
+    stats = engine.last_project.stats()
+    # the CI gate (.github/workflows/ci.yml) passes --max-unresolved-ratio
+    # with this same threshold; move both together, downward only
+    assert stats["unresolved_ratio"] <= 0.45
